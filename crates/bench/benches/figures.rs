@@ -1,0 +1,167 @@
+//! One benchmark group per paper table/figure: each runs the same experiment
+//! cell the `harness` binary uses, at reduced scale, so `cargo bench`
+//! regenerates (and times) every artifact end to end.
+
+use bench::{BENCH_RUN_MS, BENCH_SCAN_MS};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use harness::experiments::{
+    fig1, fig10, fig11, fig12, fig13, fig2, fig6, fig8, fig9, figb, tables,
+};
+use harness::runner::{PolicyKind, Scale};
+use sim_clock::Nanos;
+use tiered_mem::PageSize;
+use workloads::KvFlavor;
+
+fn bench_scale() -> Scale {
+    Scale {
+        scan_period: Nanos::from_millis(BENCH_SCAN_MS),
+        scan_step: 512,
+        run_for: Nanos::from_millis(BENCH_RUN_MS),
+        memtis_sample_period: 2048,
+    }
+}
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("tables");
+    g.bench_function("table1", |b| b.iter(|| black_box(tables::table1())));
+    g.bench_function("table2", |b| b.iter(|| black_box(tables::table2())));
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig1");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("region_frequency_profile", |b| {
+        b.iter(|| black_box(fig1::run(&scale)))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig2");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("fig2b_pebs_bins", |b| {
+        b.iter(|| black_box(fig2::run_2b(&scale)))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig6");
+    g.sample_size(10);
+    let scale = bench_scale();
+    for kind in [PolicyKind::LinuxNb, PolicyKind::Chrono] {
+        g.bench_function(format!("pmbench_cell_{}", kind.name()), |b| {
+            b.iter(|| black_box(fig6::run_cell(kind, &scale, 4, 1024, 6_500, 0.7)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig7_fig8");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("runtime_characteristics_chrono", |b| {
+        b.iter(|| black_box(fig8::metrics_for(PolicyKind::Chrono, &scale)))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig9");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("tenant_histories_chrono", |b| {
+        b.iter(|| black_box(fig9::histories(PolicyKind::Chrono, &scale, 4)))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig10");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("sensitivity_cell_scan_period", |b| {
+        b.iter(|| black_box(fig10::sensitivity_cell(&scale, "scan-period", 1.0)))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig11");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("graph500_exec_chrono", |b| {
+        b.iter(|| {
+            black_box(fig11::exec_time(
+                PolicyKind::Chrono,
+                &scale,
+                2_048,
+                4_096,
+                PageSize::Base,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig12");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("kvstore_cell_chrono", |b| {
+        b.iter(|| {
+            black_box(fig12::run_cell(
+                PolicyKind::Chrono,
+                &scale,
+                KvFlavor::Memcached,
+                0.5,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("fig13");
+    g.sample_size(10);
+    let scale = bench_scale();
+    g.bench_function("ablation_cell_basic", |b| {
+        b.iter(|| black_box(fig13::run_cell(PolicyKind::ChronoBasic, &scale, 0.7)))
+    });
+    g.finish();
+}
+
+fn bench_figb(c: &mut Criterion) {
+    let mut g = cfg(c).benchmark_group("figb");
+    g.bench_function("b1_density_family", |b| {
+        b.iter(|| black_box(figb::run_b1()))
+    });
+    g.bench_function("b2_efficiency_surface", |b| {
+        b.iter(|| black_box(figb::run_b2()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_fig1,
+    bench_fig2,
+    bench_fig6,
+    bench_fig7_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_figb
+);
+criterion_main!(figures);

@@ -1,0 +1,155 @@
+//! Microbenchmarks of the simulation substrate's hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sim_clock::{DetRng, Nanos};
+use tiered_mem::{MigrateMode, PageSize, SystemConfig, TierId, TieredSystem, Vpn};
+use tiering_policies::PebsSampler;
+use workloads::{AccessPattern, GaussianPattern, Workload};
+use workloads::{PmbenchConfig, PmbenchWorkload};
+
+fn bench_access_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("access_path");
+    g.throughput(Throughput::Elements(1));
+
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(16_384));
+    let pid = sys.add_process(8_192, PageSize::Base);
+    for i in 0..8_192 {
+        sys.access(pid, Vpn(i), false);
+    }
+    let mut rng = DetRng::seed(1);
+    g.bench_function("resident_read", |b| {
+        b.iter(|| {
+            let vpn = Vpn(rng.below(8_192) as u32);
+            black_box(sys.access(pid, vpn, false))
+        })
+    });
+    g.bench_function("resident_write", |b| {
+        b.iter(|| {
+            let vpn = Vpn(rng.below(8_192) as u32);
+            black_box(sys.access(pid, vpn, true))
+        })
+    });
+    g.finish();
+}
+
+fn bench_migration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("migration");
+    let mut sys = TieredSystem::new(SystemConfig::dram_pmem(8_192, 8_192));
+    let pid = sys.add_process(8_192, PageSize::Base);
+    for i in 0..8_192 {
+        sys.access(pid, Vpn(i), false);
+    }
+    let mut next = 0u32;
+    g.bench_function("base_page_round_trip", |b| {
+        b.iter(|| {
+            let vpn = Vpn(next % 8_192);
+            next += 1;
+            let e = sys.process(pid).space.entry(vpn);
+            let to = e.tier().other();
+            black_box(sys.migrate(pid, vpn, to, MigrateMode::Async)).ok();
+        })
+    });
+    g.finish();
+}
+
+fn bench_scan_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ticking_scan");
+    g.throughput(Throughput::Elements(1024));
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(16_384));
+    let pid = sys.add_process(8_192, PageSize::Base);
+    for i in 0..8_192 {
+        sys.access(pid, Vpn(i), false);
+    }
+    let mut cursor = Vpn(0);
+    g.bench_function("walk_and_mark_1024_pages", |b| {
+        b.iter(|| {
+            cursor = sys
+                .process_mut(pid)
+                .space
+                .walk_range(cursor, 1024, |_v, e| {
+                    e.flags.set(tiered_mem::PageFlags::PROT_NONE);
+                    e.policy_word = 42;
+                });
+            black_box(cursor)
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(16_384));
+    let pid = sys.add_process(8_192, PageSize::Base);
+    for i in 0..8_192 {
+        sys.access(pid, Vpn(i), false);
+    }
+    g.bench_function("age_active_64", |b| {
+        b.iter(|| black_box(sys.age_active_list(TierId::Fast, 64)))
+    });
+    g.bench_function("pop_and_reinsert_victim", |b| {
+        b.iter(|| {
+            if let Some((p, v)) = sys.pop_inactive_victim(TierId::Fast) {
+                sys.lru_insert(p, v, tiered_mem::LruKind::Inactive);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_pebs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pebs");
+    g.throughput(Throughput::Elements(1));
+    let mut sampler = PebsSampler::new(997, 3);
+    g.bench_function("observe", |b| b.iter(|| black_box(sampler.observe())));
+    g.finish();
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workloads");
+    g.throughput(Throughput::Elements(1));
+    let mut pattern = GaussianPattern::paper_default(65_536);
+    let mut rng = DetRng::seed(5);
+    g.bench_function("gaussian_sample", |b| {
+        b.iter(|| black_box(pattern.sample(&mut rng)))
+    });
+    let mut pm = PmbenchWorkload::new(PmbenchConfig::paper_skewed(65_536, 0.7, 6));
+    g.bench_function("pmbench_next_access", |b| {
+        b.iter(|| black_box(pm.next_access()))
+    });
+    g.finish();
+}
+
+fn bench_heatmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dcsc_math");
+    let mut fast = chrono_core::HeatMap::new(28);
+    let mut slow = chrono_core::HeatMap::new(28);
+    let mut rng = DetRng::seed(7);
+    for _ in 0..1000 {
+        fast.add(rng.index(28), rng.unit_f64() * 10.0);
+        slow.add(rng.index(28), rng.unit_f64() * 10.0);
+    }
+    g.bench_function("identify_overlap", |b| {
+        b.iter(|| {
+            black_box(chrono_core::heatmap::identify_overlap(
+                &fast, &slow, 10_000.0,
+            ))
+        })
+    });
+    g.bench_function("theory_efficiency_n2", |b| {
+        b.iter(|| black_box(chrono_core::theory::efficiency(2, 0.7)))
+    });
+    let _ = Nanos::ZERO;
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_access_path,
+    bench_migration,
+    bench_scan_walk,
+    bench_lru,
+    bench_pebs,
+    bench_workload_generation,
+    bench_heatmap
+);
+criterion_main!(benches);

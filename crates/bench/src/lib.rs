@@ -1,0 +1,15 @@
+//! Benchmark-support crate. The Criterion harnesses live in `benches/`:
+//!
+//! - `substrate`: microbenchmarks of the mechanisms every policy exercises
+//!   (the access path, migration, scanning, LRU maintenance, PEBS sampling,
+//!   heat-map math).
+//! - `figures`: one benchmark group per paper table/figure, running the same
+//!   experiment cells as the `harness` binary at reduced scale.
+
+/// Reduced-scale run length used by the figure benches, in simulated
+/// milliseconds — small enough that a Criterion sample completes in tens of
+/// milliseconds of host time, large enough to span several scan periods.
+pub const BENCH_RUN_MS: u64 = 120;
+
+/// Scan period used by the figure benches (keeps ≥4 scan periods per run).
+pub const BENCH_SCAN_MS: u64 = 25;

@@ -1,0 +1,207 @@
+//! procfs-style runtime controls.
+//!
+//! The paper's implementation exposes "`procfs` controllers that allow
+//! system managers to configure parameters manually as they need"
+//! (Section 4). This module is the equivalent surface: string-keyed get/set
+//! of the live policy parameters, suitable for wiring to a CLI, a config
+//! file, or an actual procfs shim.
+//!
+//! Supported keys (values parse/format as decimal strings):
+//!
+//! | key | meaning | unit |
+//! |---|---|---|
+//! | `cit_threshold_ms`    | classification threshold | milliseconds |
+//! | `rate_limit_mbps`     | promotion rate limit | MB/s |
+//! | `scan_period_ms`      | Ticking-scan period (read-only) | milliseconds |
+//! | `scan_step_pages`     | pages per scan chunk (read-only) | pages |
+//! | `p_victim_percent`    | DCSC sampling ratio | percent |
+//! | `delta_step`          | semi-auto adaption step | — |
+//! | `thrash_threshold`    | rate-halving thrash ratio | — |
+//! | `filter_rounds`       | candidate-filter rounds (read-only) | — |
+
+use sim_clock::Nanos;
+
+use crate::policy::ChronoPolicy;
+
+/// Errors from the control surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlError {
+    /// No such parameter.
+    UnknownKey(String),
+    /// The value failed to parse or was out of range.
+    InvalidValue(String),
+    /// The parameter can only be read at run time.
+    ReadOnly(String),
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::UnknownKey(k) => write!(f, "unknown parameter '{}'", k),
+            ControlError::InvalidValue(v) => write!(f, "invalid value '{}'", v),
+            ControlError::ReadOnly(k) => write!(f, "parameter '{}' is read-only", k),
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// The control keys, in display order.
+pub const KEYS: [&str; 8] = [
+    "cit_threshold_ms",
+    "rate_limit_mbps",
+    "scan_period_ms",
+    "scan_step_pages",
+    "p_victim_percent",
+    "delta_step",
+    "thrash_threshold",
+    "filter_rounds",
+];
+
+impl ChronoPolicy {
+    /// Reads a control parameter as a string.
+    pub fn get_param(&self, key: &str) -> Result<String, ControlError> {
+        Ok(match key {
+            "cit_threshold_ms" => format!("{:.3}", self.cit_threshold().as_nanos() as f64 / 1e6),
+            "rate_limit_mbps" => format!("{}", self.rate_limit() / (1024 * 1024)),
+            "scan_period_ms" => format!("{}", self.config().scan_period.as_millis()),
+            "scan_step_pages" => format!("{}", self.config().scan_step_pages),
+            "p_victim_percent" => format!("{:.4}", self.config().p_victim * 100.0),
+            "delta_step" => format!("{}", self.config().delta_step),
+            "thrash_threshold" => format!("{}", self.config().thrash_threshold),
+            "filter_rounds" => format!("{}", self.config().filter_rounds),
+            other => return Err(ControlError::UnknownKey(other.to_string())),
+        })
+    }
+
+    /// Writes a control parameter from a string.
+    pub fn set_param(&mut self, key: &str, value: &str) -> Result<(), ControlError> {
+        let parse_f64 = |v: &str| -> Result<f64, ControlError> {
+            v.parse::<f64>()
+                .map_err(|_| ControlError::InvalidValue(v.to_string()))
+        };
+        match key {
+            "cit_threshold_ms" => {
+                let ms = parse_f64(value)?;
+                if !(ms > 0.0) {
+                    return Err(ControlError::InvalidValue(value.to_string()));
+                }
+                self.force_cit_threshold(Nanos((ms * 1e6) as u64));
+            }
+            "rate_limit_mbps" => {
+                let mb = parse_f64(value)?;
+                if !(mb > 0.0) {
+                    return Err(ControlError::InvalidValue(value.to_string()));
+                }
+                self.force_rate_limit((mb * 1024.0 * 1024.0) as u64);
+            }
+            "p_victim_percent" => {
+                let pct = parse_f64(value)?;
+                if !(0.0..=100.0).contains(&pct) {
+                    return Err(ControlError::InvalidValue(value.to_string()));
+                }
+                self.config_mut().p_victim = pct / 100.0;
+            }
+            "delta_step" => {
+                let d = parse_f64(value)?;
+                if !(0.0..=1.0).contains(&d) {
+                    return Err(ControlError::InvalidValue(value.to_string()));
+                }
+                self.config_mut().delta_step = d;
+            }
+            "thrash_threshold" => {
+                let t = parse_f64(value)?;
+                if !(0.0..=1.0).contains(&t) {
+                    return Err(ControlError::InvalidValue(value.to_string()));
+                }
+                self.config_mut().thrash_threshold = t;
+            }
+            "scan_period_ms" | "scan_step_pages" | "filter_rounds" => {
+                return Err(ControlError::ReadOnly(key.to_string()));
+            }
+            other => return Err(ControlError::UnknownKey(other.to_string())),
+        }
+        Ok(())
+    }
+
+    /// Renders every parameter, procfs-directory style.
+    pub fn dump_params(&self) -> String {
+        KEYS.iter()
+            .map(|k| format!("{} = {}", k, self.get_param(k).expect("known key")))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ChronoConfig;
+
+    fn policy() -> ChronoPolicy {
+        ChronoPolicy::new(ChronoConfig::default())
+    }
+
+    #[test]
+    fn get_reports_table2_defaults() {
+        let p = policy();
+        assert_eq!(p.get_param("cit_threshold_ms").unwrap(), "1000.000");
+        assert_eq!(p.get_param("rate_limit_mbps").unwrap(), "100");
+        assert_eq!(p.get_param("scan_period_ms").unwrap(), "60000");
+        assert_eq!(p.get_param("filter_rounds").unwrap(), "2");
+    }
+
+    #[test]
+    fn set_and_read_back() {
+        let mut p = policy();
+        p.set_param("cit_threshold_ms", "250").unwrap();
+        assert_eq!(p.get_param("cit_threshold_ms").unwrap(), "250.000");
+        p.set_param("rate_limit_mbps", "64").unwrap();
+        assert_eq!(p.get_param("rate_limit_mbps").unwrap(), "64");
+        p.set_param("thrash_threshold", "0.3").unwrap();
+        assert_eq!(p.get_param("thrash_threshold").unwrap(), "0.3");
+    }
+
+    #[test]
+    fn rejects_unknown_and_invalid() {
+        let mut p = policy();
+        assert!(matches!(
+            p.set_param("bogus", "1"),
+            Err(ControlError::UnknownKey(_))
+        ));
+        assert!(matches!(
+            p.set_param("cit_threshold_ms", "-5"),
+            Err(ControlError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            p.set_param("delta_step", "nan-ish"),
+            Err(ControlError::InvalidValue(_))
+        ));
+        assert!(matches!(
+            p.get_param("nope"),
+            Err(ControlError::UnknownKey(_))
+        ));
+    }
+
+    #[test]
+    fn structural_keys_are_read_only() {
+        let mut p = policy();
+        assert!(matches!(
+            p.set_param("scan_period_ms", "10"),
+            Err(ControlError::ReadOnly(_))
+        ));
+        assert!(matches!(
+            p.set_param("filter_rounds", "3"),
+            Err(ControlError::ReadOnly(_))
+        ));
+    }
+
+    #[test]
+    fn dump_lists_every_key() {
+        let p = policy();
+        let dump = p.dump_params();
+        for k in KEYS {
+            assert!(dump.contains(k), "missing {}", k);
+        }
+    }
+}

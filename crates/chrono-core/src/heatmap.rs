@@ -1,0 +1,238 @@
+//! Per-tier CIT heat maps and overlap identification (Section 3.2.2).
+//!
+//! DCSC probes deposit `(CIT bucket, page weight)` samples into one heat map
+//! per tier. Because probes cover only P % of pages, sample counts are
+//! scaled up to estimated page populations before the maps are compared.
+//! The *overlap point* is the CIT cutoff at which the combined population of
+//! hotter pages just fills the fast tier; slow-tier pages hotter than the
+//! cutoff are *misplaced* and drive the promotion rate limit.
+
+/// A bucketed CIT distribution with exponential aging.
+#[derive(Debug, Clone)]
+pub struct HeatMap {
+    counts: Vec<f64>,
+}
+
+impl HeatMap {
+    /// Creates an empty heat map with `buckets` CIT levels.
+    pub fn new(buckets: usize) -> HeatMap {
+        HeatMap {
+            counts: vec![0.0; buckets],
+        }
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds a sample of `pages` pages at CIT bucket `bucket`. Huge-page
+    /// samples redistribute to base-page equivalents by the caller shifting
+    /// the bucket (+9 for 2 MiB, Section 3.4) and passing `pages = 512`.
+    pub fn add(&mut self, bucket: usize, pages: f64) {
+        let b = bucket.min(self.counts.len() - 1);
+        self.counts[b] += pages;
+    }
+
+    /// Ages every bucket by `decay` (0–1), so stale distribution mass fades
+    /// as workloads shift.
+    pub fn decay(&mut self, decay: f64) {
+        for c in &mut self.counts {
+            *c *= decay;
+        }
+    }
+
+    /// Total (weighted) page mass in the map.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Page mass with CIT bucket strictly below `bucket` (hotter than it).
+    pub fn hotter_than(&self, bucket: usize) -> f64 {
+        self.counts[..bucket.min(self.counts.len())].iter().sum()
+    }
+
+    /// Scales all counts so `total()` becomes `target` (sample → population
+    /// extrapolation). No-op on an empty map.
+    pub fn scaled_to(&self, target: f64) -> HeatMap {
+        let t = self.total();
+        if t <= 0.0 {
+            return self.clone();
+        }
+        let k = target / t;
+        HeatMap {
+            counts: self.counts.iter().map(|c| c * k).collect(),
+        }
+    }
+
+    /// Raw bucket values.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+}
+
+/// Result of comparing the two tiers' heat maps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Overlap {
+    /// Bucket index of the overlap point: pages hotter than this belong in
+    /// the fast tier.
+    pub cutoff_bucket: usize,
+    /// Estimated slow-tier pages hotter than the cutoff (misplaced, should
+    /// be promoted).
+    pub misplaced_slow_pages: f64,
+    /// Misplaced pages as a fraction of the fast tier's capacity.
+    pub misplacement_ratio: f64,
+}
+
+/// Identifies the overlap point between the fast- and slow-tier CIT
+/// populations: walk buckets hot→cold accumulating combined page mass until
+/// the fast-tier capacity is filled.
+///
+/// `fast_map` and `slow_map` must already be scaled to page populations.
+pub fn identify_overlap(
+    fast_map: &HeatMap,
+    slow_map: &HeatMap,
+    fast_capacity_pages: f64,
+) -> Overlap {
+    debug_assert_eq!(fast_map.buckets(), slow_map.buckets());
+    let buckets = fast_map.buckets();
+    let mut acc = 0.0;
+    let mut cutoff = buckets; // nothing overflows: everything may stay hot
+    for b in 0..buckets {
+        let level = fast_map.counts()[b] + slow_map.counts()[b];
+        if acc + level > fast_capacity_pages {
+            cutoff = b;
+            break;
+        }
+        acc += level;
+    }
+    // Slow pages hotter than the cutoff should have been in the fast tier.
+    let misplaced = slow_map.hotter_than(cutoff)
+        + if cutoff < buckets {
+            // Partial credit for the boundary bucket: the fraction of it
+            // that would still fit goes to the slow tier proportionally.
+            let level = fast_map.counts()[cutoff] + slow_map.counts()[cutoff];
+            if level > 0.0 {
+                let fit = (fast_capacity_pages - acc).max(0.0).min(level);
+                fit * slow_map.counts()[cutoff] / level
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+    Overlap {
+        cutoff_bucket: cutoff,
+        misplaced_slow_pages: misplaced,
+        misplacement_ratio: if fast_capacity_pages > 0.0 {
+            misplaced / fast_capacity_pages
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut m = HeatMap::new(8);
+        m.add(2, 10.0);
+        m.add(5, 5.0);
+        assert_eq!(m.total(), 15.0);
+        assert_eq!(m.hotter_than(3), 10.0);
+        assert_eq!(m.hotter_than(8), 15.0);
+    }
+
+    #[test]
+    fn add_clamps_to_last_bucket() {
+        let mut m = HeatMap::new(4);
+        m.add(100, 1.0);
+        assert_eq!(m.counts()[3], 1.0);
+    }
+
+    #[test]
+    fn decay_ages_uniformly() {
+        let mut m = HeatMap::new(4);
+        m.add(1, 10.0);
+        m.decay(0.5);
+        assert_eq!(m.counts()[1], 5.0);
+    }
+
+    #[test]
+    fn scaling_extrapolates_population() {
+        let mut m = HeatMap::new(4);
+        m.add(0, 1.0);
+        m.add(2, 3.0);
+        let s = m.scaled_to(400.0);
+        assert!((s.total() - 400.0).abs() < 1e-9);
+        assert!((s.counts()[0] - 100.0).abs() < 1e-9);
+        assert!((s.counts()[2] - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_empty_map_is_noop() {
+        let m = HeatMap::new(4);
+        assert_eq!(m.scaled_to(100.0).total(), 0.0);
+    }
+
+    #[test]
+    fn overlap_finds_cutoff_where_fast_fills() {
+        // Fast tier: 100 pages capacity. Hot pages (bucket 0-1): 40 fast +
+        // 40 slow = 80. Bucket 2 has 60 more → cutoff at bucket 2.
+        let mut fast = HeatMap::new(8);
+        let mut slow = HeatMap::new(8);
+        fast.add(0, 20.0);
+        fast.add(1, 20.0);
+        slow.add(0, 20.0);
+        slow.add(1, 20.0);
+        fast.add(2, 30.0);
+        slow.add(2, 30.0);
+        slow.add(6, 500.0); // cold mass, irrelevant
+        let o = identify_overlap(&fast, &slow, 100.0);
+        assert_eq!(o.cutoff_bucket, 2);
+        // 40 slow pages strictly hotter + boundary credit 20×(30/60)=10.
+        assert!((o.misplaced_slow_pages - 50.0).abs() < 1e-9);
+        assert!((o.misplacement_ratio - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_when_everything_fits() {
+        // Capacity exceeds the whole population: every slow page could (and
+        // should) live in the fast tier, so all of them count as misplaced.
+        let mut fast = HeatMap::new(4);
+        let mut slow = HeatMap::new(4);
+        fast.add(0, 10.0);
+        slow.add(1, 10.0);
+        let o = identify_overlap(&fast, &slow, 1000.0);
+        assert_eq!(o.cutoff_bucket, 4);
+        assert_eq!(o.misplaced_slow_pages, 10.0);
+    }
+
+    #[test]
+    fn overlap_with_perfect_placement_is_zero() {
+        // All hot mass already in fast, all cold in slow.
+        let mut fast = HeatMap::new(8);
+        let mut slow = HeatMap::new(8);
+        fast.add(0, 100.0);
+        slow.add(7, 900.0);
+        let o = identify_overlap(&fast, &slow, 100.0);
+        assert!(o.misplaced_slow_pages < 1e-9);
+    }
+
+    #[test]
+    fn overlap_with_inverted_placement_is_total() {
+        // All hot mass in slow; fast full of cold pages.
+        let mut fast = HeatMap::new(8);
+        let mut slow = HeatMap::new(8);
+        slow.add(0, 100.0);
+        fast.add(7, 100.0);
+        let o = identify_overlap(&fast, &slow, 100.0);
+        // Bucket 0 (100 slow pages) exactly fills capacity; the cold fast
+        // mass at bucket 7 overflows, so every hot slow page is misplaced.
+        assert_eq!(o.cutoff_bucket, 7);
+        assert!((o.misplaced_slow_pages - 100.0).abs() < 1e-9);
+    }
+}

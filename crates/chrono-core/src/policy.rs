@@ -1,0 +1,775 @@
+//! The Chrono tiering policy (Section 3).
+//!
+//! Wires the pieces together on the `TieringPolicy` hooks:
+//!
+//! - **Ticking-scan** events poison slow-tier PTEs and stamp the scan time
+//!   into the page's 4-byte policy word (microsecond resolution).
+//! - **Hint faults** compute CIT and run the candidate filter; pages passing
+//!   `filter_rounds` consecutive rounds under the threshold enter the
+//!   rate-limited promotion queue. Faults on `PG_probed` pages instead feed
+//!   the DCSC heat maps (two-round probing, max-of-rounds CIT).
+//! - **Migrate** events drain the queue at the rate limit.
+//! - **Demote** events enforce the `pro` watermark and flag demoted pages
+//!   for the thrashing monitor.
+//! - **Tune** events run the semi-automatic threshold update and the
+//!   thrashing check; **DCSC** events expire/issue probes and derive both
+//!   threshold and rate limit from heat-map overlap.
+
+use std::collections::HashMap;
+
+use sim_clock::{DetRng, Nanos};
+use tiered_mem::{
+    AccessResult, LruKind, MigrateError, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem,
+    Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
+};
+use tiering_policies::{decode_token, encode_token, ScanCursor, TieringPolicy};
+
+use crate::candidates::CandidateSet;
+use crate::config::{ChronoConfig, TuningMode};
+use crate::heatmap::{identify_overlap, HeatMap};
+use crate::limits::LimitEnforcer;
+use crate::queue::{PendingPromotion, PromotionQueue};
+use crate::thrash::ThrashingMonitor;
+use crate::tuning;
+
+const EV_SCAN: u16 = 1;
+const EV_MIGRATE: u16 = 2;
+const EV_DEMOTE: u16 = 3;
+const EV_TUNE: u16 = 4;
+const EV_DCSC: u16 = 5;
+
+/// Promotion-queue capacity bound (entries).
+const QUEUE_CAP: usize = 1 << 18;
+/// Probes older than this many scan periods are expired as cold: a page
+/// idle across multiple full passes is cold at any threshold the tuner can
+/// pick, and binning it at its idle age keeps the cold mass in the maps.
+const PROBE_EXPIRY_PERIODS: u64 = 2;
+
+fn key(pid: ProcessId, vpn: Vpn) -> u64 {
+    (pid.0 as u64) << 32 | vpn.0 as u64
+}
+
+fn now_us(t: Nanos) -> u32 {
+    (t.as_nanos() / 1_000) as u32
+}
+
+/// The Chrono policy.
+pub struct ChronoPolicy {
+    cfg: ChronoConfig,
+    name: &'static str,
+    cursors: Vec<ScanCursor>,
+    candidates: CandidateSet,
+    queue: PromotionQueue,
+    thrash: ThrashingMonitor,
+    limits: LimitEnforcer,
+    /// Per-tier CIT heat maps (population-weighted samples).
+    heat: [HeatMap; 2],
+    /// First-round CITs of outstanding probes, keyed by (pid, vpn).
+    probe_first: HashMap<u64, Nanos>,
+    /// Outstanding probes: (pid, vpn, issue time).
+    probes: Vec<(ProcessId, Vpn, Nanos)>,
+    cit_threshold: Nanos,
+    /// Latest DCSC overlap point (bucket floor), anchoring the threshold.
+    overlap_floor: Option<Nanos>,
+    rng: DetRng,
+    threshold_history: Vec<(Nanos, f64)>,
+    rate_history: Vec<(Nanos, f64)>,
+    /// Optional CIT sample capture for the Fig 10a experiment.
+    pub collect_cit_samples: bool,
+    cit_samples: Vec<(ProcessId, Vpn, Nanos)>,
+    scan_faults_below: u64,
+    scan_faults_above: u64,
+}
+
+impl ChronoPolicy {
+    /// Creates a Chrono instance from a configuration.
+    pub fn new(cfg: ChronoConfig) -> ChronoPolicy {
+        let rate = match cfg.tuning {
+            TuningMode::Manual { rate_limit, .. } | TuningMode::SemiAuto { rate_limit } => {
+                rate_limit
+            }
+            TuningMode::Dcsc => cfg.initial_rate_limit,
+        };
+        let threshold = match cfg.tuning {
+            TuningMode::Manual { cit_threshold, .. } => cit_threshold,
+            _ => cfg.initial_cit_threshold,
+        };
+        let name = match (&cfg.tuning, cfg.filter_rounds) {
+            (TuningMode::Dcsc, 2) => "Chrono",
+            (TuningMode::Dcsc, _) => "Chrono-full",
+            (TuningMode::SemiAuto { .. }, 1) => "Chrono-basic",
+            (TuningMode::SemiAuto { .. }, 2) => "Chrono-twice",
+            (TuningMode::SemiAuto { .. }, 3) => "Chrono-thrice",
+            (TuningMode::Manual { .. }, _) => "Chrono-manual",
+            _ => "Chrono-variant",
+        };
+        ChronoPolicy {
+            rng: DetRng::seed(cfg.seed),
+            queue: PromotionQueue::new(rate, QUEUE_CAP),
+            heat: [HeatMap::new(cfg.buckets), HeatMap::new(cfg.buckets)],
+            cit_threshold: threshold,
+            cfg,
+            name,
+            overlap_floor: None,
+            cursors: Vec::new(),
+            candidates: CandidateSet::new(),
+            thrash: ThrashingMonitor::new(),
+            limits: LimitEnforcer::new(),
+            probe_first: HashMap::new(),
+            probes: Vec::new(),
+            threshold_history: Vec::new(),
+            rate_history: Vec::new(),
+            collect_cit_samples: false,
+            cit_samples: Vec::new(),
+            scan_faults_below: 0,
+            scan_faults_above: 0,
+        }
+    }
+
+    /// The default configuration (Table 2), scaled to a scan period.
+    pub fn with_scan_period(scan_period: Nanos, scan_step_pages: u32) -> ChronoPolicy {
+        ChronoPolicy::new(ChronoConfig::scaled(scan_period, scan_step_pages))
+    }
+
+    /// Current CIT threshold.
+    pub fn cit_threshold(&self) -> Nanos {
+        self.cit_threshold
+    }
+
+    /// Current promotion rate limit in bytes/second.
+    pub fn rate_limit(&self) -> u64 {
+        self.queue.rate_limit()
+    }
+
+    /// The live configuration.
+    pub fn config(&self) -> &ChronoConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to tunable configuration fields (the procfs control
+    /// surface; structural parameters must not be changed mid-run).
+    pub fn config_mut(&mut self) -> &mut ChronoConfig {
+        &mut self.cfg
+    }
+
+    /// Overrides the CIT threshold (procfs control); adaptive tuning will
+    /// continue from the new value unless the mode is `Manual`.
+    pub fn force_cit_threshold(&mut self, threshold: Nanos) {
+        self.cit_threshold = threshold;
+    }
+
+    /// Overrides the promotion rate limit (procfs control).
+    pub fn force_rate_limit(&mut self, bytes_per_sec: u64) {
+        self.queue.set_rate_limit(bytes_per_sec);
+    }
+
+    /// CIT-threshold history as `(time, threshold in ms)` (Fig 10b).
+    pub fn threshold_history(&self) -> &[(Nanos, f64)] {
+        &self.threshold_history
+    }
+
+    /// Rate-limit history as `(time, MB/s)` (Fig 10c).
+    pub fn rate_history(&self) -> &[(Nanos, f64)] {
+        &self.rate_history
+    }
+
+    /// Captured `(pid, page, CIT)` samples (Fig 10a; enable
+    /// [`ChronoPolicy::collect_cit_samples`]).
+    pub fn cit_samples(&self) -> &[(ProcessId, Vpn, Nanos)] {
+        &self.cit_samples
+    }
+
+    /// The per-tier heat maps (fast = index 0).
+    pub fn heat_maps(&self) -> &[HeatMap; 2] {
+        &self.heat
+    }
+
+    /// Lifetime thrashing events.
+    pub fn thrash_events(&self) -> u64 {
+        self.thrash.total_thrash_events()
+    }
+
+    /// Ticking-scan fault classification tally: `(below, above)` the CIT
+    /// threshold over the policy's lifetime — the raw selectivity of the
+    /// classifier.
+    pub fn scan_fault_split(&self) -> (u64, u64) {
+        (self.scan_faults_below, self.scan_faults_above)
+    }
+
+    /// Promotion-queue statistics: (enqueued, dequeued, dropped) pages.
+    pub fn queue_stats(&self) -> (u64, u64, u64) {
+        (
+            self.queue.enqueued_pages(),
+            self.queue.dequeued_pages(),
+            self.queue.dropped_pages(),
+        )
+    }
+
+    /// The effective threshold for a mapping unit (huge blocks scale by
+    /// 1/512, Section 3.4).
+    fn effective_threshold(&self, sys: &TieredSystem, pid: ProcessId, pte: Vpn) -> Nanos {
+        if sys.process(pid).space.is_huge_mapped(pte) {
+            tuning::huge_threshold(self.cit_threshold)
+        } else {
+            self.cit_threshold
+        }
+    }
+
+    fn unit_pages(sys: &TieredSystem, pid: ProcessId, pte: Vpn) -> u32 {
+        if sys.process(pid).space.is_huge_mapped(pte) {
+            HUGE_2M_PAGES
+        } else {
+            1
+        }
+    }
+
+    // ----- Ticking-scan ----------------------------------------------------
+
+    fn ticking_scan(&mut self, sys: &mut TieredSystem, pid: ProcessId) {
+        let cur = &mut self.cursors[pid.0 as usize];
+        let stamp = now_us(sys.clock.now());
+        let mut visited = 0u64;
+        cur.cursor =
+            sys.process_mut(pid)
+                .space
+                .walk_range(cur.cursor, cur.step_pages, |_vpn, e| {
+                    visited += 1;
+                    // Only slow-tier pages are unmap-tracked by the Ticking-scan;
+                    // fast-tier CIT statistics come from DCSC probes.
+                    if e.tier() == TierId::Slow && !e.flags.has(PageFlags::PROT_NONE) {
+                        e.flags.set(PageFlags::PROT_NONE);
+                        e.policy_word = stamp;
+                    }
+                });
+        sys.charge_scan(pid, visited.max(1));
+        let interval = cur.event_interval;
+        sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));
+    }
+
+    // ----- Fault paths -----------------------------------------------------
+
+    fn handle_probe_fault(
+        &mut self,
+        sys: &mut TieredSystem,
+        pid: ProcessId,
+        pte: Vpn,
+        cit: Nanos,
+        now: Nanos,
+    ) {
+        let k = key(pid, pte);
+        match self.probe_first.remove(&k) {
+            None => {
+                // First probe round: remember the CIT and re-arm the PTE for
+                // the second round (two-round CIT generation, Fig 5 step 2).
+                self.probe_first.insert(k, cit);
+                let e = sys.process_mut(pid).space.entry_mut(pte);
+                e.flags.set(PageFlags::PROT_NONE);
+                e.policy_word = now_us(now);
+            }
+            Some(first) => {
+                let final_cit = first.max(cit);
+                self.deposit_heat_sample(sys, pid, pte, final_cit);
+                let e = sys.process_mut(pid).space.entry_mut(pte);
+                e.flags.clear(PageFlags::PROBED);
+            }
+        }
+    }
+
+    /// Adds a completed probe measurement to the owning tier's heat map,
+    /// applying the huge-page bucket redistribution (+9, counted as 512
+    /// base pages).
+    fn deposit_heat_sample(&mut self, sys: &TieredSystem, pid: ProcessId, pte: Vpn, cit: Nanos) {
+        let e = sys.process(pid).space.entry(pte);
+        let tier = e.tier();
+        let huge = sys.process(pid).space.is_huge_mapped(pte);
+        let (bucket, pages) = if huge {
+            (self.cfg.bucket_of(cit) + 9, HUGE_2M_PAGES as f64)
+        } else {
+            (self.cfg.bucket_of(cit), 1.0)
+        };
+        self.heat[tier.index()].add(bucket, pages);
+    }
+
+    fn handle_scan_fault(&mut self, sys: &mut TieredSystem, pid: ProcessId, pte: Vpn, cit: Nanos) {
+        let e = sys.process(pid).space.entry(pte);
+        if e.tier() != TierId::Slow {
+            return;
+        }
+        if self.collect_cit_samples && self.cit_samples.len() < 1 << 20 {
+            self.cit_samples.push((pid, pte, cit));
+        }
+        let was_demoted = e.flags.has(PageFlags::DEMOTED);
+        let queued = e.flags.has(PageFlags::CANDIDATE);
+        let threshold = self.effective_threshold(sys, pid, pte);
+        let unit = Self::unit_pages(sys, pid, pte);
+
+        if cit <= threshold {
+            self.scan_faults_below += 1;
+            if was_demoted {
+                // A recently demoted page re-qualifying is a thrashing event.
+                self.thrash.record_thrash(unit as u64);
+                sys.stats.thrash_events += 1;
+                sys.process_mut(pid)
+                    .space
+                    .entry_mut(pte)
+                    .flags
+                    .clear(PageFlags::DEMOTED);
+            }
+            let rounds = self.candidates.pass_round(pid, pte);
+            if rounds >= self.cfg.filter_rounds && !queued {
+                self.candidates.remove(pid, pte);
+                if self.queue.enqueue(PendingPromotion {
+                    pid,
+                    vpn: pte,
+                    pages: unit,
+                }) {
+                    sys.process_mut(pid)
+                        .space
+                        .entry_mut(pte)
+                        .flags
+                        .set(PageFlags::CANDIDATE);
+                }
+            }
+        } else {
+            self.scan_faults_above += 1;
+            // CIT above threshold: the page fails filtering and starts over.
+            self.candidates.remove(pid, pte);
+        }
+    }
+
+    // ----- Daemons ---------------------------------------------------------
+
+    fn drain_promotions(&mut self, sys: &mut TieredSystem) {
+        let batch = self.queue.drain(self.cfg.migrate_interval);
+        for p in batch {
+            let e = sys.process_mut(p.pid).space.entry_mut(p.vpn);
+            e.flags.clear(PageFlags::CANDIDATE);
+            if e.tier() != TierId::Slow {
+                continue; // already moved (e.g. by reclaim interactions)
+            }
+            let r = match sys.migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async) {
+                Err(MigrateError::NoSpace) => {
+                    sys.promote_with_reclaim(p.pid, p.vpn, MigrateMode::Async)
+                }
+                other => other,
+            };
+            if let Ok(pages) = r {
+                self.thrash.record_promotion(pages as u64);
+            }
+        }
+        sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
+    }
+
+    fn proactive_demote(&mut self, sys: &mut TieredSystem) {
+        // Age the fast-tier LRU at scan-period timescale so the inactive
+        // list reflects period-granularity coldness.
+        let age_budget = (sys.total_frames(TierId::Fast) as u64
+            * self.cfg.demote_interval.as_nanos()
+            / self.cfg.scan_period.as_nanos().max(1)) as u32;
+        sys.age_active_list(TierId::Fast, age_budget.max(16));
+        // cgroup memory limits first: reclaim slow-tier pages of confined
+        // processes to swap, keeping hot fast-tier placement intact.
+        self.limits.enforce(sys, 512);
+        if sys.free_frames(TierId::Fast) < sys.watermarks.high {
+            let target = sys.watermarks.pro;
+            let stamp = now_us(sys.clock.now());
+            let mut budget = 4096u32;
+            while sys.free_frames(TierId::Fast) < target && budget > 0 {
+                budget -= 1;
+                let Some((vp, vv)) = sys.pop_inactive_victim(TierId::Fast) else {
+                    break;
+                };
+                if sys
+                    .migrate(vp, vv, TierId::Slow, MigrateMode::Async)
+                    .is_ok()
+                {
+                    // Arm the thrashing monitor: flag, re-poison, and let the
+                    // demotion timestamp stand in for the scan timestamp.
+                    let e = sys.process_mut(vp).space.entry_mut(vv);
+                    e.flags.set(PageFlags::DEMOTED | PageFlags::PROT_NONE);
+                    e.policy_word = stamp;
+                    self.candidates.remove(vp, vv);
+                }
+            }
+        }
+        sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
+    }
+
+    fn tune_period(&mut self, sys: &mut TieredSystem) {
+        let now = sys.clock.now();
+        // Thrashing check first: it modulates the rate limit for the period.
+        if self.thrash.end_period(self.cfg.thrash_threshold) {
+            self.queue.halve_rate_limit();
+        }
+        // Threshold feedback (both adaptive modes): converge the enqueue
+        // rate to the rate limit. In semi-auto the rate limit is the user's;
+        // in DCSC mode it is the misplacement-derived one, and the threshold
+        // stays anchored to the heat-map overlap point (the CIT-sample
+        // quantile systematically *under*-estimates the marginal page's
+        // access period — exponential inter-access gaps have a fat left
+        // tail — so the anchor is a one-sided bracket, not the target).
+        let target_rate = match self.cfg.tuning {
+            TuningMode::SemiAuto { rate_limit } => Some(rate_limit),
+            TuningMode::Dcsc => Some(self.queue.rate_limit()),
+            TuningMode::Manual { .. } => None,
+        };
+        if let Some(rate_limit) = target_rate {
+            let enqueued = self.queue.take_enqueued();
+            let period_secs = self.cfg.scan_period.as_secs_f64();
+            let enqueue_rate = enqueued as f64 * BASE_PAGE_BYTES as f64 / period_secs;
+            let mut th = tuning::semi_auto_update(
+                self.cit_threshold,
+                rate_limit,
+                enqueue_rate,
+                self.cfg.delta_step,
+                self.cfg.scan_period,
+            );
+            if let (TuningMode::Dcsc, Some(floor)) = (&self.cfg.tuning, self.overlap_floor) {
+                let lo = Nanos(floor.as_nanos() / 2).max(Nanos(1));
+                let hi = Nanos(floor.as_nanos().saturating_mul(64));
+                th = Nanos(th.as_nanos().clamp(lo.as_nanos(), hi.as_nanos()));
+            }
+            self.cit_threshold = th;
+        }
+        // Keep the pro watermark sized to the current rate limit.
+        let total_fast = sys.total_frames(TierId::Fast);
+        sys.watermarks
+            .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+        self.threshold_history
+            .push((now, self.cit_threshold.as_nanos() as f64 / 1e6));
+        self.rate_history
+            .push((now, self.queue.rate_limit() as f64 / (1024.0 * 1024.0)));
+        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, 0));
+    }
+
+    fn dcsc_round(&mut self, sys: &mut TieredSystem) {
+        let now = sys.clock.now();
+        self.expire_stale_probes(sys, now);
+        for m in &mut self.heat {
+            m.decay(self.cfg.heatmap_decay);
+        }
+        self.issue_probes(sys, now);
+        if self.cfg.tuning == TuningMode::Dcsc {
+            self.dcsc_tune(sys);
+        }
+        sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, 0));
+    }
+
+    /// Probes that never faulted within the expiry window measure very cold
+    /// pages; count their elapsed idle age as the CIT so the cold mass is
+    /// represented in the heat maps.
+    fn expire_stale_probes(&mut self, sys: &mut TieredSystem, now: Nanos) {
+        let expiry = Nanos(self.cfg.scan_period.as_nanos() * PROBE_EXPIRY_PERIODS);
+        let mut keep = Vec::with_capacity(self.probes.len());
+        let probes = std::mem::take(&mut self.probes);
+        for (pid, pte, issued) in probes {
+            let e = sys.process(pid).space.entry(pte);
+            if !e.flags.has(PageFlags::PROBED) {
+                // Completed (already counted) or aborted by a migration that
+                // cleared `PG_probed`; drop any stale first-round CIT so a
+                // future probe of this page starts fresh.
+                self.probe_first.remove(&key(pid, pte));
+                continue;
+            }
+            if now.saturating_sub(issued) >= expiry {
+                let age = now.saturating_sub(issued);
+                self.deposit_heat_sample(sys, pid, pte, age);
+                let e = sys.process_mut(pid).space.entry_mut(pte);
+                e.flags.clear(PageFlags::PROBED | PageFlags::PROT_NONE);
+                self.probe_first.remove(&key(pid, pte));
+            } else {
+                keep.push((pid, pte, issued));
+            }
+        }
+        self.probes = keep;
+    }
+
+    fn issue_probes(&mut self, sys: &mut TieredSystem, now: Nanos) {
+        let total_pages: u64 = sys
+            .pids()
+            .map(|p| sys.process(p).space.pages() as u64)
+            .sum();
+        if total_pages == 0 {
+            return;
+        }
+        let n = ((total_pages as f64 * self.cfg.p_victim).ceil() as u64).max(4);
+        let stamp = now_us(now);
+        let mut issued = 0u64;
+        // Random (pid, vpn) draws; a few misses (unmapped pages) are fine —
+        // the sampling stays unbiased over mapped pages.
+        for _ in 0..n * 4 {
+            if issued >= n {
+                break;
+            }
+            let target = self.rng.below(total_pages);
+            let (pid, vpn) = {
+                let mut acc = 0u64;
+                let mut found = (ProcessId(0), Vpn(0));
+                for p in sys.pids() {
+                    let pages = sys.process(p).space.pages() as u64;
+                    if target < acc + pages {
+                        found = (p, Vpn((target - acc) as u32));
+                        break;
+                    }
+                    acc += pages;
+                }
+                found
+            };
+            let pte = sys.process(pid).space.pte_page(vpn);
+            let e = sys.process(pid).space.entry(pte);
+            if !e.present() || e.flags.has_any(PageFlags::PROT_NONE | PageFlags::PROBED) {
+                continue;
+            }
+            let e = sys.process_mut(pid).space.entry_mut(pte);
+            e.flags.set(PageFlags::PROBED | PageFlags::PROT_NONE);
+            e.policy_word = stamp;
+            self.probes.push((pid, pte, now));
+            issued += 1;
+        }
+        // Probe issuing is cheap kernel work (random PTE pokes).
+        sys.stats.kernel_time += Nanos(150).scale(issued.max(1));
+    }
+
+    fn dcsc_tune(&mut self, sys: &mut TieredSystem) {
+        let fast_pop = sys.used_frames(TierId::Fast) as f64;
+        let slow_pop = sys.used_frames(TierId::Slow) as f64;
+        if self.heat[0].total() < 8.0 || self.heat[1].total() < 8.0 {
+            return; // not enough probe mass yet
+        }
+        let fast_map = self.heat[TierId::Fast.index()].scaled_to(fast_pop);
+        let slow_map = self.heat[TierId::Slow.index()].scaled_to(slow_pop);
+        let capacity = sys.total_frames(TierId::Fast) as f64;
+        let overlap = identify_overlap(&fast_map, &slow_map, capacity);
+
+        let rate = tuning::dcsc_rate_limit(&overlap, self.cfg.scan_period);
+        self.queue.set_rate_limit(rate);
+
+        let cutoff = self
+            .cfg
+            .bucket_floor(overlap.cutoff_bucket.min(self.cfg.buckets - 1));
+        self.overlap_floor = Some(if cutoff == Nanos::ZERO {
+            self.cfg.finest_cit
+        } else {
+            cutoff
+        });
+    }
+}
+
+impl TieringPolicy for ChronoPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn init(&mut self, sys: &mut TieredSystem) {
+        self.cursors.clear();
+        for pid in sys.pids().collect::<Vec<_>>() {
+            let pages = sys.process(pid).space.pages();
+            let cursor = ScanCursor::new(pages, self.cfg.scan_step_pages, self.cfg.scan_period);
+            sys.schedule_in(cursor.event_interval, encode_token(EV_SCAN, pid.0, 0));
+            self.cursors.push(cursor);
+        }
+        sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
+        sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
+        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, 0));
+        if self.cfg.tuning == TuningMode::Dcsc {
+            sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, 0));
+        }
+        let total_fast = sys.total_frames(TierId::Fast);
+        sys.watermarks
+            .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+    }
+
+    fn on_event(&mut self, sys: &mut TieredSystem, token: u64) {
+        let (kind, pid_raw, _) = decode_token(token);
+        match kind {
+            EV_SCAN => self.ticking_scan(sys, ProcessId(pid_raw)),
+            EV_MIGRATE => self.drain_promotions(sys),
+            EV_DEMOTE => self.proactive_demote(sys),
+            EV_TUNE => self.tune_period(sys),
+            EV_DCSC => self.dcsc_round(sys),
+            _ => unreachable!("unknown Chrono event {}", kind),
+        }
+    }
+
+    fn on_hint_fault(
+        &mut self,
+        sys: &mut TieredSystem,
+        pid: ProcessId,
+        vpn: Vpn,
+        _write: bool,
+        res: &AccessResult,
+    ) {
+        let pte = sys.process(pid).space.pte_page(vpn);
+        let scan_ts = Nanos(sys.process(pid).space.entry(pte).policy_word as u64 * 1_000);
+        let cit = res.fault_time.saturating_sub(scan_ts);
+        if res.probed_fault {
+            self.handle_probe_fault(sys, pid, pte, cit, res.fault_time);
+        } else {
+            self.handle_scan_fault(sys, pid, pte, cit);
+        }
+    }
+}
+
+/// Re-inserts a demoted page at the inactive tail; exposed for tests that
+/// need to manipulate LRU state alongside Chrono's flags.
+pub fn reinsert_inactive(sys: &mut TieredSystem, pid: ProcessId, vpn: Vpn) {
+    sys.lru_insert(pid, vpn, LruKind::Inactive);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::{PageSize, SystemConfig};
+    use tiering_policies::{DriverConfig, SimulationDriver};
+    use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+    fn test_config() -> ChronoConfig {
+        ChronoConfig {
+            p_victim: 0.002, // denser probing for small test systems
+            ..ChronoConfig::scaled(Nanos::from_millis(50), 512)
+        }
+    }
+
+    fn run_chrono(cfg: ChronoConfig, run_ms: u64) -> (TieredSystem, ChronoPolicy) {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(1024, 4096));
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = ChronoPolicy::new(cfg);
+        policy.collect_cit_samples = true;
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(run_ms),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        (sys, policy)
+    }
+
+    #[test]
+    fn chrono_promotes_and_demotes() {
+        let (sys, policy) = run_chrono(test_config(), 400);
+        assert!(sys.stats.promoted_pages > 0, "no promotions");
+        assert!(sys.stats.demoted_pages > 0, "no proactive demotions");
+        let (enq, deq, _) = policy.queue_stats();
+        assert!(deq > 0 && deq <= enq + policy.queue.dequeued_pages());
+    }
+
+    #[test]
+    fn cit_samples_are_collected_and_plausible() {
+        let (_sys, policy) = run_chrono(test_config(), 400);
+        let samples = policy.cit_samples();
+        assert!(samples.len() > 100, "only {} CIT samples", samples.len());
+        // CITs are bounded by the run length.
+        assert!(samples
+            .iter()
+            .all(|(_, _, cit)| *cit <= Nanos::from_millis(400)));
+    }
+
+    #[test]
+    fn chrono_beats_linux_nb_on_fmar() {
+        let (chrono_sys, _) = run_chrono(test_config(), 500);
+        let nb_sys = {
+            let mut sys = TieredSystem::new(SystemConfig::dram_pmem(1024, 4096));
+            let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+            sys.add_process(w.address_space_pages(), PageSize::Base);
+            let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+            let mut policy = tiering_policies::LinuxNumaBalancing::new(
+                tiering_policies::linux_nb::LinuxNbConfig {
+                    scan_period: Nanos::from_millis(50),
+                    scan_step_pages: 512,
+                    promote_tier_frac_per_period: 0.23,
+                },
+            );
+            SimulationDriver::new(DriverConfig {
+                run_for: Nanos::from_millis(500),
+                ..Default::default()
+            })
+            .run(&mut sys, &mut wls, &mut policy);
+            sys
+        };
+        assert!(
+            chrono_sys.stats.fmar() > nb_sys.stats.fmar(),
+            "Chrono {} vs NB {}",
+            chrono_sys.stats.fmar(),
+            nb_sys.stats.fmar()
+        );
+    }
+
+    #[test]
+    fn dcsc_populates_heat_maps_and_tunes() {
+        let (_sys, policy) = run_chrono(test_config(), 500);
+        assert!(policy.heat_maps()[0].total() > 0.0, "fast heat map empty");
+        assert!(policy.heat_maps()[1].total() > 0.0, "slow heat map empty");
+        assert!(!policy.threshold_history().is_empty());
+        assert!(!policy.rate_history().is_empty());
+    }
+
+    #[test]
+    fn semi_auto_threshold_moves() {
+        let cfg = test_config().variant_twice();
+        let (_sys, policy) = run_chrono(cfg.clone(), 500);
+        assert!(
+            policy.cit_threshold() != cfg.initial_cit_threshold,
+            "semi-auto tuning never adjusted the threshold"
+        );
+    }
+
+    #[test]
+    fn manual_mode_keeps_threshold_fixed() {
+        let mut cfg = test_config();
+        cfg.tuning = TuningMode::Manual {
+            cit_threshold: Nanos::from_millis(5),
+            rate_limit: 50 * 1024 * 1024,
+        };
+        let (_sys, policy) = run_chrono(cfg, 300);
+        assert_eq!(policy.cit_threshold(), Nanos::from_millis(5));
+        // The thrashing monitor may halve the configured rate, but nothing
+        // may raise it in manual mode.
+        assert!(policy.rate_limit() <= 50 * 1024 * 1024);
+    }
+
+    #[test]
+    fn candidate_filtering_requires_two_rounds() {
+        // With 2-round filtering, promoted pages must be well below the
+        // number of scan faults on slow pages (each promotion needs ≥2).
+        let (sys, policy) = run_chrono(test_config(), 300);
+        let (enq, _, _) = (
+            policy.queue.enqueued_pages() + policy.queue.dequeued_pages(),
+            0,
+            0,
+        );
+        assert!(sys.stats.hint_faults > enq, "filtering did not gate faults");
+    }
+
+    #[test]
+    fn basic_variant_enqueues_more_readily_than_thrice() {
+        let total_enq = |cfg: ChronoConfig| {
+            let (_sys, p) = run_chrono(cfg, 300);
+            p.queue.enqueued_pages() + p.queue.dequeued_pages()
+        };
+        let basic = total_enq(test_config().variant_basic());
+        let thrice = total_enq(test_config().variant_thrice());
+        assert!(
+            basic > thrice,
+            "1-round ({}) should enqueue more than 3-round ({})",
+            basic,
+            thrice
+        );
+    }
+
+    #[test]
+    fn demoted_pages_carry_monitor_state() {
+        let (sys, _policy) = run_chrono(test_config(), 400);
+        // Some demoted page should exist with the DEMOTED flag + PROT_NONE
+        // (armed) or have been re-promoted (flag cleared). Just assert the
+        // mechanism ran: demotions happened and thrash accounting is sane.
+        assert!(sys.stats.demoted_pages > 0);
+    }
+
+    #[test]
+    fn pro_watermark_sits_above_high() {
+        let (sys, _policy) = run_chrono(test_config(), 200);
+        assert!(sys.watermarks.pro >= sys.watermarks.high);
+        assert!(sys.watermarks.well_ordered());
+    }
+}

@@ -1,0 +1,226 @@
+//! The rate-limited promotion queue (Section 3.1.2).
+//!
+//! Promotion-ready pages are enqueued; an asynchronous drain migrates them
+//! at the configured rate limit (bytes/second), tracking enqueue/dequeue
+//! counts for the semi-automatic tuner and preventing migration storms.
+
+use std::collections::VecDeque;
+
+use sim_clock::Nanos;
+use tiered_mem::{ProcessId, Vpn, BASE_PAGE_BYTES};
+
+/// A pending promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingPromotion {
+    /// Owning process.
+    pub pid: ProcessId,
+    /// PTE page (base page or huge-block head).
+    pub vpn: Vpn,
+    /// Base pages the promotion will move (512 for a huge block).
+    pub pages: u32,
+}
+
+/// The rate-limited promotion queue.
+#[derive(Debug)]
+pub struct PromotionQueue {
+    queue: VecDeque<PendingPromotion>,
+    rate_limit: u64,
+    enqueued_pages: u64,
+    dequeued_pages: u64,
+    dropped_pages: u64,
+    max_len: usize,
+    /// Fractional page budget carried between drain windows, so rate limits
+    /// below one page per window still make progress.
+    credit_pages: f64,
+}
+
+impl PromotionQueue {
+    /// Creates a queue with the given rate limit (bytes/second) and a bound
+    /// on queued entries (overflow beyond it is dropped and counted — the
+    /// queue must not grow without bound when tuning lags the workload).
+    pub fn new(rate_limit: u64, max_len: usize) -> PromotionQueue {
+        PromotionQueue {
+            queue: VecDeque::new(),
+            rate_limit,
+            enqueued_pages: 0,
+            dequeued_pages: 0,
+            dropped_pages: 0,
+            max_len,
+            credit_pages: 0.0,
+        }
+    }
+
+    /// Current rate limit in bytes/second.
+    pub fn rate_limit(&self) -> u64 {
+        self.rate_limit
+    }
+
+    /// Updates the rate limit (tuning).
+    pub fn set_rate_limit(&mut self, bytes_per_sec: u64) {
+        self.rate_limit = bytes_per_sec.max(1);
+    }
+
+    /// Halves the rate limit (the thrashing monitor's response).
+    pub fn halve_rate_limit(&mut self) {
+        self.rate_limit = (self.rate_limit / 2).max(1024 * 1024);
+    }
+
+    /// Enqueues a promotion; returns false (and counts a drop) on overflow.
+    pub fn enqueue(&mut self, p: PendingPromotion) -> bool {
+        if self.queue.len() >= self.max_len {
+            self.dropped_pages += p.pages as u64;
+            return false;
+        }
+        self.enqueued_pages += p.pages as u64;
+        self.queue.push_back(p);
+        true
+    }
+
+    /// Pages allowed to migrate in a drain window of `interval` (fractional;
+    /// remainders accumulate across windows via the credit counter).
+    pub fn budget_pages(&self, interval: Nanos) -> f64 {
+        let bytes = self.rate_limit as f64 * interval.as_secs_f64();
+        bytes / BASE_PAGE_BYTES as f64
+    }
+
+    /// Dequeues promotions worth one window of rate-limit budget, carrying
+    /// unused credit forward (capped at one window) so low rates still move
+    /// pages eventually.
+    pub fn drain(&mut self, interval: Nanos) -> Vec<PendingPromotion> {
+        let window = self.budget_pages(interval);
+        self.credit_pages = (self.credit_pages + window).min(window.max(1024.0) * 2.0);
+        let mut out = Vec::new();
+        while self.credit_pages >= 1.0 {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if front.pages as f64 > self.credit_pages {
+                break; // keep the oversized entry until enough credit accrues
+            }
+            let p = self.queue.pop_front().expect("front was just peeked");
+            self.credit_pages -= p.pages as f64;
+            self.dequeued_pages += p.pages as u64;
+            out.push(p);
+        }
+        if self.queue.is_empty() {
+            // Idle queues don't bank credit for later bursts.
+            self.credit_pages = self.credit_pages.min(1.0);
+        }
+        out
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total base pages ever enqueued.
+    pub fn enqueued_pages(&self) -> u64 {
+        self.enqueued_pages
+    }
+
+    /// Total base pages ever dequeued (migration-started).
+    pub fn dequeued_pages(&self) -> u64 {
+        self.dequeued_pages
+    }
+
+    /// Total base pages dropped on overflow.
+    pub fn dropped_pages(&self) -> u64 {
+        self.dropped_pages
+    }
+
+    /// Takes and resets the enqueue counter (per-period rate measurement for
+    /// the semi-auto tuner).
+    pub fn take_enqueued(&mut self) -> u64 {
+        std::mem::take(&mut self.enqueued_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(vpn: u32, pages: u32) -> PendingPromotion {
+        PendingPromotion {
+            pid: ProcessId(0),
+            vpn: Vpn(vpn),
+            pages,
+        }
+    }
+
+    #[test]
+    fn budget_follows_rate_and_interval() {
+        // 100 MB/s for 100 ms = 10 MB = 2560 pages.
+        let q = PromotionQueue::new(100 * 1024 * 1024, 1 << 20);
+        assert!((q.budget_pages(Nanos::from_millis(100)) - 2560.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drain_respects_budget() {
+        // 4096 bytes/s → 1 page per second.
+        let mut q = PromotionQueue::new(4096, 1024);
+        for i in 0..5 {
+            q.enqueue(p(i, 1));
+        }
+        let got = q.drain(Nanos::from_secs(2));
+        assert_eq!(got.len(), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.dequeued_pages(), 2);
+    }
+
+    #[test]
+    fn drain_is_fifo() {
+        let mut q = PromotionQueue::new(1 << 30, 1024);
+        q.enqueue(p(1, 1));
+        q.enqueue(p(2, 1));
+        let got = q.drain(Nanos::from_secs(1));
+        assert_eq!(got[0].vpn, Vpn(1));
+        assert_eq!(got[1].vpn, Vpn(2));
+    }
+
+    #[test]
+    fn oversized_huge_entry_waits_but_first_entry_goes() {
+        // Budget 600 pages; a 512-page huge block fits, the second must wait.
+        let mut q = PromotionQueue::new((600 * 4096) as u64, 1024);
+        q.enqueue(p(0, 512));
+        q.enqueue(p(512, 512));
+        let got = q.drain(Nanos::from_secs(1));
+        assert_eq!(got.len(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut q = PromotionQueue::new(4096, 2);
+        assert!(q.enqueue(p(0, 1)));
+        assert!(q.enqueue(p(1, 1)));
+        assert!(!q.enqueue(p(2, 1)));
+        assert_eq!(q.dropped_pages(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn take_enqueued_resets_counter() {
+        let mut q = PromotionQueue::new(4096, 16);
+        q.enqueue(p(0, 3));
+        assert_eq!(q.take_enqueued(), 3);
+        assert_eq!(q.take_enqueued(), 0);
+        assert_eq!(q.enqueued_pages(), 0);
+    }
+
+    #[test]
+    fn halve_has_a_floor() {
+        let mut q = PromotionQueue::new(3 * 1024 * 1024, 16);
+        q.halve_rate_limit();
+        assert_eq!(q.rate_limit(), 3 * 1024 * 1024 / 2);
+        for _ in 0..20 {
+            q.halve_rate_limit();
+        }
+        assert_eq!(q.rate_limit(), 1024 * 1024);
+    }
+}

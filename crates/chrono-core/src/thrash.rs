@@ -1,0 +1,100 @@
+//! The page thrashing monitor (Section 3.3.2).
+//!
+//! Recently demoted pages are flagged `demoted`, immediately re-poisoned
+//! with `PROT_NONE`, and their demotion timestamp substitutes for the scan
+//! timestamp. If such a page qualifies as a promotion candidate again within
+//! a scan period, that is a *thrashing event*; when the per-period thrashing
+//! ratio exceeds the threshold (default 20 %), the promotion rate limit is
+//! halved for the next period.
+
+/// Per-period thrashing accounting.
+#[derive(Debug, Default)]
+pub struct ThrashingMonitor {
+    thrash_events: u64,
+    promotions: u64,
+    total_thrash_events: u64,
+}
+
+impl ThrashingMonitor {
+    /// Creates a monitor with zeroed counters.
+    pub fn new() -> ThrashingMonitor {
+        ThrashingMonitor::default()
+    }
+
+    /// Records a promotion (denominator of the thrashing ratio).
+    pub fn record_promotion(&mut self, pages: u64) {
+        self.promotions += pages;
+    }
+
+    /// Records a thrashing event: a recently demoted page re-qualified as a
+    /// promotion candidate.
+    pub fn record_thrash(&mut self, pages: u64) {
+        self.thrash_events += pages;
+        self.total_thrash_events += pages;
+    }
+
+    /// The current period's thrashing ratio (0 when nothing was promoted).
+    pub fn ratio(&self) -> f64 {
+        if self.promotions == 0 {
+            0.0
+        } else {
+            self.thrash_events as f64 / self.promotions as f64
+        }
+    }
+
+    /// Ends the period: returns whether the ratio exceeded `threshold`
+    /// (the caller halves the rate limit if so) and resets period counters.
+    pub fn end_period(&mut self, threshold: f64) -> bool {
+        let exceeded = self.ratio() > threshold;
+        self.thrash_events = 0;
+        self.promotions = 0;
+        exceeded
+    }
+
+    /// Lifetime thrashing events (for reporting).
+    pub fn total_thrash_events(&self) -> u64 {
+        self.total_thrash_events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_computes_per_period() {
+        let mut m = ThrashingMonitor::new();
+        m.record_promotion(100);
+        m.record_thrash(30);
+        assert!((m.ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_promotions_means_no_thrashing_signal() {
+        let mut m = ThrashingMonitor::new();
+        m.record_thrash(10);
+        assert_eq!(m.ratio(), 0.0);
+        assert!(!m.end_period(0.2));
+    }
+
+    #[test]
+    fn end_period_detects_and_resets() {
+        let mut m = ThrashingMonitor::new();
+        m.record_promotion(100);
+        m.record_thrash(25);
+        assert!(m.end_period(0.2), "25% > 20% must trigger");
+        // Counters reset; a calm period does not trigger.
+        m.record_promotion(100);
+        m.record_thrash(5);
+        assert!(!m.end_period(0.2));
+        assert_eq!(m.total_thrash_events(), 30);
+    }
+
+    #[test]
+    fn boundary_is_strict() {
+        let mut m = ThrashingMonitor::new();
+        m.record_promotion(100);
+        m.record_thrash(20);
+        assert!(!m.end_period(0.2), "exactly 20% must not trigger");
+    }
+}

@@ -1,0 +1,173 @@
+//! Parameter tuning arithmetic (Section 3.2).
+//!
+//! Pure functions implementing the semi-automatic threshold update and the
+//! DCSC-derived parameter formulas, separated from the policy so their
+//! numerics can be tested against the paper's equations directly.
+
+use sim_clock::Nanos;
+use tiered_mem::BASE_PAGE_BYTES;
+
+use crate::heatmap::Overlap;
+
+/// Bounds on the auto-tuned CIT threshold relative to the scan period: the
+/// threshold must stay measurable (greater than zero) and below the point
+/// where every scanned page qualifies.
+const MIN_THRESHOLD_FRAC: f64 = 1.0 / 65_536.0;
+const MAX_THRESHOLD_FRAC: f64 = 4.0;
+
+/// One semi-automatic threshold update (Section 3.2.1):
+///
+/// ```text
+/// r_i = RateLimit / EnqueueRate,   TH_{i+1} = (1 − δ + δ·r_i) · TH_i
+/// ```
+///
+/// `rate_limit` and `enqueue_rate` are in bytes/second. When nothing was
+/// enqueued the threshold grows by the maximum step (r capped at 2) so a
+/// too-strict threshold recovers; the result is clamped to sane bounds
+/// relative to `scan_period`.
+pub fn semi_auto_update(
+    threshold: Nanos,
+    rate_limit: u64,
+    enqueue_rate: f64,
+    delta: f64,
+    scan_period: Nanos,
+) -> Nanos {
+    let r = if enqueue_rate <= 0.0 {
+        2.0
+    } else {
+        (rate_limit as f64 / enqueue_rate).min(2.0)
+    };
+    let factor = 1.0 - delta + delta * r;
+    clamp_threshold(threshold.scale_f64(factor), scan_period)
+}
+
+/// Clamps a threshold to `[scan_period/65536, 4×scan_period]`.
+pub fn clamp_threshold(threshold: Nanos, scan_period: Nanos) -> Nanos {
+    let min = scan_period.scale_f64(MIN_THRESHOLD_FRAC).max(Nanos(1));
+    let max = scan_period.scale_f64(MAX_THRESHOLD_FRAC);
+    Nanos(threshold.as_nanos().clamp(min.as_nanos(), max.as_nanos()))
+}
+
+/// DCSC rate-limit derivation (Section 3.2.2): the misplacement ratio times
+/// the memory consumption, divided by the Ticking-scan period — i.e. move
+/// the misplaced mass within one scan period. Returned in bytes/second,
+/// clamped to `[1 MB/s, 16 GB/s]`.
+pub fn dcsc_rate_limit(overlap: &Overlap, scan_period: Nanos) -> u64 {
+    let bytes = overlap.misplaced_slow_pages * BASE_PAGE_BYTES as f64;
+    let secs = scan_period.as_secs_f64().max(1e-9);
+    let rate = bytes / secs;
+    (rate as u64).clamp(1024 * 1024, 16 * 1024 * 1024 * 1024)
+}
+
+/// Exponentially smoothed threshold move toward the DCSC overlap point, so
+/// single noisy probe rounds don't whipsaw the classifier.
+pub fn dcsc_threshold_update(current: Nanos, overlap_point: Nanos, scan_period: Nanos) -> Nanos {
+    let blended = Nanos((current.as_nanos() + overlap_point.as_nanos()) / 2);
+    clamp_threshold(blended, scan_period)
+}
+
+/// Huge-page threshold scaling (Section 3.4): `TH_2MB = TH_4KB / 512`.
+pub fn huge_threshold(base_threshold: Nanos) -> Nanos {
+    Nanos((base_threshold.as_nanos() / 512).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SP: Nanos = Nanos(60_000_000_000); // 60 s scan period
+
+    #[test]
+    fn balanced_rate_keeps_threshold() {
+        // r = 1 → factor 1 regardless of δ.
+        let th = Nanos::from_millis(200);
+        let out = semi_auto_update(th, 1000, 1000.0, 0.5, SP);
+        assert_eq!(out, th);
+    }
+
+    #[test]
+    fn overload_shrinks_threshold() {
+        // Enqueue rate double the limit → r = 0.5, δ = 0.5 → factor 0.75.
+        let th = Nanos::from_millis(1000);
+        let out = semi_auto_update(th, 1000, 2000.0, 0.5, SP);
+        assert_eq!(out, Nanos::from_millis(750));
+    }
+
+    #[test]
+    fn underload_grows_threshold() {
+        // Enqueue rate half the limit → r = 2 → factor 1.5.
+        let th = Nanos::from_millis(100);
+        let out = semi_auto_update(th, 1000, 500.0, 0.5, SP);
+        assert_eq!(out, Nanos::from_millis(150));
+    }
+
+    #[test]
+    fn idle_queue_grows_at_max_step() {
+        let th = Nanos::from_millis(100);
+        let out = semi_auto_update(th, 1000, 0.0, 0.5, SP);
+        assert_eq!(out, Nanos::from_millis(150));
+    }
+
+    #[test]
+    fn delta_scales_the_step() {
+        // Same r = 0.5 with δ = 0.1 → factor 0.95 (slower convergence, the
+        // Fig 10d sensitivity behaviour).
+        let th = Nanos::from_millis(1000);
+        let out = semi_auto_update(th, 1000, 2000.0, 0.1, SP);
+        assert_eq!(out, Nanos::from_millis(950));
+    }
+
+    #[test]
+    fn threshold_is_clamped() {
+        let tiny = semi_auto_update(Nanos(1), 1, 1e12, 0.5, SP);
+        assert!(tiny >= Nanos(SP.as_nanos() / 65_536));
+        let huge = semi_auto_update(Nanos(u64::MAX / 8), 1000, 0.0, 0.5, SP);
+        assert!(huge <= SP.scale_f64(4.0));
+    }
+
+    #[test]
+    fn rate_limit_moves_misplaced_mass_per_period() {
+        let o = Overlap {
+            cutoff_bucket: 5,
+            misplaced_slow_pages: 25_600.0, // 100 MB
+            misplacement_ratio: 0.5,
+        };
+        // 100 MB over 1 s → ~100 MB/s.
+        let rl = dcsc_rate_limit(&o, Nanos::from_secs(1));
+        assert_eq!(rl, 100 * 1024 * 1024 * 4096 / 4096);
+    }
+
+    #[test]
+    fn rate_limit_clamps_low_and_high() {
+        let small = Overlap {
+            cutoff_bucket: 0,
+            misplaced_slow_pages: 0.0,
+            misplacement_ratio: 0.0,
+        };
+        assert_eq!(dcsc_rate_limit(&small, Nanos::from_secs(1)), 1024 * 1024);
+        let big = Overlap {
+            cutoff_bucket: 0,
+            misplaced_slow_pages: 1e12,
+            misplacement_ratio: 1e6,
+        };
+        assert_eq!(
+            dcsc_rate_limit(&big, Nanos::from_secs(1)),
+            16 * 1024 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn dcsc_threshold_blends_halfway() {
+        let out = dcsc_threshold_update(Nanos::from_millis(400), Nanos::from_millis(200), SP);
+        assert_eq!(out, Nanos::from_millis(300));
+    }
+
+    #[test]
+    fn huge_scaling_divides_by_512() {
+        assert_eq!(
+            huge_threshold(Nanos::from_millis(512)),
+            Nanos::from_millis(1)
+        );
+        assert_eq!(huge_threshold(Nanos(100)), Nanos(1)); // floor at 1 ns
+    }
+}

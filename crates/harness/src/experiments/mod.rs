@@ -1,0 +1,95 @@
+//! One module per paper artifact. Every `run(scale)` returns the rendered
+//! plain-text tables so both the CLI and the integration tests can consume
+//! them.
+
+pub mod ext;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod figb;
+pub mod tables;
+
+use crate::runner::Scale;
+
+/// Experiment ids accepted by the CLI, with their descriptions.
+pub const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Table 1: solution characteristics"),
+    ("table2", "Table 2: Chrono parameter defaults"),
+    ("fig1", "Fig 1: per-page access frequency by memory region"),
+    ("fig2a", "Fig 2a: hot-page identification F1 / PPR"),
+    ("fig2b", "Fig 2b: PEBS bin distribution, huge vs base pages"),
+    (
+        "fig6",
+        "Fig 6: pmbench throughput across R/W ratios and configs",
+    ),
+    (
+        "fig7",
+        "Fig 7: pmbench latency (CDF + normalized statistics)",
+    ),
+    (
+        "fig8",
+        "Fig 8: run-time characteristics (FMAR, kernel time, ctx)",
+    ),
+    ("fig9", "Fig 9: per-cgroup DRAM page percentage histories"),
+    (
+        "fig10a",
+        "Fig 10a: CIT vs access probability across the space",
+    ),
+    ("fig10b", "Fig 10b: CIT threshold history"),
+    ("fig10c", "Fig 10c: migration rate limit history"),
+    ("fig10d", "Fig 10d: pmbench parameter sensitivity"),
+    ("fig11a", "Fig 11a: Graph500 execution time"),
+    ("fig11b", "Fig 11b: Graph500 parameter sensitivity"),
+    ("fig12", "Fig 12: Memcached / Redis throughput"),
+    ("fig13", "Fig 13: design-choice analysis (Chrono variants)"),
+    ("figb1", "Fig B1: page-density family h(x, α)"),
+    ("figb2", "Fig B2: promotion efficiency E(n, α)"),
+    (
+        "ext-baselines",
+        "Extension: Telescope + FlexMem vs the plotted field",
+    ),
+    (
+        "ext-adapt",
+        "Extension: adaptation to a phase-shifting hot region",
+    ),
+    (
+        "ext-limits",
+        "Extension: cgroup memory limits with slow-tier reclaim",
+    ),
+];
+
+/// Runs one experiment by id; `None` for unknown ids.
+pub fn run_by_id(id: &str, scale: &Scale) -> Option<String> {
+    Some(match id {
+        "table1" => tables::table1(),
+        "table2" => tables::table2(),
+        "fig1" => fig1::run(scale),
+        "fig2a" => fig2::run_2a(scale),
+        "fig2b" => fig2::run_2b(scale),
+        "fig6" => fig6::run(scale),
+        "fig7" => fig7::run(scale),
+        "fig8" => fig8::run(scale),
+        "fig9" => fig9::run(scale),
+        "fig10a" => fig10::run_10a(scale),
+        "fig10b" => fig10::run_10b(scale),
+        "fig10c" => fig10::run_10c(scale),
+        "fig10d" => fig10::run_10d(scale),
+        "fig11a" => fig11::run_11a(scale),
+        "fig11b" => fig11::run_11b(scale),
+        "fig12" => fig12::run(scale),
+        "fig13" => fig13::run(scale),
+        "figb1" => figb::run_b1(),
+        "figb2" => figb::run_b2(),
+        "ext-baselines" => ext::run_baselines(scale),
+        "ext-adapt" => ext::run_adapt(scale),
+        "ext-limits" => ext::run_limits(scale),
+        _ => return None,
+    })
+}

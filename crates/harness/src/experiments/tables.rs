@@ -1,0 +1,152 @@
+//! Tables 1 and 2.
+
+use chrono_core::ChronoConfig;
+use tiering_metrics::Table;
+
+/// Table 1: characteristics of the tiering solutions (static, from the
+/// paper's survey; the "effective frequency scale" column is the design
+/// property the rest of the evaluation measures).
+pub fn table1() -> String {
+    let mut t = Table::new(
+        "Table 1: characteristics of recent tiered-memory systems",
+        &[
+            "Solution",
+            "Type",
+            "Migration criterion",
+            "Effective frequency scale",
+            "Default page size",
+        ],
+    );
+    for row in [
+        [
+            "Auto-Tiering",
+            "System-wide",
+            "Page-fault counters",
+            "0~1 access/min",
+            "Base page",
+        ],
+        [
+            "Multi-Clock",
+            "System-wide",
+            "Multi-level LRU lists",
+            "0~1 access/min",
+            "Base page",
+        ],
+        [
+            "Telescope",
+            "System-wide",
+            "Tree-structured PTE bits",
+            "0~5 access/sec",
+            "Base page",
+        ],
+        [
+            "TPP",
+            "System-wide",
+            "Page-fault + LRU lists",
+            "0~2 access/min",
+            "Base page",
+        ],
+        [
+            "Memtis",
+            "Process level",
+            "PEBS stats + ratio config",
+            "0~10 access/sec",
+            "Huge page",
+        ],
+        [
+            "FlexMem",
+            "Process level",
+            "PEBS stats + page fault",
+            "0~10 access/sec",
+            "Huge page",
+        ],
+        [
+            "Chrono [Ours]",
+            "System-wide",
+            "Dynamic CIT stats",
+            "0~1000 access/sec",
+            "Base page",
+        ],
+    ] {
+        t.row(&row.map(String::from));
+    }
+    t.render()
+}
+
+/// Table 2: Chrono's parameter defaults, read from the live configuration so
+/// the table can never drift from the code.
+pub fn table2() -> String {
+    let c = ChronoConfig::default();
+    let mut t = Table::new(
+        "Table 2: Chrono parameter defaults",
+        &["Name", "Default", "Description"],
+    );
+    t.row(&[
+        "Scan step".into(),
+        format!("{} pages (256 MB)", c.scan_step_pages),
+        "Marked page set size of a Ticking-scan event".into(),
+    ]);
+    t.row(&[
+        "Scan period".into(),
+        format!("{}", c.scan_period),
+        "Period for Ticking-scan to loop over address space".into(),
+    ]);
+    t.row(&[
+        "P-victim".into(),
+        format!("{:.4}%", c.p_victim * 100.0),
+        "Ratio of pages sampled in the DCSC scheme".into(),
+    ]);
+    t.row(&[
+        "B-bucket".into(),
+        format!("{}", c.buckets),
+        "Number of different CIT-levels in DCSC stats".into(),
+    ]);
+    t.row(&[
+        "delta-step".into(),
+        format!("{}", c.delta_step),
+        "Adaption step for CIT threshold adjustment".into(),
+    ]);
+    t.row(&[
+        "CIT threshold".into(),
+        format!("{} (auto-tuned)", c.initial_cit_threshold),
+        "Classification boundary between hot and cold".into(),
+    ]);
+    t.row(&[
+        "Rate limit".into(),
+        format!("{} MBps (auto-tuned)", c.initial_rate_limit / (1024 * 1024)),
+        "Promotion queue drain rate".into(),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_solutions() {
+        let s = table1();
+        for name in [
+            "Auto-Tiering",
+            "Multi-Clock",
+            "Telescope",
+            "TPP",
+            "Memtis",
+            "FlexMem",
+            "Chrono",
+        ] {
+            assert!(s.contains(name), "missing {}", name);
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper_defaults() {
+        let s = table2();
+        assert!(s.contains("65536 pages (256 MB)"));
+        assert!(s.contains("60.000s"));
+        assert!(s.contains("0.0030%"));
+        assert!(s.contains("28"));
+        assert!(s.contains("0.5"));
+        assert!(s.contains("100 MBps"));
+    }
+}

@@ -1,0 +1,58 @@
+//! CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! harness [--scale N] <experiment-id>...
+//! harness list
+//! harness all
+//! ```
+
+use std::time::Instant;
+
+use harness::experiments::{run_by_id, EXPERIMENTS};
+use harness::Scale;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default_scale();
+
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        let n: u64 = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--scale requires a positive integer");
+                std::process::exit(2);
+            });
+        scale = scale.with_run_multiplier(n.max(1));
+        args.drain(pos..=pos + 1);
+    }
+
+    if args.is_empty() || args[0] == "list" {
+        println!("Available experiments:");
+        for (id, desc) in EXPERIMENTS {
+            println!("  {:8} {}", id, desc);
+        }
+        println!("  {:8} run every experiment", "all");
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in ids {
+        let start = Instant::now();
+        match run_by_id(id, &scale) {
+            Some(output) => {
+                println!("{}", output);
+                eprintln!("[{} finished in {:.1?}]", id, start.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment '{}'; try `harness list`", id);
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Simulated time in nanoseconds.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// One microsecond in simulated nanoseconds.
+pub const MICROSECOND: Nanos = Nanos(1_000);
+/// One millisecond in simulated nanoseconds.
+pub const MILLISECOND: Nanos = Nanos(1_000_000);
+/// One second in simulated nanoseconds.
+pub const SECOND: Nanos = Nanos(1_000_000_000);
+
+/// A point in, or span of, simulated time, measured in nanoseconds.
+///
+/// `Nanos` is used both as an instant (offset from simulation start) and as a
+/// duration; the simulator never needs wall-clock time, so a single newtype
+/// keeps the arithmetic simple while still preventing accidental mixing with
+/// raw counters.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// The zero instant (simulation start).
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable instant, used as an "infinitely far" sentinel.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Builds a time span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Builds a time span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Builds a time span from whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the value in seconds as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction; useful when computing gaps between timestamps
+    /// that may race (e.g. a fault observed in the same tick as a scan).
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition returning `None` on overflow.
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    /// Multiplies the span by an integer scale.
+    pub fn scale(self, k: u64) -> Nanos {
+        Nanos(self.0 * k)
+    }
+
+    /// Multiplies the span by a float factor, rounding to the nearest ns.
+    ///
+    /// Used by the adaptive tuning formulas (`TH_{i+1} = (1-δ+δ·r)·TH_i`),
+    /// which operate on time thresholds with fractional coefficients.
+    pub fn scale_f64(self, k: f64) -> Nanos {
+        debug_assert!(
+            k.is_finite() && k >= 0.0,
+            "scale factor must be finite and non-negative"
+        );
+        Nanos((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= SECOND.0 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= MILLISECOND.0 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= MICROSECOND.0 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+/// The simulation clock.
+///
+/// The clock only moves forward, and only via [`Clock::advance`] or
+/// [`Clock::advance_to`]; this mirrors a kernel's monotonic clock and makes
+/// CIT timestamps trustworthy.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Nanos,
+}
+
+impl Clock {
+    /// Creates a clock at instant zero.
+    pub fn new() -> Clock {
+        Clock { now: Nanos::ZERO }
+    }
+
+    /// Returns the current simulated instant.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Advances the clock by `delta` and returns the new instant.
+    pub fn advance(&mut self, delta: Nanos) -> Nanos {
+        self.now += delta;
+        self.now
+    }
+
+    /// Advances the clock to an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is in the past; the simulator must never rewind time.
+    pub fn advance_to(&mut self, to: Nanos) {
+        assert!(
+            to >= self.now,
+            "clock cannot move backwards: {:?} < {:?}",
+            to,
+            self.now
+        );
+        self.now = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_match_raw_nanos() {
+        assert_eq!(Nanos::from_micros(3), Nanos(3_000));
+        assert_eq!(Nanos::from_millis(7), Nanos(7_000_000));
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Nanos::from_millis(5);
+        let b = Nanos::from_millis(3);
+        assert_eq!(a + b, Nanos::from_millis(8));
+        assert_eq!(a - b, Nanos::from_millis(2));
+        assert_eq!(a * 4, Nanos::from_millis(20));
+        assert_eq!(a / 5, Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = Nanos::from_millis(1);
+        let b = Nanos::from_millis(2);
+        assert_eq!(a.saturating_sub(b), Nanos::ZERO);
+        assert_eq!(b.saturating_sub(a), Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn scale_f64_rounds_to_nearest() {
+        let th = Nanos::from_millis(1000);
+        // The semi-auto update with δ=0.5 and r=0.5 gives a factor of 0.75.
+        assert_eq!(th.scale_f64(0.75), Nanos::from_millis(750));
+        assert_eq!(Nanos(3).scale_f64(0.5), Nanos(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now(), Nanos::ZERO);
+        c.advance(Nanos::from_micros(10));
+        assert_eq!(c.now(), Nanos(10_000));
+        c.advance_to(Nanos::from_millis(1));
+        assert_eq!(c.now(), Nanos(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock cannot move backwards")]
+    fn clock_rejects_rewind() {
+        let mut c = Clock::new();
+        c.advance(Nanos::from_millis(2));
+        c.advance_to(Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn display_picks_human_unit() {
+        assert_eq!(format!("{}", Nanos(500)), "500ns");
+        assert_eq!(format!("{}", Nanos::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", Nanos::from_millis(250)), "250.000ms");
+        assert_eq!(format!("{}", Nanos::from_secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+}

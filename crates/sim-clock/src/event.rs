@@ -1,0 +1,217 @@
+//! A discrete-event queue keyed on simulated time.
+//!
+//! Policy daemons in the reproduction (Ticking-scan, watermark demotion, DCSC
+//! probes, tuning updates) are scheduled as events. The simulation main loop
+//! interleaves workload memory accesses with due events, exactly like kernel
+//! work items interleaving with application execution.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::clock::Nanos;
+
+/// Identifies a scheduled event so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// An entry in the queue. `seq` breaks ties so that events scheduled for the
+/// same instant fire in scheduling order (FIFO), which keeps runs
+/// deterministic.
+struct Entry<T> {
+    at: Nanos,
+    seq: u64,
+    id: EventId,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of events carrying payloads of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use sim_clock::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_millis(10), "scan");
+/// q.schedule(Nanos::from_millis(5), "demote");
+/// let (at, what) = q.pop_due(Nanos::from_millis(7)).unwrap();
+/// assert_eq!((at, what), (Nanos::from_millis(5), "demote"));
+/// assert!(q.pop_due(Nanos::from_millis(7)).is_none());
+/// ```
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    next_id: u64,
+    cancelled: Vec<EventId>,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            next_id: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute instant `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: T) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// unknown event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id);
+    }
+
+    /// Returns the instant of the earliest pending event, if any.
+    pub fn next_deadline(&mut self) -> Option<Nanos> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event whose deadline is `<= now`, if any.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<(Nanos, T)> {
+        self.skip_cancelled();
+        if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
+            let e = self.heap.pop().expect("peeked entry must exist");
+            Some((e.at, e.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally (advancing to event time is the
+    /// caller's job). Used when the workload stream has ended but daemons must
+    /// finish draining their queues.
+    pub fn pop_next(&mut self) -> Option<(Nanos, T)> {
+        self.skip_cancelled();
+        self.heap.pop().map(|e| (e.at, e.payload))
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&mut self) -> usize {
+        self.skip_cancelled();
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if let Some(pos) = self.cancelled.iter().position(|c| *c == top.id) {
+                self.cancelled.swap_remove(pos);
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), 3);
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(5), "a");
+        q.schedule(Nanos(5), "b");
+        q.schedule(Nanos(5), "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop_next().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), ());
+        assert!(q.pop_due(Nanos(99)).is_none());
+        assert!(q.pop_due(Nanos(100)).is_some());
+        assert!(q.pop_due(Nanos(1000)).is_none());
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), "a");
+        q.schedule(Nanos(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop_next().map(|(_, p)| p), Some("b"));
+        assert!(q.pop_next().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Nanos(1), 1u32);
+        q.pop_next();
+        q.cancel(a); // already fired
+        q.schedule(Nanos(2), 2u32);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_next().map(|(_, p)| p), Some(2));
+    }
+
+    #[test]
+    fn next_deadline_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_deadline(), None);
+        q.schedule(Nanos(7), ());
+        q.schedule(Nanos(3), ());
+        assert_eq!(q.next_deadline(), Some(Nanos(3)));
+    }
+}

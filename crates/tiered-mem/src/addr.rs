@@ -1,0 +1,140 @@
+//! Address-space units: virtual page numbers, frame numbers, page sizes.
+
+use std::fmt;
+
+/// Base page shift (4 KiB pages), matching x86-64.
+pub const BASE_PAGE_SHIFT: u32 = 12;
+/// Base page size in bytes.
+pub const BASE_PAGE_BYTES: u64 = 1 << BASE_PAGE_SHIFT;
+/// Number of base pages in a 2 MiB huge page.
+pub const HUGE_2M_PAGES: u32 = 512;
+/// Number of base pages in a 1 GiB huge page.
+pub const HUGE_1G_PAGES: u32 = 512 * 512;
+
+/// A virtual page number within one process address space.
+///
+/// Page numbers are dense indices starting at 0; the simulator does not model
+/// sparse virtual layouts because none of the paper's mechanisms depend on
+/// them (Ticking-scan walks VMAs linearly either way).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn(pub u32);
+
+impl Vpn {
+    /// The first page of the 2 MiB block containing this page.
+    pub fn huge_head(self) -> Vpn {
+        Vpn(self.0 & !(HUGE_2M_PAGES - 1))
+    }
+
+    /// Offset of this page within its 2 MiB block.
+    pub fn huge_offset(self) -> u32 {
+        self.0 & (HUGE_2M_PAGES - 1)
+    }
+
+    /// Whether this page is the head of its 2 MiB block.
+    pub fn is_huge_head(self) -> bool {
+        self.huge_offset() == 0
+    }
+}
+
+impl fmt::Debug for Vpn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+/// A physical frame number within one tier's frame table.
+///
+/// Frame namespaces are per-tier; a page's tier is tracked in its
+/// [`PageFlags`](crate::page::PageFlags), so `(tier, Pfn)` identifies a frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pfn(pub u32);
+
+impl Pfn {
+    /// Sentinel for "no frame mapped".
+    pub const NONE: Pfn = Pfn(u32::MAX);
+
+    /// Whether this is the "no frame" sentinel.
+    pub fn is_none(self) -> bool {
+        self == Pfn::NONE
+    }
+}
+
+impl fmt::Debug for Pfn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "p-")
+        } else {
+            write!(f, "p{:#x}", self.0)
+        }
+    }
+}
+
+/// Identifies a simulated process (dense index into the process table).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u16);
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+/// Page granularities the system can map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageSize {
+    /// 4 KiB base pages.
+    Base,
+    /// 2 MiB huge pages.
+    Huge2M,
+}
+
+impl PageSize {
+    /// Number of base pages per mapping unit.
+    pub fn base_pages(self) -> u32 {
+        match self {
+            PageSize::Base => 1,
+            PageSize::Huge2M => HUGE_2M_PAGES,
+        }
+    }
+
+    /// Bytes per mapping unit.
+    pub fn bytes(self) -> u64 {
+        self.base_pages() as u64 * BASE_PAGE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn huge_head_masks_low_bits() {
+        assert_eq!(Vpn(0).huge_head(), Vpn(0));
+        assert_eq!(Vpn(511).huge_head(), Vpn(0));
+        assert_eq!(Vpn(512).huge_head(), Vpn(512));
+        assert_eq!(Vpn(1023).huge_head(), Vpn(512));
+    }
+
+    #[test]
+    fn huge_offset_and_head_agree() {
+        for raw in [0u32, 1, 511, 512, 700, 1024] {
+            let v = Vpn(raw);
+            assert_eq!(v.huge_head().0 + v.huge_offset(), raw);
+            assert_eq!(v.is_huge_head(), v.huge_offset() == 0);
+        }
+    }
+
+    #[test]
+    fn page_size_units() {
+        assert_eq!(PageSize::Base.base_pages(), 1);
+        assert_eq!(PageSize::Base.bytes(), 4096);
+        assert_eq!(PageSize::Huge2M.base_pages(), 512);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn pfn_none_sentinel() {
+        assert!(Pfn::NONE.is_none());
+        assert!(!Pfn(0).is_none());
+    }
+}

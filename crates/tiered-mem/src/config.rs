@@ -1,0 +1,138 @@
+//! System configuration: tier specifications and the kernel cost model.
+
+use sim_clock::Nanos;
+
+use crate::tier::TierSpec;
+
+/// Fixed CPU costs of kernel-side mechanisms, in simulated time.
+///
+/// Values are calibrated to published measurements: a minor fault costs on
+/// the order of 1–2 µs to handle; a PTE visit during a scan is ~100 ns of
+/// pointer chasing; remapping a migrated page (TLB shootdown included) is a
+/// couple of microseconds on top of the copy itself.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Handling a demand (first-touch) fault, excluding zeroing.
+    pub demand_fault: Nanos,
+    /// Handling a `PROT_NONE` hint fault.
+    pub hint_fault: Nanos,
+    /// Visiting one PTE during a scan (read + possible write of the entry).
+    pub scan_pte: Nanos,
+    /// Fixed per-mapping-unit migration cost (unmap, TLB shootdown, remap).
+    pub migrate_fixed: Nanos,
+    /// Baseline per-operation CPU work of the workload (non-memory).
+    pub cpu_op: Nanos,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            demand_fault: Nanos(1_200),
+            hint_fault: Nanos(1_500),
+            scan_pte: Nanos(120),
+            migrate_fixed: Nanos(2_000),
+            cpu_op: Nanos(15),
+        }
+    }
+}
+
+/// Disk-backed swap behind the slow tier: the paper's overflow path
+/// ("slow-tier pages could be swapped out to disk if necessary",
+/// Section 3.3.1). Swap is not a managed tier — no hotness tracking — just
+/// a place reclaimed pages go and major faults come from.
+#[derive(Debug, Clone)]
+pub struct SwapSpec {
+    /// Major-fault service latency (NVMe-class device).
+    pub fault_latency: Nanos,
+    /// Writeback time per page (amortized device bandwidth).
+    pub writeback_per_page: Nanos,
+}
+
+impl Default for SwapSpec {
+    fn default() -> SwapSpec {
+        SwapSpec {
+            fault_latency: Nanos::from_micros(8),
+            writeback_per_page: Nanos::from_micros(2),
+        }
+    }
+}
+
+/// Full system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Fast-tier (DRAM) specification.
+    pub fast: TierSpec,
+    /// Slow-tier (NVM/CXL) specification.
+    pub slow: TierSpec,
+    /// Kernel cost model.
+    pub cost: CostModel,
+    /// Swap device behind the slow tier.
+    pub swap: SwapSpec,
+}
+
+impl SystemConfig {
+    /// A DRAM + Optane-PMem system where the fast tier holds `fast_frames`
+    /// and the slow tier `slow_frames` base pages. The paper's testbed has a
+    /// 1:4 fast:slow capacity ratio (64 GB DRAM : 256 GB PMem, 25 % fast).
+    pub fn dram_pmem(fast_frames: u32, slow_frames: u32) -> SystemConfig {
+        SystemConfig {
+            fast: TierSpec::dram(fast_frames),
+            slow: TierSpec::pmem(slow_frames),
+            cost: CostModel::default(),
+            swap: SwapSpec::default(),
+        }
+    }
+
+    /// A DRAM + CXL-memory system with the same capacities.
+    pub fn dram_cxl(fast_frames: u32, slow_frames: u32) -> SystemConfig {
+        SystemConfig {
+            fast: TierSpec::dram(fast_frames),
+            slow: TierSpec::cxl(slow_frames),
+            cost: CostModel::default(),
+            swap: SwapSpec::default(),
+        }
+    }
+
+    /// The paper's 25 % fast-tier ratio over a given total frame budget.
+    pub fn quarter_fast(total_frames: u32) -> SystemConfig {
+        let fast = total_frames / 4;
+        SystemConfig::dram_pmem(fast, total_frames - fast)
+    }
+
+    /// Total capacity in frames across both tiers.
+    pub fn total_frames(&self) -> u32 {
+        self.fast.frames + self.slow.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_fast_splits_25_75() {
+        let cfg = SystemConfig::quarter_fast(1000);
+        assert_eq!(cfg.fast.frames, 250);
+        assert_eq!(cfg.slow.frames, 750);
+        assert_eq!(cfg.total_frames(), 1000);
+    }
+
+    #[test]
+    fn default_costs_are_sane() {
+        let c = CostModel::default();
+        assert!(c.hint_fault > c.scan_pte);
+        assert!(c.demand_fault.as_nanos() > 500);
+        assert!(c.cpu_op < Nanos(100));
+    }
+
+    #[test]
+    fn dram_cxl_slow_tier_is_symmetric_ish() {
+        let cfg = SystemConfig::dram_cxl(100, 400);
+        let asym =
+            cfg.slow.write_latency.as_nanos() as f64 / cfg.slow.read_latency.as_nanos() as f64;
+        assert!(
+            asym < 1.5,
+            "CXL should not have Optane-scale write asymmetry"
+        );
+    }
+}

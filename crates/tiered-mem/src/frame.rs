@@ -1,0 +1,158 @@
+//! Per-tier physical frame allocation with reverse mapping.
+
+use crate::addr::{Pfn, ProcessId, Vpn};
+
+/// Reverse-map record: which virtual page owns a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameOwner {
+    /// Owning process.
+    pub pid: ProcessId,
+    /// Owning virtual page.
+    pub vpn: Vpn,
+}
+
+/// A frame table for one tier: allocation, freeing, and reverse mapping.
+///
+/// Frames are identified by dense [`Pfn`] indices. Physical contiguity is not
+/// modelled — no mechanism in the paper depends on it (huge pages are handled
+/// at the mapping layer), so a free *list* suffices and keeps allocation O(1).
+#[derive(Debug)]
+pub struct FrameTable {
+    owners: Vec<Option<FrameOwner>>,
+    free: Vec<u32>,
+}
+
+impl FrameTable {
+    /// Creates a table with `frames` free frames.
+    pub fn new(frames: u32) -> FrameTable {
+        FrameTable {
+            owners: vec![None; frames as usize],
+            // Pop from the back; reversing makes allocation order ascending,
+            // which is convenient for debugging and deterministic.
+            free: (0..frames).rev().collect(),
+        }
+    }
+
+    /// Total number of frames in the tier.
+    pub fn total(&self) -> u32 {
+        self.owners.len() as u32
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Number of currently allocated frames.
+    pub fn used_frames(&self) -> u32 {
+        self.total() - self.free_frames()
+    }
+
+    /// Allocates one frame for the given owner, or `None` if the tier is full.
+    pub fn alloc(&mut self, owner: FrameOwner) -> Option<Pfn> {
+        let idx = self.free.pop()?;
+        debug_assert!(
+            self.owners[idx as usize].is_none(),
+            "free frame had an owner"
+        );
+        self.owners[idx as usize] = Some(owner);
+        Some(Pfn(idx))
+    }
+
+    /// Frees a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not currently allocated (double free) or is out
+    /// of range; either would be a simulator bug, the moral equivalent of a
+    /// kernel `BUG_ON`.
+    pub fn free(&mut self, pfn: Pfn) {
+        let slot = self
+            .owners
+            .get_mut(pfn.0 as usize)
+            .unwrap_or_else(|| panic!("free of out-of-range frame {:?}", pfn));
+        assert!(slot.is_some(), "double free of frame {:?}", pfn);
+        *slot = None;
+        self.free.push(pfn.0);
+    }
+
+    /// Looks up the owner of a frame, if allocated.
+    pub fn owner(&self, pfn: Pfn) -> Option<FrameOwner> {
+        self.owners.get(pfn.0 as usize).copied().flatten()
+    }
+
+    /// Re-points an allocated frame at a new owner (used when migration
+    /// completes and the destination frame takes over the virtual page).
+    pub fn set_owner(&mut self, pfn: Pfn, owner: FrameOwner) {
+        let slot = self
+            .owners
+            .get_mut(pfn.0 as usize)
+            .unwrap_or_else(|| panic!("set_owner of out-of-range frame {:?}", pfn));
+        assert!(slot.is_some(), "set_owner of free frame {:?}", pfn);
+        *slot = Some(owner);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(pid: u16, vpn: u32) -> FrameOwner {
+        FrameOwner {
+            pid: ProcessId(pid),
+            vpn: Vpn(vpn),
+        }
+    }
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut t = FrameTable::new(3);
+        assert_eq!(t.free_frames(), 3);
+        let a = t.alloc(owner(0, 0)).unwrap();
+        let b = t.alloc(owner(0, 1)).unwrap();
+        let c = t.alloc(owner(0, 2)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(t.free_frames(), 0);
+        assert!(t.alloc(owner(0, 3)).is_none());
+    }
+
+    #[test]
+    fn free_makes_frame_reusable() {
+        let mut t = FrameTable::new(1);
+        let a = t.alloc(owner(1, 7)).unwrap();
+        assert_eq!(t.owner(a), Some(owner(1, 7)));
+        t.free(a);
+        assert_eq!(t.owner(a), None);
+        let b = t.alloc(owner(2, 9)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.owner(b), Some(owner(2, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut t = FrameTable::new(1);
+        let a = t.alloc(owner(0, 0)).unwrap();
+        t.free(a);
+        t.free(a);
+    }
+
+    #[test]
+    fn set_owner_retargets_reverse_map() {
+        let mut t = FrameTable::new(2);
+        let a = t.alloc(owner(0, 0)).unwrap();
+        t.set_owner(a, owner(3, 42));
+        assert_eq!(t.owner(a), Some(owner(3, 42)));
+    }
+
+    #[test]
+    fn used_plus_free_is_total() {
+        let mut t = FrameTable::new(10);
+        for i in 0..4 {
+            t.alloc(owner(0, i)).unwrap();
+        }
+        assert_eq!(t.used_frames() + t.free_frames(), t.total());
+        assert_eq!(t.used_frames(), 4);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+//! Two-tier physical memory substrate for the Chrono reproduction.
+//!
+//! This crate models everything the paper's kernel mechanisms touch:
+//! per-process page tables with software PTEs ([`page::PageFlags`] carries
+//! `PROT_NONE`, accessed/dirty, `PG_probed`, `demoted`), per-tier frame
+//! tables with reverse maps, Linux-style active/inactive LRU lists,
+//! free-memory watermarks including Chrono's `pro` watermark, a migration
+//! engine with bandwidth accounting, and a latency cost model calibrated to
+//! DRAM vs. Optane-PMem characteristics.
+//!
+//! Policies (crate `tiering-policies`, `chrono-core`) drive a
+//! [`TieredSystem`] through its mechanism API; workload generators (crate
+//! `workloads`) feed it accesses.
+//!
+//! # Examples
+//!
+//! ```
+//! use tiered_mem::{PageSize, SystemConfig, TieredSystem, TierId, Vpn};
+//!
+//! let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 192));
+//! let pid = sys.add_process(128, PageSize::Base);
+//! let r = sys.access(pid, Vpn(0), false);
+//! assert!(r.demand_fault);
+//! assert_eq!(r.tier, TierId::Fast); // top-tier-first allocation
+//! ```
+
+pub mod addr;
+pub mod config;
+pub mod frame;
+pub mod lru;
+pub mod page;
+pub mod space;
+pub mod stats;
+pub mod system;
+pub mod tier;
+pub mod watermark;
+
+pub use addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
+pub use config::{CostModel, SwapSpec, SystemConfig};
+pub use frame::{FrameOwner, FrameTable};
+pub use lru::{LruEntry, LruKind, LruLists};
+pub use page::{PageEntry, PageFlags};
+pub use space::AddressSpace;
+pub use stats::SystemStats;
+pub use system::{AccessResult, MigrateError, MigrateMode, Process, TieredSystem};
+pub use tier::{TierId, TierSpec};
+pub use watermark::Watermarks;

@@ -1,0 +1,198 @@
+//! Software page-table entries and per-page metadata.
+//!
+//! Each mapped page carries a 16-byte entry: the frame, a flag word modelling
+//! the PTE bits the paper's mechanisms manipulate (`PROT_NONE` for hint
+//! faults, accessed/dirty for clock-style policies, `PG_probed` for DCSC,
+//! `demoted` for the thrashing monitor), and two 32-bit policy words — the
+//! paper's "4 bytes per page" CIT metadata plus one scratch word used by the
+//! baseline policies (LAP vectors, PEBS counters, clock levels).
+
+use crate::addr::Pfn;
+use crate::tier::TierId;
+
+/// PTE and page flags. A `u16` bitset; see the constants on [`PageFlags`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags(pub u16);
+
+impl PageFlags {
+    /// The page has a frame mapped.
+    pub const PRESENT: u16 = 1 << 0;
+    /// The PTE is poisoned with `PROT_NONE`; the next access hint-faults.
+    pub const PROT_NONE: u16 = 1 << 1;
+    /// Hardware accessed bit (set on every access, cleared by scanners).
+    pub const ACCESSED: u16 = 1 << 2;
+    /// Hardware dirty bit (set on stores).
+    pub const DIRTY: u16 = 1 << 3;
+    /// `PG_probed`: unmapped by a DCSC statistical probe, not a Ticking-scan.
+    pub const PROBED: u16 = 1 << 4;
+    /// `demoted`: recently demoted; watched by the thrashing monitor.
+    pub const DEMOTED: u16 = 1 << 5;
+    /// Head page of a 2 MiB huge mapping.
+    pub const HUGE_HEAD: u16 = 1 << 6;
+    /// The 2 MiB block containing this page has been split to base pages.
+    pub const HUGE_SPLIT: u16 = 1 << 7;
+    /// The page currently resides in the fast tier.
+    pub const IN_FAST: u16 = 1 << 8;
+    /// The page sits on the active (vs. inactive) LRU list.
+    pub const LRU_ACTIVE: u16 = 1 << 9;
+    /// Policy scratch bit (e.g. Chrono promotion-candidate membership).
+    pub const CANDIDATE: u16 = 1 << 10;
+    /// Second policy scratch bit (e.g. TPP two-touch marker).
+    pub const POLICY_BIT: u16 = 1 << 11;
+    /// The page's contents live on the swap device (not present).
+    pub const SWAPPED: u16 = 1 << 12;
+
+    /// Whether all bits in `mask` are set.
+    #[inline]
+    pub fn has(self, mask: u16) -> bool {
+        self.0 & mask == mask
+    }
+
+    /// Whether any bit in `mask` is set.
+    #[inline]
+    pub fn has_any(self, mask: u16) -> bool {
+        self.0 & mask != 0
+    }
+
+    /// Sets all bits in `mask`.
+    #[inline]
+    pub fn set(&mut self, mask: u16) {
+        self.0 |= mask;
+    }
+
+    /// Clears all bits in `mask`.
+    #[inline]
+    pub fn clear(&mut self, mask: u16) {
+        self.0 &= !mask;
+    }
+
+    /// The tier this page resides in, decoded from [`PageFlags::IN_FAST`].
+    #[inline]
+    pub fn tier(self) -> TierId {
+        if self.has(Self::IN_FAST) {
+            TierId::Fast
+        } else {
+            TierId::Slow
+        }
+    }
+
+    /// Encodes the tier into [`PageFlags::IN_FAST`].
+    #[inline]
+    pub fn set_tier(&mut self, tier: TierId) {
+        match tier {
+            TierId::Fast => self.set(Self::IN_FAST),
+            TierId::Slow => self.clear(Self::IN_FAST),
+        }
+    }
+}
+
+/// One page's entry in a process page table.
+#[derive(Debug, Clone, Copy)]
+pub struct PageEntry {
+    /// Mapped frame within the owning tier's frame table, or [`Pfn::NONE`].
+    pub pfn: Pfn,
+    /// PTE and page flags.
+    pub flags: PageFlags,
+    /// Stamp for lazy LRU deletion: an LRU list entry is live only if its
+    /// recorded stamp equals this field.
+    pub lru_stamp: u16,
+    /// Policy word 1: Chrono stores the Ticking-scan (or demotion) timestamp
+    /// here, in milliseconds, as the paper's 4-byte CIT metadata.
+    pub policy_word: u32,
+    /// Policy word 2: scratch for baselines (LAP vector, PEBS count, level).
+    pub policy_extra: u32,
+}
+
+impl Default for PageEntry {
+    fn default() -> Self {
+        PageEntry {
+            pfn: Pfn::NONE,
+            flags: PageFlags::default(),
+            lru_stamp: 0,
+            policy_word: 0,
+            policy_extra: 0,
+        }
+    }
+}
+
+impl PageEntry {
+    /// Whether the page has a frame mapped.
+    #[inline]
+    pub fn present(&self) -> bool {
+        self.flags.has(PageFlags::PRESENT)
+    }
+
+    /// The tier the page currently resides in.
+    #[inline]
+    pub fn tier(&self) -> TierId {
+        self.flags.tier()
+    }
+
+    /// Invalidate any LRU list entries pointing at this page.
+    #[inline]
+    pub fn bump_lru_stamp(&mut self) {
+        self.lru_stamp = self.lru_stamp.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_set_and_clear() {
+        let mut f = PageFlags::default();
+        assert!(!f.has(PageFlags::PRESENT));
+        f.set(PageFlags::PRESENT | PageFlags::ACCESSED);
+        assert!(f.has(PageFlags::PRESENT));
+        assert!(f.has(PageFlags::ACCESSED));
+        assert!(f.has(PageFlags::PRESENT | PageFlags::ACCESSED));
+        f.clear(PageFlags::ACCESSED);
+        assert!(f.has(PageFlags::PRESENT));
+        assert!(!f.has(PageFlags::ACCESSED));
+    }
+
+    #[test]
+    fn has_any_vs_has() {
+        let mut f = PageFlags::default();
+        f.set(PageFlags::DIRTY);
+        assert!(f.has_any(PageFlags::DIRTY | PageFlags::ACCESSED));
+        assert!(!f.has(PageFlags::DIRTY | PageFlags::ACCESSED));
+    }
+
+    #[test]
+    fn tier_encoding_roundtrips() {
+        let mut f = PageFlags::default();
+        assert_eq!(f.tier(), TierId::Slow);
+        f.set_tier(TierId::Fast);
+        assert_eq!(f.tier(), TierId::Fast);
+        f.set_tier(TierId::Slow);
+        assert_eq!(f.tier(), TierId::Slow);
+    }
+
+    #[test]
+    fn default_entry_is_unmapped() {
+        let e = PageEntry::default();
+        assert!(!e.present());
+        assert!(e.pfn.is_none());
+        assert_eq!(e.policy_word, 0);
+    }
+
+    #[test]
+    fn lru_stamp_wraps() {
+        let mut e = PageEntry {
+            lru_stamp: u16::MAX,
+            ..Default::default()
+        };
+        e.bump_lru_stamp();
+        assert_eq!(e.lru_stamp, 0);
+    }
+
+    #[test]
+    fn entry_is_compact() {
+        // The paper stresses per-page metadata cost (4 bytes for CIT); our
+        // whole entry must stay pointer-sized-small so large address spaces
+        // are cheap to simulate.
+        assert!(std::mem::size_of::<PageEntry>() <= 16);
+    }
+}

@@ -1,0 +1,182 @@
+//! System-wide run-time statistics.
+//!
+//! These counters back the paper's run-time characteristics (Fig 8: fast-tier
+//! memory access ratio, kernel-time share, context-switch rate) and the
+//! migration accounting used throughout the evaluation.
+
+use sim_clock::Nanos;
+
+use crate::tier::TierId;
+
+/// Aggregated counters for one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemStats {
+    /// Loads served per tier, indexed by [`TierId::index`].
+    pub reads: [u64; 2],
+    /// Stores served per tier.
+    pub writes: [u64; 2],
+    /// Demand (first-touch) page faults.
+    pub demand_faults: u64,
+    /// Hint faults taken on `PROT_NONE` pages (NUMA balancing / Ticking-scan).
+    pub hint_faults: u64,
+    /// Pages promoted slow → fast.
+    pub promoted_pages: u64,
+    /// Pages demoted fast → slow.
+    pub demoted_pages: u64,
+    /// Promotion attempts that failed for lack of fast-tier space.
+    pub failed_promotions: u64,
+    /// Bytes moved by migration in either direction.
+    pub migration_bytes: u64,
+    /// PTE entries visited by scanners (cost accounting).
+    pub scanned_ptes: u64,
+    /// Context switches (faults + daemon wake-ups), the Fig 8 metric.
+    pub context_switches: u64,
+    /// Simulated time spent in kernel work (faults, scans, migrations).
+    pub kernel_time: Nanos,
+    /// Simulated time spent in user execution, including memory stalls.
+    pub user_time: Nanos,
+    /// Thrashing events flagged by the demotion monitor.
+    pub thrash_events: u64,
+    /// Pages written out to the swap device (slow-tier reclamation).
+    pub swapped_out_pages: u64,
+    /// Major faults served from the swap device.
+    pub swap_in_faults: u64,
+}
+
+impl SystemStats {
+    /// Total accesses across tiers and kinds.
+    pub fn total_accesses(&self) -> u64 {
+        self.reads.iter().sum::<u64>() + self.writes.iter().sum::<u64>()
+    }
+
+    /// Accesses served by a given tier.
+    pub fn tier_accesses(&self, tier: TierId) -> u64 {
+        self.reads[tier.index()] + self.writes[tier.index()]
+    }
+
+    /// Fast-tier memory access ratio (FMAR), the Fig 8 headline metric.
+    pub fn fmar(&self) -> f64 {
+        let total = self.total_accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        self.tier_accesses(TierId::Fast) as f64 / total as f64
+    }
+
+    /// Fraction of execution time spent in kernel work.
+    pub fn kernel_time_fraction(&self) -> f64 {
+        let total = self.kernel_time.as_nanos() + self.user_time.as_nanos();
+        if total == 0 {
+            return 0.0;
+        }
+        self.kernel_time.as_nanos() as f64 / total as f64
+    }
+
+    /// Context switches per simulated second of total execution.
+    pub fn context_switch_rate(&self) -> f64 {
+        let secs = (self.kernel_time + self.user_time).as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.context_switches as f64 / secs
+    }
+
+    /// Counts one access in the tier counters.
+    #[inline]
+    pub fn count_access(&mut self, tier: TierId, write: bool) {
+        if write {
+            self.writes[tier.index()] += 1;
+        } else {
+            self.reads[tier.index()] += 1;
+        }
+    }
+
+    /// Difference of two snapshots (`self` − `earlier`), for interval stats.
+    pub fn delta_since(&self, earlier: &SystemStats) -> SystemStats {
+        SystemStats {
+            reads: [
+                self.reads[0] - earlier.reads[0],
+                self.reads[1] - earlier.reads[1],
+            ],
+            writes: [
+                self.writes[0] - earlier.writes[0],
+                self.writes[1] - earlier.writes[1],
+            ],
+            demand_faults: self.demand_faults - earlier.demand_faults,
+            hint_faults: self.hint_faults - earlier.hint_faults,
+            promoted_pages: self.promoted_pages - earlier.promoted_pages,
+            demoted_pages: self.demoted_pages - earlier.demoted_pages,
+            failed_promotions: self.failed_promotions - earlier.failed_promotions,
+            migration_bytes: self.migration_bytes - earlier.migration_bytes,
+            scanned_ptes: self.scanned_ptes - earlier.scanned_ptes,
+            context_switches: self.context_switches - earlier.context_switches,
+            kernel_time: self.kernel_time - earlier.kernel_time,
+            user_time: self.user_time - earlier.user_time,
+            thrash_events: self.thrash_events - earlier.thrash_events,
+            swapped_out_pages: self.swapped_out_pages - earlier.swapped_out_pages,
+            swap_in_faults: self.swap_in_faults - earlier.swap_in_faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmar_counts_fast_share() {
+        let mut s = SystemStats::default();
+        s.count_access(TierId::Fast, false);
+        s.count_access(TierId::Fast, true);
+        s.count_access(TierId::Slow, false);
+        s.count_access(TierId::Slow, true);
+        assert!((s.fmar() - 0.5).abs() < 1e-12);
+        assert_eq!(s.total_accesses(), 4);
+        assert_eq!(s.tier_accesses(TierId::Fast), 2);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_rates() {
+        let s = SystemStats::default();
+        assert_eq!(s.fmar(), 0.0);
+        assert_eq!(s.kernel_time_fraction(), 0.0);
+        assert_eq!(s.context_switch_rate(), 0.0);
+    }
+
+    #[test]
+    fn kernel_fraction() {
+        let s = SystemStats {
+            kernel_time: Nanos(250),
+            user_time: Nanos(750),
+            ..Default::default()
+        };
+        assert!((s.kernel_time_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_switch_rate_per_second() {
+        let s = SystemStats {
+            context_switches: 500,
+            user_time: Nanos::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.context_switch_rate() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let mut a = SystemStats::default();
+        a.count_access(TierId::Fast, false);
+        a.hint_faults = 3;
+        a.kernel_time = Nanos(100);
+        let mut b = a.clone();
+        b.count_access(TierId::Slow, true);
+        b.hint_faults = 7;
+        b.kernel_time = Nanos(180);
+        let d = b.delta_since(&a);
+        assert_eq!(d.hint_faults, 4);
+        assert_eq!(d.writes[TierId::Slow.index()], 1);
+        assert_eq!(d.reads[TierId::Fast.index()], 0);
+        assert_eq!(d.kernel_time, Nanos(80));
+    }
+}

@@ -1,0 +1,1056 @@
+//! The tiered memory system: processes, faults, migration, LRU maintenance.
+//!
+//! [`TieredSystem`] is the substrate every tiering policy runs on. It owns
+//! the clock, the per-tier frame tables and LRU lists, the per-process
+//! address spaces, and an event queue for policy daemons. The *mechanisms*
+//! live here (fault taking, frame movement, watermark checks); all *policy*
+//! (who to promote/demote and when) lives in the policy crates.
+
+use sim_clock::{Clock, EventQueue, Nanos};
+
+use crate::addr::{PageSize, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
+use crate::config::SystemConfig;
+use crate::frame::{FrameOwner, FrameTable};
+use crate::lru::{LruEntry, LruKind, LruLists};
+use crate::page::PageFlags;
+use crate::space::AddressSpace;
+use crate::stats::SystemStats;
+use crate::tier::TierId;
+use crate::watermark::Watermarks;
+
+/// One simulated process: an address space plus scheduling state.
+#[derive(Debug)]
+pub struct Process {
+    /// The process page table.
+    pub space: AddressSpace,
+    /// The process's virtual time: how far its execution has progressed.
+    pub vtime: Nanos,
+    /// Completed workload operations.
+    pub ops: u64,
+    /// Whether the process still has work (drivers skip finished processes).
+    pub running: bool,
+    /// Resident frames currently charged to the process.
+    pub resident_frames: u32,
+    /// cgroup-style memory limit in frames, if confined.
+    pub memory_limit: Option<u32>,
+}
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessResult {
+    /// Total latency charged to the process for this access.
+    pub latency: Nanos,
+    /// Tier that ultimately served the access.
+    pub tier: TierId,
+    /// A `PROT_NONE` hint fault was taken (policy fault hooks should run).
+    pub hint_fault: bool,
+    /// The page was faulted in for the first time.
+    pub demand_fault: bool,
+    /// The page was unmapped by a DCSC probe (`PG_probed`) rather than a scan.
+    pub probed_fault: bool,
+    /// Instant at which the fault (if any) was taken; CIT's fault timestamp.
+    pub fault_time: Nanos,
+}
+
+/// Why a migration could not be performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The page is not resident.
+    NotPresent,
+    /// The page is already in the requested tier.
+    SameTier,
+    /// The destination tier has no free frames (after any reclaim attempts).
+    NoSpace,
+}
+
+/// Whose time a migration is charged to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateMode {
+    /// Synchronous: the given process waits for the copy (NUMA-balancing
+    /// style migrate-on-fault).
+    Sync(ProcessId),
+    /// Asynchronous: a background kernel thread performs the copy (Chrono's
+    /// promotion queue, TPP's demotion daemon).
+    Async,
+}
+
+/// The tiered memory system.
+pub struct TieredSystem {
+    /// Simulated global clock (advanced by the driver).
+    pub clock: Clock,
+    /// Policy daemon event queue; payloads are policy-defined tokens.
+    pub events: EventQueue<u64>,
+    /// Run-time statistics.
+    pub stats: SystemStats,
+    /// Fast-tier watermarks (the slow tier spills to swap, not modelled).
+    pub watermarks: Watermarks,
+    cfg: SystemConfig,
+    frames: [FrameTable; 2],
+    lru: [LruLists; 2],
+    procs: Vec<Process>,
+    /// When the async migration channel drains, for backlog estimation.
+    migration_busy_until: Nanos,
+    /// Per-tier device-contention state.
+    contention: [TierLoad; 2],
+}
+
+/// Sliding-window utilization tracker for one tier's memory device.
+///
+/// Each access contributes its device occupancy (write-weighted) to the
+/// current window; at window rollover the utilization becomes the smoothed
+/// load estimate driving the queueing penalty.
+#[derive(Debug, Clone)]
+struct TierLoad {
+    window_start: Nanos,
+    weighted_ops: f64,
+    utilization: f64,
+}
+
+/// Utilization measurement window.
+const LOAD_WINDOW: Nanos = Nanos(50_000); // 50 µs
+
+impl TierLoad {
+    fn new() -> TierLoad {
+        TierLoad {
+            window_start: Nanos::ZERO,
+            weighted_ops: 0.0,
+            utilization: 0.0,
+        }
+    }
+
+    /// Records one access at `now` and returns the current latency
+    /// multiplier. Below 70 % utilization the device is unloaded; beyond it
+    /// an M/M/1-flavoured `1/(1-u)` queueing term kicks in, capped at 8×.
+    fn record(&mut self, now: Nanos, weight: f64, capacity_ops: u64) -> f64 {
+        if now.saturating_sub(self.window_start) >= LOAD_WINDOW {
+            let window_secs = LOAD_WINDOW.as_secs_f64();
+            let raw = self.weighted_ops / (capacity_ops as f64 * window_secs);
+            // EMA smoothing so one bursty window doesn't whipsaw latency.
+            self.utilization = 0.5 * self.utilization + 0.5 * raw;
+            self.window_start = now;
+            self.weighted_ops = 0.0;
+        }
+        self.weighted_ops += weight;
+        let u = self.utilization;
+        if u <= 0.7 {
+            1.0
+        } else {
+            (0.3 / (1.0 - u.min(0.95))).min(8.0).max(1.0)
+        }
+    }
+}
+
+impl TieredSystem {
+    /// Builds a system from a configuration.
+    pub fn new(cfg: SystemConfig) -> TieredSystem {
+        let fast_frames = cfg.fast.frames;
+        TieredSystem {
+            clock: Clock::new(),
+            events: EventQueue::new(),
+            stats: SystemStats::default(),
+            watermarks: Watermarks::scaled_to(fast_frames),
+            frames: [
+                FrameTable::new(cfg.fast.frames),
+                FrameTable::new(cfg.slow.frames),
+            ],
+            lru: [LruLists::new(), LruLists::new()],
+            procs: Vec::new(),
+            cfg,
+            migration_busy_until: Nanos::ZERO,
+            contention: [TierLoad::new(), TierLoad::new()],
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Adds a process with an address space of `pages` base pages.
+    pub fn add_process(&mut self, pages: u32, page_size: PageSize) -> ProcessId {
+        let pid = ProcessId(self.procs.len() as u16);
+        self.procs.push(Process {
+            space: AddressSpace::new(pages, page_size),
+            vtime: Nanos::ZERO,
+            ops: 0,
+            running: true,
+            resident_frames: 0,
+            memory_limit: None,
+        });
+        pid
+    }
+
+    /// Confines a process to a cgroup-style memory limit (frames). Policies
+    /// enforce it via slow-tier reclamation (see `chrono-core`); the system
+    /// only does the accounting.
+    pub fn set_memory_limit(&mut self, pid: ProcessId, frames: Option<u32>) {
+        self.procs[pid.0 as usize].memory_limit = frames;
+    }
+
+    /// Frames the process is over its memory limit, zero if unconfined.
+    pub fn over_limit_frames(&self, pid: ProcessId) -> u32 {
+        let p = &self.procs[pid.0 as usize];
+        match p.memory_limit {
+            Some(limit) => p.resident_frames.saturating_sub(limit),
+            None => 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// All process ids.
+    pub fn pids(&self) -> impl Iterator<Item = ProcessId> {
+        (0..self.procs.len() as u16).map(ProcessId)
+    }
+
+    /// Immutable process access.
+    pub fn process(&self, pid: ProcessId) -> &Process {
+        &self.procs[pid.0 as usize]
+    }
+
+    /// Mutable process access.
+    pub fn process_mut(&mut self, pid: ProcessId) -> &mut Process {
+        &mut self.procs[pid.0 as usize]
+    }
+
+    /// The running process with the smallest virtual time, i.e. the next one
+    /// a fair concurrency model would execute.
+    pub fn min_vtime_process(&self) -> Option<ProcessId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.running)
+            .min_by_key(|(_, p)| p.vtime)
+            .map(|(i, _)| ProcessId(i as u16))
+    }
+
+    /// Largest virtual time across all processes (run makespan).
+    pub fn makespan(&self) -> Nanos {
+        self.procs
+            .iter()
+            .map(|p| p.vtime)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
+
+    /// Free frames in a tier.
+    pub fn free_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].free_frames()
+    }
+
+    /// Used frames in a tier.
+    pub fn used_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].used_frames()
+    }
+
+    /// Total frames in a tier.
+    pub fn total_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].total()
+    }
+
+    /// Charges kernel work: always accounted in [`SystemStats::kernel_time`],
+    /// and also stalls `pid`'s execution when given (work done in its context).
+    pub fn charge_kernel(&mut self, pid: Option<ProcessId>, cost: Nanos) {
+        self.stats.kernel_time += cost;
+        if let Some(pid) = pid {
+            self.procs[pid.0 as usize].vtime += cost;
+        }
+    }
+
+    /// Counts a daemon wake-up as a context switch (Fig 8 accounting).
+    pub fn count_daemon_wakeup(&mut self) {
+        self.stats.context_switches += 1;
+    }
+
+    /// Executes one memory access of `pid` to `vpn`.
+    ///
+    /// Handles demand paging, `PROT_NONE` hint faults (clearing the bit and
+    /// reporting so the driver can invoke the policy's fault hook), accessed/
+    /// dirty bit setting, latency charging, and statistics. The process's
+    /// virtual time advances by the returned latency.
+    pub fn access(&mut self, pid: ProcessId, vpn: Vpn, write: bool) -> AccessResult {
+        let now = self.procs[pid.0 as usize].vtime;
+        let mut latency = self.cfg.cost.cpu_op;
+        let mut hint_fault = false;
+        let mut demand_fault = false;
+        let mut probed_fault = false;
+
+        let pte_vpn = self.procs[pid.0 as usize].space.pte_page(vpn);
+        let present = self.procs[pid.0 as usize].space.entry(pte_vpn).present();
+
+        if !present {
+            let swapped = self.procs[pid.0 as usize]
+                .space
+                .entry(pte_vpn)
+                .flags
+                .has(PageFlags::SWAPPED);
+            self.demand_map(pid, pte_vpn);
+            demand_fault = true;
+            if swapped {
+                // Major fault: the page comes back from the swap device.
+                let e = self.procs[pid.0 as usize].space.entry_mut(pte_vpn);
+                e.flags.clear(PageFlags::SWAPPED);
+                latency += self.cfg.swap.fault_latency;
+                self.stats.swap_in_faults += 1;
+                self.stats.kernel_time += self.cfg.swap.fault_latency;
+            } else {
+                latency += self.cfg.cost.demand_fault;
+                self.stats.demand_faults += 1;
+                self.stats.kernel_time += self.cfg.cost.demand_fault;
+            }
+            self.stats.context_switches += 1;
+        }
+
+        let proc = &mut self.procs[pid.0 as usize];
+        let entry = proc.space.entry_mut(pte_vpn);
+        if entry.flags.has(PageFlags::PROT_NONE) {
+            entry.flags.clear(PageFlags::PROT_NONE);
+            probed_fault = entry.flags.has(PageFlags::PROBED);
+            hint_fault = true;
+            latency += self.cfg.cost.hint_fault;
+            self.stats.hint_faults += 1;
+            self.stats.context_switches += 1;
+            self.stats.kernel_time += self.cfg.cost.hint_fault;
+        }
+
+        let entry = self.procs[pid.0 as usize].space.entry_mut(pte_vpn);
+        entry.flags.set(PageFlags::ACCESSED);
+        if write {
+            entry.flags.set(PageFlags::DIRTY);
+        }
+        let tier = entry.tier();
+        // For huge mappings, also stamp the specific base page's accessed bit
+        // so post-split state is meaningful.
+        if pte_vpn != vpn {
+            let base = self.procs[pid.0 as usize].space.entry_mut(vpn);
+            base.flags.set(PageFlags::ACCESSED);
+            if write {
+                base.flags.set(PageFlags::DIRTY);
+            }
+        }
+
+        let spec = match tier {
+            TierId::Fast => &self.cfg.fast,
+            TierId::Slow => &self.cfg.slow,
+        };
+        let base = if write {
+            spec.write_latency
+        } else {
+            spec.read_latency
+        };
+        let weight = if write { spec.write_weight } else { 1.0 };
+        let mult = self.contention[tier.index()].record(now, weight, spec.access_capacity_ops);
+        latency += base.scale_f64(mult);
+
+        self.stats.count_access(tier, write);
+        self.stats.user_time += latency;
+        let proc = &mut self.procs[pid.0 as usize];
+        proc.vtime += latency;
+        proc.ops += 1;
+
+        AccessResult {
+            latency,
+            tier,
+            hint_fault,
+            demand_fault,
+            probed_fault,
+            fault_time: now,
+        }
+    }
+
+    /// Demand-maps the mapping unit containing `pte_vpn` (a PTE page: base
+    /// page or huge head). Allocation prefers the fast tier while its free
+    /// frames stay above the `high` watermark — the kernel's top-tier-first
+    /// placement — and spills to the slow tier otherwise.
+    fn demand_map(&mut self, pid: ProcessId, pte_vpn: Vpn) {
+        let huge = self.procs[pid.0 as usize].space.is_huge_mapped(pte_vpn);
+        let unit = if huge { HUGE_2M_PAGES } else { 1 };
+
+        let tier = self.pick_alloc_tier(unit);
+        let head = if huge { pte_vpn.huge_head() } else { pte_vpn };
+        for off in 0..unit {
+            let v = Vpn(head.0 + off);
+            let owner = FrameOwner { pid, vpn: v };
+            let pfn = self.frames[tier.index()]
+                .alloc(owner)
+                .expect("pick_alloc_tier guaranteed space");
+            let e = self.procs[pid.0 as usize].space.entry_mut(v);
+            e.pfn = pfn;
+            e.flags.set_tier(tier);
+        }
+        let e = self.procs[pid.0 as usize].space.entry_mut(head);
+        e.flags.set(PageFlags::PRESENT);
+        if huge {
+            e.flags.set(PageFlags::HUGE_HEAD);
+        }
+        self.procs[pid.0 as usize].resident_frames += unit;
+        self.lru_insert(pid, head, LruKind::Active);
+    }
+
+    /// Writes the mapping unit containing `vpn` out to the swap device and
+    /// frees its frames — slow-tier reclamation under memory pressure
+    /// (Section 3.3.1). The next access takes a major fault.
+    pub fn swap_out(&mut self, pid: ProcessId, vpn: Vpn) -> Result<u32, MigrateError> {
+        let space = &self.procs[pid.0 as usize].space;
+        let head = space.pte_page(vpn);
+        if !space.entry(head).present() {
+            return Err(MigrateError::NotPresent);
+        }
+        let huge = space.is_huge_mapped(head);
+        let unit = if huge { HUGE_2M_PAGES } else { 1 };
+        let head = if huge { head.huge_head() } else { head };
+        let tier = self.procs[pid.0 as usize].space.entry(head).tier();
+        for off in 0..unit {
+            let v = Vpn(head.0 + off);
+            let e = self.procs[pid.0 as usize].space.entry_mut(v);
+            let pfn = e.pfn;
+            e.pfn = crate::addr::Pfn::NONE;
+            self.frames[tier.index()].free(pfn);
+        }
+        let e = self.procs[pid.0 as usize].space.entry_mut(head);
+        e.flags.clear(
+            PageFlags::PRESENT
+                | PageFlags::PROT_NONE
+                | PageFlags::ACCESSED
+                | PageFlags::DIRTY
+                | PageFlags::PROBED
+                | PageFlags::DEMOTED
+                | PageFlags::CANDIDATE,
+        );
+        e.flags.set(PageFlags::SWAPPED);
+        self.lru_remove(pid, head);
+        self.procs[pid.0 as usize].resident_frames -= unit;
+        self.stats.swapped_out_pages += unit as u64;
+        self.stats.kernel_time += self.cfg.swap.writeback_per_page.scale(unit as u64);
+        Ok(unit)
+    }
+
+    /// Picks the allocation tier for `unit` frames: fast while above the high
+    /// watermark, otherwise slow, otherwise whichever has room.
+    fn pick_alloc_tier(&self, unit: u32) -> TierId {
+        let fast_free = self.free_frames(TierId::Fast);
+        let slow_free = self.free_frames(TierId::Slow);
+        if fast_free >= unit + self.watermarks.high {
+            TierId::Fast
+        } else if slow_free >= unit {
+            TierId::Slow
+        } else if fast_free >= unit {
+            TierId::Fast
+        } else {
+            panic!(
+                "out of memory: need {} frames, fast free {}, slow free {}",
+                unit, fast_free, slow_free
+            );
+        }
+    }
+
+    // ----- LRU maintenance -------------------------------------------------
+
+    /// Inserts a PTE page at the tail of the given list of its current tier.
+    pub fn lru_insert(&mut self, pid: ProcessId, vpn: Vpn, kind: LruKind) {
+        let e = self.procs[pid.0 as usize].space.entry_mut(vpn);
+        e.bump_lru_stamp();
+        match kind {
+            LruKind::Active => e.flags.set(PageFlags::LRU_ACTIVE),
+            LruKind::Inactive => e.flags.clear(PageFlags::LRU_ACTIVE),
+        }
+        let entry = LruEntry {
+            pid,
+            vpn,
+            stamp: e.lru_stamp,
+        };
+        let tier = e.tier();
+        self.lru[tier.index()].push(kind, entry);
+    }
+
+    /// Detaches a page from whatever list it sits on (lazy: stamps invalidate).
+    pub fn lru_remove(&mut self, pid: ProcessId, vpn: Vpn) {
+        self.procs[pid.0 as usize]
+            .space
+            .entry_mut(vpn)
+            .bump_lru_stamp();
+    }
+
+    fn lru_entry_live(&self, e: LruEntry, expected_tier: TierId) -> bool {
+        let p = &self.procs[e.pid.0 as usize];
+        let ent = p.space.entry(e.vpn);
+        ent.present() && ent.lru_stamp == e.stamp && ent.tier() == expected_tier
+    }
+
+    /// Moves up to `budget` pages from the head of the active list: pages
+    /// with the accessed bit set are rotated back (bit cleared); idle pages
+    /// move to the inactive tail. This is the kernel's `shrink_active_list`
+    /// in miniature. Returns pages deactivated. Charges scan cost.
+    pub fn age_active_list(&mut self, tier: TierId, budget: u32) -> u32 {
+        let mut deactivated = 0;
+        let mut visited = 0;
+        let limit = self.lru[tier.index()].queued(LruKind::Active);
+        let mut scan_cost = 0u64;
+        while visited < budget as usize && visited < limit {
+            let Some(entry) = self.lru[tier.index()].pop(LruKind::Active) else {
+                break;
+            };
+            if !self.lru_entry_live(entry, tier) {
+                continue;
+            }
+            visited += 1;
+            scan_cost += 1;
+            let e = self.procs[entry.pid.0 as usize].space.entry_mut(entry.vpn);
+            if e.flags.has(PageFlags::ACCESSED) {
+                e.flags.clear(PageFlags::ACCESSED);
+                self.lru_insert(entry.pid, entry.vpn, LruKind::Active);
+            } else {
+                self.lru_insert(entry.pid, entry.vpn, LruKind::Inactive);
+                deactivated += 1;
+            }
+        }
+        self.stats.scanned_ptes += scan_cost;
+        self.stats.kernel_time += self.cfg.cost.scan_pte.scale(scan_cost);
+        deactivated
+    }
+
+    /// Pops a demotion/reclaim candidate from the tier's inactive list.
+    ///
+    /// Referenced pages get a *bounded* second chance (at most
+    /// `SECOND_CHANCE_BUDGET` are re-activated per call); past the budget,
+    /// reclaim proceeds under pressure and takes the next page regardless of
+    /// its accessed bit — mirroring the kernel, where the referenced state
+    /// observed at reclaim time was accumulated over a whole aging period
+    /// (minutes in production), so its effective frequency resolution is one
+    /// bit per period, not per microsecond. Time-driven aging belongs to the
+    /// policies via [`TieredSystem::age_active_list`]; when the inactive
+    /// list runs dry this falls back to the oldest active page.
+    pub fn pop_inactive_victim(&mut self, tier: TierId) -> Option<(ProcessId, Vpn)> {
+        const SECOND_CHANCE_BUDGET: u32 = 2;
+        let mut chances = SECOND_CHANCE_BUDGET;
+        // One bounded pass over the inactive list, then the active fallback.
+        for kind in [LruKind::Inactive, LruKind::Active] {
+            let mut budget = self.lru[tier.index()].queued(kind);
+            while budget > 0 {
+                budget -= 1;
+                let Some(entry) = self.lru[tier.index()].pop(kind) else {
+                    break;
+                };
+                if !self.lru_entry_live(entry, tier) {
+                    continue;
+                }
+                self.stats.scanned_ptes += 1;
+                self.stats.kernel_time += self.cfg.cost.scan_pte;
+                let e = self.procs[entry.pid.0 as usize].space.entry_mut(entry.vpn);
+                if e.flags.has(PageFlags::ACCESSED) && chances > 0 {
+                    chances -= 1;
+                    e.flags.clear(PageFlags::ACCESSED);
+                    self.lru_insert(entry.pid, entry.vpn, LruKind::Active);
+                } else {
+                    e.flags.clear(PageFlags::ACCESSED);
+                    return Some((entry.pid, entry.vpn));
+                }
+            }
+        }
+        None
+    }
+
+    /// Approximate live length of a tier's LRU list (upper bound).
+    pub fn lru_queued(&self, tier: TierId, kind: LruKind) -> usize {
+        self.lru[tier.index()].queued(kind)
+    }
+
+    // ----- Migration -------------------------------------------------------
+
+    /// Migrates the mapping unit containing `vpn` to `to`.
+    ///
+    /// Moves every base page of the unit (512 for an intact huge block),
+    /// charges the copy against the destination tier's migration bandwidth
+    /// plus a fixed remap cost, and maintains LRU membership: promotions land
+    /// on the active list, demotions on the inactive list. Returns the number
+    /// of base pages moved.
+    ///
+    /// Flag handling: `PROT_NONE`, `CANDIDATE` and `PROBED` are cleared (the
+    /// unit is freshly remapped); promotion clears `DEMOTED`. Policy words
+    /// are preserved — their lifecycle belongs to the policy.
+    pub fn migrate(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        to: TierId,
+        mode: MigrateMode,
+    ) -> Result<u32, MigrateError> {
+        let space = &self.procs[pid.0 as usize].space;
+        let head = space.pte_page(vpn);
+        let entry = space.entry(head);
+        if !entry.present() {
+            return Err(MigrateError::NotPresent);
+        }
+        let from = entry.tier();
+        if from == to {
+            return Err(MigrateError::SameTier);
+        }
+        let huge = space.is_huge_mapped(head);
+        let unit = if huge { HUGE_2M_PAGES } else { 1 };
+        if self.free_frames(to) < unit {
+            self.stats.failed_promotions += u64::from(to == TierId::Fast);
+            return Err(MigrateError::NoSpace);
+        }
+
+        let head = if huge { head.huge_head() } else { head };
+        for off in 0..unit {
+            let v = Vpn(head.0 + off);
+            let old_pfn = self.procs[pid.0 as usize].space.entry(v).pfn;
+            debug_assert!(!old_pfn.is_none(), "present unit had unmapped tail page");
+            let owner = FrameOwner { pid, vpn: v };
+            let new_pfn = self.frames[to.index()]
+                .alloc(owner)
+                .expect("free_frames checked above");
+            self.frames[from.index()].free(old_pfn);
+            let e = self.procs[pid.0 as usize].space.entry_mut(v);
+            e.pfn = new_pfn;
+            e.flags.set_tier(to);
+        }
+
+        let e = self.procs[pid.0 as usize].space.entry_mut(head);
+        e.flags
+            .clear(PageFlags::PROT_NONE | PageFlags::CANDIDATE | PageFlags::PROBED);
+        if to == TierId::Fast {
+            e.flags.clear(PageFlags::DEMOTED);
+        }
+
+        // LRU: leave the old tier's lists, join the new tier's.
+        self.lru_remove(pid, head);
+        let kind = if to == TierId::Fast {
+            LruKind::Active
+        } else {
+            LruKind::Inactive
+        };
+        self.lru_insert(pid, head, kind);
+
+        // Costs: copy time over the slower of the two tiers' migration
+        // bandwidth, plus a fixed remap cost per unit.
+        let dest_spec = match to {
+            TierId::Fast => &self.cfg.fast,
+            TierId::Slow => &self.cfg.slow,
+        };
+        let src_spec = match from {
+            TierId::Fast => &self.cfg.fast,
+            TierId::Slow => &self.cfg.slow,
+        };
+        let bw_time = dest_spec
+            .transfer_time(unit as u64)
+            .max(src_spec.transfer_time(unit as u64));
+        let cost = bw_time + self.cfg.cost.migrate_fixed;
+        match mode {
+            MigrateMode::Sync(waiter) => {
+                self.charge_kernel(Some(waiter), cost);
+            }
+            MigrateMode::Async => {
+                self.stats.kernel_time += cost;
+                let start = self.migration_busy_until.max(self.clock.now());
+                self.migration_busy_until = start + cost;
+            }
+        }
+
+        if to == TierId::Fast {
+            self.stats.promoted_pages += unit as u64;
+        } else {
+            self.stats.demoted_pages += unit as u64;
+        }
+        self.stats.migration_bytes += unit as u64 * BASE_PAGE_BYTES;
+        Ok(unit)
+    }
+
+    /// Promotes a unit to the fast tier, demoting inactive victims first if
+    /// the fast tier lacks space. Victim demotions are charged in the same
+    /// mode. Returns pages promoted.
+    pub fn promote_with_reclaim(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        mode: MigrateMode,
+    ) -> Result<u32, MigrateError> {
+        let space = &self.procs[pid.0 as usize].space;
+        let head = space.pte_page(vpn);
+        if !space.entry(head).present() {
+            return Err(MigrateError::NotPresent);
+        }
+        if space.entry(head).tier() == TierId::Fast {
+            return Err(MigrateError::SameTier);
+        }
+        let unit = if space.is_huge_mapped(head) {
+            HUGE_2M_PAGES
+        } else {
+            1
+        };
+        // Demote until there's room, bounded to avoid pathological loops when
+        // the inactive list is all-hot.
+        let mut attempts = 0;
+        while self.free_frames(TierId::Fast) < unit && attempts < 4 * unit {
+            attempts += 1;
+            match self.pop_inactive_victim(TierId::Fast) {
+                Some((vp, vv)) => {
+                    // The victim may itself be huge; its demotion frees ≥1 frame.
+                    let _ = self.migrate(vp, vv, TierId::Slow, mode);
+                }
+                None => break,
+            }
+        }
+        self.migrate(pid, vpn, TierId::Fast, mode)
+    }
+
+    /// Outstanding async migration backlog relative to the global clock.
+    pub fn migration_backlog(&self) -> Nanos {
+        self.migration_busy_until.saturating_sub(self.clock.now())
+    }
+
+    /// Schedules a policy event `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Nanos, token: u64) {
+        let at = self.clock.now() + delay;
+        self.events.schedule(at, token);
+    }
+
+    /// Charges the cost of visiting `n` PTEs during a scan to `pid` (the scan
+    /// runs in task context, as `task_numa_work` does) and counts them.
+    pub fn charge_scan(&mut self, pid: ProcessId, n: u64) {
+        self.stats.scanned_ptes += n;
+        let cost = self.cfg.cost.scan_pte.scale(n);
+        self.charge_kernel(Some(pid), cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sys() -> TieredSystem {
+        // 64 fast + 192 slow frames; watermarks floor at min=4/low=6/high=8.
+        TieredSystem::new(SystemConfig::dram_pmem(64, 192))
+    }
+
+    #[test]
+    fn first_touch_fills_fast_then_slow() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // Fast tier keeps `high`=8 frames free; 56 pages land fast, 72 slow.
+        let [fast, slow] = sys.process(pid).space.resident_pages();
+        assert_eq!(fast, 56);
+        assert_eq!(slow, 72);
+        assert_eq!(sys.stats.demand_faults, 128);
+    }
+
+    #[test]
+    fn access_latency_reflects_tier() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        let r1 = sys.access(pid, Vpn(0), false);
+        assert_eq!(r1.tier, TierId::Fast);
+        assert!(r1.demand_fault);
+        let r2 = sys.access(pid, Vpn(0), false);
+        assert!(!r2.demand_fault);
+        assert!(r2.latency < r1.latency);
+        // Fast read ≈ cpu_op + 80ns.
+        assert_eq!(r2.latency.as_nanos(), 15 + 80);
+    }
+
+    #[test]
+    fn writes_cost_more_on_slow_tier() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let read = sys.access(pid, Vpn(100), false);
+        let write = sys.access(pid, Vpn(100), true);
+        assert_eq!(read.tier, TierId::Slow);
+        assert!(write.latency > read.latency);
+    }
+
+    #[test]
+    fn prot_none_faults_once_and_clears() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        sys.process_mut(pid)
+            .space
+            .entry_mut(Vpn(0))
+            .flags
+            .set(PageFlags::PROT_NONE);
+        let r = sys.access(pid, Vpn(0), false);
+        assert!(r.hint_fault);
+        let r2 = sys.access(pid, Vpn(0), false);
+        assert!(!r2.hint_fault);
+        assert_eq!(sys.stats.hint_faults, 1);
+    }
+
+    #[test]
+    fn probed_flag_reported_on_fault() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        sys.access(pid, Vpn(1), false);
+        let e = sys.process_mut(pid).space.entry_mut(Vpn(1));
+        e.flags.set(PageFlags::PROT_NONE | PageFlags::PROBED);
+        let r = sys.access(pid, Vpn(1), false);
+        assert!(r.hint_fault);
+        assert!(r.probed_fault);
+    }
+
+    #[test]
+    fn migrate_moves_frames_between_tiers() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let slow_used_before = sys.used_frames(TierId::Slow);
+        let moved = sys
+            .migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(moved, 1);
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Fast);
+        assert_eq!(sys.used_frames(TierId::Slow), slow_used_before - 1);
+        assert_eq!(sys.stats.promoted_pages, 1);
+        assert_eq!(sys.stats.migration_bytes, 4096);
+    }
+
+    #[test]
+    fn migrate_same_tier_rejected() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        assert_eq!(
+            sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::SameTier)
+        );
+    }
+
+    #[test]
+    fn migrate_unmapped_rejected() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        assert_eq!(
+            sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::NotPresent)
+        );
+    }
+
+    #[test]
+    fn sync_migration_stalls_the_waiter() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let before = sys.process(pid).vtime;
+        sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Sync(pid))
+            .unwrap();
+        assert!(sys.process(pid).vtime > before);
+    }
+
+    #[test]
+    fn async_migration_builds_backlog_not_stall() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let before = sys.process(pid).vtime;
+        sys.migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(sys.process(pid).vtime, before);
+        assert!(sys.migration_backlog() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn promote_with_reclaim_demotes_victims() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // Fast tier is at watermark; fill it completely by promoting until
+        // free, forcing reclaim of cold fast pages.
+        // First exhaust free frames.
+        let mut v = 60;
+        while sys.free_frames(TierId::Fast) > 0 {
+            let _ = sys.migrate(pid, Vpn(v), TierId::Fast, MigrateMode::Async);
+            v += 1;
+        }
+        let demoted_before = sys.stats.demoted_pages;
+        let r = sys.promote_with_reclaim(pid, Vpn(v), MigrateMode::Async);
+        assert_eq!(r, Ok(1));
+        assert!(sys.stats.demoted_pages > demoted_before);
+        assert_eq!(sys.process(pid).space.entry(Vpn(v)).tier(), TierId::Fast);
+    }
+
+    #[test]
+    fn pop_inactive_victim_gives_second_chance() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(8, PageSize::Base);
+        for i in 0..8 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // All pages are on the active list with accessed bits set. First they
+        // are aged (bit cleared), then an untouched page becomes a victim.
+        let victim = sys.pop_inactive_victim(TierId::Fast);
+        assert!(victim.is_some());
+        let (_vp, vv) = victim.unwrap();
+        // The victim's accessed bit must be clear (it got no second touch).
+        assert!(!sys
+            .process(pid)
+            .space
+            .entry(vv)
+            .flags
+            .has(PageFlags::ACCESSED));
+    }
+
+    #[test]
+    fn huge_mapping_faults_and_migrates_as_block() {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(2048, 2048));
+        let pid = sys.add_process(1024, PageSize::Huge2M);
+        let r = sys.access(pid, Vpn(700), false);
+        assert!(r.demand_fault);
+        // One demand fault mapped the whole 512-page block.
+        assert_eq!(sys.stats.demand_faults, 1);
+        let [fast, _slow] = sys.process(pid).space.resident_pages();
+        assert_eq!(fast, 512);
+        // Accessing another page of the block does not fault.
+        let r2 = sys.access(pid, Vpn(701), false);
+        assert!(!r2.demand_fault);
+        // Migrating any page of the block moves all 512 pages.
+        let moved = sys
+            .migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(moved, 512);
+        assert_eq!(sys.stats.demoted_pages, 512);
+        assert_eq!(sys.used_frames(TierId::Slow), 512);
+    }
+
+    #[test]
+    fn huge_block_needs_contiguous_space_budget() {
+        // Slow tier too small for a 512-page block: allocation must go fast.
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(1024, 100));
+        let pid = sys.add_process(512, PageSize::Huge2M);
+        sys.access(pid, Vpn(0), false);
+        assert_eq!(sys.process(pid).space.entry(Vpn(0)).tier(), TierId::Fast);
+        assert_eq!(
+            sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async),
+            Err(MigrateError::NoSpace)
+        );
+    }
+
+    #[test]
+    fn min_vtime_scheduling_is_fair() {
+        let mut sys = small_sys();
+        let a = sys.add_process(4, PageSize::Base);
+        let b = sys.add_process(4, PageSize::Base);
+        assert_eq!(sys.min_vtime_process(), Some(a));
+        sys.access(a, Vpn(0), false);
+        assert_eq!(sys.min_vtime_process(), Some(b));
+        sys.process_mut(b).running = false;
+        assert_eq!(sys.min_vtime_process(), Some(a));
+    }
+
+    #[test]
+    fn kernel_charge_accounting() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        sys.charge_kernel(Some(pid), Nanos(500));
+        assert_eq!(sys.stats.kernel_time, Nanos(500));
+        assert_eq!(sys.process(pid).vtime, Nanos(500));
+        sys.charge_kernel(None, Nanos(100));
+        assert_eq!(sys.stats.kernel_time, Nanos(600));
+        assert_eq!(sys.process(pid).vtime, Nanos(500));
+    }
+
+    #[test]
+    fn swap_out_and_major_fault_round_trip() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(16, PageSize::Base);
+        sys.access(pid, Vpn(3), true);
+        assert_eq!(sys.process(pid).resident_frames, 1);
+        let freed = sys.swap_out(pid, Vpn(3)).unwrap();
+        assert_eq!(freed, 1);
+        assert_eq!(sys.process(pid).resident_frames, 0);
+        assert!(!sys.process(pid).space.entry(Vpn(3)).present());
+        assert!(sys
+            .process(pid)
+            .space
+            .entry(Vpn(3))
+            .flags
+            .has(PageFlags::SWAPPED));
+        assert_eq!(sys.stats.swapped_out_pages, 1);
+        // Next access is a major fault, slower than a demand fault.
+        let demand_latency = {
+            let mut s2 = small_sys();
+            let p2 = s2.add_process(4, PageSize::Base);
+            s2.access(p2, Vpn(0), false).latency
+        };
+        let r = sys.access(pid, Vpn(3), false);
+        assert!(r.demand_fault);
+        assert_eq!(sys.stats.swap_in_faults, 1);
+        assert!(r.latency > demand_latency);
+        assert!(sys.process(pid).space.entry(Vpn(3)).present());
+        assert!(!sys
+            .process(pid)
+            .space
+            .entry(Vpn(3))
+            .flags
+            .has(PageFlags::SWAPPED));
+    }
+
+    #[test]
+    fn swap_out_unmapped_fails() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        assert_eq!(sys.swap_out(pid, Vpn(0)), Err(MigrateError::NotPresent));
+    }
+
+    #[test]
+    fn memory_limit_accounting() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(64, PageSize::Base);
+        sys.set_memory_limit(pid, Some(10));
+        for i in 0..20 {
+            sys.access(pid, Vpn(i), false);
+        }
+        assert_eq!(sys.over_limit_frames(pid), 10);
+        for i in 0..10 {
+            sys.swap_out(pid, Vpn(i)).unwrap();
+        }
+        assert_eq!(sys.over_limit_frames(pid), 0);
+        sys.set_memory_limit(pid, None);
+        assert_eq!(sys.over_limit_frames(pid), 0);
+    }
+
+    #[test]
+    fn huge_swap_moves_whole_block() {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(2048, 2048));
+        let pid = sys.add_process(1024, PageSize::Huge2M);
+        sys.access(pid, Vpn(100), false);
+        assert_eq!(sys.process(pid).resident_frames, 512);
+        let freed = sys.swap_out(pid, Vpn(100)).unwrap();
+        assert_eq!(freed, 512);
+        assert_eq!(sys.stats.swapped_out_pages, 512);
+        let r = sys.access(pid, Vpn(100), false);
+        assert!(r.demand_fault);
+        assert_eq!(sys.stats.swap_in_faults, 1);
+        assert_eq!(sys.process(pid).resident_frames, 512);
+    }
+
+    #[test]
+    fn stats_track_tier_split() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // 56 fast + 72 slow demand accesses.
+        assert_eq!(sys.stats.reads[TierId::Fast.index()], 56);
+        assert_eq!(sys.stats.reads[TierId::Slow.index()], 72);
+        let fmar = sys.stats.fmar();
+        assert!((fmar - 56.0 / 128.0).abs() < 1e-12);
+    }
+}

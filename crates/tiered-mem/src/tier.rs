@@ -1,0 +1,158 @@
+//! Memory tiers and their performance characteristics.
+
+use sim_clock::Nanos;
+
+use crate::addr::BASE_PAGE_BYTES;
+
+/// The two memory tiers of the fast-slow architecture studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TierId {
+    /// DRAM: low latency, small capacity.
+    Fast,
+    /// NVM / CXL memory: higher latency (with write asymmetry for Optane-like
+    /// devices), large capacity, exposed as a CPU-less NUMA node.
+    Slow,
+}
+
+impl TierId {
+    /// The other tier.
+    pub fn other(self) -> TierId {
+        match self {
+            TierId::Fast => TierId::Slow,
+            TierId::Slow => TierId::Fast,
+        }
+    }
+
+    /// Dense index for per-tier arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TierId::Fast => 0,
+            TierId::Slow => 1,
+        }
+    }
+
+    /// Both tiers, fast first.
+    pub const ALL: [TierId; 2] = [TierId::Fast, TierId::Slow];
+}
+
+/// Performance and capacity specification of one tier.
+///
+/// Defaults model the paper's testbed: DDR4 DRAM (~80 ns loads) and Intel
+/// Optane PMem in a CPU-less NUMA node (~200 ns loads, markedly slower
+/// stores — the asymmetry behind Chrono's larger wins on write-heavy
+/// workloads in Fig 6).
+#[derive(Debug, Clone)]
+pub struct TierSpec {
+    /// Capacity in base-page frames.
+    pub frames: u32,
+    /// Unloaded latency of a load served by this tier.
+    pub read_latency: Nanos,
+    /// Unloaded latency of a store served by this tier.
+    pub write_latency: Nanos,
+    /// Sustained bandwidth available for page migration, bytes/second.
+    pub migration_bandwidth: u64,
+    /// Random-access service capacity in operations/second; beyond ~70 %
+    /// utilization, queueing inflates latency (Optane's on-DIMM buffering
+    /// collapses under random traffic — the saturation behaviour
+    /// characterized by Xiang et al. [82] that the paper's workloads hit).
+    pub access_capacity_ops: u64,
+    /// Device occupancy of a store relative to a load (Optane writes consume
+    /// ~2.5× the device time of reads).
+    pub write_weight: f64,
+}
+
+impl TierSpec {
+    /// DRAM-like tier with the given frame count.
+    pub fn dram(frames: u32) -> TierSpec {
+        TierSpec {
+            frames,
+            read_latency: Nanos(80),
+            write_latency: Nanos(90),
+            migration_bandwidth: 10 * 1024 * 1024 * 1024, // 10 GiB/s
+            access_capacity_ops: 400_000_000,
+            write_weight: 1.0,
+        }
+    }
+
+    /// Optane-PMem-like tier with the given frame count.
+    pub fn pmem(frames: u32) -> TierSpec {
+        TierSpec {
+            frames,
+            read_latency: Nanos(250),
+            write_latency: Nanos(450),
+            migration_bandwidth: 4 * 1024 * 1024 * 1024, // 4 GiB/s
+            access_capacity_ops: 20_000_000,
+            write_weight: 2.5,
+        }
+    }
+
+    /// CXL-attached-DRAM-like tier (symmetric, ~200 ns) with the given frames.
+    pub fn cxl(frames: u32) -> TierSpec {
+        TierSpec {
+            frames,
+            read_latency: Nanos(200),
+            write_latency: Nanos(220),
+            migration_bandwidth: 8 * 1024 * 1024 * 1024,
+            access_capacity_ops: 120_000_000,
+            write_weight: 1.2,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.frames as u64 * BASE_PAGE_BYTES
+    }
+
+    /// Time to copy `pages` base pages over this tier's migration bandwidth.
+    pub fn transfer_time(&self, pages: u64) -> Nanos {
+        let bytes = pages * BASE_PAGE_BYTES;
+        Nanos(bytes.saturating_mul(1_000_000_000) / self.migration_bandwidth.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_flips() {
+        assert_eq!(TierId::Fast.other(), TierId::Slow);
+        assert_eq!(TierId::Slow.other(), TierId::Fast);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        assert_eq!(TierId::Fast.index(), 0);
+        assert_eq!(TierId::Slow.index(), 1);
+    }
+
+    #[test]
+    fn pmem_has_write_asymmetry() {
+        let t = TierSpec::pmem(1024);
+        assert!(t.write_latency > t.read_latency);
+    }
+
+    #[test]
+    fn dram_is_faster_than_pmem() {
+        let d = TierSpec::dram(1024);
+        let p = TierSpec::pmem(1024);
+        assert!(d.read_latency < p.read_latency);
+        assert!(d.write_latency < p.write_latency);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_pages() {
+        let t = TierSpec::dram(1024);
+        let one = t.transfer_time(1);
+        let many = t.transfer_time(512);
+        let ratio = many.as_nanos() as f64 / one.as_nanos() as f64;
+        assert!((ratio - 512.0).abs() / 512.0 < 0.01, "ratio was {}", ratio);
+        // 4 KiB over 10 GiB/s ≈ 381 ns.
+        assert!(one.as_nanos() > 300 && one.as_nanos() < 500, "{:?}", one);
+    }
+
+    #[test]
+    fn capacity_in_bytes() {
+        assert_eq!(TierSpec::dram(256).bytes(), 256 * 4096);
+    }
+}

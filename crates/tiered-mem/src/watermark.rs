@@ -1,0 +1,109 @@
+//! Memory watermarks, including Chrono's promotion-aware `pro` watermark.
+//!
+//! Linux tracks `min < low < high` free-page watermarks per zone; reclaim is
+//! triggered when free memory falls below `low` and runs until `high`. The
+//! paper adds a fourth, `pro`, *above* `high`: proactive demotion frees
+//! fast-tier pages until `pro` so that promotions always find headroom. The
+//! `high→pro` gap is sized as *twice the scan interval times the promotion
+//! rate limit* (Section 3.3.1).
+
+use sim_clock::Nanos;
+
+use crate::addr::BASE_PAGE_BYTES;
+
+/// Free-frame watermarks for one tier, in frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Absolute floor; allocations below this fail over to the other tier.
+    pub min: u32,
+    /// Reclaim wake-up level.
+    pub low: u32,
+    /// Reclaim target level.
+    pub high: u32,
+    /// Chrono's promotion-aware target; `pro >= high`.
+    pub pro: u32,
+}
+
+impl Watermarks {
+    /// Linux-like defaults scaled to the tier size: `min` = 0.4 %,
+    /// `low` = 0.5 %, `high` = 0.6 % of frames (with small floors so tiny
+    /// test tiers still behave), `pro` initially equal to `high`.
+    pub fn scaled_to(frames: u32) -> Watermarks {
+        let pct = |p: u32| -> u32 { ((frames as u64 * p as u64) / 1000) as u32 };
+        let min = pct(4).max(4);
+        let low = pct(5).max(6);
+        let high = pct(6).max(8);
+        Watermarks {
+            min,
+            low,
+            high,
+            pro: high,
+        }
+    }
+
+    /// Recomputes `pro` per the paper: `high + 2 × scan_interval × rate_limit`
+    /// (rate limit in bytes/second, converted to frames), clamped so at most
+    /// a quarter of the tier is kept free — the paper's own gap (2 × 60 s ×
+    /// 100 MB/s = 12 GB of 64 GB DRAM ≈ 19 %) sits under this bound, and a
+    /// pathological rate limit must not evict the tier.
+    pub fn retune_pro(
+        &mut self,
+        total_frames: u32,
+        scan_interval: Nanos,
+        rate_limit_bytes_per_sec: u64,
+    ) {
+        let window_secs = 2.0 * scan_interval.as_secs_f64();
+        let bytes = rate_limit_bytes_per_sec as f64 * window_secs;
+        let frames = (bytes / BASE_PAGE_BYTES as f64).ceil() as u32;
+        self.pro = self
+            .high
+            .saturating_add(frames)
+            .min(total_frames / 4)
+            .max(self.high);
+    }
+
+    /// Checks the invariant `min <= low <= high <= pro`.
+    pub fn well_ordered(&self) -> bool {
+        self.min <= self.low && self.low <= self.high && self.high <= self.pro
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_defaults_are_ordered() {
+        for frames in [16u32, 1024, 65_536, 1 << 22] {
+            let w = Watermarks::scaled_to(frames);
+            assert!(w.well_ordered(), "{:?} for {} frames", w, frames);
+        }
+    }
+
+    #[test]
+    fn retune_pro_uses_rate_window() {
+        let mut w = Watermarks::scaled_to(65_536);
+        let high = w.high;
+        // 100 MB/s for 2×1 s = 200 MB = 51200 pages.
+        w.retune_pro(65_536, Nanos::from_secs(1), 100 * 1024 * 1024);
+        assert!(w.pro > high);
+        assert!(w.well_ordered());
+        // Clamped to a quarter of the tier.
+        assert!(w.pro <= 65_536 / 4);
+    }
+
+    #[test]
+    fn retune_pro_never_drops_below_high() {
+        let mut w = Watermarks::scaled_to(65_536);
+        w.retune_pro(65_536, Nanos::from_millis(1), 0);
+        assert_eq!(w.pro, w.high);
+    }
+
+    #[test]
+    fn huge_rate_limit_is_clamped() {
+        let mut w = Watermarks::scaled_to(1024);
+        w.retune_pro(1024, Nanos::from_secs(60), u64::MAX / 4);
+        assert_eq!(w.pro, 256);
+        assert!(w.well_ordered());
+    }
+}

@@ -1,0 +1,155 @@
+//! Hot-page identification scoring: F1 and page promotion ratio (Fig 2a).
+//!
+//! Following Section 2.4: ground-truth positives are pages in the workload's
+//! hot region; predicted positives are the pages a policy placed in the fast
+//! tier. The page promotion ratio (PPR) is promoted pages over accessed
+//! slow-tier pages — an ideal policy has high F1 *and* low PPR.
+
+/// Raw confusion-matrix counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// Hot pages placed in the fast tier.
+    pub true_positive: u64,
+    /// Cold pages placed in the fast tier.
+    pub false_positive: u64,
+    /// Hot pages left in the slow tier.
+    pub false_negative: u64,
+    /// Cold pages left in the slow tier.
+    pub true_negative: u64,
+}
+
+impl ConfusionCounts {
+    /// Tallies one page.
+    pub fn tally(&mut self, actually_hot: bool, predicted_hot: bool) {
+        match (actually_hot, predicted_hot) {
+            (true, true) => self.true_positive += 1,
+            (false, true) => self.false_positive += 1,
+            (true, false) => self.false_negative += 1,
+            (false, false) => self.true_negative += 1,
+        }
+    }
+
+    /// Precision: TP / (TP + FP); zero when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positive + self.false_positive;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN); zero when there are no actual positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positive + self.false_negative;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_positive as f64 / denom as f64
+        }
+    }
+
+    /// F1: harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// A complete classification result for one policy run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Classification {
+    /// Confusion counts over all pages.
+    pub counts: ConfusionCounts,
+    /// Total pages promoted to the fast tier during the run.
+    pub promoted_pages: u64,
+    /// Distinct slow-tier pages that were accessed during the run.
+    pub accessed_slow_pages: u64,
+}
+
+impl Classification {
+    /// Page promotion ratio: promotions per accessed slow-tier page. Values
+    /// above 1 mean pages were promoted repeatedly (thrashing-prone).
+    pub fn ppr(&self) -> f64 {
+        if self.accessed_slow_pages == 0 {
+            0.0
+        } else {
+            self.promoted_pages as f64 / self.accessed_slow_pages as f64
+        }
+    }
+
+    /// F1-score convenience.
+    pub fn f1(&self) -> f64 {
+        self.counts.f1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let mut c = ConfusionCounts::default();
+        for _ in 0..10 {
+            c.tally(true, true);
+        }
+        for _ in 0..90 {
+            c.tally(false, false);
+        }
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong_classifier() {
+        let mut c = ConfusionCounts::default();
+        c.tally(true, false);
+        c.tally(false, true);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn partial_scores() {
+        // 8 TP, 2 FP, 2 FN: precision 0.8, recall 0.8, F1 0.8.
+        let c = ConfusionCounts {
+            true_positive: 8,
+            false_positive: 2,
+            false_negative: 2,
+            true_negative: 88,
+        };
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 0.8).abs() < 1e-12);
+        assert!((c.f1() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_do_not_divide_by_zero() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn ppr_counts_repeat_promotions() {
+        let c = Classification {
+            counts: ConfusionCounts::default(),
+            promoted_pages: 150,
+            accessed_slow_pages: 100,
+        };
+        assert!((c.ppr() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ppr_zero_when_nothing_accessed() {
+        let c = Classification::default();
+        assert_eq!(c.ppr(), 0.0);
+    }
+}

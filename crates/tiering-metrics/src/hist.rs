@@ -1,0 +1,224 @@
+//! Log-bucketed latency histograms.
+//!
+//! Latencies span ~15 ns (cache-warm fast-tier loads) to tens of
+//! microseconds (hint faults with synchronous migration), so the histogram
+//! uses logarithmic buckets: 64 per power of two, giving ≈1.1 % relative
+//! resolution — more than enough to reproduce the paper's average/median/P99
+//! comparisons while staying O(1) per sample and fixed-size.
+
+use sim_clock::Nanos;
+
+/// Sub-buckets per power of two.
+const SUBBUCKETS: usize = 64;
+/// Number of powers of two covered (2^0 .. 2^40 ns ≈ 18 minutes).
+const POWERS: usize = 40;
+
+/// A fixed-size log-scale histogram of nanosecond latencies.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: vec![0; SUBBUCKETS * POWERS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        let ns = ns.max(1);
+        let pow = 63 - ns.leading_zeros() as usize; // floor(log2)
+        let pow = pow.min(POWERS - 1);
+        let base = 1u64 << pow;
+        // Position within the power-of-two range, scaled to SUBBUCKETS.
+        let frac = ((ns - base) as u128 * SUBBUCKETS as u128 / base as u128) as usize;
+        pow * SUBBUCKETS + frac.min(SUBBUCKETS - 1)
+    }
+
+    fn bucket_lower_bound(idx: usize) -> u64 {
+        let pow = idx / SUBBUCKETS;
+        let frac = idx % SUBBUCKETS;
+        let base = 1u64 << pow;
+        base + (base as u128 * frac as u128 / SUBBUCKETS as u128) as u64
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Nanos) {
+        let ns = latency.as_nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += ns as u128;
+        self.max = self.max.max(ns);
+        self.min = self.min.min(ns);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        Nanos((self.sum / self.count as u128) as u64)
+    }
+
+    /// The `q`-quantile (0.0–1.0) as the lower bound of the containing
+    /// bucket; `quantile(0.5)` is the median, `quantile(0.99)` the P99.
+    pub fn quantile(&self, q: f64) -> Nanos {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return Nanos::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Nanos(Self::bucket_lower_bound(i).min(self.max).max(self.min));
+            }
+        }
+        Nanos(self.max)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Nanos {
+        Nanos(if self.count == 0 { 0 } else { self.max })
+    }
+
+    /// Cumulative distribution evaluated at a set of latency points — the
+    /// Fig 7a "accumulated percentage" curve.
+    pub fn cdf_at(&self, points: &[Nanos]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|p| {
+                if self.count == 0 {
+                    return 0.0;
+                }
+                let limit = Self::bucket_of(p.as_nanos());
+                let below: u64 = self.buckets[..=limit].iter().sum();
+                below as f64 / self.count as f64
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Nanos::ZERO);
+        assert_eq!(h.quantile(0.5), Nanos::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 200, 300] {
+            h.record(Nanos(ns));
+        }
+        assert_eq!(h.mean(), Nanos(200));
+    }
+
+    #[test]
+    fn quantiles_are_order_of_magnitude_right() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Nanos(i));
+        }
+        let p50 = h.quantile(0.5).as_nanos();
+        let p99 = h.quantile(0.99).as_nanos();
+        assert!((490..=515).contains(&p50), "p50 {}", p50);
+        assert!((960..=1000).contains(&p99), "p99 {}", p99);
+    }
+
+    #[test]
+    fn quantile_respects_bucket_resolution() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(Nanos(1_000_000));
+        }
+        let p99 = h.quantile(0.99).as_nanos();
+        // Within one sub-bucket (≈1.6 %) of the true value.
+        assert!((985_000..=1_000_000).contains(&p99), "p99 {}", p99);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in [50u64, 100, 500, 2000, 2000, 8000] {
+            h.record(Nanos(i));
+        }
+        let pts: Vec<Nanos> = [64u64, 256, 1024, 4096, 16384].map(Nanos).to_vec();
+        let cdf = h.cdf_at(&pts);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(cdf[0] > 0.0);
+        assert!((cdf[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Nanos(100));
+        b.record(Nanos(300));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), Nanos(200));
+        assert_eq!(a.max(), Nanos(300));
+    }
+
+    #[test]
+    fn huge_latencies_saturate_gracefully() {
+        let mut h = LatencyHistogram::new();
+        h.record(Nanos(u64::MAX / 2));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0).as_nanos() > 0);
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! Measurement utilities for the Chrono reproduction's evaluation.
+//!
+//! - [`hist`]: log-bucketed latency histograms with percentile extraction
+//!   (the Fig 7 average/median/P99 statistics and the Fig 7a CDF).
+//! - [`classify`]: hot-page identification scoring — precision, recall,
+//!   F1-score and the page promotion ratio (PPR) of Fig 2a.
+//! - [`series`]: time-series recording for histories like the Fig 9 DRAM
+//!   page percentages and the Fig 10b/10c parameter traces.
+//! - [`table`]: fixed-width plain-text table rendering for harness output.
+
+pub mod classify;
+pub mod hist;
+pub mod series;
+pub mod table;
+
+pub use classify::{Classification, ConfusionCounts};
+pub use hist::LatencyHistogram;
+pub use series::TimeSeries;
+pub use table::Table;

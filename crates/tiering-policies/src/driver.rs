@@ -1,0 +1,333 @@
+//! The generic simulation driver.
+//!
+//! Interleaves workload accesses with policy daemon events on the simulated
+//! timeline: the runnable process with the smallest virtual time executes
+//! next (fair concurrency, each process on its own hardware context, as in
+//! the paper's multi-process runs), and daemon events fire whenever
+//! simulated time passes their deadline.
+
+use std::collections::HashSet;
+
+use sim_clock::Nanos;
+use tiered_mem::{ProcessId, TierId, TieredSystem};
+use tiering_metrics::{LatencyHistogram, TimeSeries};
+use workloads::Workload;
+
+use crate::policy::TieringPolicy;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Stop once simulated time reaches this horizon.
+    pub run_for: Nanos,
+    /// Stop after this many accesses (safety valve; default unbounded).
+    pub max_accesses: u64,
+    /// Record per-process fast-tier page fractions at this interval (Fig 9).
+    pub sample_interval: Option<Nanos>,
+    /// Track the distinct slow-tier pages accessed (PPR denominator, Fig 2a).
+    pub track_slow_accesses: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            run_for: Nanos::from_secs(60),
+            max_accesses: u64::MAX,
+            sample_interval: None,
+            track_slow_accesses: false,
+        }
+    }
+}
+
+impl DriverConfig {
+    /// A driver that runs for the given number of simulated seconds.
+    pub fn for_secs(secs: u64) -> DriverConfig {
+        DriverConfig {
+            run_for: Nanos::from_secs(secs),
+            ..Default::default()
+        }
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Total accesses executed.
+    pub accesses: u64,
+    /// Simulated makespan (max process virtual time).
+    pub makespan: Nanos,
+    /// Access latency distribution (all accesses).
+    pub latency: LatencyHistogram,
+    /// Load latency distribution.
+    pub latency_reads: LatencyHistogram,
+    /// Store latency distribution.
+    pub latency_writes: LatencyHistogram,
+    /// Per-process fast-tier page fraction histories (if sampling enabled).
+    pub fast_fraction_series: Vec<TimeSeries>,
+    /// Distinct slow-tier pages that were accessed (if tracking enabled).
+    pub accessed_slow_pages: u64,
+    /// Whether every workload ran to completion (vs. hitting the horizon).
+    pub workloads_finished: bool,
+}
+
+impl RunResult {
+    /// Throughput in accesses per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.accesses as f64 / secs
+        }
+    }
+}
+
+/// Drives one (system, workloads, policy) triple to completion.
+pub struct SimulationDriver {
+    cfg: DriverConfig,
+}
+
+impl SimulationDriver {
+    /// Creates a driver with the given configuration.
+    pub fn new(cfg: DriverConfig) -> SimulationDriver {
+        SimulationDriver { cfg }
+    }
+
+    /// Runs the simulation. `workloads[i]` feeds the process with pid `i`;
+    /// callers must have created the processes in the same order.
+    pub fn run(
+        &self,
+        sys: &mut TieredSystem,
+        workloads: &mut [Box<dyn Workload>],
+        policy: &mut dyn TieringPolicy,
+    ) -> RunResult {
+        self.run_observed(sys, workloads, policy, |_, _, _, _| {})
+    }
+
+    /// Like [`SimulationDriver::run`], additionally invoking `observer` for
+    /// every access with `(pid, vpn, write, tier served)` — the hook behind
+    /// access-weighted classification scoring (Fig 2a) and the Fig 1
+    /// per-region frequency profiling.
+    pub fn run_observed<F>(
+        &self,
+        sys: &mut TieredSystem,
+        workloads: &mut [Box<dyn Workload>],
+        policy: &mut dyn TieringPolicy,
+        mut observer: F,
+    ) -> RunResult
+    where
+        F: FnMut(ProcessId, tiered_mem::Vpn, bool, TierId),
+    {
+        assert_eq!(
+            workloads.len(),
+            sys.num_processes(),
+            "one workload per process"
+        );
+        policy.init(sys);
+
+        let mut latency = LatencyHistogram::new();
+        let mut latency_reads = LatencyHistogram::new();
+        let mut latency_writes = LatencyHistogram::new();
+        let mut accesses = 0u64;
+        let mut slow_pages: HashSet<u64> = HashSet::new();
+        let mut series: Vec<TimeSeries> = (0..workloads.len())
+            .map(|i| TimeSeries::new(format!("proc{}", i)))
+            .collect();
+        let mut next_sample = self.cfg.sample_interval.unwrap_or(Nanos::MAX);
+
+        loop {
+            let Some(pid) = sys.min_vtime_process() else {
+                break; // every workload finished
+            };
+            let t = sys.process(pid).vtime;
+
+            // Fire daemon events due before this access.
+            while let Some(deadline) = sys.events.next_deadline() {
+                if deadline > t {
+                    break;
+                }
+                let fire_at = deadline.max(sys.clock.now());
+                sys.clock.advance_to(fire_at);
+                let (_, token) = sys
+                    .events
+                    .pop_due(deadline)
+                    .expect("deadline was just peeked");
+                sys.count_daemon_wakeup();
+                policy.on_event(sys, token);
+            }
+            if t > sys.clock.now() {
+                sys.clock.advance_to(t);
+            }
+
+            if t >= self.cfg.run_for || accesses >= self.cfg.max_accesses {
+                break;
+            }
+
+            // Fig 9 style sampling of per-process placement.
+            if sys.clock.now() >= next_sample {
+                let interval = self.cfg.sample_interval.expect("sampling enabled");
+                for (i, s) in series.iter_mut().enumerate() {
+                    let frac = sys
+                        .process(ProcessId(i as u16))
+                        .space
+                        .fast_tier_fraction()
+                        .unwrap_or(0.0);
+                    s.push(sys.clock.now(), frac);
+                }
+                next_sample = sys.clock.now() + interval;
+            }
+
+            let Some(req) = workloads[pid.0 as usize].next_access() else {
+                sys.process_mut(pid).running = false;
+                continue;
+            };
+
+            if req.think > Nanos::ZERO {
+                sys.process_mut(pid).vtime += req.think;
+                sys.stats.user_time += req.think;
+            }
+
+            let res = sys.access(pid, req.vpn, req.write);
+            accesses += 1;
+            latency.record(res.latency);
+            if req.write {
+                latency_writes.record(res.latency);
+            } else {
+                latency_reads.record(res.latency);
+            }
+            observer(pid, req.vpn, req.write, res.tier);
+            if self.cfg.track_slow_accesses && res.tier == TierId::Slow {
+                slow_pages.insert((pid.0 as u64) << 32 | req.vpn.0 as u64);
+            }
+            if res.hint_fault {
+                policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
+            }
+            policy.on_access(sys, pid, req.vpn, req.write);
+        }
+
+        let workloads_finished = sys.pids().all(|p| !sys.process(p).running);
+        RunResult {
+            accesses,
+            makespan: sys.makespan(),
+            latency,
+            latency_reads,
+            latency_writes,
+            fast_fraction_series: series,
+            accessed_slow_pages: slow_pages.len() as u64,
+            workloads_finished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NullPolicy;
+    use tiered_mem::{PageSize, SystemConfig};
+    use workloads::{PmbenchConfig, PmbenchWorkload};
+
+    fn build(pages: u32, n_procs: usize) -> (TieredSystem, Vec<Box<dyn Workload>>) {
+        let mut sys = TieredSystem::new(SystemConfig::quarter_fast(pages * n_procs as u32 * 2));
+        let mut wls: Vec<Box<dyn Workload>> = Vec::new();
+        for i in 0..n_procs {
+            let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, i as u64));
+            sys.add_process(w.address_space_pages(), PageSize::Base);
+            wls.push(Box::new(w));
+        }
+        (sys, wls)
+    }
+
+    #[test]
+    fn run_reaches_horizon() {
+        let (mut sys, mut wls) = build(512, 2);
+        let mut policy = NullPolicy;
+        let driver = SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(10),
+            ..Default::default()
+        });
+        let r = driver.run(&mut sys, &mut wls, &mut policy);
+        assert!(r.accesses > 1000);
+        assert!(r.makespan >= Nanos::from_millis(10));
+        assert!(!r.workloads_finished);
+        assert!(r.throughput() > 0.0);
+    }
+
+    #[test]
+    fn finite_workloads_finish() {
+        let mut sys = TieredSystem::new(SystemConfig::quarter_fast(4096));
+        let mut cfg = PmbenchConfig::paper_skewed(256, 0.5, 1);
+        cfg.total_accesses = 500;
+        let w = PmbenchWorkload::new(cfg);
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = NullPolicy;
+        let r =
+            SimulationDriver::new(DriverConfig::for_secs(100)).run(&mut sys, &mut wls, &mut policy);
+        // 256 sequential-init accesses + 500 measured ones.
+        assert_eq!(r.accesses, 256 + 500);
+        assert!(r.workloads_finished);
+    }
+
+    #[test]
+    fn max_accesses_caps_the_run() {
+        let (mut sys, mut wls) = build(256, 1);
+        let mut policy = NullPolicy;
+        let driver = SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_secs(100),
+            max_accesses: 100,
+            ..Default::default()
+        });
+        let r = driver.run(&mut sys, &mut wls, &mut policy);
+        assert_eq!(r.accesses, 100);
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let (mut sys, mut wls) = build(256, 2);
+        let mut policy = NullPolicy;
+        let driver = SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(50),
+            sample_interval: Some(Nanos::from_millis(10)),
+            ..Default::default()
+        });
+        let r = driver.run(&mut sys, &mut wls, &mut policy);
+        assert_eq!(r.fast_fraction_series.len(), 2);
+        assert!(r.fast_fraction_series[0].len() >= 3);
+    }
+
+    #[test]
+    fn slow_access_tracking() {
+        // Force slow-tier residency: tiny fast tier.
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(32, 4096));
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(1024, 0.5, 3));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = NullPolicy;
+        let driver = SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(20),
+            track_slow_accesses: true,
+            ..Default::default()
+        });
+        let r = driver.run(&mut sys, &mut wls, &mut policy);
+        assert!(r.accessed_slow_pages > 100);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let result = |seed| {
+            let mut sys = TieredSystem::new(SystemConfig::quarter_fast(2048));
+            let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(512, 0.7, seed));
+            sys.add_process(w.address_space_pages(), PageSize::Base);
+            let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+            let mut policy = NullPolicy;
+            let r = SimulationDriver::new(DriverConfig {
+                run_for: Nanos::from_millis(5),
+                ..Default::default()
+            })
+            .run(&mut sys, &mut wls, &mut policy);
+            (r.accesses, r.makespan, sys.stats.fmar().to_bits())
+        };
+        assert_eq!(result(9), result(9));
+        assert_ne!(result(9), result(10));
+    }
+}

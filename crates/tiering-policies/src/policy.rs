@@ -1,0 +1,143 @@
+//! The [`TieringPolicy`] trait and shared policy plumbing.
+
+use sim_clock::Nanos;
+use tiered_mem::{AccessResult, ProcessId, TieredSystem, Vpn};
+
+/// A kernel tiering policy driving page placement on a [`TieredSystem`].
+///
+/// The simulation driver calls the hooks in this order:
+///
+/// 1. [`TieringPolicy::init`] once, to schedule daemon events;
+/// 2. [`TieringPolicy::on_event`] whenever a scheduled event comes due;
+/// 3. [`TieringPolicy::on_hint_fault`] after an access takes a `PROT_NONE`
+///    fault (the policy decides whether to migrate);
+/// 4. [`TieringPolicy::on_access`] after *every* access (for sampling-based
+///    policies; must be cheap).
+pub trait TieringPolicy {
+    /// Short name used in reports ("Linux-NB", "Chrono", ...).
+    fn name(&self) -> &'static str;
+
+    /// Schedules initial daemon events and performs per-process setup.
+    fn init(&mut self, sys: &mut TieredSystem);
+
+    /// Handles a due daemon event carrying a token built by [`encode_token`].
+    fn on_event(&mut self, sys: &mut TieredSystem, token: u64);
+
+    /// Handles a hint fault (`PROT_NONE` cleared by an access of `pid` to
+    /// `vpn`). `res` carries the fault timestamp used by CIT.
+    fn on_hint_fault(
+        &mut self,
+        sys: &mut TieredSystem,
+        pid: ProcessId,
+        vpn: Vpn,
+        write: bool,
+        res: &AccessResult,
+    );
+
+    /// Observes an access (sampling hook). Default: nothing.
+    fn on_access(&mut self, _sys: &mut TieredSystem, _pid: ProcessId, _vpn: Vpn, _write: bool) {}
+}
+
+/// Packs an event token: a policy-defined `kind`, the process it concerns,
+/// and a 32-bit argument.
+pub fn encode_token(kind: u16, pid: u16, arg: u32) -> u64 {
+    (kind as u64) << 48 | (pid as u64) << 32 | arg as u64
+}
+
+/// Unpacks a token produced by [`encode_token`].
+pub fn decode_token(token: u64) -> (u16, u16, u32) {
+    ((token >> 48) as u16, (token >> 32) as u16, token as u32)
+}
+
+/// Per-process scan cursor shared by every NUMA-balancing-derived scanner
+/// (Linux-NB, Auto-Tiering, TPP, Chrono's Ticking-scan).
+///
+/// A full pass over the address space takes one scan period; each scan event
+/// covers `step_pages` and the events are spaced so the pass completes on
+/// time, mirroring `task_numa_work`'s chunked scanning.
+#[derive(Debug, Clone)]
+pub struct ScanCursor {
+    /// Next page to scan.
+    pub cursor: Vpn,
+    /// Pages marked per scan event.
+    pub step_pages: u32,
+    /// Delay between scan events for this process.
+    pub event_interval: Nanos,
+}
+
+impl ScanCursor {
+    /// Builds a cursor for a space of `space_pages`, covering it once per
+    /// `scan_period` in chunks of `step_pages`.
+    pub fn new(space_pages: u32, step_pages: u32, scan_period: Nanos) -> ScanCursor {
+        let step_pages = step_pages.max(1).min(space_pages.max(1));
+        let chunks = space_pages.div_ceil(step_pages).max(1);
+        ScanCursor {
+            cursor: Vpn(0),
+            step_pages,
+            event_interval: scan_period / chunks as u64,
+        }
+    }
+}
+
+/// A policy that never migrates: first-touch placement only. The control
+/// every evaluation needs, and a useful base case in tests.
+#[derive(Debug, Default)]
+pub struct NullPolicy;
+
+impl TieringPolicy for NullPolicy {
+    fn name(&self) -> &'static str {
+        "Static"
+    }
+
+    fn init(&mut self, _sys: &mut TieredSystem) {}
+
+    fn on_event(&mut self, _sys: &mut TieredSystem, _token: u64) {}
+
+    fn on_hint_fault(
+        &mut self,
+        _sys: &mut TieredSystem,
+        _pid: ProcessId,
+        _vpn: Vpn,
+        _write: bool,
+        _res: &AccessResult,
+    ) {
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_roundtrip() {
+        let t = encode_token(7, 42, 0xDEADBEEF);
+        assert_eq!(decode_token(t), (7, 42, 0xDEADBEEF));
+    }
+
+    #[test]
+    fn token_extremes() {
+        let t = encode_token(u16::MAX, u16::MAX, u32::MAX);
+        assert_eq!(decode_token(t), (u16::MAX, u16::MAX, u32::MAX));
+        assert_eq!(decode_token(encode_token(0, 0, 0)), (0, 0, 0));
+    }
+
+    #[test]
+    fn scan_cursor_divides_period() {
+        let c = ScanCursor::new(1000, 100, Nanos::from_secs(10));
+        assert_eq!(c.step_pages, 100);
+        assert_eq!(c.event_interval, Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn scan_cursor_clamps_step_to_space() {
+        let c = ScanCursor::new(50, 1000, Nanos::from_secs(1));
+        assert_eq!(c.step_pages, 50);
+        assert_eq!(c.event_interval, Nanos::from_secs(1));
+    }
+
+    #[test]
+    fn scan_cursor_handles_tiny_space() {
+        let c = ScanCursor::new(0, 64, Nanos::from_secs(1));
+        assert_eq!(c.step_pages, 1);
+    }
+}

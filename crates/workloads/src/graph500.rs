@@ -1,0 +1,482 @@
+//! A Graph500-style graph-search workload (Section 5.2).
+//!
+//! Builds a scale-free graph with deterministic, hash-generated adjacency —
+//! hub vertices (a small fraction of vertex ranks) attract a large share of
+//! edges, as in Graph500's Kronecker generator — and drives BFS or SSSP
+//! kernels over it. The memory layout mirrors a CSR representation:
+//!
+//! ```text
+//! [ vertex offsets | edge array | visited/parent/dist array ]
+//! ```
+//!
+//! Graph search touches the offset page of each frontier vertex, streams its
+//! edge-list pages, and checks/writes the visited entry of every neighbour.
+//! Because degrees follow a continuous power law over ids, the offset/state
+//! pages of low ids are touched ∝ their vertices' degrees — the warm-to-hot
+//! gradient with "mild access frequency difference" that the paper
+//! highlights as hard for coarse-grained measurement to classify.
+
+use std::collections::VecDeque;
+
+use sim_clock::{DetRng, Nanos};
+use tiered_mem::Vpn;
+
+use crate::{AccessReq, Workload};
+
+/// Entries (8-byte words) per 4 KiB page.
+const WORDS_PER_PAGE: u64 = 512;
+/// CPU work per traversed edge.
+const EDGE_THINK: Nanos = Nanos(6);
+/// Power-law exponent of the degree sequence: `deg(v) ∝ (v+1)^-SKEW`, the
+/// continuous gradient Kronecker generators produce (low ids = high degree).
+/// The paper leans on exactly this: "hot regions following the various edge
+/// degree distribution, of which the hotter items and the colder items have
+/// mild access frequency difference".
+const DEGREE_SKEW: f64 = 0.6;
+
+/// Which Graph500 kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKernel {
+    /// Breadth-first search (kernel 2).
+    Bfs,
+    /// Single-source shortest paths (kernel 3); one extra distance write per
+    /// relaxed edge.
+    Sssp,
+}
+
+/// Graph500 workload configuration.
+#[derive(Debug, Clone)]
+pub struct Graph500Config {
+    /// Number of vertices.
+    pub vertices: u32,
+    /// Average degree (Graph500's edgefactor, default 16).
+    pub edge_factor: u32,
+    /// Kernel to run.
+    pub kernel: GraphKernel,
+    /// Number of search roots (Graph500 runs 64 BFS iterations).
+    pub roots: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Graph500Config {
+    /// Sizes a graph so its CSR footprint is roughly `pages` base pages.
+    ///
+    /// Footprint ≈ (offsets V + edges E + state 2V) words with E = ef·V.
+    pub fn sized_to_pages(pages: u32, kernel: GraphKernel, seed: u64) -> Graph500Config {
+        let ef = 16u32;
+        let words = pages as u64 * WORDS_PER_PAGE;
+        let vertices = (words / (3 + ef as u64)).max(64) as u32;
+        Graph500Config {
+            vertices,
+            edge_factor: ef,
+            kernel,
+            roots: 16,
+            seed,
+        }
+    }
+}
+
+/// The instantiated workload: graph structure plus kernel driver state.
+pub struct Graph500Workload {
+    cfg: Graph500Config,
+    /// CSR prefix offsets (edge-array word index of each vertex's list).
+    prefix: Vec<u64>,
+    /// Memory regions, in pages.
+    offsets_pages: u32,
+    edges_pages: u32,
+    state_pages: u32,
+    /// Kernel state.
+    visited: Vec<u64>,
+    frontier: VecDeque<u32>,
+    next_frontier: Vec<u32>,
+    current: Option<(u32, u32)>, // (vertex, next edge index)
+    /// Direction-optimizing state: when `Some(cursor)`, the traversal is in
+    /// a bottom-up level scanning unvisited vertices from `cursor`.
+    bottom_up: Option<u32>,
+    /// Vertices found during the current bottom-up level.
+    bottom_up_found: u32,
+    roots_done: u32,
+    rng: DetRng,
+    buffer: VecDeque<AccessReq>,
+    finished: bool,
+}
+
+impl Graph500Workload {
+    /// Builds the graph (degree sequence and prefix sums) and prepares the
+    /// first root.
+    pub fn new(cfg: Graph500Config) -> Graph500Workload {
+        let v = cfg.vertices as u64;
+        let e_target = v * cfg.edge_factor as u64;
+        // Continuous power-law degree sequence: deg(id) ∝ (id+1)^-SKEW,
+        // scaled so the total edge count hits edge_factor × V. Low ids are
+        // the high-degree end, as Kronecker generators produce, giving the
+        // CSR's offset/state/edge regions a smooth page-level hotness
+        // gradient rather than a binary hub/cold split.
+        let norm: f64 = (0..cfg.vertices)
+            .map(|id| ((id + 1) as f64).powf(-DEGREE_SKEW))
+            .sum();
+        let scale = e_target as f64 / norm;
+        let mut prefix = Vec::with_capacity(cfg.vertices as usize + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for id in 0..cfg.vertices {
+            let deg = (scale * ((id + 1) as f64).powf(-DEGREE_SKEW)).round() as u64;
+            acc += deg.max(1);
+            prefix.push(acc);
+        }
+        let edges = acc;
+
+        let offsets_pages = (v + 1).div_ceil(WORDS_PER_PAGE) as u32;
+        let edges_pages = edges.div_ceil(WORDS_PER_PAGE) as u32;
+        let state_pages = (2 * v).div_ceil(WORDS_PER_PAGE) as u32;
+
+        let words = cfg.vertices as usize;
+        let mut w = Graph500Workload {
+            rng: DetRng::seed(cfg.seed),
+            cfg,
+            prefix,
+            offsets_pages,
+            edges_pages,
+            state_pages,
+            visited: vec![0; words.div_ceil(64)],
+            frontier: VecDeque::new(),
+            next_frontier: Vec::new(),
+            current: None,
+            bottom_up: None,
+            bottom_up_found: 0,
+            roots_done: 0,
+            buffer: VecDeque::new(),
+            finished: false,
+        };
+        w.start_root();
+        w
+    }
+
+    /// Deterministic adjacency: the `i`-th neighbour of `v`, drawn with
+    /// probability proportional to the target's degree (preferential
+    /// attachment) by picking a uniformly random edge-array word and taking
+    /// its owning vertex — a binary search over the prefix sums.
+    fn edge_target(&self, v: u32, i: u64) -> u32 {
+        let mut x = (v as u64) << 32 | i;
+        // SplitMix64 finalizer as a cheap, high-quality hash.
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        let edges = *self.prefix.last().expect("prefix is non-empty");
+        let word = x % edges;
+        // First vertex whose list extends past `word`.
+        match self.prefix.binary_search(&word) {
+            Ok(idx) => idx as u32,
+            Err(idx) => (idx - 1) as u32,
+        }
+    }
+
+    // ----- Page layout -----------------------------------------------------
+
+    fn offset_page(&self, v: u32) -> Vpn {
+        Vpn((v as u64 / WORDS_PER_PAGE) as u32)
+    }
+
+    fn edge_page(&self, word: u64) -> Vpn {
+        Vpn(self.offsets_pages + (word / WORDS_PER_PAGE) as u32)
+    }
+
+    fn state_page(&self, v: u32) -> Vpn {
+        Vpn(self.offsets_pages + self.edges_pages + (v as u64 * 2 / WORDS_PER_PAGE) as u32)
+    }
+
+    // ----- Kernel driver ---------------------------------------------------
+
+    fn start_root(&mut self) {
+        self.visited.iter_mut().for_each(|w| *w = 0);
+        let root = self.rng.below(self.cfg.vertices as u64) as u32;
+        self.mark_visited(root);
+        self.frontier.clear();
+        self.next_frontier.clear();
+        self.frontier.push_back(root);
+        self.current = None;
+        self.bottom_up = None;
+        self.bottom_up_found = 0;
+        // Touch the root's state entry.
+        self.buffer.push_back(AccessReq {
+            vpn: self.state_page(root),
+            write: true,
+            think: EDGE_THINK,
+        });
+    }
+
+    fn mark_visited(&mut self, v: u32) -> bool {
+        let (w, b) = (v as usize / 64, v as usize % 64);
+        let fresh = self.visited[w] & (1 << b) == 0;
+        self.visited[w] |= 1 << b;
+        fresh
+    }
+
+    /// One bottom-up step: examine up to `batch` vertices from the cursor,
+    /// probing unvisited vertices' first neighbours for a visited parent —
+    /// the direction-optimizing phase of the Graph500 reference BFS. Each
+    /// level re-reads the *head* of every unvisited vertex's edge list plus
+    /// its state entry, which is what gives the CSR its recurring (warm)
+    /// traffic on top of the one-pass top-down streams.
+    fn bottom_up_step(&mut self, cursor: u32) {
+        const BATCH: u32 = 64;
+        const PROBES: u64 = 4;
+        let v_count = self.cfg.vertices;
+        let end = (cursor + BATCH).min(v_count);
+        for v in cursor..end {
+            let (w, b) = (v as usize / 64, v as usize % 64);
+            if self.visited[w] & (1 << b) != 0 {
+                continue;
+            }
+            // Read v's state (visited check) and its edge-list head.
+            self.buffer.push_back(AccessReq {
+                vpn: self.state_page(v),
+                write: false,
+                think: EDGE_THINK,
+            });
+            self.buffer.push_back(AccessReq {
+                vpn: self.edge_page(self.prefix[v as usize]),
+                write: false,
+                think: Nanos::ZERO,
+            });
+            let deg = self.prefix[v as usize + 1] - self.prefix[v as usize];
+            for i in 0..deg.min(PROBES) {
+                let parent = self.edge_target(v, i);
+                let (pw, pb) = (parent as usize / 64, parent as usize % 64);
+                if self.visited[pw] & (1 << pb) != 0 {
+                    self.mark_visited(v);
+                    self.bottom_up_found += 1;
+                    self.buffer.push_back(AccessReq {
+                        vpn: self.state_page(v),
+                        write: true,
+                        think: Nanos::ZERO,
+                    });
+                    break;
+                }
+            }
+        }
+        if end >= v_count {
+            // Level complete: continue bottom-up while it makes progress.
+            if self.bottom_up_found > 0 {
+                self.bottom_up = Some(0);
+                self.bottom_up_found = 0;
+            } else {
+                self.bottom_up = None;
+                self.frontier.clear();
+                self.next_frontier.clear();
+            }
+        } else {
+            self.bottom_up = Some(end);
+        }
+    }
+
+    /// Advances the kernel until at least one access is buffered or the
+    /// workload finishes.
+    fn refill(&mut self) {
+        while self.buffer.is_empty() && !self.finished {
+            if let Some(cursor) = self.bottom_up {
+                self.bottom_up_step(cursor);
+                continue;
+            }
+            // Pick the vertex being expanded, or pop the next frontier entry.
+            let (u, i) = match self.current {
+                Some(cur) => cur,
+                None => match self.frontier.pop_front() {
+                    Some(u) => {
+                        // Reading u's offsets touches the offset array.
+                        self.buffer.push_back(AccessReq {
+                            vpn: self.offset_page(u),
+                            write: false,
+                            think: EDGE_THINK,
+                        });
+                        (u, 0)
+                    }
+                    None => {
+                        // Level done: switch direction when the frontier has
+                        // grown past the direction-optimizing threshold,
+                        // otherwise swap frontiers or finish the root.
+                        if self.next_frontier.len() as u32 > self.cfg.vertices / 16 {
+                            self.next_frontier.clear();
+                            self.bottom_up = Some(0);
+                            self.bottom_up_found = 0;
+                            continue;
+                        }
+                        if self.next_frontier.is_empty() {
+                            self.roots_done += 1;
+                            if self.roots_done >= self.cfg.roots {
+                                self.finished = true;
+                            } else {
+                                self.start_root();
+                            }
+                        } else {
+                            self.frontier.extend(self.next_frontier.drain(..));
+                        }
+                        continue;
+                    }
+                },
+            };
+
+            let deg = self.prefix[u as usize + 1] - self.prefix[u as usize];
+            if (i as u64) >= deg {
+                self.current = None;
+                continue;
+            }
+            self.current = Some((u, i + 1));
+
+            let word = self.prefix[u as usize] + i as u64;
+            let target = self.edge_target(u, i as u64);
+            // Stream the edge entry.
+            self.buffer.push_back(AccessReq {
+                vpn: self.edge_page(word),
+                write: false,
+                think: EDGE_THINK,
+            });
+            // Check the neighbour's visited/dist entry.
+            let fresh = self.mark_visited(target);
+            let state_write = fresh || self.cfg.kernel == GraphKernel::Sssp;
+            self.buffer.push_back(AccessReq {
+                vpn: self.state_page(target),
+                write: state_write,
+                think: Nanos::ZERO,
+            });
+            if fresh {
+                self.next_frontier.push(target);
+            }
+        }
+    }
+
+    /// Total CSR pages of the graph.
+    pub fn csr_pages(&self) -> u32 {
+        self.offsets_pages + self.edges_pages + self.state_pages
+    }
+
+    /// Roots completed so far.
+    pub fn roots_done(&self) -> u32 {
+        self.roots_done
+    }
+}
+
+impl Workload for Graph500Workload {
+    fn next_access(&mut self) -> Option<AccessReq> {
+        if self.buffer.is_empty() {
+            self.refill();
+        }
+        self.buffer.pop_front()
+    }
+
+    fn address_space_pages(&self) -> u32 {
+        self.csr_pages()
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "graph500({:?},V={},ef={})",
+            self.cfg.kernel, self.cfg.vertices, self.cfg.edge_factor
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(kernel: GraphKernel) -> Graph500Config {
+        Graph500Config {
+            vertices: 2000,
+            edge_factor: 8,
+            kernel,
+            roots: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn workload_terminates_after_roots() {
+        let mut w = Graph500Workload::new(small_cfg(GraphKernel::Bfs));
+        let mut count = 0u64;
+        while w.next_access().is_some() {
+            count += 1;
+            assert!(count < 10_000_000, "runaway BFS");
+        }
+        assert_eq!(w.roots_done(), 2);
+        // A BFS over 2000 vertices with ef=8 must traverse thousands of edges.
+        assert!(count > 5_000, "only {} accesses", count);
+    }
+
+    #[test]
+    fn accesses_stay_within_address_space() {
+        let mut w = Graph500Workload::new(small_cfg(GraphKernel::Bfs));
+        let pages = w.address_space_pages();
+        for _ in 0..50_000 {
+            match w.next_access() {
+                Some(req) => assert!(req.vpn.0 < pages, "{:?} out of {} pages", req.vpn, pages),
+                None => break,
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_writes_more_than_bfs() {
+        let count_writes = |kernel| {
+            let mut w = Graph500Workload::new(small_cfg(kernel));
+            let mut writes = 0u64;
+            let mut total = 0u64;
+            while let Some(r) = w.next_access() {
+                total += 1;
+                writes += r.write as u64;
+                if total > 200_000 {
+                    break;
+                }
+            }
+            writes as f64 / total as f64
+        };
+        assert!(count_writes(GraphKernel::Sssp) > count_writes(GraphKernel::Bfs));
+    }
+
+    #[test]
+    fn edge_pages_are_hot_skewed() {
+        // Hub edge pages should see far more traffic than median edge pages.
+        let mut w = Graph500Workload::new(small_cfg(GraphKernel::Bfs));
+        let mut counts = std::collections::HashMap::new();
+        while let Some(r) = w.next_access() {
+            *counts.entry(r.vpn.0).or_insert(0u64) += 1;
+        }
+        let mut freqs: Vec<u64> = counts.into_values().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top = freqs[0];
+        let median = freqs[freqs.len() / 2];
+        assert!(
+            top > media_floor(median),
+            "top page {} not much hotter than median {}",
+            top,
+            median
+        );
+    }
+
+    fn media_floor(m: u64) -> u64 {
+        (m * 3).max(10)
+    }
+
+    #[test]
+    fn sized_to_pages_is_close() {
+        let cfg = Graph500Config::sized_to_pages(4096, GraphKernel::Bfs, 1);
+        let w = Graph500Workload::new(cfg);
+        let pages = w.csr_pages();
+        assert!(
+            (pages as i64 - 4096).unsigned_abs() < 1024,
+            "sized to {} pages",
+            pages
+        );
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Graph500Workload::new(small_cfg(GraphKernel::Bfs));
+        let mut b = Graph500Workload::new(small_cfg(GraphKernel::Bfs));
+        for _ in 0..1000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+}

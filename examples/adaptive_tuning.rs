@@ -1,0 +1,65 @@
+//! Adaptive tuning in action: a phase-shifting workload under full Chrono,
+//! with the CIT threshold and rate-limit traces printed as the hot region
+//! jumps — plus the procfs-style control surface.
+//!
+//! ```text
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use chrono_repro::chrono_core::{controls, ChronoConfig, ChronoPolicy};
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::{PageSize, SystemConfig, TieredSystem};
+use chrono_repro::tiering_policies::{DriverConfig, SimulationDriver};
+use chrono_repro::workloads::{PhasedWorkload, Workload};
+
+fn main() {
+    let pages = 8192u32;
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(pages + pages / 4));
+    // Hot region at 25 % of the space, jumping to 75 % after ~6M accesses.
+    let w = PhasedWorkload::new(pages, vec![0.25, 0.75], 6_000_000, 0.7, 99);
+    sys.add_process(w.address_space_pages(), PageSize::Base);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+
+    let mut chrono = ChronoPolicy::new(ChronoConfig {
+        p_victim: 0.002,
+        ..ChronoConfig::scaled(Nanos::from_millis(100), 1024)
+    });
+
+    println!("procfs control surface before the run:");
+    println!("{}\n", chrono.dump_params());
+    // A system manager could pin parameters at run time:
+    chrono.set_param("thrash_threshold", "0.25").unwrap();
+    assert_eq!(chrono.get_param("thrash_threshold").unwrap(), "0.25");
+    for key in controls::KEYS.iter().take(2) {
+        let _ = chrono.get_param(key).unwrap();
+    }
+
+    let r = SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(2500),
+        ..Default::default()
+    })
+    .run(&mut sys, &mut wls, &mut chrono);
+
+    println!(
+        "ran {} accesses over {:.2} simulated seconds; FMAR {:.1}%\n",
+        r.accesses,
+        r.makespan.as_secs_f64(),
+        sys.stats.fmar() * 100.0
+    );
+    println!("{:>8}  {:>14}  {:>12}", "time", "threshold", "rate limit");
+    let th = chrono.threshold_history();
+    let rl = chrono.rate_history();
+    for ((t, ms), (_, mbps)) in th.iter().zip(rl) {
+        println!(
+            "{:>8.2}s {:>12.3}ms {:>10.1}MB/s",
+            t.as_secs_f64(),
+            ms,
+            mbps
+        );
+    }
+    println!(
+        "\nthrashing events: {} (rate limit halved on >{}% per period)",
+        chrono.thrash_events(),
+        chrono.get_param("thrash_threshold").unwrap()
+    );
+}

@@ -1,0 +1,64 @@
+//! Graph analytics scenario: Graph500-style BFS over a scale-free graph
+//! whose CSR working set exceeds DRAM — the Section 5.2 setting. Prints
+//! execution time for every policy, base vs. huge pages.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use chrono_repro::harness::runner::{quarter_system, PolicyKind, Scale};
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::PageSize;
+use chrono_repro::tiering_policies::{DriverConfig, SimulationDriver};
+use chrono_repro::workloads::{Graph500Config, Graph500Workload, GraphKernel, Workload};
+
+fn exec_time(kind: PolicyKind, page_size: PageSize) -> Nanos {
+    let scale = Scale::default_scale();
+    let mut sys = quarter_system(12_288);
+    let mut wls: Vec<Box<dyn Workload>> = (0..2)
+        .map(|i| {
+            let mut cfg = Graph500Config::sized_to_pages(4_096, GraphKernel::Bfs, 21 + i);
+            cfg.roots = 2;
+            Box::new(Graph500Workload::new(cfg)) as Box<dyn Workload>
+        })
+        .collect();
+    for w in &wls {
+        sys.add_process(w.address_space_pages(), page_size);
+    }
+    let mut policy = kind.build(&scale);
+    let r = SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_secs(600),
+        ..Default::default()
+    })
+    .run(&mut sys, &mut wls, &mut *policy);
+    assert!(r.workloads_finished, "BFS must run to completion");
+    r.makespan
+}
+
+fn main() {
+    println!("Graph500 BFS, 2 processes, CSR working set 2x the fast tier\n");
+    println!("{:<14} {:>16} {:>16}", "policy", "base pages", "huge pages");
+    let mut base_nb = None;
+    for kind in PolicyKind::MAIN {
+        let base = exec_time(kind, PageSize::Base);
+        let huge = exec_time(kind, PageSize::Huge2M);
+        if kind == PolicyKind::LinuxNb {
+            base_nb = Some(base);
+        }
+        let speedup = base_nb
+            .map(|b| {
+                format!(
+                    "  ({:.2}x vs NB base)",
+                    b.as_secs_f64() / base.as_secs_f64()
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "{:<14} {:>16} {:>16}{}",
+            kind.name(),
+            format!("{}", base),
+            format!("{}", huge),
+            speedup
+        );
+    }
+}

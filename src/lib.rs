@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+//! Facade crate for the Chrono (EuroSys '25) reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples, integration
+//! tests, and downstream users can depend on a single package:
+//!
+//! - [`sim_clock`] — virtual time, events, deterministic RNG.
+//! - [`tiered_mem`] — the two-tier memory substrate.
+//! - [`workloads`] — pmbench / Graph500 / KV-store generators.
+//! - [`tiering_metrics`] — histograms, percentiles, F1/PPR scoring.
+//! - [`tiering_policies`] — the baseline tiering policies.
+//! - [`chrono_core`] — the paper's contribution: CIT-based tiering.
+//! - [`harness`] — per-figure experiment runners.
+
+pub use chrono_core;
+pub use harness;
+pub use sim_clock;
+pub use tiered_mem;
+pub use tiering_metrics;
+pub use tiering_policies;
+pub use workloads;

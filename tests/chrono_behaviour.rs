@@ -1,0 +1,187 @@
+//! Behavioural integration tests for Chrono's mechanisms: threshold
+//! convergence, the thrashing monitor, huge-page scaling, and the ablation
+//! ladder of Fig 13.
+
+use chrono_repro::chrono_core::{theory, ChronoConfig, ChronoPolicy, TuningMode};
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::{PageSize, SystemConfig, TieredSystem};
+use chrono_repro::tiering_policies::{DriverConfig, SimulationDriver};
+use chrono_repro::workloads::{AccessPattern, AccessReq};
+use chrono_repro::workloads::{HotsetPattern, PmbenchConfig, PmbenchWorkload, Workload};
+use sim_clock::DetRng;
+
+fn scaled_cfg() -> ChronoConfig {
+    ChronoConfig {
+        p_victim: 0.002,
+        ..ChronoConfig::scaled(Nanos::from_millis(100), 1024)
+    }
+}
+
+fn run_chrono(cfg: ChronoConfig, pages: u32, run_ms: u64) -> (TieredSystem, ChronoPolicy) {
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(pages + pages / 4));
+    let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, 5));
+    sys.add_process(w.address_space_pages(), PageSize::Base);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+    let mut policy = ChronoPolicy::new(cfg);
+    SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(run_ms),
+        ..Default::default()
+    })
+    .run(&mut sys, &mut wls, &mut policy);
+    (sys, policy)
+}
+
+#[test]
+fn threshold_converges_to_a_stable_band() {
+    let (_sys, policy) = run_chrono(scaled_cfg(), 8192, 1500);
+    let hist = policy.threshold_history();
+    assert!(hist.len() >= 10);
+    // The second half of the trace must stay within a factor-4 band — the
+    // Fig 10b "converges to about 200 ms" behaviour at our scale.
+    let tail: Vec<f64> = hist[hist.len() / 2..].iter().map(|&(_, v)| v).collect();
+    let lo = tail.iter().cloned().fold(f64::MAX, f64::min);
+    let hi = tail.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        hi / lo < 8.0,
+        "threshold still swinging: {:.3}..{:.3} ms",
+        lo,
+        hi
+    );
+}
+
+#[test]
+fn rate_limit_decreases_once_placement_stabilizes() {
+    let (_sys, policy) = run_chrono(scaled_cfg(), 8192, 1500);
+    let hist = policy.rate_history();
+    let early: f64 = hist[..2].iter().map(|&(_, v)| v).sum::<f64>() / 2.0;
+    let late: f64 = hist[hist.len() - 3..].iter().map(|&(_, v)| v).sum::<f64>() / 3.0;
+    // Fig 10c: aggressive at start, lower and stable at the end.
+    assert!(
+        late < early,
+        "rate limit should decline: early {:.1} MB/s, late {:.1} MB/s",
+        early,
+        late
+    );
+}
+
+/// A workload engineered to thrash: the hot set is slightly larger than the
+/// fast tier, so boundary pages ping-pong.
+struct ThrashWorkload {
+    pattern: HotsetPattern,
+    rng: DetRng,
+}
+
+impl Workload for ThrashWorkload {
+    fn next_access(&mut self) -> Option<AccessReq> {
+        Some(AccessReq {
+            vpn: self.pattern.sample(&mut self.rng),
+            write: false,
+            think: Nanos::ZERO,
+        })
+    }
+    fn address_space_pages(&self) -> u32 {
+        self.pattern.pages()
+    }
+    fn label(&self) -> String {
+        "thrash".into()
+    }
+}
+
+#[test]
+fn thrashing_monitor_detects_and_halves_rate() {
+    let mut sys = TieredSystem::new(SystemConfig::dram_pmem(512, 4096));
+    // Hot set = 1.5x the fast tier, fed 95 % of accesses: guaranteed churn.
+    let w = ThrashWorkload {
+        pattern: HotsetPattern::new(4096, 768.0 / 4096.0, 0.95),
+        rng: DetRng::seed(77),
+    };
+    sys.add_process(w.address_space_pages(), PageSize::Base);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+    let cfg = ChronoConfig {
+        tuning: TuningMode::Manual {
+            cit_threshold: Nanos::from_millis(50),
+            rate_limit: 512 * 1024 * 1024,
+        },
+        ..scaled_cfg()
+    };
+    let mut policy = ChronoPolicy::new(cfg);
+    SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(1200),
+        ..Default::default()
+    })
+    .run(&mut sys, &mut wls, &mut policy);
+    assert!(
+        policy.thrash_events() > 0,
+        "ping-pong workload must trip the monitor"
+    );
+    assert!(
+        policy.rate_limit() < 512 * 1024 * 1024,
+        "rate limit should have been halved at least once"
+    );
+}
+
+#[test]
+fn huge_pages_run_with_scaled_threshold() {
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(24_576));
+    let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(16_384, 0.7, 9));
+    sys.add_process(w.address_space_pages(), PageSize::Huge2M);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+    let mut policy = ChronoPolicy::new(scaled_cfg());
+    SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(800),
+        ..Default::default()
+    })
+    .run(&mut sys, &mut wls, &mut policy);
+    // Promotion happens in whole blocks.
+    assert_eq!(sys.stats.promoted_pages % 512, 0);
+    assert!(sys.stats.promoted_pages > 0, "no huge promotions at all");
+}
+
+#[test]
+fn ablation_ladder_matches_fig13() {
+    // The Fig 13 endpoints at the write-heavy ratio where the DCSC benefit
+    // is largest: full (DCSC) beats basic (1-round, semi-auto), and the
+    // 2-round variant stays within noise of basic or better.
+    let throughput = |cfg: ChronoConfig| -> f64 {
+        let total = 6u32 * 2048;
+        let mut sys = TieredSystem::new(SystemConfig::quarter_fast(total + total / 8));
+        let mut wls: Vec<Box<dyn Workload>> = Vec::new();
+        for i in 0..6 {
+            let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(2048, 0.05, 1400 + i));
+            sys.add_process(w.address_space_pages(), PageSize::Base);
+            wls.push(Box::new(w));
+        }
+        let mut policy = ChronoPolicy::new(cfg);
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(1500),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy)
+        .throughput()
+    };
+    let basic = throughput(scaled_cfg().variant_basic());
+    let twice = throughput(scaled_cfg().variant_twice());
+    let full = throughput(scaled_cfg().variant_full());
+    assert!(
+        full > basic,
+        "full ({:.0}) must beat basic ({:.0})",
+        full,
+        basic
+    );
+    assert!(
+        twice * 1.25 > basic,
+        "twice ({:.0}) should not collapse below basic ({:.0})",
+        twice,
+        basic
+    );
+}
+
+#[test]
+fn theory_backs_the_two_round_choice() {
+    // The integration-level sanity of Appendix B: the max estimator is
+    // tighter, and two rounds maximize efficiency across realistic α.
+    assert!(theory::max_estimator_variance(1.0, 2) < theory::mean_estimator_variance(1.0, 2));
+    for alpha in [0.4, 0.7, 1.0] {
+        assert_eq!(theory::best_round_count(alpha, 7), 2);
+    }
+}

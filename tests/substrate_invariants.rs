@@ -1,0 +1,149 @@
+//! Property-based tests of the substrate's invariants under random
+//! operation sequences spanning crates.
+
+use chrono_repro::sim_clock::DetRng;
+use chrono_repro::tiered_mem::{MigrateMode, PageSize, SystemConfig, TierId, TieredSystem, Vpn};
+use proptest::prelude::*;
+
+/// Random op against a small system.
+#[derive(Debug, Clone)]
+enum Op {
+    Access { vpn: u16, write: bool },
+    Promote { vpn: u16 },
+    Demote { vpn: u16 },
+    PopVictim,
+    Age,
+}
+
+fn op_strategy(pages: u16) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, any::<bool>()).prop_map(|(vpn, write)| Op::Access { vpn, write }),
+        (0..pages).prop_map(|vpn| Op::Promote { vpn }),
+        (0..pages).prop_map(|vpn| Op::Demote { vpn }),
+        Just(Op::PopVictim),
+        Just(Op::Age),
+    ]
+}
+
+fn check_invariants(sys: &TieredSystem, pages: u32) {
+    // Frame conservation: resident pages equal used frames per tier.
+    let mut resident = [0u32; 2];
+    for pid in sys.pids() {
+        let [f, s] = sys.process(pid).space.resident_pages();
+        resident[0] += f;
+        resident[1] += s;
+    }
+    assert_eq!(resident[0], sys.used_frames(TierId::Fast));
+    assert_eq!(resident[1], sys.used_frames(TierId::Slow));
+    assert!(resident[0] + resident[1] <= pages);
+    // Watermarks stay ordered.
+    assert!(sys.watermarks.well_ordered());
+    // Stats counters are self-consistent.
+    assert!(sys.stats.hint_faults <= sys.stats.context_switches);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_op_sequences_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(256), 1..400),
+        seed in any::<u64>(),
+    ) {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 512));
+        let pid = sys.add_process(256, PageSize::Base);
+        let mut rng = DetRng::seed(seed);
+        for op in ops {
+            match op {
+                Op::Access { vpn, write } => {
+                    sys.access(pid, Vpn(vpn as u32), write);
+                }
+                Op::Promote { vpn } => {
+                    let _ = sys.promote_with_reclaim(pid, Vpn(vpn as u32), MigrateMode::Async);
+                }
+                Op::Demote { vpn } => {
+                    let _ = sys.migrate(pid, Vpn(vpn as u32), TierId::Slow, MigrateMode::Async);
+                }
+                Op::PopVictim => {
+                    // Victim popping must never yield a non-resident page.
+                    if let Some((p, v)) = sys.pop_inactive_victim(TierId::Fast) {
+                        prop_assert!(sys.process(p).space.entry(v).present());
+                        prop_assert_eq!(sys.process(p).space.entry(v).tier(), TierId::Fast);
+                        // Reinsert so lists stay populated.
+                        sys.lru_insert(p, v, chrono_repro::tiered_mem::LruKind::Inactive);
+                    }
+                }
+                Op::Age => {
+                    sys.age_active_list(TierId::Fast, rng.below(64) as u32 + 1);
+                }
+            }
+            check_invariants(&sys, 256);
+        }
+    }
+
+    #[test]
+    fn huge_mappings_preserve_block_integrity(
+        touches in prop::collection::vec(0u32..4096, 1..60),
+        migrations in prop::collection::vec(0u32..4096, 0..20),
+    ) {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(4096, 8192));
+        let pid = sys.add_process(4096, PageSize::Huge2M);
+        for vpn in touches {
+            sys.access(pid, Vpn(vpn), false);
+        }
+        for vpn in migrations {
+            let head = sys.process(pid).space.pte_page(Vpn(vpn));
+            if sys.process(pid).space.entry(head).present() {
+                let to = sys.process(pid).space.entry(head).tier().other();
+                let _ = sys.migrate(pid, Vpn(vpn), to, MigrateMode::Async);
+            }
+        }
+        // Every present block is fully resident in exactly one tier.
+        for head in (0..4096).step_by(512) {
+            let h = sys.process(pid).space.entry(Vpn(head));
+            if h.present() {
+                let tier = h.tier();
+                for off in 0..512 {
+                    let e = sys.process(pid).space.entry(Vpn(head + off));
+                    prop_assert!(!e.pfn.is_none());
+                    prop_assert_eq!(e.tier(), tier);
+                }
+            }
+        }
+        check_invariants(&sys, 4096);
+    }
+
+    #[test]
+    fn heatmap_mass_is_conserved_under_decay_and_scale(
+        adds in prop::collection::vec((0usize..28, 1.0f64..100.0), 1..50),
+        decay in 0.1f64..1.0,
+    ) {
+        let mut m = chrono_repro::chrono_core::HeatMap::new(28);
+        let mut total = 0.0;
+        for (bucket, pages) in adds {
+            m.add(bucket, pages);
+            total += pages;
+        }
+        prop_assert!((m.total() - total).abs() < 1e-6);
+        m.decay(decay);
+        prop_assert!((m.total() - total * decay).abs() < 1e-6);
+        let scaled = m.scaled_to(1000.0);
+        prop_assert!((scaled.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_misplacement_never_exceeds_slow_population(
+        fast_adds in prop::collection::vec((0usize..16, 0.0f64..500.0), 0..20),
+        slow_adds in prop::collection::vec((0usize..16, 0.0f64..500.0), 0..20),
+        capacity in 1.0f64..5000.0,
+    ) {
+        let mut fast = chrono_repro::chrono_core::HeatMap::new(16);
+        let mut slow = chrono_repro::chrono_core::HeatMap::new(16);
+        for (b, p) in fast_adds { fast.add(b, p); }
+        for (b, p) in slow_adds { slow.add(b, p); }
+        let o = chrono_repro::chrono_core::heatmap::identify_overlap(&fast, &slow, capacity);
+        prop_assert!(o.misplaced_slow_pages >= -1e-9);
+        prop_assert!(o.misplaced_slow_pages <= slow.total() + 1e-6);
+        prop_assert!(o.cutoff_bucket <= 16);
+    }
+}
