@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, format, lint. Everything here must pass
+# offline (the workspace has no external dependencies; Criterion benches
+# live outside the workspace in crates/bench).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI OK"

@@ -83,14 +83,14 @@ impl ChronoPolicy {
         match key {
             "cit_threshold_ms" => {
                 let ms = parse_f64(value)?;
-                if !(ms > 0.0) {
+                if ms.is_nan() || ms <= 0.0 {
                     return Err(ControlError::InvalidValue(value.to_string()));
                 }
                 self.force_cit_threshold(Nanos((ms * 1e6) as u64));
             }
             "rate_limit_mbps" => {
                 let mb = parse_f64(value)?;
-                if !(mb > 0.0) {
+                if mb.is_nan() || mb <= 0.0 {
                     return Err(ControlError::InvalidValue(value.to_string()));
                 }
                 self.force_rate_limit((mb * 1024.0 * 1024.0) as u64);

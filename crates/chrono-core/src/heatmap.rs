@@ -235,4 +235,104 @@ mod tests {
         assert_eq!(o.cutoff_bucket, 7);
         assert!((o.misplaced_slow_pages - 100.0).abs() < 1e-9);
     }
+
+    #[test]
+    fn hotter_than_excludes_the_cutoff_bucket_itself() {
+        // `hotter_than(b)` is strictly below b: mass *in* the cutoff bucket
+        // is not "hotter than" it, only buckets 0..b count.
+        let mut m = HeatMap::new(8);
+        m.add(2, 10.0);
+        m.add(3, 20.0);
+        assert_eq!(m.hotter_than(3), 10.0); // bucket 3's own mass excluded
+        assert_eq!(m.hotter_than(4), 30.0);
+        assert_eq!(m.hotter_than(0), 0.0);
+        // Out-of-range cutoffs clamp instead of panicking.
+        assert_eq!(m.hotter_than(100), 30.0);
+    }
+
+    #[test]
+    fn overlap_cutoff_boundary_mass_gets_partial_credit_only() {
+        // The off-by-one trap at the cutoff: with capacity 10 and bucket 0
+        // holding exactly 10 combined pages, the walk must pass bucket 0
+        // (10 > 10 is false) and cut at bucket 1, so bucket 0's slow mass is
+        // fully misplaced and bucket 1's counts only for the space left (0).
+        let mut fast = HeatMap::new(4);
+        let mut slow = HeatMap::new(4);
+        fast.add(0, 5.0);
+        slow.add(0, 5.0);
+        slow.add(1, 7.0);
+        let o = identify_overlap(&fast, &slow, 10.0);
+        assert_eq!(o.cutoff_bucket, 1);
+        // All 5 slow pages of bucket 0 misplaced, none of bucket 1 (no room).
+        assert!((o.misplaced_slow_pages - 5.0).abs() < 1e-9);
+        // One page more of capacity admits exactly one bucket-1 slow page.
+        let o = identify_overlap(&fast, &slow, 11.0);
+        assert_eq!(o.cutoff_bucket, 1);
+        assert!((o.misplaced_slow_pages - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_of_empty_maps_is_empty() {
+        let fast = HeatMap::new(8);
+        let slow = HeatMap::new(8);
+        let o = identify_overlap(&fast, &slow, 100.0);
+        assert_eq!(o.cutoff_bucket, 8); // nothing overflows
+        assert_eq!(o.misplaced_slow_pages, 0.0);
+        assert_eq!(o.misplacement_ratio, 0.0);
+        // Zero capacity with mass present must not divide by zero.
+        let mut slow = HeatMap::new(8);
+        slow.add(0, 10.0);
+        let o = identify_overlap(&fast, &slow, 0.0);
+        assert_eq!(o.cutoff_bucket, 0);
+        assert_eq!(o.misplacement_ratio, 0.0);
+    }
+
+    #[test]
+    fn overlap_with_all_mass_in_one_bucket() {
+        // Everything (fast and slow) at the same heat: the cutoff lands on
+        // that bucket and the partial credit splits the remaining capacity
+        // proportionally to the slow share of the bucket.
+        let mut fast = HeatMap::new(8);
+        let mut slow = HeatMap::new(8);
+        fast.add(4, 60.0);
+        slow.add(4, 40.0);
+        let o = identify_overlap(&fast, &slow, 50.0);
+        assert_eq!(o.cutoff_bucket, 4);
+        // fit = 50 of 100; slow share 40 % → 20 misplaced slow pages.
+        assert!((o.misplaced_slow_pages - 20.0).abs() < 1e-9);
+        assert!((o.misplacement_ratio - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn misplaced_pages_never_exceed_slow_total() {
+        // Randomized property (deterministic seeds): for arbitrary maps and
+        // capacities, 0 ≤ misplaced_slow_pages ≤ slow.total().
+        use sim_clock::DetRng;
+        for seed in 0..256u64 {
+            let mut rng = DetRng::seed(0x4EA7_1000 + seed);
+            let buckets = 1 + rng.below(16) as usize;
+            let mut fast = HeatMap::new(buckets);
+            let mut slow = HeatMap::new(buckets);
+            for _ in 0..rng.below(32) {
+                fast.add(rng.below(buckets as u64) as usize, rng.below(1000) as f64);
+            }
+            for _ in 0..rng.below(32) {
+                slow.add(rng.below(buckets as u64) as usize, rng.below(1000) as f64);
+            }
+            let capacity = rng.below(4000) as f64;
+            let o = identify_overlap(&fast, &slow, capacity);
+            assert!(
+                o.misplaced_slow_pages >= -1e-9,
+                "seed {seed}: negative misplacement {}",
+                o.misplaced_slow_pages
+            );
+            assert!(
+                o.misplaced_slow_pages <= slow.total() + 1e-9,
+                "seed {seed}: misplaced {} > slow total {}",
+                o.misplaced_slow_pages,
+                slow.total()
+            );
+            assert!(o.cutoff_bucket <= buckets, "seed {seed}: cutoff range");
+        }
+    }
 }

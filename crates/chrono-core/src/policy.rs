@@ -23,6 +23,7 @@ use tiered_mem::{
     Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
 };
 use tiering_policies::{decode_token, encode_token, ScanCursor, TieringPolicy};
+use tiering_trace::{PolicyTraceState, TraceEvent};
 
 use crate::candidates::CandidateSet;
 use crate::config::{ChronoConfig, TuningMode};
@@ -53,6 +54,14 @@ fn now_us(t: Nanos) -> u32 {
     (t.as_nanos() / 1_000) as u32
 }
 
+/// CIT from the 4-byte policy word: modular distance in µs space. The word
+/// wraps every ~71.6 simulated minutes, so a plain subtraction of the
+/// widened stamp goes wrong past 4295 s; `wrapping_sub` stays correct for
+/// any interval shorter than one full wrap.
+fn cit_from_word(fault_time: Nanos, word: u32) -> Nanos {
+    Nanos(now_us(fault_time).wrapping_sub(word) as u64 * 1_000)
+}
+
 /// The Chrono policy.
 pub struct ChronoPolicy {
     cfg: ChronoConfig,
@@ -71,7 +80,16 @@ pub struct ChronoPolicy {
     cit_threshold: Nanos,
     /// Latest DCSC overlap point (bucket floor), anchoring the threshold.
     overlap_floor: Option<Nanos>,
+    /// Ceiling the thrashing monitor imposes on the DCSC-derived rate limit.
+    /// The monitor halves the queue's rate directly, but DCSC recomputes the
+    /// rate from overlap `scan_period / dcsc_interval` times per period,
+    /// which would erase the halving within a fraction of a period; holding
+    /// the halved rate as a ceiling until the next quiet period makes the
+    /// Section 3.3 response actually last "the next period".
+    thrash_ceiling: Option<u64>,
     rng: DetRng,
+    /// Latest DCSC misplacement ratio, carried into period trace samples.
+    last_overlap_ratio: f64,
     threshold_history: Vec<(Nanos, f64)>,
     rate_history: Vec<(Nanos, f64)>,
     /// Optional CIT sample capture for the Fig 10a experiment.
@@ -111,6 +129,8 @@ impl ChronoPolicy {
             cfg,
             name,
             overlap_floor: None,
+            thrash_ceiling: None,
+            last_overlap_ratio: 0.0,
             cursors: Vec::new(),
             candidates: CandidateSet::new(),
             thrash: ThrashingMonitor::new(),
@@ -171,6 +191,24 @@ impl ChronoPolicy {
     /// Rate-limit history as `(time, MB/s)` (Fig 10c).
     pub fn rate_history(&self) -> &[(Nanos, f64)] {
         &self.rate_history
+    }
+
+    /// Means of the first `head` and last `tail` entries of a tuning
+    /// history, clamped to however many samples a short run produced.
+    /// Returns `None` for an empty history instead of panicking, so
+    /// trend checks stay safe on runs with fewer than `head + tail`
+    /// tune periods.
+    pub fn history_trend(history: &[(Nanos, f64)], head: usize, tail: usize) -> Option<(f64, f64)> {
+        if history.is_empty() {
+            return None;
+        }
+        let mean = |s: &[(Nanos, f64)]| s.iter().map(|&(_, v)| v).sum::<f64>() / s.len() as f64;
+        let head = head.clamp(1, history.len());
+        let tail = tail.clamp(1, history.len());
+        Some((
+            mean(&history[..head]),
+            mean(&history[history.len() - tail..]),
+        ))
     }
 
     /// Captured `(pid, page, CIT)` samples (Fig 10a; enable
@@ -242,6 +280,11 @@ impl ChronoPolicy {
                     }
                 });
         sys.charge_scan(pid, visited.max(1));
+        let now = sys.clock.now();
+        sys.trace.emit(now, || TraceEvent::Scan {
+            pid: pid.0,
+            visited,
+        });
         let interval = cur.event_interval;
         sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));
     }
@@ -302,6 +345,13 @@ impl ChronoPolicy {
         let queued = e.flags.has(PageFlags::CANDIDATE);
         let threshold = self.effective_threshold(sys, pid, pte);
         let unit = Self::unit_pages(sys, pid, pte);
+        let now = sys.clock.now();
+        sys.trace.emit(now, || TraceEvent::HintFault {
+            pid: pid.0,
+            vpn: pte.0,
+            cit,
+            below_threshold: cit <= threshold,
+        });
 
         if cit <= threshold {
             self.scan_faults_below += 1;
@@ -309,6 +359,8 @@ impl ChronoPolicy {
                 // A recently demoted page re-qualifying is a thrashing event.
                 self.thrash.record_thrash(unit as u64);
                 sys.stats.thrash_events += 1;
+                sys.trace
+                    .emit(now, || TraceEvent::Thrash { pages: unit as u64 });
                 sys.process_mut(pid)
                     .space
                     .entry_mut(pte)
@@ -323,6 +375,11 @@ impl ChronoPolicy {
                     vpn: pte,
                     pages: unit,
                 }) {
+                    sys.trace.emit(now, || TraceEvent::Enqueue {
+                        pid: pid.0,
+                        vpn: pte.0,
+                        pages: unit,
+                    });
                     sys.process_mut(pid)
                         .space
                         .entry_mut(pte)
@@ -397,9 +454,16 @@ impl ChronoPolicy {
 
     fn tune_period(&mut self, sys: &mut TieredSystem) {
         let now = sys.clock.now();
+        // In the adaptive modes the enqueue counter is reset every period
+        // (by `take_enqueued` below), so this snapshot is the per-period
+        // enqueue count the trace layer wants.
+        let enqueued_this_period = self.queue.enqueued_pages();
         // Thrashing check first: it modulates the rate limit for the period.
         if self.thrash.end_period(self.cfg.thrash_threshold) {
             self.queue.halve_rate_limit();
+            self.thrash_ceiling = Some(self.queue.rate_limit());
+        } else {
+            self.thrash_ceiling = None;
         }
         // Threshold feedback (both adaptive modes): converge the enqueue
         // rate to the rate limit. In semi-auto the rate limit is the user's;
@@ -425,9 +489,12 @@ impl ChronoPolicy {
                 self.cfg.scan_period,
             );
             if let (TuningMode::Dcsc, Some(floor)) = (&self.cfg.tuning, self.overlap_floor) {
-                let lo = Nanos(floor.as_nanos() / 2).max(Nanos(1));
-                let hi = Nanos(floor.as_nanos().saturating_mul(64));
-                th = Nanos(th.as_nanos().clamp(lo.as_nanos(), hi.as_nanos()));
+                // DCSC derives the threshold too (Section 3.2.2): blend the
+                // semi-auto result toward the overlap point once per period,
+                // so the classifier converges on the CIT of the fast tier's
+                // marginal page while the feedback above still reacts to the
+                // enqueue rate within the period.
+                th = tuning::dcsc_threshold_update(th, floor, self.cfg.scan_period);
             }
             self.cit_threshold = th;
         }
@@ -439,6 +506,21 @@ impl ChronoPolicy {
             .push((now, self.cit_threshold.as_nanos() as f64 / 1e6));
         self.rate_history
             .push((now, self.queue.rate_limit() as f64 / (1024.0 * 1024.0)));
+        let threshold = self.cit_threshold;
+        let rate = self.queue.rate_limit();
+        sys.trace.emit(now, || TraceEvent::Tune {
+            cit_threshold: threshold,
+            rate_limit_bps: rate,
+        });
+        sys.trace_period(PolicyTraceState {
+            cit_threshold: threshold,
+            rate_limit_bps: rate,
+            queue_depth: self.queue.len() as u64,
+            enqueued_pages: enqueued_this_period,
+            dequeued_pages: self.queue.dequeued_pages(),
+            dropped_pages: self.queue.dropped_pages(),
+            heat_overlap_ratio: self.last_overlap_ratio,
+        });
         sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, 0));
     }
 
@@ -540,18 +622,27 @@ impl ChronoPolicy {
         let slow_map = self.heat[TierId::Slow.index()].scaled_to(slow_pop);
         let capacity = sys.total_frames(TierId::Fast) as f64;
         let overlap = identify_overlap(&fast_map, &slow_map, capacity);
+        self.last_overlap_ratio = overlap.misplacement_ratio;
+        let now = sys.clock.now();
+        sys.trace.emit(now, || TraceEvent::DcscOverlap {
+            cutoff_bucket: overlap.cutoff_bucket as u32,
+            misplaced_pages: overlap.misplaced_slow_pages,
+            misplacement_ratio: overlap.misplacement_ratio,
+        });
 
         let rate = tuning::dcsc_rate_limit(&overlap, self.cfg.scan_period);
+        let rate = rate.min(self.thrash_ceiling.unwrap_or(u64::MAX));
         self.queue.set_rate_limit(rate);
 
         let cutoff = self
             .cfg
             .bucket_floor(overlap.cutoff_bucket.min(self.cfg.buckets - 1));
-        self.overlap_floor = Some(if cutoff == Nanos::ZERO {
+        let anchor = if cutoff == Nanos::ZERO {
             self.cfg.finest_cit
         } else {
             cutoff
-        });
+        };
+        self.overlap_floor = Some(anchor);
     }
 }
 
@@ -600,8 +691,10 @@ impl TieringPolicy for ChronoPolicy {
         res: &AccessResult,
     ) {
         let pte = sys.process(pid).space.pte_page(vpn);
-        let scan_ts = Nanos(sys.process(pid).space.entry(pte).policy_word as u64 * 1_000);
-        let cit = res.fault_time.saturating_sub(scan_ts);
+        let cit = cit_from_word(
+            res.fault_time,
+            sys.process(pid).space.entry(pte).policy_word,
+        );
         if res.probed_fault {
             self.handle_probe_fault(sys, pid, pte, cit, res.fault_time);
         } else {
@@ -764,6 +857,22 @@ mod tests {
         // (armed) or have been re-promoted (flag cleared). Just assert the
         // mechanism ran: demotions happened and thrash accounting is sane.
         assert!(sys.stats.demoted_pages > 0);
+    }
+
+    #[test]
+    fn cit_survives_policy_word_wrap() {
+        // The 4-byte µs policy word wraps every 2^32 µs (~71.6 min). A page
+        // stamped 10 µs before the wrap and faulting 6 µs after it has a
+        // 16 µs CIT; widening the word and subtracting would instead produce
+        // a huge bogus interval (or zero under saturation).
+        let word = u32::MAX - 9; // stamp: 10 µs before wrap
+        let fault = Nanos((u32::MAX as u64 + 7) * 1_000); // 6 µs after wrap
+        assert_eq!(cit_from_word(fault, word), Nanos(16_000));
+        // Non-wrapping intervals are unchanged.
+        assert_eq!(
+            cit_from_word(Nanos::from_millis(5), now_us(Nanos::from_millis(2))),
+            Nanos::from_millis(3)
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub fn best_round_count(alpha: f64, max_n: u32) -> u32 {
 
 /// Composite Simpson integration on `[a, b]` with `steps` (even) intervals.
 fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, steps: usize) -> f64 {
-    let steps = if steps % 2 == 0 { steps } else { steps + 1 };
+    let steps = if steps.is_multiple_of(2) {
+        steps
+    } else {
+        steps + 1
+    };
     let h = (b - a) / steps as f64;
     let mut acc = f(a) + f(b);
     for i in 1..steps {

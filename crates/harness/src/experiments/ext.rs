@@ -173,10 +173,7 @@ fn run_until(
     policy: &mut dyn TieringPolicy,
     until: Nanos,
 ) {
-    loop {
-        let Some(pid) = sys.min_vtime_process() else {
-            break;
-        };
+    while let Some(pid) = sys.min_vtime_process() {
         let t = sys.process(pid).vtime;
         while let Some(deadline) = sys.events.next_deadline() {
             if deadline > t {

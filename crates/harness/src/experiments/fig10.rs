@@ -18,6 +18,7 @@ const PAGES: u32 = 8192;
 /// counts and the makespan in seconds.
 fn chrono_profile(scale: &Scale) -> (ChronoPolicy, HashMap<u32, u64>, f64) {
     let mut sys = quarter_system(PAGES + PAGES / 4);
+    crate::sink::arm(&mut sys);
     let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(PAGES, 0.95, 1010));
     sys.add_process(w.address_space_pages(), PageSize::Base);
     let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
@@ -36,6 +37,7 @@ fn chrono_profile(scale: &Scale) -> (ChronoPolicy, HashMap<u32, u64>, f64) {
         *counts.entry(vpn.0).or_insert(0) += 1;
     });
     let secs = r.makespan.as_secs_f64();
+    crate::sink::finish_run("Chrono", &sys);
     (policy, counts, secs)
 }
 
@@ -161,6 +163,7 @@ pub fn sensitivity_cell(scale: &Scale, param: &str, mult: f64) -> f64 {
     };
     let total = 6u32 * 2048;
     let mut sys = quarter_system(total + total / 8);
+    crate::sink::arm(&mut sys);
     let mut wls: Vec<Box<dyn Workload>> = Vec::new();
     for i in 0..6 {
         let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(2048, 0.7, 1100 + i));
@@ -173,6 +176,7 @@ pub fn sensitivity_cell(scale: &Scale, param: &str, mult: f64) -> f64 {
         ..Default::default()
     })
     .run(&mut sys, &mut wls, &mut policy);
+    crate::sink::finish_run(&format!("sens-{param}-{mult}"), &sys);
     r.throughput()
 }
 

@@ -15,5 +15,6 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod sink;
 
 pub use runner::{PolicyKind, Scale, StandardRun};

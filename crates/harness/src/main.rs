@@ -1,15 +1,35 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! harness [--scale N] <experiment-id>...
+//! harness [--scale N] [--json DIR] [--trace DIR] <experiment-id>...
 //! harness list
 //! harness all
 //! ```
+//!
+//! `--json DIR` writes per-scan-period counter rows (JSON + CSV) for every
+//! run; `--trace DIR` additionally dumps the bounded discrete-event ring as
+//! JSON Lines. Both are off by default and cost nothing when unset.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use harness::experiments::{run_by_id, EXPERIMENTS};
-use harness::Scale;
+use harness::{sink, Scale};
+
+/// Extracts `--flag <dir>` from `args`, creating the directory.
+fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<PathBuf> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let Some(dir) = args.get(pos + 1).map(PathBuf::from) else {
+        eprintln!("{flag} requires a directory argument");
+        std::process::exit(2);
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {}", dir.display(), e);
+        std::process::exit(2);
+    }
+    args.drain(pos..=pos + 1);
+    Some(dir)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +47,10 @@ fn main() {
         args.drain(pos..=pos + 1);
     }
 
+    let json_dir = take_dir_flag(&mut args, "--json");
+    let trace_dir = take_dir_flag(&mut args, "--trace");
+    sink::configure(json_dir, trace_dir);
+
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
         for (id, desc) in EXPERIMENTS {
@@ -36,14 +60,34 @@ fn main() {
         return;
     }
 
+    // A family name expands to its members: `fig10` runs fig10a..fig10d,
+    // `fig2` runs fig2a+fig2b. Exact ids always win over prefix expansion.
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
         EXPERIMENTS.iter().map(|(id, _)| *id).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        let mut ids = Vec::new();
+        for arg in &args {
+            if EXPERIMENTS.iter().any(|(id, _)| id == arg) {
+                ids.push(arg.as_str());
+                continue;
+            }
+            let family: Vec<&str> = EXPERIMENTS
+                .iter()
+                .map(|(id, _)| *id)
+                .filter(|id| id.starts_with(arg.as_str()))
+                .collect();
+            if family.is_empty() {
+                ids.push(arg.as_str()); // falls through to the unknown-id error
+            } else {
+                ids.extend(family);
+            }
+        }
+        ids
     };
 
     for id in ids {
         let start = Instant::now();
+        sink::set_experiment(id);
         match run_by_id(id, &scale) {
             Some(output) => {
                 println!("{}", output);

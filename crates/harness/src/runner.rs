@@ -221,6 +221,7 @@ where
     F: FnOnce() -> Vec<Box<dyn Workload>>,
 {
     let mut sys = quarter_system(total_frames);
+    crate::sink::arm(&mut sys);
     let mut wls = make_workloads();
     for w in &wls {
         sys.add_process(w.address_space_pages(), page_size);
@@ -231,6 +232,7 @@ where
         ..Default::default()
     });
     let result = SimulationDriver::new(cfg).run(&mut sys, &mut wls, &mut *policy);
+    crate::sink::finish_run(kind.name(), &sys);
     StandardRun {
         sys,
         result,

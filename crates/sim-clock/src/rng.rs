@@ -2,12 +2,10 @@
 //!
 //! All stochastic behaviour — workload access patterns, DCSC victim
 //! selection, PEBS sampling — draws from a [`DetRng`] seeded per experiment,
-//! so runs are exactly reproducible. The generator is `rand`'s SplitMix-style
-//! seeding of a xoshiro-like core (`SmallRng` is avoided because its algorithm
-//! is not stability-guaranteed across `rand` versions; we implement
-//! xoshiro256++ directly, which is tiny and fully specified).
-
-use rand::RngCore;
+//! so runs are exactly reproducible. The generator is SplitMix64-style
+//! seeding of a xoshiro256++ core, implemented directly (tiny and fully
+//! specified) so the streams are stable forever and the crate carries no
+//! external dependencies.
 
 /// A deterministic xoshiro256++ random number generator.
 ///
@@ -104,18 +102,21 @@ impl DetRng {
     pub fn exponential(&mut self, mean: f64) -> f64 {
         -mean * self.unit_f64().max(f64::MIN_POSITIVE).ln()
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
+    /// Uniform `u32` over the full range (upper bits of the raw stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_raw() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// Uniform `u64` over the full range.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
         self.next_raw()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with uniform random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_raw().to_le_bytes());
@@ -125,11 +126,6 @@ impl RngCore for DetRng {
             let bytes = self.next_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! (who to promote/demote and when) lives in the policy crates.
 
 use sim_clock::{Clock, EventQueue, Nanos};
+use tiering_trace::{MigrateDir, PeriodSample, PolicyTraceState, TraceEvent, Tracer};
 
 use crate::addr::{PageSize, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 use crate::config::SystemConfig;
@@ -82,9 +83,14 @@ pub struct TieredSystem {
     pub events: EventQueue<u64>,
     /// Run-time statistics.
     pub stats: SystemStats,
+    /// Observability: disabled by default, enabled via
+    /// [`TieredSystem::enable_tracing`].
+    pub trace: Tracer,
     /// Fast-tier watermarks (the slow tier spills to swap, not modelled).
     pub watermarks: Watermarks,
     cfg: SystemConfig,
+    /// Stats snapshot at the last trace period, for delta rows.
+    trace_baseline: SystemStats,
     frames: [FrameTable; 2],
     lru: [LruLists; 2],
     procs: Vec<Process>,
@@ -135,7 +141,7 @@ impl TierLoad {
         if u <= 0.7 {
             1.0
         } else {
-            (0.3 / (1.0 - u.min(0.95))).min(8.0).max(1.0)
+            (0.3 / (1.0 - u.min(0.95))).clamp(1.0, 8.0)
         }
     }
 }
@@ -148,6 +154,8 @@ impl TieredSystem {
             clock: Clock::new(),
             events: EventQueue::new(),
             stats: SystemStats::default(),
+            trace: Tracer::disabled(),
+            trace_baseline: SystemStats::default(),
             watermarks: Watermarks::scaled_to(fast_frames),
             frames: [
                 FrameTable::new(cfg.fast.frames),
@@ -164,6 +172,38 @@ impl TieredSystem {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Turns on trace recording with the given event-ring bound. Tracing is
+    /// off by default and costs one branch per record site when disabled.
+    pub fn enable_tracing(&mut self, event_cap: usize) {
+        self.trace = Tracer::enabled(event_cap);
+        self.trace_baseline = self.stats.clone();
+    }
+
+    /// Closes one observation period: records a [`PeriodSample`] combining
+    /// the caller's policy control state with the substrate's activity since
+    /// the previous call (promotions, demotions, thrashing, hint faults,
+    /// FMAR). No-op while tracing is disabled.
+    pub fn trace_period(&mut self, policy: PolicyTraceState) {
+        if !self.trace.is_enabled() {
+            return;
+        }
+        let delta = self.stats.delta_since(&self.trace_baseline);
+        let sample = PeriodSample {
+            timestamp: self.clock.now(),
+            policy,
+            promoted_pages: delta.promoted_pages,
+            demoted_pages: delta.demoted_pages,
+            thrash_events: delta.thrash_events,
+            hint_faults: delta.hint_faults,
+            period_fmar: delta.fmar(),
+            fmar: self.stats.fmar(),
+            fast_used_frames: self.used_frames(TierId::Fast) as u64,
+            slow_used_frames: self.used_frames(TierId::Slow) as u64,
+        };
+        self.trace.record_period(|| sample);
+        self.trace_baseline = self.stats.clone();
     }
 
     /// Adds a process with an address space of `pages` base pages.
@@ -657,6 +697,16 @@ impl TieredSystem {
             self.stats.demoted_pages += unit as u64;
         }
         self.stats.migration_bytes += unit as u64 * BASE_PAGE_BYTES;
+        self.trace.emit(self.clock.now(), || TraceEvent::Migrate {
+            pid: pid.0,
+            vpn: head.0,
+            pages: unit,
+            dir: if to == TierId::Fast {
+                MigrateDir::Promote
+            } else {
+                MigrateDir::Demote
+            },
+        });
         Ok(unit)
     }
 

@@ -121,6 +121,7 @@ impl TieringPolicy for AutoTiering {
                         None => break,
                     }
                 }
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
             }
             _ => unreachable!("unknown AutoTiering event {}", kind),

@@ -135,10 +135,8 @@ impl SimulationDriver {
             .collect();
         let mut next_sample = self.cfg.sample_interval.unwrap_or(Nanos::MAX);
 
-        loop {
-            let Some(pid) = sys.min_vtime_process() else {
-                break; // every workload finished
-            };
+        // Runs until every workload finishes or a stop condition fires.
+        while let Some(pid) = sys.min_vtime_process() {
             let t = sys.process(pid).vtime;
 
             // Fire daemon events due before this access.
@@ -203,6 +201,13 @@ impl SimulationDriver {
                 policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
             }
             policy.on_access(sys, pid, req.vpn, req.write);
+        }
+
+        // Policies without a periodic tune event (Static, the baselines'
+        // quiet configurations) would otherwise export zero rows; close the
+        // run with a final whole-run sample so every traced run has one.
+        if sys.trace.is_enabled() && sys.trace.periods().is_empty() {
+            sys.trace_period(Default::default());
         }
 
         let workloads_finished = sys.pids().all(|p| !sys.process(p).running);

@@ -74,7 +74,6 @@ impl FlexMem {
             deferred: Vec::new(),
         }
     }
-
 }
 
 impl TieringPolicy for FlexMem {
@@ -157,6 +156,7 @@ impl TieringPolicy for FlexMem {
                         None => break,
                     }
                 }
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
             }
             _ => unreachable!("unknown FlexMem event {}", kind),

@@ -136,6 +136,7 @@ impl TieringPolicy for LinuxNumaBalancing {
                         }
                     }
                 }
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.scan_period / 16, encode_token(EV_KSWAPD, 0, 0));
             }
             _ => unreachable!("unknown Linux-NB event {}", kind),
@@ -154,13 +155,13 @@ impl TieringPolicy for LinuxNumaBalancing {
         // pacing budget and only if the fast tier has free frames —
         // `migrate_misplaced_page` does not reclaim on its own.
         let pte = sys.process(pid).space.pte_page(vpn);
-        if self.promo_budget > 0 && sys.process(pid).space.entry(pte).tier() == TierId::Slow {
-            if sys
+        if self.promo_budget > 0
+            && sys.process(pid).space.entry(pte).tier() == TierId::Slow
+            && sys
                 .migrate(pid, pte, TierId::Fast, MigrateMode::Sync(pid))
                 .is_ok()
-            {
-                self.promo_budget -= 1;
-            }
+        {
+            self.promo_budget -= 1;
         }
     }
 }

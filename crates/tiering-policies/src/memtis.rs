@@ -250,6 +250,7 @@ impl TieringPolicy for Memtis {
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 self.adjust_threshold(sys);
                 self.maybe_split(sys);
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.adjust_interval, encode_token(EV_ADJUST, 0, 0));
             }
             _ => unreachable!("unknown Memtis event {}", kind),

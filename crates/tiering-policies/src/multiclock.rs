@@ -144,6 +144,7 @@ impl TieringPolicy for MultiClock {
                         None => break,
                     }
                 }
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
             }
             _ => unreachable!("unknown MultiClock event {}", kind),

@@ -254,6 +254,7 @@ impl TieringPolicy for Telescope {
                         None => break,
                     }
                 }
+                sys.trace_period(Default::default());
                 sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
             }
             _ => unreachable!("unknown Telescope event {}", kind),

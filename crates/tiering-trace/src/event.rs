@@ -1,0 +1,212 @@
+//! Discrete trace events.
+
+use sim_clock::Nanos;
+
+use crate::export::JsonWriter;
+
+/// Direction of a migration event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateDir {
+    /// Slow → fast.
+    Promote,
+    /// Fast → slow.
+    Demote,
+}
+
+impl MigrateDir {
+    /// Lower-case label used in exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MigrateDir::Promote => "promote",
+            MigrateDir::Demote => "demote",
+        }
+    }
+}
+
+/// One discrete policy/substrate event.
+///
+/// Events are cheap POD values; anything that would need allocation
+/// (labels, maps) is reduced to scalars at the emit site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A ticking-scan chunk completed: `visited` PTEs walked for `pid`.
+    Scan {
+        /// Scanned process.
+        pid: u16,
+        /// PTE entries visited in this chunk.
+        visited: u64,
+    },
+    /// A hint fault was classified: the measured CIT and whether it fell
+    /// below the active threshold.
+    HintFault {
+        /// Faulting process.
+        pid: u16,
+        /// Faulting virtual page.
+        vpn: u32,
+        /// Measured CIT.
+        cit: Nanos,
+        /// `cit <= threshold` at classification time.
+        below_threshold: bool,
+    },
+    /// A page passed candidate filtering and entered the promotion queue.
+    Enqueue {
+        /// Owning process.
+        pid: u16,
+        /// PTE page (base page or huge-block head).
+        vpn: u32,
+        /// Base pages the promotion will move.
+        pages: u32,
+    },
+    /// A migration completed.
+    Migrate {
+        /// Owning process.
+        pid: u16,
+        /// PTE page.
+        vpn: u32,
+        /// Base pages moved.
+        pages: u32,
+        /// Promotion or demotion.
+        dir: MigrateDir,
+    },
+    /// The thrashing monitor flagged a re-promoted recently-demoted page.
+    Thrash {
+        /// Base pages involved.
+        pages: u64,
+    },
+    /// A tune period ran: the control state it settled on.
+    Tune {
+        /// CIT threshold after the update.
+        cit_threshold: Nanos,
+        /// Promotion rate limit after the update (bytes/second).
+        rate_limit_bps: u64,
+    },
+    /// DCSC compared the per-tier heat maps.
+    DcscOverlap {
+        /// Bucket index of the overlap point.
+        cutoff_bucket: u32,
+        /// Estimated misplaced slow-tier pages.
+        misplaced_pages: f64,
+        /// Misplaced pages over fast-tier capacity.
+        misplacement_ratio: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-kind label used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Scan { .. } => "scan",
+            TraceEvent::HintFault { .. } => "hint_fault",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Migrate { .. } => "migrate",
+            TraceEvent::Thrash { .. } => "thrash",
+            TraceEvent::Tune { .. } => "tune",
+            TraceEvent::DcscOverlap { .. } => "dcsc_overlap",
+        }
+    }
+
+    /// Writes the event's fields (excluding timestamp/kind) into `w`.
+    pub(crate) fn write_fields(&self, w: &mut JsonWriter) {
+        match *self {
+            TraceEvent::Scan { pid, visited } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("visited", visited);
+            }
+            TraceEvent::HintFault {
+                pid,
+                vpn,
+                cit,
+                below_threshold,
+            } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+                w.field_u64("cit_ns", cit.as_nanos());
+                w.field_bool("below_threshold", below_threshold);
+            }
+            TraceEvent::Enqueue { pid, vpn, pages } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+                w.field_u64("pages", pages as u64);
+            }
+            TraceEvent::Migrate {
+                pid,
+                vpn,
+                pages,
+                dir,
+            } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+                w.field_u64("pages", pages as u64);
+                w.field_str("dir", dir.label());
+            }
+            TraceEvent::Thrash { pages } => {
+                w.field_u64("pages", pages);
+            }
+            TraceEvent::Tune {
+                cit_threshold,
+                rate_limit_bps,
+            } => {
+                w.field_u64("cit_threshold_ns", cit_threshold.as_nanos());
+                w.field_u64("rate_limit_bps", rate_limit_bps);
+            }
+            TraceEvent::DcscOverlap {
+                cutoff_bucket,
+                misplaced_pages,
+                misplacement_ratio,
+            } => {
+                w.field_u64("cutoff_bucket", cutoff_bucket as u64);
+                w.field_f64("misplaced_pages", misplaced_pages);
+                w.field_f64("misplacement_ratio", misplacement_ratio);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_labels() {
+        let evs = [
+            TraceEvent::Scan { pid: 0, visited: 1 },
+            TraceEvent::HintFault {
+                pid: 0,
+                vpn: 0,
+                cit: Nanos(1),
+                below_threshold: true,
+            },
+            TraceEvent::Enqueue {
+                pid: 0,
+                vpn: 0,
+                pages: 1,
+            },
+            TraceEvent::Migrate {
+                pid: 0,
+                vpn: 0,
+                pages: 1,
+                dir: MigrateDir::Promote,
+            },
+            TraceEvent::Thrash { pages: 1 },
+            TraceEvent::Tune {
+                cit_threshold: Nanos(1),
+                rate_limit_bps: 1,
+            },
+            TraceEvent::DcscOverlap {
+                cutoff_bucket: 0,
+                misplaced_pages: 0.0,
+                misplacement_ratio: 0.0,
+            },
+        ];
+        let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), evs.len());
+    }
+
+    #[test]
+    fn migrate_dir_labels() {
+        assert_eq!(MigrateDir::Promote.label(), "promote");
+        assert_eq!(MigrateDir::Demote.label(), "demote");
+    }
+}

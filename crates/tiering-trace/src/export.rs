@@ -1,0 +1,246 @@
+//! Dependency-free JSON/CSV rendering.
+//!
+//! The repository builds in offline environments with no registry access,
+//! so serialization is hand-rolled: a tiny [`JsonWriter`] emits the small,
+//! flat schema the trace layer needs (objects of scalar fields inside
+//! arrays) with correct escaping and comma placement.
+
+use sim_clock::Nanos;
+
+use crate::event::TraceEvent;
+use crate::period::PeriodSample;
+
+/// Minimal JSON emitter for flat objects and arrays of objects.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: bool,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Consumes the writer, returning the rendered JSON.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn pre_value(&mut self) {
+        if self.needs_comma {
+            self.out.push(',');
+        }
+        self.needs_comma = true;
+    }
+
+    /// Opens a JSON array (as a value position).
+    pub fn begin_array(&mut self) {
+        self.pre_value();
+        self.out.push('[');
+        self.needs_comma = false;
+    }
+
+    /// Closes a JSON array.
+    pub fn end_array(&mut self) {
+        self.out.push(']');
+        self.needs_comma = true;
+    }
+
+    /// Opens a JSON object (as a value position).
+    pub fn begin_object(&mut self) {
+        self.pre_value();
+        self.out.push('{');
+        self.needs_comma = false;
+    }
+
+    /// Closes a JSON object.
+    pub fn end_object(&mut self) {
+        self.out.push('}');
+        self.needs_comma = true;
+    }
+
+    fn key(&mut self, name: &str) {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(name); // keys are internal identifiers, no escapes
+        self.out.push_str("\":");
+        // The value that follows must not get its own comma.
+        self.needs_comma = false;
+    }
+
+    /// Emits `"name": value` for an unsigned integer.
+    pub fn field_u64(&mut self, name: &str, v: u64) {
+        self.key(name);
+        self.out.push_str(&v.to_string());
+        self.needs_comma = true;
+    }
+
+    /// Emits `"name": value` for a bool.
+    pub fn field_bool(&mut self, name: &str, v: bool) {
+        self.key(name);
+        self.out.push_str(if v { "true" } else { "false" });
+        self.needs_comma = true;
+    }
+
+    /// Emits `"name": value` for a float (`null` for non-finite values,
+    /// which raw JSON cannot represent).
+    pub fn field_f64(&mut self, name: &str, v: f64) {
+        self.key(name);
+        if v.is_finite() {
+            self.out.push_str(&format!("{:.6}", v));
+        } else {
+            self.out.push_str("null");
+        }
+        self.needs_comma = true;
+    }
+
+    /// Emits `"name": "value"` with escaping.
+    pub fn field_str(&mut self, name: &str, v: &str) {
+        self.key(name);
+        self.out.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+        self.needs_comma = true;
+    }
+}
+
+/// Renders period samples as a JSON document:
+/// `{"label": ..., "periods": [...]}`.
+pub fn periods_to_json(label: &str, periods: &[PeriodSample]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("label", label);
+    w.key("periods");
+    w.begin_array();
+    for p in periods {
+        p.write_json(&mut w);
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Renders period samples as CSV with a header row.
+pub fn periods_to_csv(periods: &[PeriodSample]) -> String {
+    let mut out = String::from(PeriodSample::csv_header());
+    out.push('\n');
+    for p in periods {
+        out.push_str(&p.csv_row());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events as JSON Lines: one `{"t_ns": ..., "kind": ..., ...}`
+/// object per line, oldest first.
+pub fn events_to_jsonl<'a>(events: impl Iterator<Item = &'a (Nanos, TraceEvent)>) -> String {
+    let mut out = String::new();
+    for (t, ev) in events {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("t_ns", t.as_nanos());
+        w.field_str("kind", ev.kind());
+        ev.write_fields(&mut w);
+        w.end_object();
+        out.push_str(&w.finish());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MigrateDir;
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("s", "a\"b\\c\nd");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn object_commas_are_placed_between_fields_only() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_u64("a", 1);
+        w.field_u64("b", 2);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_f64("x", f64::NAN);
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"x":null}"#);
+    }
+
+    #[test]
+    fn periods_json_contains_required_fields() {
+        let s = PeriodSample {
+            timestamp: Nanos(5),
+            ..Default::default()
+        };
+        let j = periods_to_json("Chrono", &[s]);
+        for field in [
+            "\"label\":\"Chrono\"",
+            "\"timestamp_ns\":5",
+            "\"cit_threshold_ns\":",
+            "\"rate_limit_bps\":",
+            "\"promoted_pages\":",
+            "\"demoted_pages\":",
+            "\"thrash_events\":",
+            "\"fmar\":",
+        ] {
+            assert!(j.contains(field), "missing {} in {}", field, j);
+        }
+    }
+
+    #[test]
+    fn events_jsonl_one_line_per_event() {
+        let evs = vec![
+            (Nanos(1), TraceEvent::Thrash { pages: 2 }),
+            (
+                Nanos(2),
+                TraceEvent::Migrate {
+                    pid: 0,
+                    vpn: 9,
+                    pages: 1,
+                    dir: MigrateDir::Promote,
+                },
+            ),
+        ];
+        let text = events_to_jsonl(evs.iter());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"thrash\""));
+        assert!(lines[1].contains("\"dir\":\"promote\""));
+    }
+
+    #[test]
+    fn csv_export_has_header_plus_rows() {
+        let csv = periods_to_csv(&[PeriodSample::default(), PeriodSample::default()]);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("timestamp_ns,"));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Structured observability for tiering policies.
+//!
+//! Adaptive tiering systems make decisions whose correctness is invisible
+//! from a pass/fail bit: the CIT threshold trajectory, the enqueue rate the
+//! tuner reacts to, the heat-map overlap DCSC derives its rate limit from.
+//! This crate records that internal trajectory as two complementary streams:
+//!
+//! - [`PeriodSample`] — one row per scan/tune period with the policy's
+//!   control state (threshold, rate limit, queue depth) and the substrate's
+//!   delta counters (promoted/demoted/thrashed pages, hint faults, FMAR).
+//! - [`TraceEvent`] — discrete events (scan, hint fault + CIT, enqueue,
+//!   migrate, demote, tune, DCSC overlap) kept in a bounded ring so long
+//!   runs cannot exhaust memory.
+//!
+//! The [`Tracer`] handle is embedded in the simulated system and is **off by
+//! default**: every recording entry point checks a single bool first and
+//! event construction happens inside closures, so a disabled tracer costs
+//! one predictable branch per call site and allocates nothing.
+//!
+//! Export is dependency-free JSON and CSV (see [`export`]), consumed by the
+//! harness `--json`/`--trace` flags.
+
+pub mod event;
+pub mod export;
+pub mod period;
+pub mod ring;
+pub mod tracer;
+
+pub use event::{MigrateDir, TraceEvent};
+pub use period::{PeriodSample, PolicyTraceState};
+pub use ring::EventRing;
+pub use tracer::{Tracer, DEFAULT_EVENT_CAP};

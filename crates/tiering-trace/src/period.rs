@@ -1,0 +1,129 @@
+//! Per-scan-period counter rows.
+
+use sim_clock::Nanos;
+
+use crate::export::JsonWriter;
+
+/// Policy-side control state contributed to a period sample. Baselines that
+/// have no threshold/queue machinery pass [`PolicyTraceState::default`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PolicyTraceState {
+    /// Active CIT threshold (zero for policies without one).
+    pub cit_threshold: Nanos,
+    /// Promotion rate limit in bytes/second (zero if unlimited/absent).
+    pub rate_limit_bps: u64,
+    /// Entries sitting in the promotion queue right now.
+    pub queue_depth: u64,
+    /// Base pages enqueued during this period.
+    pub enqueued_pages: u64,
+    /// Lifetime base pages dequeued (migration-started).
+    pub dequeued_pages: u64,
+    /// Lifetime base pages dropped on queue overflow.
+    pub dropped_pages: u64,
+    /// Latest DCSC heat-map misplacement ratio (zero when DCSC is off).
+    pub heat_overlap_ratio: f64,
+}
+
+/// One exported row: the policy's control state plus the substrate's
+/// activity during the period ending at `timestamp`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PeriodSample {
+    /// Simulated time at the end of the period.
+    pub timestamp: Nanos,
+    /// Policy control state at sampling time.
+    pub policy: PolicyTraceState,
+    /// Pages promoted slow → fast during the period.
+    pub promoted_pages: u64,
+    /// Pages demoted fast → slow during the period.
+    pub demoted_pages: u64,
+    /// Thrashing events flagged during the period.
+    pub thrash_events: u64,
+    /// Hint faults taken during the period.
+    pub hint_faults: u64,
+    /// Fast-tier memory access ratio over the period's accesses.
+    pub period_fmar: f64,
+    /// Cumulative FMAR over the whole run so far.
+    pub fmar: f64,
+    /// Fast-tier frames in use at sampling time.
+    pub fast_used_frames: u64,
+    /// Slow-tier frames in use at sampling time.
+    pub slow_used_frames: u64,
+}
+
+impl PeriodSample {
+    /// Writes the sample as one JSON object into `w`.
+    pub(crate) fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.field_u64("timestamp_ns", self.timestamp.as_nanos());
+        w.field_u64("cit_threshold_ns", self.policy.cit_threshold.as_nanos());
+        w.field_u64("rate_limit_bps", self.policy.rate_limit_bps);
+        w.field_u64("queue_depth", self.policy.queue_depth);
+        w.field_u64("enqueued_pages", self.policy.enqueued_pages);
+        w.field_u64("dequeued_pages", self.policy.dequeued_pages);
+        w.field_u64("dropped_pages", self.policy.dropped_pages);
+        w.field_f64("heat_overlap_ratio", self.policy.heat_overlap_ratio);
+        w.field_u64("promoted_pages", self.promoted_pages);
+        w.field_u64("demoted_pages", self.demoted_pages);
+        w.field_u64("thrash_events", self.thrash_events);
+        w.field_u64("hint_faults", self.hint_faults);
+        w.field_f64("period_fmar", self.period_fmar);
+        w.field_f64("fmar", self.fmar);
+        w.field_u64("fast_used_frames", self.fast_used_frames);
+        w.field_u64("slow_used_frames", self.slow_used_frames);
+        w.end_object();
+    }
+
+    /// CSV header matching [`PeriodSample::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "timestamp_ns,cit_threshold_ns,rate_limit_bps,queue_depth,enqueued_pages,\
+         dequeued_pages,dropped_pages,heat_overlap_ratio,promoted_pages,demoted_pages,\
+         thrash_events,hint_faults,period_fmar,fmar,fast_used_frames,slow_used_frames"
+    }
+
+    /// One CSV row (no trailing newline).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.timestamp.as_nanos(),
+            self.policy.cit_threshold.as_nanos(),
+            self.policy.rate_limit_bps,
+            self.policy.queue_depth,
+            self.policy.enqueued_pages,
+            self.policy.dequeued_pages,
+            self.policy.dropped_pages,
+            self.policy.heat_overlap_ratio,
+            self.promoted_pages,
+            self.demoted_pages,
+            self.thrash_events,
+            self.hint_faults,
+            self.period_fmar,
+            self.fmar,
+            self.fast_used_frames,
+            self.slow_used_frames,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let header_cols = PeriodSample::csv_header().split(',').count();
+        let row_cols = PeriodSample::default().csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn csv_row_carries_values() {
+        let s = PeriodSample {
+            timestamp: Nanos(42),
+            promoted_pages: 7,
+            ..Default::default()
+        };
+        let row = s.csv_row();
+        assert!(row.starts_with("42,"));
+        assert!(row.contains(",7,"));
+    }
+}

@@ -1,0 +1,110 @@
+//! A bounded ring of timestamped events.
+
+use std::collections::VecDeque;
+
+use sim_clock::Nanos;
+
+use crate::event::TraceEvent;
+
+/// Bounded FIFO of `(timestamp, event)` pairs. When full, the oldest entry
+/// is evicted and counted, so a long run keeps its most recent history and
+/// the exporter can report how much was shed.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<(Nanos, TraceEvent)>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring bounded at `cap` entries (`cap == 0` keeps nothing).
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            buf: VecDeque::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when at capacity.
+    pub fn push(&mut self, at: Nanos, ev: TraceEvent) {
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back((at, ev));
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events evicted (or rejected by a zero-capacity ring) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &(Nanos, TraceEvent)> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TraceEvent {
+        TraceEvent::Thrash { pages: n }
+    }
+
+    #[test]
+    fn keeps_newest_when_full() {
+        let mut r = EventRing::new(3);
+        for i in 0..5 {
+            r.push(Nanos(i), ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let ts: Vec<u64> = r.iter().map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_everything_as_dropped() {
+        let mut r = EventRing::new(0);
+        r.push(Nanos(1), ev(1));
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn iter_is_fifo() {
+        let mut r = EventRing::new(8);
+        r.push(Nanos(1), ev(10));
+        r.push(Nanos(2), ev(20));
+        let pages: Vec<u64> = r
+            .iter()
+            .map(|(_, e)| match e {
+                TraceEvent::Thrash { pages } => *pages,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pages, vec![10, 20]);
+    }
+}

@@ -84,7 +84,7 @@ impl KvStoreConfig {
         // Reserve ~15 % of pages for buckets/metadata, and account for the
         // slab spread so the *virtual* footprint lands near `pages`.
         let spread = 1.5f64;
-        let data_pages = ((pages as u64 * 85) / 100 as u64) as f64 / spread;
+        let data_pages = ((pages as u64 * 85) / 100) as f64 / spread;
         let data_pages = data_pages as u64;
         KvStoreConfig {
             items: (data_pages * items_per_page).max(64) as u32,

@@ -8,6 +8,7 @@
 //! - [`tiered_mem`] — the two-tier memory substrate.
 //! - [`workloads`] — pmbench / Graph500 / KV-store generators.
 //! - [`tiering_metrics`] — histograms, percentiles, F1/PPR scoring.
+//! - [`tiering_trace`] — structured run tracing (events + period samples).
 //! - [`tiering_policies`] — the baseline tiering policies.
 //! - [`chrono_core`] — the paper's contribution: CIT-based tiering.
 //! - [`harness`] — per-figure experiment runners.
@@ -18,4 +19,5 @@ pub use sim_clock;
 pub use tiered_mem;
 pub use tiering_metrics;
 pub use tiering_policies;
+pub use tiering_trace;
 pub use workloads;

@@ -52,9 +52,8 @@ fn threshold_converges_to_a_stable_band() {
 #[test]
 fn rate_limit_decreases_once_placement_stabilizes() {
     let (_sys, policy) = run_chrono(scaled_cfg(), 8192, 1500);
-    let hist = policy.rate_history();
-    let early: f64 = hist[..2].iter().map(|&(_, v)| v).sum::<f64>() / 2.0;
-    let late: f64 = hist[hist.len() - 3..].iter().map(|&(_, v)| v).sum::<f64>() / 3.0;
+    let (early, late) =
+        ChronoPolicy::history_trend(policy.rate_history(), 2, 3).expect("no tune periods ran");
     // Fig 10c: aggressive at start, lower and stable at the end.
     assert!(
         late < early,
@@ -62,6 +61,31 @@ fn rate_limit_decreases_once_placement_stabilizes() {
         early,
         late
     );
+}
+
+#[test]
+fn history_trend_survives_short_runs() {
+    // A run shorter than one scan period leaves zero or one tune-period
+    // samples; trend extraction must not panic on those histories.
+    let (_sys, policy) = run_chrono(scaled_cfg(), 2048, 50);
+    let hist = policy.rate_history();
+    assert!(
+        hist.len() < 3,
+        "expected a short history, got {}",
+        hist.len()
+    );
+    match ChronoPolicy::history_trend(hist, 2, 3) {
+        Some((early, late)) => {
+            assert!(early.is_finite() && late.is_finite());
+        }
+        None => assert!(hist.is_empty()),
+    }
+    // Synthetic single- and two-sample histories exercise the clamping.
+    let one = [(Nanos::from_millis(1), 5.0)];
+    assert_eq!(ChronoPolicy::history_trend(&one, 2, 3), Some((5.0, 5.0)));
+    let two = [(Nanos::from_millis(1), 4.0), (Nanos::from_millis(2), 8.0)];
+    assert_eq!(ChronoPolicy::history_trend(&two, 2, 3), Some((6.0, 6.0)));
+    assert_eq!(ChronoPolicy::history_trend(&[], 2, 3), None);
 }
 
 /// A workload engineered to thrash: the hot set is slightly larger than the

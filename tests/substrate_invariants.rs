@@ -1,9 +1,15 @@
-//! Property-based tests of the substrate's invariants under random
+//! Property-style tests of the substrate's invariants under random
 //! operation sequences spanning crates.
+//!
+//! The registry is unreachable in the offline build environment, so instead
+//! of `proptest` these run deterministic randomized cases driven by the
+//! repo's own `DetRng`: 64 seeded cases per property, with the failing seed
+//! printed by the assertion message for replay.
 
 use chrono_repro::sim_clock::DetRng;
 use chrono_repro::tiered_mem::{MigrateMode, PageSize, SystemConfig, TierId, TieredSystem, Vpn};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// Random op against a small system.
 #[derive(Debug, Clone)]
@@ -15,17 +21,24 @@ enum Op {
     Age,
 }
 
-fn op_strategy(pages: u16) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..pages, any::<bool>()).prop_map(|(vpn, write)| Op::Access { vpn, write }),
-        (0..pages).prop_map(|vpn| Op::Promote { vpn }),
-        (0..pages).prop_map(|vpn| Op::Demote { vpn }),
-        Just(Op::PopVictim),
-        Just(Op::Age),
-    ]
+fn random_op(rng: &mut DetRng, pages: u16) -> Op {
+    match rng.below(5) {
+        0 => Op::Access {
+            vpn: rng.below(pages as u64) as u16,
+            write: rng.chance(0.5),
+        },
+        1 => Op::Promote {
+            vpn: rng.below(pages as u64) as u16,
+        },
+        2 => Op::Demote {
+            vpn: rng.below(pages as u64) as u16,
+        },
+        3 => Op::PopVictim,
+        _ => Op::Age,
+    }
 }
 
-fn check_invariants(sys: &TieredSystem, pages: u32) {
+fn check_invariants(sys: &TieredSystem, pages: u32, seed: u64) {
     // Frame conservation: resident pages equal used frames per tier.
     let mut resident = [0u32; 2];
     for pid in sys.pids() {
@@ -33,28 +46,35 @@ fn check_invariants(sys: &TieredSystem, pages: u32) {
         resident[0] += f;
         resident[1] += s;
     }
-    assert_eq!(resident[0], sys.used_frames(TierId::Fast));
-    assert_eq!(resident[1], sys.used_frames(TierId::Slow));
-    assert!(resident[0] + resident[1] <= pages);
+    assert_eq!(
+        resident[0],
+        sys.used_frames(TierId::Fast),
+        "fast-tier frame conservation (seed {seed})"
+    );
+    assert_eq!(
+        resident[1],
+        sys.used_frames(TierId::Slow),
+        "slow-tier frame conservation (seed {seed})"
+    );
+    assert!(resident[0] + resident[1] <= pages, "seed {seed}");
     // Watermarks stay ordered.
-    assert!(sys.watermarks.well_ordered());
+    assert!(sys.watermarks.well_ordered(), "seed {seed}");
     // Stats counters are self-consistent.
-    assert!(sys.stats.hint_faults <= sys.stats.context_switches);
+    assert!(
+        sys.stats.hint_faults <= sys.stats.context_switches,
+        "seed {seed}"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_op_sequences_preserve_invariants(
-        ops in prop::collection::vec(op_strategy(256), 1..400),
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn random_op_sequences_preserve_invariants() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed(0x5EED_0000 + seed);
         let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 512));
         let pid = sys.add_process(256, PageSize::Base);
-        let mut rng = DetRng::seed(seed);
-        for op in ops {
-            match op {
+        let n_ops = rng.below(399) + 1;
+        for _ in 0..n_ops {
+            match random_op(&mut rng, 256) {
                 Op::Access { vpn, write } => {
                     sys.access(pid, Vpn(vpn as u32), write);
                 }
@@ -67,8 +87,12 @@ proptest! {
                 Op::PopVictim => {
                     // Victim popping must never yield a non-resident page.
                     if let Some((p, v)) = sys.pop_inactive_victim(TierId::Fast) {
-                        prop_assert!(sys.process(p).space.entry(v).present());
-                        prop_assert_eq!(sys.process(p).space.entry(v).tier(), TierId::Fast);
+                        assert!(sys.process(p).space.entry(v).present(), "seed {seed}");
+                        assert_eq!(
+                            sys.process(p).space.entry(v).tier(),
+                            TierId::Fast,
+                            "seed {seed}"
+                        );
                         // Reinsert so lists stay populated.
                         sys.lru_insert(p, v, chrono_repro::tiered_mem::LruKind::Inactive);
                     }
@@ -77,25 +101,28 @@ proptest! {
                     sys.age_active_list(TierId::Fast, rng.below(64) as u32 + 1);
                 }
             }
-            check_invariants(&sys, 256);
+            check_invariants(&sys, 256, seed);
         }
     }
+}
 
-    #[test]
-    fn huge_mappings_preserve_block_integrity(
-        touches in prop::collection::vec(0u32..4096, 1..60),
-        migrations in prop::collection::vec(0u32..4096, 0..20),
-    ) {
+#[test]
+fn huge_mappings_preserve_block_integrity() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed(0x8006_0000 + seed);
         let mut sys = TieredSystem::new(SystemConfig::dram_pmem(4096, 8192));
         let pid = sys.add_process(4096, PageSize::Huge2M);
-        for vpn in touches {
-            sys.access(pid, Vpn(vpn), false);
+        let n_touches = rng.below(59) + 1;
+        for _ in 0..n_touches {
+            sys.access(pid, Vpn(rng.below(4096) as u32), false);
         }
-        for vpn in migrations {
-            let head = sys.process(pid).space.pte_page(Vpn(vpn));
+        let n_migrations = rng.below(20);
+        for _ in 0..n_migrations {
+            let vpn = Vpn(rng.below(4096) as u32);
+            let head = sys.process(pid).space.pte_page(vpn);
             if sys.process(pid).space.entry(head).present() {
                 let to = sys.process(pid).space.entry(head).tier().other();
-                let _ = sys.migrate(pid, Vpn(vpn), to, MigrateMode::Async);
+                let _ = sys.migrate(pid, vpn, to, MigrateMode::Async);
             }
         }
         // Every present block is fully resident in exactly one tier.
@@ -105,45 +132,58 @@ proptest! {
                 let tier = h.tier();
                 for off in 0..512 {
                     let e = sys.process(pid).space.entry(Vpn(head + off));
-                    prop_assert!(!e.pfn.is_none());
-                    prop_assert_eq!(e.tier(), tier);
+                    assert!(!e.pfn.is_none(), "seed {seed}");
+                    assert_eq!(e.tier(), tier, "seed {seed}");
                 }
             }
         }
-        check_invariants(&sys, 4096);
+        check_invariants(&sys, 4096, seed);
     }
+}
 
-    #[test]
-    fn heatmap_mass_is_conserved_under_decay_and_scale(
-        adds in prop::collection::vec((0usize..28, 1.0f64..100.0), 1..50),
-        decay in 0.1f64..1.0,
-    ) {
+#[test]
+fn heatmap_mass_is_conserved_under_decay_and_scale() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed(0x4EA7_0000 + seed);
         let mut m = chrono_repro::chrono_core::HeatMap::new(28);
         let mut total = 0.0;
-        for (bucket, pages) in adds {
+        let n_adds = rng.below(49) + 1;
+        for _ in 0..n_adds {
+            let bucket = rng.below(28) as usize;
+            let pages = 1.0 + rng.unit_f64() * 99.0;
             m.add(bucket, pages);
             total += pages;
         }
-        prop_assert!((m.total() - total).abs() < 1e-6);
+        let decay = 0.1 + rng.unit_f64() * 0.9;
+        assert!((m.total() - total).abs() < 1e-6, "seed {seed}");
         m.decay(decay);
-        prop_assert!((m.total() - total * decay).abs() < 1e-6);
+        assert!((m.total() - total * decay).abs() < 1e-6, "seed {seed}");
         let scaled = m.scaled_to(1000.0);
-        prop_assert!((scaled.total() - 1000.0).abs() < 1e-6);
+        assert!((scaled.total() - 1000.0).abs() < 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn overlap_misplacement_never_exceeds_slow_population(
-        fast_adds in prop::collection::vec((0usize..16, 0.0f64..500.0), 0..20),
-        slow_adds in prop::collection::vec((0usize..16, 0.0f64..500.0), 0..20),
-        capacity in 1.0f64..5000.0,
-    ) {
+#[test]
+fn overlap_misplacement_never_exceeds_slow_population() {
+    for seed in 0..CASES {
+        let mut rng = DetRng::seed(0x0E11_0000 + seed);
         let mut fast = chrono_repro::chrono_core::HeatMap::new(16);
         let mut slow = chrono_repro::chrono_core::HeatMap::new(16);
-        for (b, p) in fast_adds { fast.add(b, p); }
-        for (b, p) in slow_adds { slow.add(b, p); }
+        for _ in 0..rng.below(20) {
+            fast.add(rng.below(16) as usize, rng.unit_f64() * 500.0);
+        }
+        for _ in 0..rng.below(20) {
+            slow.add(rng.below(16) as usize, rng.unit_f64() * 500.0);
+        }
+        let capacity = 1.0 + rng.unit_f64() * 4999.0;
         let o = chrono_repro::chrono_core::heatmap::identify_overlap(&fast, &slow, capacity);
-        prop_assert!(o.misplaced_slow_pages >= -1e-9);
-        prop_assert!(o.misplaced_slow_pages <= slow.total() + 1e-6);
-        prop_assert!(o.cutoff_bucket <= 16);
+        assert!(o.misplaced_slow_pages >= -1e-9, "seed {seed}");
+        assert!(
+            o.misplaced_slow_pages <= slow.total() + 1e-6,
+            "seed {seed}: misplaced {} > slow total {}",
+            o.misplaced_slow_pages,
+            slow.total()
+        );
+        assert!(o.cutoff_bucket <= 16, "seed {seed}");
     }
 }
