@@ -17,4 +17,13 @@ cargo fmt --check
 echo "== cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "== harness fuzz smoke (32 seeds x 2000 ops, fixed base)"
+./target/release/harness fuzz --seeds 32 --ops 2000 --seed-base 0x5EED0000
+
+echo "== harness fuzz self-test (injected bug must be caught and shrunk)"
+./target/release/harness fuzz --self-test
+
+echo "== harness verify (determinism + metamorphic + goldens)"
+./target/release/harness verify
+
 echo "CI OK"

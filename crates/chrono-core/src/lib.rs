@@ -38,5 +38,5 @@ pub use controls::ControlError;
 pub use heatmap::HeatMap;
 pub use limits::LimitEnforcer;
 pub use policy::ChronoPolicy;
-pub use queue::PromotionQueue;
+pub use queue::{PromotionQueue, QueueFlow};
 pub use thrash::ThrashingMonitor;

@@ -243,6 +243,13 @@ impl ChronoPolicy {
         )
     }
 
+    /// Promotion-queue flow snapshot for invariant checking
+    /// (`offered == dequeued + dropped + queued`, immune to the tuner's
+    /// per-period `take_enqueued` reset).
+    pub fn queue_flow(&self) -> crate::queue::QueueFlow {
+        self.queue.flow()
+    }
+
     /// The effective threshold for a mapping unit (huge blocks scale by
     /// 1/512, Section 3.4).
     fn effective_threshold(&self, sys: &TieredSystem, pid: ProcessId, pte: Vpn) -> Nanos {

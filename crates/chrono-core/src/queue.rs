@@ -20,6 +20,30 @@ pub struct PendingPromotion {
     pub pages: u32,
 }
 
+/// Flow-conservation snapshot of a [`PromotionQueue`].
+///
+/// Every page offered to the queue is accounted exactly once:
+/// `offered == dequeued + dropped + queued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFlow {
+    /// Lifetime base pages offered via `enqueue` (accepted or dropped);
+    /// never reset, unlike the per-period enqueue counter.
+    pub offered_pages: u64,
+    /// Lifetime base pages dequeued (migration-started).
+    pub dequeued_pages: u64,
+    /// Lifetime base pages dropped on overflow.
+    pub dropped_pages: u64,
+    /// Base pages sitting in the queue right now (recounted from entries).
+    pub queued_pages: u64,
+}
+
+impl QueueFlow {
+    /// Whether the flow balances: `offered == dequeued + dropped + queued`.
+    pub fn conserved(&self) -> bool {
+        self.offered_pages == self.dequeued_pages + self.dropped_pages + self.queued_pages
+    }
+}
+
 /// The rate-limited promotion queue.
 #[derive(Debug)]
 pub struct PromotionQueue {
@@ -28,6 +52,7 @@ pub struct PromotionQueue {
     enqueued_pages: u64,
     dequeued_pages: u64,
     dropped_pages: u64,
+    offered_pages: u64,
     max_len: usize,
     /// Fractional page budget carried between drain windows, so rate limits
     /// below one page per window still make progress.
@@ -45,6 +70,7 @@ impl PromotionQueue {
             enqueued_pages: 0,
             dequeued_pages: 0,
             dropped_pages: 0,
+            offered_pages: 0,
             max_len,
             credit_pages: 0.0,
         }
@@ -67,6 +93,7 @@ impl PromotionQueue {
 
     /// Enqueues a promotion; returns false (and counts a drop) on overflow.
     pub fn enqueue(&mut self, p: PendingPromotion) -> bool {
+        self.offered_pages += p.pages as u64;
         if self.queue.len() >= self.max_len {
             self.dropped_pages += p.pages as u64;
             return false;
@@ -84,11 +111,19 @@ impl PromotionQueue {
     }
 
     /// Dequeues promotions worth one window of rate-limit budget, carrying
-    /// unused credit forward (capped at one window) so low rates still move
-    /// pages eventually.
+    /// unused credit forward so low rates still move pages eventually.
+    ///
+    /// Credit banks at most two windows (floor: one page), so a small drain
+    /// window can never release a burst far past the configured rate. The one
+    /// exception is an oversized head entry — a huge block wider than the
+    /// cap — which may bank up to exactly its own size: enough to release it
+    /// after `pages/window` drains (preserving the long-run rate), never a
+    /// burst beyond it.
     pub fn drain(&mut self, interval: Nanos) -> Vec<PendingPromotion> {
         let window = self.budget_pages(interval);
-        self.credit_pages = (self.credit_pages + window).min(window.max(1024.0) * 2.0);
+        let head_pages = self.queue.front().map_or(0.0, |p| p.pages as f64);
+        let cap = (2.0 * window).max(1.0).max(head_pages);
+        self.credit_pages = (self.credit_pages + window).min(cap);
         let mut out = Vec::new();
         while self.credit_pages >= 1.0 {
             let Some(front) = self.queue.front() else {
@@ -138,6 +173,27 @@ impl PromotionQueue {
     /// the semi-auto tuner).
     pub fn take_enqueued(&mut self) -> u64 {
         std::mem::take(&mut self.enqueued_pages)
+    }
+
+    /// Base pages currently queued, recounted from the actual entries so the
+    /// flow check cross-validates the lifetime counters against queue content.
+    pub fn queued_pages(&self) -> u64 {
+        self.queue.iter().map(|p| p.pages as u64).sum()
+    }
+
+    /// Lifetime base pages offered via `enqueue`, including dropped ones.
+    pub fn offered_pages(&self) -> u64 {
+        self.offered_pages
+    }
+
+    /// Flow-conservation snapshot (`offered == dequeued + dropped + queued`).
+    pub fn flow(&self) -> QueueFlow {
+        QueueFlow {
+            offered_pages: self.offered_pages,
+            dequeued_pages: self.dequeued_pages,
+            dropped_pages: self.dropped_pages,
+            queued_pages: self.queued_pages(),
+        }
     }
 }
 
@@ -211,6 +267,73 @@ mod tests {
         assert_eq!(q.take_enqueued(), 3);
         assert_eq!(q.take_enqueued(), 0);
         assert_eq!(q.enqueued_pages(), 0);
+    }
+
+    #[test]
+    fn credit_cannot_bank_past_two_windows() {
+        // Regression: the old cap was `window.max(1024.0) * 2.0`, which let a
+        // 2-page window bank 2048 pages of credit behind a blocked huge head
+        // and release four huge blocks in one burst. With the window-scaled
+        // cap, a single drain releases at most one oversized head.
+        let mut q = PromotionQueue::new((2 * 4096) as u64, 1 << 16); // 2 pages/s
+        for i in 0..8 {
+            q.enqueue(p(i * 512, 512));
+        }
+        let mut max_burst = 0usize;
+        for _ in 0..4096 {
+            let got = q.drain(Nanos::from_secs(1)); // window = 2 pages
+            let pages: usize = got.iter().map(|e| e.pages as usize).sum();
+            max_burst = max_burst.max(pages);
+        }
+        assert_eq!(max_burst, 512, "one huge block per burst, never more");
+        // 4096 s at 2 pages/s funds exactly the 8 × 512 enqueued pages.
+        assert_eq!(q.dequeued_pages(), 8 * 512);
+    }
+
+    #[test]
+    fn long_run_conservation_over_1000_windows() {
+        // 100 pages/s drained in 10 ms windows for 1000 windows (10 s):
+        // dequeued must stay within rate × elapsed + one window of slack.
+        let rate_pages_per_sec = 100.0;
+        let mut q = PromotionQueue::new((rate_pages_per_sec * 4096.0) as u64, 1 << 16);
+        let window = Nanos::from_millis(10);
+        let mut elapsed = 0.0f64;
+        for i in 0..1000u32 {
+            // Keep the queue saturated so drains are always budget-limited.
+            for j in 0..4 {
+                q.enqueue(p(i * 4 + j, 1));
+            }
+            q.drain(window);
+            elapsed += window.as_secs_f64();
+            let budget = rate_pages_per_sec * elapsed + q.budget_pages(window);
+            assert!(
+                (q.dequeued_pages() as f64) <= budget,
+                "window {}: dequeued {} > budget {}",
+                i,
+                q.dequeued_pages(),
+                budget
+            );
+        }
+        // The queue was never empty, so the full budget was also used.
+        assert!(q.dequeued_pages() as f64 >= rate_pages_per_sec * elapsed - 2.0);
+        assert!(q.flow().conserved(), "{:?}", q.flow());
+    }
+
+    #[test]
+    fn flow_conserves_across_drops_and_drains() {
+        let mut q = PromotionQueue::new(1 << 30, 4);
+        for i in 0..6 {
+            q.enqueue(p(i, 3)); // two of these overflow
+        }
+        q.drain(Nanos::from_secs(1));
+        let f = q.flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.offered_pages, 18);
+        assert_eq!(f.dropped_pages, 6);
+        // take_enqueued (the tuner's per-period reset) must not disturb flow.
+        q.enqueue(p(10, 2));
+        q.take_enqueued();
+        assert!(q.flow().conserved(), "{:?}", q.flow());
     }
 
     #[test]

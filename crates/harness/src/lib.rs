@@ -16,5 +16,6 @@
 pub mod experiments;
 pub mod runner;
 pub mod sink;
+pub mod verify;
 
 pub use runner::{PolicyKind, Scale, StandardRun};

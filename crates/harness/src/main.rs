@@ -4,6 +4,8 @@
 //! harness [--scale N] [--json DIR] [--trace DIR] <experiment-id>...
 //! harness list
 //! harness all
+//! harness verify [--bless]
+//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED] [--self-test]
 //! ```
 //!
 //! `--json DIR` writes per-scan-period counter rows (JSON + CSV) for every
@@ -51,12 +53,29 @@ fn main() {
     let trace_dir = take_dir_flag(&mut args, "--trace");
     sink::configure(json_dir, trace_dir);
 
+    // Verification subcommands dispatch before experiment-id expansion so
+    // their flags never collide with figure families.
+    if args.first().map(String::as_str) == Some("verify") {
+        std::process::exit(harness::verify::run_verify(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("fuzz") {
+        std::process::exit(harness::verify::run_fuzz(args.split_off(1)));
+    }
+
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
         for (id, desc) in EXPERIMENTS {
             println!("  {:8} {}", id, desc);
         }
         println!("  {:8} run every experiment", "all");
+        println!(
+            "  {:8} determinism + metamorphic + golden checks [--bless]",
+            "verify"
+        );
+        println!(
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED]",
+            "fuzz"
+        );
         return;
     }
 

@@ -1,0 +1,218 @@
+//! `harness verify` and `harness fuzz`: the CI entry points into the
+//! `tiering-verify` layer.
+//!
+//! ```text
+//! harness verify [--bless]
+//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED] [--self-test]
+//! ```
+//!
+//! `verify` runs the differential determinism check for every policy, the
+//! metamorphic relations, and the golden-trace snapshots (`--bless` rewrites
+//! the snapshots instead of diffing them). `fuzz` runs seeded op-schedule
+//! fuzzing of the substrate; failures are shrunk and printed as replayable
+//! schedules. `--replay SEED` re-runs a single reported seed; `--self-test`
+//! injects a known corruption and checks the pipeline catches and shrinks it.
+
+use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
+use tiering_verify::{
+    bless_goldens, check_goldens, determinism_digests, fuzz_one, metamorphic, GoldenStatus,
+    ALL_POLICIES,
+};
+
+/// Parses `--flag N` out of `args`; returns the default when absent.
+fn take_u64_flag(args: &mut Vec<String>, flag: &str, default: u64) -> u64 {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return default;
+    };
+    let value = args.get(pos + 1).and_then(|v| match v.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    });
+    let Some(value) = value else {
+        eprintln!("{flag} requires an integer argument");
+        std::process::exit(2);
+    };
+    args.drain(pos..=pos + 1);
+    value
+}
+
+/// Removes `--flag` from `args`, reporting whether it was present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
+/// `harness verify [--bless]`. Returns the process exit code.
+pub fn run_verify(mut args: Vec<String>) -> i32 {
+    let bless = take_bool_flag(&mut args, "--bless");
+    if let Some(unknown) = args.first() {
+        eprintln!("verify: unknown argument '{unknown}'");
+        return 2;
+    }
+    let mut failed = false;
+
+    // 1. Differential determinism: same seed, same policy ⇒ same digest.
+    const DET_SEED: u64 = 0x00D1_7E57;
+    const DET_MILLIS: u64 = 15;
+    for p in ALL_POLICIES {
+        let (a, b) = determinism_digests(p, DET_SEED, DET_MILLIS);
+        if a == b {
+            println!("determinism {:<16} ok ({a:016x})", p.name());
+        } else {
+            println!(
+                "determinism {:<16} FAILED: {a:016x} != {b:016x} on seed {DET_SEED:#x}",
+                p.name()
+            );
+            failed = true;
+        }
+    }
+
+    // 2. Metamorphic relations over the Chrono control loop.
+    let meta_failures = metamorphic::run_all(0x4E7A, 8);
+    if meta_failures.is_empty() {
+        println!("metamorphic relations ok (rate-limit, CIT-threshold, huge/base accounting)");
+    } else {
+        for f in &meta_failures {
+            println!("metamorphic FAILED: {f}");
+        }
+        failed = true;
+    }
+
+    // 3. Golden-trace snapshots.
+    if bless {
+        match bless_goldens() {
+            Ok(paths) => {
+                for p in paths {
+                    println!("blessed {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                return 1;
+            }
+        }
+    } else {
+        for result in check_goldens() {
+            if !matches!(result.status, GoldenStatus::Match) {
+                failed = true;
+            }
+            println!("{result}");
+        }
+    }
+
+    if failed {
+        eprintln!("verify: FAILED");
+        1
+    } else {
+        println!("verify: all checks passed");
+        0
+    }
+}
+
+/// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
+/// [--self-test]`. Returns the process exit code.
+pub fn run_fuzz(mut args: Vec<String>) -> i32 {
+    let seeds = take_u64_flag(&mut args, "--seeds", 256);
+    let ops = take_u64_flag(&mut args, "--ops", 4000) as usize;
+    let seed_base = take_u64_flag(&mut args, "--seed-base", 0x5EED_0000);
+    let replay = if args.iter().any(|a| a == "--replay") {
+        Some(take_u64_flag(&mut args, "--replay", 0))
+    } else {
+        None
+    };
+    let self_test = take_bool_flag(&mut args, "--self-test");
+    if let Some(unknown) = args.first() {
+        eprintln!("fuzz: unknown argument '{unknown}'");
+        return 2;
+    }
+
+    // The fuzzer intentionally drives the substrate into panics and catches
+    // them; silence the default hook so expected unwinds don't spam stderr.
+    // Safe here: the harness binary is single-threaded.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let code = if self_test {
+        run_self_test(seed_base, ops)
+    } else if let Some(seed) = replay {
+        match fuzz_one(seed, ops) {
+            None => {
+                println!("replay seed {seed:#x}: clean ({ops} ops)");
+                0
+            }
+            Some(shrunk) => {
+                println!("{shrunk}");
+                1
+            }
+        }
+    } else {
+        let mut failures = 0u64;
+        for i in 0..seeds {
+            let seed = seed_base.wrapping_add(i);
+            if let Some(shrunk) = fuzz_one(seed, ops) {
+                println!("{shrunk}");
+                failures += 1;
+            }
+        }
+        if failures == 0 {
+            println!("fuzz: {seeds} seeds x {ops} ops, zero invariant violations");
+            0
+        } else {
+            eprintln!("fuzz: {failures} of {seeds} seeds FAILED");
+            1
+        }
+    };
+    std::panic::set_hook(default_hook);
+    code
+}
+
+/// Injects a known cross-mapping corruption into a generated schedule and
+/// checks the pipeline catches it and shrinks the reproduction to a handful
+/// of ops. Exercises the same path a real substrate bug would take.
+fn run_self_test(seed_base: u64, ops: usize) -> i32 {
+    // Find a base-page case shape (the injected op corrupts base mappings).
+    let seed = (0..64)
+        .map(|i| seed_base.wrapping_add(i))
+        .find(|&s| {
+            let cfg = CaseConfig::from_seed(s);
+            cfg.procs[0].1 == tiered_mem::PageSize::Base && cfg.procs[0].0 >= 2
+        })
+        .expect("some seed in any 64-window yields a base-page case");
+    let cfg = CaseConfig::from_seed(seed);
+    let mut schedule = generate_ops(&cfg, seed, ops.min(500));
+    schedule.push(FuzzOp::Access {
+        pid: 0,
+        vpn: 0,
+        write: false,
+    });
+    schedule.push(FuzzOp::Access {
+        pid: 0,
+        vpn: 1,
+        write: false,
+    });
+    schedule.push(FuzzOp::CorruptPfn {
+        pid: 0,
+        src: 0,
+        dst: 1,
+    });
+    let Some(shrunk) = tiering_verify::ops::fuzz_ops(seed, &cfg, schedule) else {
+        eprintln!("self-test: injected corruption was NOT caught");
+        return 1;
+    };
+    println!("{shrunk}");
+    if shrunk.ops.len() > 20 {
+        eprintln!(
+            "self-test: shrunk reproduction has {} ops (want <= 20)",
+            shrunk.ops.len()
+        );
+        return 1;
+    }
+    println!(
+        "self-test: corruption caught and shrunk to {} ops",
+        shrunk.ops.len()
+    );
+    0
+}

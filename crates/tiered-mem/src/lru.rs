@@ -64,6 +64,15 @@ impl LruLists {
         }
     }
 
+    /// Iterates the chosen list oldest-first, stale entries included (the
+    /// caller filters by stamp). Backs external invariant checking.
+    pub fn iter(&self, kind: LruKind) -> impl Iterator<Item = &LruEntry> {
+        match kind {
+            LruKind::Active => self.active.iter(),
+            LruKind::Inactive => self.inactive.iter(),
+        }
+    }
+
     /// Queue length including stale entries (an upper bound on live pages).
     pub fn queued(&self, kind: LruKind) -> usize {
         match kind {

@@ -305,6 +305,12 @@ impl TieredSystem {
         self.stats.context_switches += 1;
     }
 
+    /// Reverse-map lookup: the virtual page owning `pfn` in `tier`, if
+    /// allocated. Exposed for the `tiering-verify` invariant oracle.
+    pub fn frame_owner(&self, tier: TierId, pfn: crate::addr::Pfn) -> Option<FrameOwner> {
+        self.frames[tier.index()].owner(pfn)
+    }
+
     /// Executes one memory access of `pid` to `vpn`.
     ///
     /// Handles demand paging, `PROT_NONE` hint faults (clearing the bit and
@@ -518,6 +524,19 @@ impl TieredSystem {
         let p = &self.procs[e.pid.0 as usize];
         let ent = p.space.entry(e.vpn);
         ent.present() && ent.lru_stamp == e.stamp && ent.tier() == expected_tier
+    }
+
+    /// Whether an LRU entry is live: its page is present, in `tier`, and the
+    /// entry's stamp is current (not lazily deleted). Exposed for the
+    /// `tiering-verify` invariant oracle.
+    pub fn lru_entry_is_live(&self, e: LruEntry, tier: TierId) -> bool {
+        self.lru_entry_live(e, tier)
+    }
+
+    /// Iterates a tier's LRU list oldest-first, stale entries included.
+    /// Exposed for the `tiering-verify` invariant oracle.
+    pub fn lru_entries(&self, tier: TierId, kind: LruKind) -> impl Iterator<Item = &LruEntry> {
+        self.lru[tier.index()].iter(kind)
     }
 
     /// Moves up to `budget` pages from the head of the active list: pages

@@ -113,10 +113,30 @@ impl SimulationDriver {
         sys: &mut TieredSystem,
         workloads: &mut [Box<dyn Workload>],
         policy: &mut dyn TieringPolicy,
-        mut observer: F,
+        observer: F,
     ) -> RunResult
     where
         F: FnMut(ProcessId, tiered_mem::Vpn, bool, TierId),
+    {
+        self.run_inspected(sys, workloads, policy, observer, |_| {})
+    }
+
+    /// Like [`SimulationDriver::run_observed`], additionally invoking
+    /// `inspect` with a shared view of the system after every fired daemon
+    /// event and every completed access — the hook behind the
+    /// `tiering-verify` invariant oracle, which re-checks substrate
+    /// consistency after each step of a fuzzed run.
+    pub fn run_inspected<F, G>(
+        &self,
+        sys: &mut TieredSystem,
+        workloads: &mut [Box<dyn Workload>],
+        policy: &mut dyn TieringPolicy,
+        mut observer: F,
+        mut inspect: G,
+    ) -> RunResult
+    where
+        F: FnMut(ProcessId, tiered_mem::Vpn, bool, TierId),
+        G: FnMut(&TieredSystem),
     {
         assert_eq!(
             workloads.len(),
@@ -152,6 +172,7 @@ impl SimulationDriver {
                     .expect("deadline was just peeked");
                 sys.count_daemon_wakeup();
                 policy.on_event(sys, token);
+                inspect(sys);
             }
             if t > sys.clock.now() {
                 sys.clock.advance_to(t);
@@ -201,6 +222,7 @@ impl SimulationDriver {
                 policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
             }
             policy.on_access(sys, pid, req.vpn, req.write);
+            inspect(sys);
         }
 
         // Policies without a periodic tune event (Static, the baselines'

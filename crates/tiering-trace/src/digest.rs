@@ -1,0 +1,214 @@
+//! Stable trace digests for determinism and golden-snapshot checks.
+//!
+//! A digest folds every recorded period sample and ring event into one
+//! 64-bit FNV-1a hash over a fixed byte encoding: integers as little-endian
+//! `u64`, floats via `f64::to_bits` (bit-exact, so two runs match only if
+//! every float matches), enum variants by a stable tag. Two runs of the same
+//! seeded simulation must produce identical digests; any divergence —
+//! `HashMap` iteration order leaking into decisions, a nondeterministic
+//! tie-break — flips the hash.
+
+use sim_clock::Nanos;
+
+use crate::event::{MigrateDir, TraceEvent};
+use crate::period::PeriodSample;
+
+/// Incremental 64-bit FNV-1a hasher over a stable encoding.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceDigest(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for TraceDigest {
+    fn default() -> TraceDigest {
+        TraceDigest::new()
+    }
+}
+
+impl TraceDigest {
+    /// Starts a digest at the FNV offset basis.
+    pub fn new() -> TraceDigest {
+        TraceDigest(FNV_OFFSET)
+    }
+
+    /// Folds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a `u64` as 8 little-endian bytes.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Folds an `f64` bit-exactly.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Folds a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Folds a timestamp.
+    pub fn nanos(&mut self, v: Nanos) -> &mut Self {
+        self.u64(v.as_nanos())
+    }
+
+    /// The current hash value.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+
+    /// The hash as a fixed-width lower-case hex string.
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Folds one period sample (every field, fixed order).
+    pub fn period(&mut self, s: &PeriodSample) -> &mut Self {
+        self.nanos(s.timestamp)
+            .nanos(s.policy.cit_threshold)
+            .u64(s.policy.rate_limit_bps)
+            .u64(s.policy.queue_depth)
+            .u64(s.policy.enqueued_pages)
+            .u64(s.policy.dequeued_pages)
+            .u64(s.policy.dropped_pages)
+            .f64(s.policy.heat_overlap_ratio)
+            .u64(s.promoted_pages)
+            .u64(s.demoted_pages)
+            .u64(s.thrash_events)
+            .u64(s.hint_faults)
+            .f64(s.period_fmar)
+            .f64(s.fmar)
+            .u64(s.fast_used_frames)
+            .u64(s.slow_used_frames)
+    }
+
+    /// Folds one discrete event with its timestamp and a per-variant tag.
+    pub fn event(&mut self, at: Nanos, ev: &TraceEvent) -> &mut Self {
+        self.nanos(at);
+        match *ev {
+            TraceEvent::Scan { pid, visited } => {
+                self.u64(1).u64(pid as u64).u64(visited);
+            }
+            TraceEvent::HintFault {
+                pid,
+                vpn,
+                cit,
+                below_threshold,
+            } => {
+                self.u64(2)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .nanos(cit)
+                    .bool(below_threshold);
+            }
+            TraceEvent::Enqueue { pid, vpn, pages } => {
+                self.u64(3)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(pages as u64);
+            }
+            TraceEvent::Migrate {
+                pid,
+                vpn,
+                pages,
+                dir,
+            } => {
+                self.u64(4)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(pages as u64)
+                    .u64(match dir {
+                        MigrateDir::Promote => 0,
+                        MigrateDir::Demote => 1,
+                    });
+            }
+            TraceEvent::Thrash { pages } => {
+                self.u64(5).u64(pages);
+            }
+            TraceEvent::Tune {
+                cit_threshold,
+                rate_limit_bps,
+            } => {
+                self.u64(6).nanos(cit_threshold).u64(rate_limit_bps);
+            }
+            TraceEvent::DcscOverlap {
+                cutoff_bucket,
+                misplaced_pages,
+                misplacement_ratio,
+            } => {
+                self.u64(7)
+                    .u64(cutoff_bucket as u64)
+                    .f64(misplaced_pages)
+                    .f64(misplacement_ratio);
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vector() {
+        // FNV-1a 64 of "a" is a published vector.
+        let mut d = TraceDigest::new();
+        d.bytes(b"a");
+        assert_eq!(d.value(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = TraceDigest::new();
+        a.u64(1).u64(2);
+        let mut b = TraceDigest::new();
+        b.u64(2).u64(1);
+        assert_ne!(a.value(), b.value());
+    }
+
+    #[test]
+    fn float_bits_are_exact() {
+        let mut a = TraceDigest::new();
+        a.f64(0.1 + 0.2);
+        let mut b = TraceDigest::new();
+        b.f64(0.3);
+        assert_ne!(a.value(), b.value(), "0.1+0.2 != 0.3 bit-wise");
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        assert_eq!(TraceDigest::new().hex().len(), 16);
+    }
+
+    #[test]
+    fn event_variants_hash_distinctly() {
+        let evs = [
+            TraceEvent::Scan { pid: 0, visited: 0 },
+            TraceEvent::Thrash { pages: 0 },
+            TraceEvent::Enqueue {
+                pid: 0,
+                vpn: 0,
+                pages: 0,
+            },
+        ];
+        let mut seen = Vec::new();
+        for ev in &evs {
+            let mut d = TraceDigest::new();
+            d.event(Nanos(0), ev);
+            seen.push(d.value());
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), evs.len());
+    }
+}

@@ -21,12 +21,14 @@
 //! Export is dependency-free JSON and CSV (see [`export`]), consumed by the
 //! harness `--json`/`--trace` flags.
 
+pub mod digest;
 pub mod event;
 pub mod export;
 pub mod period;
 pub mod ring;
 pub mod tracer;
 
+pub use digest::TraceDigest;
 pub use event::{MigrateDir, TraceEvent};
 pub use period::{PeriodSample, PolicyTraceState};
 pub use ring::EventRing;

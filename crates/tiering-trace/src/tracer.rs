@@ -100,6 +100,28 @@ impl Tracer {
         self.ring.dropped()
     }
 
+    /// Stable 64-bit digest of everything recorded: every period sample and
+    /// every ring event (plus the dropped-event count), in order. Two runs of
+    /// the same seeded simulation must produce the same digest; see
+    /// [`crate::digest::TraceDigest`] for the encoding.
+    pub fn digest(&self) -> u64 {
+        let mut d = crate::digest::TraceDigest::new();
+        d.u64(self.periods.len() as u64);
+        for s in &self.periods {
+            d.period(s);
+        }
+        for (at, ev) in self.ring.iter() {
+            d.event(*at, ev);
+        }
+        d.u64(self.ring.dropped());
+        d.value()
+    }
+
+    /// [`Tracer::digest`] as a fixed-width hex string (export/golden format).
+    pub fn digest_hex(&self) -> String {
+        format!("{:016x}", self.digest())
+    }
+
     /// Renders the period samples as a JSON document.
     pub fn periods_json(&self, label: &str) -> String {
         export::periods_to_json(label, &self.periods)
@@ -150,6 +172,22 @@ mod tests {
         }
         assert_eq!(t.events().count(), 2);
         assert_eq!(t.dropped_events(), 3);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let record = |pages: u64| {
+            let mut t = Tracer::enabled(4);
+            t.emit(Nanos(1), || TraceEvent::Thrash { pages });
+            t.record_period(|| PeriodSample {
+                timestamp: Nanos(2),
+                ..Default::default()
+            });
+            t.digest()
+        };
+        assert_eq!(record(3), record(3));
+        assert_ne!(record(3), record(4));
+        assert_eq!(Tracer::disabled().digest(), Tracer::disabled().digest());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Golden-trace snapshots for canonical seeds.
+//!
+//! A golden is a text file recording, for one canonical seed, the trace
+//! digest and access count of every policy in [`ALL_POLICIES`]. `harness
+//! verify` recomputes the table and diffs it against the checked-in file; a
+//! mismatch means either a real behaviour change (re-bless deliberately with
+//! `harness verify --bless`) or a lost determinism guarantee (investigate).
+//!
+//! Goldens are compared only by the harness binary, not by `cargo test`:
+//! they capture release-mode behaviour on the canonical toolchain, and the
+//! harness gates CI where that configuration is pinned.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use crate::policy_fuzz::{run_policy_case, ALL_POLICIES};
+
+/// The two canonical seeds snapshotted in the repository.
+pub const GOLDEN_SEEDS: [u64; 2] = [0xC4A0_0001, 0xC4A0_0002];
+
+/// Simulated run length for golden snapshots (milliseconds of virtual time).
+pub const GOLDEN_MILLIS: u64 = 25;
+
+/// Directory holding the checked-in snapshots.
+pub fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens")
+}
+
+/// Path of the snapshot for one seed.
+pub fn golden_path(seed: u64) -> PathBuf {
+    golden_dir().join(format!("seed_{seed:08x}.txt"))
+}
+
+/// Recomputes the snapshot table for a seed: one `<policy> <digest-hex>
+/// <accesses>` line per policy, in [`ALL_POLICIES`] order.
+pub fn compute_golden(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# tiering-verify golden: seed {seed:#010x}, {GOLDEN_MILLIS} ms per policy\n"
+    ));
+    for p in ALL_POLICIES {
+        let r = run_policy_case(p, seed, GOLDEN_MILLIS);
+        out.push_str(&format!(
+            "{:<16} {:016x} {}\n",
+            r.policy, r.digest, r.accesses
+        ));
+    }
+    out
+}
+
+/// Outcome of checking one seed's snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoldenStatus {
+    /// Recorded and recomputed tables are identical.
+    Match,
+    /// No snapshot file exists yet (run `harness verify --bless`).
+    Missing,
+    /// Recorded and recomputed tables differ.
+    Mismatch {
+        /// Contents of the checked-in file.
+        expected: String,
+        /// Freshly recomputed table.
+        actual: String,
+    },
+}
+
+/// Result of checking one canonical seed.
+#[derive(Debug, Clone)]
+pub struct GoldenResult {
+    /// The canonical seed.
+    pub seed: u64,
+    /// Snapshot file location.
+    pub path: PathBuf,
+    /// Comparison outcome.
+    pub status: GoldenStatus,
+}
+
+impl GoldenResult {
+    /// Whether this snapshot passed.
+    pub fn ok(&self) -> bool {
+        self.status == GoldenStatus::Match
+    }
+}
+
+impl fmt::Display for GoldenResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.status {
+            GoldenStatus::Match => {
+                write!(f, "golden seed {:#010x}: ok", self.seed)
+            }
+            GoldenStatus::Missing => write!(
+                f,
+                "golden seed {:#010x}: missing snapshot {} (run `harness verify --bless`)",
+                self.seed,
+                self.path.display()
+            ),
+            GoldenStatus::Mismatch { expected, actual } => {
+                writeln!(
+                    f,
+                    "golden seed {:#010x}: MISMATCH against {}",
+                    self.seed,
+                    self.path.display()
+                )?;
+                for (e, a) in expected.lines().zip(actual.lines()) {
+                    if e != a {
+                        writeln!(f, "  - {e}")?;
+                        writeln!(f, "  + {a}")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Checks every canonical seed against its checked-in snapshot.
+pub fn check_goldens() -> Vec<GoldenResult> {
+    GOLDEN_SEEDS
+        .iter()
+        .map(|&seed| {
+            let path = golden_path(seed);
+            let actual = compute_golden(seed);
+            let status = match std::fs::read_to_string(&path) {
+                Err(_) => GoldenStatus::Missing,
+                Ok(expected) if expected == actual => GoldenStatus::Match,
+                Ok(expected) => GoldenStatus::Mismatch { expected, actual },
+            };
+            GoldenResult { seed, path, status }
+        })
+        .collect()
+}
+
+/// Recomputes and writes every canonical snapshot; returns the paths written.
+pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(golden_dir())?;
+    let mut written = Vec::new();
+    for &seed in &GOLDEN_SEEDS {
+        let path = golden_path(seed);
+        std::fs::write(&path, compute_golden(seed))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_table_is_deterministic() {
+        // One policy per call keeps this fast enough for the debug-mode
+        // suite; full-table comparisons run in the release-mode harness.
+        let a = run_policy_case(ALL_POLICIES[0], GOLDEN_SEEDS[0], 5);
+        let b = run_policy_case(ALL_POLICIES[0], GOLDEN_SEEDS[0], 5);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.accesses, b.accesses);
+    }
+
+    #[test]
+    fn golden_paths_are_stable() {
+        assert!(golden_path(0xC4A0_0001)
+            .to_string_lossy()
+            .ends_with("goldens/seed_c4a00001.txt"));
+    }
+}

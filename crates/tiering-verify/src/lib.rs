@@ -1,0 +1,40 @@
+//! Deterministic differential-fuzzing and invariant-oracle layer for the
+//! tiering substrate and every policy built on it.
+//!
+//! Four pieces, layered bottom-up:
+//!
+//! - [`oracle`]: the [`InvariantOracle`], a pure observer that sweeps a
+//!   [`tiered_mem::TieredSystem`] and reports every broken substrate
+//!   invariant — frame conservation, PFN exclusivity, reverse-map and
+//!   residency-cache agreement, huge-block integrity, LRU consistency,
+//!   watermark ordering, and migration-byte accounting.
+//! - [`ops`] + [`shrink`]: a seeded op-schedule fuzzer over the raw
+//!   substrate. Failures shrink (ddmin) to a minimal replayable sequence
+//!   printed with its seed and case shape.
+//! - [`policy_fuzz`]: seeded end-to-end runs of every tiering policy with
+//!   the oracle attached to the driver's inspect hook, plus the
+//!   same-seed ⇒ same-digest determinism check.
+//! - [`metamorphic`] + [`golden`]: directional relations over the Chrono
+//!   control loop (CIT-threshold monotonicity, rate-limit monotonicity,
+//!   huge/base accounting agreement) and golden-trace snapshots for
+//!   canonical seeds.
+//!
+//! The `harness verify` and `harness fuzz` subcommands drive this crate
+//! from CI; `cargo test -p tiering-verify` runs the scaled-down versions.
+
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod metamorphic;
+pub mod ops;
+pub mod oracle;
+pub mod policy_fuzz;
+pub mod shrink;
+
+pub use golden::{bless_goldens, check_goldens, GoldenResult, GoldenStatus, GOLDEN_SEEDS};
+pub use ops::{fuzz_one, generate_ops, run_case, CaseConfig, FuzzOp, OpsFailure, ShrunkFailure};
+pub use oracle::{InvariantOracle, Violation};
+pub use policy_fuzz::{
+    determinism_digests, run_policy_case, PolicyRunReport, PolicyUnderTest, ALL_POLICIES,
+};
+pub use shrink::shrink_ops;

@@ -1,0 +1,409 @@
+//! The substrate invariant oracle.
+//!
+//! [`InvariantOracle::check`] walks a [`TieredSystem`] and returns every
+//! violated invariant. It is pure observation — no mutation, deterministic
+//! output order — so it can run after every step of a fuzzed schedule. The
+//! invariants are the ones page migration must never break (the class of
+//! bug Nomad's transactional migration exists to prevent): frame
+//! conservation, reverse-map agreement, PFN exclusivity, LRU/residency
+//! consistency, watermark ordering, and migration-accounting identities.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use chrono_core::QueueFlow;
+use tiered_mem::{
+    FrameOwner, LruKind, PageFlags, Pfn, ProcessId, TierId, TieredSystem, Vpn, BASE_PAGE_BYTES,
+    HUGE_2M_PAGES,
+};
+
+/// One violated invariant, with enough detail to debug the failing state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the invariant (used in reports and assertions).
+    pub invariant: &'static str,
+    /// Human-readable specifics: which page/frame/counter disagreed and how.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Checks every substrate invariant against a system snapshot.
+#[derive(Debug, Default)]
+pub struct InvariantOracle {
+    /// Snapshots checked so far (for fuzz-run reporting).
+    pub checks: u64,
+}
+
+impl InvariantOracle {
+    /// Creates an oracle with a zeroed check counter.
+    pub fn new() -> InvariantOracle {
+        InvariantOracle::default()
+    }
+
+    /// Runs every invariant against `sys`; returns all violations found
+    /// (empty means the snapshot is consistent).
+    pub fn check(&mut self, sys: &TieredSystem) -> Vec<Violation> {
+        self.checks += 1;
+        let mut out = Vec::new();
+        self.check_frame_conservation(sys, &mut out);
+        self.check_page_tables(sys, &mut out);
+        self.check_lru(sys, &mut out);
+        self.check_watermarks(sys, &mut out);
+        self.check_stats(sys, &mut out);
+        out
+    }
+
+    /// Panics with a readable report if any invariant is violated. Meant for
+    /// tests where a violation is a hard failure.
+    pub fn assert_clean(&mut self, sys: &TieredSystem, context: &str) {
+        let violations = self.check(sys);
+        if !violations.is_empty() {
+            let mut msg = format!("invariant violations ({context}):\n");
+            for v in &violations {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+
+    /// Checks promotion-queue flow conservation
+    /// (`offered == dequeued + dropped + queued`).
+    pub fn check_queue_flow(flow: &QueueFlow) -> Option<Violation> {
+        if flow.conserved() {
+            None
+        } else {
+            Some(Violation {
+                invariant: "queue_flow",
+                detail: format!(
+                    "offered {} != dequeued {} + dropped {} + queued {}",
+                    flow.offered_pages, flow.dequeued_pages, flow.dropped_pages, flow.queued_pages
+                ),
+            })
+        }
+    }
+
+    /// `used + free == total` per tier (frame-table internal consistency).
+    fn check_frame_conservation(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        for tier in [TierId::Fast, TierId::Slow] {
+            let used = sys.used_frames(tier);
+            let free = sys.free_frames(tier);
+            let total = sys.total_frames(tier);
+            if used + free != total {
+                out.push(Violation {
+                    invariant: "frame_conservation",
+                    detail: format!("{tier:?}: used {used} + free {free} != total {total}"),
+                });
+            }
+        }
+    }
+
+    /// Walks every page table: each resident base page maps a distinct,
+    /// in-range PFN whose reverse-map entry points straight back; per-tier
+    /// residency counts agree with the frame tables and the cached
+    /// process/space counters; present huge blocks are fully resident in one
+    /// tier.
+    fn check_page_tables(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        let totals = [
+            sys.total_frames(TierId::Fast),
+            sys.total_frames(TierId::Slow),
+        ];
+        // One mapping seen per frame, per tier: `mapped_by[tier][pfn]`.
+        let mut mapped_by: [Vec<Option<(ProcessId, Vpn)>>; 2] = [
+            vec![None; totals[0] as usize],
+            vec![None; totals[1] as usize],
+        ];
+        let mut counted = [0u32; 2];
+
+        for pid in sys.pids() {
+            let space = &sys.process(pid).space;
+            let mut resident_here = [0u32; 2];
+            for v in 0..space.pages() {
+                let vpn = Vpn(v);
+                let e = space.entry(vpn);
+                if e.pfn.is_none() {
+                    continue;
+                }
+                let tier = e.tier();
+                let ti = tier.index();
+                resident_here[ti] += 1;
+                counted[ti] += 1;
+                if e.pfn.0 >= totals[ti] {
+                    out.push(Violation {
+                        invariant: "pfn_in_range",
+                        detail: format!(
+                            "pid {} vpn {} maps out-of-range {:?} in {tier:?}",
+                            pid.0, v, e.pfn
+                        ),
+                    });
+                    continue;
+                }
+                if let Some((opid, ovpn)) = mapped_by[ti][e.pfn.0 as usize] {
+                    out.push(Violation {
+                        invariant: "pfn_exclusive",
+                        detail: format!(
+                            "{tier:?} pfn {} mapped by pid {} vpn {} and pid {} vpn {}",
+                            e.pfn.0, opid.0, ovpn.0, pid.0, v
+                        ),
+                    });
+                } else {
+                    mapped_by[ti][e.pfn.0 as usize] = Some((pid, vpn));
+                }
+                let expected = FrameOwner { pid, vpn };
+                match sys.frame_owner(tier, Pfn(e.pfn.0)) {
+                    Some(owner) if owner == expected => {}
+                    other => out.push(Violation {
+                        invariant: "reverse_map",
+                        detail: format!(
+                            "{tier:?} pfn {}: owner {:?}, but mapped by pid {} vpn {}",
+                            e.pfn.0, other, pid.0, v
+                        ),
+                    }),
+                }
+            }
+
+            let cached = space.resident_pages();
+            if cached != resident_here {
+                out.push(Violation {
+                    invariant: "residency_cache",
+                    detail: format!(
+                        "pid {}: space counts {:?}, page walk counts {:?}",
+                        pid.0, cached, resident_here
+                    ),
+                });
+            }
+            let proc_frames = sys.process(pid).resident_frames;
+            if proc_frames != resident_here[0] + resident_here[1] {
+                out.push(Violation {
+                    invariant: "residency_cache",
+                    detail: format!(
+                        "pid {}: process.resident_frames {} != walked {}",
+                        pid.0,
+                        proc_frames,
+                        resident_here[0] + resident_here[1]
+                    ),
+                });
+            }
+
+            // Present, unsplit huge blocks are fully resident in one tier.
+            if space.is_huge() {
+                let mut head = 0u32;
+                while head < space.pages() {
+                    let hv = Vpn(head);
+                    if space.is_huge_mapped(hv) && space.entry(hv).present() {
+                        let tier = space.entry(hv).tier();
+                        for off in 0..HUGE_2M_PAGES {
+                            let e = space.entry(Vpn(head + off));
+                            if e.pfn.is_none() || e.tier() != tier {
+                                out.push(Violation {
+                                    invariant: "huge_block_integrity",
+                                    detail: format!(
+                                        "pid {} block @{head}: base page {} not in {tier:?}",
+                                        pid.0,
+                                        head + off
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    head += HUGE_2M_PAGES;
+                }
+            }
+        }
+
+        // Frames-side conservation: every used frame is mapped exactly once.
+        for tier in [TierId::Fast, TierId::Slow] {
+            let used = sys.used_frames(tier);
+            if counted[tier.index()] != used {
+                out.push(Violation {
+                    invariant: "frame_conservation",
+                    detail: format!(
+                        "{tier:?}: page walk found {} resident pages, frame table has {} used",
+                        counted[tier.index()],
+                        used
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Live LRU entries reference resident pages of their own tier, carry a
+    /// list-kind flag matching the list they sit on, and no page is live on
+    /// two lists of one tier at once.
+    fn check_lru(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        for tier in [TierId::Fast, TierId::Slow] {
+            let mut live: HashMap<(u16, u32), LruKind> = HashMap::new();
+            for kind in [LruKind::Active, LruKind::Inactive] {
+                for entry in sys.lru_entries(tier, kind) {
+                    if !sys.lru_entry_is_live(*entry, tier) {
+                        continue; // lazily deleted; discarded when it surfaces
+                    }
+                    let e = sys.process(entry.pid).space.entry(entry.vpn);
+                    let flagged_active = e.flags.has(PageFlags::LRU_ACTIVE);
+                    if flagged_active != (kind == LruKind::Active) {
+                        out.push(Violation {
+                            invariant: "lru_kind_flag",
+                            detail: format!(
+                                "{tier:?} {kind:?}: pid {} vpn {} has LRU_ACTIVE={flagged_active}",
+                                entry.pid.0, entry.vpn.0
+                            ),
+                        });
+                    }
+                    if let Some(prev) = live.insert((entry.pid.0, entry.vpn.0), kind) {
+                        out.push(Violation {
+                            invariant: "lru_exclusive",
+                            detail: format!(
+                                "{tier:?}: pid {} vpn {} live on {prev:?} and {kind:?}",
+                                entry.pid.0, entry.vpn.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// `min <= low <= high <= pro` must hold whenever the system is
+    /// observable.
+    fn check_watermarks(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        if !sys.watermarks.well_ordered() {
+            out.push(Violation {
+                invariant: "watermark_order",
+                detail: format!("{:?}", sys.watermarks),
+            });
+        }
+    }
+
+    /// Counter identities: hint faults each cost a context switch, and
+    /// migration bytes equal moved pages times the base page size — the
+    /// huge-page and base-page accounting paths must agree on totals.
+    fn check_stats(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        let s = &sys.stats;
+        if s.hint_faults > s.context_switches {
+            out.push(Violation {
+                invariant: "stats_context_switches",
+                detail: format!(
+                    "hint_faults {} > context_switches {}",
+                    s.hint_faults, s.context_switches
+                ),
+            });
+        }
+        let moved = s.promoted_pages + s.demoted_pages;
+        if s.migration_bytes != moved * BASE_PAGE_BYTES {
+            out.push(Violation {
+                invariant: "migration_accounting",
+                detail: format!(
+                    "migration_bytes {} != (promoted {} + demoted {}) * {}",
+                    s.migration_bytes, s.promoted_pages, s.demoted_pages, BASE_PAGE_BYTES
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiered_mem::{MigrateMode, PageSize, SystemConfig};
+
+    fn small_sys() -> (TieredSystem, ProcessId) {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 512));
+        let pid = sys.add_process(256, PageSize::Base);
+        (sys, pid)
+    }
+
+    #[test]
+    fn fresh_and_exercised_systems_are_clean() {
+        let (mut sys, pid) = small_sys();
+        let mut oracle = InvariantOracle::new();
+        assert!(oracle.check(&sys).is_empty());
+        for v in 0..128 {
+            sys.access(pid, Vpn(v), v % 3 == 0);
+        }
+        let _ = sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async);
+        let _ = sys.promote_with_reclaim(pid, Vpn(0), MigrateMode::Async);
+        let _ = sys.swap_out(pid, Vpn(1));
+        oracle.assert_clean(&sys, "exercised");
+        assert_eq!(oracle.checks, 2);
+    }
+
+    #[test]
+    fn duplicate_pfn_is_caught() {
+        let (mut sys, pid) = small_sys();
+        sys.access(pid, Vpn(0), false);
+        sys.access(pid, Vpn(1), false);
+        // Corrupt: vpn 1 steals vpn 0's frame.
+        let stolen = sys.process(pid).space.entry(Vpn(0)).pfn;
+        sys.process_mut(pid).space.entry_mut(Vpn(1)).pfn = stolen;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations.iter().any(|v| v.invariant == "pfn_exclusive"),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.invariant == "reverse_map"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn residency_undercount_is_caught() {
+        let (mut sys, pid) = small_sys();
+        sys.access(pid, Vpn(0), false);
+        sys.access(pid, Vpn(1), false);
+        // Corrupt: drop a mapping without freeing its frame.
+        sys.process_mut(pid).space.entry_mut(Vpn(1)).pfn = Pfn::NONE;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "frame_conservation"),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.invariant == "residency_cache"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn broken_watermarks_are_caught() {
+        let (mut sys, _) = small_sys();
+        sys.watermarks.pro = 0;
+        sys.watermarks.high = 10;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(violations.iter().any(|v| v.invariant == "watermark_order"));
+    }
+
+    #[test]
+    fn skewed_migration_bytes_are_caught() {
+        let (mut sys, pid) = small_sys();
+        sys.access(pid, Vpn(0), false);
+        let _ = sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async);
+        sys.stats.migration_bytes += 1;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(violations
+            .iter()
+            .any(|v| v.invariant == "migration_accounting"));
+    }
+
+    #[test]
+    fn queue_flow_check() {
+        let ok = QueueFlow {
+            offered_pages: 10,
+            dequeued_pages: 4,
+            dropped_pages: 1,
+            queued_pages: 5,
+        };
+        assert!(InvariantOracle::check_queue_flow(&ok).is_none());
+        let bad = QueueFlow {
+            queued_pages: 6,
+            ..ok
+        };
+        assert!(InvariantOracle::check_queue_flow(&bad).is_some());
+    }
+}

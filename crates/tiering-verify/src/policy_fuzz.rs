@@ -1,0 +1,319 @@
+//! Policy-level fuzzing: every tiering policy driven over seeded workloads
+//! with the invariant oracle attached to the driver's inspect hook, plus the
+//! differential determinism check (same seed ⇒ byte-identical trace digest).
+
+use chrono_core::{ChronoConfig, ChronoPolicy};
+use sim_clock::Nanos;
+use tiered_mem::{PageSize, SystemConfig, TieredSystem};
+use tiering_policies::{
+    autotiering::AutoTieringConfig, linux_nb::LinuxNbConfig, multiclock::MultiClockConfig,
+    tpp::TppConfig, AutoTiering, DriverConfig, FlexMem, FlexMemConfig, LinuxNumaBalancing, Memtis,
+    MemtisConfig, MultiClock, SimulationDriver, Telescope, TelescopeConfig, TieringPolicy, Tpp,
+};
+use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+use crate::oracle::{InvariantOracle, Violation};
+
+/// Every policy the fuzz layer exercises: the paper's baselines, the two
+/// related-work policies, and the Chrono tuning modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyUnderTest {
+    /// Linux NUMA balancing in tiering mode.
+    LinuxNb,
+    /// Auto-Tiering (LAP vectors).
+    AutoTiering,
+    /// Multi-Clock.
+    MultiClock,
+    /// TPP.
+    Tpp,
+    /// Memtis (PEBS + histogram, huge-page splitting).
+    Memtis,
+    /// FlexMem (PEBS + timeliness hint faults).
+    FlexMem,
+    /// Telescope (tree-structured region profiling).
+    Telescope,
+    /// Chrono with full DCSC tuning.
+    ChronoDcsc,
+    /// Chrono with semi-automatic tuning (fixed rate limit).
+    ChronoSemiAuto,
+    /// Chrono with a fully manual threshold and rate limit.
+    ChronoManual,
+}
+
+/// All fuzzed policies, in a stable order (reports and goldens rely on it).
+pub const ALL_POLICIES: [PolicyUnderTest; 10] = [
+    PolicyUnderTest::LinuxNb,
+    PolicyUnderTest::AutoTiering,
+    PolicyUnderTest::MultiClock,
+    PolicyUnderTest::Tpp,
+    PolicyUnderTest::Memtis,
+    PolicyUnderTest::FlexMem,
+    PolicyUnderTest::Telescope,
+    PolicyUnderTest::ChronoDcsc,
+    PolicyUnderTest::ChronoSemiAuto,
+    PolicyUnderTest::ChronoManual,
+];
+
+impl PolicyUnderTest {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyUnderTest::LinuxNb => "linux-nb",
+            PolicyUnderTest::AutoTiering => "autotiering",
+            PolicyUnderTest::MultiClock => "multiclock",
+            PolicyUnderTest::Tpp => "tpp",
+            PolicyUnderTest::Memtis => "memtis",
+            PolicyUnderTest::FlexMem => "flexmem",
+            PolicyUnderTest::Telescope => "telescope",
+            PolicyUnderTest::ChronoDcsc => "chrono-dcsc",
+            PolicyUnderTest::ChronoSemiAuto => "chrono-semiauto",
+            PolicyUnderTest::ChronoManual => "chrono-manual",
+        }
+    }
+
+    /// The scaled Chrono configuration shared by the Chrono modes.
+    fn chrono_config(scan_period: Nanos, step: u32) -> ChronoConfig {
+        ChronoConfig {
+            p_victim: 0.002,
+            ..ChronoConfig::scaled(scan_period, step)
+        }
+    }
+
+    /// Builds the policy at the fuzz scale. Chrono modes come back as the
+    /// concrete [`ChronoPolicy`] so queue-flow conservation can be checked
+    /// through its counters after the run.
+    fn build(&self, scan_period: Nanos, step: u32) -> BuiltPolicy {
+        match self {
+            PolicyUnderTest::LinuxNb => {
+                BuiltPolicy::Other(Box::new(LinuxNumaBalancing::new(LinuxNbConfig {
+                    scan_period,
+                    scan_step_pages: step,
+                    promote_tier_frac_per_period: 0.23,
+                })))
+            }
+            PolicyUnderTest::AutoTiering => {
+                BuiltPolicy::Other(Box::new(AutoTiering::new(AutoTieringConfig {
+                    scan_period,
+                    scan_step_pages: step,
+                    hot_lap_bits: 2,
+                    demote_interval: scan_period / 4,
+                })))
+            }
+            PolicyUnderTest::MultiClock => {
+                BuiltPolicy::Other(Box::new(MultiClock::new(MultiClockConfig {
+                    sweep_period: scan_period,
+                    sweep_step_pages: step,
+                    levels: 4,
+                    promote_level: 3,
+                    demote_interval: scan_period / 4,
+                })))
+            }
+            PolicyUnderTest::Tpp => BuiltPolicy::Other(Box::new(Tpp::new(TppConfig {
+                scan_period,
+                scan_step_pages: step,
+                demote_interval: scan_period / 4,
+            }))),
+            PolicyUnderTest::Memtis => BuiltPolicy::Other(Box::new(Memtis::new(MemtisConfig {
+                sample_period: 512,
+                migrate_interval: scan_period / 10,
+                cooling_interval: scan_period * 4,
+                adjust_interval: scan_period / 2,
+                fast_fill_ratio: 0.95,
+                split_enabled: true,
+                seed: 0x4D454D,
+            }))),
+            PolicyUnderTest::FlexMem => BuiltPolicy::Other(Box::new(FlexMem::new(FlexMemConfig {
+                sample_period: 509,
+                scan_period,
+                scan_step_pages: step,
+                migrate_interval: scan_period / 10,
+                cooling_interval: scan_period * 4,
+                hot_counter: 4,
+                demote_interval: scan_period / 4,
+                seed: 0xF1E4,
+            }))),
+            PolicyUnderTest::Telescope => {
+                BuiltPolicy::Other(Box::new(Telescope::new(TelescopeConfig {
+                    window: scan_period / 8,
+                    frontier_budget: 512,
+                    hot_windows: 2,
+                    demote_interval: scan_period / 2,
+                })))
+            }
+            PolicyUnderTest::ChronoDcsc => BuiltPolicy::Chrono(Box::new(ChronoPolicy::new(
+                Self::chrono_config(scan_period, step).variant_full(),
+            ))),
+            PolicyUnderTest::ChronoSemiAuto => BuiltPolicy::Chrono(Box::new(ChronoPolicy::new(
+                Self::chrono_config(scan_period, step).variant_twice(),
+            ))),
+            PolicyUnderTest::ChronoManual => {
+                let base = Self::chrono_config(scan_period, step);
+                let cit = base.initial_cit_threshold;
+                BuiltPolicy::Chrono(Box::new(ChronoPolicy::new(ChronoConfig {
+                    tuning: chrono_core::TuningMode::Manual {
+                        cit_threshold: cit,
+                        rate_limit: 120 * 1024 * 1024,
+                    },
+                    ..base
+                })))
+            }
+        }
+    }
+
+    /// Whether this policy embeds Chrono's promotion queue (and therefore
+    /// must satisfy queue-flow conservation).
+    pub fn is_chrono(&self) -> bool {
+        matches!(
+            self,
+            PolicyUnderTest::ChronoDcsc
+                | PolicyUnderTest::ChronoSemiAuto
+                | PolicyUnderTest::ChronoManual
+        )
+    }
+}
+
+/// A built policy: Chrono held concretely (its queue-flow counters are
+/// checked after the run), everything else behind the trait object.
+enum BuiltPolicy {
+    /// One of the Chrono tuning modes.
+    Chrono(Box<ChronoPolicy>),
+    /// Any other policy.
+    Other(Box<dyn TieringPolicy>),
+}
+
+impl BuiltPolicy {
+    fn as_dyn(&mut self) -> &mut dyn TieringPolicy {
+        match self {
+            BuiltPolicy::Chrono(c) => &mut **c,
+            BuiltPolicy::Other(b) => &mut **b,
+        }
+    }
+}
+
+/// Outcome of one seeded policy run.
+#[derive(Debug, Clone)]
+pub struct PolicyRunReport {
+    /// The policy that ran.
+    pub policy: &'static str,
+    /// The seed the workload and system shape were derived from.
+    pub seed: u64,
+    /// Stable digest of the recorded trace (determinism/golden checks).
+    pub digest: u64,
+    /// Accesses executed.
+    pub accesses: u64,
+    /// Oracle snapshots taken during the run.
+    pub oracle_checks: u64,
+    /// Violations found (first few, deduplicated by invariant).
+    pub violations: Vec<Violation>,
+}
+
+impl PolicyRunReport {
+    /// Whether the run satisfied every invariant.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Derives the fuzz-scale system + workload shape for a seed.
+fn case_shape(seed: u64) -> (u32, u32, u64) {
+    let mut rng = sim_clock::DetRng::seed(seed ^ 0x9017_CEA5_E5EE_D000);
+    let total_frames = 2048u32 << rng.below(2); // 2048 or 4096
+    let pages = total_frames / 2 + rng.below(total_frames as u64 / 4) as u32;
+    let wl_seed = rng.next_u64();
+    (total_frames, pages, wl_seed)
+}
+
+/// Runs one policy over one seeded workload with the oracle attached to the
+/// driver's inspect hook (checked every `ORACLE_STRIDE` steps and once at the
+/// end). Returns the report; never panics on violations — callers decide.
+pub fn run_policy_case(policy: PolicyUnderTest, seed: u64, run_millis: u64) -> PolicyRunReport {
+    const ORACLE_STRIDE: u64 = 128;
+    const MAX_KEPT: usize = 8;
+
+    let (total_frames, pages, wl_seed) = case_shape(seed);
+    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(total_frames));
+    sys.enable_tracing(1 << 12);
+    let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, wl_seed));
+    sys.add_process(w.address_space_pages(), PageSize::Base);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+
+    let scan_period = Nanos::from_millis(5);
+    let mut built = policy.build(scan_period, 512);
+
+    let mut oracle = InvariantOracle::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut steps = 0u64;
+    let driver = SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(run_millis),
+        ..Default::default()
+    });
+    let result = driver.run_inspected(
+        &mut sys,
+        &mut wls,
+        built.as_dyn(),
+        |_, _, _, _| {},
+        |s| {
+            steps += 1;
+            if steps.is_multiple_of(ORACLE_STRIDE) && violations.len() < MAX_KEPT {
+                violations.extend(oracle.check(s));
+                violations.truncate(MAX_KEPT);
+            }
+        },
+    );
+    if violations.len() < MAX_KEPT {
+        violations.extend(oracle.check(&sys));
+        violations.truncate(MAX_KEPT);
+    }
+
+    // Chrono modes additionally expose promotion-queue flow counters; check
+    // conservation through the concrete policy handle.
+    if let BuiltPolicy::Chrono(c) = &built {
+        if let Some(v) = InvariantOracle::check_queue_flow(&c.queue_flow()) {
+            violations.push(v);
+        }
+    }
+
+    PolicyRunReport {
+        policy: policy.name(),
+        seed,
+        digest: sys.trace.digest(),
+        accesses: result.accesses,
+        oracle_checks: oracle.checks,
+        violations,
+    }
+}
+
+/// Differential determinism check: runs the policy twice on the same seed
+/// and returns the two digests (equal iff the pipeline is deterministic).
+pub fn determinism_digests(policy: PolicyUnderTest, seed: u64, run_millis: u64) -> (u64, u64) {
+    let a = run_policy_case(policy, seed, run_millis);
+    let b = run_policy_case(policy, seed, run_millis);
+    (a.digest, b.digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_policy_runs_clean_on_one_seed() {
+        for p in ALL_POLICIES {
+            let r = run_policy_case(p, 0x5EED, 20);
+            assert!(r.accesses > 0, "{} did nothing", r.policy);
+            assert!(r.oracle_checks > 0, "{} was never checked", r.policy);
+            assert!(
+                r.clean(),
+                "{} violated invariants: {:?}",
+                r.policy,
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn chrono_digest_differs_across_seeds() {
+        let a = run_policy_case(PolicyUnderTest::ChronoDcsc, 1, 20);
+        let b = run_policy_case(PolicyUnderTest::ChronoDcsc, 2, 20);
+        assert_ne!(a.digest, b.digest, "different seeds must diverge");
+    }
+}

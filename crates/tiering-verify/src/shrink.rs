@@ -1,0 +1,99 @@
+//! Delta-debugging shrinker for failing op schedules.
+//!
+//! Classic ddmin over subsequences: repeatedly try deleting chunks of the
+//! schedule, keeping any candidate that still fails, halving the chunk size
+//! until single ops remain. The predicate re-runs the schedule from a fresh
+//! system each time, so the result is a minimal *replayable* sequence —
+//! removing any one remaining op makes the failure disappear (1-minimality,
+//! up to the attempt budget).
+
+/// Shrinks `ops` to a locally minimal subsequence for which `fails` still
+/// returns true. `fails(&ops)` must be true on entry (callers check first);
+/// if it is not, the input is returned unchanged.
+///
+/// The predicate is invoked at most `MAX_ATTEMPTS` times, bounding shrink
+/// cost on expensive reproductions; the best-so-far sequence is returned
+/// when the budget runs out.
+pub fn shrink_ops<T, F>(ops: &[T], mut fails: F) -> Vec<T>
+where
+    T: Clone,
+    F: FnMut(&[T]) -> bool,
+{
+    const MAX_ATTEMPTS: usize = 4096;
+    let mut current: Vec<T> = ops.to_vec();
+    if current.is_empty() || !fails(&current) {
+        return current;
+    }
+    let mut attempts = 0usize;
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() && attempts < MAX_ATTEMPTS {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            attempts += 1;
+            if !candidate.is_empty() && fails(&candidate) {
+                current = candidate;
+                reduced = true;
+                // Same start now addresses the next chunk of the shorter list.
+            } else {
+                start = end;
+            }
+        }
+        if attempts >= MAX_ATTEMPTS {
+            break;
+        }
+        if chunk == 1 {
+            if !reduced {
+                break; // 1-minimal: no single op can be removed.
+            }
+            // Another single-op pass may unlock more removals.
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_single_culprit() {
+        let ops: Vec<u32> = (0..1000).collect();
+        let shrunk = shrink_ops(&ops, |c| c.contains(&777));
+        assert_eq!(shrunk, vec![777]);
+    }
+
+    #[test]
+    fn shrinks_to_interacting_pair() {
+        let ops: Vec<u32> = (0..512).collect();
+        // Fails only when 3 appears before 400 — an order-dependent pair.
+        let shrunk = shrink_ops(&ops, |c| {
+            let a = c.iter().position(|&x| x == 3);
+            let b = c.iter().position(|&x| x == 400);
+            matches!((a, b), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(shrunk, vec![3, 400]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let ops = vec![1, 2, 3];
+        assert_eq!(shrink_ops(&ops, |_| false), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn preserves_order() {
+        let ops: Vec<u32> = (0..100).rev().collect();
+        let shrunk = shrink_ops(&ops, |c| c.iter().filter(|&&x| x % 10 == 0).count() >= 3);
+        assert_eq!(shrunk.len(), 3);
+        let mut sorted = shrunk.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(shrunk, sorted, "relative order must be preserved");
+    }
+}

@@ -11,6 +11,7 @@
 //! - [`tiering_trace`] — structured run tracing (events + period samples).
 //! - [`tiering_policies`] — the baseline tiering policies.
 //! - [`chrono_core`] — the paper's contribution: CIT-based tiering.
+//! - [`tiering_verify`] — invariant oracle + deterministic fuzzing layer.
 //! - [`harness`] — per-figure experiment runners.
 
 pub use chrono_core;
@@ -20,4 +21,5 @@ pub use tiered_mem;
 pub use tiering_metrics;
 pub use tiering_policies;
 pub use tiering_trace;
+pub use tiering_verify;
 pub use workloads;

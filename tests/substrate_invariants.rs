@@ -3,141 +3,48 @@
 //!
 //! The registry is unreachable in the offline build environment, so instead
 //! of `proptest` these run deterministic randomized cases driven by the
-//! repo's own `DetRng`: 64 seeded cases per property, with the failing seed
-//! printed by the assertion message for replay.
+//! repo's own `DetRng`, through the `tiering-verify` fuzz layer: 256 seeded
+//! cases per property, the full `InvariantOracle` checked after every op,
+//! and any failure shrunk (ddmin) to a minimal replayable schedule printed
+//! with its seed.
 
 use chrono_repro::sim_clock::DetRng;
-use chrono_repro::tiered_mem::{MigrateMode, PageSize, SystemConfig, TierId, TieredSystem, Vpn};
+use chrono_repro::tiered_mem::PageSize;
+use chrono_repro::tiering_verify::ops::{fuzz_ops, generate_ops};
+use chrono_repro::tiering_verify::{fuzz_one, CaseConfig};
 
-const CASES: u64 = 64;
+const CASES: u64 = 256;
 
-/// Random op against a small system.
-#[derive(Debug, Clone)]
-enum Op {
-    Access { vpn: u16, write: bool },
-    Promote { vpn: u16 },
-    Demote { vpn: u16 },
-    PopVictim,
-    Age,
-}
-
-fn random_op(rng: &mut DetRng, pages: u16) -> Op {
-    match rng.below(5) {
-        0 => Op::Access {
-            vpn: rng.below(pages as u64) as u16,
-            write: rng.chance(0.5),
-        },
-        1 => Op::Promote {
-            vpn: rng.below(pages as u64) as u16,
-        },
-        2 => Op::Demote {
-            vpn: rng.below(pages as u64) as u16,
-        },
-        3 => Op::PopVictim,
-        _ => Op::Age,
-    }
-}
-
-fn check_invariants(sys: &TieredSystem, pages: u32, seed: u64) {
-    // Frame conservation: resident pages equal used frames per tier.
-    let mut resident = [0u32; 2];
-    for pid in sys.pids() {
-        let [f, s] = sys.process(pid).space.resident_pages();
-        resident[0] += f;
-        resident[1] += s;
-    }
-    assert_eq!(
-        resident[0],
-        sys.used_frames(TierId::Fast),
-        "fast-tier frame conservation (seed {seed})"
-    );
-    assert_eq!(
-        resident[1],
-        sys.used_frames(TierId::Slow),
-        "slow-tier frame conservation (seed {seed})"
-    );
-    assert!(resident[0] + resident[1] <= pages, "seed {seed}");
-    // Watermarks stay ordered.
-    assert!(sys.watermarks.well_ordered(), "seed {seed}");
-    // Stats counters are self-consistent.
-    assert!(
-        sys.stats.hint_faults <= sys.stats.context_switches,
-        "seed {seed}"
-    );
-}
+/// Ops per schedule. Scaled-down from the release-mode `harness fuzz`
+/// defaults so the debug-mode suite stays fast; the harness runs the long
+/// schedules in CI.
+const OPS: usize = 500;
 
 #[test]
 fn random_op_sequences_preserve_invariants() {
     for seed in 0..CASES {
-        let mut rng = DetRng::seed(0x5EED_0000 + seed);
-        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 512));
-        let pid = sys.add_process(256, PageSize::Base);
-        let n_ops = rng.below(399) + 1;
-        for _ in 0..n_ops {
-            match random_op(&mut rng, 256) {
-                Op::Access { vpn, write } => {
-                    sys.access(pid, Vpn(vpn as u32), write);
-                }
-                Op::Promote { vpn } => {
-                    let _ = sys.promote_with_reclaim(pid, Vpn(vpn as u32), MigrateMode::Async);
-                }
-                Op::Demote { vpn } => {
-                    let _ = sys.migrate(pid, Vpn(vpn as u32), TierId::Slow, MigrateMode::Async);
-                }
-                Op::PopVictim => {
-                    // Victim popping must never yield a non-resident page.
-                    if let Some((p, v)) = sys.pop_inactive_victim(TierId::Fast) {
-                        assert!(sys.process(p).space.entry(v).present(), "seed {seed}");
-                        assert_eq!(
-                            sys.process(p).space.entry(v).tier(),
-                            TierId::Fast,
-                            "seed {seed}"
-                        );
-                        // Reinsert so lists stay populated.
-                        sys.lru_insert(p, v, chrono_repro::tiered_mem::LruKind::Inactive);
-                    }
-                }
-                Op::Age => {
-                    sys.age_active_list(TierId::Fast, rng.below(64) as u32 + 1);
-                }
-            }
-            check_invariants(&sys, 256, seed);
+        if let Some(shrunk) = fuzz_one(0x5EED_0000 + seed, OPS) {
+            panic!("substrate invariant violated:\n{shrunk}");
         }
     }
 }
 
 #[test]
 fn huge_mappings_preserve_block_integrity() {
+    // Force 2 MiB-granularity cases: the oracle's huge_block_integrity and
+    // frame-conservation checks run after every op of every schedule.
     for seed in 0..CASES {
-        let mut rng = DetRng::seed(0x8006_0000 + seed);
-        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(4096, 8192));
-        let pid = sys.add_process(4096, PageSize::Huge2M);
-        let n_touches = rng.below(59) + 1;
-        for _ in 0..n_touches {
-            sys.access(pid, Vpn(rng.below(4096) as u32), false);
+        let blocks = 1 + seed % 3;
+        let pages = (blocks as u32) * chrono_repro::tiered_mem::HUGE_2M_PAGES;
+        let cfg = CaseConfig {
+            fast_frames: chrono_repro::tiered_mem::HUGE_2M_PAGES * 2,
+            slow_frames: pages + chrono_repro::tiered_mem::HUGE_2M_PAGES,
+            procs: vec![(pages, PageSize::Huge2M)],
+        };
+        let ops = generate_ops(&cfg, 0x8006_0000 + seed, OPS);
+        if let Some(shrunk) = fuzz_ops(0x8006_0000 + seed, &cfg, ops) {
+            panic!("huge-block invariant violated:\n{shrunk}");
         }
-        let n_migrations = rng.below(20);
-        for _ in 0..n_migrations {
-            let vpn = Vpn(rng.below(4096) as u32);
-            let head = sys.process(pid).space.pte_page(vpn);
-            if sys.process(pid).space.entry(head).present() {
-                let to = sys.process(pid).space.entry(head).tier().other();
-                let _ = sys.migrate(pid, vpn, to, MigrateMode::Async);
-            }
-        }
-        // Every present block is fully resident in exactly one tier.
-        for head in (0..4096).step_by(512) {
-            let h = sys.process(pid).space.entry(Vpn(head));
-            if h.present() {
-                let tier = h.tier();
-                for off in 0..512 {
-                    let e = sys.process(pid).space.entry(Vpn(head + off));
-                    assert!(!e.pfn.is_none(), "seed {seed}");
-                    assert_eq!(e.tier(), tier, "seed {seed}");
-                }
-            }
-        }
-        check_invariants(&sys, 4096, seed);
     }
 }
 

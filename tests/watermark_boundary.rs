@@ -1,0 +1,80 @@
+//! Boundary tests for the `Watermarks::retune_pro` × thrashing-monitor
+//! `halve_rate_limit` interaction.
+//!
+//! The proactive-demotion watermark tracks the promotion rate limit (DESIGN
+//! §Chrono): `pro` sits `ceil(2 · interval · rate / 4096)` frames above
+//! `high`, capped at a quarter of the tier. When the thrashing monitor
+//! halves the rate limit, the retuned gap must shrink monotonically and the
+//! ordering `min ≤ low ≤ high ≤ pro` must survive — including on tiny tiers
+//! where every watermark lands on its floor value.
+
+use chrono_repro::chrono_core::PromotionQueue;
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::Watermarks;
+
+#[test]
+fn repeated_halving_shrinks_the_pro_gap_monotonically() {
+    let total_frames = 16_384;
+    let interval = Nanos::from_millis(100);
+    let mut queue = PromotionQueue::new(512 * 1024 * 1024, 1 << 10);
+    let mut prev_gap = u32::MAX;
+    // Far past the 1 MiB floor: the gap must never grow along the way.
+    for round in 0..16 {
+        let mut wm = Watermarks::scaled_to(total_frames);
+        wm.retune_pro(total_frames, interval, queue.rate_limit());
+        assert!(wm.well_ordered(), "round {round}: {wm:?}");
+        let gap = wm.pro - wm.high;
+        assert!(
+            gap <= prev_gap,
+            "round {round}: halving the rate limit grew the pro gap {prev_gap} -> {gap}"
+        );
+        prev_gap = gap;
+        queue.halve_rate_limit();
+    }
+    // At the floor the gap is pinned: two more halvings change nothing.
+    let mut at_floor = Watermarks::scaled_to(total_frames);
+    at_floor.retune_pro(total_frames, interval, queue.rate_limit());
+    queue.halve_rate_limit();
+    let mut still_at_floor = Watermarks::scaled_to(total_frames);
+    still_at_floor.retune_pro(total_frames, interval, queue.rate_limit());
+    assert_eq!(at_floor.pro, still_at_floor.pro, "rate floor must pin pro");
+}
+
+#[test]
+fn tiny_tiers_stay_well_ordered_at_every_rate() {
+    // 16–64-frame tiers: the scaled percentages all collapse onto their
+    // floor constants, and `pro`'s quarter-of-tier cap bites immediately.
+    let interval = Nanos::from_millis(100);
+    for frames in 16..=64u32 {
+        let mut rate = 512u64 * 1024 * 1024;
+        loop {
+            let mut wm = Watermarks::scaled_to(frames);
+            wm.retune_pro(frames, interval, rate);
+            assert!(
+                wm.well_ordered(),
+                "{frames}-frame tier at {rate} B/s: {wm:?}"
+            );
+            assert!(
+                wm.pro <= frames,
+                "{frames}-frame tier: pro {} exceeds the tier",
+                wm.pro
+            );
+            if rate <= 1024 * 1024 {
+                break;
+            }
+            rate /= 2;
+        }
+    }
+}
+
+#[test]
+fn extreme_rates_do_not_break_ordering() {
+    let interval = Nanos::from_millis(100);
+    for &frames in &[16u32, 64, 1024, 1 << 20] {
+        for &rate in &[0u64, 1, 4096, u64::MAX / (1 << 20)] {
+            let mut wm = Watermarks::scaled_to(frames);
+            wm.retune_pro(frames, interval, rate);
+            assert!(wm.well_ordered(), "{frames} frames at {rate} B/s: {wm:?}");
+        }
+    }
+}
