@@ -17,6 +17,15 @@ cargo fmt --check
 echo "== cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "== harness lint (chrono-lint: zero unwaived findings)"
+./target/release/harness lint
+
+echo "== harness model-check (exhaustive PageFlags lifecycle vs golden)"
+./target/release/harness model-check
+
 echo "== harness fuzz smoke (32 seeds x 2000 ops, fixed base)"
 ./target/release/harness fuzz --seeds 32 --ops 2000 --seed-base 0x5EED0000
 

@@ -2,11 +2,13 @@
 //!
 //! The kernel implementation indexes candidates in an XArray for low-latency
 //! lookup and small footprint ("less than 32 KB per active process"); the
-//! simulator uses a hash map keyed by `(pid, vpn)` with the same role:
+//! simulator uses an ordered map keyed by `(pid, vpn)` with the same role:
 //! remembering which pages passed earlier CIT rounds and how many
-//! consecutive rounds they have survived.
+//! consecutive rounds they have survived. `BTreeMap` rather than `HashMap`
+//! so any future iteration over the set is address-ordered and the simulator
+//! stays bit-deterministic (the chrono-lint `hash-iter` rule).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tiered_mem::{ProcessId, Vpn};
 
@@ -17,7 +19,7 @@ fn key(pid: ProcessId, vpn: Vpn) -> u64 {
 /// Tracks candidate pages and their surviving round counts.
 #[derive(Debug, Default)]
 pub struct CandidateSet {
-    rounds: HashMap<u64, u32>,
+    rounds: BTreeMap<u64, u32>,
 }
 
 impl CandidateSet {
@@ -63,8 +65,17 @@ impl CandidateSet {
     /// Approximate memory footprint in bytes (the paper bounds it at ~32 KB
     /// per process; experiments assert the same order here).
     pub fn approx_bytes(&self) -> usize {
-        // Key + value + hash-map overhead ≈ 2× payload.
+        // Key + value + tree-node overhead ≈ 2× payload.
         self.rounds.len() * (8 + 4) * 2
+    }
+
+    /// Iterates candidates in `(pid, vpn)` address order with their round
+    /// counts. Deterministic by construction (ordered map), so callers may
+    /// drain or sample the set without perturbing trace digests.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Vpn, u32)> + '_ {
+        self.rounds
+            .iter()
+            .map(|(&k, &c)| (ProcessId((k >> 32) as u16), Vpn(k as u32), c))
     }
 
     /// Clears all candidates.
@@ -110,6 +121,19 @@ mod tests {
         assert!(!s.contains(ProcessId(2), Vpn(5)));
         assert!(s.contains(ProcessId(1), Vpn(5)));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_address_ordered() {
+        // Insertion order deliberately scrambled: the ordered backing map
+        // must hand candidates back sorted by (pid, vpn) regardless, which
+        // is what keeps every same-seed trace digest stable.
+        let mut s = CandidateSet::new();
+        for (p, v) in [(3u16, 9u32), (0, 44), (3, 2), (1, 7), (0, 1)] {
+            s.pass_round(ProcessId(p), Vpn(v));
+        }
+        let order: Vec<(u16, u32)> = s.iter().map(|(p, v, _)| (p.0, v.0)).collect();
+        assert_eq!(order, vec![(0, 1), (0, 44), (1, 7), (3, 2), (3, 9)]);
     }
 
     #[test]

@@ -86,6 +86,8 @@ impl ChronoPolicy {
                 if ms.is_nan() || ms <= 0.0 {
                     return Err(ControlError::InvalidValue(value.to_string()));
                 }
+                // lint:allow(timestamp-cast) f64→u64 ms→ns conversion, not a
+                // narrowing: the value is operator input validated above.
                 self.force_cit_threshold(Nanos((ms * 1e6) as u64));
             }
             "rate_limit_mbps" => {

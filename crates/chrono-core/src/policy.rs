@@ -15,12 +15,12 @@
 //!   thrashing check; **DCSC** events expire/issue probes and derive both
 //!   threshold and rate limit from heat-map overlap.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sim_clock::{DetRng, Nanos};
 use tiered_mem::{
-    AccessResult, LruKind, MigrateError, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem,
-    Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
+    scan_budget_pages, AccessResult, LruKind, MigrateError, MigrateMode, PageFlags, ProcessId,
+    TierId, TieredSystem, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
 };
 use tiering_policies::{decode_token, encode_token, ScanCursor, TieringPolicy};
 use tiering_trace::{PolicyTraceState, TraceEvent};
@@ -51,6 +51,8 @@ fn key(pid: ProcessId, vpn: Vpn) -> u64 {
 }
 
 fn now_us(t: Nanos) -> u32 {
+    // lint:allow(timestamp-cast) intentional modular stamp: the 4-byte CIT
+    // word wraps by design and every consumer reads it with wrapping_sub.
     (t.as_nanos() / 1_000) as u32
 }
 
@@ -74,7 +76,8 @@ pub struct ChronoPolicy {
     /// Per-tier CIT heat maps (population-weighted samples).
     heat: [HeatMap; 2],
     /// First-round CITs of outstanding probes, keyed by (pid, vpn).
-    probe_first: HashMap<u64, Nanos>,
+    /// Ordered map (not a hash map) so any drain stays deterministic.
+    probe_first: BTreeMap<u64, Nanos>,
     /// Outstanding probes: (pid, vpn, issue time).
     probes: Vec<(ProcessId, Vpn, Nanos)>,
     cit_threshold: Nanos,
@@ -135,7 +138,7 @@ impl ChronoPolicy {
             candidates: CandidateSet::new(),
             thrash: ThrashingMonitor::new(),
             limits: LimitEnforcer::new(),
-            probe_first: HashMap::new(),
+            probe_first: BTreeMap::new(),
             probes: Vec::new(),
             threshold_history: Vec::new(),
             rate_history: Vec::new(),
@@ -427,9 +430,11 @@ impl ChronoPolicy {
     fn proactive_demote(&mut self, sys: &mut TieredSystem) {
         // Age the fast-tier LRU at scan-period timescale so the inactive
         // list reflects period-granularity coldness.
-        let age_budget = (sys.total_frames(TierId::Fast) as u64
-            * self.cfg.demote_interval.as_nanos()
-            / self.cfg.scan_period.as_nanos().max(1)) as u32;
+        let age_budget = scan_budget_pages(
+            sys.total_frames(TierId::Fast),
+            self.cfg.demote_interval,
+            self.cfg.scan_period,
+        );
         sys.age_active_list(TierId::Fast, age_budget.max(16));
         // cgroup memory limits first: reclaim slow-tier pages of confined
         // processes to swap, keeping hot fast-tier placement intact.

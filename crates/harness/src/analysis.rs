@@ -1,0 +1,150 @@
+//! `harness lint` and `harness model-check`: the CI entry points into the
+//! `tiering-analysis` layer.
+//!
+//! ```text
+//! harness lint [--all] [--rules]
+//! harness model-check [--bless]
+//! ```
+//!
+//! `lint` runs chrono-lint over the workspace against the committed waiver
+//! baseline and fails on any unwaived finding or stale baseline entry
+//! (`--all` also prints the waived findings; `--rules` prints the rule
+//! catalog). `model-check` enumerates the exact reachable `PageFlags`
+//! lifecycle set, asserts every reachable state legal and every declared
+//! transition live, and diffs the rendered reachability report against the
+//! committed golden (`--bless` rewrites it).
+
+use tiering_analysis::{
+    baseline_path, check_model, golden_path, legality_rules, lint_workspace, render_report,
+    transitions, workspace_root, Finding, RULES,
+};
+
+/// Removes `--flag` from `args`, reporting whether it was present.
+fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return false;
+    };
+    args.remove(pos);
+    true
+}
+
+/// `harness lint [--all] [--rules]`. Returns the process exit code.
+pub fn run_lint(mut args: Vec<String>) -> i32 {
+    let show_all = take_bool_flag(&mut args, "--all");
+    let show_rules = take_bool_flag(&mut args, "--rules");
+    if let Some(unknown) = args.first() {
+        eprintln!("lint: unknown argument '{unknown}'");
+        return 2;
+    }
+    if show_rules {
+        for (name, what) in RULES {
+            println!("{name:20} {what}");
+        }
+        return 0;
+    }
+
+    let baseline = std::fs::read_to_string(baseline_path()).unwrap_or_default();
+    let report = match lint_workspace(&workspace_root(), &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: cannot scan workspace: {e}");
+            return 1;
+        }
+    };
+
+    let unwaived: Vec<&Finding> = report.unwaived().collect();
+    for f in &report.findings {
+        if show_all || f.waived == tiering_analysis::lint::Waived::No {
+            println!("{f}");
+        }
+    }
+    for stale in &report.stale_baseline {
+        println!("stale baseline entry (matches nothing): {stale}");
+    }
+    let waived = report.findings.len() - unwaived.len();
+    println!(
+        "lint: {} files, {} finding(s) ({} waived, {} unwaived), {} stale baseline entr(ies)",
+        report.files_scanned,
+        report.findings.len(),
+        waived,
+        unwaived.len(),
+        report.stale_baseline.len()
+    );
+    if unwaived.is_empty() && report.stale_baseline.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+/// `harness model-check [--bless]`. Returns the process exit code.
+pub fn run_model_check(mut args: Vec<String>) -> i32 {
+    let bless = take_bool_flag(&mut args, "--bless");
+    if let Some(unknown) = args.first() {
+        eprintln!("model-check: unknown argument '{unknown}'");
+        return 2;
+    }
+
+    let ts = transitions();
+    let rules = legality_rules();
+    let report = check_model(&ts, &rules);
+    println!(
+        "model-check: {} transitions, {} legality rules, {} reachable states",
+        ts.len(),
+        rules.len(),
+        report.reachable.len()
+    );
+
+    let mut failed = false;
+    for (s, rule) in &report.illegal {
+        println!(
+            "ILLEGAL reachable state {:04x} ({}) violates {rule}",
+            s,
+            tiered_mem::PageFlags::from_bits(s & tiered_mem::PageFlags::MASK).describe()
+        );
+        failed = true;
+    }
+    for name in &report.dead_transitions {
+        println!("DEAD transition {name}: never fired from any reachable state");
+        failed = true;
+    }
+
+    let rendered = render_report(&report);
+    let golden = golden_path();
+    if bless {
+        if let Some(dir) = golden.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&golden, &rendered) {
+            eprintln!("model-check: cannot write {}: {e}", golden.display());
+            return 1;
+        }
+        println!("blessed {}", golden.display());
+    } else {
+        match std::fs::read_to_string(&golden) {
+            Ok(committed) if committed == rendered => {
+                println!("golden {} ok", golden.display());
+            }
+            Ok(_) => {
+                println!(
+                    "golden {} DIFFERS from the computed reachable set; \
+                     inspect with `harness model-check --bless` + git diff",
+                    golden.display()
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("golden {} unreadable ({e}); run --bless", golden.display());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        eprintln!("model-check: FAILED");
+        1
+    } else {
+        println!("model-check: reachable set is legal and matches the golden");
+        0
+    }
+}

@@ -13,6 +13,7 @@
 //! harness --scale 4 fig9  # 4× longer simulated runs
 //! ```
 
+pub mod analysis;
 pub mod experiments;
 pub mod runner;
 pub mod sink;

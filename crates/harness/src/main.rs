@@ -6,6 +6,8 @@
 //! harness all
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED] [--self-test]
+//! harness lint [--all] [--rules]
+//! harness model-check [--bless]
 //! ```
 //!
 //! `--json DIR` writes per-scan-period counter rows (JSON + CSV) for every
@@ -61,6 +63,12 @@ fn main() {
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(harness::verify::run_fuzz(args.split_off(1)));
     }
+    if args.first().map(String::as_str) == Some("lint") {
+        std::process::exit(harness::analysis::run_lint(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("model-check") {
+        std::process::exit(harness::analysis::run_model_check(args.split_off(1)));
+    }
 
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
@@ -75,6 +83,14 @@ fn main() {
         println!(
             "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED]",
             "fuzz"
+        );
+        println!(
+            "  {:8} chrono-lint static analysis [--all] [--rules]",
+            "lint"
+        );
+        println!(
+            "  {:8} exhaustive PageFlags lifecycle check [--bless]",
+            "model-check"
         );
         return;
     }

@@ -43,6 +43,8 @@ pub use lru::{LruEntry, LruKind, LruLists};
 pub use page::{PageEntry, PageFlags};
 pub use space::AddressSpace;
 pub use stats::SystemStats;
-pub use system::{AccessResult, MigrateError, MigrateMode, Process, TieredSystem};
+pub use system::{
+    scan_budget_pages, AccessResult, MigrateError, MigrateMode, Process, TieredSystem,
+};
 pub use tier::{TierId, TierSpec};
 pub use watermark::Watermarks;

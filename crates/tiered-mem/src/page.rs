@@ -42,6 +42,59 @@ impl PageFlags {
     /// The page's contents live on the swap device (not present).
     pub const SWAPPED: u16 = 1 << 12;
 
+    /// Number of defined flag bits ([`PageFlags::SWAPPED`] is the highest).
+    pub const BITS: u32 = 13;
+    /// Mask covering every defined flag bit.
+    pub const MASK: u16 = (1 << Self::BITS) - 1;
+    /// Display names of the defined flag bits, indexed by bit position.
+    pub const NAMES: [&'static str; Self::BITS as usize] = [
+        "PRESENT",
+        "PROT_NONE",
+        "ACCESSED",
+        "DIRTY",
+        "PROBED",
+        "DEMOTED",
+        "HUGE_HEAD",
+        "HUGE_SPLIT",
+        "IN_FAST",
+        "LRU_ACTIVE",
+        "CANDIDATE",
+        "POLICY_BIT",
+        "SWAPPED",
+    ];
+
+    /// Constructs a flag word from raw bits. Bits above [`PageFlags::MASK`]
+    /// must be zero.
+    #[inline]
+    pub fn from_bits(bits: u16) -> PageFlags {
+        debug_assert_eq!(bits & !Self::MASK, 0, "undefined PageFlags bits set");
+        PageFlags(bits)
+    }
+
+    /// The raw flag word. Prefer [`PageFlags::has`]/[`PageFlags::has_any`]
+    /// for predicates; this exists for exhaustive enumeration and reports.
+    #[inline]
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Renders the set bits as `A|B|C` (`-` when empty), for reports.
+    pub fn describe(self) -> String {
+        let mut out = String::new();
+        for (i, name) in Self::NAMES.iter().enumerate() {
+            if self.0 & (1 << i) != 0 {
+                if !out.is_empty() {
+                    out.push('|');
+                }
+                out.push_str(name);
+            }
+        }
+        if out.is_empty() {
+            out.push('-');
+        }
+        out
+    }
+
     /// Whether all bits in `mask` are set.
     #[inline]
     pub fn has(self, mask: u16) -> bool {
@@ -168,6 +221,25 @@ mod tests {
         assert_eq!(f.tier(), TierId::Fast);
         f.set_tier(TierId::Slow);
         assert_eq!(f.tier(), TierId::Slow);
+    }
+
+    #[test]
+    fn bits_roundtrip_and_describe() {
+        for bits in [
+            0u16,
+            PageFlags::PRESENT | PageFlags::IN_FAST,
+            PageFlags::MASK,
+        ] {
+            assert_eq!(PageFlags::from_bits(bits).bits(), bits);
+        }
+        assert_eq!(PageFlags::from_bits(0).describe(), "-");
+        assert_eq!(
+            PageFlags::from_bits(PageFlags::PRESENT | PageFlags::SWAPPED).describe(),
+            "PRESENT|SWAPPED"
+        );
+        // One name per defined bit, in bit order.
+        assert_eq!(PageFlags::NAMES.len(), PageFlags::BITS as usize);
+        assert_eq!(u32::from(PageFlags::MASK.count_ones()), PageFlags::BITS);
     }
 
     #[test]

@@ -19,6 +19,19 @@ use crate::stats::SystemStats;
 use crate::tier::TierId;
 use crate::watermark::Watermarks;
 
+/// Aging/scan budget in pages for covering `frames` once per `period`,
+/// pro-rated to one `interval` tick: `frames * interval / period`.
+///
+/// Computed in 128-bit and saturated at `u32::MAX`: with a long interval
+/// against a short period the product exceeds 2^32 pages, and the bare
+/// `as u32` every policy used to write silently wraps the budget down to
+/// near zero — the same modular-cast bug class as `cit_from_word`.
+pub fn scan_budget_pages(frames: u32, interval: Nanos, period: Nanos) -> u32 {
+    let scaled =
+        u128::from(frames) * u128::from(interval.as_nanos()) / u128::from(period.as_nanos().max(1));
+    u32::try_from(scaled).unwrap_or(u32::MAX)
+}
+
 /// One simulated process: an address space plus scheduling state.
 #[derive(Debug)]
 pub struct Process {
@@ -794,6 +807,28 @@ mod tests {
     fn small_sys() -> TieredSystem {
         // 64 fast + 192 slow frames; watermarks floor at min=4/low=6/high=8.
         TieredSystem::new(SystemConfig::dram_pmem(64, 192))
+    }
+
+    #[test]
+    fn scan_budget_saturates_instead_of_wrapping() {
+        // The shape every daemon uses: fast-tier frames × event interval /
+        // scan period. 1M frames pro-rated over a 100 s interval against a
+        // 1 µs period is 10^14 pages — the old `as u32` wrapped this to a
+        // near-zero budget and the daemon silently stopped aging.
+        let frames = 1 << 20;
+        let interval = Nanos(100_000_000_000);
+        let period = Nanos(1_000);
+        let wrapped = (frames as u64 * interval.as_nanos() / period.as_nanos().max(1)) as u32;
+        assert_ne!(
+            wrapped,
+            scan_budget_pages(frames, interval, period),
+            "regression sentinel: the bare cast really does wrap here"
+        );
+        assert_eq!(scan_budget_pages(frames, interval, period), u32::MAX);
+        // Sane in-range behaviour: 1000 frames, interval == period / 4.
+        assert_eq!(scan_budget_pages(1000, Nanos(250), Nanos(1_000)), 250);
+        // Zero-length period must not divide by zero.
+        assert_eq!(scan_budget_pages(7, Nanos(3), Nanos(0)), 21);
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Static analysis for the tiering workspace: the bug classes PR 1 and
+//! PR 2 caught at runtime, caught before the code runs.
+//!
+//! Two pillars, both dependency-free (no `syn`, no `regex` — this crate
+//! must build in the offline CI container):
+//!
+//! - [`lint`] — **chrono-lint**, a lexical scanner over the workspace
+//!   sources enforcing repo-specific rules clippy cannot express:
+//!   determinism hygiene (no wall clocks, no hash-order iteration in the
+//!   simulator crates), the timestamp-narrowing-cast audit (the
+//!   `cit_from_word` wrap-bug class), unit-suffix consistency, and
+//!   `PageFlags` encapsulation. Findings are machine-readable
+//!   (`file:line [rule] snippet`) and waivable inline
+//!   (`// lint:allow(<rule>) reason`) or via a committed baseline.
+//! - [`model`] — an **exhaustive small-scope model checker** for the page
+//!   lifecycle: the transition relation (scan-unmap, hint-fault, probe,
+//!   candidate filter, enqueue, promote, demote, split, swap-out/in,
+//!   reclaim, LRU moves) declared as pure functions over
+//!   `(PageFlags, queued)` words, the full reachable set enumerated
+//!   exactly over the 2^14 state space, and every reachable state checked
+//!   against the declared legality predicates. The reachable projection
+//!   also backs the runtime ⊆ static *bridge check* wired into the
+//!   tiering-verify oracle.
+//!
+//! `harness lint` and `harness model-check` drive both from CI.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod model;
+
+use std::path::{Path, PathBuf};
+
+pub use lint::{lint_source, lint_workspace, Finding, LintReport, RESTRICTED_CRATES, RULES};
+pub use model::{
+    check_model, flag_word_reachable, legality_rules, render_report, transitions, LegalityRule,
+    ModelReport, Transition, QUEUED,
+};
+
+/// The workspace root, resolved from this crate's manifest directory
+/// (`crates/tiering-analysis` → two levels up). The lint scanner and the
+/// golden/baseline files are all addressed relative to this.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// Path of the committed lint waiver baseline.
+pub fn baseline_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("lint-baseline.txt")
+}
+
+/// Path of the committed reachability golden.
+pub fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/reachable_states.txt")
+}

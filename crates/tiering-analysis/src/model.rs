@@ -1,0 +1,600 @@
+//! Exhaustive small-scope model checking of the page lifecycle.
+//!
+//! The state of one page, as far as the substrate and every policy are
+//! concerned, is its 13-bit [`PageFlags`] word (the tier is the `IN_FAST`
+//! bit) plus one bit of promotion-queue membership. That is 2^14 = 16384
+//! states — small enough to enumerate the reachable set *exactly* rather
+//! than sample it, which is the whole trick: the transition relation below
+//! restates, as pure functions, what `TieredSystem`, `AddressSpace`,
+//! `ChronoPolicy`, and the baseline policies actually do to a page's flags
+//! (scan-unmap, hint-fault, DCSC probes, candidate filtering, enqueue,
+//! promote, demote, split, swap-out/in, reclaim, LRU rotation), and a BFS
+//! from the zero state visits everything those functions can ever produce.
+//!
+//! Two consumers:
+//!
+//! - `harness model-check` asserts that no reachable state violates the
+//!   declared [`legality_rules`] (e.g. `PROT_NONE ∧ ¬PRESENT`,
+//!   `HUGE_HEAD ∧ HUGE_SPLIT`, `PRESENT ∧ SWAPPED` must be unreachable) and
+//!   diffs the rendered reachable set against the committed golden.
+//! - The tiering-verify oracle calls [`flag_word_reachable`] after every
+//!   fuzz op: every flag word observed at runtime must be ⊆ the statically
+//!   reachable set (the runtime ⊆ static *bridge check*). The model is a
+//!   deliberate over-approximation — transitions fire from any state
+//!   satisfying their guard, ignoring cross-page context — so the bridge
+//!   direction is sound: a runtime word outside the set is always a bug in
+//!   either the substrate or the model's claims, never fuzzer bad luck.
+
+use std::sync::OnceLock;
+
+use tiered_mem::PageFlags;
+
+/// Model-only bit: the page sits in a policy promotion queue. Lives just
+/// above the real flag bits so one `u16` holds the whole model state.
+pub const QUEUED: u16 = 1 << PageFlags::BITS;
+
+/// Total model state space: 13 flag bits + the queued bit.
+pub const STATE_SPACE: usize = 1 << (PageFlags::BITS + 1);
+
+const P: u16 = PageFlags::PRESENT;
+const PN: u16 = PageFlags::PROT_NONE;
+const A: u16 = PageFlags::ACCESSED;
+const D: u16 = PageFlags::DIRTY;
+const PB: u16 = PageFlags::PROBED;
+const DEM: u16 = PageFlags::DEMOTED;
+const HH: u16 = PageFlags::HUGE_HEAD;
+const HS: u16 = PageFlags::HUGE_SPLIT;
+const F: u16 = PageFlags::IN_FAST;
+const LA: u16 = PageFlags::LRU_ACTIVE;
+const C: u16 = PageFlags::CANDIDATE;
+const POL: u16 = PageFlags::POLICY_BIT;
+const SW: u16 = PageFlags::SWAPPED;
+
+fn has(s: u16, m: u16) -> bool {
+    s & m == m
+}
+
+/// Flag bits a never-mapped huge-block tail entry can carry: its tier (set
+/// by `demand_map`/`migrate` on the whole block) and the accessed/dirty
+/// stamps `TieredSystem::access` leaves on the faulted base offset.
+const TAIL_MASK: u16 = F | A | D;
+
+/// One named transition of the page lifecycle: `apply` returns every
+/// successor state (empty when the guard rejects the state).
+pub struct Transition {
+    /// Name used in reports and the self-test.
+    pub name: &'static str,
+    /// The pure transition function.
+    pub apply: fn(u16) -> Vec<u16>,
+}
+
+/// The full transition relation. Each entry cites the code it abstracts;
+/// guards and effects must be kept in sync with those sites (the bridge
+/// check and the committed golden both fail loudly when they drift).
+pub fn transitions() -> Vec<Transition> {
+    vec![
+        // TieredSystem::access → demand_map (+ swap-in): maps the PTE page,
+        // clearing SWAPPED, choosing a tier, optionally as a huge head, and
+        // inserting into the active LRU; the access then stamps A (and D on
+        // writes). A split block can never be huge-mapped again.
+        Transition {
+            name: "demand_fault",
+            apply: |s| {
+                if has(s, P) {
+                    return vec![];
+                }
+                let mut out = Vec::new();
+                for tier in [F, 0] {
+                    for dirty in [0, D] {
+                        let base = ((s & !SW & !F) | P | tier | LA | A | dirty) & !PN;
+                        out.push(base);
+                        if !has(s, HS) {
+                            out.push(base | HH);
+                        }
+                    }
+                }
+                out
+            },
+        },
+        // TieredSystem::access on a present page: a hint fault consumes
+        // PROT_NONE; the hardware bits are stamped.
+        Transition {
+            name: "access_present",
+            apply: |s| {
+                if !has(s, P) {
+                    return vec![];
+                }
+                vec![(s & !PN) | A, (s & !PN) | A | D]
+            },
+        },
+        // demand_map/migrate on a huge block: tail entries (never PRESENT
+        // while the block is intact) get only their tier flipped.
+        Transition {
+            name: "tail_set_tier",
+            apply: |s| {
+                if has(s, P) || s & !TAIL_MASK != 0 {
+                    return vec![];
+                }
+                vec![s | F, s & !F]
+            },
+        },
+        // TieredSystem::access on a huge mapping: the faulted base offset's
+        // tail entry is stamped A/D without ever becoming PRESENT.
+        Transition {
+            name: "tail_touch",
+            apply: |s| {
+                if has(s, P) || s & !TAIL_MASK != 0 {
+                    return vec![];
+                }
+                vec![s | A, s | A | D]
+            },
+        },
+        // Ticking-scan / NUMA-balancing scan: poison a present PTE. The
+        // linux_nb and autotiering scanners poison both tiers, so the guard
+        // is presence alone.
+        Transition {
+            name: "scan_unmap",
+            apply: |s| if has(s, P) { vec![s | PN] } else { vec![] },
+        },
+        // ChronoPolicy::issue_probes: PG_probed + PROT_NONE on a present,
+        // unpoisoned, unprobed page.
+        Transition {
+            name: "probe_issue",
+            apply: |s| {
+                if has(s, P) && !has(s, PN) && !has(s, PB) {
+                    vec![s | PB | PN]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::handle_probe_fault, first round: re-arm the poison,
+        // keeping PG_probed.
+        Transition {
+            name: "probe_rearm",
+            apply: |s| {
+                if has(s, P | PB) && !has(s, PN) {
+                    vec![s | PN]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::handle_probe_fault, second round: the probe
+        // completes (the hint fault itself already cleared PROT_NONE).
+        Transition {
+            name: "probe_complete",
+            apply: |s| {
+                if has(s, P | PB) && !has(s, PN) {
+                    vec![s & !PB]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::expire_stale_probes: drop the probe and its poison.
+        Transition {
+            name: "probe_expire",
+            apply: |s| {
+                if has(s, PB) {
+                    vec![s & !(PB | PN)]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::handle_scan_fault (and the memtis/flexmem deferred
+        // queues): a slow-tier page that passed the candidate filter is
+        // marked CANDIDATE and enqueued for promotion.
+        Transition {
+            name: "candidate_enqueue",
+            apply: |s| {
+                if has(s, P) && !has(s, F) && !has(s, C) {
+                    vec![s | C | QUEUED]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // PromotionQueue drain / deferred-queue drop: leaving the queue
+        // always clears CANDIDATE (promotion itself is a separate step).
+        Transition {
+            name: "dequeue",
+            apply: |s| {
+                if has(s, QUEUED) {
+                    vec![s & !(QUEUED | C)]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::migrate to Fast: clears the transient marks
+        // (poison, candidacy, probe, thrash watch) and lands on the active
+        // LRU of the fast tier.
+        Transition {
+            name: "promote",
+            apply: |s| {
+                if has(s, P) && !has(s, F) {
+                    vec![(s & !(PN | C | PB | DEM)) | F | LA]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::migrate to Slow: same clears minus the thrash
+        // watch; lands on the inactive LRU of the slow tier.
+        Transition {
+            name: "demote",
+            apply: |s| {
+                if has(s, P | F) {
+                    vec![s & !(PN | C | PB | F | LA)]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::proactive_demote, after a successful demotion: arm
+        // the thrashing monitor and poison for the re-fault.
+        Transition {
+            name: "thrash_arm",
+            apply: |s| {
+                if has(s, P) && !has(s, F) {
+                    vec![s | DEM | PN]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // ChronoPolicy::handle_scan_fault on a watched page: the thrash is
+        // recorded and the watch cleared.
+        Transition {
+            name: "thrash_clear",
+            apply: |s| {
+                if has(s, P | DEM) && !has(s, F) {
+                    vec![s & !DEM]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // flexmem's two-touch marker: POLICY_BIT toggles on present
+        // slow-tier pages (it may then persist across promotions).
+        Transition {
+            name: "policy_bit_toggle",
+            apply: |s| {
+                if has(s, P) && !has(s, F) {
+                    vec![s | POL, s & !POL]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // Clock-style scanners (telescope, multiclock) and LRU aging read
+        // and clear the accessed bit of present pages.
+        Transition {
+            name: "clear_accessed",
+            apply: |s| if has(s, P) { vec![s & !A] } else { vec![] },
+        },
+        // lru_insert(Active|Inactive) via aging, rotation, or the fuzzer's
+        // LruMove: flips the list bit of a present page.
+        Transition {
+            name: "lru_rotate",
+            apply: |s| {
+                if has(s, P) {
+                    vec![s | LA, s & !LA]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::swap_out: the head loses presence and every
+        // transient mark; IN_FAST, LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and
+        // POLICY_BIT are left stale (and queue membership is unaffected —
+        // the drain discovers the eviction later).
+        Transition {
+            name: "swap_out",
+            apply: |s| {
+                if has(s, P) {
+                    vec![(s & !(P | PN | A | D | PB | DEM | C)) | SW]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // AddressSpace::split_block: the head trades HUGE_HEAD for
+        // HUGE_SPLIT; every tail inherits the head's pre-split word minus
+        // HUGE_HEAD (tails keep their own pfn/stamp but not their flags).
+        Transition {
+            name: "split",
+            apply: |s| {
+                if has(s, HS) {
+                    return vec![];
+                }
+                vec![(s | HS) & !HH, s & !HH]
+            },
+        },
+    ]
+}
+
+/// A legality predicate over model states: `illegal` returns true for
+/// states that must be unreachable.
+pub struct LegalityRule {
+    /// Stable name used in reports.
+    pub name: &'static str,
+    /// The predicate (true ⇒ the state is illegal).
+    pub illegal: fn(u16) -> bool,
+}
+
+/// The declared legal-state rules. These are the combination rules that
+/// previously lived only in comments and the runtime oracle.
+pub fn legality_rules() -> Vec<LegalityRule> {
+    vec![
+        // A poisoned PTE with nothing mapped (covers PROT_NONE ∧ SWAPPED):
+        // a hint fault on it would demand-map instead of hinting.
+        LegalityRule {
+            name: "prot_none_requires_present",
+            illegal: |s| has(s, PN) && !has(s, P),
+        },
+        // A page cannot be both resident and on the swap device.
+        LegalityRule {
+            name: "present_excludes_swapped",
+            illegal: |s| has(s, P | SW),
+        },
+        // A block is either an intact huge mapping or split, never both.
+        LegalityRule {
+            name: "huge_head_excludes_split",
+            illegal: |s| has(s, HH | HS),
+        },
+        // The thrashing monitor only watches resident slow-tier pages.
+        LegalityRule {
+            name: "demoted_requires_present",
+            illegal: |s| has(s, DEM) && !has(s, P),
+        },
+        LegalityRule {
+            name: "demoted_excludes_fast",
+            illegal: |s| has(s, DEM | F),
+        },
+        // Promotion candidacy means "resident in the slow tier".
+        LegalityRule {
+            name: "candidate_requires_present",
+            illegal: |s| has(s, C) && !has(s, P),
+        },
+        LegalityRule {
+            name: "candidate_excludes_fast",
+            illegal: |s| has(s, C | F),
+        },
+        // A DCSC probe outlives neither its page nor a migration.
+        LegalityRule {
+            name: "probed_requires_present",
+            illegal: |s| has(s, PB) && !has(s, P),
+        },
+        // swap_out scrubs the hardware bits; nothing re-stamps a swapped
+        // page without first demand-mapping it.
+        LegalityRule {
+            name: "swapped_is_clean",
+            illegal: |s| has(s, SW) && s & (A | D) != 0,
+        },
+    ]
+}
+
+/// Result of one exhaustive enumeration.
+pub struct ModelReport {
+    /// Every reachable state word (flag bits plus [`QUEUED`]), sorted.
+    pub reachable: Vec<u16>,
+    /// Reachable states violating a legality rule, with the rule name.
+    pub illegal: Vec<(u16, &'static str)>,
+    /// Transitions that never fired from any reachable state (dead
+    /// transitions indicate a guard typo).
+    pub dead_transitions: Vec<&'static str>,
+}
+
+/// Enumerates the exact reachable set from the zero state (a fresh
+/// `PageEntry::default()` word) under `ts`, then applies `rules`.
+pub fn check_model(ts: &[Transition], rules: &[LegalityRule]) -> ModelReport {
+    let mut seen = vec![false; STATE_SPACE];
+    let mut fired = vec![false; ts.len()];
+    let mut frontier = vec![0u16];
+    seen[0] = true;
+    while let Some(s) = frontier.pop() {
+        for (i, t) in ts.iter().enumerate() {
+            for succ in (t.apply)(s) {
+                debug_assert!(
+                    (succ as usize) < STATE_SPACE,
+                    "{} produced out-of-space state {succ:#x}",
+                    t.name
+                );
+                fired[i] = true;
+                if !seen[succ as usize] {
+                    seen[succ as usize] = true;
+                    frontier.push(succ);
+                }
+            }
+        }
+    }
+    let reachable: Vec<u16> = (0..STATE_SPACE as u16)
+        .filter(|&s| seen[s as usize])
+        .collect();
+    let mut illegal = Vec::new();
+    for &s in &reachable {
+        for r in rules {
+            if (r.illegal)(s & PageFlags::MASK) {
+                illegal.push((s, r.name));
+            }
+        }
+    }
+    let dead_transitions = ts
+        .iter()
+        .zip(&fired)
+        .filter(|(_, &f)| !f)
+        .map(|(t, _)| t.name)
+        .collect();
+    ModelReport {
+        reachable,
+        illegal,
+        dead_transitions,
+    }
+}
+
+/// The statically reachable *flag-word* projection (queue bit dropped),
+/// as a 2^13 bitmap. Computed once, lazily.
+fn reachable_words() -> &'static [u64; 128] {
+    static WORDS: OnceLock<[u64; 128]> = OnceLock::new();
+    WORDS.get_or_init(|| {
+        let report = check_model(&transitions(), &[]);
+        let mut bits = [0u64; 128];
+        for s in report.reachable {
+            let w = s & PageFlags::MASK;
+            bits[(w >> 6) as usize] |= 1 << (w & 63);
+        }
+        bits
+    })
+}
+
+/// The bridge check: whether a runtime-observed `PageFlags` word is inside
+/// the statically reachable set. Every word the substrate can legitimately
+/// produce must satisfy this; the tiering-verify oracle asserts it after
+/// every fuzz op.
+pub fn flag_word_reachable(word: u16) -> bool {
+    if word & !PageFlags::MASK != 0 {
+        return false;
+    }
+    reachable_words()[(word >> 6) as usize] & (1 << (word & 63)) != 0
+}
+
+/// Renders a report in the committed-golden format: a header, then one
+/// line per reachable state (`hex  [Q|]NAMES`).
+pub fn render_report(report: &ModelReport) -> String {
+    let mut out = String::new();
+    out.push_str("# PageFlags lifecycle reachability (regenerate: harness model-check --bless)\n");
+    out.push_str(&format!(
+        "# reachable: {} of {} states ({} flag bits + queued)\n",
+        report.reachable.len(),
+        STATE_SPACE,
+        PageFlags::BITS,
+    ));
+    let words: std::collections::BTreeSet<u16> = report
+        .reachable
+        .iter()
+        .map(|&s| s & PageFlags::MASK)
+        .collect();
+    out.push_str(&format!("# distinct flag words: {}\n", words.len()));
+    for &s in &report.reachable {
+        let q = if s & QUEUED != 0 { "Q|" } else { "" };
+        out.push_str(&format!(
+            "{:04x} {}{}\n",
+            s,
+            q,
+            PageFlags::from_bits(s & PageFlags::MASK).describe()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reachable_set_is_legal_and_nontrivial() {
+        let report = check_model(&transitions(), &legality_rules());
+        let pretty: Vec<String> = report
+            .illegal
+            .iter()
+            .map(|(s, r)| {
+                format!(
+                    "{r}: {:04x} {}",
+                    s,
+                    PageFlags::from_bits(s & PageFlags::MASK).describe()
+                )
+            })
+            .collect();
+        assert!(
+            pretty.is_empty(),
+            "illegal reachable states:\n{}",
+            pretty.join("\n")
+        );
+        assert!(
+            report.dead_transitions.is_empty(),
+            "dead: {:?}",
+            report.dead_transitions
+        );
+        // Sanity bounds: far more than the handful of states a trivial
+        // model would produce, far less than the whole space.
+        assert!(report.reachable.len() > 100, "{}", report.reachable.len());
+        assert!(
+            report.reachable.len() < STATE_SPACE / 2,
+            "{}",
+            report.reachable.len()
+        );
+    }
+
+    #[test]
+    fn key_states_classified_correctly() {
+        // Paper-meaningful states that must be reachable.
+        for (word, why) in [
+            (0u16, "fresh entry"),
+            (P | A | LA | F, "hot fast page on the active list"),
+            (P | PN | PB, "mid-probe DCSC page"),
+            (P | DEM | PN, "thrash-watched page after proactive demotion"),
+            (P | C, "enqueued candidate"),
+            (SW | LA | F, "swapped page with stale fast/LRU bits"),
+            (P | HS | A, "present head of a split block"),
+            (A | D | F, "touched tail of an intact fast huge block"),
+        ] {
+            assert!(
+                flag_word_reachable(word),
+                "{why}: {:04x} should be reachable",
+                word
+            );
+        }
+        // Declared-illegal states that must not be.
+        for (word, why) in [
+            (PN, "poison without presence"),
+            (P | SW, "present and swapped"),
+            (HH | HS | P, "head and split at once"),
+            (DEM, "thrash watch on an unmapped page"),
+            (C | F | P, "fast-tier candidate"),
+            (SW | D, "dirty swapped page"),
+        ] {
+            assert!(
+                !flag_word_reachable(word),
+                "{why}: {:04x} should be unreachable",
+                word
+            );
+        }
+        // Words above the defined bits are never reachable.
+        assert!(!flag_word_reachable(1 << 14));
+    }
+
+    #[test]
+    fn self_test_injected_illegal_transition_is_reported() {
+        // The model checker must actually be able to fail: add a buggy
+        // transition that arms the thrashing monitor without checking
+        // presence (the guard the real proactive_demote relies on) and
+        // assert the violation is caught and attributed.
+        let mut ts = transitions();
+        ts.push(Transition {
+            name: "buggy_thrash_arm_without_present",
+            apply: |s| if !has(s, P) { vec![s | DEM] } else { vec![] },
+        });
+        let report = check_model(&ts, &legality_rules());
+        assert!(
+            report
+                .illegal
+                .iter()
+                .any(|(s, rule)| *rule == "demoted_requires_present" && !has(*s, P)),
+            "injected illegal transition was not reported"
+        );
+    }
+
+    #[test]
+    fn render_is_stable_and_parseable() {
+        let report = check_model(&transitions(), &[]);
+        let text = render_report(&report);
+        assert!(text.starts_with("# PageFlags lifecycle reachability"));
+        // One body line per reachable state, each starting with its hex word.
+        let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(body.len(), report.reachable.len());
+        assert!(body[0].starts_with("0000 "));
+    }
+}

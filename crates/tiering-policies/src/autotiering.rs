@@ -10,7 +10,9 @@
 //! overhead of Fig 8).
 
 use sim_clock::Nanos;
-use tiered_mem::{AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn};
+use tiered_mem::{
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+};
 
 use crate::policy::{decode_token, encode_token, ScanCursor, TieringPolicy};
 
@@ -100,9 +102,11 @@ impl TieringPolicy for AutoTiering {
             }
             EV_DEMOTE => {
                 // Age the LRU at scan-period timescale, then demote.
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.demote_interval.as_nanos()
-                        / self.cfg.scan_period.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.demote_interval,
+                    self.cfg.scan_period,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 // Background demotion (the BD in OPM-BD) keeps fast-tier
                 // headroom well above the plain watermarks so opportunistic

@@ -6,7 +6,7 @@
 //! the paper's multi-process runs), and daemon events fire whenever
 //! simulated time passes their deadline.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use sim_clock::Nanos;
 use tiered_mem::{ProcessId, TierId, TieredSystem};
@@ -149,7 +149,9 @@ impl SimulationDriver {
         let mut latency_reads = LatencyHistogram::new();
         let mut latency_writes = LatencyHistogram::new();
         let mut accesses = 0u64;
-        let mut slow_pages: HashSet<u64> = HashSet::new();
+        // Ordered set: `hash-iter` lint territory — iteration (if ever
+        // added) must not depend on hash order in a deterministic simulator.
+        let mut slow_pages: BTreeSet<u64> = BTreeSet::new();
         let mut series: Vec<TimeSeries> = (0..workloads.len())
             .map(|i| TimeSeries::new(format!("proc{}", i)))
             .collect();

@@ -9,7 +9,9 @@
 //! describes it as "enhancing Memtis with timely migration decisions".
 
 use sim_clock::Nanos;
-use tiered_mem::{AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn};
+use tiered_mem::{
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+};
 
 use crate::pebs::PebsSampler;
 use crate::policy::{decode_token, encode_token, ScanCursor, TieringPolicy};
@@ -136,9 +138,11 @@ impl TieringPolicy for FlexMem {
                 sys.schedule_in(self.cfg.cooling_interval, encode_token(EV_COOL, 0, 0));
             }
             EV_DEMOTE => {
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.demote_interval.as_nanos()
-                        / self.cfg.scan_period.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.demote_interval,
+                    self.cfg.scan_period,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 // Keep headroom above the plain watermarks so both the
                 // deferred drain and the timeliness faults find free frames.

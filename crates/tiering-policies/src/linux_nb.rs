@@ -10,7 +10,9 @@
 //! scan period, churning the fast tier.
 
 use sim_clock::Nanos;
-use tiered_mem::{AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn};
+use tiered_mem::{
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+};
 
 use crate::policy::{decode_token, encode_token, ScanCursor, TieringPolicy};
 
@@ -104,9 +106,11 @@ impl TieringPolicy for LinuxNumaBalancing {
                         });
                 sys.charge_scan(pid, marked.max(1));
                 // LRU aging at scan-period timescale, spread across chunks.
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * cur.event_interval.as_nanos()
-                        / self.cfg.scan_period.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    cur.event_interval,
+                    self.cfg.scan_period,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 let interval = cur.event_interval;
                 sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));

@@ -13,7 +13,8 @@
 
 use sim_clock::Nanos;
 use tiered_mem::{
-    AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn, HUGE_2M_PAGES,
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+    HUGE_2M_PAGES,
 };
 
 use crate::pebs::PebsSampler;
@@ -244,9 +245,11 @@ impl TieringPolicy for Memtis {
             EV_ADJUST => {
                 // Age the fast-tier LRU so reclaim during promotions has
                 // meaningful inactive candidates (kswapd-equivalent).
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.adjust_interval.as_nanos()
-                        / self.cfg.cooling_interval.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.adjust_interval,
+                    self.cfg.cooling_interval,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 self.adjust_threshold(sys);
                 self.maybe_split(sys);

@@ -11,7 +11,9 @@
 //! not rates.
 
 use sim_clock::Nanos;
-use tiered_mem::{AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn};
+use tiered_mem::{
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+};
 
 use crate::policy::{decode_token, encode_token, ScanCursor, TieringPolicy};
 
@@ -117,9 +119,11 @@ impl TieringPolicy for MultiClock {
             }
             EV_DEMOTE => {
                 // Age the LRU at sweep-period timescale, then demote.
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.demote_interval.as_nanos()
-                        / self.cfg.sweep_period.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.demote_interval,
+                    self.cfg.sweep_period,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 // Demote bottom-level fast pages, keeping headroom above the
                 // plain watermarks so opportunistic promotions find frames.

@@ -18,7 +18,9 @@
 //! which is precisely Telescope's scalability argument.
 
 use sim_clock::Nanos;
-use tiered_mem::{AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn};
+use tiered_mem::{
+    scan_budget_pages, AccessResult, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+};
 
 use crate::policy::{decode_token, encode_token, TieringPolicy};
 
@@ -240,9 +242,11 @@ impl TieringPolicy for Telescope {
                 sys.schedule_in(self.cfg.window, encode_token(EV_PROFILE, 0, 0));
             }
             EV_DEMOTE => {
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.demote_interval.as_nanos()
-                        / (self.cfg.window.as_nanos() * 8).max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.demote_interval,
+                    Nanos(self.cfg.window.as_nanos().saturating_mul(8)),
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 let mut budget = 128u32;
                 while sys.free_frames(TierId::Fast) < sys.watermarks.high && budget > 0 {

@@ -11,7 +11,8 @@
 
 use sim_clock::Nanos;
 use tiered_mem::{
-    AccessResult, LruKind, MigrateMode, PageFlags, ProcessId, TierId, TieredSystem, Vpn,
+    scan_budget_pages, AccessResult, LruKind, MigrateMode, PageFlags, ProcessId, TierId,
+    TieredSystem, Vpn,
 };
 
 use crate::policy::{decode_token, encode_token, ScanCursor, TieringPolicy};
@@ -96,9 +97,11 @@ impl TieringPolicy for Tpp {
             }
             EV_DEMOTE => {
                 // Age the LRU at scan-period timescale, then demote.
-                let age_budget =
-                    (sys.total_frames(TierId::Fast) as u64 * self.cfg.demote_interval.as_nanos()
-                        / self.cfg.scan_period.as_nanos().max(1)) as u32;
+                let age_budget = scan_budget_pages(
+                    sys.total_frames(TierId::Fast),
+                    self.cfg.demote_interval,
+                    self.cfg.scan_period,
+                );
                 sys.age_active_list(TierId::Fast, age_budget.max(16));
                 // Proactive demotion: keep free frames above the high mark so
                 // promotions don't stall in reclaim.

@@ -52,10 +52,39 @@ impl InvariantOracle {
         let mut out = Vec::new();
         self.check_frame_conservation(sys, &mut out);
         self.check_page_tables(sys, &mut out);
+        self.check_flag_words(sys, &mut out);
         self.check_lru(sys, &mut out);
         self.check_watermarks(sys, &mut out);
         self.check_stats(sys, &mut out);
         out
+    }
+
+    /// The runtime ⊆ static bridge check: every flag word in every page
+    /// table must be inside the reachable set the tiering-analysis model
+    /// checker enumerated from the declared transition relation. A word
+    /// outside it means either the substrate performed a transition the
+    /// model does not declare (a lifecycle bug or an undocumented
+    /// behaviour) or the model's guards drifted from the code.
+    fn check_flag_words(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        for pid in sys.pids() {
+            let space = &sys.process(pid).space;
+            for v in 0..space.pages() {
+                let e = space.entry(Vpn(v));
+                let word = e.flags.bits();
+                if !tiering_analysis::flag_word_reachable(word) {
+                    out.push(Violation {
+                        invariant: "flags_reachable",
+                        detail: format!(
+                            "pid {} vpn {} holds statically unreachable flag word {:#06x} ({})",
+                            pid.0,
+                            v,
+                            word,
+                            e.flags.describe()
+                        ),
+                    });
+                }
+            }
+        }
     }
 
     /// Panics with a readable report if any invariant is violated. Meant for
