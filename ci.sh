@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release"
-cargo build --release
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
 
 echo "== cargo test -q"
 cargo test -q
@@ -28,6 +28,9 @@ echo "== harness model-check (exhaustive PageFlags lifecycle vs golden)"
 
 echo "== harness fuzz smoke (32 seeds x 2000 ops, fixed base)"
 ./target/release/harness fuzz --seeds 32 --ops 2000 --seed-base 0x5EED0000
+
+echo "== harness fuzz migration-stress (write-abort/backpressure paths, tiny in-flight tables)"
+./target/release/harness fuzz --migration-stress --seeds 32 --ops 2000
 
 echo "== harness fuzz self-test (injected bug must be caught and shrunk)"
 ./target/release/harness fuzz --self-test

@@ -71,6 +71,10 @@ pub struct ChronoPolicy {
     cursors: Vec<ScanCursor>,
     candidates: CandidateSet,
     queue: PromotionQueue,
+    /// Drained entries the migration engine refused with `Backpressure`,
+    /// retried ahead of the next batch (they were already counted dequeued,
+    /// so queue-flow conservation is unaffected).
+    deferred: Vec<PendingPromotion>,
     thrash: ThrashingMonitor,
     limits: LimitEnforcer,
     /// Per-tier CIT heat maps (population-weighted samples).
@@ -136,6 +140,7 @@ impl ChronoPolicy {
             last_overlap_ratio: 0.0,
             cursors: Vec::new(),
             candidates: CandidateSet::new(),
+            deferred: Vec::new(),
             thrash: ThrashingMonitor::new(),
             limits: LimitEnforcer::new(),
             probe_first: BTreeMap::new(),
@@ -407,16 +412,44 @@ impl ChronoPolicy {
     // ----- Daemons ---------------------------------------------------------
 
     fn drain_promotions(&mut self, sys: &mut TieredSystem) {
-        let batch = self.queue.drain(self.cfg.migrate_interval);
-        for p in batch {
+        // Entries refused with `Backpressure` last drain go first, ahead of
+        // the fresh rate-limited batch, preserving promotion order.
+        let mut batch = std::mem::take(&mut self.deferred);
+        batch.extend(self.queue.drain(self.cfg.migrate_interval));
+        let mut i = 0;
+        while i < batch.len() {
+            let p = batch[i];
+            i += 1;
             let e = sys.process_mut(p.pid).space.entry_mut(p.vpn);
             e.flags.clear(PageFlags::CANDIDATE);
             if e.tier() != TierId::Slow {
                 continue; // already moved (e.g. by reclaim interactions)
             }
-            let r = match sys.migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async) {
+            if e.flags.has(PageFlags::MIGRATING) {
+                continue; // already in flight from a previous drain
+            }
+            // Huge units take the synchronous compat path: a 2 MiB copy is
+            // in flight for hundreds of microseconds, long enough that a
+            // hot block is all but guaranteed to take a write and abort
+            // (Nomad falls back to classic migration in exactly this
+            // case). Base pages copy in microseconds and ride the async
+            // in-flight channel.
+            let attempt = if p.pages > 1 {
+                sys.migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async)
+            } else {
+                sys.begin_migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async)
+            };
+            let r = match attempt {
                 Err(MigrateError::NoSpace) => {
                     sys.promote_with_reclaim(p.pid, p.vpn, MigrateMode::Async)
+                }
+                Err(MigrateError::Backpressure) => {
+                    // The in-flight table (or its copy backlog) is full:
+                    // stop issuing and carry the rest of the batch over to
+                    // the next drain instead of burning the rate budget on
+                    // rejections.
+                    self.deferred.extend(batch.drain(i - 1..));
+                    break;
                 }
                 other => other,
             };

@@ -1,14 +1,21 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! harness [--scale N] [--json DIR] [--trace DIR] <experiment-id>...
+//! harness [--scale N] [--json DIR] [--trace DIR]
+//!         [--inflight-slots N] [--migration-backlog-cap MS] <experiment-id>...
 //! harness list
 //! harness all
 //! harness verify [--bless]
-//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED] [--self-test]
+//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
+//!              [--self-test] [--migration-stress]
 //! harness lint [--all] [--rules]
 //! harness model-check [--bless]
 //! ```
+//!
+//! `--inflight-slots` / `--migration-backlog-cap` bound the two-phase
+//! migration engine (transactions in flight / queued copy milliseconds per
+//! destination channel) for every experiment run; past either bound
+//! policies see `MigrateError::Backpressure`.
 //!
 //! `--json DIR` writes per-scan-period counter rows (JSON + CSV) for every
 //! run; `--trace DIR` additionally dumps the bounded discrete-event ring as
@@ -51,6 +58,38 @@ fn main() {
         args.drain(pos..=pos + 1);
     }
 
+    // Migration-engine admission overrides apply to every experiment run.
+    let mut migration = tiered_mem::MigrationSpec::default();
+    let mut migration_set = false;
+    if let Some(pos) = args.iter().position(|a| a == "--inflight-slots") {
+        let n: usize = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                eprintln!("--inflight-slots requires a positive integer");
+                std::process::exit(2);
+            });
+        migration.inflight_slots = n;
+        migration_set = true;
+        args.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--migration-backlog-cap") {
+        let ms: u64 = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--migration-backlog-cap requires milliseconds (integer)");
+                std::process::exit(2);
+            });
+        migration.backlog_cap = sim_clock::Nanos::from_millis(ms);
+        migration_set = true;
+        args.drain(pos..=pos + 1);
+    }
+    if migration_set {
+        scale.migration = Some(migration);
+    }
+
     let json_dir = take_dir_flag(&mut args, "--json");
     let trace_dir = take_dir_flag(&mut args, "--trace");
     sink::configure(json_dir, trace_dir);
@@ -81,7 +120,7 @@ fn main() {
             "verify"
         );
         println!(
-            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED]",
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress]",
             "fuzz"
         );
         println!(

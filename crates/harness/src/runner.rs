@@ -2,7 +2,7 @@
 
 use chrono_core::{ChronoConfig, ChronoPolicy};
 use sim_clock::Nanos;
-use tiered_mem::{PageSize, SystemConfig, TieredSystem};
+use tiered_mem::{MigrationSpec, PageSize, SystemConfig, TieredSystem};
 use tiering_policies::{
     autotiering::AutoTieringConfig, linux_nb::LinuxNbConfig, multiclock::MultiClockConfig,
     tpp::TppConfig, AutoTiering, DriverConfig, LinuxNumaBalancing, Memtis, MemtisConfig,
@@ -28,6 +28,10 @@ pub struct Scale {
     /// Mean accesses per PEBS sample for Memtis (models the hardware cap
     /// relative to the compressed access rate).
     pub memtis_sample_period: u64,
+    /// Migration-engine admission bounds override (the CLI
+    /// `--inflight-slots` / `--migration-backlog-cap` knobs); `None` keeps
+    /// the library defaults.
+    pub migration: Option<MigrationSpec>,
 }
 
 impl Scale {
@@ -40,6 +44,7 @@ impl Scale {
             scan_step: 1024,
             run_for: Nanos::from_millis(1500),
             memtis_sample_period: 8192,
+            migration: None,
         }
     }
 
@@ -220,7 +225,11 @@ pub fn run_policy<F>(
 where
     F: FnOnce() -> Vec<Box<dyn Workload>>,
 {
-    let mut sys = quarter_system(total_frames);
+    let mut sys_cfg = SystemConfig::quarter_fast(total_frames);
+    if let Some(m) = &scale.migration {
+        sys_cfg.migration = m.clone();
+    }
+    let mut sys = TieredSystem::new(sys_cfg);
     crate::sink::arm(&mut sys);
     let mut wls = make_workloads();
     for w in &wls {

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! harness verify [--bless]
-//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED] [--self-test]
+//! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
+//!              [--self-test] [--migration-stress]
 //! ```
 //!
 //! `verify` runs the differential determinism check for every policy, the
@@ -11,12 +12,15 @@
 //! the snapshots instead of diffing them). `fuzz` runs seeded op-schedule
 //! fuzzing of the substrate; failures are shrunk and printed as replayable
 //! schedules. `--replay SEED` re-runs a single reported seed; `--self-test`
-//! injects a known corruption and checks the pipeline catches and shrinks it.
+//! injects a known corruption and checks the pipeline catches and shrinks
+//! it. `--migration-stress` switches to the migration-heavy profile:
+//! write-dominated access mixes over tiny in-flight tables, so the
+//! write-abort, split-abort and `Backpressure` paths fire constantly.
 
 use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
 use tiering_verify::{
-    bless_goldens, check_goldens, determinism_digests, fuzz_one, metamorphic, GoldenStatus,
-    ALL_POLICIES,
+    bless_goldens, check_goldens, determinism_digests, fuzz_one, fuzz_one_stress, metamorphic,
+    GoldenStatus, ALL_POLICIES,
 };
 
 /// Parses `--flag N` out of `args`; returns the default when absent.
@@ -113,11 +117,13 @@ pub fn run_verify(mut args: Vec<String>) -> i32 {
 }
 
 /// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-/// [--self-test]`. Returns the process exit code.
+/// [--self-test] [--migration-stress]`. Returns the process exit code.
 pub fn run_fuzz(mut args: Vec<String>) -> i32 {
+    let stress = take_bool_flag(&mut args, "--migration-stress");
     let seeds = take_u64_flag(&mut args, "--seeds", 256);
     let ops = take_u64_flag(&mut args, "--ops", 4000) as usize;
-    let seed_base = take_u64_flag(&mut args, "--seed-base", 0x5EED_0000);
+    let default_base = if stress { 0x57E5_5000 } else { 0x5EED_0000 };
+    let seed_base = take_u64_flag(&mut args, "--seed-base", default_base);
     let replay = if args.iter().any(|a| a == "--replay") {
         Some(take_u64_flag(&mut args, "--replay", 0))
     } else {
@@ -135,12 +141,20 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
 
+    let run_case = |seed, ops| {
+        if stress {
+            fuzz_one_stress(seed, ops)
+        } else {
+            fuzz_one(seed, ops)
+        }
+    };
+    let profile = if stress { "migration-stress " } else { "" };
     let code = if self_test {
         run_self_test(seed_base, ops)
     } else if let Some(seed) = replay {
-        match fuzz_one(seed, ops) {
+        match run_case(seed, ops) {
             None => {
-                println!("replay seed {seed:#x}: clean ({ops} ops)");
+                println!("replay seed {seed:#x}: clean ({ops} {profile}ops)");
                 0
             }
             Some(shrunk) => {
@@ -152,16 +166,16 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
         let mut failures = 0u64;
         for i in 0..seeds {
             let seed = seed_base.wrapping_add(i);
-            if let Some(shrunk) = fuzz_one(seed, ops) {
+            if let Some(shrunk) = run_case(seed, ops) {
                 println!("{shrunk}");
                 failures += 1;
             }
         }
         if failures == 0 {
-            println!("fuzz: {seeds} seeds x {ops} ops, zero invariant violations");
+            println!("fuzz: {seeds} {profile}seeds x {ops} ops, zero invariant violations");
             0
         } else {
-            eprintln!("fuzz: {failures} of {seeds} seeds FAILED");
+            eprintln!("fuzz: {failures} of {seeds} {profile}seeds FAILED");
             1
         }
     };

@@ -57,6 +57,31 @@ impl Default for SwapSpec {
     }
 }
 
+/// Admission-control knobs for the two-phase migration engine.
+///
+/// `begin_migrate` rejects with `MigrateError::Backpressure` once either
+/// bound is hit, so policies see a real admission-control signal instead of
+/// an unbounded copy queue. The defaults are generous enough that the
+/// instantaneous-compat `migrate()` wrapper (which completes its transaction
+/// in the same call) behaves as before except under sustained saturation.
+#[derive(Debug, Clone)]
+pub struct MigrationSpec {
+    /// Maximum concurrently in-flight migration transactions.
+    pub inflight_slots: usize,
+    /// Maximum queued copy time on a destination tier's bandwidth channel
+    /// before new transactions are rejected.
+    pub backlog_cap: Nanos,
+}
+
+impl Default for MigrationSpec {
+    fn default() -> MigrationSpec {
+        MigrationSpec {
+            inflight_slots: 512,
+            backlog_cap: Nanos::from_millis(100),
+        }
+    }
+}
+
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -68,6 +93,8 @@ pub struct SystemConfig {
     pub cost: CostModel,
     /// Swap device behind the slow tier.
     pub swap: SwapSpec,
+    /// Two-phase migration engine admission control.
+    pub migration: MigrationSpec,
 }
 
 impl SystemConfig {
@@ -80,6 +107,7 @@ impl SystemConfig {
             slow: TierSpec::pmem(slow_frames),
             cost: CostModel::default(),
             swap: SwapSpec::default(),
+            migration: MigrationSpec::default(),
         }
     }
 
@@ -90,6 +118,7 @@ impl SystemConfig {
             slow: TierSpec::cxl(slow_frames),
             cost: CostModel::default(),
             swap: SwapSpec::default(),
+            migration: MigrationSpec::default(),
         }
     }
 

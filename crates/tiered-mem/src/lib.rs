@@ -29,6 +29,7 @@ pub mod addr;
 pub mod config;
 pub mod frame;
 pub mod lru;
+pub mod migration;
 pub mod page;
 pub mod space;
 pub mod stats;
@@ -37,9 +38,10 @@ pub mod tier;
 pub mod watermark;
 
 pub use addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
-pub use config::{CostModel, SwapSpec, SystemConfig};
+pub use config::{CostModel, MigrationSpec, SwapSpec, SystemConfig};
 pub use frame::{FrameOwner, FrameTable};
 pub use lru::{LruEntry, LruKind, LruLists};
+pub use migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
 pub use page::{PageEntry, PageFlags};
 pub use space::AddressSpace;
 pub use stats::SystemStats;

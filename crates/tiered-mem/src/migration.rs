@@ -1,0 +1,331 @@
+//! Two-phase transactional page migration.
+//!
+//! The engine models what Nomad calls *transactional* migration: a copy
+//! races with application writes and must be able to abort. A transaction
+//! is opened by `TieredSystem::begin_migrate`, which reserves the
+//! destination frames, marks the mapping unit's head with
+//! [`crate::PageFlags::MIGRATING`], and enqueues the copy on the
+//! destination tier's bandwidth channel (a FIFO — copies are serviced in
+//! admission order). The PTE keeps pointing at the *old* frames while the
+//! copy is in flight, so reads hit the old copy; a write aborts the
+//! transaction once its copy is *active* on the channel (a write to a
+//! still-queued transaction lands in the source frames before the copy
+//! reads them, so it merely re-dirties the unit);
+//! `TieredSystem::complete_due_migrations` retires due transactions,
+//! flipping the PTE to the reserved frames.
+//!
+//! Admission control (TierBPF-style): the table is bounded by
+//! [`crate::config::MigrationSpec::inflight_slots`] and each channel's
+//! backlog by [`crate::config::MigrationSpec::backlog_cap`]; past either
+//! bound `begin_migrate` rejects with `MigrateError::Backpressure`.
+//!
+//! The engine is pure bookkeeping: frame tables, PTEs, LRU lists, stats and
+//! trace events stay owned by [`crate::TieredSystem`], which drives the
+//! engine and applies the side effects of completion/abort itself.
+
+use std::collections::VecDeque;
+
+use sim_clock::Nanos;
+
+use crate::addr::{Pfn, ProcessId, Vpn};
+use crate::config::MigrationSpec;
+use crate::system::MigrateMode;
+use crate::tier::TierId;
+
+/// Identifier of one in-flight migration transaction.
+pub type MigrationTxnId = u64;
+
+/// One in-flight migration transaction.
+#[derive(Debug, Clone)]
+pub struct MigrationTxn {
+    /// Transaction id (monotonically assigned at `begin_migrate`).
+    pub id: MigrationTxnId,
+    /// Owning process.
+    pub pid: ProcessId,
+    /// Head page of the migrating mapping unit.
+    pub head: Vpn,
+    /// Source tier (where the PTE still points while in flight).
+    pub from: TierId,
+    /// Destination tier (where the reservation lives).
+    pub to: TierId,
+    /// Base pages in the unit (512 for an intact huge block).
+    pub unit: u32,
+    /// Reserved destination frames, one per base page in offset order.
+    pub dest_pfns: Vec<Pfn>,
+    /// Instant the channel starts this copy (it may queue behind others).
+    pub start_at: Nanos,
+    /// Instant the copy finishes on the destination channel.
+    pub complete_at: Nanos,
+    /// Whose time the copy was charged to.
+    pub mode: MigrateMode,
+}
+
+/// Bounded in-flight transaction table with per-tier bandwidth FIFOs.
+#[derive(Debug)]
+pub struct MigrationEngine {
+    spec: MigrationSpec,
+    next_id: MigrationTxnId,
+    /// Per destination tier, transactions in admission (== completion) order.
+    channels: [VecDeque<MigrationTxn>; 2],
+    /// When each destination tier's copy channel drains.
+    busy_until: [Nanos; 2],
+    /// Reserved (allocated but not yet mapped) frames per tier.
+    reserved: [u32; 2],
+}
+
+impl MigrationEngine {
+    /// An empty engine with the given admission bounds.
+    pub fn new(spec: MigrationSpec) -> MigrationEngine {
+        MigrationEngine {
+            spec,
+            next_id: 0,
+            channels: [VecDeque::new(), VecDeque::new()],
+            busy_until: [Nanos::ZERO, Nanos::ZERO],
+            reserved: [0, 0],
+        }
+    }
+
+    /// The admission bounds the engine was built with.
+    pub fn spec(&self) -> &MigrationSpec {
+        &self.spec
+    }
+
+    /// Number of transactions currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.channels[0].len() + self.channels[1].len()
+    }
+
+    /// Whether a new transaction may be admitted at `now` with `to` as the
+    /// destination tier (slot and backlog bounds both satisfied).
+    pub fn admits(&self, to: TierId, now: Nanos) -> bool {
+        self.in_flight() < self.spec.inflight_slots
+            && self.backlog(to, now) <= self.spec.backlog_cap
+    }
+
+    /// Outstanding copy backlog on a destination tier's channel.
+    pub fn backlog(&self, to: TierId, now: Nanos) -> Nanos {
+        self.busy_until[to.index()].saturating_sub(now)
+    }
+
+    /// Reserved destination frames held by in-flight transactions in `tier`.
+    pub fn reserved_frames(&self, tier: TierId) -> u32 {
+        self.reserved[tier.index()]
+    }
+
+    /// Iterates all in-flight transactions (fast-channel first, then slow;
+    /// admission order within a channel) — deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = &MigrationTxn> {
+        self.channels[0].iter().chain(self.channels[1].iter())
+    }
+
+    /// The transaction migrating the unit headed by `(pid, head)`, if any.
+    pub fn find(&self, pid: ProcessId, head: Vpn) -> Option<MigrationTxnId> {
+        self.iter()
+            .find(|t| t.pid == pid && t.head == head)
+            .map(|t| t.id)
+    }
+
+    /// Whether the copy for `(pid, head)` is *active* at `now` — i.e. the
+    /// channel has started reading the source. A write only conflicts with
+    /// an active copy; while the transaction is still queued behind the
+    /// channel backlog the store simply lands in the source frames and will
+    /// be carried over when the copy eventually runs.
+    pub fn copy_started(&self, pid: ProcessId, head: Vpn, now: Nanos) -> bool {
+        self.iter()
+            .any(|t| t.pid == pid && t.head == head && t.start_at <= now)
+    }
+
+    /// Admits a transaction whose copy costs `cost` on the destination
+    /// channel. `Sync` transactions are due immediately (the waiter already
+    /// paid for the copy in its own context); `Async` ones queue FIFO behind
+    /// the channel's backlog. Returns the transaction id.
+    ///
+    /// The caller has already performed admission checks ([`Self::admits`])
+    /// and reserved `dest_pfns` in the destination frame table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin(
+        &mut self,
+        pid: ProcessId,
+        head: Vpn,
+        from: TierId,
+        to: TierId,
+        unit: u32,
+        dest_pfns: Vec<Pfn>,
+        mode: MigrateMode,
+        cost: Nanos,
+        now: Nanos,
+    ) -> MigrationTxnId {
+        debug_assert_eq!(dest_pfns.len(), unit as usize);
+        let id = self.next_id;
+        self.next_id += 1;
+        let (start_at, complete_at) = match mode {
+            MigrateMode::Sync(_) => (now, now),
+            MigrateMode::Async => {
+                let start = self.busy_until[to.index()].max(now);
+                let done = start + cost;
+                self.busy_until[to.index()] = done;
+                (start, done)
+            }
+        };
+        self.reserved[to.index()] += unit;
+        self.channels[to.index()].push_back(MigrationTxn {
+            id,
+            pid,
+            head,
+            from,
+            to,
+            unit,
+            dest_pfns,
+            start_at,
+            complete_at,
+            mode,
+        });
+        id
+    }
+
+    /// Removes and returns the transaction with the earliest `complete_at`
+    /// that is due at `now`, releasing its reservation accounting (the
+    /// caller maps or frees the reserved frames). Ties break toward the
+    /// fast channel so the retire order is deterministic.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<MigrationTxn> {
+        let due =
+            |c: &VecDeque<MigrationTxn>| c.front().map(|t| t.complete_at).filter(|&t| t <= now);
+        let chosen = match (due(&self.channels[0]), due(&self.channels[1])) {
+            (Some(f), Some(s)) => {
+                if f <= s {
+                    0
+                } else {
+                    1
+                }
+            }
+            (Some(_), None) => 0,
+            (None, Some(_)) => 1,
+            (None, None) => return None,
+        };
+        let txn = self.channels[chosen]
+            .pop_front()
+            .expect("front checked due");
+        self.reserved[txn.to.index()] -= txn.unit;
+        Some(txn)
+    }
+
+    /// Removes the transaction `id` from the table regardless of its
+    /// deadline (force-completion by the compat wrapper, or an abort). The
+    /// channel's scheduled bandwidth is *not* refunded — an aborted copy
+    /// still occupied the link. Releases reservation accounting.
+    pub fn remove(&mut self, id: MigrationTxnId) -> Option<MigrationTxn> {
+        for chan in &mut self.channels {
+            if let Some(pos) = chan.iter().position(|t| t.id == id) {
+                let txn = chan.remove(pos).expect("position just found");
+                self.reserved[txn.to.index()] -= txn.unit;
+                return Some(txn);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eng(slots: usize, cap_millis: u64) -> MigrationEngine {
+        MigrationEngine::new(MigrationSpec {
+            inflight_slots: slots,
+            backlog_cap: Nanos::from_millis(cap_millis),
+        })
+    }
+
+    fn begin_one(e: &mut MigrationEngine, id_vpn: u32, to: TierId, cost: Nanos) -> MigrationTxnId {
+        e.begin(
+            ProcessId(0),
+            Vpn(id_vpn),
+            to.other(),
+            to,
+            1,
+            vec![Pfn(id_vpn)],
+            MigrateMode::Async,
+            cost,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn channels_are_fifo_and_backlog_accumulates() {
+        let mut e = eng(8, 100);
+        let a = begin_one(&mut e, 1, TierId::Fast, Nanos(100));
+        let b = begin_one(&mut e, 2, TierId::Fast, Nanos(100));
+        assert_eq!(e.in_flight(), 2);
+        assert_eq!(e.backlog(TierId::Fast, Nanos::ZERO), Nanos(200));
+        assert_eq!(e.backlog(TierId::Slow, Nanos::ZERO), Nanos::ZERO);
+        assert!(e.pop_due(Nanos(99)).is_none());
+        assert_eq!(e.pop_due(Nanos(100)).unwrap().id, a);
+        assert!(e.pop_due(Nanos(100)).is_none());
+        assert_eq!(e.pop_due(Nanos(500)).unwrap().id, b);
+        assert_eq!(e.in_flight(), 0);
+    }
+
+    #[test]
+    fn pop_due_orders_across_channels() {
+        let mut e = eng(8, 100);
+        let slow = begin_one(&mut e, 1, TierId::Slow, Nanos(50));
+        let fast = begin_one(&mut e, 2, TierId::Fast, Nanos(80));
+        assert_eq!(e.pop_due(Nanos(1000)).unwrap().id, slow);
+        assert_eq!(e.pop_due(Nanos(1000)).unwrap().id, fast);
+    }
+
+    #[test]
+    fn admission_bounds() {
+        let mut e = eng(2, 0);
+        assert!(e.admits(TierId::Fast, Nanos::ZERO));
+        begin_one(&mut e, 1, TierId::Fast, Nanos(10));
+        // Zero backlog cap: the queued copy already exceeds it.
+        assert!(!e.admits(TierId::Fast, Nanos::ZERO));
+        // The other channel is idle, but a second txn still fits the slots.
+        assert!(e.admits(TierId::Slow, Nanos::ZERO));
+        begin_one(&mut e, 2, TierId::Slow, Nanos(10));
+        assert!(!e.admits(TierId::Slow, Nanos::ZERO), "slots exhausted");
+    }
+
+    #[test]
+    fn remove_releases_reservation_without_refunding_bandwidth() {
+        let mut e = eng(8, 100);
+        let id = begin_one(&mut e, 7, TierId::Fast, Nanos(300));
+        assert_eq!(e.reserved_frames(TierId::Fast), 1);
+        let txn = e.remove(id).unwrap();
+        assert_eq!(txn.dest_pfns, vec![Pfn(7)]);
+        assert_eq!(e.reserved_frames(TierId::Fast), 0);
+        assert_eq!(e.in_flight(), 0);
+        // Bandwidth stays consumed.
+        assert_eq!(e.backlog(TierId::Fast, Nanos::ZERO), Nanos(300));
+        assert!(e.remove(id).is_none());
+    }
+
+    #[test]
+    fn sync_transactions_are_due_immediately_and_skip_the_channel() {
+        let mut e = eng(8, 100);
+        e.begin(
+            ProcessId(1),
+            Vpn(3),
+            TierId::Slow,
+            TierId::Fast,
+            1,
+            vec![Pfn(0)],
+            MigrateMode::Sync(ProcessId(1)),
+            Nanos(500),
+            Nanos(40),
+        );
+        assert_eq!(e.backlog(TierId::Fast, Nanos(40)), Nanos::ZERO);
+        let txn = e.pop_due(Nanos(40)).unwrap();
+        assert_eq!(txn.complete_at, Nanos(40));
+    }
+
+    #[test]
+    fn find_locates_in_flight_heads() {
+        let mut e = eng(8, 100);
+        let id = begin_one(&mut e, 42, TierId::Fast, Nanos(10));
+        assert_eq!(e.find(ProcessId(0), Vpn(42)), Some(id));
+        assert_eq!(e.find(ProcessId(0), Vpn(41)), None);
+        assert_eq!(e.find(ProcessId(1), Vpn(42)), None);
+    }
+}

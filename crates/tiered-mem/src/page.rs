@@ -41,9 +41,12 @@ impl PageFlags {
     pub const POLICY_BIT: u16 = 1 << 11;
     /// The page's contents live on the swap device (not present).
     pub const SWAPPED: u16 = 1 << 12;
+    /// A two-phase migration transaction is in flight for this mapping unit
+    /// (set on the head page at `begin_migrate`, cleared on complete/abort).
+    pub const MIGRATING: u16 = 1 << 13;
 
-    /// Number of defined flag bits ([`PageFlags::SWAPPED`] is the highest).
-    pub const BITS: u32 = 13;
+    /// Number of defined flag bits ([`PageFlags::MIGRATING`] is the highest).
+    pub const BITS: u32 = 14;
     /// Mask covering every defined flag bit.
     pub const MASK: u16 = (1 << Self::BITS) - 1;
     /// Display names of the defined flag bits, indexed by bit position.
@@ -61,6 +64,7 @@ impl PageFlags {
         "CANDIDATE",
         "POLICY_BIT",
         "SWAPPED",
+        "MIGRATING",
     ];
 
     /// Constructs a flag word from raw bits. Bits above [`PageFlags::MASK`]
@@ -239,7 +243,7 @@ mod tests {
         );
         // One name per defined bit, in bit order.
         assert_eq!(PageFlags::NAMES.len(), PageFlags::BITS as usize);
-        assert_eq!(u32::from(PageFlags::MASK.count_ones()), PageFlags::BITS);
+        assert_eq!(PageFlags::MASK.count_ones(), PageFlags::BITS);
     }
 
     #[test]

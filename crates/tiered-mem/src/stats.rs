@@ -25,6 +25,19 @@ pub struct SystemStats {
     pub demoted_pages: u64,
     /// Promotion attempts that failed for lack of fast-tier space.
     pub failed_promotions: u64,
+    /// Victim demotions inside `promote_with_reclaim` that failed.
+    pub failed_demotions: u64,
+    /// Failed fast-tier (promotion) migrate attempts by reason, indexed by
+    /// `MigrateError::index` (not_present, same_tier, no_space,
+    /// backpressure). The `no_space` cell mirrors `failed_promotions`.
+    pub failed_fast_migrations: [u64; 4],
+    /// Migration transactions opened by `begin_migrate`.
+    pub begun_migrations: u64,
+    /// Migration transactions retired (PTE flipped to the reserved frames).
+    pub completed_migrations: u64,
+    /// Migration transactions aborted (write hit an in-flight unit, or the
+    /// unit was split, swapped out, or reclaimed mid-copy).
+    pub aborted_migrations: u64,
     /// Bytes moved by migration in either direction.
     pub migration_bytes: u64,
     /// PTE entries visited by scanners (cost accounting).
@@ -107,6 +120,16 @@ impl SystemStats {
             promoted_pages: self.promoted_pages - earlier.promoted_pages,
             demoted_pages: self.demoted_pages - earlier.demoted_pages,
             failed_promotions: self.failed_promotions - earlier.failed_promotions,
+            failed_demotions: self.failed_demotions - earlier.failed_demotions,
+            failed_fast_migrations: [
+                self.failed_fast_migrations[0] - earlier.failed_fast_migrations[0],
+                self.failed_fast_migrations[1] - earlier.failed_fast_migrations[1],
+                self.failed_fast_migrations[2] - earlier.failed_fast_migrations[2],
+                self.failed_fast_migrations[3] - earlier.failed_fast_migrations[3],
+            ],
+            begun_migrations: self.begun_migrations - earlier.begun_migrations,
+            completed_migrations: self.completed_migrations - earlier.completed_migrations,
+            aborted_migrations: self.aborted_migrations - earlier.aborted_migrations,
             migration_bytes: self.migration_bytes - earlier.migration_bytes,
             scanned_ptes: self.scanned_ptes - earlier.scanned_ptes,
             context_switches: self.context_switches - earlier.context_switches,

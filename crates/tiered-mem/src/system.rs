@@ -13,6 +13,7 @@ use crate::addr::{PageSize, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 use crate::config::SystemConfig;
 use crate::frame::{FrameOwner, FrameTable};
 use crate::lru::{LruEntry, LruKind, LruLists};
+use crate::migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
 use crate::page::PageFlags;
 use crate::space::AddressSpace;
 use crate::stats::SystemStats;
@@ -75,6 +76,30 @@ pub enum MigrateError {
     SameTier,
     /// The destination tier has no free frames (after any reclaim attempts).
     NoSpace,
+    /// The migration engine refused admission: in-flight slots or the
+    /// destination channel's backlog cap are exhausted, or the unit already
+    /// has a transaction in flight.
+    Backpressure,
+}
+
+impl MigrateError {
+    /// Number of failure reasons (size of per-reason counter tables).
+    pub const COUNT: usize = 4;
+    /// Reason names, indexed by [`MigrateError::index`].
+    pub const REASONS: [&'static str; Self::COUNT] =
+        ["not_present", "same_tier", "no_space", "backpressure"];
+
+    /// Dense index for per-reason counter tables
+    /// ([`SystemStats::failed_fast_migrations`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            MigrateError::NotPresent => 0,
+            MigrateError::SameTier => 1,
+            MigrateError::NoSpace => 2,
+            MigrateError::Backpressure => 3,
+        }
+    }
 }
 
 /// Whose time a migration is charged to.
@@ -107,8 +132,8 @@ pub struct TieredSystem {
     frames: [FrameTable; 2],
     lru: [LruLists; 2],
     procs: Vec<Process>,
-    /// When the async migration channel drains, for backlog estimation.
-    migration_busy_until: Nanos,
+    /// Two-phase in-flight migration state (bounded slots, per-tier FIFOs).
+    engine: MigrationEngine,
     /// Per-tier device-contention state.
     contention: [TierLoad; 2],
 }
@@ -127,6 +152,14 @@ struct TierLoad {
 
 /// Utilization measurement window.
 const LOAD_WINDOW: Nanos = Nanos(50_000); // 50 µs
+
+/// Trace direction of a migration from its destination tier.
+fn migrate_dir(to: TierId) -> MigrateDir {
+    match to {
+        TierId::Fast => MigrateDir::Promote,
+        TierId::Slow => MigrateDir::Demote,
+    }
+}
 
 impl TierLoad {
     fn new() -> TierLoad {
@@ -176,8 +209,8 @@ impl TieredSystem {
             ],
             lru: [LruLists::new(), LruLists::new()],
             procs: Vec::new(),
+            engine: MigrationEngine::new(cfg.migration.clone()),
             cfg,
-            migration_busy_until: Nanos::ZERO,
             contention: [TierLoad::new(), TierLoad::new()],
         }
     }
@@ -214,6 +247,7 @@ impl TieredSystem {
             fmar: self.stats.fmar(),
             fast_used_frames: self.used_frames(TierId::Fast) as u64,
             slow_used_frames: self.used_frames(TierId::Slow) as u64,
+            in_flight_migrations: self.engine.in_flight() as u64,
         };
         self.trace.record_period(|| sample);
         self.trace_baseline = self.stats.clone();
@@ -375,6 +409,25 @@ impl TieredSystem {
             self.stats.kernel_time += self.cfg.cost.hint_fault;
         }
 
+        // Nomad-style transactional migration: a store into an in-flight
+        // unit invalidates the copy, so the transaction aborts and the page
+        // stays (re-dirtied) in its source tier. Loads race harmlessly —
+        // they read the still-mapped old frames.
+        if write
+            && self.procs[pid.0 as usize]
+                .space
+                .entry(pte_vpn)
+                .flags
+                .has(PageFlags::MIGRATING)
+            && self.engine.copy_started(pid, pte_vpn, self.clock.now())
+        {
+            // Only an *active* copy conflicts with the store; a transaction
+            // still queued behind the channel backlog reads the source after
+            // this write lands, so the copy stays coherent and the DIRTY bit
+            // set below is all the bookkeeping needed.
+            self.abort_migration(pid, pte_vpn, true);
+        }
+
         let entry = self.procs[pid.0 as usize].space.entry_mut(pte_vpn);
         entry.flags.set(PageFlags::ACCESSED);
         if write {
@@ -461,6 +514,9 @@ impl TieredSystem {
         let huge = space.is_huge_mapped(head);
         let unit = if huge { HUGE_2M_PAGES } else { 1 };
         let head = if huge { head.huge_head() } else { head };
+        // Reclaim wins the race with an in-flight copy: abort it so the
+        // reservation is released before the unit's frames go to swap.
+        self.abort_migration(pid, head, false);
         let tier = self.procs[pid.0 as usize].space.entry(head).tier();
         for off in 0..unit {
             let v = Vpn(head.0 + off);
@@ -632,71 +688,98 @@ impl TieredSystem {
 
     // ----- Migration -------------------------------------------------------
 
-    /// Migrates the mapping unit containing `vpn` to `to`.
+    /// Counts a failed migration attempt. Promotion failures feed the
+    /// per-reason table (`NoSpace` additionally keeps the historical
+    /// `failed_promotions` counter); demotion failures are the caller's to
+    /// classify (see [`TieredSystem::promote_with_reclaim`]).
+    fn fail_migrate<T>(&mut self, to: TierId, err: MigrateError) -> Result<T, MigrateError> {
+        if to == TierId::Fast {
+            self.stats.failed_fast_migrations[err.index()] += 1;
+            self.stats.failed_promotions += u64::from(err == MigrateError::NoSpace);
+        }
+        Err(err)
+    }
+
+    /// Opens a two-phase migration of the mapping unit containing `vpn`.
     ///
-    /// Moves every base page of the unit (512 for an intact huge block),
-    /// charges the copy against the destination tier's migration bandwidth
-    /// plus a fixed remap cost, and maintains LRU membership: promotions land
-    /// on the active list, demotions on the inactive list. Returns the number
-    /// of base pages moved.
+    /// Phase one (this call) performs admission control, reserves one
+    /// destination frame per base page, marks the unit's head
+    /// [`PageFlags::MIGRATING`], charges the copy (to the waiter for
+    /// [`MigrateMode::Sync`], to kernel time and the destination tier's
+    /// bandwidth FIFO for [`MigrateMode::Async`]), and enqueues the
+    /// transaction on the bounded in-flight table. The PTE keeps pointing at
+    /// the old frames: reads served while in flight hit the old copy, and a
+    /// *write* aborts the transaction (see [`TieredSystem::access`]).
     ///
-    /// Flag handling: `PROT_NONE`, `CANDIDATE` and `PROBED` are cleared (the
-    /// unit is freshly remapped); promotion clears `DEMOTED`. Policy words
-    /// are preserved — their lifecycle belongs to the policy.
-    pub fn migrate(
+    /// Phase two retires the transaction when the copy is done:
+    /// [`TieredSystem::complete_due_migrations`] (called by the driver as
+    /// sim-time advances) flips the PTE to the reserved frames.
+    ///
+    /// Errors: `NotPresent`/`SameTier` as before; `NoSpace` when the
+    /// destination lacks `unit` free frames; `Backpressure` when the
+    /// in-flight slots or the destination backlog cap are exhausted, or the
+    /// unit already has a transaction in flight. Returns base pages enqueued.
+    pub fn begin_migrate(
         &mut self,
         pid: ProcessId,
         vpn: Vpn,
         to: TierId,
         mode: MigrateMode,
     ) -> Result<u32, MigrateError> {
+        self.begin_migrate_txn(pid, vpn, to, mode)
+            .map(|(_, unit)| unit)
+    }
+
+    fn begin_migrate_txn(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        to: TierId,
+        mode: MigrateMode,
+    ) -> Result<(MigrationTxnId, u32), MigrateError> {
         let space = &self.procs[pid.0 as usize].space;
         let head = space.pte_page(vpn);
         let entry = space.entry(head);
         if !entry.present() {
-            return Err(MigrateError::NotPresent);
+            return self.fail_migrate(to, MigrateError::NotPresent);
         }
         let from = entry.tier();
         if from == to {
-            return Err(MigrateError::SameTier);
+            return self.fail_migrate(to, MigrateError::SameTier);
+        }
+        if entry.flags.has(PageFlags::MIGRATING) {
+            return self.fail_migrate(to, MigrateError::Backpressure);
         }
         let huge = space.is_huge_mapped(head);
         let unit = if huge { HUGE_2M_PAGES } else { 1 };
+        let now = self.clock.now();
+        if !self.engine.admits(to, now) {
+            return self.fail_migrate(to, MigrateError::Backpressure);
+        }
         if self.free_frames(to) < unit {
-            self.stats.failed_promotions += u64::from(to == TierId::Fast);
-            return Err(MigrateError::NoSpace);
+            return self.fail_migrate(to, MigrateError::NoSpace);
         }
 
+        // Reserve the destination frames. They become the unit's mapping at
+        // completion; until then the frame table counts them used while no
+        // PTE points at them (the oracle's reservation-conservation case).
         let head = if huge { head.huge_head() } else { head };
+        let mut dest_pfns = Vec::with_capacity(unit as usize);
         for off in 0..unit {
-            let v = Vpn(head.0 + off);
-            let old_pfn = self.procs[pid.0 as usize].space.entry(v).pfn;
-            debug_assert!(!old_pfn.is_none(), "present unit had unmapped tail page");
-            let owner = FrameOwner { pid, vpn: v };
-            let new_pfn = self.frames[to.index()]
+            let owner = FrameOwner {
+                pid,
+                vpn: Vpn(head.0 + off),
+            };
+            let pfn = self.frames[to.index()]
                 .alloc(owner)
                 .expect("free_frames checked above");
-            self.frames[from.index()].free(old_pfn);
-            let e = self.procs[pid.0 as usize].space.entry_mut(v);
-            e.pfn = new_pfn;
-            e.flags.set_tier(to);
+            dest_pfns.push(pfn);
         }
-
-        let e = self.procs[pid.0 as usize].space.entry_mut(head);
-        e.flags
-            .clear(PageFlags::PROT_NONE | PageFlags::CANDIDATE | PageFlags::PROBED);
-        if to == TierId::Fast {
-            e.flags.clear(PageFlags::DEMOTED);
-        }
-
-        // LRU: leave the old tier's lists, join the new tier's.
-        self.lru_remove(pid, head);
-        let kind = if to == TierId::Fast {
-            LruKind::Active
-        } else {
-            LruKind::Inactive
-        };
-        self.lru_insert(pid, head, kind);
+        self.procs[pid.0 as usize]
+            .space
+            .entry_mut(head)
+            .flags
+            .set(PageFlags::MIGRATING);
 
         // Costs: copy time over the slower of the two tiers' migration
         // bandwidth, plus a fixed remap cost per unit.
@@ -713,15 +796,65 @@ impl TieredSystem {
             .max(src_spec.transfer_time(unit as u64));
         let cost = bw_time + self.cfg.cost.migrate_fixed;
         match mode {
-            MigrateMode::Sync(waiter) => {
-                self.charge_kernel(Some(waiter), cost);
-            }
-            MigrateMode::Async => {
-                self.stats.kernel_time += cost;
-                let start = self.migration_busy_until.max(self.clock.now());
-                self.migration_busy_until = start + cost;
-            }
+            MigrateMode::Sync(waiter) => self.charge_kernel(Some(waiter), cost),
+            MigrateMode::Async => self.stats.kernel_time += cost,
         }
+
+        let id = self
+            .engine
+            .begin(pid, head, from, to, unit, dest_pfns, mode, cost, now);
+        self.stats.begun_migrations += 1;
+        self.trace.emit(now, || TraceEvent::MigrateBegin {
+            pid: pid.0,
+            vpn: head.0,
+            pages: unit,
+            dir: migrate_dir(to),
+        });
+        Ok((id, unit))
+    }
+
+    /// Retires one transaction: frees the source frames, flips the PTE to
+    /// the reserved destination frames, and re-homes the unit's LRU entry.
+    ///
+    /// Flag handling: `MIGRATING`, `PROT_NONE`, `CANDIDATE` and `PROBED` are
+    /// cleared (the unit is freshly remapped); promotion clears `DEMOTED`.
+    /// Policy words are preserved — their lifecycle belongs to the policy.
+    fn complete_txn(&mut self, txn: MigrationTxn) {
+        let MigrationTxn {
+            pid,
+            head,
+            from,
+            to,
+            unit,
+            dest_pfns,
+            ..
+        } = txn;
+        for off in 0..unit {
+            let v = Vpn(head.0 + off);
+            let old_pfn = self.procs[pid.0 as usize].space.entry(v).pfn;
+            debug_assert!(!old_pfn.is_none(), "present unit had unmapped tail page");
+            self.frames[from.index()].free(old_pfn);
+            let e = self.procs[pid.0 as usize].space.entry_mut(v);
+            e.pfn = dest_pfns[off as usize];
+            e.flags.set_tier(to);
+        }
+
+        let e = self.procs[pid.0 as usize].space.entry_mut(head);
+        e.flags.clear(
+            PageFlags::MIGRATING | PageFlags::PROT_NONE | PageFlags::CANDIDATE | PageFlags::PROBED,
+        );
+        if to == TierId::Fast {
+            e.flags.clear(PageFlags::DEMOTED);
+        }
+
+        // LRU: leave the old tier's lists, join the new tier's.
+        self.lru_remove(pid, head);
+        let kind = if to == TierId::Fast {
+            LruKind::Active
+        } else {
+            LruKind::Inactive
+        };
+        self.lru_insert(pid, head, kind);
 
         if to == TierId::Fast {
             self.stats.promoted_pages += unit as u64;
@@ -729,17 +862,101 @@ impl TieredSystem {
             self.stats.demoted_pages += unit as u64;
         }
         self.stats.migration_bytes += unit as u64 * BASE_PAGE_BYTES;
-        self.trace.emit(self.clock.now(), || TraceEvent::Migrate {
-            pid: pid.0,
-            vpn: head.0,
-            pages: unit,
-            dir: if to == TierId::Fast {
-                MigrateDir::Promote
-            } else {
-                MigrateDir::Demote
-            },
-        });
+        self.stats.completed_migrations += 1;
+        self.trace
+            .emit(self.clock.now(), || TraceEvent::MigrateComplete {
+                pid: pid.0,
+                vpn: head.0,
+                pages: unit,
+                dir: migrate_dir(to),
+            });
+    }
+
+    /// Retires every in-flight transaction whose copy is done by the current
+    /// clock, in completion order. Drivers call this whenever sim time
+    /// advances. Returns transactions completed.
+    pub fn complete_due_migrations(&mut self) -> u32 {
+        let now = self.clock.now();
+        let mut n = 0;
+        while let Some(txn) = self.engine.pop_due(now) {
+            self.complete_txn(txn);
+            n += 1;
+        }
+        n
+    }
+
+    /// Aborts the in-flight transaction on the unit headed by `head`, if
+    /// any: the destination reservation is freed, the head's `MIGRATING` bit
+    /// clears, and — for write aborts — the head is re-dirtied (the copy is
+    /// stale the instant the store lands). The bandwidth the copy occupied
+    /// is not refunded. Returns whether a transaction was aborted.
+    pub fn abort_migration(&mut self, pid: ProcessId, head: Vpn, redirty: bool) -> bool {
+        let Some(id) = self.engine.find(pid, head) else {
+            return false;
+        };
+        let txn = self.engine.remove(id).expect("id just found");
+        for pfn in &txn.dest_pfns {
+            self.frames[txn.to.index()].free(*pfn);
+        }
+        let e = self.procs[pid.0 as usize].space.entry_mut(head);
+        e.flags.clear(PageFlags::MIGRATING);
+        if redirty {
+            e.flags.set(PageFlags::DIRTY);
+        }
+        self.stats.aborted_migrations += 1;
+        self.trace
+            .emit(self.clock.now(), || TraceEvent::MigrateAbort {
+                pid: pid.0,
+                vpn: head.0,
+                pages: txn.unit,
+                dir: migrate_dir(txn.to),
+            });
+        true
+    }
+
+    /// Migrates the mapping unit containing `vpn` to `to` with synchronous
+    /// completion: a compat wrapper that opens a transaction and force-
+    /// completes it in the same call, preserving the pre-engine
+    /// instantaneous-migration semantics for the baseline policies. Returns
+    /// the number of base pages moved.
+    pub fn migrate(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        to: TierId,
+        mode: MigrateMode,
+    ) -> Result<u32, MigrateError> {
+        let (id, unit) = self.begin_migrate_txn(pid, vpn, to, mode)?;
+        let txn = self.engine.remove(id).expect("transaction just begun");
+        self.complete_txn(txn);
         Ok(unit)
+    }
+
+    /// Splits the 2 MiB block containing `vpn` into base mappings. A split
+    /// invalidates the in-flight unit, so any transaction on the block is
+    /// aborted first. Policies must use this over raw
+    /// [`AddressSpace::split_block`] so the abort rule holds.
+    pub fn split_block(&mut self, pid: ProcessId, vpn: Vpn) {
+        let head = self.procs[pid.0 as usize].space.pte_page(vpn);
+        self.abort_migration(pid, head, false);
+        self.procs[pid.0 as usize].space.split_block(head);
+    }
+
+    /// Transactions currently in flight. Exposed for the `tiering-verify`
+    /// invariant oracle and for period-sample gauges.
+    pub fn in_flight_migrations(&self) -> impl Iterator<Item = &MigrationTxn> {
+        self.engine.iter()
+    }
+
+    /// Number of transactions currently in flight.
+    pub fn migration_in_flight_count(&self) -> usize {
+        self.engine.in_flight()
+    }
+
+    /// Destination frames reserved by in-flight transactions in `tier`.
+    /// Exposed for the `tiering-verify` invariant oracle.
+    pub fn migration_reserved_frames(&self, tier: TierId) -> u32 {
+        self.engine.reserved_frames(tier)
     }
 
     /// Promotes a unit to the fast tier, demoting inactive victims first if
@@ -754,10 +971,10 @@ impl TieredSystem {
         let space = &self.procs[pid.0 as usize].space;
         let head = space.pte_page(vpn);
         if !space.entry(head).present() {
-            return Err(MigrateError::NotPresent);
+            return self.fail_migrate(TierId::Fast, MigrateError::NotPresent);
         }
         if space.entry(head).tier() == TierId::Fast {
-            return Err(MigrateError::SameTier);
+            return self.fail_migrate(TierId::Fast, MigrateError::SameTier);
         }
         let unit = if space.is_huge_mapped(head) {
             HUGE_2M_PAGES
@@ -765,24 +982,35 @@ impl TieredSystem {
             1
         };
         // Demote until there's room, bounded to avoid pathological loops when
-        // the inactive list is all-hot.
+        // the inactive list is all-hot. A failed victim demotion is counted,
+        // and a `NotPresent` victim (stale by the time we got to it) does not
+        // burn the attempt budget — it freed nothing and cost nothing.
         let mut attempts = 0;
         while self.free_frames(TierId::Fast) < unit && attempts < 4 * unit {
-            attempts += 1;
             match self.pop_inactive_victim(TierId::Fast) {
-                Some((vp, vv)) => {
-                    // The victim may itself be huge; its demotion frees ≥1 frame.
-                    let _ = self.migrate(vp, vv, TierId::Slow, mode);
-                }
+                Some((vp, vv)) => match self.migrate(vp, vv, TierId::Slow, mode) {
+                    Ok(_) => attempts += 1,
+                    Err(MigrateError::NotPresent) => {
+                        self.stats.failed_demotions += 1;
+                    }
+                    Err(_) => {
+                        self.stats.failed_demotions += 1;
+                        attempts += 1;
+                    }
+                },
                 None => break,
             }
         }
         self.migrate(pid, vpn, TierId::Fast, mode)
     }
 
-    /// Outstanding async migration backlog relative to the global clock.
+    /// Outstanding async migration backlog relative to the global clock:
+    /// the fuller of the two destination channels' queued copy time.
     pub fn migration_backlog(&self) -> Nanos {
-        self.migration_busy_until.saturating_sub(self.clock.now())
+        let now = self.clock.now();
+        self.engine
+            .backlog(TierId::Fast, now)
+            .max(self.engine.backlog(TierId::Slow, now))
     }
 
     /// Schedules a policy event `delay` after the current clock.
@@ -1142,6 +1370,315 @@ mod tests {
         assert!(r.demand_fault);
         assert_eq!(sys.stats.swap_in_faults, 1);
         assert_eq!(sys.process(pid).resident_frames, 512);
+    }
+
+    fn huge_sys() -> (TieredSystem, ProcessId) {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(2048, 2048));
+        let pid = sys.add_process(1024, PageSize::Huge2M);
+        sys.access(pid, Vpn(700), false);
+        (sys, pid)
+    }
+
+    #[test]
+    fn begin_migrate_leaves_old_copy_mapped_until_completion() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let fast_free = sys.free_frames(TierId::Fast);
+        let moved = sys
+            .begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(moved, 1);
+        // In flight: reservation holds a fast frame, the PTE still points at
+        // the slow copy, and reads keep hitting it without aborting.
+        assert_eq!(sys.free_frames(TierId::Fast), fast_free - 1);
+        assert_eq!(sys.migration_reserved_frames(TierId::Fast), 1);
+        assert_eq!(sys.migration_in_flight_count(), 1);
+        let e = sys.process(pid).space.entry(Vpn(100));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(e.flags.has(PageFlags::MIGRATING));
+        let r = sys.access(pid, Vpn(100), false);
+        assert_eq!(r.tier, TierId::Slow);
+        assert_eq!(sys.stats.promoted_pages, 0);
+        // Completion is clock-driven.
+        assert_eq!(sys.complete_due_migrations(), 0);
+        sys.clock.advance(Nanos::from_millis(1));
+        assert_eq!(sys.complete_due_migrations(), 1);
+        let e = sys.process(pid).space.entry(Vpn(100));
+        assert_eq!(e.tier(), TierId::Fast);
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        assert_eq!(sys.stats.promoted_pages, 1);
+        assert_eq!(sys.stats.begun_migrations, 1);
+        assert_eq!(sys.stats.completed_migrations, 1);
+        assert_eq!(sys.migration_in_flight_count(), 0);
+        assert_eq!(sys.migration_reserved_frames(TierId::Fast), 0);
+    }
+
+    #[test]
+    fn write_aborts_in_flight_migration_and_redirties() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let fast_free = sys.free_frames(TierId::Fast);
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.access(pid, Vpn(100), true);
+        assert_eq!(sys.stats.aborted_migrations, 1);
+        assert_eq!(sys.migration_in_flight_count(), 0);
+        // The reservation was released and the page stays slow, dirty.
+        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        let e = sys.process(pid).space.entry(Vpn(100));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        assert!(e.flags.has(PageFlags::DIRTY));
+        // Nothing left to complete.
+        sys.clock.advance(Nanos::from_millis(1));
+        assert_eq!(sys.complete_due_migrations(), 0);
+        assert_eq!(sys.stats.promoted_pages, 0);
+        assert_eq!(
+            sys.stats.begun_migrations,
+            sys.stats.completed_migrations + sys.stats.aborted_migrations
+        );
+    }
+
+    #[test]
+    fn backpressure_when_slots_exhausted() {
+        let mut cfg = SystemConfig::dram_pmem(64, 192);
+        cfg.migration.inflight_slots = 1;
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(
+            sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::Backpressure)
+        );
+        assert_eq!(
+            sys.stats.failed_fast_migrations[MigrateError::Backpressure.index()],
+            1
+        );
+        // Draining the table restores admission.
+        sys.clock.advance(Nanos::from_millis(1));
+        sys.complete_due_migrations();
+        assert!(sys
+            .begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+            .is_ok());
+    }
+
+    #[test]
+    fn backpressure_when_backlog_cap_exhausted() {
+        let mut cfg = SystemConfig::dram_pmem(64, 192);
+        cfg.migration.backlog_cap = Nanos::from_micros(4);
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // Each async copy queues ~3 µs on the fast channel; the second one
+        // exceeds the 4 µs cap.
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(
+            sys.begin_migrate(pid, Vpn(102), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::Backpressure)
+        );
+        assert!(sys.migration_backlog() > Nanos::from_micros(4));
+    }
+
+    #[test]
+    fn duplicate_begin_on_in_flight_unit_backpressures() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(
+            sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::Backpressure)
+        );
+        // The in-flight page also refuses the compat (instant) path.
+        assert_eq!(
+            sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::Backpressure)
+        );
+    }
+
+    #[test]
+    fn sync_begin_charges_waiter_and_completes_on_next_pump() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let before = sys.process(pid).vtime;
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Sync(pid))
+            .unwrap();
+        assert!(sys.process(pid).vtime > before);
+        // The waiter already paid: the copy is due immediately, even with
+        // the clock unmoved.
+        assert_eq!(sys.complete_due_migrations(), 1);
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Fast);
+    }
+
+    #[test]
+    fn huge_write_abort_releases_all_512_reserved_frames() {
+        let (mut sys, pid) = huge_sys();
+        assert_eq!(sys.free_frames(TierId::Slow), 2048);
+        let moved = sys
+            .begin_migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(moved, 512);
+        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 512);
+        assert_eq!(sys.free_frames(TierId::Slow), 2048 - 512);
+        // A store to any page of the block kills the whole transaction.
+        sys.access(pid, Vpn(701), true);
+        assert_eq!(sys.stats.aborted_migrations, 1);
+        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 0);
+        assert_eq!(sys.free_frames(TierId::Slow), 2048);
+        assert_eq!(sys.stats.demoted_pages, 0);
+        let e = sys.process(pid).space.entry(Vpn(700).huge_head());
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        assert_eq!(e.tier(), TierId::Fast);
+    }
+
+    #[test]
+    fn split_during_in_flight_huge_migration_aborts() {
+        let (mut sys, pid) = huge_sys();
+        sys.begin_migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+            .unwrap();
+        sys.split_block(pid, Vpn(700));
+        assert_eq!(sys.stats.aborted_migrations, 1);
+        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 0);
+        assert_eq!(sys.migration_in_flight_count(), 0);
+        let head = Vpn(700).huge_head();
+        let e = sys.process(pid).space.entry(head);
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        assert!(e.flags.has(PageFlags::HUGE_SPLIT));
+        // Late pump finds nothing; the block stays fast, now as base pages.
+        sys.clock.advance(Nanos::from_millis(10));
+        assert_eq!(sys.complete_due_migrations(), 0);
+        assert_eq!(sys.stats.demoted_pages, 0);
+    }
+
+    #[test]
+    fn swap_out_aborts_in_flight_migration() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let fast_free = sys.free_frames(TierId::Fast);
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.swap_out(pid, Vpn(100)).unwrap();
+        assert_eq!(sys.stats.aborted_migrations, 1);
+        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        assert!(!sys.process(pid).space.entry(Vpn(100)).present());
+    }
+
+    #[test]
+    fn failed_victim_demotions_are_counted_not_swallowed() {
+        // 64 fast + 8 slow: demand paging fills both tiers completely
+        // (56 fast, 8 slow, then the last 8 fast), so every reclaim victim
+        // demotion hits a full slow tier.
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 8));
+        let pid = sys.add_process(72, PageSize::Base);
+        for i in 0..72 {
+            sys.access(pid, Vpn(i), false);
+        }
+        assert_eq!(sys.free_frames(TierId::Fast), 0);
+        assert_eq!(sys.free_frames(TierId::Slow), 0);
+        let r = sys.promote_with_reclaim(pid, Vpn(60), MigrateMode::Async);
+        assert_eq!(r, Err(MigrateError::NoSpace));
+        // The attempt budget is 4 × unit; every victim demotion failed with
+        // NoSpace and was counted instead of silently dropped.
+        assert_eq!(sys.stats.failed_demotions, 4);
+        assert!(sys.stats.failed_promotions > 0);
+    }
+
+    #[test]
+    fn failed_fast_migrations_table_covers_every_reason() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        // NotPresent.
+        assert!(sys
+            .migrate(pid, Vpn(5), TierId::Fast, MigrateMode::Async)
+            .is_err());
+        // SameTier (page 0 landed fast).
+        assert!(sys
+            .migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async)
+            .is_err());
+        assert_eq!(
+            sys.stats.failed_fast_migrations[MigrateError::NotPresent.index()],
+            1
+        );
+        assert_eq!(
+            sys.stats.failed_fast_migrations[MigrateError::SameTier.index()],
+            1
+        );
+        // Demotion failures stay out of the fast-tier table.
+        assert!(sys
+            .migrate(pid, Vpn(5), TierId::Slow, MigrateMode::Async)
+            .is_err());
+        assert_eq!(
+            sys.stats.failed_fast_migrations[MigrateError::NotPresent.index()],
+            1
+        );
+        // NoSpace keeps feeding the historical counter too.
+        let mut full = TieredSystem::new(SystemConfig::dram_pmem(8, 600));
+        let p2 = full.add_process(512, PageSize::Base);
+        for i in 0..512 {
+            full.access(p2, Vpn(i), false);
+        }
+        while full.free_frames(TierId::Fast) > 0 {
+            let v = 512 - 1 - full.free_frames(TierId::Fast);
+            let _ = full.migrate(p2, Vpn(v), TierId::Fast, MigrateMode::Async);
+        }
+        let before = full.stats.failed_promotions;
+        assert_eq!(
+            full.migrate(p2, Vpn(500), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::NoSpace)
+        );
+        assert_eq!(full.stats.failed_promotions, before + 1);
+        assert_eq!(
+            full.stats.failed_fast_migrations[MigrateError::NoSpace.index()],
+            full.stats.failed_promotions
+        );
+    }
+
+    #[test]
+    fn compat_migrate_preserves_flow_conservation() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.access(pid, Vpn(101), true); // abort
+        sys.begin_migrate(pid, Vpn(102), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        assert_eq!(sys.stats.begun_migrations, 3);
+        assert_eq!(
+            sys.stats.begun_migrations,
+            sys.stats.completed_migrations
+                + sys.stats.aborted_migrations
+                + sys.migration_in_flight_count() as u64
+        );
     }
 
     #[test]

@@ -1,15 +1,16 @@
 //! Exhaustive small-scope model checking of the page lifecycle.
 //!
 //! The state of one page, as far as the substrate and every policy are
-//! concerned, is its 13-bit [`PageFlags`] word (the tier is the `IN_FAST`
-//! bit) plus one bit of promotion-queue membership. That is 2^14 = 16384
+//! concerned, is its 14-bit [`PageFlags`] word (the tier is the `IN_FAST`
+//! bit) plus one bit of promotion-queue membership. That is 2^15 = 32768
 //! states — small enough to enumerate the reachable set *exactly* rather
 //! than sample it, which is the whole trick: the transition relation below
 //! restates, as pure functions, what `TieredSystem`, `AddressSpace`,
 //! `ChronoPolicy`, and the baseline policies actually do to a page's flags
 //! (scan-unmap, hint-fault, DCSC probes, candidate filtering, enqueue,
-//! promote, demote, split, swap-out/in, reclaim, LRU rotation), and a BFS
-//! from the zero state visits everything those functions can ever produce.
+//! two-phase migration begin/abort/complete, split, swap-out/in, reclaim,
+//! LRU rotation), and a BFS from the zero state visits everything those
+//! functions can ever produce.
 //!
 //! Two consumers:
 //!
@@ -33,7 +34,7 @@ use tiered_mem::PageFlags;
 /// above the real flag bits so one `u16` holds the whole model state.
 pub const QUEUED: u16 = 1 << PageFlags::BITS;
 
-/// Total model state space: 13 flag bits + the queued bit.
+/// Total model state space: every flag bit plus the queued bit.
 pub const STATE_SPACE: usize = 1 << (PageFlags::BITS + 1);
 
 const P: u16 = PageFlags::PRESENT;
@@ -49,6 +50,7 @@ const LA: u16 = PageFlags::LRU_ACTIVE;
 const C: u16 = PageFlags::CANDIDATE;
 const POL: u16 = PageFlags::POLICY_BIT;
 const SW: u16 = PageFlags::SWAPPED;
+const MIG: u16 = PageFlags::MIGRATING;
 
 fn has(s: u16, m: u16) -> bool {
     s & m == m
@@ -208,26 +210,53 @@ pub fn transitions() -> Vec<Transition> {
                 }
             },
         },
-        // TieredSystem::migrate to Fast: clears the transient marks
-        // (poison, candidacy, probe, thrash watch) and lands on the active
-        // LRU of the fast tier.
+        // TieredSystem::begin_migrate: opens a two-phase transaction on the
+        // head of a present unit that is not already in flight. The PTE is
+        // otherwise untouched — the old copy keeps serving reads.
         Transition {
-            name: "promote",
+            name: "migrate_begin",
             apply: |s| {
-                if has(s, P) && !has(s, F) {
-                    vec![(s & !(PN | C | PB | DEM)) | F | LA]
+                if has(s, P) && !has(s, MIG) {
+                    vec![s | MIG]
                 } else {
                     vec![]
                 }
             },
         },
-        // TieredSystem::migrate to Slow: same clears minus the thrash
+        // TieredSystem::abort_migration: a write to the in-flight unit (or
+        // a split/swap-out racing the copy) kills the transaction. The
+        // write-abort path re-dirties; the split/swap paths just clear.
+        Transition {
+            name: "migrate_abort",
+            apply: |s| {
+                if has(s, P | MIG) {
+                    vec![s & !MIG, (s & !MIG) | D]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::complete_txn to Fast (both the compat `migrate`
+        // wrapper and clock-driven completion retire through it): clears the
+        // transaction mark and the transient marks (poison, candidacy,
+        // probe, thrash watch), landing on the active LRU of the fast tier.
+        Transition {
+            name: "promote",
+            apply: |s| {
+                if has(s, P | MIG) && !has(s, F) {
+                    vec![(s & !(PN | C | PB | DEM | MIG)) | F | LA]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::complete_txn to Slow: same clears minus the thrash
         // watch; lands on the inactive LRU of the slow tier.
         Transition {
             name: "demote",
             apply: |s| {
-                if has(s, P | F) {
-                    vec![s & !(PN | C | PB | F | LA)]
+                if has(s, P | F | MIG) {
+                    vec![s & !(PN | C | PB | F | LA | MIG)]
                 } else {
                     vec![]
                 }
@@ -287,30 +316,32 @@ pub fn transitions() -> Vec<Transition> {
                 }
             },
         },
-        // TieredSystem::swap_out: the head loses presence and every
-        // transient mark; IN_FAST, LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and
-        // POLICY_BIT are left stale (and queue membership is unaffected —
-        // the drain discovers the eviction later).
+        // TieredSystem::swap_out: an in-flight migration is aborted first,
+        // then the head loses presence and every transient mark; IN_FAST,
+        // LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and POLICY_BIT are left stale
+        // (and queue membership is unaffected — the drain discovers the
+        // eviction later).
         Transition {
             name: "swap_out",
             apply: |s| {
                 if has(s, P) {
-                    vec![(s & !(P | PN | A | D | PB | DEM | C)) | SW]
+                    vec![(s & !(P | PN | A | D | PB | DEM | C | MIG)) | SW]
                 } else {
                     vec![]
                 }
             },
         },
-        // AddressSpace::split_block: the head trades HUGE_HEAD for
-        // HUGE_SPLIT; every tail inherits the head's pre-split word minus
-        // HUGE_HEAD (tails keep their own pfn/stamp but not their flags).
+        // TieredSystem::split_block: an in-flight migration of the block is
+        // aborted, then the head trades HUGE_HEAD for HUGE_SPLIT; every
+        // tail inherits the head's post-abort word minus HUGE_HEAD (tails
+        // keep their own pfn/stamp but not their flags).
         Transition {
             name: "split",
             apply: |s| {
                 if has(s, HS) {
                     return vec![];
                 }
-                vec![(s | HS) & !HH, s & !HH]
+                vec![(s | HS) & !(HH | MIG), s & !(HH | MIG)]
             },
         },
     ]
@@ -374,6 +405,12 @@ pub fn legality_rules() -> Vec<LegalityRule> {
             name: "swapped_is_clean",
             illegal: |s| has(s, SW) && s & (A | D) != 0,
         },
+        // A migration transaction is only ever open on a mapped head; every
+        // unmap path (swap-out, split of the head) aborts it first.
+        LegalityRule {
+            name: "migrating_requires_present",
+            illegal: |s| has(s, MIG) && !has(s, P),
+        },
     ]
 }
 
@@ -435,13 +472,16 @@ pub fn check_model(ts: &[Transition], rules: &[LegalityRule]) -> ModelReport {
     }
 }
 
+/// Words in the flag-word reachability bitmap (one bit per possible word).
+const BITMAP_WORDS: usize = (1usize << PageFlags::BITS) / 64;
+
 /// The statically reachable *flag-word* projection (queue bit dropped),
-/// as a 2^13 bitmap. Computed once, lazily.
-fn reachable_words() -> &'static [u64; 128] {
-    static WORDS: OnceLock<[u64; 128]> = OnceLock::new();
+/// as a bitmap over every possible flag word. Computed once, lazily.
+fn reachable_words() -> &'static [u64; BITMAP_WORDS] {
+    static WORDS: OnceLock<[u64; BITMAP_WORDS]> = OnceLock::new();
     WORDS.get_or_init(|| {
         let report = check_model(&transitions(), &[]);
-        let mut bits = [0u64; 128];
+        let mut bits = [0u64; BITMAP_WORDS];
         for s in report.reachable {
             let w = s & PageFlags::MASK;
             bits[(w >> 6) as usize] |= 1 << (w & 63);
@@ -540,6 +580,14 @@ mod tests {
             (SW | LA | F, "swapped page with stale fast/LRU bits"),
             (P | HS | A, "present head of a split block"),
             (A | D | F, "touched tail of an intact fast huge block"),
+            (
+                P | A | LA | F | MIG,
+                "fast page mid-demotion, copy in flight",
+            ),
+            (
+                P | A | D | MIG,
+                "slow page mid-promotion after a write-abort race",
+            ),
         ] {
             assert!(
                 flag_word_reachable(word),
@@ -555,6 +603,8 @@ mod tests {
             (DEM, "thrash watch on an unmapped page"),
             (C | F | P, "fast-tier candidate"),
             (SW | D, "dirty swapped page"),
+            (MIG, "transaction on an unmapped page"),
+            (SW | MIG, "transaction on a swapped page"),
         ] {
             assert!(
                 !flag_word_reachable(word),

@@ -168,6 +168,9 @@ impl SimulationDriver {
                 }
                 let fire_at = deadline.max(sys.clock.now());
                 sys.clock.advance_to(fire_at);
+                // Retire in-flight migrations that became due before the
+                // daemon runs, so the policy observes post-completion state.
+                sys.complete_due_migrations();
                 let (_, token) = sys
                     .events
                     .pop_due(deadline)
@@ -178,6 +181,7 @@ impl SimulationDriver {
             }
             if t > sys.clock.now() {
                 sys.clock.advance_to(t);
+                sys.complete_due_migrations();
             }
 
             if t >= self.cfg.run_for || accesses >= self.cfg.max_accesses {

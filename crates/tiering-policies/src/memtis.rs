@@ -198,7 +198,7 @@ impl Memtis {
                     }
                 });
             for head in to_split {
-                sys.process_mut(pid).space.split_block(head);
+                sys.split_block(pid, head);
                 self.splits += 1;
                 budget -= 1;
                 sys.stats.kernel_time += Nanos(20_000); // split is expensive

@@ -20,6 +20,14 @@ pub struct TraceDigest(u64);
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// Stable tag for a migration direction.
+fn dir_tag(dir: MigrateDir) -> u64 {
+    match dir {
+        MigrateDir::Promote => 0,
+        MigrateDir::Demote => 1,
+    }
+}
+
 impl Default for TraceDigest {
     fn default() -> TraceDigest {
         TraceDigest::new()
@@ -89,6 +97,7 @@ impl TraceDigest {
             .f64(s.fmar)
             .u64(s.fast_used_frames)
             .u64(s.slow_used_frames)
+            .u64(s.in_flight_migrations)
     }
 
     /// Folds one discrete event with its timestamp and a per-variant tag.
@@ -116,7 +125,7 @@ impl TraceDigest {
                     .u64(vpn as u64)
                     .u64(pages as u64);
             }
-            TraceEvent::Migrate {
+            TraceEvent::MigrateComplete {
                 pid,
                 vpn,
                 pages,
@@ -126,10 +135,31 @@ impl TraceDigest {
                     .u64(pid as u64)
                     .u64(vpn as u64)
                     .u64(pages as u64)
-                    .u64(match dir {
-                        MigrateDir::Promote => 0,
-                        MigrateDir::Demote => 1,
-                    });
+                    .u64(dir_tag(dir));
+            }
+            TraceEvent::MigrateBegin {
+                pid,
+                vpn,
+                pages,
+                dir,
+            } => {
+                self.u64(8)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(pages as u64)
+                    .u64(dir_tag(dir));
+            }
+            TraceEvent::MigrateAbort {
+                pid,
+                vpn,
+                pages,
+                dir,
+            } => {
+                self.u64(9)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(pages as u64)
+                    .u64(dir_tag(dir));
             }
             TraceEvent::Thrash { pages } => {
                 self.u64(5).u64(pages);

@@ -57,8 +57,32 @@ pub enum TraceEvent {
         /// Base pages the promotion will move.
         pages: u32,
     },
-    /// A migration completed.
-    Migrate {
+    /// A two-phase migration transaction opened: destination frames
+    /// reserved, copy enqueued on the destination tier's bandwidth FIFO.
+    MigrateBegin {
+        /// Owning process.
+        pid: u16,
+        /// PTE page.
+        vpn: u32,
+        /// Base pages in flight.
+        pages: u32,
+        /// Promotion or demotion.
+        dir: MigrateDir,
+    },
+    /// An in-flight migration aborted (write hit the unit mid-copy, or the
+    /// unit was split/swapped out); the reservation was released.
+    MigrateAbort {
+        /// Owning process.
+        pid: u16,
+        /// PTE page.
+        vpn: u32,
+        /// Base pages whose reservation was released.
+        pages: u32,
+        /// Direction of the aborted transaction.
+        dir: MigrateDir,
+    },
+    /// A migration completed: the PTE flipped to the reserved frames.
+    MigrateComplete {
         /// Owning process.
         pid: u16,
         /// PTE page.
@@ -98,7 +122,9 @@ impl TraceEvent {
             TraceEvent::Scan { .. } => "scan",
             TraceEvent::HintFault { .. } => "hint_fault",
             TraceEvent::Enqueue { .. } => "enqueue",
-            TraceEvent::Migrate { .. } => "migrate",
+            TraceEvent::MigrateBegin { .. } => "migrate_begin",
+            TraceEvent::MigrateAbort { .. } => "migrate_abort",
+            TraceEvent::MigrateComplete { .. } => "migrate_complete",
             TraceEvent::Thrash { .. } => "thrash",
             TraceEvent::Tune { .. } => "tune",
             TraceEvent::DcscOverlap { .. } => "dcsc_overlap",
@@ -128,7 +154,19 @@ impl TraceEvent {
                 w.field_u64("vpn", vpn as u64);
                 w.field_u64("pages", pages as u64);
             }
-            TraceEvent::Migrate {
+            TraceEvent::MigrateBegin {
+                pid,
+                vpn,
+                pages,
+                dir,
+            }
+            | TraceEvent::MigrateAbort {
+                pid,
+                vpn,
+                pages,
+                dir,
+            }
+            | TraceEvent::MigrateComplete {
                 pid,
                 vpn,
                 pages,
@@ -181,7 +219,19 @@ mod tests {
                 vpn: 0,
                 pages: 1,
             },
-            TraceEvent::Migrate {
+            TraceEvent::MigrateBegin {
+                pid: 0,
+                vpn: 0,
+                pages: 1,
+                dir: MigrateDir::Promote,
+            },
+            TraceEvent::MigrateAbort {
+                pid: 0,
+                vpn: 0,
+                pages: 1,
+                dir: MigrateDir::Promote,
+            },
+            TraceEvent::MigrateComplete {
                 pid: 0,
                 vpn: 0,
                 pages: 1,

@@ -218,11 +218,11 @@ mod tests {
 
     #[test]
     fn events_jsonl_one_line_per_event() {
-        let evs = vec![
+        let evs = [
             (Nanos(1), TraceEvent::Thrash { pages: 2 }),
             (
                 Nanos(2),
-                TraceEvent::Migrate {
+                TraceEvent::MigrateComplete {
                     pid: 0,
                     vpn: 9,
                     pages: 1,

@@ -48,6 +48,8 @@ pub struct PeriodSample {
     pub fast_used_frames: u64,
     /// Slow-tier frames in use at sampling time.
     pub slow_used_frames: u64,
+    /// Migration transactions in flight at sampling time (gauge).
+    pub in_flight_migrations: u64,
 }
 
 impl PeriodSample {
@@ -70,6 +72,7 @@ impl PeriodSample {
         w.field_f64("fmar", self.fmar);
         w.field_u64("fast_used_frames", self.fast_used_frames);
         w.field_u64("slow_used_frames", self.slow_used_frames);
+        w.field_u64("in_flight_migrations", self.in_flight_migrations);
         w.end_object();
     }
 
@@ -77,13 +80,14 @@ impl PeriodSample {
     pub fn csv_header() -> &'static str {
         "timestamp_ns,cit_threshold_ns,rate_limit_bps,queue_depth,enqueued_pages,\
          dequeued_pages,dropped_pages,heat_overlap_ratio,promoted_pages,demoted_pages,\
-         thrash_events,hint_faults,period_fmar,fmar,fast_used_frames,slow_used_frames"
+         thrash_events,hint_faults,period_fmar,fmar,fast_used_frames,slow_used_frames,\
+         in_flight_migrations"
     }
 
     /// One CSV row (no trailing newline).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.timestamp.as_nanos(),
             self.policy.cit_threshold.as_nanos(),
             self.policy.rate_limit_bps,
@@ -100,6 +104,7 @@ impl PeriodSample {
             self.fmar,
             self.fast_used_frames,
             self.slow_used_frames,
+            self.in_flight_migrations,
         )
     }
 }

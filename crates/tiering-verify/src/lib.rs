@@ -32,7 +32,10 @@ pub mod policy_fuzz;
 pub mod shrink;
 
 pub use golden::{bless_goldens, check_goldens, GoldenResult, GoldenStatus, GOLDEN_SEEDS};
-pub use ops::{fuzz_one, generate_ops, run_case, CaseConfig, FuzzOp, OpsFailure, ShrunkFailure};
+pub use ops::{
+    fuzz_one, fuzz_one_stress, generate_ops, generate_stress_ops, run_case, stress_case_from_seed,
+    CaseConfig, FuzzOp, OpsFailure, ShrunkFailure,
+};
 pub use oracle::{InvariantOracle, Violation};
 pub use policy_fuzz::{
     determinism_digests, run_policy_case, PolicyRunReport, PolicyUnderTest, ALL_POLICIES,

@@ -171,6 +171,12 @@ pub fn check_huge_base_accounting(seed: u64) -> Result<(), String> {
         fast_frames: 1024,
         slow_frames: 4096,
         procs: vec![(2048, PageSize::Huge2M)],
+        // Two 512-frame reservations at most: the free pool never drops
+        // below a whole block, so demand paging cannot OOM.
+        migration: tiered_mem::MigrationSpec {
+            inflight_slots: 2,
+            backlog_cap: Nanos::from_millis(10),
+        },
     };
     let ops = crate::ops::generate_ops(&cfg, seed ^ 0x40E6_BA5E, 1200);
     match crate::ops::run_case(&cfg, &ops) {
@@ -215,6 +221,68 @@ pub fn check_huge_base_accounting(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Metamorphic relation over in-flight huge migrations: two identical runs
+/// open a 2 MiB demotion transaction; one splits the block mid-flight, the
+/// other just waits. The split run must abort (moving zero pages, releasing
+/// all 512 reserved frames), the control run must complete (moving exactly
+/// 512) — and both must stay oracle-clean throughout.
+pub fn check_split_aborts_inflight_huge(seed: u64) -> Result<(), String> {
+    use tiered_mem::{MigrateMode, TierId};
+    let mut rng = DetRng::seed(seed ^ 0x5B11_7AB0);
+    let blocks = 1 + rng.below(3) as u32;
+    let page_in_block = rng.below(512) as u32;
+    let target = rng.below(blocks as u64) as u32 * 512;
+    let build = || {
+        let mut cfg = SystemConfig::dram_pmem(blocks * 512 + 512, blocks * 512 + 512);
+        cfg.migration.inflight_slots = 1;
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(blocks * 512, PageSize::Huge2M);
+        for b in 0..blocks {
+            sys.access(pid, Vpn(b * 512 + page_in_block), false);
+        }
+        sys.begin_migrate(pid, Vpn(target), TierId::Slow, MigrateMode::Async)
+            .map(|_| (sys, pid))
+    };
+
+    let (mut split_run, pid) = build().map_err(|e| format!("seed {seed:#x}: begin: {e:?}"))?;
+    let mut oracle = InvariantOracle::new();
+    if let Some(v) = oracle.check(&split_run).into_iter().next() {
+        return Err(format!("seed {seed:#x}: in-flight state dirty: {v}"));
+    }
+    split_run.split_block(pid, Vpn(target + page_in_block));
+    split_run.clock.advance(Nanos::from_millis(20));
+    split_run.complete_due_migrations();
+
+    let (mut control, _) = build().map_err(|e| format!("seed {seed:#x}: begin: {e:?}"))?;
+    control.clock.advance(Nanos::from_millis(20));
+    control.complete_due_migrations();
+
+    for (name, sys) in [("split", &split_run), ("control", &control)] {
+        if let Some(v) = oracle.check(sys).into_iter().next() {
+            return Err(format!("seed {seed:#x}: {name} run dirty: {v}"));
+        }
+    }
+    if split_run.stats.aborted_migrations != 1
+        || split_run.stats.demoted_pages != 0
+        || split_run.migration_reserved_frames(TierId::Slow) != 0
+    {
+        return Err(format!(
+            "seed {seed:#x}: split run expected 1 abort / 0 moved / 0 reserved, got \
+             {} / {} / {}",
+            split_run.stats.aborted_migrations,
+            split_run.stats.demoted_pages,
+            split_run.migration_reserved_frames(TierId::Slow)
+        ));
+    }
+    if control.stats.aborted_migrations != 0 || control.stats.demoted_pages != 512 {
+        return Err(format!(
+            "seed {seed:#x}: control run expected 0 aborts / 512 moved, got {} / {}",
+            control.stats.aborted_migrations, control.stats.demoted_pages
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every metamorphic relation across `rounds` seeds derived from
 /// `seed_base`; returns all failures (empty = pass).
 pub fn run_all(seed_base: u64, rounds: u64) -> Vec<String> {
@@ -226,6 +294,9 @@ pub fn run_all(seed_base: u64, rounds: u64) -> Vec<String> {
         }
         if let Err(e) = check_huge_base_accounting(seed) {
             failures.push(format!("huge-base-accounting: {e}"));
+        }
+        if let Err(e) = check_split_aborts_inflight_huge(seed) {
+            failures.push(format!("split-aborts-inflight-huge: {e}"));
         }
     }
     // The classifier check replays a full policy run; one seed suffices per
@@ -256,6 +327,13 @@ mod tests {
     fn huge_base_accounting_agrees() {
         for seed in 0..4u64 {
             check_huge_base_accounting(seed).unwrap();
+        }
+    }
+
+    #[test]
+    fn split_abort_relation_holds() {
+        for seed in 0..8u64 {
+            check_split_aborts_inflight_huge(seed).unwrap();
         }
     }
 }

@@ -52,6 +52,7 @@ impl InvariantOracle {
         let mut out = Vec::new();
         self.check_frame_conservation(sys, &mut out);
         self.check_page_tables(sys, &mut out);
+        self.check_migrations(sys, &mut out);
         self.check_flag_words(sys, &mut out);
         self.check_lru(sys, &mut out);
         self.check_watermarks(sys, &mut out);
@@ -244,18 +245,161 @@ impl InvariantOracle {
             }
         }
 
-        // Frames-side conservation: every used frame is mapped exactly once.
+        // Frames-side conservation: every used frame is either mapped
+        // exactly once or reserved by exactly one in-flight migration.
         for tier in [TierId::Fast, TierId::Slow] {
             let used = sys.used_frames(tier);
-            if counted[tier.index()] != used {
+            let reserved = sys.migration_reserved_frames(tier);
+            if counted[tier.index()] + reserved != used {
                 out.push(Violation {
                     invariant: "frame_conservation",
                     detail: format!(
-                        "{tier:?}: page walk found {} resident pages, frame table has {} used",
+                        "{tier:?}: page walk found {} resident pages + {} reserved, \
+                         frame table has {} used",
                         counted[tier.index()],
+                        reserved,
                         used
                     ),
                 });
+            }
+        }
+    }
+
+    /// Two-phase migration invariants: flow conservation
+    /// (`begun == completed + aborted + in_flight`), reservation conservation
+    /// (every transaction holds exactly `unit` distinct allocated destination
+    /// frames that no PTE maps, and per-tier reservation sums agree), and the
+    /// `MIGRATING` flag protocol (set on exactly the heads of in-flight
+    /// transactions, which must be present and still resident in `from`).
+    fn check_migrations(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        let s = &sys.stats;
+        let in_flight = sys.migration_in_flight_count() as u64;
+        if s.begun_migrations != s.completed_migrations + s.aborted_migrations + in_flight {
+            out.push(Violation {
+                invariant: "migration_flow",
+                detail: format!(
+                    "begun {} != completed {} + aborted {} + in-flight {}",
+                    s.begun_migrations, s.completed_migrations, s.aborted_migrations, in_flight
+                ),
+            });
+        }
+
+        let totals = [
+            sys.total_frames(TierId::Fast),
+            sys.total_frames(TierId::Slow),
+        ];
+        let mut reserved_seen: [Vec<bool>; 2] = [
+            vec![false; totals[0] as usize],
+            vec![false; totals[1] as usize],
+        ];
+        let mut sums = [0u32; 2];
+        // Heads with an open transaction, for the page-walk direction below.
+        let mut txn_heads: std::collections::BTreeSet<(u16, u32)> =
+            std::collections::BTreeSet::new();
+
+        for txn in sys.in_flight_migrations() {
+            txn_heads.insert((txn.pid.0, txn.head.0));
+            let e = sys.process(txn.pid).space.entry(txn.head);
+            if !e.flags.has(PageFlags::MIGRATING) || !e.present() || e.tier() != txn.from {
+                out.push(Violation {
+                    invariant: "migrating_flag",
+                    detail: format!(
+                        "txn {} pid {} head {}: expected PRESENT|MIGRATING in {:?}, \
+                         found {} in {:?}",
+                        txn.id,
+                        txn.pid.0,
+                        txn.head.0,
+                        txn.from,
+                        e.flags.describe(),
+                        e.tier()
+                    ),
+                });
+            }
+            if txn.dest_pfns.len() != txn.unit as usize {
+                out.push(Violation {
+                    invariant: "reservation_conservation",
+                    detail: format!(
+                        "txn {}: holds {} reserved frames for a {}-page unit",
+                        txn.id,
+                        txn.dest_pfns.len(),
+                        txn.unit
+                    ),
+                });
+            }
+            sums[txn.to.index()] += txn.unit;
+            let ti = txn.to.index();
+            for (off, &pfn) in txn.dest_pfns.iter().enumerate() {
+                if pfn.0 >= totals[ti] {
+                    out.push(Violation {
+                        invariant: "reservation_conservation",
+                        detail: format!(
+                            "txn {}: reserved pfn {} out of range for {:?}",
+                            txn.id, pfn.0, txn.to
+                        ),
+                    });
+                    continue;
+                }
+                if reserved_seen[ti][pfn.0 as usize] {
+                    out.push(Violation {
+                        invariant: "reservation_conservation",
+                        detail: format!("{:?} pfn {} reserved by two transactions", txn.to, pfn.0),
+                    });
+                }
+                reserved_seen[ti][pfn.0 as usize] = true;
+                let expected = FrameOwner {
+                    pid: txn.pid,
+                    vpn: Vpn(txn.head.0 + off as u32),
+                };
+                match sys.frame_owner(txn.to, pfn) {
+                    Some(owner) if owner == expected => {}
+                    other => out.push(Violation {
+                        invariant: "reservation_conservation",
+                        detail: format!(
+                            "txn {}: {:?} pfn {} owner {:?}, expected {:?}",
+                            txn.id, txn.to, pfn.0, other, expected
+                        ),
+                    }),
+                }
+            }
+        }
+
+        for tier in [TierId::Fast, TierId::Slow] {
+            let engine = sys.migration_reserved_frames(tier);
+            if sums[tier.index()] != engine {
+                out.push(Violation {
+                    invariant: "reservation_conservation",
+                    detail: format!(
+                        "{tier:?}: transactions hold {} frames, engine accounts {}",
+                        sums[tier.index()],
+                        engine
+                    ),
+                });
+            }
+        }
+
+        // Walk direction: a MIGRATING bit without an open transaction is a
+        // leak (the abort/complete path forgot to clear it).
+        for pid in sys.pids() {
+            let space = &sys.process(pid).space;
+            for v in 0..space.pages() {
+                let e = space.entry(Vpn(v));
+                if e.flags.has(PageFlags::MIGRATING) {
+                    if !e.present() {
+                        out.push(Violation {
+                            invariant: "migrating_flag",
+                            detail: format!("pid {} vpn {} is MIGRATING but not PRESENT", pid.0, v),
+                        });
+                    }
+                    if !txn_heads.contains(&(pid.0, v)) {
+                        out.push(Violation {
+                            invariant: "migrating_flag",
+                            detail: format!(
+                                "pid {} vpn {} is MIGRATING with no open transaction",
+                                pid.0, v
+                            ),
+                        });
+                    }
+                }
             }
         }
     }
@@ -418,6 +562,54 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.invariant == "migration_accounting"));
+    }
+
+    #[test]
+    fn in_flight_and_retired_migration_states_are_clean() {
+        let (mut sys, pid) = small_sys();
+        let mut oracle = InvariantOracle::new();
+        for v in 0..64 {
+            sys.access(pid, Vpn(v), false);
+        }
+        // Open a demotion, check mid-flight, abort it with a write.
+        sys.begin_migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async)
+            .unwrap();
+        oracle.assert_clean(&sys, "demotion in flight");
+        sys.access(pid, Vpn(0), true);
+        oracle.assert_clean(&sys, "after write-abort");
+        // Open another and let it retire.
+        sys.begin_migrate(pid, Vpn(1), TierId::Slow, MigrateMode::Async)
+            .unwrap();
+        sys.clock.advance(sim_clock::Nanos::from_millis(5));
+        assert_eq!(sys.complete_due_migrations(), 1);
+        oracle.assert_clean(&sys, "after completion");
+    }
+
+    #[test]
+    fn leaked_migrating_flag_is_caught() {
+        let (mut sys, pid) = small_sys();
+        sys.access(pid, Vpn(0), false);
+        sys.process_mut(pid)
+            .space
+            .entry_mut(Vpn(0))
+            .flags
+            .set(PageFlags::MIGRATING);
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations.iter().any(|v| v.invariant == "migrating_flag"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn migration_flow_skew_is_caught() {
+        let (mut sys, _) = small_sys();
+        sys.stats.begun_migrations += 1;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations.iter().any(|v| v.invariant == "migration_flow"),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! In-flight migration under pressure: write-aborts and backpressure.
+//!
+//! Runs a write-heavy skewed workload under Chrono with a deliberately tiny
+//! migration engine (few in-flight slots, short backlog cap — the same
+//! knobs as the harness `--inflight-slots` / `--migration-backlog-cap`
+//! flags). Two effects of the two-phase engine become visible:
+//!
+//! * *write-aborts*: a store into a unit whose copy is active on the
+//!   channel invalidates the copy, so the transaction aborts and the
+//!   reservation is released;
+//! * *backpressure*: once the in-flight table or a channel's copy backlog
+//!   is full, `begin_migrate` rejects with `MigrateError::Backpressure` and
+//!   Chrono defers the rest of the promotion batch to the next drain.
+//!
+//! ```text
+//! cargo run --release --example migration_inflight
+//! ```
+
+use chrono_repro::chrono_core::{ChronoConfig, ChronoPolicy};
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::{MigrateError, MigrationSpec, PageSize, SystemConfig, TieredSystem};
+use chrono_repro::tiering_policies::{DriverConfig, SimulationDriver};
+use chrono_repro::workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+fn main() {
+    // 2K fast frames over an 8K-frame system, with the migration engine
+    // squeezed down to two in-flight slots: admission control binds on the
+    // third promotion of every drain batch, while the two copies in flight
+    // stay exposed to racing stores.
+    let mut cfg = SystemConfig::quarter_fast(8_192);
+    cfg.migration = MigrationSpec {
+        inflight_slots: 2,
+        backlog_cap: Nanos::from_micros(200),
+    };
+    let mut sys = TieredSystem::new(cfg);
+
+    // 80 % writes (read ratio 0.2): stores race the in-flight copies.
+    let workload = PmbenchWorkload::new(PmbenchConfig::paper_skewed(6_144, 0.2, 7));
+    sys.add_process(workload.address_space_pages(), PageSize::Base);
+    let mut workloads: Vec<Box<dyn Workload>> = vec![Box::new(workload)];
+
+    let mut chrono = ChronoPolicy::new(ChronoConfig::scaled(Nanos::from_millis(100), 1024));
+    let result =
+        SimulationDriver::new(DriverConfig::for_secs(1)).run(&mut sys, &mut workloads, &mut chrono);
+
+    let s = &sys.stats;
+    println!("accesses executed   : {}", result.accesses);
+    println!(
+        "promoted / demoted  : {} / {} pages",
+        s.promoted_pages, s.demoted_pages
+    );
+    println!(
+        "transactions        : {} begun = {} completed + {} aborted + {} in flight",
+        s.begun_migrations,
+        s.completed_migrations,
+        s.aborted_migrations,
+        sys.migration_in_flight_count()
+    );
+    println!("fast-migrate rejects:");
+    for (name, count) in MigrateError::REASONS.iter().zip(s.failed_fast_migrations) {
+        println!("  {name:<12} {count}");
+    }
+
+    let backpressured = s.failed_fast_migrations[MigrateError::Backpressure.index()];
+    assert!(
+        s.aborted_migrations > 0,
+        "expected write-aborts under an 80 % write mix"
+    );
+    assert!(
+        backpressured > 0,
+        "expected Backpressure rejects with 2 slots and a 200 us backlog cap"
+    );
+    println!("write-abort and backpressure paths both exercised");
+}

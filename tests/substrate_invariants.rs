@@ -40,6 +40,12 @@ fn huge_mappings_preserve_block_integrity() {
             fast_frames: chrono_repro::tiered_mem::HUGE_2M_PAGES * 2,
             slow_frames: pages + chrono_repro::tiered_mem::HUGE_2M_PAGES,
             procs: vec![(pages, PageSize::Huge2M)],
+            // One 512-frame reservation at most, so demand paging always
+            // finds a tier with a whole block free.
+            migration: chrono_repro::tiered_mem::MigrationSpec {
+                inflight_slots: 1,
+                backlog_cap: chrono_repro::sim_clock::Nanos::from_millis(10),
+            },
         };
         let ops = generate_ops(&cfg, 0x8006_0000 + seed, OPS);
         if let Some(shrunk) = fuzz_ops(0x8006_0000 + seed, &cfg, ops) {
