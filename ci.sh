@@ -32,6 +32,9 @@ echo "== harness fuzz smoke (32 seeds x 2000 ops, fixed base)"
 echo "== harness fuzz migration-stress (write-abort/backpressure paths, tiny in-flight tables)"
 ./target/release/harness fuzz --migration-stress --seeds 32 --ops 2000
 
+echo "== harness fuzz fault-storm (poison/quarantine/capacity paths under storm-rate FaultPlans)"
+./target/release/harness fuzz --fault-storm --seeds 32 --ops 2000
+
 echo "== harness fuzz self-test (injected bug must be caught and shrunk)"
 ./target/release/harness fuzz --self-test
 

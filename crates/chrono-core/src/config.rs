@@ -63,6 +63,21 @@ pub struct ChronoConfig {
     pub heatmap_decay: f64,
     /// RNG seed (victim selection).
     pub seed: u64,
+    /// Retries allowed per transiently failed promotion before giving up.
+    pub retry_max_attempts: u32,
+    /// First-retry backoff; doubles per attempt (bounded exponential).
+    pub retry_backoff_base: Nanos,
+    /// Pending-retry pool bound; overflow is abandoned, not queued.
+    pub retry_pool_cap: usize,
+    /// Migration-failure ratio above which the promotion circuit breaker
+    /// opens for a period.
+    pub breaker_threshold: f64,
+    /// Minimum attempts in a period before the breaker may trip (small
+    /// samples produce meaningless ratios).
+    pub breaker_min_attempts: u64,
+    /// Consecutive starved DCSC rounds (after the first successful tune,
+    /// with fault damage present) before degrading to semi-auto tuning.
+    pub dcsc_starved_rounds: u32,
 }
 
 impl Default for ChronoConfig {
@@ -84,6 +99,12 @@ impl Default for ChronoConfig {
             thrash_threshold: 0.2,
             heatmap_decay: 0.98,
             seed: 0xC1207,
+            retry_max_attempts: 3,
+            retry_backoff_base: Nanos::from_millis(100),
+            retry_pool_cap: 1 << 12,
+            breaker_threshold: 0.5,
+            breaker_min_attempts: 16,
+            dcsc_starved_rounds: 8,
         }
     }
 }
@@ -106,6 +127,9 @@ impl ChronoConfig {
             initial_cit_threshold: Nanos::from_millis(ms / 60).max(Nanos::from_millis(1)),
             // Finest bucket keeps the 1 ms : 60 s ratio to the scan period.
             finest_cit: Nanos(scan_period.as_nanos() / 60_000).max(Nanos(1_000)),
+            // Retry at drain-interval granularity so backoff steps line up
+            // with migrate events.
+            retry_backoff_base: Nanos(scan_period.as_nanos() / 600).max(Nanos(1)),
             ..ChronoConfig::default()
         }
     }

@@ -28,6 +28,7 @@ pub mod heatmap;
 pub mod limits;
 pub mod policy;
 pub mod queue;
+pub mod resilience;
 pub mod theory;
 pub mod thrash;
 pub mod tuning;
@@ -39,4 +40,5 @@ pub use heatmap::HeatMap;
 pub use limits::LimitEnforcer;
 pub use policy::ChronoPolicy;
 pub use queue::{PromotionQueue, QueueFlow};
+pub use resilience::{BreakerTransition, MigrationBreaker, RetryEntry, RetryFlow, RetryPool};
 pub use thrash::ThrashingMonitor;

@@ -30,6 +30,7 @@ use crate::config::{ChronoConfig, TuningMode};
 use crate::heatmap::{identify_overlap, HeatMap};
 use crate::limits::LimitEnforcer;
 use crate::queue::{PendingPromotion, PromotionQueue};
+use crate::resilience::{MigrationBreaker, RetryFlow, RetryPool};
 use crate::thrash::ThrashingMonitor;
 use crate::tuning;
 
@@ -76,6 +77,20 @@ pub struct ChronoPolicy {
     /// so queue-flow conservation is unaffected).
     deferred: Vec<PendingPromotion>,
     thrash: ThrashingMonitor,
+    /// Backoff retries for transiently failed promotion copies.
+    retry: RetryPool,
+    /// Pauses the promotion queue when the copy-failure ratio spikes.
+    breaker: MigrationBreaker,
+    /// Deferred entries dropped by re-validation (stale CIT, moved tier, or
+    /// already in flight) instead of being replayed blindly.
+    stale_deferred_dropped: u64,
+    /// DCSC fell back to semi-auto tuning after sustained probe starvation.
+    degraded: bool,
+    /// Consecutive starved DCSC tune rounds (with fault damage present).
+    dcsc_starved: u32,
+    /// Whether DCSC has produced at least one successful tune — starvation
+    /// before first light is warm-up, not degradation.
+    dcsc_tuned_once: bool,
     limits: LimitEnforcer,
     /// Per-tier CIT heat maps (population-weighted samples).
     heat: [HeatMap; 2],
@@ -133,6 +148,12 @@ impl ChronoPolicy {
             queue: PromotionQueue::new(rate, QUEUE_CAP),
             heat: [HeatMap::new(cfg.buckets), HeatMap::new(cfg.buckets)],
             cit_threshold: threshold,
+            retry: RetryPool::new(cfg.retry_max_attempts, cfg.retry_pool_cap),
+            breaker: MigrationBreaker::new(cfg.breaker_threshold, cfg.breaker_min_attempts),
+            stale_deferred_dropped: 0,
+            degraded: false,
+            dcsc_starved: 0,
+            dcsc_tuned_once: false,
             cfg,
             name,
             overlap_floor: None,
@@ -256,6 +277,32 @@ impl ChronoPolicy {
     /// per-period `take_enqueued` reset).
     pub fn queue_flow(&self) -> crate::queue::QueueFlow {
         self.queue.flow()
+    }
+
+    /// Retry-pool flow snapshot for invariant checking
+    /// (`failed == retried + abandoned + pending`).
+    pub fn retry_flow(&self) -> RetryFlow {
+        self.retry.flow()
+    }
+
+    /// Whether the promotion circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// Times the circuit breaker has tripped over the run.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker.total_trips()
+    }
+
+    /// Whether DCSC has degraded to semi-auto tuning (probe starvation).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Deferred promotions dropped by re-validation instead of replayed.
+    pub fn stale_deferred_dropped(&self) -> u64 {
+        self.stale_deferred_dropped
     }
 
     /// The effective threshold for a mapping unit (huge blocks scale by
@@ -411,10 +458,137 @@ impl ChronoPolicy {
 
     // ----- Daemons ---------------------------------------------------------
 
+    /// Whether a deferred or retried promotion is still worth issuing: the
+    /// page must still sit on the slow tier, not already be in flight, and
+    /// its idle time since the last scan stamp must still clear the
+    /// *current* CIT threshold — entries queued under yesterday's threshold
+    /// age out instead of replaying blindly.
+    fn revalidate(&self, sys: &TieredSystem, pid: ProcessId, vpn: Vpn, now: Nanos) -> bool {
+        let e = sys.process(pid).space.entry(vpn);
+        if e.tier() != TierId::Slow || e.flags.has(PageFlags::MIGRATING) {
+            return false;
+        }
+        cit_from_word(now, e.policy_word) <= self.effective_threshold(sys, pid, vpn)
+    }
+
+    /// Drains asynchronous copy-failure reports from the substrate into the
+    /// retry pool (transient faults) or straight to abandonment (poisoned
+    /// destination frames), feeding the circuit breaker either way.
+    fn ingest_copy_failures(&mut self, sys: &mut TieredSystem, now: Nanos) {
+        for f in sys.take_migration_failures() {
+            if f.to != TierId::Fast {
+                // A failed demotion leaves the page on the fast tier where
+                // the next proactive-demote pass re-picks it; only failed
+                // promotions need explicit retry state.
+                continue;
+            }
+            self.breaker.record_failures(1);
+            match f.reason {
+                MigrateError::CopyFault => {
+                    self.retry.record_failure(
+                        f.pid,
+                        f.head,
+                        f.unit,
+                        now,
+                        self.cfg.retry_backoff_base,
+                    );
+                }
+                _ => self.retry.record_permanent_failure(),
+            }
+        }
+    }
+
+    /// Issues retries whose backoff elapsed, re-validating each first.
+    fn drain_retries(&mut self, sys: &mut TieredSystem, now: Nanos) {
+        for e in self.retry.take_due(now) {
+            if !self.revalidate(sys, e.pid, e.vpn, now) {
+                sys.process_mut(e.pid)
+                    .space
+                    .entry_mut(e.vpn)
+                    .flags
+                    .clear(PageFlags::CANDIDATE);
+                self.retry.mark_abandoned(e);
+                continue;
+            }
+            sys.trace.emit(now, || TraceEvent::Retry {
+                pid: e.pid.0,
+                vpn: e.vpn.0,
+                attempt: e.attempt,
+            });
+            self.breaker.record_attempts(1);
+            let attempt = if e.pages > 1 {
+                sys.migrate(e.pid, e.vpn, TierId::Fast, MigrateMode::Async)
+            } else {
+                sys.begin_migrate(e.pid, e.vpn, TierId::Fast, MigrateMode::Async)
+            };
+            let r = match attempt {
+                Err(MigrateError::NoSpace) => {
+                    sys.promote_with_reclaim(e.pid, e.vpn, MigrateMode::Async)
+                }
+                Err(MigrateError::Backpressure) => {
+                    // No attempt charged: just wait another backoff step.
+                    self.retry.defer(e, now + self.cfg.retry_backoff_base);
+                    continue;
+                }
+                other => other,
+            };
+            match r {
+                Ok(pages) => {
+                    self.thrash.record_promotion(pages as u64);
+                    self.retry.mark_retried(e);
+                }
+                Err(MigrateError::CopyFault) => {
+                    // The synchronous compat path rolled another transient
+                    // fault: this retry was issued (counted), and the fresh
+                    // failure re-enters the pool against the same budget.
+                    self.breaker.record_failures(1);
+                    self.retry.mark_retried(e);
+                    self.retry.record_failure(
+                        e.pid,
+                        e.vpn,
+                        e.pages,
+                        now,
+                        self.cfg.retry_backoff_base,
+                    );
+                }
+                Err(MigrateError::Poisoned) => {
+                    self.breaker.record_failures(1);
+                    self.retry.mark_abandoned(e);
+                }
+                Err(_) => self.retry.mark_abandoned(e),
+            }
+        }
+    }
+
     fn drain_promotions(&mut self, sys: &mut TieredSystem) {
+        let now = sys.clock.now();
+        self.ingest_copy_failures(sys, now);
+        if self.breaker.is_open() {
+            // Tripped: issue nothing for a period and let in-flight work
+            // settle; queued entries and pending retries simply wait.
+            sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
+            return;
+        }
+        self.drain_retries(sys, now);
         // Entries refused with `Backpressure` last drain go first, ahead of
-        // the fresh rate-limited batch, preserving promotion order.
-        let mut batch = std::mem::take(&mut self.deferred);
+        // the fresh rate-limited batch, preserving promotion order — but
+        // only after re-validation: the deferral wait may have outdated
+        // them (moved tier, in flight again, or no longer hot under the
+        // current threshold).
+        let mut batch = Vec::new();
+        for p in std::mem::take(&mut self.deferred) {
+            if self.revalidate(sys, p.pid, p.vpn, now) {
+                batch.push(p);
+            } else {
+                self.stale_deferred_dropped += 1;
+                self.candidates.remove(p.pid, p.vpn);
+                sys.process_mut(p.pid)
+                    .space
+                    .entry_mut(p.vpn)
+                    .flags
+                    .clear(PageFlags::CANDIDATE);
+            }
+        }
         batch.extend(self.queue.drain(self.cfg.migrate_interval));
         let mut i = 0;
         while i < batch.len() {
@@ -434,6 +608,7 @@ impl ChronoPolicy {
             // (Nomad falls back to classic migration in exactly this
             // case). Base pages copy in microseconds and ride the async
             // in-flight channel.
+            self.breaker.record_attempts(1);
             let attempt = if p.pages > 1 {
                 sys.migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async)
             } else {
@@ -453,8 +628,23 @@ impl ChronoPolicy {
                 }
                 other => other,
             };
-            if let Ok(pages) = r {
-                self.thrash.record_promotion(pages as u64);
+            match r {
+                Ok(pages) => self.thrash.record_promotion(pages as u64),
+                Err(MigrateError::CopyFault) => {
+                    self.breaker.record_failures(1);
+                    self.retry.record_failure(
+                        p.pid,
+                        p.vpn,
+                        p.pages,
+                        now,
+                        self.cfg.retry_backoff_base,
+                    );
+                }
+                Err(MigrateError::Poisoned) => {
+                    self.breaker.record_failures(1);
+                    self.retry.record_permanent_failure();
+                }
+                Err(_) => {}
             }
         }
         sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
@@ -509,6 +699,14 @@ impl ChronoPolicy {
             self.thrash_ceiling = Some(self.queue.rate_limit());
         } else {
             self.thrash_ceiling = None;
+        }
+        // Circuit-breaker period: pause the promotion queue for a period
+        // when the copy-failure ratio spiked, resume after a quiet one.
+        if let Some(t) = self.breaker.end_period() {
+            sys.trace.emit(now, || TraceEvent::Breaker {
+                open: t.open,
+                failure_ratio: t.failure_ratio,
+            });
         }
         // Threshold feedback (both adaptive modes): converge the enqueue
         // rate to the rate limit. In semi-auto the rate limit is the user's;
@@ -577,9 +775,38 @@ impl ChronoPolicy {
         }
         self.issue_probes(sys, now);
         if self.cfg.tuning == TuningMode::Dcsc {
-            self.dcsc_tune(sys);
+            let tuned = self.dcsc_tune(sys);
+            self.note_dcsc_outcome(sys, tuned);
         }
         sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, 0));
+    }
+
+    /// Tracks DCSC probe starvation. Frame poisoning and capacity shrink
+    /// can hold the heat maps under the tuning floor indefinitely (the
+    /// sampled population shrank, probed pages got offlined mid-round);
+    /// after `dcsc_starved_rounds` consecutive dry rounds — counted only
+    /// once DCSC has tuned at least once (warm-up is not starvation) and
+    /// only when fault damage is actually present (fault-free runs are
+    /// untouched) — the tuner degrades to semi-auto mode anchored at the
+    /// last DCSC-derived rate limit, keeping the δ-step threshold feedback
+    /// alive instead of freezing the threshold at a stale value.
+    fn note_dcsc_outcome(&mut self, sys: &TieredSystem, tuned: bool) {
+        if tuned {
+            self.dcsc_tuned_once = true;
+            self.dcsc_starved = 0;
+            return;
+        }
+        let damaged = sys.stats.quarantined_frames + sys.stats.offlined_frames > 0;
+        if !self.dcsc_tuned_once || !damaged {
+            return;
+        }
+        self.dcsc_starved += 1;
+        if self.dcsc_starved >= self.cfg.dcsc_starved_rounds && !self.degraded {
+            self.degraded = true;
+            self.cfg.tuning = TuningMode::SemiAuto {
+                rate_limit: self.queue.rate_limit(),
+            };
+        }
     }
 
     /// Probes that never faulted within the expiry window measure very cold
@@ -657,11 +884,11 @@ impl ChronoPolicy {
         sys.stats.kernel_time += Nanos(150).scale(issued.max(1));
     }
 
-    fn dcsc_tune(&mut self, sys: &mut TieredSystem) {
+    fn dcsc_tune(&mut self, sys: &mut TieredSystem) -> bool {
         let fast_pop = sys.used_frames(TierId::Fast) as f64;
         let slow_pop = sys.used_frames(TierId::Slow) as f64;
         if self.heat[0].total() < 8.0 || self.heat[1].total() < 8.0 {
-            return; // not enough probe mass yet
+            return false; // not enough probe mass yet
         }
         let fast_map = self.heat[TierId::Fast.index()].scaled_to(fast_pop);
         let slow_map = self.heat[TierId::Slow.index()].scaled_to(slow_pop);
@@ -688,6 +915,7 @@ impl ChronoPolicy {
             cutoff
         };
         self.overlap_floor = Some(anchor);
+        true
     }
 }
 
@@ -757,7 +985,7 @@ pub fn reinsert_inactive(sys: &mut TieredSystem, pid: ProcessId, vpn: Vpn) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tiered_mem::{PageSize, SystemConfig};
+    use tiered_mem::{FaultPlan, PageSize, SystemConfig};
     use tiering_policies::{DriverConfig, SimulationDriver};
     use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
 
@@ -925,5 +1153,199 @@ mod tests {
         let (sys, _policy) = run_chrono(test_config(), 200);
         assert!(sys.watermarks.pro >= sys.watermarks.high);
         assert!(sys.watermarks.well_ordered());
+    }
+
+    fn run_chrono_faulty(plan: FaultPlan, run_ms: u64) -> (TieredSystem, ChronoPolicy) {
+        let mut syscfg = SystemConfig::dram_pmem(1024, 4096);
+        syscfg.fault_plan = Some(plan);
+        let mut sys = TieredSystem::new(syscfg);
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = ChronoPolicy::new(test_config());
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(run_ms),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        (sys, policy)
+    }
+
+    /// Regression (deferred-promotion staleness): entries parked by
+    /// `Backpressure` must be re-validated against the *current* CIT
+    /// threshold before replay — a stale one is dropped, a fresh one
+    /// promotes.
+    #[test]
+    fn stale_deferred_promotions_age_out() {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 256));
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let mut cfg = test_config();
+        cfg.tuning = TuningMode::Manual {
+            cit_threshold: Nanos::from_millis(1),
+            rate_limit: 100 * 1024 * 1024,
+        };
+        let mut policy = ChronoPolicy::new(cfg);
+        sys.clock.advance(Nanos::from_millis(20));
+        let now = sys.clock.now();
+        let fresh = Vpn(100); // slow tier (first 56 pages went fast)
+        let stale = Vpn(101);
+        {
+            let e = sys.process_mut(pid).space.entry_mut(fresh);
+            e.policy_word = now_us(now); // scanned just now: CIT 0
+            e.flags.set(PageFlags::CANDIDATE);
+        }
+        {
+            let e = sys.process_mut(pid).space.entry_mut(stale);
+            e.policy_word = now_us(now - Nanos::from_millis(10)); // CIT 10 ms
+            e.flags.set(PageFlags::CANDIDATE);
+        }
+        policy.deferred.push(PendingPromotion {
+            pid,
+            vpn: fresh,
+            pages: 1,
+        });
+        policy.deferred.push(PendingPromotion {
+            pid,
+            vpn: stale,
+            pages: 1,
+        });
+        policy.on_event(&mut sys, encode_token(EV_MIGRATE, 0, 0));
+        assert_eq!(policy.stale_deferred_dropped(), 1);
+        assert!(
+            sys.process(pid)
+                .space
+                .entry(fresh)
+                .flags
+                .has(PageFlags::MIGRATING),
+            "fresh deferred entry must replay"
+        );
+        let e = sys.process(pid).space.entry(stale);
+        assert_eq!(e.tier(), TierId::Slow, "stale entry must not promote");
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        assert!(!e.flags.has(PageFlags::CANDIDATE), "flag cleared on drop");
+    }
+
+    /// Deferred entries that moved tier or re-entered flight are likewise
+    /// dropped, not replayed.
+    #[test]
+    fn moved_or_inflight_deferred_promotions_are_dropped() {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 256));
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let mut policy = ChronoPolicy::new(test_config());
+        let moved = Vpn(0); // fast tier already
+        let inflight = Vpn(100);
+        let now = sys.clock.now();
+        sys.process_mut(pid).space.entry_mut(inflight).policy_word = now_us(now);
+        sys.begin_migrate(pid, inflight, TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        for vpn in [moved, inflight] {
+            policy
+                .deferred
+                .push(PendingPromotion { pid, vpn, pages: 1 });
+        }
+        policy.on_event(&mut sys, encode_token(EV_MIGRATE, 0, 0));
+        assert_eq!(policy.stale_deferred_dropped(), 2);
+    }
+
+    #[test]
+    fn transient_faults_feed_the_retry_pool() {
+        let mut plan = FaultPlan::inert(11);
+        plan.copy_transient = 0.3;
+        let (sys, policy) = run_chrono_faulty(plan, 400);
+        let f = policy.retry_flow();
+        assert!(f.failed > 0, "no copy faults landed: {:?}", f);
+        assert!(f.retried > 0, "no retries issued: {:?}", f);
+        assert!(f.conserved(), "{:?}", f);
+        assert!(sys.stats.transient_copy_faults > 0);
+        // Despite the fault rate the policy still made forward progress.
+        assert!(sys.stats.promoted_pages > 0);
+    }
+
+    #[test]
+    fn total_copy_failure_trips_the_breaker() {
+        let mut plan = FaultPlan::inert(12);
+        plan.copy_transient = 1.0;
+        let (sys, policy) = run_chrono_faulty(plan, 400);
+        assert!(
+            policy.breaker_trips() > 0,
+            "100% copy failure must trip the breaker (faults: {})",
+            sys.stats.transient_copy_faults
+        );
+        assert!(policy.retry_flow().conserved(), "{:?}", policy.retry_flow());
+        // Nothing can complete a promotion under total failure.
+        assert_eq!(sys.stats.promoted_pages, 0);
+    }
+
+    #[test]
+    fn poison_faults_are_abandoned_not_retried() {
+        let mut plan = FaultPlan::inert(13);
+        plan.copy_poison = 1.0;
+        let (sys, policy) = run_chrono_faulty(plan, 300);
+        let f = policy.retry_flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.failed, f.abandoned, "permanent faults never retry");
+        assert_eq!(f.retried, 0);
+        assert!(sys.stats.quarantined_frames >= sys.stats.poisoned_copy_faults);
+    }
+
+    #[test]
+    fn dcsc_degrades_to_semi_auto_after_starvation() {
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 192));
+        let pid = sys.add_process(16, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        let mut cfg = test_config();
+        cfg.dcsc_starved_rounds = 3;
+        let mut policy = ChronoPolicy::new(cfg);
+        // Warm-up starvation counts nothing, with or without damage.
+        policy.note_dcsc_outcome(&sys, false);
+        assert!(!policy.is_degraded());
+        policy.note_dcsc_outcome(&sys, true); // first successful tune
+                                              // Dry rounds without fault damage also count nothing.
+        for _ in 0..5 {
+            policy.note_dcsc_outcome(&sys, false);
+        }
+        assert!(!policy.is_degraded(), "fault-free runs must never degrade");
+        // Poison a resident frame: damage present, three dry rounds degrade.
+        let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
+        assert!(sys.poison_frame(TierId::Fast, pfn));
+        for _ in 0..3 {
+            policy.note_dcsc_outcome(&sys, false);
+        }
+        assert!(policy.is_degraded());
+        match policy.config().tuning {
+            TuningMode::SemiAuto { .. } => {}
+            ref other => panic!("degraded mode should be semi-auto, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn chrono_survives_canonical_fault_storm_within_throughput_margin() {
+        // The acceptance scenario: 1% transient copy faults, 0.01% poison,
+        // one mid-run 25% fast-tier shrink — Chrono must complete without
+        // panicking and keep FMAR within 15% of the fault-free run.
+        let healthy = run_chrono(test_config(), 400).0.stats.fmar();
+        let mut plan = FaultPlan::inert(0xC4A05);
+        plan.copy_transient = 0.01;
+        plan.copy_poison = 0.0001;
+        plan.capacity_events = vec![tiered_mem::CapacityEvent {
+            at: Nanos::from_millis(200),
+            kind: tiered_mem::CapacityKind::ShrinkFastFraction(0.25),
+        }];
+        let (sys, policy) = run_chrono_faulty(plan, 400);
+        let faulty = sys.stats.fmar();
+        assert!(
+            faulty >= healthy * 0.85,
+            "faulty FMAR {} fell more than 15% under fault-free {}",
+            faulty,
+            healthy
+        );
+        assert!(policy.retry_flow().conserved(), "{:?}", policy.retry_flow());
+        assert!(sys.stats.offlined_frames > 0, "shrink never fired");
     }
 }

@@ -1,0 +1,392 @@
+//! Migration-failure resilience: bounded-backoff retries and a promotion
+//! circuit breaker.
+//!
+//! The substrate's fault plan can fail migration copies transiently
+//! (retryable) or permanently (the destination frame is poisoned). The
+//! policy responds on two timescales:
+//!
+//! - A [`RetryPool`] re-attempts transiently failed promotions with bounded
+//!   exponential backoff, re-validating each entry against the *current*
+//!   CIT threshold before replay so stale entries age out instead of
+//!   promoting yesterday's hot set.
+//! - A [`MigrationBreaker`] watches the per-period migration-failure ratio
+//!   and pauses the promotion queue for a period when it trips — the same
+//!   measure/trip/recover shape as the Section 3.3 thrashing monitor, but
+//!   keyed on copy failures instead of re-promotions.
+//!
+//! Both are pure counters-and-queues: no clocks of their own, no RNG. In a
+//! fault-free run neither ever observes a failure, so neither perturbs the
+//! policy's behaviour or its determinism digests.
+
+use std::collections::BTreeMap;
+
+use sim_clock::Nanos;
+use tiered_mem::{ProcessId, Vpn};
+
+fn key(pid: ProcessId, vpn: Vpn) -> u64 {
+    (pid.0 as u64) << 32 | vpn.0 as u64
+}
+
+/// One promotion awaiting its backoff-delayed retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryEntry {
+    /// Owning process.
+    pub pid: ProcessId,
+    /// PTE page of the failed unit.
+    pub vpn: Vpn,
+    /// Base pages the promotion moves.
+    pub pages: u32,
+    /// Which retry this is (1 = first retry).
+    pub attempt: u32,
+    /// Earliest time the retry may be issued.
+    pub next_at: Nanos,
+}
+
+/// Flow-conservation snapshot of a [`RetryPool`].
+///
+/// Every recorded failure is accounted exactly once:
+/// `failed == retried + abandoned + pending`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryFlow {
+    /// Failure events ever recorded (one per failed copy, not per page).
+    pub failed: u64,
+    /// Failures whose retry was successfully re-issued.
+    pub retried: u64,
+    /// Failures given up on: permanent faults, attempt-budget exhaustion,
+    /// pool overflow, or re-validation rejects.
+    pub abandoned: u64,
+    /// Failures still waiting in the pool.
+    pub pending: u64,
+}
+
+impl RetryFlow {
+    /// Whether the flow balances: `failed == retried + abandoned + pending`.
+    pub fn conserved(&self) -> bool {
+        self.failed == self.retried + self.abandoned + self.pending
+    }
+}
+
+/// Bounded exponential-backoff retry pool for transiently failed promotions.
+#[derive(Debug)]
+pub struct RetryPool {
+    entries: Vec<RetryEntry>,
+    /// Attempts charged so far per page; survives a successful re-issue so
+    /// a page that keeps failing burns through its budget across rounds.
+    attempts: BTreeMap<u64, u32>,
+    failed: u64,
+    retried: u64,
+    abandoned: u64,
+    max_attempts: u32,
+    cap: usize,
+}
+
+impl RetryPool {
+    /// Creates a pool allowing `max_attempts` retries per page and holding
+    /// at most `cap` pending entries.
+    pub fn new(max_attempts: u32, cap: usize) -> RetryPool {
+        RetryPool {
+            entries: Vec::new(),
+            attempts: BTreeMap::new(),
+            failed: 0,
+            retried: 0,
+            abandoned: 0,
+            max_attempts,
+            cap,
+        }
+    }
+
+    /// Records a transient copy failure. Schedules a retry at
+    /// `now + base << (attempt-1)` and returns its attempt number, or
+    /// `None` (counted abandoned) when the page's attempt budget or the
+    /// pool capacity is exhausted.
+    pub fn record_failure(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        pages: u32,
+        now: Nanos,
+        base: Nanos,
+    ) -> Option<u32> {
+        self.failed += 1;
+        let k = key(pid, vpn);
+        let prior = self.attempts.get(&k).copied().unwrap_or(0);
+        if prior >= self.max_attempts || self.entries.len() >= self.cap {
+            self.abandoned += 1;
+            self.attempts.remove(&k);
+            return None;
+        }
+        let attempt = prior + 1;
+        self.attempts.insert(k, attempt);
+        let backoff = Nanos(base.as_nanos().saturating_mul(1 << (attempt - 1).min(32)));
+        self.entries.push(RetryEntry {
+            pid,
+            vpn,
+            pages,
+            attempt,
+            next_at: now + backoff,
+        });
+        Some(attempt)
+    }
+
+    /// Records a permanent failure (poisoned frame): counted failed and
+    /// immediately abandoned — there is nothing to retry onto.
+    pub fn record_permanent_failure(&mut self) {
+        self.failed += 1;
+        self.abandoned += 1;
+    }
+
+    /// Takes every entry whose backoff has elapsed, preserving insertion
+    /// order. The caller must settle each via [`RetryPool::mark_retried`],
+    /// [`RetryPool::mark_abandoned`], or [`RetryPool::defer`].
+    pub fn take_due(&mut self, now: Nanos) -> Vec<RetryEntry> {
+        let mut due = Vec::new();
+        let mut keep = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if e.next_at <= now {
+                due.push(e);
+            } else {
+                keep.push(e);
+            }
+        }
+        self.entries = keep;
+        due
+    }
+
+    /// A due entry's retry was re-issued.
+    pub fn mark_retried(&mut self, _e: RetryEntry) {
+        self.retried += 1;
+    }
+
+    /// A due entry failed re-validation or re-issue; its attempt history is
+    /// cleared so a future failure of the same page starts fresh.
+    pub fn mark_abandoned(&mut self, e: RetryEntry) {
+        self.abandoned += 1;
+        self.attempts.remove(&key(e.pid, e.vpn));
+    }
+
+    /// A due entry could not be issued yet (backpressure): push it back
+    /// with a new wake-up time, without charging an attempt.
+    pub fn defer(&mut self, mut e: RetryEntry, next_at: Nanos) {
+        e.next_at = next_at;
+        self.entries.push(e);
+    }
+
+    /// Entries currently waiting.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Flow snapshot (`failed == retried + abandoned + pending`).
+    pub fn flow(&self) -> RetryFlow {
+        RetryFlow {
+            failed: self.failed,
+            retried: self.retried,
+            abandoned: self.abandoned,
+            pending: self.entries.len() as u64,
+        }
+    }
+}
+
+/// A breaker state transition produced by [`MigrationBreaker::end_period`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerTransition {
+    /// `true` when the breaker just opened (promotions pause).
+    pub open: bool,
+    /// The failure ratio of the period that drove the transition.
+    pub failure_ratio: f64,
+}
+
+/// Per-period migration-failure circuit breaker.
+///
+/// Counts policy-issued migration attempts and copy failures within a tune
+/// period; trips open when the failure ratio exceeds the threshold over a
+/// minimum sample size, pausing the promotion queue. An open breaker sees a
+/// quiet period (no attempts issued) and closes again — a one-period pause
+/// per trip, mirroring the thrashing monitor's halve-for-a-period response.
+#[derive(Debug)]
+pub struct MigrationBreaker {
+    attempts: u64,
+    failures: u64,
+    open: bool,
+    total_trips: u64,
+    threshold: f64,
+    min_attempts: u64,
+}
+
+impl MigrationBreaker {
+    /// Creates a closed breaker tripping above `threshold` once a period
+    /// has at least `min_attempts` attempts.
+    pub fn new(threshold: f64, min_attempts: u64) -> MigrationBreaker {
+        MigrationBreaker {
+            attempts: 0,
+            failures: 0,
+            open: false,
+            total_trips: 0,
+            threshold,
+            min_attempts: min_attempts.max(1),
+        }
+    }
+
+    /// Records issued migration attempts.
+    pub fn record_attempts(&mut self, n: u64) {
+        self.attempts += n;
+    }
+
+    /// Records copy failures.
+    pub fn record_failures(&mut self, n: u64) {
+        self.failures += n;
+    }
+
+    /// Whether promotions are currently paused.
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// Times the breaker has tripped over its lifetime.
+    pub fn total_trips(&self) -> u64 {
+        self.total_trips
+    }
+
+    /// The current period's failure ratio (0 with no attempts).
+    pub fn ratio(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.attempts as f64
+        }
+    }
+
+    /// Ends the period: resets counters and returns a transition when the
+    /// breaker changed state.
+    pub fn end_period(&mut self) -> Option<BreakerTransition> {
+        let ratio = self.ratio();
+        let trip = self.attempts >= self.min_attempts && ratio > self.threshold;
+        self.attempts = 0;
+        self.failures = 0;
+        if trip && !self.open {
+            self.open = true;
+            self.total_trips += 1;
+            Some(BreakerTransition {
+                open: true,
+                failure_ratio: ratio,
+            })
+        } else if !trip && self.open {
+            self.open = false;
+            Some(BreakerTransition {
+                open: false,
+                failure_ratio: ratio,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> RetryPool {
+        RetryPool::new(3, 16)
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let mut p = pool();
+        let base = Nanos(100);
+        for (expect_attempt, expect_backoff) in [(1u32, 100u64), (2, 200), (3, 400)] {
+            let a = p
+                .record_failure(ProcessId(1), Vpn(7), 1, Nanos(1_000), base)
+                .unwrap();
+            assert_eq!(a, expect_attempt);
+            let due = p.take_due(Nanos(1_000 + expect_backoff));
+            assert_eq!(due.len(), 1, "attempt {} not due on time", a);
+            assert_eq!(due[0].next_at, Nanos(1_000 + expect_backoff));
+            p.mark_retried(due[0]);
+        }
+        // Fourth failure exhausts the budget.
+        assert_eq!(
+            p.record_failure(ProcessId(1), Vpn(7), 1, Nanos(1_000), base),
+            None
+        );
+        let f = p.flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.retried, 3);
+        assert_eq!(f.abandoned, 1);
+    }
+
+    #[test]
+    fn not_due_entries_stay_pending() {
+        let mut p = pool();
+        p.record_failure(ProcessId(0), Vpn(1), 1, Nanos(0), Nanos(500));
+        assert!(p.take_due(Nanos(499)).is_empty());
+        assert_eq!(p.pending(), 1);
+        assert_eq!(p.take_due(Nanos(500)).len(), 1);
+    }
+
+    #[test]
+    fn overflow_abandons() {
+        let mut p = RetryPool::new(3, 2);
+        for i in 0..3 {
+            p.record_failure(ProcessId(0), Vpn(i), 1, Nanos(0), Nanos(1));
+        }
+        let f = p.flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.pending, 2);
+        assert_eq!(f.abandoned, 1);
+    }
+
+    #[test]
+    fn permanent_failures_are_abandoned_immediately() {
+        let mut p = pool();
+        p.record_permanent_failure();
+        let f = p.flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.failed, 1);
+        assert_eq!(f.abandoned, 1);
+    }
+
+    #[test]
+    fn defer_keeps_flow_balanced() {
+        let mut p = pool();
+        p.record_failure(ProcessId(0), Vpn(1), 1, Nanos(0), Nanos(10));
+        let due = p.take_due(Nanos(10));
+        p.defer(due[0], Nanos(50));
+        assert!(p.flow().conserved(), "{:?}", p.flow());
+        assert!(p.take_due(Nanos(49)).is_empty());
+        let due = p.take_due(Nanos(50));
+        assert_eq!(due[0].attempt, 1, "deferral charges no attempt");
+        p.mark_abandoned(due[0]);
+        // Abandonment cleared the history: the next failure is attempt 1.
+        let a = p.record_failure(ProcessId(0), Vpn(1), 1, Nanos(60), Nanos(10));
+        assert_eq!(a, Some(1));
+    }
+
+    #[test]
+    fn breaker_trips_and_recovers() {
+        let mut b = MigrationBreaker::new(0.5, 4);
+        b.record_attempts(10);
+        b.record_failures(6);
+        let t = b.end_period().expect("must trip");
+        assert!(t.open);
+        assert!((t.failure_ratio - 0.6).abs() < 1e-12);
+        assert!(b.is_open());
+        assert_eq!(b.total_trips(), 1);
+        // Quiet period while open: closes again.
+        let t = b.end_period().expect("must close");
+        assert!(!t.open);
+        assert!(!b.is_open());
+        // Steady healthy periods produce no transitions.
+        b.record_attempts(10);
+        assert_eq!(b.end_period(), None);
+    }
+
+    #[test]
+    fn breaker_needs_minimum_samples() {
+        let mut b = MigrationBreaker::new(0.5, 8);
+        b.record_attempts(4);
+        b.record_failures(4); // 100% but only 4 samples
+        assert_eq!(b.end_period(), None);
+        assert!(!b.is_open());
+    }
+}

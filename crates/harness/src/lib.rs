@@ -19,4 +19,4 @@ pub mod runner;
 pub mod sink;
 pub mod verify;
 
-pub use runner::{PolicyKind, Scale, StandardRun};
+pub use runner::{FaultPlanKind, PolicyKind, Scale, StandardRun};

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! harness [--scale N] [--json DIR] [--trace DIR]
-//!         [--inflight-slots N] [--migration-backlog-cap MS] <experiment-id>...
+//!         [--inflight-slots N] [--migration-backlog-cap MS]
+//!         [--fault-plan canonical|storm|inert] [--fault-seed X]
+//!         <experiment-id>...
 //! harness list
 //! harness all
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-//!              [--self-test] [--migration-stress]
+//!              [--self-test] [--migration-stress] [--fault-storm]
 //! harness lint [--all] [--rules]
 //! harness model-check [--bless]
 //! ```
@@ -16,6 +18,14 @@
 //! migration engine (transactions in flight / queued copy milliseconds per
 //! destination channel) for every experiment run; past either bound
 //! policies see `MigrateError::Backpressure`.
+//!
+//! `--fault-plan` attaches a deterministic fault-injection plan to every
+//! experiment run: `canonical` is the paper's resilience scenario (1%
+//! transient copy faults, 0.01% poison, one mid-run 25% fast-tier shrink),
+//! `storm` is the high-rate fuzzing mix, `inert` wires the machinery up with
+//! zero probabilities. `--fault-seed` seeds the fault dice independently of
+//! the workload (default 0xFA17); same plan + same seed replays the exact
+//! same fault sequence.
 //!
 //! `--json DIR` writes per-scan-period counter rows (JSON + CSV) for every
 //! run; `--trace DIR` additionally dumps the bounded discrete-event ring as
@@ -90,6 +100,33 @@ fn main() {
         scale.migration = Some(migration);
     }
 
+    // Deterministic fault injection: attach a named plan to every run.
+    if let Some(pos) = args.iter().position(|a| a == "--fault-plan") {
+        let kind = args
+            .get(pos + 1)
+            .and_then(|v| harness::FaultPlanKind::parse(v))
+            .unwrap_or_else(|| {
+                eprintln!("--fault-plan requires one of: canonical, storm, inert");
+                std::process::exit(2);
+            });
+        scale.fault = Some(kind);
+        args.drain(pos..=pos + 1);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--fault-seed") {
+        let seed: u64 = args
+            .get(pos + 1)
+            .and_then(|v| match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            })
+            .unwrap_or_else(|| {
+                eprintln!("--fault-seed requires an integer");
+                std::process::exit(2);
+            });
+        scale.fault_seed = seed;
+        args.drain(pos..=pos + 1);
+    }
+
     let json_dir = take_dir_flag(&mut args, "--json");
     let trace_dir = take_dir_flag(&mut args, "--trace");
     sink::configure(json_dir, trace_dir);
@@ -120,7 +157,7 @@ fn main() {
             "verify"
         );
         println!(
-            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress]",
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm]",
             "fuzz"
         );
         println!(

@@ -2,7 +2,7 @@
 
 use chrono_core::{ChronoConfig, ChronoPolicy};
 use sim_clock::Nanos;
-use tiered_mem::{MigrationSpec, PageSize, SystemConfig, TieredSystem};
+use tiered_mem::{FaultPlan, MigrationSpec, PageSize, SystemConfig, TieredSystem};
 use tiering_policies::{
     autotiering::AutoTieringConfig, linux_nb::LinuxNbConfig, multiclock::MultiClockConfig,
     tpp::TppConfig, AutoTiering, DriverConfig, LinuxNumaBalancing, Memtis, MemtisConfig,
@@ -32,6 +32,46 @@ pub struct Scale {
     /// `--inflight-slots` / `--migration-backlog-cap` knobs); `None` keeps
     /// the library defaults.
     pub migration: Option<MigrationSpec>,
+    /// Fault-plan selection (the CLI `--fault-plan` knob); `None` runs
+    /// fault-free. Materialized per run because the canonical plan schedules
+    /// its capacity shrink relative to the run length.
+    pub fault: Option<FaultPlanKind>,
+    /// Seed for the fault plan's private RNG (the CLI `--fault-seed` knob).
+    pub fault_seed: u64,
+}
+
+/// The named fault plans the CLI can attach to every experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanKind {
+    /// The acceptance-bar chaos plan: 1 % transient copy failure, 0.01 %
+    /// poison, one 25 % fast-tier shrink at the middle of the run.
+    Canonical,
+    /// High-rate storm (fuzz-grade probabilities, no capacity events).
+    Storm,
+    /// Plan attached but inert: no probabilistic faults, no events. Useful
+    /// to confirm the fault plumbing itself does not perturb digests.
+    Inert,
+}
+
+impl FaultPlanKind {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<FaultPlanKind> {
+        match name {
+            "canonical" => Some(FaultPlanKind::Canonical),
+            "storm" => Some(FaultPlanKind::Storm),
+            "inert" => Some(FaultPlanKind::Inert),
+            _ => None,
+        }
+    }
+
+    /// Materializes the plan for a run of length `run_for`.
+    pub fn materialize(&self, seed: u64, run_for: Nanos) -> FaultPlan {
+        match self {
+            FaultPlanKind::Canonical => FaultPlan::canonical(seed, run_for),
+            FaultPlanKind::Storm => FaultPlan::storm(seed),
+            FaultPlanKind::Inert => FaultPlan::inert(seed),
+        }
+    }
 }
 
 impl Scale {
@@ -45,6 +85,8 @@ impl Scale {
             run_for: Nanos::from_millis(1500),
             memtis_sample_period: 8192,
             migration: None,
+            fault: None,
+            fault_seed: 0xFA17,
         }
     }
 
@@ -225,9 +267,16 @@ pub fn run_policy<F>(
 where
     F: FnOnce() -> Vec<Box<dyn Workload>>,
 {
+    let cfg = driver_cfg.unwrap_or(DriverConfig {
+        run_for: scale.run_for,
+        ..Default::default()
+    });
     let mut sys_cfg = SystemConfig::quarter_fast(total_frames);
     if let Some(m) = &scale.migration {
         sys_cfg.migration = m.clone();
+    }
+    if let Some(fault) = &scale.fault {
+        sys_cfg.fault_plan = Some(fault.materialize(scale.fault_seed, cfg.run_for));
     }
     let mut sys = TieredSystem::new(sys_cfg);
     crate::sink::arm(&mut sys);
@@ -236,10 +285,6 @@ where
         sys.add_process(w.address_space_pages(), page_size);
     }
     let mut policy = kind.build(scale);
-    let cfg = driver_cfg.unwrap_or(DriverConfig {
-        run_for: scale.run_for,
-        ..Default::default()
-    });
     let result = SimulationDriver::new(cfg).run(&mut sys, &mut wls, &mut *policy);
     crate::sink::finish_run(kind.name(), &sys);
     StandardRun {
@@ -286,5 +331,55 @@ mod tests {
     fn scale_multiplier_extends_runs() {
         let s = Scale::default_scale().with_run_multiplier(3);
         assert_eq!(s.run_for, Nanos::from_millis(4500));
+    }
+
+    #[test]
+    fn fault_plan_kinds_parse_and_materialize() {
+        assert_eq!(
+            FaultPlanKind::parse("canonical"),
+            Some(FaultPlanKind::Canonical)
+        );
+        assert_eq!(FaultPlanKind::parse("storm"), Some(FaultPlanKind::Storm));
+        assert_eq!(FaultPlanKind::parse("inert"), Some(FaultPlanKind::Inert));
+        assert_eq!(FaultPlanKind::parse("chaos"), None);
+        let p = FaultPlanKind::Canonical.materialize(9, Nanos::from_millis(100));
+        assert_eq!(p.capacity_events.len(), 1);
+        assert_eq!(p.capacity_events[0].at, Nanos::from_millis(50));
+        assert!(
+            FaultPlanKind::Inert
+                .materialize(9, Nanos::ZERO)
+                .copy_transient
+                == 0.0
+        );
+    }
+
+    #[test]
+    fn fault_plan_knob_attaches_to_runs() {
+        // Compress the scan period so the short run spans many scan rounds —
+        // the storm plan can only fire on migrations the policy issues.
+        let scale = Scale {
+            scan_period: Nanos::from_millis(5),
+            run_for: Nanos::from_millis(40),
+            fault: Some(FaultPlanKind::Storm),
+            ..Scale::default_scale()
+        };
+        let run = run_policy(
+            PolicyKind::Chrono,
+            &scale,
+            2048,
+            PageSize::Base,
+            None,
+            || {
+                vec![Box::new(PmbenchWorkload::new(PmbenchConfig::paper_skewed(
+                    1024, 0.7, 1,
+                )))]
+            },
+        );
+        assert!(run.result.accesses > 0);
+        let s = &run.sys.stats;
+        assert!(
+            s.transient_copy_faults + s.poisoned_copy_faults > 0,
+            "storm plan never fired a copy fault"
+        );
     }
 }

@@ -4,7 +4,7 @@
 //! ```text
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-//!              [--self-test] [--migration-stress]
+//!              [--self-test] [--migration-stress] [--fault-storm]
 //! ```
 //!
 //! `verify` runs the differential determinism check for every policy, the
@@ -16,11 +16,15 @@
 //! it. `--migration-stress` switches to the migration-heavy profile:
 //! write-dominated access mixes over tiny in-flight tables, so the
 //! write-abort, split-abort and `Backpressure` paths fire constantly.
+//! `--fault-storm` switches to the fault-injection profile: every case
+//! carries a storm-rate `FaultPlan` and the op mix adds frame poisoning,
+//! capacity shrink/grow and channel-degradation windows, so the quarantine,
+//! soft-offline and watermark-rescale paths run under the oracle.
 
 use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
 use tiering_verify::{
-    bless_goldens, check_goldens, determinism_digests, fuzz_one, fuzz_one_stress, metamorphic,
-    GoldenStatus, ALL_POLICIES,
+    bless_goldens, check_goldens, determinism_digests, fuzz_one, fuzz_one_fault_storm,
+    fuzz_one_stress, metamorphic, GoldenStatus, ALL_POLICIES,
 };
 
 /// Parses `--flag N` out of `args`; returns the default when absent.
@@ -117,12 +121,24 @@ pub fn run_verify(mut args: Vec<String>) -> i32 {
 }
 
 /// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-/// [--self-test] [--migration-stress]`. Returns the process exit code.
+/// [--self-test] [--migration-stress] [--fault-storm]`. Returns the process
+/// exit code.
 pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let stress = take_bool_flag(&mut args, "--migration-stress");
+    let fault_storm = take_bool_flag(&mut args, "--fault-storm");
+    if stress && fault_storm {
+        eprintln!("fuzz: --migration-stress and --fault-storm are mutually exclusive");
+        return 2;
+    }
     let seeds = take_u64_flag(&mut args, "--seeds", 256);
     let ops = take_u64_flag(&mut args, "--ops", 4000) as usize;
-    let default_base = if stress { 0x57E5_5000 } else { 0x5EED_0000 };
+    let default_base = if stress {
+        0x57E5_5000
+    } else if fault_storm {
+        0xFA17_0000
+    } else {
+        0x5EED_0000
+    };
     let seed_base = take_u64_flag(&mut args, "--seed-base", default_base);
     let replay = if args.iter().any(|a| a == "--replay") {
         Some(take_u64_flag(&mut args, "--replay", 0))
@@ -144,11 +160,19 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let run_case = |seed, ops| {
         if stress {
             fuzz_one_stress(seed, ops)
+        } else if fault_storm {
+            fuzz_one_fault_storm(seed, ops)
         } else {
             fuzz_one(seed, ops)
         }
     };
-    let profile = if stress { "migration-stress " } else { "" };
+    let profile = if stress {
+        "migration-stress "
+    } else if fault_storm {
+        "fault-storm "
+    } else {
+        ""
+    };
     let code = if self_test {
         run_self_test(seed_base, ops)
     } else if let Some(seed) = replay {

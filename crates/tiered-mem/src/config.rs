@@ -2,6 +2,7 @@
 
 use sim_clock::Nanos;
 
+use crate::fault::FaultPlan;
 use crate::tier::TierSpec;
 
 /// Fixed CPU costs of kernel-side mechanisms, in simulated time.
@@ -95,6 +96,11 @@ pub struct SystemConfig {
     pub swap: SwapSpec,
     /// Two-phase migration engine admission control.
     pub migration: MigrationSpec,
+    /// Optional deterministic fault plan (copy faults, frame poisoning,
+    /// capacity hotplug, channel degradation). `None` — the default — means
+    /// a perfect substrate: zero extra branches, zero RNG draws, digests
+    /// unchanged.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -108,6 +114,7 @@ impl SystemConfig {
             cost: CostModel::default(),
             swap: SwapSpec::default(),
             migration: MigrationSpec::default(),
+            fault_plan: None,
         }
     }
 
@@ -119,6 +126,7 @@ impl SystemConfig {
             cost: CostModel::default(),
             swap: SwapSpec::default(),
             migration: MigrationSpec::default(),
+            fault_plan: None,
         }
     }
 

@@ -1,0 +1,284 @@
+//! Deterministic fault injection: seeded fault plans for the substrate.
+//!
+//! Real tiered systems are defined by how they behave when the substrate
+//! stops being perfect: copies fail mid-flight, frames take uncorrectable
+//! errors, tier capacity changes under the policy's feet, and interconnect
+//! bandwidth degrades. A [`FaultPlan`] injects all four, driven entirely by
+//! the sim-clock [`DetRng`] and the virtual clock — never wall time — so a
+//! faulty run is exactly as replayable as a clean one: same plan + same
+//! seed ⇒ byte-identical trace digests.
+//!
+//! The plan is strictly opt-in: with `SystemConfig::fault_plan == None` the
+//! substrate draws zero random numbers and takes zero extra branches on the
+//! hot paths, so every fault-free digest is unchanged.
+
+use sim_clock::{DetRng, Nanos};
+
+use crate::tier::TierId;
+
+/// A scheduled hotplug-style capacity event on the fast tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityEvent {
+    /// Virtual time at which the event fires.
+    pub at: Nanos,
+    /// What happens.
+    pub kind: CapacityKind,
+}
+
+/// The two hotplug directions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CapacityKind {
+    /// Offline this fraction (0..1) of the fast tier's current usable
+    /// frames. Frames come out of the free pool; if the pool is short the
+    /// shrink takes what it can now and the rest as demotion frees more.
+    ShrinkFastFraction(f64),
+    /// Bring up to this many previously offlined frames back online.
+    GrowFastFrames(u32),
+}
+
+/// A window during which one tier's migration-copy bandwidth is degraded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeWindow {
+    /// The destination tier whose copy channel degrades.
+    pub tier: TierId,
+    /// Window start (inclusive).
+    pub from: Nanos,
+    /// Window end (exclusive).
+    pub until: Nanos,
+    /// Copy-cost multiplier while active (`>= 1.0`; 4.0 means the channel
+    /// runs at a quarter of its healthy bandwidth).
+    pub cost_multiplier: f64,
+}
+
+/// A deterministic fault plan. See the module docs; attach one via
+/// [`crate::SystemConfig::fault_plan`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's private [`DetRng`] (independent of every other
+    /// RNG in the system so enabling faults perturbs nothing else).
+    pub seed: u64,
+    /// Probability that a due migration copy fails transiently (retryable:
+    /// the reservation is released, the source copy stays authoritative).
+    pub copy_transient: f64,
+    /// Probability that a due migration copy fails permanently: one
+    /// destination frame goes bad and is quarantined.
+    pub copy_poison: f64,
+    /// Scheduled capacity events, in firing order.
+    pub capacity_events: Vec<CapacityEvent>,
+    /// Channel degradation windows.
+    pub degrade_windows: Vec<DegradeWindow>,
+}
+
+impl FaultPlan {
+    /// An inert plan: no probabilistic faults, no scheduled events. Useful
+    /// as a base for builder-style construction and for tests that drive
+    /// faults through the explicit APIs only.
+    pub fn inert(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            copy_transient: 0.0,
+            copy_poison: 0.0,
+            capacity_events: Vec::new(),
+            degrade_windows: Vec::new(),
+        }
+    }
+
+    /// The canonical chaos plan of the acceptance bar: 1 % transient copy
+    /// failure, 0.01 % poison, and one 25 % fast-tier shrink at the middle
+    /// of a `run_for`-long run.
+    pub fn canonical(seed: u64, run_for: Nanos) -> FaultPlan {
+        FaultPlan {
+            seed,
+            copy_transient: 0.01,
+            copy_poison: 0.0001,
+            capacity_events: vec![CapacityEvent {
+                at: Nanos(run_for.as_nanos() / 2),
+                kind: CapacityKind::ShrinkFastFraction(0.25),
+            }],
+            degrade_windows: Vec::new(),
+        }
+    }
+
+    /// A high-rate storm plan for fuzzing: every fault class fires often
+    /// enough that a few thousand ops exercise all of them.
+    pub fn storm(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            copy_transient: 0.2,
+            copy_poison: 0.05,
+            capacity_events: Vec::new(),
+            degrade_windows: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of one copy-fault roll at migration-completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyFault {
+    /// The copy succeeded.
+    None,
+    /// The copy failed transiently; a retry may succeed.
+    Transient,
+    /// The copy failed permanently; a destination frame went bad.
+    Poison,
+}
+
+/// Live fault-injection state: the plan plus its RNG and event cursor.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: DetRng,
+    next_event: usize,
+}
+
+impl FaultState {
+    /// Instantiates a plan (sorts its capacity events by firing time).
+    pub fn new(mut plan: FaultPlan) -> FaultState {
+        plan.capacity_events.sort_by_key(|e| e.at);
+        FaultState {
+            rng: DetRng::seed(plan.seed ^ 0x000F_A017_5EED),
+            plan,
+            next_event: 0,
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Rolls the copy-fault dice for one due migration. Draws from the RNG
+    /// only when the corresponding probability is non-zero, so an inert
+    /// plan consumes no randomness.
+    pub fn roll_copy_fault(&mut self) -> CopyFault {
+        if self.plan.copy_poison > 0.0 && self.rng.chance(self.plan.copy_poison) {
+            return CopyFault::Poison;
+        }
+        if self.plan.copy_transient > 0.0 && self.rng.chance(self.plan.copy_transient) {
+            return CopyFault::Transient;
+        }
+        CopyFault::None
+    }
+
+    /// Pops every capacity event due at or before `now`, in firing order.
+    pub fn due_capacity_events(&mut self, now: Nanos) -> Vec<CapacityEvent> {
+        let mut due = Vec::new();
+        while let Some(e) = self.plan.capacity_events.get(self.next_event) {
+            if e.at > now {
+                break;
+            }
+            due.push(*e);
+            self.next_event += 1;
+        }
+        due
+    }
+
+    /// Adds a degradation window at runtime (fuzz ops, procfs-style knobs).
+    pub fn add_degrade_window(&mut self, w: DegradeWindow) {
+        self.plan.degrade_windows.push(w);
+    }
+
+    /// The copy-cost multiplier for a destination tier at `now` (product of
+    /// all active windows; 1.0 when the channel is healthy).
+    pub fn cost_multiplier(&self, tier: TierId, now: Nanos) -> f64 {
+        let mut m = 1.0;
+        for w in &self.plan.degrade_windows {
+            if w.tier == tier && w.from <= now && now < w.until {
+                m *= w.cost_multiplier.max(1.0);
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_rolls_no_faults_and_draws_nothing() {
+        let mut a = FaultState::new(FaultPlan::inert(7));
+        let fresh = FaultState::new(FaultPlan::inert(7));
+        for _ in 0..100 {
+            assert_eq!(a.roll_copy_fault(), CopyFault::None);
+        }
+        // Zero-probability rolls consumed no randomness: the RNG stream is
+        // still byte-identical to a fresh state's.
+        let mut b = fresh;
+        a.plan.copy_transient = 1.0;
+        b.plan.copy_transient = 1.0;
+        for _ in 0..32 {
+            assert_eq!(a.roll_copy_fault(), b.roll_copy_fault());
+        }
+    }
+
+    #[test]
+    fn fault_rolls_are_deterministic_per_seed() {
+        let roll = |seed| {
+            let mut s = FaultState::new(FaultPlan::storm(seed));
+            (0..256).map(|_| s.roll_copy_fault()).collect::<Vec<_>>()
+        };
+        assert_eq!(roll(1), roll(1));
+        assert_ne!(roll(1), roll(2));
+        let outcomes = roll(1);
+        assert!(outcomes.contains(&CopyFault::Transient));
+        assert!(outcomes.contains(&CopyFault::Poison));
+        assert!(outcomes.contains(&CopyFault::None));
+    }
+
+    #[test]
+    fn capacity_events_fire_in_time_order_once() {
+        let mut plan = FaultPlan::inert(0);
+        plan.capacity_events = vec![
+            CapacityEvent {
+                at: Nanos(200),
+                kind: CapacityKind::GrowFastFrames(8),
+            },
+            CapacityEvent {
+                at: Nanos(100),
+                kind: CapacityKind::ShrinkFastFraction(0.5),
+            },
+        ];
+        let mut s = FaultState::new(plan);
+        assert!(s.due_capacity_events(Nanos(50)).is_empty());
+        let due = s.due_capacity_events(Nanos(150));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, Nanos(100));
+        let due = s.due_capacity_events(Nanos(10_000));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, Nanos(200));
+        assert!(s.due_capacity_events(Nanos(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn degrade_windows_compose_and_expire() {
+        let mut s = FaultState::new(FaultPlan::inert(0));
+        s.add_degrade_window(DegradeWindow {
+            tier: TierId::Fast,
+            from: Nanos(100),
+            until: Nanos(200),
+            cost_multiplier: 2.0,
+        });
+        s.add_degrade_window(DegradeWindow {
+            tier: TierId::Fast,
+            from: Nanos(150),
+            until: Nanos(300),
+            cost_multiplier: 3.0,
+        });
+        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(50)), 1.0);
+        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(120)), 2.0);
+        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(160)), 6.0);
+        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(250)), 3.0);
+        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(300)), 1.0);
+        assert_eq!(s.cost_multiplier(TierId::Slow, Nanos(160)), 1.0);
+    }
+
+    #[test]
+    fn canonical_plan_matches_acceptance_bar() {
+        let p = FaultPlan::canonical(9, Nanos::from_millis(100));
+        assert!((p.copy_transient - 0.01).abs() < 1e-12);
+        assert!((p.copy_poison - 0.0001).abs() < 1e-12);
+        assert_eq!(p.capacity_events.len(), 1);
+        assert_eq!(p.capacity_events[0].at, Nanos::from_millis(50));
+    }
+}

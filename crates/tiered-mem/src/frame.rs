@@ -1,5 +1,7 @@
 //! Per-tier physical frame allocation with reverse mapping.
 
+use std::collections::BTreeSet;
+
 use crate::addr::{Pfn, ProcessId, Vpn};
 
 /// Reverse-map record: which virtual page owns a frame.
@@ -20,6 +22,13 @@ pub struct FrameOwner {
 pub struct FrameTable {
     owners: Vec<Option<FrameOwner>>,
     free: Vec<u32>,
+    /// Frames permanently retired after an uncorrectable error. Quarantined
+    /// frames are out of every pool: never free, never allocatable, never
+    /// counted usable again.
+    quarantined: BTreeSet<u32>,
+    /// Frames taken out of service by a capacity-shrink (hotplug) event;
+    /// a grow event brings them back, most recently offlined first.
+    offlined: Vec<u32>,
 }
 
 impl FrameTable {
@@ -30,12 +39,22 @@ impl FrameTable {
             // Pop from the back; reversing makes allocation order ascending,
             // which is convenient for debugging and deterministic.
             free: (0..frames).rev().collect(),
+            quarantined: BTreeSet::new(),
+            offlined: Vec::new(),
         }
     }
 
-    /// Total number of frames in the tier.
+    /// Total number of frames ever provisioned, including quarantined and
+    /// offlined ones (the conservation denominator:
+    /// `used + free + quarantined + offlined == total`).
     pub fn total(&self) -> u32 {
         self.owners.len() as u32
+    }
+
+    /// Frames currently in service: total minus quarantined minus offlined.
+    /// This is the "tier size" watermarks and allocation policy see.
+    pub fn usable_frames(&self) -> u32 {
+        self.total() - self.quarantined_frames() - self.offlined_frames()
     }
 
     /// Number of currently free frames.
@@ -45,7 +64,92 @@ impl FrameTable {
 
     /// Number of currently allocated frames.
     pub fn used_frames(&self) -> u32 {
-        self.total() - self.free_frames()
+        self.usable_frames() - self.free_frames()
+    }
+
+    /// Number of permanently quarantined frames.
+    pub fn quarantined_frames(&self) -> u32 {
+        self.quarantined.len() as u32
+    }
+
+    /// Number of frames currently offlined by capacity shrink.
+    pub fn offlined_frames(&self) -> u32 {
+        self.offlined.len() as u32
+    }
+
+    /// Whether a frame sits in the quarantine pool.
+    pub fn is_quarantined(&self, pfn: Pfn) -> bool {
+        self.quarantined.contains(&pfn.0)
+    }
+
+    /// Whether a frame sits on the free list (linear scan; diagnostic and
+    /// oracle use only, not a hot path).
+    pub fn is_free(&self, pfn: Pfn) -> bool {
+        self.free.contains(&pfn.0)
+    }
+
+    /// The quarantined frame numbers, ascending (oracle walks).
+    pub fn quarantined_pfns(&self) -> impl Iterator<Item = Pfn> + '_ {
+        self.quarantined.iter().map(|&i| Pfn(i))
+    }
+
+    /// Permanently retires a *free* frame after an uncorrectable error.
+    /// The caller unmaps/releases the frame first (soft-offline migrates
+    /// the resident page away; reservation release frees a copy target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is not currently free — quarantining a mapped or
+    /// already-quarantined frame is a simulator bug.
+    pub fn quarantine(&mut self, pfn: Pfn) {
+        let before = self.free.len();
+        self.free.retain(|&i| i != pfn.0);
+        assert_eq!(
+            before,
+            self.free.len() + 1,
+            "quarantine of non-free frame {:?}",
+            pfn
+        );
+        self.quarantined.insert(pfn.0);
+    }
+
+    /// Moves a specific offlined frame straight into quarantine (poison
+    /// landing on an out-of-service frame must keep a later grow event from
+    /// reviving it). Returns whether the frame was in the offlined pool.
+    pub fn quarantine_offlined(&mut self, pfn: Pfn) -> bool {
+        let before = self.offlined.len();
+        self.offlined.retain(|&i| i != pfn.0);
+        if self.offlined.len() == before {
+            return false;
+        }
+        self.quarantined.insert(pfn.0);
+        true
+    }
+
+    /// Takes up to `n` free frames out of service (capacity shrink);
+    /// returns how many were actually offlined (bounded by the free count).
+    pub fn offline_free_frames(&mut self, n: u32) -> u32 {
+        let mut taken = 0;
+        while taken < n {
+            let Some(idx) = self.free.pop() else { break };
+            self.offlined.push(idx);
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Brings up to `n` offlined frames back into service (capacity grow);
+    /// returns how many came back.
+    pub fn online_frames(&mut self, n: u32) -> u32 {
+        let mut restored = 0;
+        while restored < n {
+            let Some(idx) = self.offlined.pop() else {
+                break;
+            };
+            self.free.push(idx);
+            restored += 1;
+        }
+        restored
     }
 
     /// Allocates one frame for the given owner, or `None` if the tier is full.
@@ -154,5 +258,57 @@ mod tests {
         }
         assert_eq!(t.used_frames() + t.free_frames(), t.total());
         assert_eq!(t.used_frames(), 4);
+    }
+
+    #[test]
+    fn quarantined_frame_is_never_reallocated() {
+        let mut t = FrameTable::new(2);
+        let a = t.alloc(owner(0, 0)).unwrap();
+        t.free(a);
+        t.quarantine(a);
+        assert!(t.is_quarantined(a));
+        assert_eq!(t.quarantined_frames(), 1);
+        assert_eq!(t.usable_frames(), 1);
+        // Drain the pool: the quarantined frame must never come back.
+        while let Some(p) = t.alloc(owner(0, 9)) {
+            assert_ne!(p, a, "quarantined frame was handed out");
+        }
+        assert_eq!(
+            t.used_frames() + t.free_frames() + t.quarantined_frames() + t.offlined_frames(),
+            t.total()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quarantine of non-free frame")]
+    fn quarantine_of_mapped_frame_panics() {
+        let mut t = FrameTable::new(1);
+        let a = t.alloc(owner(0, 0)).unwrap();
+        t.quarantine(a);
+    }
+
+    #[test]
+    fn offline_and_online_roundtrip() {
+        let mut t = FrameTable::new(8);
+        for i in 0..3 {
+            t.alloc(owner(0, i)).unwrap();
+        }
+        assert_eq!(t.offline_free_frames(4), 4);
+        assert_eq!(t.usable_frames(), 4);
+        assert_eq!(t.free_frames(), 1);
+        assert_eq!(t.used_frames(), 3);
+        // Can't offline more than the free pool holds.
+        assert_eq!(t.offline_free_frames(10), 1);
+        assert_eq!(t.free_frames(), 0);
+        assert_eq!(
+            t.used_frames() + t.free_frames() + t.quarantined_frames() + t.offlined_frames(),
+            t.total()
+        );
+        assert_eq!(t.online_frames(2), 2);
+        assert_eq!(t.free_frames(), 2);
+        assert_eq!(t.usable_frames(), 5);
+        // Only what was offlined can come back.
+        assert_eq!(t.online_frames(100), 3);
+        assert_eq!(t.usable_frames(), 8);
     }
 }

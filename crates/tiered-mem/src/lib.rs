@@ -27,6 +27,7 @@
 
 pub mod addr;
 pub mod config;
+pub mod fault;
 pub mod frame;
 pub mod lru;
 pub mod migration;
@@ -39,6 +40,7 @@ pub mod watermark;
 
 pub use addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 pub use config::{CostModel, MigrationSpec, SwapSpec, SystemConfig};
+pub use fault::{CapacityEvent, CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState};
 pub use frame::{FrameOwner, FrameTable};
 pub use lru::{LruEntry, LruKind, LruLists};
 pub use migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
@@ -46,7 +48,8 @@ pub use page::{PageEntry, PageFlags};
 pub use space::AddressSpace;
 pub use stats::SystemStats;
 pub use system::{
-    scan_budget_pages, AccessResult, MigrateError, MigrateMode, Process, TieredSystem,
+    scan_budget_pages, AccessResult, MigrateError, MigrateMode, MigrationFailure, Process,
+    TieredSystem,
 };
 pub use tier::{TierId, TierSpec};
 pub use watermark::Watermarks;

@@ -44,9 +44,12 @@ impl PageFlags {
     /// A two-phase migration transaction is in flight for this mapping unit
     /// (set on the head page at `begin_migrate`, cleared on complete/abort).
     pub const MIGRATING: u16 = 1 << 13;
+    /// The frame under this mapping unit took an uncorrectable error; the
+    /// page awaits soft-offline (migrate away, then quarantine the frame).
+    pub const POISONED: u16 = 1 << 14;
 
-    /// Number of defined flag bits ([`PageFlags::MIGRATING`] is the highest).
-    pub const BITS: u32 = 14;
+    /// Number of defined flag bits ([`PageFlags::POISONED`] is the highest).
+    pub const BITS: u32 = 15;
     /// Mask covering every defined flag bit.
     pub const MASK: u16 = (1 << Self::BITS) - 1;
     /// Display names of the defined flag bits, indexed by bit position.
@@ -65,6 +68,7 @@ impl PageFlags {
         "POLICY_BIT",
         "SWAPPED",
         "MIGRATING",
+        "POISONED",
     ];
 
     /// Constructs a flag word from raw bits. Bits above [`PageFlags::MASK`]

@@ -29,8 +29,9 @@ pub struct SystemStats {
     pub failed_demotions: u64,
     /// Failed fast-tier (promotion) migrate attempts by reason, indexed by
     /// `MigrateError::index` (not_present, same_tier, no_space,
-    /// backpressure). The `no_space` cell mirrors `failed_promotions`.
-    pub failed_fast_migrations: [u64; 4],
+    /// backpressure, copy_fault, poisoned). The `no_space` cell mirrors
+    /// `failed_promotions`.
+    pub failed_fast_migrations: [u64; 6],
     /// Migration transactions opened by `begin_migrate`.
     pub begun_migrations: u64,
     /// Migration transactions retired (PTE flipped to the reserved frames).
@@ -54,6 +55,19 @@ pub struct SystemStats {
     pub swapped_out_pages: u64,
     /// Major faults served from the swap device.
     pub swap_in_faults: u64,
+    /// Due migration copies that failed transiently (fault injection); the
+    /// transaction was released and the source copy stayed authoritative.
+    pub transient_copy_faults: u64,
+    /// Due migration copies that failed permanently, poisoning one
+    /// destination frame (fault injection).
+    pub poisoned_copy_faults: u64,
+    /// Frames permanently quarantined after uncorrectable errors (both the
+    /// copy-poison and resident-frame-poison paths).
+    pub quarantined_frames: u64,
+    /// Frames taken offline by capacity-shrink (hotplug) events, lifetime.
+    pub offlined_frames: u64,
+    /// Frames brought back online by capacity-grow events, lifetime.
+    pub restored_frames: u64,
 }
 
 impl SystemStats {
@@ -126,6 +140,8 @@ impl SystemStats {
                 self.failed_fast_migrations[1] - earlier.failed_fast_migrations[1],
                 self.failed_fast_migrations[2] - earlier.failed_fast_migrations[2],
                 self.failed_fast_migrations[3] - earlier.failed_fast_migrations[3],
+                self.failed_fast_migrations[4] - earlier.failed_fast_migrations[4],
+                self.failed_fast_migrations[5] - earlier.failed_fast_migrations[5],
             ],
             begun_migrations: self.begun_migrations - earlier.begun_migrations,
             completed_migrations: self.completed_migrations - earlier.completed_migrations,
@@ -138,6 +154,11 @@ impl SystemStats {
             thrash_events: self.thrash_events - earlier.thrash_events,
             swapped_out_pages: self.swapped_out_pages - earlier.swapped_out_pages,
             swap_in_faults: self.swap_in_faults - earlier.swap_in_faults,
+            transient_copy_faults: self.transient_copy_faults - earlier.transient_copy_faults,
+            poisoned_copy_faults: self.poisoned_copy_faults - earlier.poisoned_copy_faults,
+            quarantined_frames: self.quarantined_frames - earlier.quarantined_frames,
+            offlined_frames: self.offlined_frames - earlier.offlined_frames,
+            restored_frames: self.restored_frames - earlier.restored_frames,
         }
     }
 }

@@ -9,8 +9,9 @@
 use sim_clock::{Clock, EventQueue, Nanos};
 use tiering_trace::{MigrateDir, PeriodSample, PolicyTraceState, TraceEvent, Tracer};
 
-use crate::addr::{PageSize, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
+use crate::addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 use crate::config::SystemConfig;
+use crate::fault::{CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState};
 use crate::frame::{FrameOwner, FrameTable};
 use crate::lru::{LruEntry, LruKind, LruLists};
 use crate::migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
@@ -80,14 +81,28 @@ pub enum MigrateError {
     /// destination channel's backlog cap are exhausted, or the unit already
     /// has a transaction in flight.
     Backpressure,
+    /// The copy failed transiently (fault injection). The reservation was
+    /// released and the source mapping stayed authoritative; a retry of the
+    /// same migration may succeed.
+    CopyFault,
+    /// The copy failed permanently (fault injection): one destination frame
+    /// took an uncorrectable error and was quarantined. The source mapping
+    /// stayed authoritative; a retry lands on different frames.
+    Poisoned,
 }
 
 impl MigrateError {
     /// Number of failure reasons (size of per-reason counter tables).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
     /// Reason names, indexed by [`MigrateError::index`].
-    pub const REASONS: [&'static str; Self::COUNT] =
-        ["not_present", "same_tier", "no_space", "backpressure"];
+    pub const REASONS: [&'static str; Self::COUNT] = [
+        "not_present",
+        "same_tier",
+        "no_space",
+        "backpressure",
+        "copy_fault",
+        "poisoned",
+    ];
 
     /// Dense index for per-reason counter tables
     /// ([`SystemStats::failed_fast_migrations`]).
@@ -98,8 +113,28 @@ impl MigrateError {
             MigrateError::SameTier => 1,
             MigrateError::NoSpace => 2,
             MigrateError::Backpressure => 3,
+            MigrateError::CopyFault => 4,
+            MigrateError::Poisoned => 5,
         }
     }
+}
+
+/// Record of an asynchronously failed migration, reported at completion
+/// time when the original caller is long gone. Policies drain these via
+/// [`TieredSystem::take_migration_failures`] and decide whether to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationFailure {
+    /// Owning process of the failed unit.
+    pub pid: ProcessId,
+    /// Head page of the unit that failed to move.
+    pub head: Vpn,
+    /// Base pages the transaction covered.
+    pub unit: u32,
+    /// Destination tier the copy was headed to.
+    pub to: TierId,
+    /// Why it failed ([`MigrateError::CopyFault`] or
+    /// [`MigrateError::Poisoned`]).
+    pub reason: MigrateError,
 }
 
 /// Whose time a migration is charged to.
@@ -136,6 +171,16 @@ pub struct TieredSystem {
     engine: MigrationEngine,
     /// Per-tier device-contention state.
     contention: [TierLoad; 2],
+    /// Deterministic fault injection, present only when the config carries a
+    /// [`FaultPlan`]. `None` means zero extra RNG draws and zero fault
+    /// branches taken on the hot paths.
+    fault: Option<FaultState>,
+    /// Migrations that failed at completion time (the caller is gone);
+    /// drained by policies via [`TieredSystem::take_migration_failures`].
+    failed_async: Vec<MigrationFailure>,
+    /// Fast-tier frames a capacity shrink still owes: the free pool was
+    /// short at event time, so the remainder is taken as frames free up.
+    shrink_debt: u32,
 }
 
 /// Sliding-window utilization tracker for one tier's memory device.
@@ -210,8 +255,11 @@ impl TieredSystem {
             lru: [LruLists::new(), LruLists::new()],
             procs: Vec::new(),
             engine: MigrationEngine::new(cfg.migration.clone()),
+            fault: cfg.fault_plan.clone().map(FaultState::new),
             cfg,
             contention: [TierLoad::new(), TierLoad::new()],
+            failed_async: Vec::new(),
+            shrink_debt: 0,
         }
     }
 
@@ -248,6 +296,9 @@ impl TieredSystem {
             fast_used_frames: self.used_frames(TierId::Fast) as u64,
             slow_used_frames: self.used_frames(TierId::Slow) as u64,
             in_flight_migrations: self.engine.in_flight() as u64,
+            quarantined_frames: (self.frames[0].quarantined_frames()
+                + self.frames[1].quarantined_frames()) as u64,
+            offlined_frames: self.frames[TierId::Fast.index()].offlined_frames() as u64,
         };
         self.trace.record_period(|| sample);
         self.trace_baseline = self.stats.clone();
@@ -333,9 +384,55 @@ impl TieredSystem {
         self.frames[tier.index()].used_frames()
     }
 
-    /// Total frames in a tier.
+    /// Frames in service in a tier: provisioned frames minus quarantined
+    /// minus offlined ones. This is the tier size watermark retuning and
+    /// allocation policy see — capacity events change it at runtime.
     pub fn total_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].usable_frames()
+    }
+
+    /// Raw provisioned frame-space size of a tier — the bound on valid PFN
+    /// numbering. Unlike [`TieredSystem::total_frames`] this never changes:
+    /// offlined and quarantined frames keep their numbers.
+    pub fn raw_frames(&self, tier: TierId) -> u32 {
         self.frames[tier.index()].total()
+    }
+
+    /// Frames permanently quarantined in a tier after uncorrectable errors.
+    pub fn quarantined_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].quarantined_frames()
+    }
+
+    /// Frames currently offlined in a tier by capacity-shrink events.
+    pub fn offlined_frames(&self, tier: TierId) -> u32 {
+        self.frames[tier.index()].offlined_frames()
+    }
+
+    /// The quarantined frame numbers of a tier, ascending. Exposed for the
+    /// `tiering-verify` invariant oracle.
+    pub fn quarantined_pfns(&self, tier: TierId) -> impl Iterator<Item = Pfn> + '_ {
+        self.frames[tier.index()].quarantined_pfns()
+    }
+
+    /// Whether `pfn` sits on the tier's free list. Exposed for the
+    /// `tiering-verify` invariant oracle (O(free) scan — oracle-only).
+    pub fn frame_is_free(&self, tier: TierId, pfn: Pfn) -> bool {
+        self.frames[tier.index()].is_free(pfn)
+    }
+
+    /// Whether `pfn` is permanently quarantined in `tier`.
+    pub fn frame_is_quarantined(&self, tier: TierId, pfn: Pfn) -> bool {
+        self.frames[tier.index()].is_quarantined(pfn)
+    }
+
+    /// Fast-tier frames a capacity shrink still owes (taken as they free up).
+    pub fn shrink_debt(&self) -> u32 {
+        self.shrink_debt
+    }
+
+    /// The live fault-injection state, if a plan is attached.
+    pub fn fault_state(&self) -> Option<&FaultState> {
+        self.fault.as_ref()
     }
 
     /// Charges kernel work: always accounted in [`SystemStats::kernel_time`],
@@ -518,12 +615,28 @@ impl TieredSystem {
         // reservation is released before the unit's frames go to swap.
         self.abort_migration(pid, head, false);
         let tier = self.procs[pid.0 as usize].space.entry(head).tier();
+        // A POISONED unit's frames are bad: reclaim quarantines instead of
+        // returning them to the free pool.
+        let poisoned = self.procs[pid.0 as usize]
+            .space
+            .entry(head)
+            .flags
+            .has(PageFlags::POISONED);
         for off in 0..unit {
             let v = Vpn(head.0 + off);
             let e = self.procs[pid.0 as usize].space.entry_mut(v);
             let pfn = e.pfn;
             e.pfn = crate::addr::Pfn::NONE;
             self.frames[tier.index()].free(pfn);
+            if poisoned {
+                self.frames[tier.index()].quarantine(pfn);
+                self.stats.quarantined_frames += 1;
+                self.trace
+                    .emit(self.clock.now(), || TraceEvent::Quarantine {
+                        tier: tier.index() as u8,
+                        pfn: pfn.0,
+                    });
+            }
         }
         let e = self.procs[pid.0 as usize].space.entry_mut(head);
         e.flags.clear(
@@ -533,7 +646,8 @@ impl TieredSystem {
                 | PageFlags::DIRTY
                 | PageFlags::PROBED
                 | PageFlags::DEMOTED
-                | PageFlags::CANDIDATE,
+                | PageFlags::CANDIDATE
+                | PageFlags::POISONED,
         );
         e.flags.set(PageFlags::SWAPPED);
         self.lru_remove(pid, head);
@@ -791,9 +905,14 @@ impl TieredSystem {
             TierId::Fast => &self.cfg.fast,
             TierId::Slow => &self.cfg.slow,
         };
-        let bw_time = dest_spec
+        let mut bw_time = dest_spec
             .transfer_time(unit as u64)
             .max(src_spec.transfer_time(unit as u64));
+        if let Some(f) = &self.fault {
+            // Channel degradation windows stretch the copy, not the fixed
+            // remap cost — only bandwidth is degraded.
+            bw_time = bw_time.scale_f64(f.cost_multiplier(to, now));
+        }
         let cost = bw_time + self.cfg.cost.migrate_fixed;
         match mode {
             MigrateMode::Sync(waiter) => self.charge_kernel(Some(waiter), cost),
@@ -829,11 +948,27 @@ impl TieredSystem {
             dest_pfns,
             ..
         } = txn;
+        // Soft-offline: if the unit was POISONED its source frames are bad —
+        // quarantine them instead of returning them to the free pool.
+        let poisoned = self.procs[pid.0 as usize]
+            .space
+            .entry(head)
+            .flags
+            .has(PageFlags::POISONED);
         for off in 0..unit {
             let v = Vpn(head.0 + off);
             let old_pfn = self.procs[pid.0 as usize].space.entry(v).pfn;
             debug_assert!(!old_pfn.is_none(), "present unit had unmapped tail page");
             self.frames[from.index()].free(old_pfn);
+            if poisoned {
+                self.frames[from.index()].quarantine(old_pfn);
+                self.stats.quarantined_frames += 1;
+                self.trace
+                    .emit(self.clock.now(), || TraceEvent::Quarantine {
+                        tier: from.index() as u8,
+                        pfn: old_pfn.0,
+                    });
+            }
             let e = self.procs[pid.0 as usize].space.entry_mut(v);
             e.pfn = dest_pfns[off as usize];
             e.flags.set_tier(to);
@@ -841,7 +976,11 @@ impl TieredSystem {
 
         let e = self.procs[pid.0 as usize].space.entry_mut(head);
         e.flags.clear(
-            PageFlags::MIGRATING | PageFlags::PROT_NONE | PageFlags::CANDIDATE | PageFlags::PROBED,
+            PageFlags::MIGRATING
+                | PageFlags::PROT_NONE
+                | PageFlags::CANDIDATE
+                | PageFlags::PROBED
+                | PageFlags::POISONED,
         );
         if to == TierId::Fast {
             e.flags.clear(PageFlags::DEMOTED);
@@ -872,16 +1011,269 @@ impl TieredSystem {
             });
     }
 
+    /// Rolls the copy-fault dice for one retiring transaction. Without a
+    /// fault plan this is a single branch and zero RNG draws.
+    fn roll_txn_fault(&mut self) -> CopyFault {
+        match &mut self.fault {
+            Some(f) => f.roll_copy_fault(),
+            None => CopyFault::None,
+        }
+    }
+
+    /// Applies a copy fault to a transaction popped from the engine: the
+    /// destination reservation is released (on poison, one destination frame
+    /// goes bad and is quarantined), the head's `MIGRATING` bit clears, and
+    /// the source mapping stays authoritative. When `record` is set (async
+    /// completion — the caller is gone) the failure is queued for
+    /// [`TieredSystem::take_migration_failures`].
+    fn fail_txn(&mut self, txn: MigrationTxn, fault: CopyFault, record: bool) -> MigrateError {
+        let err = match fault {
+            CopyFault::Transient => MigrateError::CopyFault,
+            CopyFault::Poison => MigrateError::Poisoned,
+            CopyFault::None => unreachable!("fail_txn called without a fault"),
+        };
+        let now = self.clock.now();
+        for (i, pfn) in txn.dest_pfns.iter().enumerate() {
+            self.frames[txn.to.index()].free(*pfn);
+            if i == 0 && fault == CopyFault::Poison {
+                self.frames[txn.to.index()].quarantine(*pfn);
+                self.stats.quarantined_frames += 1;
+                self.trace.emit(now, || TraceEvent::Quarantine {
+                    tier: txn.to.index() as u8,
+                    pfn: pfn.0,
+                });
+            }
+        }
+        match fault {
+            CopyFault::Transient => self.stats.transient_copy_faults += 1,
+            CopyFault::Poison => self.stats.poisoned_copy_faults += 1,
+            CopyFault::None => unreachable!(),
+        }
+        if txn.to == TierId::Fast {
+            self.stats.failed_fast_migrations[err.index()] += 1;
+        }
+        self.procs[txn.pid.0 as usize]
+            .space
+            .entry_mut(txn.head)
+            .flags
+            .clear(PageFlags::MIGRATING);
+        self.trace.emit(now, || TraceEvent::CopyFault {
+            pid: txn.pid.0,
+            vpn: txn.head.0,
+            pages: txn.unit,
+            dir: migrate_dir(txn.to),
+            transient: fault == CopyFault::Transient,
+        });
+        if record {
+            self.failed_async.push(MigrationFailure {
+                pid: txn.pid,
+                head: txn.head,
+                unit: txn.unit,
+                to: txn.to,
+                reason: err,
+            });
+        }
+        err
+    }
+
+    /// Drains the asynchronously failed migrations recorded since the last
+    /// call. Policies use this to feed their retry machinery.
+    pub fn take_migration_failures(&mut self) -> Vec<MigrationFailure> {
+        std::mem::take(&mut self.failed_async)
+    }
+
+    /// Fires capacity events from the fault plan that are due at `now`.
+    fn service_fault_plan(&mut self, now: Nanos) {
+        let due = match &mut self.fault {
+            Some(f) => f.due_capacity_events(now),
+            None => return,
+        };
+        for ev in due {
+            match ev.kind {
+                CapacityKind::ShrinkFastFraction(frac) => {
+                    let usable = self.frames[TierId::Fast.index()].usable_frames();
+                    let target = (usable as f64 * frac).round() as u32;
+                    self.shrink_fast(target);
+                }
+                CapacityKind::GrowFastFrames(n) => {
+                    self.grow_fast(n);
+                }
+            }
+        }
+    }
+
+    /// Retires outstanding shrink debt against frames that have freed up
+    /// since the shrink event (demotions draining the fast tier).
+    fn drain_shrink_debt(&mut self) {
+        if self.shrink_debt == 0 {
+            return;
+        }
+        let got = self.frames[TierId::Fast.index()].offline_free_frames(self.shrink_debt);
+        if got > 0 {
+            self.shrink_debt -= got;
+            self.stats.offlined_frames += got as u64;
+            self.rescale_watermarks();
+            self.emit_capacity(got, 0);
+        }
+    }
+
+    /// Re-derives the fast-tier watermarks from the current usable tier
+    /// size. The policy's `pro` target is kept, re-clamped to the new size;
+    /// the next `retune_pro` recomputes it against the new capacity.
+    fn rescale_watermarks(&mut self) {
+        let usable = self.frames[TierId::Fast.index()].usable_frames();
+        let pro = self.watermarks.pro;
+        self.watermarks = Watermarks::scaled_to(usable);
+        let cap = (usable / 4).max(self.watermarks.high);
+        self.watermarks.pro = pro.clamp(self.watermarks.high, cap);
+    }
+
+    fn emit_capacity(&mut self, offlined: u32, restored: u32) {
+        let usable = self.frames[TierId::Fast.index()].usable_frames();
+        self.trace.emit(self.clock.now(), || TraceEvent::Capacity {
+            tier: TierId::Fast.index() as u8,
+            offlined,
+            restored,
+            usable,
+        });
+    }
+
+    /// Takes `frames` fast-tier frames out of service (hotplug shrink).
+    /// Frames come out of the free pool; if the pool is short, the
+    /// remainder becomes shrink debt retired as demotions free more frames.
+    /// Watermarks are re-derived from the new usable size. Returns frames
+    /// offlined immediately.
+    pub fn shrink_fast(&mut self, frames: u32) -> u32 {
+        let got = self.frames[TierId::Fast.index()].offline_free_frames(frames);
+        self.stats.offlined_frames += got as u64;
+        self.shrink_debt += frames - got;
+        self.rescale_watermarks();
+        self.emit_capacity(got, 0);
+        got
+    }
+
+    /// Brings fast-tier capacity back (hotplug grow): first cancels any
+    /// outstanding shrink debt, then restores up to the remaining `frames`
+    /// from the offlined pool. Returns frames actually brought back online.
+    pub fn grow_fast(&mut self, frames: u32) -> u32 {
+        let cancelled = frames.min(self.shrink_debt);
+        self.shrink_debt -= cancelled;
+        let restored = self.frames[TierId::Fast.index()].online_frames(frames - cancelled);
+        self.stats.restored_frames += restored as u64;
+        self.rescale_watermarks();
+        self.emit_capacity(0, restored);
+        restored
+    }
+
+    /// Installs a channel-degradation window (fuzz ops and procfs-style
+    /// knobs). Creates an inert fault state if no plan was configured.
+    pub fn degrade_channel(&mut self, w: DegradeWindow) {
+        self.fault
+            .get_or_insert_with(|| FaultState::new(FaultPlan::inert(0)))
+            .add_degrade_window(w);
+    }
+
+    /// Injects an uncorrectable error into a frame (MCE-style poisoning).
+    ///
+    /// - A quarantined frame: no-op (already dead), returns `false`.
+    /// - A free or offlined frame: quarantined directly.
+    /// - A frame reserved by an in-flight copy: the transaction aborts
+    ///   (reservation released), then the frame is quarantined.
+    /// - A mapped frame: the mapping unit is split out of any huge block and
+    ///   detached from any in-flight copy, marked [`PageFlags::POISONED`],
+    ///   and soft-offline is attempted immediately — an ordinary migration
+    ///   to the other tier whose completion quarantines the bad frame. If
+    ///   the migration is refused the flag stays set and the next successful
+    ///   migration or swap-out of the page quarantines the frame instead.
+    ///
+    /// Returns whether the frame was newly poisoned.
+    pub fn poison_frame(&mut self, tier: TierId, pfn: Pfn) -> bool {
+        let table = &mut self.frames[tier.index()];
+        if pfn.0 >= table.total() || table.is_quarantined(pfn) {
+            return false;
+        }
+        if table.is_free(pfn) {
+            table.quarantine(pfn);
+            self.stats.quarantined_frames += 1;
+            let now = self.clock.now();
+            self.trace.emit(now, || TraceEvent::Quarantine {
+                tier: tier.index() as u8,
+                pfn: pfn.0,
+            });
+            return true;
+        }
+        let Some(owner) = table.owner(pfn) else {
+            // Offlined by a capacity shrink: not in service, but a grow
+            // event must never bring it back — move it to quarantine.
+            if table.quarantine_offlined(pfn) {
+                self.stats.quarantined_frames += 1;
+                let now = self.clock.now();
+                self.trace.emit(now, || TraceEvent::Quarantine {
+                    tier: tier.index() as u8,
+                    pfn: pfn.0,
+                });
+                return true;
+            }
+            return false;
+        };
+        let head = self.procs[owner.pid.0 as usize].space.pte_page(owner.vpn);
+        // A reserved copy destination: the PTE does not point at it yet.
+        if self.procs[owner.pid.0 as usize].space.entry(owner.vpn).pfn != pfn {
+            self.abort_migration(owner.pid, head, false);
+            self.frames[tier.index()].quarantine(pfn);
+            self.stats.quarantined_frames += 1;
+            let now = self.clock.now();
+            self.trace.emit(now, || TraceEvent::Quarantine {
+                tier: tier.index() as u8,
+                pfn: pfn.0,
+            });
+            return true;
+        }
+        // A mapped frame: split huge blocks so the poison stays on one base
+        // page (POISONED ∧ HUGE_HEAD is illegal), kill any in-flight copy of
+        // stale data, then mark and try to soft-offline.
+        if self.procs[owner.pid.0 as usize].space.is_huge_mapped(head) {
+            self.split_block(owner.pid, head);
+        } else {
+            self.abort_migration(owner.pid, head, false);
+        }
+        let base = self.procs[owner.pid.0 as usize].space.pte_page(owner.vpn);
+        self.procs[owner.pid.0 as usize]
+            .space
+            .entry_mut(base)
+            .flags
+            .set(PageFlags::POISONED);
+        let now = self.clock.now();
+        self.trace.emit(now, || TraceEvent::FramePoison {
+            pid: owner.pid.0,
+            vpn: base.0,
+        });
+        let dest = tier.other();
+        let _ = self.migrate(owner.pid, base, dest, MigrateMode::Async);
+        true
+    }
+
     /// Retires every in-flight transaction whose copy is done by the current
-    /// clock, in completion order. Drivers call this whenever sim time
-    /// advances. Returns transactions completed.
+    /// clock, in completion order, rolling the fault plan's copy-fault dice
+    /// for each. Also fires due capacity events and retires shrink debt.
+    /// Drivers call this whenever sim time advances. Returns transactions
+    /// completed (faulted transactions are not counted).
     pub fn complete_due_migrations(&mut self) -> u32 {
         let now = self.clock.now();
+        self.service_fault_plan(now);
         let mut n = 0;
         while let Some(txn) = self.engine.pop_due(now) {
-            self.complete_txn(txn);
-            n += 1;
+            match self.roll_txn_fault() {
+                CopyFault::None => {
+                    self.complete_txn(txn);
+                    n += 1;
+                }
+                fault => {
+                    self.fail_txn(txn, fault, true);
+                }
+            }
         }
+        self.drain_shrink_debt();
         n
     }
 
@@ -928,8 +1320,15 @@ impl TieredSystem {
     ) -> Result<u32, MigrateError> {
         let (id, unit) = self.begin_migrate_txn(pid, vpn, to, mode)?;
         let txn = self.engine.remove(id).expect("transaction just begun");
-        self.complete_txn(txn);
-        Ok(unit)
+        match self.roll_txn_fault() {
+            CopyFault::None => {
+                self.complete_txn(txn);
+                Ok(unit)
+            }
+            // The caller is present and sees the error directly, so the
+            // failure is not queued for the async drain.
+            fault => Err(self.fail_txn(txn, fault, false)),
+        }
     }
 
     /// Splits the 2 MiB block containing `vpn` into base mappings. A split
@@ -1679,6 +2078,408 @@ mod tests {
                 + sys.stats.aborted_migrations
                 + sys.migration_in_flight_count() as u64
         );
+    }
+
+    /// Every `MigrateError` variant, in `index()` order. The exhaustive
+    /// match inside `migrate_error_reasons_table_is_exhaustive` forces a
+    /// compile error here whenever a variant is added without updating
+    /// `COUNT`/`REASONS` (the `[&str; COUNT]` type already pins the array
+    /// length at compile time).
+    const ALL_ERRORS: [MigrateError; MigrateError::COUNT] = [
+        MigrateError::NotPresent,
+        MigrateError::SameTier,
+        MigrateError::NoSpace,
+        MigrateError::Backpressure,
+        MigrateError::CopyFault,
+        MigrateError::Poisoned,
+    ];
+
+    #[test]
+    fn migrate_error_reasons_table_is_exhaustive() {
+        for (i, e) in ALL_ERRORS.iter().enumerate() {
+            assert_eq!(e.index(), i, "{:?} out of index order", e);
+            let expect = match e {
+                MigrateError::NotPresent => "not_present",
+                MigrateError::SameTier => "same_tier",
+                MigrateError::NoSpace => "no_space",
+                MigrateError::Backpressure => "backpressure",
+                MigrateError::CopyFault => "copy_fault",
+                MigrateError::Poisoned => "poisoned",
+            };
+            assert_eq!(MigrateError::REASONS[i], expect);
+        }
+    }
+
+    /// Drives every `MigrateError` variant through the promotion path and
+    /// checks each lands in its own `failed_fast_migrations` cell.
+    #[test]
+    fn every_migrate_error_reaches_its_failure_cell() {
+        // NotPresent / SameTier on a plain system.
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        let _ = sys.migrate(pid, Vpn(5), TierId::Fast, MigrateMode::Async);
+        let _ = sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async);
+        // Backpressure via a second begin on the same in-flight unit.
+        for i in 1..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        let _ = sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async);
+        let t = &sys.stats.failed_fast_migrations;
+        assert_eq!(t[MigrateError::NotPresent.index()], 1);
+        assert_eq!(t[MigrateError::SameTier.index()], 1);
+        assert_eq!(t[MigrateError::Backpressure.index()], 1);
+
+        // NoSpace on a full fast tier.
+        let mut full = TieredSystem::new(SystemConfig::dram_pmem(8, 600));
+        let p2 = full.add_process(512, PageSize::Base);
+        for i in 0..512 {
+            full.access(p2, Vpn(i), false);
+        }
+        while full.free_frames(TierId::Fast) > 0 {
+            let v = 512 - 1 - full.free_frames(TierId::Fast);
+            let _ = full.migrate(p2, Vpn(v), TierId::Fast, MigrateMode::Async);
+        }
+        assert_eq!(
+            full.migrate(p2, Vpn(500), TierId::Fast, MigrateMode::Async),
+            Err(MigrateError::NoSpace)
+        );
+        assert_eq!(
+            full.stats.failed_fast_migrations[MigrateError::NoSpace.index()],
+            full.stats.failed_promotions
+        );
+
+        // CopyFault / Poisoned via deterministic fault plans.
+        for (err, plan) in [
+            (MigrateError::CopyFault, {
+                let mut p = FaultPlan::inert(1);
+                p.copy_transient = 1.0;
+                p
+            }),
+            (MigrateError::Poisoned, {
+                let mut p = FaultPlan::inert(1);
+                p.copy_poison = 1.0;
+                p
+            }),
+        ] {
+            let mut cfg = SystemConfig::dram_pmem(64, 192);
+            cfg.fault_plan = Some(plan);
+            let mut fsys = TieredSystem::new(cfg);
+            let fp = fsys.add_process(128, PageSize::Base);
+            for i in 0..128 {
+                fsys.access(fp, Vpn(i), false);
+            }
+            assert_eq!(
+                fsys.migrate(fp, Vpn(100), TierId::Fast, MigrateMode::Async),
+                Err(err)
+            );
+            assert_eq!(fsys.stats.failed_fast_migrations[err.index()], 1);
+        }
+    }
+
+    #[test]
+    fn transient_copy_fault_releases_reservation_and_reports() {
+        let mut cfg = SystemConfig::dram_pmem(64, 192);
+        let mut plan = FaultPlan::inert(3);
+        plan.copy_transient = 1.0;
+        cfg.fault_plan = Some(plan);
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let fast_free = sys.free_frames(TierId::Fast);
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.clock.advance(Nanos::from_millis(1));
+        // The copy comes due but the roll fails it: nothing completed.
+        assert_eq!(sys.complete_due_migrations(), 0);
+        assert_eq!(sys.stats.transient_copy_faults, 1);
+        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        let e = sys.process(pid).space.entry(Vpn(100));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+        let failures = sys.take_migration_failures();
+        assert_eq!(
+            failures,
+            vec![MigrationFailure {
+                pid,
+                head: Vpn(100),
+                unit: 1,
+                to: TierId::Fast,
+                reason: MigrateError::CopyFault,
+            }]
+        );
+        assert!(
+            sys.take_migration_failures().is_empty(),
+            "drain is one-shot"
+        );
+        // A retry of the same migration is valid and (with the dice removed)
+        // would succeed: admission accepts it again.
+        assert!(sys
+            .begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .is_ok());
+    }
+
+    #[test]
+    fn poison_copy_fault_quarantines_one_destination_frame() {
+        let mut cfg = SystemConfig::dram_pmem(64, 192);
+        let mut plan = FaultPlan::inert(4);
+        plan.copy_poison = 1.0;
+        cfg.fault_plan = Some(plan);
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        let fast_free = sys.free_frames(TierId::Fast);
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        sys.clock.advance(Nanos::from_millis(1));
+        assert_eq!(sys.complete_due_migrations(), 0);
+        assert_eq!(sys.stats.poisoned_copy_faults, 1);
+        assert_eq!(sys.stats.quarantined_frames, 1);
+        assert_eq!(sys.quarantined_frames(TierId::Fast), 1);
+        // One frame went bad: the free pool is one short of where it was.
+        assert_eq!(sys.free_frames(TierId::Fast), fast_free - 1);
+        assert_eq!(sys.total_frames(TierId::Fast), 63);
+        // The source mapping survived.
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Slow);
+    }
+
+    #[test]
+    fn poison_frame_soft_offlines_resident_page() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(16, PageSize::Base);
+        sys.access(pid, Vpn(3), false);
+        let e = sys.process(pid).space.entry(Vpn(3));
+        assert_eq!(e.tier(), TierId::Fast);
+        let bad = e.pfn;
+        assert!(sys.poison_frame(TierId::Fast, bad));
+        // Soft-offline ran inline: the page moved to the slow tier, the bad
+        // frame is quarantined, and the POISONED flag cleared with the move.
+        let e = sys.process(pid).space.entry(Vpn(3));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(!e.flags.has(PageFlags::POISONED));
+        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        assert_eq!(sys.stats.quarantined_frames, 1);
+        assert_eq!(sys.total_frames(TierId::Fast), 63);
+        // Poisoning the same frame again is a no-op.
+        assert!(!sys.poison_frame(TierId::Fast, bad));
+        assert_eq!(sys.stats.quarantined_frames, 1);
+    }
+
+    #[test]
+    fn poison_free_frame_quarantines_directly() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(4, PageSize::Base);
+        sys.access(pid, Vpn(0), false);
+        let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
+        sys.swap_out(pid, Vpn(0)).unwrap();
+        assert!(sys.poison_frame(TierId::Fast, pfn));
+        assert!(sys.frame_is_quarantined(TierId::Fast, pfn));
+        assert_eq!(sys.stats.quarantined_frames, 1);
+    }
+
+    #[test]
+    fn poison_reserved_copy_destination_aborts_and_quarantines() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        let dest = sys
+            .in_flight_migrations()
+            .next()
+            .expect("one txn in flight")
+            .dest_pfns[0];
+        assert!(sys.poison_frame(TierId::Fast, dest));
+        assert_eq!(sys.stats.aborted_migrations, 1);
+        assert_eq!(sys.migration_in_flight_count(), 0);
+        assert!(sys.frame_is_quarantined(TierId::Fast, dest));
+        // The source page survived untouched in the slow tier.
+        let e = sys.process(pid).space.entry(Vpn(100));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(!e.flags.has(PageFlags::MIGRATING));
+    }
+
+    #[test]
+    fn poison_huge_mapped_frame_splits_before_poisoning() {
+        let (mut sys, pid) = huge_sys();
+        let head = Vpn(700).huge_head();
+        let bad = sys.process(pid).space.entry(Vpn(703)).pfn;
+        assert!(sys.poison_frame(TierId::Fast, bad));
+        // The block was split so the poison stays on one base page; that
+        // page soft-offlined to the slow tier.
+        assert!(!sys.process(pid).space.is_huge_mapped(head));
+        let e = sys.process(pid).space.entry(Vpn(703));
+        assert_eq!(e.tier(), TierId::Slow);
+        assert!(!e.flags.has(PageFlags::POISONED));
+        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        // Its neighbours stayed fast.
+        assert_eq!(sys.process(pid).space.entry(Vpn(702)).tier(), TierId::Fast);
+    }
+
+    #[test]
+    fn swap_out_quarantines_poisoned_frame() {
+        // Fill the slow tier so soft-offline migration fails and the
+        // POISONED flag stays set, then reclaim the page.
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(64, 8));
+        let pid = sys.add_process(72, PageSize::Base);
+        for i in 0..72 {
+            sys.access(pid, Vpn(i), false);
+        }
+        assert_eq!(sys.free_frames(TierId::Slow), 0);
+        // Vpn(0) landed fast; its soft-offline has nowhere to go.
+        let bad = sys.process(pid).space.entry(Vpn(0)).pfn;
+        assert!(sys.poison_frame(TierId::Fast, bad));
+        let e = sys.process(pid).space.entry(Vpn(0));
+        assert!(e.flags.has(PageFlags::POISONED), "soft-offline had no room");
+        assert_eq!(sys.stats.quarantined_frames, 0);
+        sys.swap_out(pid, Vpn(0)).unwrap();
+        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        assert_eq!(sys.stats.quarantined_frames, 1);
+        let e = sys.process(pid).space.entry(Vpn(0));
+        assert!(!e.flags.has(PageFlags::POISONED));
+        assert!(e.flags.has(PageFlags::SWAPPED));
+    }
+
+    #[test]
+    fn shrink_fast_offlines_and_rescales_watermarks() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(32, PageSize::Base);
+        for i in 0..32 {
+            sys.access(pid, Vpn(i), false);
+        }
+        assert_eq!(sys.total_frames(TierId::Fast), 64);
+        let wm_before = sys.watermarks;
+        let got = sys.shrink_fast(16);
+        assert_eq!(got, 16);
+        assert_eq!(sys.total_frames(TierId::Fast), 48);
+        assert_eq!(sys.offlined_frames(TierId::Fast), 16);
+        assert_eq!(sys.stats.offlined_frames, 16);
+        assert_eq!(sys.shrink_debt(), 0);
+        assert!(sys.watermarks.well_ordered());
+        assert!(sys.watermarks.pro <= (48u32 / 4).max(sys.watermarks.high));
+        let _ = wm_before;
+        // Grow restores them and the usable size returns.
+        assert_eq!(sys.grow_fast(16), 16);
+        assert_eq!(sys.total_frames(TierId::Fast), 64);
+        assert_eq!(sys.stats.restored_frames, 16);
+    }
+
+    #[test]
+    fn shrink_debt_is_retired_as_frames_free_up() {
+        let mut sys = small_sys();
+        let pid = sys.add_process(64, PageSize::Base);
+        for i in 0..64 {
+            sys.access(pid, Vpn(i), false);
+        }
+        // 56 fast frames used, 8 free; ask for more than the free pool.
+        let got = sys.shrink_fast(20);
+        assert_eq!(got, 8);
+        assert_eq!(sys.shrink_debt(), 12);
+        assert_eq!(sys.total_frames(TierId::Fast), 56);
+        // Demote pages; the pump retires debt from the freed frames.
+        for i in 0..12 {
+            sys.migrate(pid, Vpn(i), TierId::Slow, MigrateMode::Async)
+                .unwrap();
+        }
+        sys.complete_due_migrations();
+        assert_eq!(sys.shrink_debt(), 0);
+        assert_eq!(sys.offlined_frames(TierId::Fast), 20);
+        assert_eq!(sys.total_frames(TierId::Fast), 44);
+        assert_eq!(sys.stats.offlined_frames, 20);
+        // Grow first cancels debt, then restores offlined frames.
+        assert_eq!(sys.grow_fast(20), 20);
+        assert_eq!(sys.total_frames(TierId::Fast), 64);
+    }
+
+    #[test]
+    fn planned_capacity_event_fires_at_its_time() {
+        let mut cfg = SystemConfig::dram_pmem(64, 192);
+        let mut plan = FaultPlan::inert(5);
+        plan.capacity_events = vec![crate::fault::CapacityEvent {
+            at: Nanos::from_millis(10),
+            kind: CapacityKind::ShrinkFastFraction(0.25),
+        }];
+        cfg.fault_plan = Some(plan);
+        let mut sys = TieredSystem::new(cfg);
+        let pid = sys.add_process(16, PageSize::Base);
+        for i in 0..16 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.clock.advance(Nanos::from_millis(5));
+        sys.complete_due_migrations();
+        assert_eq!(sys.total_frames(TierId::Fast), 64, "not due yet");
+        sys.clock.advance(Nanos::from_millis(6));
+        sys.complete_due_migrations();
+        assert_eq!(sys.total_frames(TierId::Fast), 48, "25% shrink fired");
+    }
+
+    #[test]
+    fn degrade_window_stretches_copy_backlog() {
+        let healthy = {
+            let mut sys = small_sys();
+            let pid = sys.add_process(128, PageSize::Base);
+            for i in 0..128 {
+                sys.access(pid, Vpn(i), false);
+            }
+            sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+                .unwrap();
+            sys.migration_backlog()
+        };
+        let mut sys = small_sys();
+        let pid = sys.add_process(128, PageSize::Base);
+        for i in 0..128 {
+            sys.access(pid, Vpn(i), false);
+        }
+        sys.degrade_channel(DegradeWindow {
+            tier: TierId::Fast,
+            from: Nanos::ZERO,
+            until: Nanos::from_secs(1),
+            cost_multiplier: 4.0,
+        });
+        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .unwrap();
+        let degraded = sys.migration_backlog();
+        assert!(
+            degraded > healthy,
+            "degraded backlog {:?} should exceed healthy {:?}",
+            degraded,
+            healthy
+        );
+    }
+
+    #[test]
+    fn fault_free_run_draws_nothing_and_changes_nothing() {
+        // The same access pattern with and without an inert fault plan must
+        // be byte-identical in stats: the plan only matters when armed.
+        let run = |plan: Option<FaultPlan>| {
+            let mut cfg = SystemConfig::dram_pmem(64, 192);
+            cfg.fault_plan = plan;
+            let mut sys = TieredSystem::new(cfg);
+            let pid = sys.add_process(128, PageSize::Base);
+            for i in 0..128 {
+                sys.access(pid, Vpn(i), false);
+            }
+            for i in 64..80 {
+                let _ = sys.migrate(pid, Vpn(i), TierId::Fast, MigrateMode::Async);
+            }
+            sys.clock.advance(Nanos::from_millis(2));
+            sys.complete_due_migrations();
+            (
+                sys.stats.promoted_pages,
+                sys.stats.completed_migrations,
+                sys.stats.transient_copy_faults,
+                sys.free_frames(TierId::Fast),
+            )
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::inert(99))));
     }
 
     #[test]

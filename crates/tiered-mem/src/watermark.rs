@@ -106,4 +106,52 @@ mod tests {
         assert_eq!(w.pro, 256);
         assert!(w.well_ordered());
     }
+
+    #[test]
+    fn retune_pro_tracks_capacity_shrink() {
+        // Tune `pro` against a full-size tier, then re-tune against a
+        // hotplug-shrunk one: the quarter-of-tier clamp must pull `pro`
+        // back down below the old value without breaking the ordering.
+        let mut w = Watermarks::scaled_to(65_536);
+        w.retune_pro(65_536, Nanos::from_secs(1), 100 * 1024 * 1024);
+        let pro_full = w.pro;
+        assert!(pro_full > w.high);
+        w.retune_pro(16_384, Nanos::from_secs(1), 100 * 1024 * 1024);
+        assert!(w.pro < pro_full, "shrink must shrink the headroom target");
+        assert!(w.pro <= 16_384 / 4);
+        assert!(w.well_ordered());
+    }
+
+    #[test]
+    fn retune_pro_survives_shrink_below_high() {
+        // Shrink the tier so far that a quarter of it sits *under* the old
+        // `high` watermark: the `max(high)` floor must win — never an
+        // underflowed or inverted set.
+        let mut w = Watermarks::scaled_to(65_536);
+        assert!(w.high > 64 / 4);
+        w.retune_pro(64, Nanos::from_secs(1), 100 * 1024 * 1024);
+        assert_eq!(w.pro, w.high, "floor at high, not total/4");
+        assert!(w.well_ordered());
+    }
+
+    #[test]
+    fn rescale_after_shrink_reorders_and_preserves_headroom_intent() {
+        // Mirror of `TieredSystem::rescale_watermarks`: on hotplug the
+        // base trio is recomputed for the new size and the prior `pro` is
+        // carried over, clamped into the new legal band.
+        let old = {
+            let mut w = Watermarks::scaled_to(65_536);
+            w.retune_pro(65_536, Nanos::from_secs(1), 100 * 1024 * 1024);
+            w
+        };
+        for usable in [32_768u32, 4_096, 512, 64, 16] {
+            let mut w = Watermarks::scaled_to(usable);
+            w.pro = old.pro.clamp(w.high, (usable / 4).max(w.high));
+            assert!(w.well_ordered(), "{:?} at {} frames", w, usable);
+            assert!(w.pro <= (usable / 4).max(w.high));
+            // Demotion drain target never exceeds the tier itself, so a
+            // reclaim loop `while free < pro` cannot underflow `used`.
+            assert!(w.pro <= usable.max(w.high));
+        }
+    }
 }

@@ -1,8 +1,8 @@
 //! Exhaustive small-scope model checking of the page lifecycle.
 //!
 //! The state of one page, as far as the substrate and every policy are
-//! concerned, is its 14-bit [`PageFlags`] word (the tier is the `IN_FAST`
-//! bit) plus one bit of promotion-queue membership. That is 2^15 = 32768
+//! concerned, is its 15-bit [`PageFlags`] word (the tier is the `IN_FAST`
+//! bit) plus one bit of promotion-queue membership. That is 2^16 = 65536
 //! states — small enough to enumerate the reachable set *exactly* rather
 //! than sample it, which is the whole trick: the transition relation below
 //! restates, as pure functions, what `TieredSystem`, `AddressSpace`,
@@ -51,6 +51,7 @@ const C: u16 = PageFlags::CANDIDATE;
 const POL: u16 = PageFlags::POLICY_BIT;
 const SW: u16 = PageFlags::SWAPPED;
 const MIG: u16 = PageFlags::MIGRATING;
+const PSN: u16 = PageFlags::POISONED;
 
 fn has(s: u16, m: u16) -> bool {
     s & m == m
@@ -239,12 +240,14 @@ pub fn transitions() -> Vec<Transition> {
         // TieredSystem::complete_txn to Fast (both the compat `migrate`
         // wrapper and clock-driven completion retire through it): clears the
         // transaction mark and the transient marks (poison, candidacy,
-        // probe, thrash watch), landing on the active LRU of the fast tier.
+        // probe, thrash watch, frame poisoning — the bad source frame is
+        // quarantined, the page now sits on a healthy one), landing on the
+        // active LRU of the fast tier.
         Transition {
             name: "promote",
             apply: |s| {
                 if has(s, P | MIG) && !has(s, F) {
-                    vec![(s & !(PN | C | PB | DEM | MIG)) | F | LA]
+                    vec![(s & !(PN | C | PB | DEM | MIG | PSN)) | F | LA]
                 } else {
                     vec![]
                 }
@@ -256,7 +259,24 @@ pub fn transitions() -> Vec<Transition> {
             name: "demote",
             apply: |s| {
                 if has(s, P | F | MIG) {
-                    vec![s & !(PN | C | PB | F | LA | MIG)]
+                    vec![s & !(PN | C | PB | F | LA | MIG | PSN)]
+                } else {
+                    vec![]
+                }
+            },
+        },
+        // TieredSystem::poison_frame (fault injection): an uncorrectable
+        // error marks the resident page; any in-flight transaction is
+        // aborted first, and huge mappings are split before the specific
+        // base page is marked, so neither MIG nor HUGE_HEAD co-occur with
+        // the poisoning itself. Soft-offline then retires the page through
+        // the ordinary migrate (promote/demote clear PSN and quarantine the
+        // bad frame) or swap-out paths.
+        Transition {
+            name: "frame_poison",
+            apply: |s| {
+                if has(s, P) && !has(s, MIG) && !has(s, PSN) && !has(s, HH) {
+                    vec![s | PSN]
                 } else {
                     vec![]
                 }
@@ -320,12 +340,13 @@ pub fn transitions() -> Vec<Transition> {
         // then the head loses presence and every transient mark; IN_FAST,
         // LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and POLICY_BIT are left stale
         // (and queue membership is unaffected — the drain discovers the
-        // eviction later).
+        // eviction later). A poisoned page's freed frame is quarantined and
+        // the mark cleared — the swap copy is clean data on a clean device.
         Transition {
             name: "swap_out",
             apply: |s| {
                 if has(s, P) {
-                    vec![(s & !(P | PN | A | D | PB | DEM | C | MIG)) | SW]
+                    vec![(s & !(P | PN | A | D | PB | DEM | C | MIG | PSN)) | SW]
                 } else {
                     vec![]
                 }
@@ -411,6 +432,19 @@ pub fn legality_rules() -> Vec<LegalityRule> {
             name: "migrating_requires_present",
             illegal: |s| has(s, MIG) && !has(s, P),
         },
+        // Frame poisoning marks a *resident* page awaiting soft-offline;
+        // every unmap path (migrate-complete, swap-out) quarantines the bad
+        // frame and clears the mark in the same step.
+        LegalityRule {
+            name: "poisoned_requires_present",
+            illegal: |s| has(s, PSN) && !has(s, P),
+        },
+        // Huge mappings are split before the specific base page is marked,
+        // so an intact huge head is never itself poisoned.
+        LegalityRule {
+            name: "poisoned_excludes_huge_head",
+            illegal: |s| has(s, PSN | HH),
+        },
     ]
 }
 
@@ -448,8 +482,10 @@ pub fn check_model(ts: &[Transition], rules: &[LegalityRule]) -> ModelReport {
             }
         }
     }
-    let reachable: Vec<u16> = (0..STATE_SPACE as u16)
-        .filter(|&s| seen[s as usize])
+    // STATE_SPACE itself no longer fits in u16, so range over usize.
+    let reachable: Vec<u16> = (0..STATE_SPACE)
+        .filter(|&s| seen[s])
+        .map(|s| s as u16)
         .collect();
     let mut illegal = Vec::new();
     for &s in &reachable {
@@ -588,6 +624,12 @@ mod tests {
                 P | A | D | MIG,
                 "slow page mid-promotion after a write-abort race",
             ),
+            (P | PSN | A, "poisoned resident page awaiting soft-offline"),
+            (
+                P | PSN | MIG | F,
+                "poisoned fast page with the soft-offline copy in flight",
+            ),
+            (P | PSN | HS, "poisoned base page of a split huge block"),
         ] {
             assert!(
                 flag_word_reachable(word),
@@ -605,6 +647,9 @@ mod tests {
             (SW | D, "dirty swapped page"),
             (MIG, "transaction on an unmapped page"),
             (SW | MIG, "transaction on a swapped page"),
+            (PSN, "poison mark on an unmapped page"),
+            (SW | PSN, "poison mark surviving a swap-out"),
+            (P | PSN | HH, "poison mark on an intact huge head"),
         ] {
             assert!(
                 !flag_word_reachable(word),
@@ -613,7 +658,7 @@ mod tests {
             );
         }
         // Words above the defined bits are never reachable.
-        assert!(!flag_word_reachable(1 << 14));
+        assert!(!flag_word_reachable(1 << 15));
     }
 
     #[test]

@@ -98,6 +98,8 @@ impl TraceDigest {
             .u64(s.fast_used_frames)
             .u64(s.slow_used_frames)
             .u64(s.in_flight_migrations)
+            .u64(s.quarantined_frames)
+            .u64(s.offlined_frames)
     }
 
     /// Folds one discrete event with its timestamp and a per-variant tag.
@@ -179,6 +181,50 @@ impl TraceDigest {
                     .u64(cutoff_bucket as u64)
                     .f64(misplaced_pages)
                     .f64(misplacement_ratio);
+            }
+            TraceEvent::CopyFault {
+                pid,
+                vpn,
+                pages,
+                dir,
+                transient,
+            } => {
+                self.u64(10)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(pages as u64)
+                    .u64(dir_tag(dir))
+                    .bool(transient);
+            }
+            TraceEvent::Quarantine { tier, pfn } => {
+                self.u64(11).u64(tier as u64).u64(pfn as u64);
+            }
+            TraceEvent::FramePoison { pid, vpn } => {
+                self.u64(12).u64(pid as u64).u64(vpn as u64);
+            }
+            TraceEvent::Capacity {
+                tier,
+                offlined,
+                restored,
+                usable,
+            } => {
+                self.u64(13)
+                    .u64(tier as u64)
+                    .u64(offlined as u64)
+                    .u64(restored as u64)
+                    .u64(usable as u64);
+            }
+            TraceEvent::Retry { pid, vpn, attempt } => {
+                self.u64(14)
+                    .u64(pid as u64)
+                    .u64(vpn as u64)
+                    .u64(attempt as u64);
+            }
+            TraceEvent::Breaker {
+                open,
+                failure_ratio,
+            } => {
+                self.u64(15).bool(open).f64(failure_ratio);
             }
         }
         self

@@ -113,6 +113,62 @@ pub enum TraceEvent {
         /// Misplaced pages over fast-tier capacity.
         misplacement_ratio: f64,
     },
+    /// A due migration copy failed (fault injection): the reservation was
+    /// released and the source mapping stayed authoritative.
+    CopyFault {
+        /// Owning process.
+        pid: u16,
+        /// PTE page of the failed unit.
+        vpn: u32,
+        /// Base pages the transaction covered.
+        pages: u32,
+        /// Direction of the failed copy.
+        dir: MigrateDir,
+        /// Retryable (`true`) or permanent with a poisoned frame (`false`).
+        transient: bool,
+    },
+    /// A frame was permanently quarantined after an uncorrectable error.
+    Quarantine {
+        /// Tier index of the quarantined frame.
+        tier: u8,
+        /// The frame number.
+        pfn: u32,
+    },
+    /// A resident page's frame took an uncorrectable error: the page was
+    /// marked poisoned and awaits soft-offline migration.
+    FramePoison {
+        /// Owning process.
+        pid: u16,
+        /// The poisoned page.
+        vpn: u32,
+    },
+    /// Tier capacity changed (hotplug): frames offlined or restored.
+    Capacity {
+        /// Tier index whose capacity changed.
+        tier: u8,
+        /// Frames taken out of service by this event.
+        offlined: u32,
+        /// Frames brought back into service by this event.
+        restored: u32,
+        /// Usable frames in the tier after the event.
+        usable: u32,
+    },
+    /// The policy re-tried a previously failed or deferred promotion.
+    Retry {
+        /// Owning process.
+        pid: u16,
+        /// The retried page.
+        vpn: u32,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The promotion circuit breaker changed state.
+    Breaker {
+        /// `true` when the breaker opened (promotions paused).
+        open: bool,
+        /// Recent migration-failure ratio that drove the transition.
+        failure_ratio: f64,
+    },
 }
 
 impl TraceEvent {
@@ -128,6 +184,12 @@ impl TraceEvent {
             TraceEvent::Thrash { .. } => "thrash",
             TraceEvent::Tune { .. } => "tune",
             TraceEvent::DcscOverlap { .. } => "dcsc_overlap",
+            TraceEvent::CopyFault { .. } => "copy_fault",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::FramePoison { .. } => "frame_poison",
+            TraceEvent::Capacity { .. } => "capacity",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Breaker { .. } => "breaker",
         }
     }
 
@@ -196,6 +258,50 @@ impl TraceEvent {
                 w.field_f64("misplaced_pages", misplaced_pages);
                 w.field_f64("misplacement_ratio", misplacement_ratio);
             }
+            TraceEvent::CopyFault {
+                pid,
+                vpn,
+                pages,
+                dir,
+                transient,
+            } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+                w.field_u64("pages", pages as u64);
+                w.field_str("dir", dir.label());
+                w.field_bool("transient", transient);
+            }
+            TraceEvent::Quarantine { tier, pfn } => {
+                w.field_u64("tier", tier as u64);
+                w.field_u64("pfn", pfn as u64);
+            }
+            TraceEvent::FramePoison { pid, vpn } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+            }
+            TraceEvent::Capacity {
+                tier,
+                offlined,
+                restored,
+                usable,
+            } => {
+                w.field_u64("tier", tier as u64);
+                w.field_u64("offlined", offlined as u64);
+                w.field_u64("restored", restored as u64);
+                w.field_u64("usable", usable as u64);
+            }
+            TraceEvent::Retry { pid, vpn, attempt } => {
+                w.field_u64("pid", pid as u64);
+                w.field_u64("vpn", vpn as u64);
+                w.field_u64("attempt", attempt as u64);
+            }
+            TraceEvent::Breaker {
+                open,
+                failure_ratio,
+            } => {
+                w.field_bool("open", open);
+                w.field_f64("failure_ratio", failure_ratio);
+            }
         }
     }
 }
@@ -246,6 +352,30 @@ mod tests {
                 cutoff_bucket: 0,
                 misplaced_pages: 0.0,
                 misplacement_ratio: 0.0,
+            },
+            TraceEvent::CopyFault {
+                pid: 0,
+                vpn: 0,
+                pages: 1,
+                dir: MigrateDir::Promote,
+                transient: true,
+            },
+            TraceEvent::Quarantine { tier: 0, pfn: 0 },
+            TraceEvent::FramePoison { pid: 0, vpn: 0 },
+            TraceEvent::Capacity {
+                tier: 0,
+                offlined: 1,
+                restored: 0,
+                usable: 1,
+            },
+            TraceEvent::Retry {
+                pid: 0,
+                vpn: 0,
+                attempt: 1,
+            },
+            TraceEvent::Breaker {
+                open: true,
+                failure_ratio: 0.5,
             },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();

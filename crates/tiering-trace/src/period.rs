@@ -50,6 +50,11 @@ pub struct PeriodSample {
     pub slow_used_frames: u64,
     /// Migration transactions in flight at sampling time (gauge).
     pub in_flight_migrations: u64,
+    /// Frames permanently quarantined across both tiers at sampling time
+    /// (gauge; uncorrectable-error retirements).
+    pub quarantined_frames: u64,
+    /// Fast-tier frames offlined by capacity events at sampling time (gauge).
+    pub offlined_frames: u64,
 }
 
 impl PeriodSample {
@@ -73,6 +78,8 @@ impl PeriodSample {
         w.field_u64("fast_used_frames", self.fast_used_frames);
         w.field_u64("slow_used_frames", self.slow_used_frames);
         w.field_u64("in_flight_migrations", self.in_flight_migrations);
+        w.field_u64("quarantined_frames", self.quarantined_frames);
+        w.field_u64("offlined_frames", self.offlined_frames);
         w.end_object();
     }
 
@@ -81,13 +88,13 @@ impl PeriodSample {
         "timestamp_ns,cit_threshold_ns,rate_limit_bps,queue_depth,enqueued_pages,\
          dequeued_pages,dropped_pages,heat_overlap_ratio,promoted_pages,demoted_pages,\
          thrash_events,hint_faults,period_fmar,fmar,fast_used_frames,slow_used_frames,\
-         in_flight_migrations"
+         in_flight_migrations,quarantined_frames,offlined_frames"
     }
 
     /// One CSV row (no trailing newline).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.timestamp.as_nanos(),
             self.policy.cit_threshold.as_nanos(),
             self.policy.rate_limit_bps,
@@ -105,6 +112,8 @@ impl PeriodSample {
             self.fast_used_frames,
             self.slow_used_frames,
             self.in_flight_migrations,
+            self.quarantined_frames,
+            self.offlined_frames,
         )
     }
 }

@@ -13,13 +13,20 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use crate::policy_fuzz::{run_policy_case, ALL_POLICIES};
+use sim_clock::Nanos;
+use tiered_mem::FaultPlan;
+
+use crate::policy_fuzz::{run_policy_case, run_policy_case_with_plan, ALL_POLICIES};
 
 /// The two canonical seeds snapshotted in the repository.
 pub const GOLDEN_SEEDS: [u64; 2] = [0xC4A0_0001, 0xC4A0_0002];
 
 /// Simulated run length for golden snapshots (milliseconds of virtual time).
 pub const GOLDEN_MILLIS: u64 = 25;
+
+/// The canonical seed for the faulty-run snapshot (both the workload shape
+/// and the fault plan's RNG derive from it).
+pub const FAULT_GOLDEN_SEED: u64 = 0xFA_0001;
 
 /// Directory holding the checked-in snapshots.
 pub fn golden_dir() -> PathBuf {
@@ -31,6 +38,11 @@ pub fn golden_path(seed: u64) -> PathBuf {
     golden_dir().join(format!("seed_{seed:08x}.txt"))
 }
 
+/// Path of the faulty-run snapshot.
+pub fn fault_golden_path() -> PathBuf {
+    golden_dir().join(format!("fault_seed_{FAULT_GOLDEN_SEED:08x}.txt"))
+}
+
 /// Recomputes the snapshot table for a seed: one `<policy> <digest-hex>
 /// <accesses>` line per policy, in [`ALL_POLICIES`] order.
 pub fn compute_golden(seed: u64) -> String {
@@ -40,6 +52,27 @@ pub fn compute_golden(seed: u64) -> String {
     ));
     for p in ALL_POLICIES {
         let r = run_policy_case(p, seed, GOLDEN_MILLIS);
+        out.push_str(&format!(
+            "{:<16} {:016x} {}\n",
+            r.policy, r.digest, r.accesses
+        ));
+    }
+    out
+}
+
+/// Recomputes the faulty-run snapshot: every Chrono tuning mode under the
+/// canonical fault plan, one `<policy> <digest-hex> <accesses>` line each.
+/// Same seed ⇒ byte-identical table — faulty runs are exactly as replayable
+/// as clean ones.
+pub fn compute_fault_golden() -> String {
+    let plan = FaultPlan::canonical(FAULT_GOLDEN_SEED, Nanos::from_millis(GOLDEN_MILLIS));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# tiering-verify faulty golden: seed {FAULT_GOLDEN_SEED:#010x}, canonical fault plan, \
+         {GOLDEN_MILLIS} ms per tuning mode\n"
+    ));
+    for p in ALL_POLICIES.into_iter().filter(|p| p.is_chrono()) {
+        let r = run_policy_case_with_plan(p, FAULT_GOLDEN_SEED, GOLDEN_MILLIS, Some(plan.clone()));
         out.push_str(&format!(
             "{:<16} {:016x} {}\n",
             r.policy, r.digest, r.accesses
@@ -113,24 +146,37 @@ impl fmt::Display for GoldenResult {
     }
 }
 
-/// Checks every canonical seed against its checked-in snapshot.
+fn diff_status(path: &Path, actual: String) -> GoldenStatus {
+    match std::fs::read_to_string(path) {
+        Err(_) => GoldenStatus::Missing,
+        Ok(expected) if expected == actual => GoldenStatus::Match,
+        Ok(expected) => GoldenStatus::Mismatch { expected, actual },
+    }
+}
+
+/// Checks every canonical seed — clean snapshots plus the faulty-run
+/// snapshot — against its checked-in file.
 pub fn check_goldens() -> Vec<GoldenResult> {
-    GOLDEN_SEEDS
+    let mut results: Vec<GoldenResult> = GOLDEN_SEEDS
         .iter()
         .map(|&seed| {
             let path = golden_path(seed);
-            let actual = compute_golden(seed);
-            let status = match std::fs::read_to_string(&path) {
-                Err(_) => GoldenStatus::Missing,
-                Ok(expected) if expected == actual => GoldenStatus::Match,
-                Ok(expected) => GoldenStatus::Mismatch { expected, actual },
-            };
+            let status = diff_status(&path, compute_golden(seed));
             GoldenResult { seed, path, status }
         })
-        .collect()
+        .collect();
+    let path = fault_golden_path();
+    let status = diff_status(&path, compute_fault_golden());
+    results.push(GoldenResult {
+        seed: FAULT_GOLDEN_SEED,
+        path,
+        status,
+    });
+    results
 }
 
-/// Recomputes and writes every canonical snapshot; returns the paths written.
+/// Recomputes and writes every canonical snapshot (clean and faulty);
+/// returns the paths written.
 pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(golden_dir())?;
     let mut written = Vec::new();
@@ -139,6 +185,9 @@ pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
         std::fs::write(&path, compute_golden(seed))?;
         written.push(path);
     }
+    let path = fault_golden_path();
+    std::fs::write(&path, compute_fault_golden())?;
+    written.push(path);
     Ok(written)
 }
 
@@ -161,5 +210,25 @@ mod tests {
         assert!(golden_path(0xC4A0_0001)
             .to_string_lossy()
             .ends_with("goldens/seed_c4a00001.txt"));
+        assert!(fault_golden_path()
+            .to_string_lossy()
+            .ends_with("goldens/fault_seed_00fa0001.txt"));
+    }
+
+    #[test]
+    fn fault_golden_is_deterministic() {
+        // One tuning mode, short run: byte-identical across recomputations.
+        let plan = FaultPlan::canonical(FAULT_GOLDEN_SEED, Nanos::from_millis(5));
+        let one = |_: ()| {
+            run_policy_case_with_plan(
+                crate::policy_fuzz::PolicyUnderTest::ChronoDcsc,
+                FAULT_GOLDEN_SEED,
+                5,
+                Some(plan.clone()),
+            )
+        };
+        let (a, b) = (one(()), one(()));
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.accesses, b.accesses);
     }
 }

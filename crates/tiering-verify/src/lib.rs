@@ -31,13 +31,17 @@ pub mod oracle;
 pub mod policy_fuzz;
 pub mod shrink;
 
-pub use golden::{bless_goldens, check_goldens, GoldenResult, GoldenStatus, GOLDEN_SEEDS};
+pub use golden::{
+    bless_goldens, check_goldens, GoldenResult, GoldenStatus, FAULT_GOLDEN_SEED, GOLDEN_SEEDS,
+};
 pub use ops::{
-    fuzz_one, fuzz_one_stress, generate_ops, generate_stress_ops, run_case, stress_case_from_seed,
-    CaseConfig, FuzzOp, OpsFailure, ShrunkFailure,
+    fault_case_from_seed, fuzz_one, fuzz_one_fault_storm, fuzz_one_stress, generate_fault_ops,
+    generate_ops, generate_stress_ops, run_case, stress_case_from_seed, CaseConfig, FuzzOp,
+    OpsFailure, ShrunkFailure,
 };
 pub use oracle::{InvariantOracle, Violation};
 pub use policy_fuzz::{
-    determinism_digests, run_policy_case, PolicyRunReport, PolicyUnderTest, ALL_POLICIES,
+    determinism_digests, run_policy_case, run_policy_case_with_plan, PolicyRunReport,
+    PolicyUnderTest, ALL_POLICIES,
 };
 pub use shrink::shrink_ops;

@@ -177,6 +177,7 @@ pub fn check_huge_base_accounting(seed: u64) -> Result<(), String> {
             inflight_slots: 2,
             backlog_cap: Nanos::from_millis(10),
         },
+        fault_plan: None,
     };
     let ops = crate::ops::generate_ops(&cfg, seed ^ 0x40E6_BA5E, 1200);
     match crate::ops::run_case(&cfg, &ops) {

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use chrono_core::QueueFlow;
+use chrono_core::{QueueFlow, RetryFlow};
 use tiered_mem::{
     FrameOwner, LruKind, PageFlags, Pfn, ProcessId, TierId, TieredSystem, Vpn, BASE_PAGE_BYTES,
     HUGE_2M_PAGES,
@@ -57,7 +57,79 @@ impl InvariantOracle {
         self.check_lru(sys, &mut out);
         self.check_watermarks(sys, &mut out);
         self.check_stats(sys, &mut out);
+        self.check_fault_quarantine(sys, &mut out);
         out
+    }
+
+    /// Fault-injection bookkeeping: quarantined frames are permanently out
+    /// of service — never on a free list, never owned by a mapping, never
+    /// reserved by an in-flight copy (ownership covers both) — the
+    /// quarantine counter matches the pools exactly, and offlined-frame
+    /// flow balances: every offlined frame is still offline, restored, or
+    /// was quarantined in place (that remainder bounded by the quarantine
+    /// counter).
+    fn check_fault_quarantine(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        let mut quarantined_now = 0u64;
+        for tier in [TierId::Fast, TierId::Slow] {
+            for pfn in sys.quarantined_pfns(tier) {
+                quarantined_now += 1;
+                if sys.frame_is_free(tier, pfn) {
+                    out.push(Violation {
+                        invariant: "quarantine_isolation",
+                        detail: format!(
+                            "{tier:?} pfn {} is quarantined but sits on the free list",
+                            pfn.0
+                        ),
+                    });
+                }
+                if let Some(owner) = sys.frame_owner(tier, pfn) {
+                    out.push(Violation {
+                        invariant: "quarantine_isolation",
+                        detail: format!(
+                            "{tier:?} pfn {} is quarantined but owned by pid {} vpn {}",
+                            pfn.0, owner.pid.0, owner.vpn.0
+                        ),
+                    });
+                }
+            }
+        }
+        let s = &sys.stats;
+        if s.quarantined_frames != quarantined_now {
+            out.push(Violation {
+                invariant: "quarantine_conservation",
+                detail: format!(
+                    "stats.quarantined_frames {} != {} frames in quarantine pools",
+                    s.quarantined_frames, quarantined_now
+                ),
+            });
+        }
+        let current = sys.offlined_frames(TierId::Fast) as u64;
+        let outflow = s.restored_frames + current;
+        if s.offlined_frames < outflow || s.offlined_frames - outflow > s.quarantined_frames {
+            out.push(Violation {
+                invariant: "offline_flow",
+                detail: format!(
+                    "offlined {} !~ restored {} + currently-offline {} (+ quarantined {})",
+                    s.offlined_frames, s.restored_frames, current, s.quarantined_frames
+                ),
+            });
+        }
+    }
+
+    /// Checks retry-pool flow conservation
+    /// (`failed == retried + abandoned + pending`).
+    pub fn check_retry_flow(flow: &RetryFlow) -> Option<Violation> {
+        if flow.conserved() {
+            None
+        } else {
+            Some(Violation {
+                invariant: "retry_flow",
+                detail: format!(
+                    "failed {} != retried {} + abandoned {} + pending {}",
+                    flow.failed, flow.retried, flow.abandoned, flow.pending
+                ),
+            })
+        }
     }
 
     /// The runtime ⊆ static bridge check: every flag word in every page
@@ -138,10 +210,9 @@ impl InvariantOracle {
     /// process/space counters; present huge blocks are fully resident in one
     /// tier.
     fn check_page_tables(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
-        let totals = [
-            sys.total_frames(TierId::Fast),
-            sys.total_frames(TierId::Slow),
-        ];
+        // PFN numbering spans the raw frame space: capacity shrink and
+        // quarantine reduce the usable count without renumbering survivors.
+        let totals = [sys.raw_frames(TierId::Fast), sys.raw_frames(TierId::Slow)];
         // One mapping seen per frame, per tier: `mapped_by[tier][pfn]`.
         let mut mapped_by: [Vec<Option<(ProcessId, Vpn)>>; 2] = [
             vec![None; totals[0] as usize],
@@ -274,20 +345,23 @@ impl InvariantOracle {
     fn check_migrations(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
         let s = &sys.stats;
         let in_flight = sys.migration_in_flight_count() as u64;
-        if s.begun_migrations != s.completed_migrations + s.aborted_migrations + in_flight {
+        let faulted = s.transient_copy_faults + s.poisoned_copy_faults;
+        if s.begun_migrations != s.completed_migrations + s.aborted_migrations + faulted + in_flight
+        {
             out.push(Violation {
                 invariant: "migration_flow",
                 detail: format!(
-                    "begun {} != completed {} + aborted {} + in-flight {}",
-                    s.begun_migrations, s.completed_migrations, s.aborted_migrations, in_flight
+                    "begun {} != completed {} + aborted {} + faulted {} + in-flight {}",
+                    s.begun_migrations,
+                    s.completed_migrations,
+                    s.aborted_migrations,
+                    faulted,
+                    in_flight
                 ),
             });
         }
 
-        let totals = [
-            sys.total_frames(TierId::Fast),
-            sys.total_frames(TierId::Slow),
-        ];
+        let totals = [sys.raw_frames(TierId::Fast), sys.raw_frames(TierId::Slow)];
         let mut reserved_seen: [Vec<bool>; 2] = [
             vec![false; totals[0] as usize],
             vec![false; totals[1] as usize],
@@ -610,6 +684,63 @@ mod tests {
             violations.iter().any(|v| v.invariant == "migration_flow"),
             "{violations:?}"
         );
+    }
+
+    #[test]
+    fn poisoned_and_shrunk_systems_are_clean() {
+        let (mut sys, pid) = small_sys();
+        let mut oracle = InvariantOracle::new();
+        for v in 0..48 {
+            sys.access(pid, Vpn(v), false);
+        }
+        let bad = sys.process(pid).space.entry(Vpn(3)).pfn;
+        assert!(sys.poison_frame(TierId::Fast, bad));
+        oracle.assert_clean(&sys, "after poison + soft-offline");
+        sys.shrink_fast(8);
+        oracle.assert_clean(&sys, "after shrink");
+        sys.grow_fast(8);
+        oracle.assert_clean(&sys, "after grow");
+    }
+
+    #[test]
+    fn quarantine_counter_skew_is_caught() {
+        let (mut sys, pid) = small_sys();
+        sys.access(pid, Vpn(0), false);
+        let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
+        assert!(sys.poison_frame(TierId::Fast, pfn));
+        sys.stats.quarantined_frames += 1;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "quarantine_conservation"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn offline_flow_skew_is_caught() {
+        let (mut sys, _) = small_sys();
+        sys.shrink_fast(4);
+        sys.stats.restored_frames += 2; // claim restores that never happened
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations.iter().any(|v| v.invariant == "offline_flow"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn retry_flow_check() {
+        let ok = RetryFlow {
+            failed: 10,
+            retried: 4,
+            abandoned: 1,
+            pending: 5,
+        };
+        assert!(InvariantOracle::check_retry_flow(&ok).is_none());
+        let bad = RetryFlow { pending: 6, ..ok };
+        assert!(InvariantOracle::check_retry_flow(&bad).is_some());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use chrono_core::{ChronoConfig, ChronoPolicy};
 use sim_clock::Nanos;
-use tiered_mem::{PageSize, SystemConfig, TieredSystem};
+use tiered_mem::{FaultPlan, PageSize, SystemConfig, TieredSystem};
 use tiering_policies::{
     autotiering::AutoTieringConfig, linux_nb::LinuxNbConfig, multiclock::MultiClockConfig,
     tpp::TppConfig, AutoTiering, DriverConfig, FlexMem, FlexMemConfig, LinuxNumaBalancing, Memtis,
@@ -227,11 +227,25 @@ fn case_shape(seed: u64) -> (u32, u32, u64) {
 /// driver's inspect hook (checked every `ORACLE_STRIDE` steps and once at the
 /// end). Returns the report; never panics on violations — callers decide.
 pub fn run_policy_case(policy: PolicyUnderTest, seed: u64, run_millis: u64) -> PolicyRunReport {
+    run_policy_case_with_plan(policy, seed, run_millis, None)
+}
+
+/// [`run_policy_case`] with an optional fault plan attached to the system.
+/// The faulty goldens and the fault-storm policy sweep run through here;
+/// `None` reproduces the fault-free path bit for bit.
+pub fn run_policy_case_with_plan(
+    policy: PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    fault_plan: Option<FaultPlan>,
+) -> PolicyRunReport {
     const ORACLE_STRIDE: u64 = 128;
     const MAX_KEPT: usize = 8;
 
     let (total_frames, pages, wl_seed) = case_shape(seed);
-    let mut sys = TieredSystem::new(SystemConfig::quarter_fast(total_frames));
+    let mut cfg = SystemConfig::quarter_fast(total_frames);
+    cfg.fault_plan = fault_plan;
+    let mut sys = TieredSystem::new(cfg);
     sys.enable_tracing(1 << 12);
     let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, wl_seed));
     sys.add_process(w.address_space_pages(), PageSize::Base);
@@ -265,10 +279,13 @@ pub fn run_policy_case(policy: PolicyUnderTest, seed: u64, run_millis: u64) -> P
         violations.truncate(MAX_KEPT);
     }
 
-    // Chrono modes additionally expose promotion-queue flow counters; check
-    // conservation through the concrete policy handle.
+    // Chrono modes additionally expose promotion-queue and retry-pool flow
+    // counters; check conservation through the concrete policy handle.
     if let BuiltPolicy::Chrono(c) = &built {
         if let Some(v) = InvariantOracle::check_queue_flow(&c.queue_flow()) {
+            violations.push(v);
+        }
+        if let Some(v) = InvariantOracle::check_retry_flow(&c.retry_flow()) {
             violations.push(v);
         }
     }
@@ -307,6 +324,25 @@ mod tests {
                 r.policy,
                 r.violations
             );
+        }
+    }
+
+    #[test]
+    fn chrono_modes_run_clean_and_deterministic_under_canonical_faults() {
+        let plan = FaultPlan::canonical(7, Nanos::from_millis(20));
+        for p in ALL_POLICIES.into_iter().filter(|p| p.is_chrono()) {
+            let a = run_policy_case_with_plan(p, 0x5EED, 20, Some(plan.clone()));
+            let b = run_policy_case_with_plan(p, 0x5EED, 20, Some(plan.clone()));
+            assert!(a.clean(), "{} violated: {:?}", a.policy, a.violations);
+            assert_eq!(
+                a.digest, b.digest,
+                "{} faulty run nondeterministic",
+                a.policy
+            );
+            // The plan must actually perturb the run (the capacity event
+            // alone guarantees a trace divergence).
+            let clean = run_policy_case(p, 0x5EED, 20);
+            assert_ne!(a.digest, clean.digest, "{} plan had no effect", a.policy);
         }
     }
 

@@ -1,0 +1,120 @@
+//! Chaos run: Chrono under the canonical deterministic fault plan.
+//!
+//! Runs the same skewed workload twice under full Chrono (2-round
+//! filtering with DCSC): once fault-free, once with
+//! `FaultPlan::canonical` attached —
+//! 1 % transient copy faults, 0.01 % frame poisoning, and one mid-run 25 %
+//! fast-tier capacity shrink (the harness `--fault-plan canonical` knob).
+//! The resilience layer has to absorb all three:
+//!
+//! * transient `CopyFault`s land in the bounded exponential-backoff retry
+//!   pool and are re-validated against the current CIT threshold before
+//!   re-issue;
+//! * `Poisoned` frames are quarantined, never re-allocated, and their pages
+//!   soft-offlined to the other tier;
+//! * the capacity shrink forces a watermark recompute, and the circuit
+//!   breaker keeps a failure-ratio spike from wedging the promotion path.
+//!
+//! The run asserts the paper-style resilience bar: chaos throughput within
+//! 15 % of the fault-free run, and the replayability bar: same plan + same
+//! seed ⇒ identical fault counters.
+//!
+//! ```text
+//! cargo run --release --example fault_chaos
+//! ```
+
+use chrono_repro::chrono_core::{ChronoConfig, ChronoPolicy};
+use chrono_repro::sim_clock::Nanos;
+use chrono_repro::tiered_mem::{FaultPlan, PageSize, SystemConfig, TierId, TieredSystem};
+use chrono_repro::tiering_policies::{DriverConfig, RunResult, SimulationDriver};
+use chrono_repro::workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+const TOTAL_FRAMES: u32 = 8_192;
+const RUN_FOR: Nanos = Nanos::from_millis(1_500);
+const FAULT_SEED: u64 = 0xFA17;
+
+fn run_once(plan: Option<FaultPlan>) -> (TieredSystem, ChronoPolicy, RunResult) {
+    let mut cfg = SystemConfig::quarter_fast(TOTAL_FRAMES);
+    cfg.fault_plan = plan;
+    let mut sys = TieredSystem::new(cfg);
+
+    let workload = PmbenchWorkload::new(PmbenchConfig::paper_skewed(6_144, 0.7, 7));
+    sys.add_process(workload.address_space_pages(), PageSize::Base);
+    let mut workloads: Vec<Box<dyn Workload>> = vec![Box::new(workload)];
+
+    let mut chrono = ChronoPolicy::new(ChronoConfig::scaled(Nanos::from_millis(100), 1024));
+    let cfg = DriverConfig {
+        run_for: RUN_FOR,
+        ..Default::default()
+    };
+    let result = SimulationDriver::new(cfg).run(&mut sys, &mut workloads, &mut chrono);
+    (sys, chrono, result)
+}
+
+fn main() {
+    let (clean_sys, _, clean) = run_once(None);
+    let plan = FaultPlan::canonical(FAULT_SEED, RUN_FOR);
+    let (sys, chrono, chaos) = run_once(Some(plan.clone()));
+
+    let s = &sys.stats;
+    println!("fault-free throughput : {:>12.0} acc/s", clean.throughput());
+    println!("chaos throughput      : {:>12.0} acc/s", chaos.throughput());
+    println!(
+        "copy faults           : {} transient, {} poisoned",
+        s.transient_copy_faults, s.poisoned_copy_faults
+    );
+    println!(
+        "quarantine / offline  : {} quarantined, {} offlined, {} restored",
+        s.quarantined_frames, s.offlined_frames, s.restored_frames
+    );
+    let flow = chrono.retry_flow();
+    println!(
+        "retry flow            : {} failed = {} retried + {} abandoned + {} pending",
+        flow.failed, flow.retried, flow.abandoned, flow.pending
+    );
+    println!(
+        "breaker / degradation : {} trips (open now: {}), dcsc degraded: {}",
+        chrono.breaker_trips(),
+        chrono.breaker_open(),
+        chrono.is_degraded()
+    );
+    println!(
+        "fast tier usable      : {} of {} raw frames",
+        sys.total_frames(TierId::Fast),
+        sys.raw_frames(TierId::Fast)
+    );
+
+    // Sanity: the plan actually fired, including its mid-run shrink.
+    assert!(
+        s.transient_copy_faults > 0,
+        "canonical plan fired no transient copy faults"
+    );
+    assert!(
+        sys.total_frames(TierId::Fast) < clean_sys.total_frames(TierId::Fast),
+        "mid-run 25 % shrink left the fast tier at full capacity"
+    );
+    assert!(flow.conserved(), "retry flow does not balance");
+
+    // The resilience bar: chaos within 15 % of fault-free throughput.
+    let ratio = chaos.throughput() / clean.throughput();
+    println!(
+        "throughput ratio      : {:.1} % of fault-free",
+        ratio * 100.0
+    );
+    assert!(
+        ratio >= 0.85,
+        "chaos throughput dropped {:.1} % (bar: 15 %)",
+        (1.0 - ratio) * 100.0
+    );
+
+    // The replayability bar: same plan, same seed, same fault sequence.
+    let (sys2, _, chaos2) = run_once(Some(plan));
+    assert_eq!(
+        chaos.accesses, chaos2.accesses,
+        "chaos run is not replayable"
+    );
+    assert_eq!(s.transient_copy_faults, sys2.stats.transient_copy_faults);
+    assert_eq!(s.poisoned_copy_faults, sys2.stats.poisoned_copy_faults);
+    assert_eq!(s.quarantined_frames, sys2.stats.quarantined_frames);
+    println!("chaos run replayed bit-identically; resilience bar held");
+}

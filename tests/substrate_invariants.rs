@@ -46,6 +46,7 @@ fn huge_mappings_preserve_block_integrity() {
                 inflight_slots: 1,
                 backlog_cap: chrono_repro::sim_clock::Nanos::from_millis(10),
             },
+            fault_plan: None,
         };
         let ops = generate_ops(&cfg, 0x8006_0000 + seed, OPS);
         if let Some(shrunk) = fuzz_ops(0x8006_0000 + seed, &cfg, ops) {
