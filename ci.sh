@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, test, format, lint. Everything here must pass
-# offline (the workspace has no external dependencies; Criterion benches
-# live outside the workspace in crates/bench).
+# offline (the workspace has no external dependencies; benchmarks are the
+# dependency-free `harness bench` subcommand).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,5 +40,15 @@ echo "== harness fuzz self-test (injected bug must be caught and shrunk)"
 
 echo "== harness verify (determinism + metamorphic + goldens)"
 ./target/release/harness verify
+
+# Reduced-scale perf smoke: validates the committed BENCH_*.json schema and
+# fails on a >25 % end-to-end throughput regression. Wall-clock dependent,
+# so slow or loaded machines can skip it.
+if [[ "${CHRONO_SKIP_BENCH:-0}" == "1" ]]; then
+  echo "== harness bench --quick --check (skipped: CHRONO_SKIP_BENCH=1)"
+else
+  echo "== harness bench --quick --check (throughput vs committed baseline)"
+  ./target/release/harness bench --quick --check
+fi
 
 echo "CI OK"

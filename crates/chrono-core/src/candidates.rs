@@ -2,24 +2,24 @@
 //!
 //! The kernel implementation indexes candidates in an XArray for low-latency
 //! lookup and small footprint ("less than 32 KB per active process"); the
-//! simulator uses an ordered map keyed by `(pid, vpn)` with the same role:
-//! remembering which pages passed earlier CIT rounds and how many
-//! consecutive rounds they have survived. `BTreeMap` rather than `HashMap`
-//! so any future iteration over the set is address-ordered and the simulator
-//! stays bit-deterministic (the chrono-lint `hash-iter` rule).
-
-use std::collections::BTreeMap;
+//! simulator uses a dense [`PidVpnTable`] with the same role: remembering
+//! which pages passed earlier CIT rounds and how many consecutive rounds
+//! they have survived. A round count of 0 means "not a candidate", so the
+//! table needs no occupancy bits, and row-major traversal is `(pid, vpn)`
+//! address-ordered by construction — the same bit-deterministic iteration
+//! the original `BTreeMap` implementation guaranteed (the chrono-lint
+//! `hash-iter` rule), without its per-access tree descent.
 
 use tiered_mem::{ProcessId, Vpn};
 
-fn key(pid: ProcessId, vpn: Vpn) -> u64 {
-    (pid.0 as u64) << 32 | vpn.0 as u64
-}
+use crate::flat::PidVpnTable;
 
 /// Tracks candidate pages and their surviving round counts.
 #[derive(Debug, Default)]
 pub struct CandidateSet {
-    rounds: BTreeMap<u64, u32>,
+    /// `[pid][vpn]` -> consecutive surviving rounds; 0 = not a candidate.
+    rounds: PidVpnTable<u32>,
+    len: usize,
 }
 
 impl CandidateSet {
@@ -31,56 +31,72 @@ impl CandidateSet {
     /// Records that `(pid, vpn)` passed one more CIT round; returns the new
     /// consecutive-round count.
     pub fn pass_round(&mut self, pid: ProcessId, vpn: Vpn) -> u32 {
-        let c = self.rounds.entry(key(pid, vpn)).or_insert(0);
+        let c = self.rounds.slot_mut(pid, vpn);
+        if *c == 0 {
+            self.len += 1;
+        }
         *c += 1;
         *c
     }
 
     /// Current round count for a page (0 if not a candidate).
+    #[inline]
     pub fn rounds(&self, pid: ProcessId, vpn: Vpn) -> u32 {
-        self.rounds.get(&key(pid, vpn)).copied().unwrap_or(0)
+        self.rounds.get(pid, vpn).copied().unwrap_or(0)
     }
 
     /// Drops a page (its CIT exceeded the threshold, or it was promoted or
     /// demoted). Returns whether it was present.
     pub fn remove(&mut self, pid: ProcessId, vpn: Vpn) -> bool {
-        self.rounds.remove(&key(pid, vpn)).is_some()
+        match self.rounds.get_mut(pid, vpn) {
+            Some(c) if *c > 0 => {
+                *c = 0;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Whether the page is currently a candidate.
+    #[inline]
     pub fn contains(&self, pid: ProcessId, vpn: Vpn) -> bool {
-        self.rounds.contains_key(&key(pid, vpn))
+        self.rounds(pid, vpn) > 0
     }
 
     /// Number of candidates tracked.
     pub fn len(&self) -> usize {
-        self.rounds.len()
+        self.len
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.rounds.is_empty()
+        self.len == 0
     }
 
     /// Approximate memory footprint in bytes (the paper bounds it at ~32 KB
     /// per process; experiments assert the same order here).
     pub fn approx_bytes(&self) -> usize {
-        // Key + value + tree-node overhead ≈ 2× payload.
-        self.rounds.len() * (8 + 4) * 2
+        self.rounds.approx_bytes()
     }
 
     /// Iterates candidates in `(pid, vpn)` address order with their round
-    /// counts. Deterministic by construction (ordered map), so callers may
-    /// drain or sample the set without perturbing trace digests.
+    /// counts. Deterministic by construction (row-major over a dense table),
+    /// so callers may drain or sample the set without perturbing trace
+    /// digests.
     pub fn iter(&self) -> impl Iterator<Item = (ProcessId, Vpn, u32)> + '_ {
-        self.rounds
-            .iter()
-            .map(|(&k, &c)| (ProcessId((k >> 32) as u16), Vpn(k as u32), c))
+        self.rounds.rows().iter().enumerate().flat_map(|(p, row)| {
+            row.iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(move |(v, &c)| (ProcessId(p as u16), Vpn(v as u32), c))
+        })
     }
 
     /// Clears all candidates.
     pub fn clear(&mut self) {
         self.rounds.clear();
+        self.len = 0;
     }
 }
 

@@ -184,7 +184,18 @@ impl ChronoConfig {
             return 0;
         }
         let b = 64 - units.leading_zeros() as usize; // floor(log2)+1
-        b.min(self.buckets - 1)
+                                                     // `buckets - 1` underflows on a zero-bucket config; treat it as a
+                                                     // single-bucket map (validate() clamps real configurations).
+        b.min(self.buckets.saturating_sub(1))
+    }
+
+    /// Clamps degenerate parameters to usable values: a CIT histogram needs
+    /// at least one bucket (`bucket_of`/`HeatMap::add` otherwise have no
+    /// index to clamp to). Called by `ChronoPolicy::new`, so a zero-bucket
+    /// configuration rounds up instead of underflowing deep in the policy.
+    pub fn validate(mut self) -> ChronoConfig {
+        self.buckets = self.buckets.max(1);
+        self
     }
 
     /// The lower-bound CIT of a bucket (inverse of [`ChronoConfig::bucket_of`]).
@@ -236,6 +247,38 @@ mod tests {
             // Just below the floor belongs to the previous bucket.
             assert_eq!(c.bucket_of(Nanos(floor.as_nanos() - 1)), b - 1);
         }
+    }
+
+    #[test]
+    fn zero_bucket_config_does_not_underflow() {
+        // Regression: `bucket_of` computed `buckets - 1` unconditionally, so
+        // any nonzero CIT under a zero-bucket config wrapped/panicked.
+        let c = ChronoConfig {
+            buckets: 0,
+            ..ChronoConfig::default()
+        };
+        assert_eq!(c.bucket_of(Nanos::ZERO), 0);
+        assert_eq!(c.bucket_of(Nanos::from_millis(1)), 0);
+        assert_eq!(c.bucket_of(Nanos::from_secs(3600)), 0);
+        // validate() rounds the config up to a single usable bucket.
+        assert_eq!(c.validate().buckets, 1);
+    }
+
+    #[test]
+    fn single_bucket_config_maps_everything_to_zero() {
+        let c = ChronoConfig {
+            buckets: 1,
+            ..ChronoConfig::default()
+        };
+        assert_eq!(c.bucket_of(Nanos::ZERO), 0);
+        assert_eq!(c.bucket_of(Nanos::from_millis(17)), 0);
+        assert_eq!(c.bucket_floor(0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn validate_keeps_sane_configs_unchanged() {
+        let c = ChronoConfig::default().validate();
+        assert_eq!(c.buckets, 28);
     }
 
     #[test]

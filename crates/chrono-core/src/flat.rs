@@ -1,0 +1,141 @@
+//! Dense per-`(pid, vpn)` tables for hot-path policy state.
+//!
+//! The kernel implementation indexes per-page policy state in an XArray; the
+//! first simulator cut used `BTreeMap<u64, _>` keyed by `pid << 32 | vpn`,
+//! which costs a pointer-chasing tree descent on every probe fault and every
+//! candidate-round check — both on the measured hot paths of `harness bench`.
+//! Virtual address spaces here are small and dense (a few thousand pages per
+//! process), so a flat two-level vector — row per pid, slot per vpn — turns
+//! each lookup into two bounds-checked indexes while keeping iteration in
+//! exactly the `(pid, vpn)` order the old ordered map guaranteed. That order
+//! is what keeps same-seed trace digests byte-stable (the chrono-lint
+//! `hash-iter` rule), so it is part of this type's contract, not an accident.
+
+use tiered_mem::{ProcessId, Vpn};
+
+/// A grow-on-write table addressed by `(pid, vpn)`.
+///
+/// Slots spring into existence as `T::default()`; occupancy semantics (what
+/// "absent" means) belong to the caller, which keeps reads free of any
+/// tombstone bookkeeping.
+#[derive(Debug, Default, Clone)]
+pub struct PidVpnTable<T> {
+    rows: Vec<Vec<T>>,
+}
+
+impl<T: Default + Clone> PidVpnTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> PidVpnTable<T> {
+        PidVpnTable { rows: Vec::new() }
+    }
+
+    /// The slot for `(pid, vpn)`, or `None` if that slot was never grown.
+    #[inline]
+    pub fn get(&self, pid: ProcessId, vpn: Vpn) -> Option<&T> {
+        self.rows.get(pid.0 as usize)?.get(vpn.0 as usize)
+    }
+
+    /// Mutable slot access without growth.
+    #[inline]
+    pub fn get_mut(&mut self, pid: ProcessId, vpn: Vpn) -> Option<&mut T> {
+        self.rows.get_mut(pid.0 as usize)?.get_mut(vpn.0 as usize)
+    }
+
+    /// Mutable slot access, growing the table with defaults as needed.
+    /// Growth is amortized: rows double like any `Vec`, so an ascending
+    /// sweep of vpns costs O(1) per new slot.
+    #[inline]
+    pub fn slot_mut(&mut self, pid: ProcessId, vpn: Vpn) -> &mut T {
+        let p = pid.0 as usize;
+        if p >= self.rows.len() {
+            self.rows.resize_with(p + 1, Vec::new);
+        }
+        let row = &mut self.rows[p];
+        let v = vpn.0 as usize;
+        if v >= row.len() {
+            row.resize(v + 1, T::default());
+        }
+        &mut row[v]
+    }
+
+    /// The backing rows, indexed by pid. Iterating rows in order and slots
+    /// within each row in order yields `(pid, vpn)`-ascending traversal.
+    pub fn rows(&self) -> &[Vec<T>] {
+        &self.rows
+    }
+
+    /// Drops every slot (rows keep their capacity for reuse).
+    pub fn clear(&mut self) {
+        for row in &mut self.rows {
+            row.clear();
+        }
+    }
+
+    /// Approximate memory footprint of the backing storage in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.capacity() * std::mem::size_of::<T>())
+            .sum::<usize>()
+            + self.rows.capacity() * std::mem::size_of::<Vec<T>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(p: u16, v: u32) -> (ProcessId, Vpn) {
+        (ProcessId(p), Vpn(v))
+    }
+
+    #[test]
+    fn reads_never_grow() {
+        let mut t: PidVpnTable<u32> = PidVpnTable::new();
+        let (p, v) = pv(3, 100);
+        assert_eq!(t.get(p, v), None);
+        assert_eq!(t.get_mut(p, v), None);
+        assert_eq!(t.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn slot_mut_grows_with_defaults() {
+        let mut t: PidVpnTable<u32> = PidVpnTable::new();
+        let (p, v) = pv(1, 5);
+        *t.slot_mut(p, v) = 7;
+        assert_eq!(t.get(p, v), Some(&7));
+        // Interior slots materialised as defaults, earlier pids as empty rows.
+        assert_eq!(t.get(pv(1, 0).0, pv(1, 0).1), Some(&0));
+        assert_eq!(t.get(pv(0, 0).0, pv(0, 0).1), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_but_drops_slots() {
+        let mut t: PidVpnTable<u32> = PidVpnTable::new();
+        *t.slot_mut(ProcessId(0), Vpn(63)) = 1;
+        let bytes = t.approx_bytes();
+        t.clear();
+        assert_eq!(t.get(ProcessId(0), Vpn(63)), None);
+        assert!(t.approx_bytes() >= bytes);
+    }
+
+    #[test]
+    fn rows_iterate_in_pid_vpn_order() {
+        let mut t: PidVpnTable<u32> = PidVpnTable::new();
+        for (p, v) in [(3u16, 9u32), (0, 44), (3, 2), (1, 7), (0, 1)] {
+            *t.slot_mut(ProcessId(p), Vpn(v)) = 1;
+        }
+        let order: Vec<(usize, usize)> = t
+            .rows()
+            .iter()
+            .enumerate()
+            .flat_map(|(p, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(move |(v, _)| (p, v))
+            })
+            .collect();
+        assert_eq!(order, vec![(0, 1), (0, 44), (1, 7), (3, 2), (3, 9)]);
+    }
+}

@@ -30,8 +30,12 @@ impl HeatMap {
     /// samples redistribute to base-page equivalents by the caller shifting
     /// the bucket (+9 for 2 MiB, Section 3.4) and passing `pages = 512`.
     pub fn add(&mut self, bucket: usize, pages: f64) {
-        let b = bucket.min(self.counts.len() - 1);
-        self.counts[b] += pages;
+        // A zero-bucket map has nowhere to put the sample; `len() - 1` would
+        // underflow. Dropping it matches `hotter_than`'s view of an empty map.
+        let Some(last) = self.counts.len().checked_sub(1) else {
+            return;
+        };
+        self.counts[bucket.min(last)] += pages;
     }
 
     /// Ages every bucket by `decay` (0–1), so stale distribution mass fades
@@ -151,6 +155,33 @@ mod tests {
         let mut m = HeatMap::new(4);
         m.add(100, 1.0);
         assert_eq!(m.counts()[3], 1.0);
+    }
+
+    #[test]
+    fn zero_bucket_map_drops_samples() {
+        // Regression: `add` computed `len() - 1` unconditionally and
+        // underflowed on an empty map.
+        let mut m = HeatMap::new(0);
+        m.add(0, 5.0);
+        m.add(100, 5.0);
+        assert_eq!(m.buckets(), 0);
+        assert_eq!(m.total(), 0.0);
+        assert_eq!(m.hotter_than(0), 0.0);
+        assert_eq!(m.hotter_than(7), 0.0);
+        m.decay(0.5);
+        let o = identify_overlap(&m.clone(), &m, 100.0);
+        assert_eq!(o.cutoff_bucket, 0);
+        assert_eq!(o.misplaced_slow_pages, 0.0);
+    }
+
+    #[test]
+    fn single_bucket_map_takes_everything() {
+        let mut m = HeatMap::new(1);
+        m.add(0, 2.0);
+        m.add(27, 3.0);
+        assert_eq!(m.counts()[0], 5.0);
+        assert_eq!(m.hotter_than(0), 0.0);
+        assert_eq!(m.hotter_than(1), 5.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 pub mod candidates;
 pub mod config;
 pub mod controls;
+pub mod flat;
 pub mod heatmap;
 pub mod limits;
 pub mod policy;
@@ -36,6 +37,7 @@ pub mod tuning;
 pub use candidates::CandidateSet;
 pub use config::{ChronoConfig, TuningMode};
 pub use controls::ControlError;
+pub use flat::PidVpnTable;
 pub use heatmap::HeatMap;
 pub use limits::LimitEnforcer;
 pub use policy::ChronoPolicy;

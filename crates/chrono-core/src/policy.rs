@@ -15,8 +15,6 @@
 //!   thrashing check; **DCSC** events expire/issue probes and derive both
 //!   threshold and rate limit from heat-map overlap.
 
-use std::collections::BTreeMap;
-
 use sim_clock::{DetRng, Nanos};
 use tiered_mem::{
     scan_budget_pages, AccessResult, LruKind, MigrateError, MigrateMode, PageFlags, ProcessId,
@@ -27,6 +25,7 @@ use tiering_trace::{PolicyTraceState, TraceEvent};
 
 use crate::candidates::CandidateSet;
 use crate::config::{ChronoConfig, TuningMode};
+use crate::flat::PidVpnTable;
 use crate::heatmap::{identify_overlap, HeatMap};
 use crate::limits::LimitEnforcer;
 use crate::queue::{PendingPromotion, PromotionQueue};
@@ -46,10 +45,6 @@ const QUEUE_CAP: usize = 1 << 18;
 /// idle across multiple full passes is cold at any threshold the tuner can
 /// pick, and binning it at its idle age keeps the cold mass in the maps.
 const PROBE_EXPIRY_PERIODS: u64 = 2;
-
-fn key(pid: ProcessId, vpn: Vpn) -> u64 {
-    (pid.0 as u64) << 32 | vpn.0 as u64
-}
 
 fn now_us(t: Nanos) -> u32 {
     // lint:allow(timestamp-cast) intentional modular stamp: the 4-byte CIT
@@ -94,9 +89,11 @@ pub struct ChronoPolicy {
     limits: LimitEnforcer,
     /// Per-tier CIT heat maps (population-weighted samples).
     heat: [HeatMap; 2],
-    /// First-round CITs of outstanding probes, keyed by (pid, vpn).
-    /// Ordered map (not a hash map) so any drain stays deterministic.
-    probe_first: BTreeMap<u64, Nanos>,
+    /// First-round CITs of outstanding probes, a dense `[pid][vpn]` table
+    /// (`None` = no first round recorded). Flat rather than an ordered map:
+    /// this is read and written on the probe-fault hot path, and row-major
+    /// traversal stays deterministic if a drain is ever added.
+    probe_first: PidVpnTable<Option<Nanos>>,
     /// Outstanding probes: (pid, vpn, issue time).
     probes: Vec<(ProcessId, Vpn, Nanos)>,
     cit_threshold: Nanos,
@@ -124,6 +121,7 @@ pub struct ChronoPolicy {
 impl ChronoPolicy {
     /// Creates a Chrono instance from a configuration.
     pub fn new(cfg: ChronoConfig) -> ChronoPolicy {
+        let cfg = cfg.validate();
         let rate = match cfg.tuning {
             TuningMode::Manual { rate_limit, .. } | TuningMode::SemiAuto { rate_limit } => {
                 rate_limit
@@ -164,7 +162,7 @@ impl ChronoPolicy {
             deferred: Vec::new(),
             thrash: ThrashingMonitor::new(),
             limits: LimitEnforcer::new(),
-            probe_first: BTreeMap::new(),
+            probe_first: PidVpnTable::new(),
             probes: Vec::new(),
             threshold_history: Vec::new(),
             rate_history: Vec::new(),
@@ -361,12 +359,11 @@ impl ChronoPolicy {
         cit: Nanos,
         now: Nanos,
     ) {
-        let k = key(pid, pte);
-        match self.probe_first.remove(&k) {
+        match self.probe_first.get_mut(pid, pte).and_then(Option::take) {
             None => {
                 // First probe round: remember the CIT and re-arm the PTE for
                 // the second round (two-round CIT generation, Fig 5 step 2).
-                self.probe_first.insert(k, cit);
+                *self.probe_first.slot_mut(pid, pte) = Some(cit);
                 let e = sys.process_mut(pid).space.entry_mut(pte);
                 e.flags.set(PageFlags::PROT_NONE);
                 e.policy_word = now_us(now);
@@ -822,7 +819,9 @@ impl ChronoPolicy {
                 // Completed (already counted) or aborted by a migration that
                 // cleared `PG_probed`; drop any stale first-round CIT so a
                 // future probe of this page starts fresh.
-                self.probe_first.remove(&key(pid, pte));
+                if let Some(s) = self.probe_first.get_mut(pid, pte) {
+                    *s = None;
+                }
                 continue;
             }
             if now.saturating_sub(issued) >= expiry {
@@ -830,7 +829,9 @@ impl ChronoPolicy {
                 self.deposit_heat_sample(sys, pid, pte, age);
                 let e = sys.process_mut(pid).space.entry_mut(pte);
                 e.flags.clear(PageFlags::PROBED | PageFlags::PROT_NONE);
-                self.probe_first.remove(&key(pid, pte));
+                if let Some(s) = self.probe_first.get_mut(pid, pte) {
+                    *s = None;
+                }
             } else {
                 keep.push((pid, pte, issued));
             }

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bench;
 pub mod experiments;
 pub mod runner;
 pub mod sink;

@@ -12,6 +12,7 @@
 //!              [--self-test] [--migration-stress] [--fault-storm]
 //! harness lint [--all] [--rules]
 //! harness model-check [--bless]
+//! harness bench [--quick] [--check] [--suite fig10|substrate]
 //! ```
 //!
 //! `--inflight-slots` / `--migration-backlog-cap` bound the two-phase
@@ -145,6 +146,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("model-check") {
         std::process::exit(harness::analysis::run_model_check(args.split_off(1)));
     }
+    if args.first().map(String::as_str) == Some("bench") {
+        std::process::exit(harness::bench::run_bench(args.split_off(1)));
+    }
 
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
@@ -167,6 +171,10 @@ fn main() {
         println!(
             "  {:8} exhaustive PageFlags lifecycle check [--bless]",
             "model-check"
+        );
+        println!(
+            "  {:8} perf suites -> BENCH_*.json [--quick] [--check] [--suite fig10|substrate]",
+            "bench"
         );
         return;
     }

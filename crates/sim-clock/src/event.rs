@@ -64,6 +64,12 @@ pub struct EventQueue<T> {
     next_seq: u64,
     next_id: u64,
     cancelled: Vec<EventId>,
+    /// Memoised answer of [`EventQueue::next_deadline`]: drivers peek the
+    /// queue once per simulated access but the pending set only changes on
+    /// daemon activity, so the common case is one load instead of a heap
+    /// peek behind a cancellation sweep. `Some(answer)` is authoritative;
+    /// `None` means stale (recompute on next peek).
+    deadline_cache: Option<Option<Nanos>>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -80,6 +86,7 @@ impl<T> EventQueue<T> {
             next_seq: 0,
             next_id: 0,
             cancelled: Vec::new(),
+            deadline_cache: None,
         }
     }
 
@@ -95,6 +102,13 @@ impl<T> EventQueue<T> {
             id,
             payload,
         });
+        // A new event can only pull the earliest deadline forward, so a
+        // valid cache stays exact without a recompute.
+        self.deadline_cache = match self.deadline_cache {
+            Some(Some(cur)) => Some(Some(cur.min(at))),
+            Some(None) => Some(Some(at)),
+            None => None,
+        };
         id
     }
 
@@ -102,12 +116,18 @@ impl<T> EventQueue<T> {
     /// unknown event is a no-op.
     pub fn cancel(&mut self, id: EventId) {
         self.cancelled.push(id);
+        self.deadline_cache = None;
     }
 
     /// Returns the instant of the earliest pending event, if any.
     pub fn next_deadline(&mut self) -> Option<Nanos> {
+        if let Some(answer) = self.deadline_cache {
+            return answer;
+        }
         self.skip_cancelled();
-        self.heap.peek().map(|e| e.at)
+        let answer = self.heap.peek().map(|e| e.at);
+        self.deadline_cache = Some(answer);
+        answer
     }
 
     /// Pops the earliest event whose deadline is `<= now`, if any.
@@ -115,6 +135,7 @@ impl<T> EventQueue<T> {
         self.skip_cancelled();
         if self.heap.peek().map(|e| e.at <= now).unwrap_or(false) {
             let e = self.heap.pop().expect("peeked entry must exist");
+            self.deadline_cache = None;
             Some((e.at, e.payload))
         } else {
             None
@@ -126,6 +147,7 @@ impl<T> EventQueue<T> {
     /// finish draining their queues.
     pub fn pop_next(&mut self) -> Option<(Nanos, T)> {
         self.skip_cancelled();
+        self.deadline_cache = None;
         self.heap.pop().map(|e| (e.at, e.payload))
     }
 
@@ -213,5 +235,25 @@ mod tests {
         q.schedule(Nanos(7), ());
         q.schedule(Nanos(3), ());
         assert_eq!(q.next_deadline(), Some(Nanos(3)));
+    }
+
+    #[test]
+    fn deadline_cache_tracks_mutations() {
+        let mut q = EventQueue::new();
+        // Prime the cache on the empty queue, then mutate through every
+        // path that must keep or invalidate it.
+        assert_eq!(q.next_deadline(), None);
+        let a = q.schedule(Nanos(10), "a");
+        assert_eq!(q.next_deadline(), Some(Nanos(10)));
+        q.schedule(Nanos(4), "b"); // earlier: cache must move forward
+        assert_eq!(q.next_deadline(), Some(Nanos(4)));
+        q.schedule(Nanos(6), "c"); // later: cache must hold
+        assert_eq!(q.next_deadline(), Some(Nanos(4)));
+        assert_eq!(q.pop_due(Nanos(5)).map(|(_, p)| p), Some("b"));
+        assert_eq!(q.next_deadline(), Some(Nanos(6)));
+        q.cancel(a);
+        assert_eq!(q.next_deadline(), Some(Nanos(6)));
+        assert_eq!(q.pop_next().map(|(_, p)| p), Some("c"));
+        assert_eq!(q.next_deadline(), None);
     }
 }

@@ -71,6 +71,11 @@ pub struct MigrationEngine {
     busy_until: [Nanos; 2],
     /// Reserved (allocated but not yet mapped) frames per tier.
     reserved: [u32; 2],
+    /// Earliest `complete_at` across the two channel fronts (`Nanos::MAX`
+    /// when both are empty). Kept current by every channel mutation so the
+    /// per-access [`MigrationEngine::any_due`] probe is one compare instead
+    /// of two deque-front inspections.
+    earliest_front: Nanos,
 }
 
 impl MigrationEngine {
@@ -82,7 +87,15 @@ impl MigrationEngine {
             channels: [VecDeque::new(), VecDeque::new()],
             busy_until: [Nanos::ZERO, Nanos::ZERO],
             reserved: [0, 0],
+            earliest_front: Nanos::MAX,
         }
+    }
+
+    /// Recomputes the cached earliest front completion; O(1), called after
+    /// any mutation that can change a channel front.
+    fn refresh_earliest_front(&mut self) {
+        let front = |c: &VecDeque<MigrationTxn>| c.front().map_or(Nanos::MAX, |t| t.complete_at);
+        self.earliest_front = front(&self.channels[0]).min(front(&self.channels[1]));
     }
 
     /// The admission bounds the engine was built with.
@@ -180,7 +193,18 @@ impl MigrationEngine {
             complete_at,
             mode,
         });
+        self.refresh_earliest_front();
         id
+    }
+
+    /// Whether any channel's front transaction is complete by `now` — the
+    /// O(1) early-out [`TieredSystem::complete_due_migrations`] takes on
+    /// every access before touching the retire machinery.
+    ///
+    /// [`TieredSystem::complete_due_migrations`]: ../system/struct.TieredSystem.html
+    #[inline]
+    pub fn any_due(&self, now: Nanos) -> bool {
+        self.earliest_front <= now
     }
 
     /// Removes and returns the transaction with the earliest `complete_at`
@@ -206,6 +230,7 @@ impl MigrationEngine {
             .pop_front()
             .expect("front checked due");
         self.reserved[txn.to.index()] -= txn.unit;
+        self.refresh_earliest_front();
         Some(txn)
     }
 
@@ -218,6 +243,7 @@ impl MigrationEngine {
             if let Some(pos) = chan.iter().position(|t| t.id == id) {
                 let txn = chan.remove(pos).expect("position just found");
                 self.reserved[txn.to.index()] -= txn.unit;
+                self.refresh_earliest_front();
                 return Some(txn);
             }
         }
@@ -285,6 +311,21 @@ mod tests {
         assert!(e.admits(TierId::Slow, Nanos::ZERO));
         begin_one(&mut e, 2, TierId::Slow, Nanos(10));
         assert!(!e.admits(TierId::Slow, Nanos::ZERO), "slots exhausted");
+    }
+
+    #[test]
+    fn any_due_cache_tracks_begin_pop_and_remove() {
+        let mut e = eng(8, 100);
+        assert!(!e.any_due(Nanos(u64::MAX - 1)), "empty engine never due");
+        let a = begin_one(&mut e, 1, TierId::Fast, Nanos(100));
+        let b = begin_one(&mut e, 2, TierId::Slow, Nanos(40));
+        assert!(!e.any_due(Nanos(39)));
+        assert!(e.any_due(Nanos(40)), "slow front due at its completion");
+        assert_eq!(e.pop_due(Nanos(40)).unwrap().id, b);
+        assert!(!e.any_due(Nanos(40)), "cache advanced to the fast front");
+        assert!(e.any_due(Nanos(100)));
+        assert!(e.remove(a).is_some());
+        assert!(!e.any_due(Nanos(u64::MAX - 1)), "cache reset on removal");
     }
 
     #[test]

@@ -125,16 +125,41 @@ impl AddressSpace {
         }
         let mut pos = start.0 % total;
         let mut remaining = len.min(total);
+        // Base mappings have no block logic, so the sweep is just the backing
+        // slice in at most two contiguous segments (pre-wrap, post-wrap);
+        // iterating the slices directly lets the compiler hoist the bounds
+        // and modulo work out of the per-page loop.
+        if self.page_size == PageSize::Base {
+            let first = remaining.min(total - pos);
+            for (off, e) in self.entries[pos as usize..(pos + first) as usize]
+                .iter_mut()
+                .enumerate()
+            {
+                if e.present() {
+                    f(Vpn(pos + off as u32), e);
+                }
+            }
+            let rest = (remaining - first) as usize;
+            for (off, e) in self.entries[..rest].iter_mut().enumerate() {
+                if e.present() {
+                    f(Vpn(off as u32), e);
+                }
+            }
+            return Vpn((pos + remaining) % total);
+        }
         while remaining > 0 {
             let vpn = Vpn(pos);
             let unit = if self.is_huge_mapped(vpn) {
                 let head = vpn.huge_head();
-                // Step to the end of the block regardless of where we are in it.
-                let step = HUGE_2M_PAGES - vpn.huge_offset();
-                if self.entries[head.0 as usize].present() {
+                // Step to the end of the block regardless of where we are in
+                // it, but only fire the callback from the head: a cursor that
+                // lands mid-block (stale after a split was re-collapsed, or a
+                // wrap into a block interior) would otherwise visit the head
+                // here AND again when the walk comes back around to it.
+                if vpn == head && self.entries[head.0 as usize].present() {
                     f(head, &mut self.entries[head.0 as usize]);
                 }
-                step
+                HUGE_2M_PAGES - vpn.huge_offset()
             } else {
                 if self.entries[pos as usize].present() {
                     f(vpn, &mut self.entries[pos as usize]);
@@ -271,6 +296,26 @@ mod tests {
         let mut seen = Vec::new();
         let next = s.walk_range(Vpn(0), 1024, |v, _| seen.push(v.0));
         assert_eq!(seen, vec![0, 512]);
+        assert_eq!(next, Vpn(0));
+    }
+
+    #[test]
+    fn walk_range_mid_block_entry_does_not_double_visit_head() {
+        // Regression: a cursor entering a huge block mid-way fired the
+        // callback on the block head and then fired it again after wrapping
+        // back to the head, double-counting the block in one sweep.
+        let mut s = AddressSpace::new(1024, PageSize::Huge2M);
+        for head in [0u32, 512] {
+            *s.entry_mut(Vpn(head)) = mapped_entry(TierId::Slow);
+            s.entry_mut(Vpn(head)).flags.set(PageFlags::HUGE_HEAD);
+        }
+        let mut seen = Vec::new();
+        let next = s.walk_range(Vpn(600), 1024, |v, _| seen.push(v.0));
+        // Mid-block entry skips to the block end without a visit; one full
+        // sweep then sees each head exactly once.
+        assert_eq!(seen, vec![0, 512]);
+        // Progress still counts the partial block: 424 pages to the block
+        // end, then two full blocks exhaust the budget back at the origin.
         assert_eq!(next, Vpn(0));
     }
 

@@ -357,12 +357,19 @@ impl TieredSystem {
     /// The running process with the smallest virtual time, i.e. the next one
     /// a fair concurrency model would execute.
     pub fn min_vtime_process(&self) -> Option<ProcessId> {
+        self.min_vtime_process_and_time().map(|(pid, _)| pid)
+    }
+
+    /// Like [`TieredSystem::min_vtime_process`], but also returns that
+    /// process's virtual time — the scan already has it, and handing it back
+    /// saves the driver a second process lookup on its per-access hot path.
+    pub fn min_vtime_process_and_time(&self) -> Option<(ProcessId, Nanos)> {
         self.procs
             .iter()
             .enumerate()
             .filter(|(_, p)| p.running)
             .min_by_key(|(_, p)| p.vtime)
-            .map(|(i, _)| ProcessId(i as u16))
+            .map(|(i, p)| (ProcessId(i as u16), p.vtime))
     }
 
     /// Largest virtual time across all processes (run makespan).
@@ -462,21 +469,46 @@ impl TieredSystem {
     /// dirty bit setting, latency charging, and statistics. The process's
     /// virtual time advances by the returned latency.
     pub fn access(&mut self, pid: ProcessId, vpn: Vpn, write: bool) -> AccessResult {
-        let now = self.procs[pid.0 as usize].vtime;
+        let proc = &mut self.procs[pid.0 as usize];
+        let now = proc.vtime;
+        let pte_vpn = proc.space.pte_page(vpn);
+
+        // Fast path: a warm present base page with no hint bit and no
+        // in-flight write conflict needs exactly one page-table touch —
+        // read the flags and stamp ACCESSED/DIRTY through the same
+        // reference. Every rare condition falls through to the general
+        // path below, which re-reads the entry itself.
+        if pte_vpn == vpn {
+            let entry = proc.space.entry_mut(pte_vpn);
+            let flags = entry.flags;
+            if flags.has(PageFlags::PRESENT)
+                && !flags.has(PageFlags::PROT_NONE)
+                && !(write && flags.has(PageFlags::MIGRATING))
+            {
+                entry.flags.set(PageFlags::ACCESSED);
+                if write {
+                    entry.flags.set(PageFlags::DIRTY);
+                }
+                let tier = entry.tier();
+                let latency = self.cfg.cost.cpu_op;
+                return self.charge_and_finish(pid, tier, write, now, latency, false, false, false);
+            }
+        }
+
         let mut latency = self.cfg.cost.cpu_op;
         let mut hint_fault = false;
         let mut demand_fault = false;
         let mut probed_fault = false;
 
-        let pte_vpn = self.procs[pid.0 as usize].space.pte_page(vpn);
-        let present = self.procs[pid.0 as usize].space.entry(pte_vpn).present();
+        // One entry read feeds the rare-path checks below (demand fault,
+        // hint fault, in-flight-migration abort); the general path — a cold
+        // or flagged page — touches the page table again for the final
+        // ACCESSED/DIRTY update. `flags` is refreshed after every branch
+        // that mutates the entry so later checks see current state.
+        let mut flags = self.procs[pid.0 as usize].space.entry(pte_vpn).flags;
 
-        if !present {
-            let swapped = self.procs[pid.0 as usize]
-                .space
-                .entry(pte_vpn)
-                .flags
-                .has(PageFlags::SWAPPED);
+        if !flags.has(PageFlags::PRESENT) {
+            let swapped = flags.has(PageFlags::SWAPPED);
             self.demand_map(pid, pte_vpn);
             demand_fault = true;
             if swapped {
@@ -492,13 +524,14 @@ impl TieredSystem {
                 self.stats.kernel_time += self.cfg.cost.demand_fault;
             }
             self.stats.context_switches += 1;
+            flags = self.procs[pid.0 as usize].space.entry(pte_vpn).flags;
         }
 
-        let proc = &mut self.procs[pid.0 as usize];
-        let entry = proc.space.entry_mut(pte_vpn);
-        if entry.flags.has(PageFlags::PROT_NONE) {
+        if flags.has(PageFlags::PROT_NONE) {
+            let entry = self.procs[pid.0 as usize].space.entry_mut(pte_vpn);
             entry.flags.clear(PageFlags::PROT_NONE);
             probed_fault = entry.flags.has(PageFlags::PROBED);
+            flags = entry.flags;
             hint_fault = true;
             latency += self.cfg.cost.hint_fault;
             self.stats.hint_faults += 1;
@@ -511,11 +544,7 @@ impl TieredSystem {
         // stays (re-dirtied) in its source tier. Loads race harmlessly —
         // they read the still-mapped old frames.
         if write
-            && self.procs[pid.0 as usize]
-                .space
-                .entry(pte_vpn)
-                .flags
-                .has(PageFlags::MIGRATING)
+            && flags.has(PageFlags::MIGRATING)
             && self.engine.copy_started(pid, pte_vpn, self.clock.now())
         {
             // Only an *active* copy conflicts with the store; a transaction
@@ -541,6 +570,36 @@ impl TieredSystem {
             }
         }
 
+        self.charge_and_finish(
+            pid,
+            tier,
+            write,
+            now,
+            latency,
+            hint_fault,
+            demand_fault,
+            probed_fault,
+        )
+    }
+
+    /// Shared tail of [`TieredSystem::access`]: charges the tier's device
+    /// latency (with contention) on top of `latency`, updates statistics and
+    /// the process's virtual time, and assembles the result. Both the
+    /// single-lookup fast path and the general faulting path funnel through
+    /// here so the latency arithmetic is identical bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn charge_and_finish(
+        &mut self,
+        pid: ProcessId,
+        tier: TierId,
+        write: bool,
+        now: Nanos,
+        mut latency: Nanos,
+        hint_fault: bool,
+        demand_fault: bool,
+        probed_fault: bool,
+    ) -> AccessResult {
         let spec = match tier {
             TierId::Fast => &self.cfg.fast,
             TierId::Slow => &self.cfg.slow,
@@ -552,7 +611,14 @@ impl TieredSystem {
         };
         let weight = if write { spec.write_weight } else { 1.0 };
         let mult = self.contention[tier.index()].record(now, weight, spec.access_capacity_ops);
-        latency += base.scale_f64(mult);
+        // An uncontended tier reports a multiplier of exactly 1.0;
+        // `scale_f64(1.0)` is the identity for any latency below 2^53 ns, so
+        // skipping the f64 round-trip is bit-identical and cheaper.
+        latency += if mult == 1.0 {
+            base
+        } else {
+            base.scale_f64(mult)
+        };
 
         self.stats.count_access(tier, write);
         self.stats.user_time += latency;
@@ -1260,6 +1326,13 @@ impl TieredSystem {
     /// completed (faulted transactions are not counted).
     pub fn complete_due_migrations(&mut self) -> u32 {
         let now = self.clock.now();
+        // Called on every sim-time advance, which on the driver's access
+        // loop means roughly once per access; the common case is an idle
+        // engine, so bail with three cheap reads before touching the
+        // fault-plan and retire machinery.
+        if self.fault.is_none() && self.shrink_debt == 0 && !self.engine.any_due(now) {
+            return 0;
+        }
         self.service_fault_plan(now);
         let mut n = 0;
         while let Some(txn) = self.engine.pop_due(now) {

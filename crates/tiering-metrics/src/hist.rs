@@ -60,8 +60,24 @@ impl LatencyHistogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Nanos) {
+        self.record_in_bucket(latency, Self::bucket_of(latency.as_nanos()));
+    }
+
+    /// The bucket a latency lands in. Callers recording one sample into
+    /// several histograms (e.g. all-accesses plus a read/write split) can
+    /// compute this once and feed it to
+    /// [`LatencyHistogram::record_in_bucket`].
+    #[inline]
+    pub fn bucket_index(latency: Nanos) -> usize {
+        Self::bucket_of(latency.as_nanos())
+    }
+
+    /// Records a sample whose bucket was precomputed by
+    /// [`LatencyHistogram::bucket_index`] for the same latency.
+    #[inline]
+    pub fn record_in_bucket(&mut self, latency: Nanos, bucket: usize) {
         let ns = latency.as_nanos();
-        self.buckets[Self::bucket_of(ns)] += 1;
+        self.buckets[bucket] += 1;
         self.count += 1;
         self.sum += ns as u128;
         self.max = self.max.max(ns);

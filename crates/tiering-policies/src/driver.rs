@@ -6,10 +6,8 @@
 //! the paper's multi-process runs), and daemon events fire whenever
 //! simulated time passes their deadline.
 
-use std::collections::BTreeSet;
-
 use sim_clock::Nanos;
-use tiered_mem::{ProcessId, TierId, TieredSystem};
+use tiered_mem::{ProcessId, TierId, TieredSystem, Vpn};
 use tiering_metrics::{LatencyHistogram, TimeSeries};
 use workloads::Workload;
 
@@ -82,6 +80,36 @@ impl RunResult {
     }
 }
 
+/// Distinct `(pid, page)` tracking as per-process bitsets: `insert` is two
+/// indexes and an OR, replacing an ordered set whose tree descent sat on the
+/// per-access path whenever `track_slow_accesses` was enabled. Traversal (if
+/// ever added) is row-major and therefore deterministic, same as the ordered
+/// set it replaces.
+#[derive(Default)]
+struct SlowPageSet {
+    bits: Vec<Vec<u64>>,
+    distinct: u64,
+}
+
+impl SlowPageSet {
+    fn insert(&mut self, pid: ProcessId, vpn: Vpn) {
+        let p = pid.0 as usize;
+        if p >= self.bits.len() {
+            self.bits.resize_with(p + 1, Vec::new);
+        }
+        let row = &mut self.bits[p];
+        let word = (vpn.0 / 64) as usize;
+        if word >= row.len() {
+            row.resize(word + 1, 0);
+        }
+        let mask = 1u64 << (vpn.0 % 64);
+        if row[word] & mask == 0 {
+            row[word] |= mask;
+            self.distinct += 1;
+        }
+    }
+}
+
 /// Drives one (system, workloads, policy) triple to completion.
 pub struct SimulationDriver {
     cfg: DriverConfig,
@@ -149,18 +177,14 @@ impl SimulationDriver {
         let mut latency_reads = LatencyHistogram::new();
         let mut latency_writes = LatencyHistogram::new();
         let mut accesses = 0u64;
-        // Ordered set: `hash-iter` lint territory — iteration (if ever
-        // added) must not depend on hash order in a deterministic simulator.
-        let mut slow_pages: BTreeSet<u64> = BTreeSet::new();
+        let mut slow_pages = SlowPageSet::default();
         let mut series: Vec<TimeSeries> = (0..workloads.len())
             .map(|i| TimeSeries::new(format!("proc{}", i)))
             .collect();
         let mut next_sample = self.cfg.sample_interval.unwrap_or(Nanos::MAX);
 
         // Runs until every workload finishes or a stop condition fires.
-        while let Some(pid) = sys.min_vtime_process() {
-            let t = sys.process(pid).vtime;
-
+        while let Some((pid, t)) = sys.min_vtime_process_and_time() {
             // Fire daemon events due before this access.
             while let Some(deadline) = sys.events.next_deadline() {
                 if deadline > t {
@@ -214,15 +238,18 @@ impl SimulationDriver {
 
             let res = sys.access(pid, req.vpn, req.write);
             accesses += 1;
-            latency.record(res.latency);
+            // One sample lands in two histograms (all accesses + the
+            // read/write split); compute the log-scale bucket once.
+            let bucket = LatencyHistogram::bucket_index(res.latency);
+            latency.record_in_bucket(res.latency, bucket);
             if req.write {
-                latency_writes.record(res.latency);
+                latency_writes.record_in_bucket(res.latency, bucket);
             } else {
-                latency_reads.record(res.latency);
+                latency_reads.record_in_bucket(res.latency, bucket);
             }
             observer(pid, req.vpn, req.write, res.tier);
             if self.cfg.track_slow_accesses && res.tier == TierId::Slow {
-                slow_pages.insert((pid.0 as u64) << 32 | req.vpn.0 as u64);
+                slow_pages.insert(pid, req.vpn);
             }
             if res.hint_fault {
                 policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
@@ -246,7 +273,7 @@ impl SimulationDriver {
             latency_reads,
             latency_writes,
             fast_fraction_series: series,
-            accessed_slow_pages: slow_pages.len() as u64,
+            accessed_slow_pages: slow_pages.distinct,
             workloads_finished,
         }
     }

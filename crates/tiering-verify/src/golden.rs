@@ -6,9 +6,10 @@
 //! mismatch means either a real behaviour change (re-bless deliberately with
 //! `harness verify --bless`) or a lost determinism guarantee (investigate).
 //!
-//! Goldens are compared only by the harness binary, not by `cargo test`:
-//! they capture release-mode behaviour on the canonical toolchain, and the
-//! harness gates CI where that configuration is pinned.
+//! Goldens are compared both by the harness binary (`harness verify`, the
+//! release-mode CI gate) and by the `committed_goldens_match_recomputation`
+//! integration test in `tests/determinism.rs` — the simulation is pure
+//! integer and IEEE-754 arithmetic, so debug and release digests agree.
 
 use std::fmt;
 use std::path::{Path, PathBuf};

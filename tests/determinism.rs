@@ -4,7 +4,7 @@
 //! (hash-map iteration order, wall-clock leakage, uninitialized reads)
 //! changes the digest and fails here with the offending policy named.
 
-use chrono_repro::tiering_verify::{determinism_digests, run_policy_case, ALL_POLICIES};
+use chrono_repro::tiering_verify::{determinism_digests, golden, run_policy_case, ALL_POLICIES};
 
 const SEED: u64 = 0xD7_0001;
 const RUN_MILLIS: u64 = 10;
@@ -18,6 +18,22 @@ fn every_policy_is_deterministic() {
             b,
             "{}: same seed produced different trace digests ({a:016x} vs {b:016x})",
             p.name()
+        );
+    }
+}
+
+/// Digest-stability regression: every committed golden — all policies on
+/// both canonical seeds, plus the faulty-run golden — must match a fresh
+/// recomputation byte for byte. This is the explicit proof that hot-path
+/// refactors (flat tables, batched scans, memoised deadlines) change no
+/// observable behaviour: any drift fails here with the diverging lines
+/// printed, and fixing it by re-blessing is a deliberate, reviewed act.
+#[test]
+fn committed_goldens_match_recomputation() {
+    for result in golden::check_goldens() {
+        assert!(
+            result.ok(),
+            "golden digest drifted — the change is not behaviour-neutral:\n{result}"
         );
     }
 }
