@@ -35,6 +35,18 @@ echo "== harness fuzz migration-stress (write-abort/backpressure paths, tiny in-
 echo "== harness fuzz fault-storm (poison/quarantine/capacity paths under storm-rate FaultPlans)"
 ./target/release/harness fuzz --fault-storm --seeds 32 --ops 2000
 
+echo "== harness fuzz tenant-storm (cross-shard invariants + admission rejects, mixed policies)"
+./target/release/harness fuzz --tenant-storm --seeds 32
+
+echo "== harness run thread-invariance (same seed, 1 vs 4 worker threads)"
+d1=$(./target/release/harness run --tenants 200 --millis 5 --threads 1 | awk '/digest:/{print $2}')
+d4=$(./target/release/harness run --tenants 200 --millis 5 --threads 4 | awk '/digest:/{print $2}')
+if [[ -z "$d1" || "$d1" != "$d4" ]]; then
+  echo "thread-invariance FAILED: 1-thread digest '$d1' != 4-thread digest '$d4'"
+  exit 1
+fi
+echo "   digest $d1 identical at 1 and 4 threads"
+
 echo "== harness fuzz self-test (injected bug must be caught and shrunk)"
 ./target/release/harness fuzz --self-test
 

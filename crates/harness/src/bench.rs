@@ -10,7 +10,14 @@
 //!   streams are pre-materialised outside the timed region (the pmbench
 //!   generators are open-loop, so replay is bit-exact with live generation):
 //!   the timed quantity is the simulator — driver, substrate, policy — not
-//!   the Box–Muller sampling that feeds it.
+//!   the Box–Muller sampling that feeds it. The suite also carries the
+//!   multi-tenant fleet shape: the same seeded tenant mix run at 1 and at 4
+//!   worker threads, measuring what the sharded scheduler buys in aggregate
+//!   wall-clock throughput (digest equality across thread counts is enforced
+//!   separately, by `tests/determinism.rs`). The ≥2× speedup expectation is
+//!   asserted only where `available_parallelism()` covers the worker count —
+//!   on a single-CPU host the pool pays synchronization cost with nothing to
+//!   parallelize onto, so the rows are recorded but not gated.
 //! - **substrate** (`BENCH_substrate.json`): ns/op microbenchmarks for the
 //!   five measured hot paths — the demand/hint fault path, the Ticking-scan
 //!   `walk_range` sweep, heat-map add/decay/overlap, LRU rotation, and the
@@ -41,6 +48,7 @@ use tiering_verify::InvariantOracle;
 use workloads::{AccessReq, PmbenchConfig, PmbenchWorkload, Workload};
 
 use crate::runner::{run_policy, PolicyKind, Scale};
+use crate::tenants::{run_fleet, FleetConfig};
 
 /// Schema tag written into (and required from) every bench JSON file.
 pub const SCHEMA: &str = "chrono-bench/v1";
@@ -209,8 +217,43 @@ fn e2e_run(kind: PolicyKind, label: &str, procs: u32, pages: u32, accesses: u64)
     }
 }
 
+/// Worker-thread count of the parallel multi-tenant fleet row.
+pub const FLEET_THREADS: usize = 4;
+
+/// One multi-tenant fleet row: `tenants` shards under the admission hook on
+/// `threads` worker threads. Shard construction happens inside the timed
+/// region for both thread counts, so the 1-thread vs N-thread comparison is
+/// apples to apples; construction is a small, thread-independent prefix of
+/// the run.
+fn bench_fleet(tenants: usize, millis: u64, threads: usize) -> BenchResult {
+    let cfg = FleetConfig {
+        tenants,
+        threads,
+        millis,
+        ..FleetConfig::default()
+    };
+    // lint:allow(wall-clock) host-side throughput is the measured quantity
+    let start = Instant::now();
+    let result = run_fleet(&cfg);
+    // lint:allow(timestamp-cast) elapsed ns fit u64 for any realistic run
+    let host_nanos = start.elapsed().as_nanos() as u64;
+    BenchResult {
+        name: format!("fig10_fleet_{threads}thread"),
+        unit: "access",
+        ops: result.total_accesses(),
+        host_nanos,
+        extra: vec![
+            ("tenants", tenants as f64),
+            ("threads", threads as f64),
+            ("barriers", result.barriers as f64),
+            ("slot_share_gini", result.slot_share_gini()),
+        ],
+    }
+}
+
 /// The end-to-end suite: Fig 10 profile (1×8192 pages) and multi-process
-/// (6×2048 pages) shapes under Chrono-DCSC and TPP.
+/// (6×2048 pages) shapes under Chrono-DCSC and TPP, plus the multi-tenant
+/// fleet shape at 1 and at [`FLEET_THREADS`] worker threads.
 pub fn run_fig10_suite(quick: bool) -> Vec<BenchResult> {
     let accesses: u64 = if quick { 1_000_000 } else { 12_000_000 };
     let mut out = Vec::new();
@@ -233,6 +276,29 @@ pub fn run_fig10_suite(quick: bool) -> Vec<BenchResult> {
             accesses,
         ));
     }
+    // Same fleet at 1 and at FLEET_THREADS threads: thread-count changes the
+    // wall clock, never the digest (tests/determinism.rs proves the latter).
+    let (tenants, millis) = if quick { (64, 5) } else { (256, 10) };
+    let single = bench_fleet(tenants, millis, 1);
+    let mut multi = bench_fleet(tenants, millis, FLEET_THREADS);
+    let speedup = if single.ops_per_sec() > 0.0 {
+        multi.ops_per_sec() / single.ops_per_sec()
+    } else {
+        1.0
+    };
+    multi.extra.push(("speedup_vs_1thread", speedup));
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The ≥2× expectation only holds where the host can actually run the
+    // workers in parallel; a single-CPU host pays the scoped pool's
+    // synchronization cost with nothing to parallelize onto.
+    assert!(
+        cpus < FLEET_THREADS || speedup >= 2.0,
+        "fleet at {FLEET_THREADS} threads only {speedup:.2}x over 1 thread on a {cpus}-cpu host"
+    );
+    out.push(single);
+    out.push(multi);
     out
 }
 

@@ -18,6 +18,7 @@ pub mod bench;
 pub mod experiments;
 pub mod runner;
 pub mod sink;
+pub mod tenants;
 pub mod verify;
 
 pub use runner::{FaultPlanKind, PolicyKind, Scale, StandardRun};

@@ -10,6 +10,9 @@
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
+//!              [--tenant-storm]
+//! harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
+//!             [--seed X] [--slots N]
 //! harness lint [--all] [--rules]
 //! harness model-check [--bless]
 //! harness bench [--quick] [--check] [--suite fig10|substrate]
@@ -149,6 +152,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(harness::bench::run_bench(args.split_off(1)));
     }
+    if args.first().map(String::as_str) == Some("run") {
+        std::process::exit(harness::tenants::run_tenants(args.split_off(1)));
+    }
 
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
@@ -161,8 +167,12 @@ fn main() {
             "verify"
         );
         println!(
-            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm]",
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm] [--tenant-storm]",
             "fuzz"
+        );
+        println!(
+            "  {:8} multi-tenant fleet --tenants N [--threads T] [--policy NAME] [--millis MS]",
+            "run"
         );
         println!(
             "  {:8} chrono-lint static analysis [--all] [--rules]",

@@ -5,6 +5,7 @@
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
+//!              [--tenant-storm]
 //! ```
 //!
 //! `verify` runs the differential determinism check for every policy, the
@@ -20,6 +21,11 @@
 //! carries a storm-rate `FaultPlan` and the op mix adds frame poisoning,
 //! capacity shrink/grow and channel-degradation windows, so the quarantine,
 //! soft-offline and watermark-rescale paths run under the oracle.
+//! `--tenant-storm` switches to the multi-tenant sharded profile: 4–8
+//! tenants with mixed policies over a weighted frame partition, the
+//! admission hook on a deliberately tight slot pool, and a fault plan on one
+//! tenant — checked against the cross-shard invariants (global frame
+//! conservation, PFN exclusivity, per-tenant slot-flow conservation).
 
 use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
 use tiering_verify::{
@@ -121,13 +127,21 @@ pub fn run_verify(mut args: Vec<String>) -> i32 {
 }
 
 /// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-/// [--self-test] [--migration-stress] [--fault-storm]`. Returns the process
-/// exit code.
+/// [--self-test] [--migration-stress] [--fault-storm] [--tenant-storm]`.
+/// Returns the process exit code.
 pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let stress = take_bool_flag(&mut args, "--migration-stress");
     let fault_storm = take_bool_flag(&mut args, "--fault-storm");
-    if stress && fault_storm {
-        eprintln!("fuzz: --migration-stress and --fault-storm are mutually exclusive");
+    let tenant_storm = take_bool_flag(&mut args, "--tenant-storm");
+    if [stress, fault_storm, tenant_storm]
+        .iter()
+        .filter(|&&b| b)
+        .count()
+        > 1
+    {
+        eprintln!(
+            "fuzz: --migration-stress, --fault-storm and --tenant-storm are mutually exclusive"
+        );
         return 2;
     }
     let seeds = take_u64_flag(&mut args, "--seeds", 256);
@@ -136,6 +150,8 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
         0x57E5_5000
     } else if fault_storm {
         0xFA17_0000
+    } else if tenant_storm {
+        0x7E4A_0000
     } else {
         0x5EED_0000
     };
@@ -149,6 +165,10 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     if let Some(unknown) = args.first() {
         eprintln!("fuzz: unknown argument '{unknown}'");
         return 2;
+    }
+
+    if tenant_storm {
+        return run_tenant_storm(seeds, seed_base, replay);
     }
 
     // The fuzzer intentionally drives the substrate into panics and catches
@@ -205,6 +225,64 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     };
     std::panic::set_hook(default_hook);
     code
+}
+
+/// The `--tenant-storm` profile: seeded multi-shard cases (4–8 tenants,
+/// mixed policies, skewed weights, a tight admission-slot pool, a canonical
+/// fault plan on one tenant) with the per-shard oracle plus the cross-shard
+/// invariants — global frame conservation, PFN exclusivity across tenants,
+/// per-tenant slot-flow conservation. Also asserts the admission-reject
+/// path actually fired somewhere in the batch: a sweep where no migration
+/// was ever rejected would mean the contention the profile exists to test
+/// never happened.
+fn run_tenant_storm(seeds: u64, seed_base: u64, replay: Option<u64>) -> i32 {
+    const STORM_MILLIS: u64 = 10;
+    if let Some(seed) = replay {
+        let r = tiering_verify::fuzz_one_tenant_storm(seed, STORM_MILLIS);
+        println!(
+            "replay seed {seed:#x}: {} tenants, {} threads, digest {:016x}, \
+             {} rejects, slot-gini {:.3}, {} violations",
+            r.tenants,
+            r.threads,
+            r.combined_digest,
+            r.backpressure_rejects,
+            r.slot_gini,
+            r.violations.len()
+        );
+        for v in &r.violations {
+            println!("  violation [{}] {}", v.invariant, v.detail);
+        }
+        return i32::from(!r.clean());
+    }
+    let mut failures = 0u64;
+    let mut rejects = 0u64;
+    for i in 0..seeds {
+        let seed = seed_base.wrapping_add(i);
+        let r = tiering_verify::fuzz_one_tenant_storm(seed, STORM_MILLIS);
+        rejects += r.backpressure_rejects;
+        if !r.clean() {
+            failures += 1;
+            println!("tenant-storm seed {seed:#x} FAILED:");
+            for v in &r.violations {
+                println!("  violation [{}] {}", v.invariant, v.detail);
+            }
+        }
+    }
+    if failures == 0 && rejects > 0 {
+        println!(
+            "fuzz: {seeds} tenant-storm seeds x {STORM_MILLIS} ms, zero invariant violations, \
+             {rejects} admission rejects exercised"
+        );
+        0
+    } else {
+        if rejects == 0 {
+            eprintln!("fuzz: tenant-storm sweep never exercised the admission-reject path");
+        }
+        if failures > 0 {
+            eprintln!("fuzz: {failures} of {seeds} tenant-storm seeds FAILED");
+        }
+        1
+    }
 }
 
 /// Injects a known cross-mapping corruption into a generated schedule and

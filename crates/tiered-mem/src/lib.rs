@@ -32,6 +32,7 @@ pub mod frame;
 pub mod lru;
 pub mod migration;
 pub mod page;
+pub mod partition;
 pub mod space;
 pub mod stats;
 pub mod system;
@@ -45,6 +46,7 @@ pub use frame::{FrameOwner, FrameTable};
 pub use lru::{LruEntry, LruKind, LruLists};
 pub use migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
 pub use page::{PageEntry, PageFlags};
+pub use partition::{FramePartition, PartitionPlan, MIN_FAST_FRAMES, MIN_SLOW_FRAMES};
 pub use space::AddressSpace;
 pub use stats::SystemStats;
 pub use system::{

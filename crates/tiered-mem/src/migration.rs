@@ -103,6 +103,14 @@ impl MigrationEngine {
         &self.spec
     }
 
+    /// Re-caps the in-flight slot budget. Used by the multi-tenant barrier
+    /// scheduler to grant each shard its admission share for the next scan
+    /// period; transactions already in flight above a lowered cap are not
+    /// aborted — they drain, and `admits` stays false until they do.
+    pub fn set_inflight_slots(&mut self, slots: usize) {
+        self.spec.inflight_slots = slots;
+    }
+
     /// Number of transactions currently in flight.
     pub fn in_flight(&self) -> usize {
         self.channels[0].len() + self.channels[1].len()

@@ -1,0 +1,233 @@
+//! Mutex-free partitioned frame allocation for multi-tenant sharding.
+//!
+//! A [`PartitionPlan`] carves one global pool of fast and slow frames into
+//! per-tenant partitions. Each tenant's shard owns its partition exclusively
+//! — the shard constructs its own frame tables over local PFNs `0..n` and
+//! the plan records the global base of each range — so allocation needs no
+//! locks at all: exclusivity is enforced by ownership (each `TenantShard`
+//! holds its partition's tables by value), not by a mutex. Cross-tenant
+//! identity questions ("is this physical frame mapped by two tenants?") are
+//! answered by translating local PFNs through the plan: partitions are
+//! contiguous, disjoint, and exhaustive by construction, which the
+//! `tiering-verify` oracle re-checks as the *PFN exclusivity across tenants*
+//! invariant.
+//!
+//! Splitting is deterministic: weighted largest-remainder apportionment with
+//! ties broken by tenant id, and a per-tenant floor so every tenant can hold
+//! at least a few resident pages plus working watermarks.
+
+/// Minimum fast-tier frames any tenant partition receives (watermark floor).
+pub const MIN_FAST_FRAMES: u32 = 16;
+/// Minimum slow-tier frames any tenant partition receives.
+pub const MIN_SLOW_FRAMES: u32 = 32;
+
+/// One tenant's slice of the global frame space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FramePartition {
+    /// Owning tenant (index into the plan).
+    pub tenant: u32,
+    /// Fast-tier frames in this partition.
+    pub fast_frames: u32,
+    /// Slow-tier frames in this partition.
+    pub slow_frames: u32,
+    /// Global PFN of this partition's first fast frame.
+    pub fast_base: u64,
+    /// Global PFN of this partition's first slow frame.
+    pub slow_base: u64,
+}
+
+impl FramePartition {
+    /// Translates a shard-local fast-tier PFN to its global frame number.
+    pub fn global_fast_pfn(&self, local: u32) -> u64 {
+        debug_assert!(local < self.fast_frames, "local PFN outside partition");
+        self.fast_base + local as u64
+    }
+
+    /// Translates a shard-local slow-tier PFN to its global frame number.
+    pub fn global_slow_pfn(&self, local: u32) -> u64 {
+        debug_assert!(local < self.slow_frames, "local PFN outside partition");
+        self.slow_base + local as u64
+    }
+}
+
+/// A deterministic partitioning of the global frame pools across tenants.
+#[derive(Debug, Clone)]
+pub struct PartitionPlan {
+    parts: Vec<FramePartition>,
+    total_fast: u32,
+    total_slow: u32,
+}
+
+/// Largest-remainder apportionment of `total` units across `weights`, with a
+/// per-share floor of `min`. Ties in the remainder ranking break toward the
+/// lower index, so the split is a pure function of its arguments.
+fn apportion(total: u32, weights: &[u64], min: u32) -> Vec<u32> {
+    let n = weights.len();
+    assert!(n > 0, "cannot partition across zero tenants");
+    assert!(
+        total as u64 >= min as u64 * n as u64,
+        "{total} frames cannot give {n} tenants the {min}-frame floor"
+    );
+    let spare = total - min * n as u32;
+    let sum_w: u128 = weights.iter().map(|&w| w.max(1) as u128).sum();
+    let mut shares: Vec<u32> = Vec::with_capacity(n);
+    // (remainder numerator, tenant) pairs for the leftover ranking.
+    let mut rem: Vec<(u128, usize)> = Vec::with_capacity(n);
+    let mut assigned = 0u32;
+    for (i, &w) in weights.iter().enumerate() {
+        let num = spare as u128 * w.max(1) as u128;
+        let floor = (num / sum_w) as u32;
+        shares.push(min + floor);
+        assigned += floor;
+        rem.push((num % sum_w, i));
+    }
+    // Hand the unassigned remainder out by largest fractional part; ties go
+    // to the lower tenant id (sort is stable on the descending key).
+    rem.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let leftover = spare - assigned;
+    for &(_, i) in rem.iter().take(leftover as usize) {
+        shares[i] += 1;
+    }
+    shares
+}
+
+impl PartitionPlan {
+    /// Splits `total_fast`/`total_slow` frames across `weights.len()`
+    /// tenants proportionally to `weights` (zero weights count as one), with
+    /// the [`MIN_FAST_FRAMES`]/[`MIN_SLOW_FRAMES`] floors. Panics if the
+    /// pools cannot cover the floors.
+    pub fn split_weighted(total_fast: u32, total_slow: u32, weights: &[u64]) -> PartitionPlan {
+        let fast = apportion(total_fast, weights, MIN_FAST_FRAMES);
+        let slow = apportion(total_slow, weights, MIN_SLOW_FRAMES);
+        let mut parts = Vec::with_capacity(weights.len());
+        let (mut fast_base, mut slow_base) = (0u64, 0u64);
+        for (i, (&f, &s)) in fast.iter().zip(&slow).enumerate() {
+            parts.push(FramePartition {
+                tenant: i as u32,
+                fast_frames: f,
+                slow_frames: s,
+                fast_base,
+                slow_base,
+            });
+            fast_base += f as u64;
+            slow_base += s as u64;
+        }
+        PartitionPlan {
+            parts,
+            total_fast,
+            total_slow,
+        }
+    }
+
+    /// Even split: every tenant weighted equally.
+    pub fn split_even(total_fast: u32, total_slow: u32, tenants: usize) -> PartitionPlan {
+        PartitionPlan::split_weighted(total_fast, total_slow, &vec![1u64; tenants])
+    }
+
+    /// Number of tenant partitions.
+    pub fn tenants(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// One tenant's partition.
+    pub fn part(&self, tenant: usize) -> &FramePartition {
+        &self.parts[tenant]
+    }
+
+    /// All partitions in tenant order.
+    pub fn parts(&self) -> &[FramePartition] {
+        &self.parts
+    }
+
+    /// Global fast-tier frames the plan was built over.
+    pub fn total_fast(&self) -> u32 {
+        self.total_fast
+    }
+
+    /// Global slow-tier frames the plan was built over.
+    pub fn total_slow(&self) -> u32 {
+        self.total_slow
+    }
+
+    /// Whether the partitions are contiguous, disjoint, and exhaustive —
+    /// every global frame belongs to exactly one tenant. This is the static
+    /// half of the *PFN exclusivity across tenants* invariant; the dynamic
+    /// half (each shard's frame tables sized to its partition) is the
+    /// oracle's to check.
+    pub fn covers_exactly(&self) -> bool {
+        let (mut fast_cursor, mut slow_cursor) = (0u64, 0u64);
+        for (i, p) in self.parts.iter().enumerate() {
+            if u64::from(p.tenant) != i as u64
+                || p.fast_base != fast_cursor
+                || p.slow_base != slow_cursor
+            {
+                return false;
+            }
+            fast_cursor += u64::from(p.fast_frames);
+            slow_cursor += u64::from(p.slow_frames);
+        }
+        fast_cursor == u64::from(self.total_fast) && slow_cursor == u64::from(self.total_slow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_conserves_and_covers() {
+        let plan = PartitionPlan::split_even(1000, 3000, 7);
+        assert_eq!(plan.tenants(), 7);
+        assert!(plan.covers_exactly());
+        let fast: u64 = plan.parts().iter().map(|p| p.fast_frames as u64).sum();
+        let slow: u64 = plan.parts().iter().map(|p| p.slow_frames as u64).sum();
+        assert_eq!(fast, 1000);
+        assert_eq!(slow, 3000);
+        // Even weights: shares differ by at most one frame.
+        let min = plan.parts().iter().map(|p| p.fast_frames).min().unwrap();
+        let max = plan.parts().iter().map(|p| p.fast_frames).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn weighted_split_is_proportional_with_floor() {
+        let weights = [100u64, 1, 1, 1];
+        let plan = PartitionPlan::split_weighted(1024, 4096, &weights);
+        assert!(plan.covers_exactly());
+        for p in plan.parts() {
+            assert!(p.fast_frames >= MIN_FAST_FRAMES);
+            assert!(p.slow_frames >= MIN_SLOW_FRAMES);
+        }
+        // The heavy tenant dominates the spare pool beyond the floors.
+        assert!(plan.part(0).fast_frames > 900);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let weights = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let a = PartitionPlan::split_weighted(2048, 6144, &weights);
+        let b = PartitionPlan::split_weighted(2048, 6144, &weights);
+        assert_eq!(a.parts(), b.parts());
+    }
+
+    #[test]
+    fn global_pfns_are_disjoint_across_tenants() {
+        let plan = PartitionPlan::split_even(64, 128, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for p in plan.parts() {
+            for l in 0..p.fast_frames {
+                assert!(seen.insert(("fast", p.global_fast_pfn(l))));
+            }
+            for l in 0..p.slow_frames {
+                assert!(seen.insert(("slow", p.global_slow_pfn(l))));
+            }
+        }
+        assert_eq!(seen.len(), 64 + 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn underprovisioned_pool_panics() {
+        PartitionPlan::split_even(MIN_FAST_FRAMES * 2 - 1, 4096, 2);
+    }
+}

@@ -1425,6 +1425,26 @@ impl TieredSystem {
         self.engine.in_flight()
     }
 
+    /// Re-caps the migration engine's in-flight slot budget (see
+    /// [`MigrationEngine::set_inflight_slots`]). The multi-tenant admission
+    /// hook calls this at every barrier with the tenant's granted share.
+    pub fn set_inflight_slots(&mut self, slots: usize) {
+        self.engine.set_inflight_slots(slots);
+    }
+
+    /// Records a multi-tenant admission grant into this tenant's trace.
+    /// Only the sharded runner calls this (and only with the hook enabled),
+    /// so hook-off runs record exactly the event stream they always did.
+    pub fn trace_admission(&mut self, tenant: u32, granted: u32, in_flight: u32, starvation: u32) {
+        let now = self.clock.now();
+        self.trace.emit(now, || TraceEvent::Admission {
+            tenant,
+            granted,
+            in_flight,
+            starvation,
+        });
+    }
+
     /// Destination frames reserved by in-flight transactions in `tier`.
     /// Exposed for the `tiering-verify` invariant oracle.
     pub fn migration_reserved_frames(&self, tier: TierId) -> u32 {

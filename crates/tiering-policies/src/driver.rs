@@ -110,6 +110,212 @@ impl SlowPageSet {
     }
 }
 
+/// A paused, resumable simulation over one (system, workloads, policy)
+/// triple.
+///
+/// [`SimulationDriver::run_inspected`] is a thin wrapper over this: it opens
+/// a session, steps it straight to the configured horizon, and finishes it.
+/// The multi-tenant sharded runner instead steps each tenant's session to
+/// the next barrier (`step_until`), applies cross-shard effects between
+/// steps, and resumes — and because re-entry restarts at exactly the program
+/// point the previous step broke at, a session stepped in any number of
+/// increments replays the same operation sequence as one uninterrupted run.
+/// That idempotence is what makes single-tenant sharded runs byte-identical
+/// to the classic driver, and N-thread runs byte-identical to 1-thread runs.
+pub struct DriverSession {
+    cfg: DriverConfig,
+    latency: LatencyHistogram,
+    latency_reads: LatencyHistogram,
+    latency_writes: LatencyHistogram,
+    accesses: u64,
+    slow_pages: SlowPageSet,
+    series: Vec<TimeSeries>,
+    next_sample: Nanos,
+    started: bool,
+    finished: bool,
+}
+
+impl DriverSession {
+    /// Opens a session. No simulation work happens until `step_until`.
+    pub fn new(cfg: DriverConfig) -> DriverSession {
+        let next_sample = cfg.sample_interval.unwrap_or(Nanos::MAX);
+        DriverSession {
+            cfg,
+            latency: LatencyHistogram::new(),
+            latency_reads: LatencyHistogram::new(),
+            latency_writes: LatencyHistogram::new(),
+            accesses: 0,
+            slow_pages: SlowPageSet::default(),
+            series: Vec::new(),
+            next_sample,
+            started: false,
+            finished: false,
+        }
+    }
+
+    /// Accesses executed so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Whether the run hit a terminal stop condition (horizon, access cap,
+    /// or all workloads finished) — further `step_until` calls are no-ops.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Advances the simulation until the next runnable access would start at
+    /// or beyond `horizon` (clamped to the configured `run_for`), a stop
+    /// condition fires, or every workload completes. An intermediate-horizon
+    /// break happens at the very top of the classic loop body — before due
+    /// daemon events fire or the clock advances — so calling again with a
+    /// later horizon re-fetches the identical `(pid, t)` and replays the
+    /// body verbatim; a session stepped in any number of increments is
+    /// byte-identical to one uninterrupted run.
+    pub fn step_until<F, G>(
+        &mut self,
+        horizon: Nanos,
+        sys: &mut TieredSystem,
+        workloads: &mut [Box<dyn Workload>],
+        policy: &mut dyn TieringPolicy,
+        mut observer: F,
+        mut inspect: G,
+    ) where
+        F: FnMut(ProcessId, tiered_mem::Vpn, bool, TierId),
+        G: FnMut(&TieredSystem),
+    {
+        if self.finished {
+            return;
+        }
+        if !self.started {
+            assert_eq!(
+                workloads.len(),
+                sys.num_processes(),
+                "one workload per process"
+            );
+            policy.init(sys);
+            self.series = (0..workloads.len())
+                .map(|i| TimeSeries::new(format!("proc{}", i)))
+                .collect();
+            self.started = true;
+        }
+        let horizon = horizon.min(self.cfg.run_for);
+
+        // Runs until every workload finishes or a stop condition fires.
+        loop {
+            let Some((pid, t)) = sys.min_vtime_process_and_time() else {
+                self.finished = true;
+                return;
+            };
+            // Intermediate-horizon break, *before* firing due daemon events
+            // or advancing the clock: event handlers may charge daemon time
+            // to the process vtime, and the classic loop keeps using the
+            // pre-charge `t` for the access that follows — so re-entry must
+            // re-fetch the same pre-charge value and replay the loop body
+            // verbatim. The terminal horizon instead keeps the classic
+            // post-event stop below, so end-of-run state (events due at the
+            // final access time included) matches an uninterrupted run.
+            if t >= horizon && horizon < self.cfg.run_for {
+                return;
+            }
+            // Fire daemon events due before this access.
+            while let Some(deadline) = sys.events.next_deadline() {
+                if deadline > t {
+                    break;
+                }
+                let fire_at = deadline.max(sys.clock.now());
+                sys.clock.advance_to(fire_at);
+                // Retire in-flight migrations that became due before the
+                // daemon runs, so the policy observes post-completion state.
+                sys.complete_due_migrations();
+                let (_, token) = sys
+                    .events
+                    .pop_due(deadline)
+                    .expect("deadline was just peeked");
+                sys.count_daemon_wakeup();
+                policy.on_event(sys, token);
+                inspect(sys);
+            }
+            if t > sys.clock.now() {
+                sys.clock.advance_to(t);
+                sys.complete_due_migrations();
+            }
+
+            if t >= horizon || self.accesses >= self.cfg.max_accesses {
+                self.finished = t >= self.cfg.run_for || self.accesses >= self.cfg.max_accesses;
+                return;
+            }
+
+            // Fig 9 style sampling of per-process placement.
+            if sys.clock.now() >= self.next_sample {
+                let interval = self.cfg.sample_interval.expect("sampling enabled");
+                for (i, s) in self.series.iter_mut().enumerate() {
+                    let frac = sys
+                        .process(ProcessId(i as u16))
+                        .space
+                        .fast_tier_fraction()
+                        .unwrap_or(0.0);
+                    s.push(sys.clock.now(), frac);
+                }
+                self.next_sample = sys.clock.now() + interval;
+            }
+
+            let Some(req) = workloads[pid.0 as usize].next_access() else {
+                sys.process_mut(pid).running = false;
+                continue;
+            };
+
+            if req.think > Nanos::ZERO {
+                sys.process_mut(pid).vtime += req.think;
+                sys.stats.user_time += req.think;
+            }
+
+            let res = sys.access(pid, req.vpn, req.write);
+            self.accesses += 1;
+            // One sample lands in two histograms (all accesses + the
+            // read/write split); compute the log-scale bucket once.
+            let bucket = LatencyHistogram::bucket_index(res.latency);
+            self.latency.record_in_bucket(res.latency, bucket);
+            if req.write {
+                self.latency_writes.record_in_bucket(res.latency, bucket);
+            } else {
+                self.latency_reads.record_in_bucket(res.latency, bucket);
+            }
+            observer(pid, req.vpn, req.write, res.tier);
+            if self.cfg.track_slow_accesses && res.tier == TierId::Slow {
+                self.slow_pages.insert(pid, req.vpn);
+            }
+            if res.hint_fault {
+                policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
+            }
+            policy.on_access(sys, pid, req.vpn, req.write);
+            inspect(sys);
+        }
+    }
+
+    /// Closes the session and produces the run result.
+    pub fn finish(self, sys: &mut TieredSystem) -> RunResult {
+        // Policies without a periodic tune event (Static, the baselines'
+        // quiet configurations) would otherwise export zero rows; close the
+        // run with a final whole-run sample so every traced run has one.
+        if sys.trace.is_enabled() && sys.trace.periods().is_empty() {
+            sys.trace_period(Default::default());
+        }
+
+        let workloads_finished = sys.pids().all(|p| !sys.process(p).running);
+        RunResult {
+            accesses: self.accesses,
+            makespan: sys.makespan(),
+            latency: self.latency,
+            latency_reads: self.latency_reads,
+            latency_writes: self.latency_writes,
+            fast_fraction_series: self.series,
+            accessed_slow_pages: self.slow_pages.distinct,
+            workloads_finished,
+        }
+    }
+}
+
 /// Drives one (system, workloads, policy) triple to completion.
 pub struct SimulationDriver {
     cfg: DriverConfig,
@@ -159,123 +365,16 @@ impl SimulationDriver {
         sys: &mut TieredSystem,
         workloads: &mut [Box<dyn Workload>],
         policy: &mut dyn TieringPolicy,
-        mut observer: F,
-        mut inspect: G,
+        observer: F,
+        inspect: G,
     ) -> RunResult
     where
         F: FnMut(ProcessId, tiered_mem::Vpn, bool, TierId),
         G: FnMut(&TieredSystem),
     {
-        assert_eq!(
-            workloads.len(),
-            sys.num_processes(),
-            "one workload per process"
-        );
-        policy.init(sys);
-
-        let mut latency = LatencyHistogram::new();
-        let mut latency_reads = LatencyHistogram::new();
-        let mut latency_writes = LatencyHistogram::new();
-        let mut accesses = 0u64;
-        let mut slow_pages = SlowPageSet::default();
-        let mut series: Vec<TimeSeries> = (0..workloads.len())
-            .map(|i| TimeSeries::new(format!("proc{}", i)))
-            .collect();
-        let mut next_sample = self.cfg.sample_interval.unwrap_or(Nanos::MAX);
-
-        // Runs until every workload finishes or a stop condition fires.
-        while let Some((pid, t)) = sys.min_vtime_process_and_time() {
-            // Fire daemon events due before this access.
-            while let Some(deadline) = sys.events.next_deadline() {
-                if deadline > t {
-                    break;
-                }
-                let fire_at = deadline.max(sys.clock.now());
-                sys.clock.advance_to(fire_at);
-                // Retire in-flight migrations that became due before the
-                // daemon runs, so the policy observes post-completion state.
-                sys.complete_due_migrations();
-                let (_, token) = sys
-                    .events
-                    .pop_due(deadline)
-                    .expect("deadline was just peeked");
-                sys.count_daemon_wakeup();
-                policy.on_event(sys, token);
-                inspect(sys);
-            }
-            if t > sys.clock.now() {
-                sys.clock.advance_to(t);
-                sys.complete_due_migrations();
-            }
-
-            if t >= self.cfg.run_for || accesses >= self.cfg.max_accesses {
-                break;
-            }
-
-            // Fig 9 style sampling of per-process placement.
-            if sys.clock.now() >= next_sample {
-                let interval = self.cfg.sample_interval.expect("sampling enabled");
-                for (i, s) in series.iter_mut().enumerate() {
-                    let frac = sys
-                        .process(ProcessId(i as u16))
-                        .space
-                        .fast_tier_fraction()
-                        .unwrap_or(0.0);
-                    s.push(sys.clock.now(), frac);
-                }
-                next_sample = sys.clock.now() + interval;
-            }
-
-            let Some(req) = workloads[pid.0 as usize].next_access() else {
-                sys.process_mut(pid).running = false;
-                continue;
-            };
-
-            if req.think > Nanos::ZERO {
-                sys.process_mut(pid).vtime += req.think;
-                sys.stats.user_time += req.think;
-            }
-
-            let res = sys.access(pid, req.vpn, req.write);
-            accesses += 1;
-            // One sample lands in two histograms (all accesses + the
-            // read/write split); compute the log-scale bucket once.
-            let bucket = LatencyHistogram::bucket_index(res.latency);
-            latency.record_in_bucket(res.latency, bucket);
-            if req.write {
-                latency_writes.record_in_bucket(res.latency, bucket);
-            } else {
-                latency_reads.record_in_bucket(res.latency, bucket);
-            }
-            observer(pid, req.vpn, req.write, res.tier);
-            if self.cfg.track_slow_accesses && res.tier == TierId::Slow {
-                slow_pages.insert(pid, req.vpn);
-            }
-            if res.hint_fault {
-                policy.on_hint_fault(sys, pid, req.vpn, req.write, &res);
-            }
-            policy.on_access(sys, pid, req.vpn, req.write);
-            inspect(sys);
-        }
-
-        // Policies without a periodic tune event (Static, the baselines'
-        // quiet configurations) would otherwise export zero rows; close the
-        // run with a final whole-run sample so every traced run has one.
-        if sys.trace.is_enabled() && sys.trace.periods().is_empty() {
-            sys.trace_period(Default::default());
-        }
-
-        let workloads_finished = sys.pids().all(|p| !sys.process(p).running);
-        RunResult {
-            accesses,
-            makespan: sys.makespan(),
-            latency,
-            latency_reads,
-            latency_writes,
-            fast_fraction_series: series,
-            accessed_slow_pages: slow_pages.distinct,
-            workloads_finished,
-        }
+        let mut session = DriverSession::new(self.cfg.clone());
+        session.step_until(self.cfg.run_for, sys, workloads, policy, observer, inspect);
+        session.finish(sys)
     }
 }
 

@@ -23,16 +23,21 @@ pub mod memtis;
 pub mod multiclock;
 pub mod pebs;
 pub mod policy;
+pub mod shard;
 pub mod telescope;
 pub mod tpp;
 
 pub use autotiering::AutoTiering;
-pub use driver::{DriverConfig, RunResult, SimulationDriver};
+pub use driver::{DriverConfig, DriverSession, RunResult, SimulationDriver};
 pub use flexmem::{FlexMem, FlexMemConfig};
 pub use linux_nb::LinuxNumaBalancing;
 pub use memtis::{Memtis, MemtisConfig};
 pub use multiclock::{MultiClock, MultiClockConfig};
 pub use pebs::PebsSampler;
 pub use policy::{decode_token, encode_token, NullPolicy, ScanCursor, TieringPolicy};
+pub use shard::{
+    admission_grants, gini, AdmissionConfig, ShardedConfig, ShardedRunResult, ShardedSim,
+    SlotClaim, TenantOutcome, TenantShard,
+};
 pub use telescope::{Telescope, TelescopeConfig};
 pub use tpp::{Tpp, TppConfig};

@@ -13,7 +13,7 @@ use tiered_mem::{AccessResult, ProcessId, TieredSystem, Vpn};
 ///    fault (the policy decides whether to migrate);
 /// 4. [`TieringPolicy::on_access`] after *every* access (for sampling-based
 ///    policies; must be cheap).
-pub trait TieringPolicy {
+pub trait TieringPolicy: Send {
     /// Short name used in reports ("Linux-NB", "Chrono", ...).
     fn name(&self) -> &'static str;
 

@@ -226,6 +226,18 @@ impl TraceDigest {
             } => {
                 self.u64(15).bool(open).f64(failure_ratio);
             }
+            TraceEvent::Admission {
+                tenant,
+                granted,
+                in_flight,
+                starvation,
+            } => {
+                self.u64(16)
+                    .u64(tenant as u64)
+                    .u64(granted as u64)
+                    .u64(in_flight as u64)
+                    .u64(starvation as u64);
+            }
         }
         self
     }

@@ -169,6 +169,21 @@ pub enum TraceEvent {
         /// Recent migration-failure ratio that drove the transition.
         failure_ratio: f64,
     },
+    /// The multi-tenant admission hook granted a tenant its migration-slot
+    /// share for the next barrier interval. Emitted into the tenant's own
+    /// trace, only when the hook is enabled — hook-off runs record the same
+    /// event stream they always did.
+    Admission {
+        /// Tenant the grant applies to.
+        tenant: u32,
+        /// In-flight migration slots granted until the next barrier.
+        granted: u32,
+        /// Migrations still in flight at grant time.
+        in_flight: u32,
+        /// Consecutive barriers this tenant had demand but won zero spare
+        /// slots (0 when it was served).
+        starvation: u32,
+    },
 }
 
 impl TraceEvent {
@@ -190,6 +205,7 @@ impl TraceEvent {
             TraceEvent::Capacity { .. } => "capacity",
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Breaker { .. } => "breaker",
+            TraceEvent::Admission { .. } => "admission",
         }
     }
 
@@ -302,6 +318,17 @@ impl TraceEvent {
                 w.field_bool("open", open);
                 w.field_f64("failure_ratio", failure_ratio);
             }
+            TraceEvent::Admission {
+                tenant,
+                granted,
+                in_flight,
+                starvation,
+            } => {
+                w.field_u64("tenant", tenant as u64);
+                w.field_u64("granted", granted as u64);
+                w.field_u64("in_flight", in_flight as u64);
+                w.field_u64("starvation", starvation as u64);
+            }
         }
     }
 }
@@ -376,6 +403,12 @@ mod tests {
             TraceEvent::Breaker {
                 open: true,
                 failure_ratio: 0.5,
+            },
+            TraceEvent::Admission {
+                tenant: 0,
+                granted: 1,
+                in_flight: 0,
+                starvation: 0,
             },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();

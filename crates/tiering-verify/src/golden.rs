@@ -18,12 +18,18 @@ use sim_clock::Nanos;
 use tiered_mem::FaultPlan;
 
 use crate::policy_fuzz::{run_policy_case, run_policy_case_with_plan, ALL_POLICIES};
+use crate::sharded::{run_sharded_case, SHARD_GOLDEN_TENANTS};
 
 /// The two canonical seeds snapshotted in the repository.
 pub const GOLDEN_SEEDS: [u64; 2] = [0xC4A0_0001, 0xC4A0_0002];
 
 /// Simulated run length for golden snapshots (milliseconds of virtual time).
 pub const GOLDEN_MILLIS: u64 = 25;
+
+/// Simulated run length for the multi-tenant shard goldens — shorter than
+/// [`GOLDEN_MILLIS`] because the thread-invariance suite recomputes each
+/// table at three worker-thread counts.
+pub const SHARD_GOLDEN_MILLIS: u64 = 10;
 
 /// The canonical seed for the faulty-run snapshot (both the workload shape
 /// and the fault plan's RNG derive from it).
@@ -42,6 +48,11 @@ pub fn golden_path(seed: u64) -> PathBuf {
 /// Path of the faulty-run snapshot.
 pub fn fault_golden_path() -> PathBuf {
     golden_dir().join(format!("fault_seed_{FAULT_GOLDEN_SEED:08x}.txt"))
+}
+
+/// Path of the multi-tenant shard snapshot for one seed.
+pub fn shard_golden_path(seed: u64) -> PathBuf {
+    golden_dir().join(format!("shard_seed_{seed:08x}.txt"))
 }
 
 /// Recomputes the snapshot table for a seed: one `<policy> <digest-hex>
@@ -78,6 +89,36 @@ pub fn compute_fault_golden() -> String {
             "{:<16} {:016x} {}\n",
             r.policy, r.digest, r.accesses
         ));
+    }
+    out
+}
+
+/// Recomputes the multi-tenant shard snapshot for a seed: every policy run
+/// over [`SHARD_GOLDEN_TENANTS`] weighted shards with the admission hook on,
+/// single-threaded (the thread-invariance suite proves 2- and 8-thread runs
+/// reproduce the same table). One line per policy: `<policy> <combined>
+/// <accesses> <per-tenant digests...>`.
+pub fn compute_shard_golden(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# tiering-verify shard golden: seed {seed:#010x}, {SHARD_GOLDEN_TENANTS} tenants, \
+         admission on, {SHARD_GOLDEN_MILLIS} ms per policy\n"
+    ));
+    for p in ALL_POLICIES {
+        let r = run_sharded_case(p, seed, SHARD_GOLDEN_MILLIS, SHARD_GOLDEN_TENANTS, 1, true);
+        assert!(
+            r.clean(),
+            "shard golden case {p:?}/{seed:#x} broke invariants: {:?}",
+            r.violations
+        );
+        out.push_str(&format!(
+            "{:<16} {:016x} {}",
+            r.policy, r.combined_digest, r.accesses
+        ));
+        for d in &r.tenant_digests {
+            out.push_str(&format!(" {d:016x}"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -120,7 +161,8 @@ impl fmt::Display for GoldenResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.status {
             GoldenStatus::Match => {
-                write!(f, "golden seed {:#010x}: ok", self.seed)
+                let name = self.path.file_name().unwrap_or_default().to_string_lossy();
+                write!(f, "golden {name} (seed {:#010x}): ok", self.seed)
             }
             GoldenStatus::Missing => write!(
                 f,
@@ -173,6 +215,11 @@ pub fn check_goldens() -> Vec<GoldenResult> {
         path,
         status,
     });
+    for &seed in &GOLDEN_SEEDS {
+        let path = shard_golden_path(seed);
+        let status = diff_status(&path, compute_shard_golden(seed));
+        results.push(GoldenResult { seed, path, status });
+    }
     results
 }
 
@@ -189,6 +236,11 @@ pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
     let path = fault_golden_path();
     std::fs::write(&path, compute_fault_golden())?;
     written.push(path);
+    for &seed in &GOLDEN_SEEDS {
+        let path = shard_golden_path(seed);
+        std::fs::write(&path, compute_shard_golden(seed))?;
+        written.push(path);
+    }
     Ok(written)
 }
 

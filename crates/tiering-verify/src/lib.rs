@@ -29,6 +29,7 @@ pub mod metamorphic;
 pub mod ops;
 pub mod oracle;
 pub mod policy_fuzz;
+pub mod sharded;
 pub mod shrink;
 
 pub use golden::{
@@ -43,5 +44,9 @@ pub use oracle::{InvariantOracle, Violation};
 pub use policy_fuzz::{
     determinism_digests, run_policy_case, run_policy_case_with_plan, PolicyRunReport,
     PolicyUnderTest, ALL_POLICIES,
+};
+pub use sharded::{
+    fuzz_one_tenant_storm, run_sharded_case, run_sharded_case_mixed, run_sharded_case_with_plans,
+    tenant_weights, ShardedCaseReport, SHARD_GOLDEN_TENANTS,
 };
 pub use shrink::shrink_ops;

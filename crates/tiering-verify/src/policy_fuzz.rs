@@ -160,6 +160,12 @@ impl PolicyUnderTest {
         }
     }
 
+    /// Builds the policy at the fuzz scale as a plain trait object — the
+    /// form tenant shards hold their policy instances in.
+    pub fn build_boxed(&self, scan_period: Nanos, step: u32) -> Box<dyn TieringPolicy> {
+        self.build(scan_period, step).into_dyn()
+    }
+
     /// Whether this policy embeds Chrono's promotion queue (and therefore
     /// must satisfy queue-flow conservation).
     pub fn is_chrono(&self) -> bool {
@@ -188,6 +194,13 @@ impl BuiltPolicy {
             BuiltPolicy::Other(b) => &mut **b,
         }
     }
+
+    fn into_dyn(self) -> Box<dyn TieringPolicy> {
+        match self {
+            BuiltPolicy::Chrono(c) => c,
+            BuiltPolicy::Other(b) => b,
+        }
+    }
 }
 
 /// Outcome of one seeded policy run.
@@ -214,8 +227,10 @@ impl PolicyRunReport {
     }
 }
 
-/// Derives the fuzz-scale system + workload shape for a seed.
-fn case_shape(seed: u64) -> (u32, u32, u64) {
+/// Derives the fuzz-scale system + workload shape for a seed:
+/// `(total_frames, workload_pages, workload_seed)`. Shared with the sharded
+/// runner so single-tenant sharded runs reproduce the classic shapes.
+pub(crate) fn case_shape(seed: u64) -> (u32, u32, u64) {
     let mut rng = sim_clock::DetRng::seed(seed ^ 0x9017_CEA5_E5EE_D000);
     let total_frames = 2048u32 << rng.below(2); // 2048 or 4096
     let pages = total_frames / 2 + rng.below(total_frames as u64 / 4) as u32;

@@ -1,0 +1,459 @@
+//! Sharded (multi-tenant) policy runs with cross-shard invariant checking.
+//!
+//! This is the verification face of the `tiering_policies::shard` runner:
+//! it derives a deterministic multi-tenant case from a seed (partitioned
+//! frame pools, skewed tenant weights, per-tenant workload streams split
+//! from the run seed), runs it at any worker-thread count, and checks three
+//! new cross-shard invariants on top of the per-shard oracle sweep:
+//!
+//! - **global frame conservation across shards** — every shard's tier
+//!   capacities still sum to the partition plan's global pools (no frames
+//!   created, destroyed, or silently shared);
+//! - **PFN exclusivity across tenants** — the partition plan is contiguous,
+//!   disjoint, and exhaustive, and every shard's tables are sized to its
+//!   partition (two tenants can never address the same global frame);
+//! - **per-tenant slot-flow conservation** — opened migration transactions
+//!   balance against their outcomes:
+//!   `begun == completed + aborted + transient + poisoned + in_flight`.
+//!
+//! A single-tenant case with the admission hook off is built through the
+//! exact classic-case constructor, so its digest reproduces today's golden
+//! tables byte for byte — the compat surface the thread-invariance suite
+//! pins.
+
+use sim_clock::{DetRng, Nanos};
+use tiered_mem::{FaultPlan, PageSize, PartitionPlan, SystemConfig, TierId, TieredSystem};
+use tiering_policies::{AdmissionConfig, DriverConfig, ShardedConfig, ShardedSim, TenantShard};
+use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+use crate::oracle::{InvariantOracle, Violation};
+use crate::policy_fuzz::{case_shape, PolicyUnderTest, ALL_POLICIES};
+
+/// Stream id the per-tenant weight RNG is split on.
+const WEIGHT_STREAM: u64 = 0x57A5_0001;
+/// Stream id per-tenant workload seeds are split on (xored with tenant id).
+const WORKLOAD_STREAM: u64 = 0x3AD3_0000;
+/// Stream id per-tenant fault plans are split on (tenant-storm only).
+const FAULT_STREAM: u64 = 0xFA57_0000;
+
+/// Scan period (and barrier interval) of every sharded fuzz case — matches
+/// the classic fuzz scale so single-tenant runs reproduce classic digests.
+const SCAN_PERIOD_MS: u64 = 5;
+
+/// Tenant count of the committed shard golden (see `golden::compute_shard_golden`).
+pub const SHARD_GOLDEN_TENANTS: usize = 3;
+
+/// Outcome of one sharded policy case.
+#[derive(Debug, Clone)]
+pub struct ShardedCaseReport {
+    /// The policy every tenant ran (or a label naming a per-tenant mix).
+    pub policy: &'static str,
+    /// Case seed.
+    pub seed: u64,
+    /// Tenants simulated.
+    pub tenants: usize,
+    /// Worker threads used (must not affect any other field).
+    pub threads: usize,
+    /// Combined digest (single tenant: that tenant's classic digest).
+    pub combined_digest: u64,
+    /// Per-tenant trace digests, tenant order.
+    pub tenant_digests: Vec<u64>,
+    /// Total accesses across tenants.
+    pub accesses: u64,
+    /// Admission (backpressure) rejections summed across tenants.
+    pub backpressure_rejects: u64,
+    /// Cumulative slot grants per tenant (zero when the hook is off).
+    pub granted_slots: Vec<u64>,
+    /// Gini coefficient of the slot grants.
+    pub slot_gini: f64,
+    /// `(min, max)` per-tenant FMAR.
+    pub fmar_spread: (f64, f64),
+    /// All violations found (per-shard oracle + cross-shard invariants).
+    pub violations: Vec<Violation>,
+}
+
+impl ShardedCaseReport {
+    /// Whether the run satisfied every invariant.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Skewed per-tenant admission weights for a case seed (1..=8, one RNG
+/// stream independent of workload content, so weights are stable across
+/// tenant/thread counts of the same seed).
+pub fn tenant_weights(seed: u64, tenants: usize) -> Vec<u64> {
+    let mut rng = DetRng::split(seed, WEIGHT_STREAM);
+    (0..tenants).map(|_| 1 + rng.below(8)).collect()
+}
+
+/// Builds the shards for a seeded multi-tenant case: the global fuzz-shape
+/// frame pool split by weighted partition, per-tenant skewed workloads on
+/// split RNG streams, one policy instance per tenant. `fault_plan_for`
+/// attaches an optional plan per tenant (id-keyed, so plans are stable
+/// across thread counts).
+fn build_shards(
+    policy_for: &dyn Fn(u32) -> PolicyUnderTest,
+    seed: u64,
+    tenants: usize,
+    run_millis: u64,
+    fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
+) -> (Vec<TenantShard>, PartitionPlan) {
+    let (total_frames, pages, wl_seed) = case_shape(seed);
+    let scan_period = Nanos::from_millis(SCAN_PERIOD_MS);
+    let driver = DriverConfig {
+        run_for: Nanos::from_millis(run_millis),
+        ..Default::default()
+    };
+
+    if tenants == 1 {
+        // The classic constructor, verbatim — single-tenant sharded runs
+        // must reproduce `run_policy_case` digests byte for byte.
+        let mut cfg = SystemConfig::quarter_fast(total_frames);
+        cfg.fault_plan = fault_plan_for(0);
+        let mut sys = TieredSystem::new(cfg);
+        sys.enable_tracing(1 << 12);
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, wl_seed));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let shard = TenantShard::new(
+            0,
+            1,
+            sys,
+            vec![Box::new(w)],
+            policy_for(0).build_boxed(scan_period, 512),
+            driver,
+        );
+        let plan = PartitionPlan::split_even(total_frames / 4, total_frames - total_frames / 4, 1);
+        return (vec![shard], plan);
+    }
+
+    let weights = tenant_weights(seed, tenants);
+    let fast_total = total_frames / 4;
+    let slow_total = total_frames - fast_total;
+    let plan = PartitionPlan::split_weighted(fast_total, slow_total, &weights);
+    let shards = (0..tenants)
+        .map(|i| {
+            let part = plan.part(i);
+            let mut cfg = SystemConfig::dram_pmem(part.fast_frames, part.slow_frames);
+            cfg.fault_plan = fault_plan_for(i as u32);
+            let mut sys = TieredSystem::new(cfg);
+            sys.enable_tracing(1 << 10);
+            // Working set scales with the tenant's partition so every shard
+            // is under comparable pressure; the access stream itself comes
+            // from a tenant-id-keyed split of the workload seed.
+            let tenant_pages =
+                ((pages as u64 * part.fast_frames as u64 / fast_total as u64) as u32).max(64);
+            let tenant_seed = DetRng::split(wl_seed, WORKLOAD_STREAM ^ i as u64).next_u64();
+            let w =
+                PmbenchWorkload::new(PmbenchConfig::paper_skewed(tenant_pages, 0.7, tenant_seed));
+            sys.add_process(w.address_space_pages(), PageSize::Base);
+            TenantShard::new(
+                i as u32,
+                weights[i],
+                sys,
+                vec![Box::new(w) as Box<dyn Workload>],
+                policy_for(i as u32).build_boxed(scan_period, 512),
+                driver.clone(),
+            )
+        })
+        .collect();
+    (shards, plan)
+}
+
+/// Per-tenant slot-flow conservation: every opened migration transaction is
+/// accounted for by exactly one outcome.
+fn check_slot_flow(shard: &TenantShard) -> Option<Violation> {
+    let s = &shard.sys.stats;
+    let accounted = s.completed_migrations
+        + s.aborted_migrations
+        + s.transient_copy_faults
+        + s.poisoned_copy_faults
+        + shard.sys.migration_in_flight_count() as u64;
+    if s.begun_migrations != accounted {
+        return Some(Violation {
+            invariant: "tenant-slot-flow",
+            detail: format!(
+                "tenant {}: begun {} != completed {} + aborted {} + transient {} \
+                 + poisoned {} + in_flight {}",
+                shard.id,
+                s.begun_migrations,
+                s.completed_migrations,
+                s.aborted_migrations,
+                s.transient_copy_faults,
+                s.poisoned_copy_faults,
+                shard.sys.migration_in_flight_count(),
+            ),
+        });
+    }
+    None
+}
+
+/// Cross-shard invariants over the post-run shards: global frame
+/// conservation against the partition plan and PFN exclusivity.
+fn check_cross_shard(shards: &[TenantShard], plan: &PartitionPlan, out: &mut Vec<Violation>) {
+    if !plan.covers_exactly() {
+        out.push(Violation {
+            invariant: "pfn-exclusivity-across-tenants",
+            detail: "partition plan is not contiguous/disjoint/exhaustive".to_string(),
+        });
+    }
+    let mut fast_sum = 0u64;
+    let mut slow_sum = 0u64;
+    for s in shards {
+        let part = plan.part(s.id as usize);
+        // Capacity per shard must still equal its partition: usable plus
+        // quarantined/offlined frames (faults take frames out of service
+        // but never out of the partition).
+        let fast_cap = s.sys.total_frames(TierId::Fast) as u64
+            + s.sys.quarantined_frames(TierId::Fast) as u64
+            + s.sys.offlined_frames(TierId::Fast) as u64;
+        let slow_cap = s.sys.total_frames(TierId::Slow) as u64
+            + s.sys.quarantined_frames(TierId::Slow) as u64
+            + s.sys.offlined_frames(TierId::Slow) as u64;
+        if fast_cap != part.fast_frames as u64 || slow_cap != part.slow_frames as u64 {
+            out.push(Violation {
+                invariant: "global-frame-conservation",
+                detail: format!(
+                    "tenant {}: capacity ({fast_cap}, {slow_cap}) drifted from partition \
+                     ({}, {})",
+                    s.id, part.fast_frames, part.slow_frames
+                ),
+            });
+        }
+        fast_sum += fast_cap;
+        slow_sum += slow_cap;
+    }
+    if fast_sum != plan.total_fast() as u64 || slow_sum != plan.total_slow() as u64 {
+        out.push(Violation {
+            invariant: "global-frame-conservation",
+            detail: format!(
+                "shard capacities sum to ({fast_sum}, {slow_sum}), plan holds ({}, {})",
+                plan.total_fast(),
+                plan.total_slow()
+            ),
+        });
+    }
+}
+
+/// Runs one sharded policy case: `tenants` shards of `policy` over the
+/// seed-derived partitioned pool, stepped by `threads` workers, with the
+/// admission hook optionally enabled (its slot pool spans the global
+/// `MigrationSpec` default). Violations never panic — callers decide.
+pub fn run_sharded_case(
+    policy: PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    tenants: usize,
+    threads: usize,
+    admission: bool,
+) -> ShardedCaseReport {
+    let slots = admission.then(|| AdmissionConfig::default().total_slots);
+    run_sharded_case_with_plans(policy, seed, run_millis, tenants, threads, slots, &|_| None)
+}
+
+/// [`run_sharded_case`] with an explicit admission slot pool (`None` = hook
+/// off) and a per-tenant fault-plan selector (tenant-id keyed so the same
+/// plans attach regardless of thread count).
+pub fn run_sharded_case_with_plans(
+    policy: PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    tenants: usize,
+    threads: usize,
+    admission_slots: Option<usize>,
+    fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
+) -> ShardedCaseReport {
+    run_sharded_case_mixed(
+        policy.name(),
+        &|_| policy,
+        seed,
+        run_millis,
+        tenants,
+        threads,
+        admission_slots,
+        fault_plan_for,
+    )
+}
+
+/// The fully general sharded case: a per-tenant policy selector (tenant-id
+/// keyed, so assignments are stable across thread counts) instead of one
+/// policy for every tenant. `label` names the mix in the report.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sharded_case_mixed(
+    label: &'static str,
+    policy_for: &dyn Fn(u32) -> PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    tenants: usize,
+    threads: usize,
+    admission_slots: Option<usize>,
+    fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
+) -> ShardedCaseReport {
+    const MAX_KEPT: usize = 8;
+    let (shards, plan) = build_shards(policy_for, seed, tenants, run_millis, fault_plan_for);
+    let mut cfg = ShardedConfig::new(Nanos::from_millis(run_millis));
+    cfg.barrier_interval = Nanos::from_millis(SCAN_PERIOD_MS);
+    cfg.threads = threads;
+    cfg.admission = AdmissionConfig {
+        enabled: admission_slots.is_some(),
+        total_slots: admission_slots.unwrap_or_else(|| AdmissionConfig::default().total_slots),
+    };
+    let sim = ShardedSim::new(cfg, shards);
+
+    // Per-shard oracle sweep at every barrier (the hook runs on the main
+    // thread in tenant-id order, so `violations` needs no synchronisation).
+    let mut oracle = InvariantOracle::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let result = sim.run_with(|shard| {
+        if violations.len() < MAX_KEPT {
+            violations.extend(oracle.check(&shard.sys));
+            if let Some(v) = check_slot_flow(shard) {
+                violations.push(v);
+            }
+            violations.truncate(MAX_KEPT);
+        }
+    });
+
+    check_cross_shard(&result.shards, &plan, &mut violations);
+    for s in &result.shards {
+        if let Some(v) = check_slot_flow(s) {
+            violations.push(v);
+        }
+    }
+    violations.truncate(MAX_KEPT);
+
+    let backpressure_rejects = result
+        .shards
+        .iter()
+        .map(|s| s.sys.stats.failed_fast_migrations[3])
+        .sum();
+    ShardedCaseReport {
+        policy: label,
+        seed,
+        tenants,
+        threads,
+        combined_digest: result.combined_digest(),
+        tenant_digests: result.outcomes.iter().map(|o| o.digest).collect(),
+        accesses: result.total_accesses(),
+        backpressure_rejects,
+        granted_slots: result.outcomes.iter().map(|o| o.granted_slots).collect(),
+        slot_gini: result.slot_share_gini(),
+        fmar_spread: result.fmar_spread(),
+        violations,
+    }
+}
+
+/// One tenant-storm fuzz case: 4–8 tenants with mixed policies (rotated
+/// through [`ALL_POLICIES`] from a seed-derived offset), skewed weights, the
+/// admission hook on, and a canonical fault plan (capacity shrink, copy
+/// faults, degradation) attached to one seed-chosen tenant — cross-tenant
+/// allocation pressure, concurrent promotion drains, and mid-barrier
+/// capacity shrink in one schedule.
+pub fn fuzz_one_tenant_storm(seed: u64, run_millis: u64) -> ShardedCaseReport {
+    let mut rng = DetRng::split(seed, FAULT_STREAM);
+    let tenants = 4 + rng.below(5) as usize; // 4..=8
+    let threads = 1 + rng.below(4) as usize; // 1..=4
+    let offset = rng.below(ALL_POLICIES.len() as u64) as usize;
+    // At least one tenant always runs a Chrono mode: its two-phase
+    // migrations hold in-flight slots across the copy window, so a tight
+    // cap actually binds (baselines complete instantly and rarely queue).
+    let chrono_tenant = rng.below(tenants as u64) as u32;
+    let faulty_tenant = rng.below(tenants as u64) as u32;
+    // A deliberately tight slot pool (right at the weighted-regime
+    // boundary) so cross-tenant contention — and the admission-reject
+    // path — actually gets exercised.
+    let slots = 2 * tenants + rng.below(4) as usize;
+    let horizon = Nanos::from_millis(run_millis);
+    run_sharded_case_mixed(
+        "storm-mixed",
+        &move |id| {
+            if id == chrono_tenant {
+                PolicyUnderTest::ChronoDcsc
+            } else {
+                ALL_POLICIES[(offset + id as usize) % ALL_POLICIES.len()]
+            }
+        },
+        seed,
+        run_millis,
+        tenants,
+        threads,
+        Some(slots),
+        &move |id| {
+            if id == faulty_tenant {
+                Some(FaultPlan::canonical(seed ^ id as u64, horizon))
+            } else {
+                None
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy_fuzz::run_policy_case;
+
+    #[test]
+    fn single_tenant_sharded_run_reproduces_classic_digest() {
+        // The compat path: one tenant, hook off ⇒ byte-identical to the
+        // classic driver for a Chrono mode and a baseline.
+        for p in [PolicyUnderTest::ChronoDcsc, PolicyUnderTest::Tpp] {
+            let classic = run_policy_case(p, 0x5EED, 10);
+            for threads in [1usize, 4] {
+                let sharded = run_sharded_case(p, 0x5EED, 10, 1, threads, false);
+                assert_eq!(
+                    sharded.combined_digest, classic.digest,
+                    "{} single-tenant sharded digest diverged from classic",
+                    classic.policy
+                );
+                assert_eq!(sharded.accesses, classic.accesses);
+                assert!(sharded.clean(), "violations: {:?}", sharded.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_tenant_case_is_thread_invariant_and_clean() {
+        let p = PolicyUnderTest::ChronoDcsc;
+        let one = run_sharded_case(p, 0xABCD, 10, 4, 1, true);
+        let eight = run_sharded_case(p, 0xABCD, 10, 4, 8, true);
+        assert_eq!(one.combined_digest, eight.combined_digest);
+        assert_eq!(one.tenant_digests, eight.tenant_digests);
+        assert_eq!(one.granted_slots, eight.granted_slots);
+        assert!(one.clean(), "violations: {:?}", one.violations);
+        assert!(one.accesses > 0);
+    }
+
+    #[test]
+    fn tenant_storm_case_is_deterministic_and_clean() {
+        let a = fuzz_one_tenant_storm(0x5701, 10);
+        let b = fuzz_one_tenant_storm(0x5701, 10);
+        assert_eq!(a.combined_digest, b.combined_digest);
+        assert_eq!(a.tenant_digests, b.tenant_digests);
+        assert!(a.clean(), "violations: {:?}", a.violations);
+    }
+
+    #[test]
+    fn admission_reject_path_fires_under_storm() {
+        // Effectiveness self-test: across a handful of storm seeds the
+        // backpressure-reject path must actually fire — otherwise the
+        // admission hook (and the invariants above it) test nothing.
+        let mut rejects = 0u64;
+        for seed in 0..6u64 {
+            rejects += fuzz_one_tenant_storm(0x5702 + seed, 10).backpressure_rejects;
+        }
+        assert!(
+            rejects > 0,
+            "admission hook never rejected a migration across storm seeds"
+        );
+    }
+
+    #[test]
+    fn weights_are_skewed_and_stable() {
+        let a = tenant_weights(7, 16);
+        let b = tenant_weights(7, 16);
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&w| w != a[0]), "weights must be skewed");
+        assert!(a.iter().all(|&w| (1..=8).contains(&w)));
+    }
+}

@@ -39,7 +39,11 @@ pub struct AccessReq {
 }
 
 /// A per-process stream of memory accesses.
-pub trait Workload {
+///
+/// `Send` is a supertrait so tenant shards (workload + system + policy) can
+/// move across the worker threads of a sharded run; workload generators are
+/// plain data over `DetRng`, so this costs implementors nothing.
+pub trait Workload: Send {
     /// Produces the next access, or `None` when the process has finished its
     /// work (finite workloads like Graph500 runs).
     fn next_access(&mut self) -> Option<AccessReq>;
