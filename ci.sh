@@ -26,6 +26,9 @@ echo "== harness lint (chrono-lint: zero unwaived findings)"
 echo "== harness model-check (exhaustive PageFlags lifecycle vs golden)"
 ./target/release/harness model-check
 
+echo "== harness race-check (exhaustive shard-interleaving model + injected-bug self-test)"
+./target/release/harness race-check
+
 echo "== harness fuzz smoke (32 seeds x 2000 ops, fixed base)"
 ./target/release/harness fuzz --seeds 32 --ops 2000 --seed-base 0x5EED0000
 

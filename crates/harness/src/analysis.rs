@@ -1,22 +1,29 @@
-//! `harness lint` and `harness model-check`: the CI entry points into the
-//! `tiering-analysis` layer.
+//! `harness lint`, `harness model-check`, and `harness race-check`: the CI
+//! entry points into the `tiering-analysis` layer.
 //!
 //! ```text
-//! harness lint [--all] [--rules]
+//! harness lint [--all] [--rules] [--json]
 //! harness model-check [--bless]
+//! harness race-check [--bless]
 //! ```
 //!
 //! `lint` runs chrono-lint over the workspace against the committed waiver
 //! baseline and fails on any unwaived finding or stale baseline entry
 //! (`--all` also prints the waived findings; `--rules` prints the rule
-//! catalog). `model-check` enumerates the exact reachable `PageFlags`
+//! catalog; `--json` emits the machine-readable findings document instead
+//! of text). `model-check` enumerates the exact reachable `PageFlags`
 //! lifecycle set, asserts every reachable state legal and every declared
 //! transition live, and diffs the rendered reachability report against the
-//! committed golden (`--bless` rewrites it).
+//! committed golden (`--bless` rewrites it). `race-check` is the chrono-race
+//! gate: the exhaustive shard-interleaving exploration (convergence +
+//! slot-flow conservation on every schedule, diffed against its golden)
+//! plus the injected arrival-order-grants self-test, which must *fail* to
+//! converge or the checker itself is broken.
 
 use tiering_analysis::{
-    baseline_path, check_model, golden_path, legality_rules, lint_workspace, render_report,
-    transitions, workspace_root, Finding, RULES,
+    baseline_path, check_model, check_races, findings_to_json, golden_path, legality_rules,
+    lint_workspace, race_configs, race_golden_path, render_race_report, render_report, transitions,
+    workspace_root, Finding, GrantRule, RULES,
 };
 
 /// Removes `--flag` from `args`, reporting whether it was present.
@@ -28,18 +35,27 @@ fn take_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
     true
 }
 
-/// `harness lint [--all] [--rules]`. Returns the process exit code.
+/// The `--rules` catalog, one line per rule. Pure so the output-sync test
+/// can hold it against [`RULES`].
+pub fn render_rules() -> String {
+    let mut out = String::new();
+    for (name, what) in RULES {
+        out.push_str(&format!("{name:20} {what}\n"));
+    }
+    out
+}
+
+/// `harness lint [--all] [--rules] [--json]`. Returns the process exit code.
 pub fn run_lint(mut args: Vec<String>) -> i32 {
     let show_all = take_bool_flag(&mut args, "--all");
     let show_rules = take_bool_flag(&mut args, "--rules");
+    let json = take_bool_flag(&mut args, "--json");
     if let Some(unknown) = args.first() {
         eprintln!("lint: unknown argument '{unknown}'");
         return 2;
     }
     if show_rules {
-        for (name, what) in RULES {
-            println!("{name:20} {what}");
-        }
+        print!("{}", render_rules());
         return 0;
     }
 
@@ -53,6 +69,14 @@ pub fn run_lint(mut args: Vec<String>) -> i32 {
     };
 
     let unwaived: Vec<&Finding> = report.unwaived().collect();
+    if json {
+        print!("{}", findings_to_json(&report));
+        return if unwaived.is_empty() && report.stale_baseline.is_empty() {
+            0
+        } else {
+            1
+        };
+    }
     for f in &report.findings {
         if show_all || f.waived == tiering_analysis::lint::Waived::No {
             println!("{f}");
@@ -146,5 +170,136 @@ pub fn run_model_check(mut args: Vec<String>) -> i32 {
     } else {
         println!("model-check: reachable set is legal and matches the golden");
         0
+    }
+}
+
+/// `harness race-check [--bless]`. Runs the chrono-race pillar end to end:
+/// the exhaustive interleaving exploration under the shipped tenant-id
+/// grant rule (every schedule must converge and conserve slot flow, and
+/// the rendered report must match the committed golden), then the
+/// self-test under the injected arrival-order rule (which must be caught
+/// as divergent — a checker that passes a known-racy protocol is broken).
+/// The static race rules (`shared-state`/`rng-stream`/`barrier-phase`) are
+/// part of `harness lint`, which ci.sh runs alongside this.
+pub fn run_race_check(mut args: Vec<String>) -> i32 {
+    let bless = take_bool_flag(&mut args, "--bless");
+    if let Some(unknown) = args.first() {
+        eprintln!("race-check: unknown argument '{unknown}'");
+        return 2;
+    }
+
+    let configs = race_configs();
+    let report = check_races(&configs, GrantRule::TenantId);
+    let mut failed = false;
+    for c in &report.configs {
+        let schedules: u64 = c.windows.iter().map(|w| w.schedules).sum();
+        println!(
+            "race-check: config {}: {} schedules over {} windows, converged={}, {} conservation checks",
+            c.name,
+            schedules,
+            c.windows.len(),
+            c.converged,
+            c.conservation_checks
+        );
+        if !c.converged {
+            println!("  DIVERGED: some schedule reached a different post-barrier state");
+            failed = true;
+        }
+        for v in &c.violations {
+            println!("  SLOT-FLOW VIOLATION: {v}");
+            failed = true;
+        }
+    }
+
+    let rendered = render_race_report(&report);
+    let golden = race_golden_path();
+    if bless {
+        if let Some(dir) = golden.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&golden, &rendered) {
+            eprintln!("race-check: cannot write {}: {e}", golden.display());
+            return 1;
+        }
+        println!("blessed {}", golden.display());
+    } else {
+        match std::fs::read_to_string(&golden) {
+            Ok(committed) if committed == rendered => {
+                println!("golden {} ok", golden.display());
+            }
+            Ok(_) => {
+                println!(
+                    "golden {} DIFFERS from the computed exploration; \
+                     inspect with `harness race-check --bless` + git diff",
+                    golden.display()
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("golden {} unreadable ({e}); run --bless", golden.display());
+                failed = true;
+            }
+        }
+    }
+
+    // Self-test: the injected order-dependent grant rule must be caught.
+    let injected = check_races(&configs, GrantRule::ArrivalOrder);
+    if injected.ok() {
+        println!(
+            "race-check: SELF-TEST FAILED — injected arrival-order grants \
+             were not detected as divergent"
+        );
+        failed = true;
+    } else {
+        println!("race-check: self-test ok (injected arrival-order grants caught)");
+    }
+
+    if failed {
+        eprintln!("race-check: FAILED");
+        1
+    } else {
+        println!("race-check: every schedule converges, slot flow conserved");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_catalog_rendering_stays_in_sync() {
+        let rendered = render_rules();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines.len(),
+            RULES.len(),
+            "one `lint --rules` line per catalog entry"
+        );
+        for ((name, what), line) in RULES.iter().zip(&lines) {
+            assert!(
+                line.starts_with(name) && line.ends_with(what),
+                "rule line drifted from the catalog: {line:?}"
+            );
+        }
+        // The chrono-race static rules are part of the grown catalog.
+        for rule in ["shared-state", "rng-stream", "barrier-phase"] {
+            assert!(
+                RULES.iter().any(|(n, _)| *n == rule),
+                "missing {rule} in the catalog"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_json_document_round_trips_from_a_live_scan() {
+        let baseline = std::fs::read_to_string(baseline_path()).unwrap_or_default();
+        let report = lint_workspace(&workspace_root(), &baseline).expect("scan");
+        let json = findings_to_json(&report);
+        let (files, findings, stale) =
+            tiering_analysis::findings_from_json(&json).expect("schema round-trip");
+        assert_eq!(files, report.files_scanned);
+        assert_eq!(findings, report.findings);
+        assert_eq!(stale, report.stale_baseline);
     }
 }

@@ -13,8 +13,9 @@
 //!              [--tenant-storm]
 //! harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
 //!             [--seed X] [--slots N]
-//! harness lint [--all] [--rules]
+//! harness lint [--all] [--rules] [--json]
 //! harness model-check [--bless]
+//! harness race-check [--bless]
 //! harness bench [--quick] [--check] [--suite fig10|substrate]
 //! ```
 //!
@@ -131,6 +132,18 @@ fn main() {
         args.drain(pos..=pos + 1);
     }
 
+    // The analysis subcommands dispatch before the sink flags are parsed:
+    // `lint --json` means machine-readable findings, not a sink directory.
+    if args.first().map(String::as_str) == Some("lint") {
+        std::process::exit(harness::analysis::run_lint(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("model-check") {
+        std::process::exit(harness::analysis::run_model_check(args.split_off(1)));
+    }
+    if args.first().map(String::as_str) == Some("race-check") {
+        std::process::exit(harness::analysis::run_race_check(args.split_off(1)));
+    }
+
     let json_dir = take_dir_flag(&mut args, "--json");
     let trace_dir = take_dir_flag(&mut args, "--trace");
     sink::configure(json_dir, trace_dir);
@@ -142,12 +155,6 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("fuzz") {
         std::process::exit(harness::verify::run_fuzz(args.split_off(1)));
-    }
-    if args.first().map(String::as_str) == Some("lint") {
-        std::process::exit(harness::analysis::run_lint(args.split_off(1)));
-    }
-    if args.first().map(String::as_str) == Some("model-check") {
-        std::process::exit(harness::analysis::run_model_check(args.split_off(1)));
     }
     if args.first().map(String::as_str) == Some("bench") {
         std::process::exit(harness::bench::run_bench(args.split_off(1)));
@@ -175,12 +182,16 @@ fn main() {
             "run"
         );
         println!(
-            "  {:8} chrono-lint static analysis [--all] [--rules]",
+            "  {:8} chrono-lint static analysis [--all] [--rules] [--json]",
             "lint"
         );
         println!(
             "  {:8} exhaustive PageFlags lifecycle check [--bless]",
             "model-check"
+        );
+        println!(
+            "  {:8} chrono-race barrier discipline: static + interleaving model + self-test [--bless]",
+            "race-check"
         );
         println!(
             "  {:8} perf suites -> BENCH_*.json [--quick] [--check] [--suite fig10|substrate]",

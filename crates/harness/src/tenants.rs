@@ -175,6 +175,7 @@ pub fn run_tenants(mut args: Vec<String>) -> i32 {
         cfg.seed,
         cfg.slots.unwrap_or(2 * cfg.tenants),
     );
+    // lint:allow(wall-clock) CLI-only wall throughput metric; never feeds the sim
     let wall = std::time::Instant::now();
     let result = run_fleet(&cfg);
     let elapsed = wall.elapsed();

@@ -230,4 +230,70 @@ mod tests {
     fn underprovisioned_pool_panics() {
         PartitionPlan::split_even(MIN_FAST_FRAMES * 2 - 1, 4096, 2);
     }
+
+    /// Asserts the capacity identity for a plan: contiguous/disjoint/
+    /// exhaustive cover and per-tier sums equal to the global pools.
+    fn assert_capacity_identity(plan: &PartitionPlan) {
+        assert!(plan.covers_exactly());
+        let fast: u64 = plan.parts().iter().map(|p| p.fast_frames as u64).sum();
+        let slow: u64 = plan.parts().iter().map(|p| p.slow_frames as u64).sum();
+        assert_eq!(fast, u64::from(plan.total_fast()));
+        assert_eq!(slow, u64::from(plan.total_slow()));
+    }
+
+    #[test]
+    fn zero_weight_tenant_still_gets_the_floor_and_a_share() {
+        // Zero weights behave as one: the tenant is not starved below the
+        // floor, and the capacity identity still holds exactly.
+        let weights = [0u64, 7, 0, 7];
+        let plan = PartitionPlan::split_weighted(1024, 4096, &weights);
+        assert_capacity_identity(&plan);
+        for p in plan.parts() {
+            assert!(p.fast_frames >= MIN_FAST_FRAMES);
+            assert!(p.slow_frames >= MIN_SLOW_FRAMES);
+        }
+        // Zero behaves as weight 1, so both zero-weight tenants receive the
+        // same share and strictly less than the weight-7 tenants.
+        assert_eq!(plan.part(0).fast_frames, plan.part(2).fast_frames);
+        assert!(plan.part(0).fast_frames < plan.part(1).fast_frames);
+        // And identically to an explicit weight-1 plan.
+        let ones = PartitionPlan::split_weighted(1024, 4096, &[1, 7, 1, 7]);
+        assert_eq!(plan.parts(), ones.parts());
+    }
+
+    #[test]
+    fn floor_dominated_tiny_pools_split_exactly() {
+        // Pools sized exactly at the floors: the spare pool is zero, every
+        // tenant gets precisely the floor regardless of weight skew, and
+        // nothing is lost to rounding.
+        let weights = [1000u64, 1, 1];
+        let n = weights.len() as u32;
+        let plan =
+            PartitionPlan::split_weighted(MIN_FAST_FRAMES * n, MIN_SLOW_FRAMES * n, &weights);
+        assert_capacity_identity(&plan);
+        for p in plan.parts() {
+            assert_eq!(p.fast_frames, MIN_FAST_FRAMES);
+            assert_eq!(p.slow_frames, MIN_SLOW_FRAMES);
+        }
+        // One spare frame past the floors lands on the heaviest tenant.
+        let plus_one =
+            PartitionPlan::split_weighted(MIN_FAST_FRAMES * n + 1, MIN_SLOW_FRAMES * n, &weights);
+        assert_capacity_identity(&plus_one);
+        assert_eq!(plus_one.part(0).fast_frames, MIN_FAST_FRAMES + 1);
+        assert_eq!(plus_one.part(1).fast_frames, MIN_FAST_FRAMES);
+    }
+
+    #[test]
+    fn single_tenant_plan_is_degenerate_and_exact() {
+        // One tenant owns the whole pool: bases at zero, shares equal to the
+        // totals, capacity identity trivially exact — the shape the classic
+        // single-tenant compat path builds.
+        let plan = PartitionPlan::split_weighted(777, 2048, &[5]);
+        assert_capacity_identity(&plan);
+        let p = plan.part(0);
+        assert_eq!((p.fast_base, p.slow_base), (0, 0));
+        assert_eq!((p.fast_frames, p.slow_frames), (777, 2048));
+        assert_eq!(p.global_fast_pfn(776), 776);
+        assert_eq!(p.global_slow_pfn(2047), 2047);
+    }
 }

@@ -26,9 +26,48 @@ pub const RESTRICTED_CRATES: [&str; 5] = [
     "workloads",
 ];
 
+/// Individual files outside the restricted crates that the determinism
+/// rules also cover: the shard/tenant modules whose code runs (or feeds)
+/// the parallel shard-step phase. `harness` as a crate stays unrestricted
+/// (it times real wall-clock runs), but its fleet runner is shard-era code.
+pub const RESTRICTED_FILES: [&str; 3] = [
+    "crates/tiering-policies/src/shard.rs",
+    "crates/tiered-mem/src/partition.rs",
+    "crates/harness/src/tenants.rs",
+];
+
+/// Files whose code participates in the barrier protocol: the chrono-race
+/// rules (`rng-stream` mutable-RNG audit, `barrier-phase` callgraph audit)
+/// apply here. A superset relationship with [`RESTRICTED_FILES`] is not
+/// required but currently holds.
+pub const BARRIER_PHASE_FILES: [&str; 3] = [
+    "crates/tiering-policies/src/shard.rs",
+    "crates/tiered-mem/src/partition.rs",
+    "crates/harness/src/tenants.rs",
+];
+
+/// Cross-shard mutators that may only be invoked from the single-threaded
+/// barrier section (or from setup code), never from the parallel shard-step
+/// phase. The `barrier-phase` rule walks a callgraph-lite closure from the
+/// `thread::scope` spawn bodies and the shard-step entry points and flags
+/// any call to one of these inside that closure.
+pub const BARRIER_ONLY_MUTATORS: [&str; 6] = [
+    "admission_grants",
+    "apply",
+    "set_inflight_slots",
+    "trace_admission",
+    "split_weighted",
+    "split_even",
+];
+
+/// Function names treated as entry points of the parallel shard-step phase
+/// even when no `thread::scope` body names them directly (the sequential
+/// 1-thread path calls them too, and the discipline must hold there).
+const SHARD_STEP_ROOTS: [&str; 2] = ["step_to", "step_until"];
+
 /// The rule catalog: `(name, what it flags)`. Kept in one place so docs,
 /// tests, and `harness lint --rules` agree.
-pub const RULES: [(&str, &str); 6] = [
+pub const RULES: [(&str, &str); 9] = [
     (
         "wall-clock",
         "Instant::now / SystemTime / thread_rng in a deterministic crate",
@@ -52,6 +91,18 @@ pub const RULES: [(&str, &str); 6] = [
     (
         "bad-waiver",
         "a lint:allow waiver with no rule name or no reason text",
+    ),
+    (
+        "shared-state",
+        "interior mutability / shared-state primitive (static mut, RefCell, Mutex, Atomic*, unsafe, ...) in shard-visible deterministic code",
+    ),
+    (
+        "rng-stream",
+        "a DetRng::split stream consumed by two call sites in one file, or &mut DetRng crossing into barrier-phase code",
+    ),
+    (
+        "barrier-phase",
+        "a cross-shard mutator (admission grants, slot caps, partition surgery) reachable from the parallel shard-step phase",
     ),
 ];
 
@@ -318,13 +369,231 @@ fn hash_bound_names(lines: &[&str], test_start: usize) -> Vec<String> {
     names
 }
 
+/// Second-argument (stream id) expressions of every `DetRng::split(..)`
+/// call on one stripped line, whitespace-normalized. A call whose closing
+/// paren spills onto a later line contributes the rest of the line — the
+/// scanner is line-oriented by design.
+fn split_stream_args(code: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find("DetRng::split") {
+        let after = from + p + "DetRng::split".len();
+        from = after;
+        let Some(open_rel) = code[after..].find('(') else {
+            continue;
+        };
+        let args_start = after + open_rel + 1;
+        let mut depth = 1i32;
+        let mut comma = None;
+        let mut end = code.len();
+        for (i, c) in code[args_start..].char_indices() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = args_start + i;
+                        break;
+                    }
+                }
+                ',' if depth == 1 && comma.is_none() => comma = Some(args_start + i),
+                _ => {}
+            }
+        }
+        if let Some(c) = comma {
+            let expr: String = code[c + 1..end].split_whitespace().collect();
+            if !expr.is_empty() {
+                out.push(expr);
+            }
+        }
+    }
+    out
+}
+
+/// One lexically parsed `fn` item: its name and the 0-based inclusive line
+/// range of its body (from the opening brace to the matching close).
+struct FnItem {
+    name: String,
+    body: (usize, usize),
+}
+
+/// Lexical `fn` items of a stripped source. Brace counting over the
+/// comment- and string-stripped text; nested items (closures, inner fns)
+/// stay inside their parent's range, which is what the reachability walk
+/// wants.
+fn parse_fns(code_lines: &[String]) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    let mut depth = 0i32;
+    let mut pending: Option<String> = None;
+    let mut open: Vec<(String, i32, usize)> = Vec::new();
+    for (idx, line) in code_lines.iter().enumerate() {
+        let toks = tokens(line);
+        for w in toks.windows(2) {
+            if w[0] == "fn" {
+                pending = Some(w[1].to_string());
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(name) = pending.take() {
+                        open.push((name, depth, idx));
+                    }
+                }
+                '}' => {
+                    if let Some((_, d, _)) = open.last() {
+                        if *d == depth {
+                            let (name, _, start) = open.pop().expect("non-empty open stack");
+                            fns.push(FnItem {
+                                name,
+                                body: (start, idx),
+                            });
+                        }
+                    }
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    fns
+}
+
+/// Identifiers immediately followed by `(` on one stripped line — the
+/// call sites the `barrier-phase` audit walks.
+fn called_idents(code: &str) -> Vec<String> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        if is_ident_char(b[i] as char) {
+            let s = i;
+            while i < b.len() && is_ident_char(b[i] as char) {
+                i += 1;
+            }
+            if i < b.len()
+                && b[i] == b'('
+                && !code[s..i]
+                    .chars()
+                    .next()
+                    .expect("non-empty")
+                    .is_ascii_digit()
+            {
+                out.push(code[s..i].to_string());
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Inclusive 0-based line spans of every `thread::scope(..)` argument list
+/// — the lexical extent of the parallel shard-step phase.
+fn thread_scope_spans(code_lines: &[String]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    // 0 = outside; -1 = saw `thread::scope`, waiting for `(`; >0 = depth.
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let mut offset = 0;
+        if depth == 0 {
+            match line.find("thread::scope") {
+                Some(p) => {
+                    offset = p + "thread::scope".len();
+                    start = idx;
+                    depth = -1;
+                }
+                None => continue,
+            }
+        }
+        for c in line[offset..].chars() {
+            match c {
+                '(' => depth = if depth == -1 { 1 } else { depth + 1 },
+                ')' if depth > 0 => {
+                    depth -= 1;
+                    if depth == 0 {
+                        spans.push((start, idx));
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    spans
+}
+
+/// The `barrier-phase` callgraph-lite audit: line indices (0-based) and
+/// offending mutator names for every [`BARRIER_ONLY_MUTATORS`] call
+/// reachable from the parallel shard-step phase. The phase is the union of
+/// every `thread::scope` argument span and the bodies of locally defined
+/// functions transitively reachable from calls in those spans (or named in
+/// [`SHARD_STEP_ROOTS`]). Calls into other files go dark — the lexical
+/// soundness caveat DESIGN.md §9 documents.
+fn barrier_phase_audit(code_lines: &[String]) -> Vec<(usize, String)> {
+    let fns = parse_fns(code_lines);
+    let spans = thread_scope_spans(code_lines);
+
+    let mut frontier: Vec<String> = SHARD_STEP_ROOTS.iter().map(|s| s.to_string()).collect();
+    let mut parallel_lines: Vec<(usize, usize)> = spans.clone();
+    for &(a, b) in &spans {
+        for line in &code_lines[a..=b.min(code_lines.len() - 1)] {
+            for id in called_idents(line) {
+                if !matches!(id.as_str(), "scope" | "spawn") && !frontier.contains(&id) {
+                    frontier.push(id);
+                }
+            }
+        }
+    }
+    // Transitive closure over locally defined functions.
+    let mut i = 0;
+    while i < frontier.len() {
+        let name = frontier[i].clone();
+        for f in fns.iter().filter(|f| f.name == name) {
+            parallel_lines.push(f.body);
+            for line in &code_lines[f.body.0..=f.body.1.min(code_lines.len() - 1)] {
+                for id in called_idents(line) {
+                    if !frontier.contains(&id) {
+                        frontier.push(id);
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut out = Vec::new();
+    for &(a, b) in &parallel_lines {
+        for (idx, line) in code_lines
+            .iter()
+            .enumerate()
+            .take(b.min(code_lines.len() - 1) + 1)
+            .skip(a)
+        {
+            for id in called_idents(line) {
+                if BARRIER_ONLY_MUTATORS.contains(&id.as_str())
+                    && !out.iter().any(|(l, n)| *l == idx && *n == id)
+                {
+                    out.push((idx, id));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
 /// Lints one source file. `crate_name` decides whether the determinism
 /// rules apply; `rel_path` decides the `PageFlags` encapsulation exemption.
 /// Code at and below the first `#[cfg(test)]` line is skipped entirely —
 /// tests may freely use wall clocks, hash iteration, and fixture casts.
 pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
     let lines: Vec<&str> = source.lines().collect();
-    let restricted = RESTRICTED_CRATES.contains(&crate_name);
+    let restricted =
+        RESTRICTED_CRATES.contains(&crate_name) || RESTRICTED_FILES.contains(&rel_path);
+    let barrier_phase = BARRIER_PHASE_FILES.contains(&rel_path);
     let is_page_rs = rel_path.ends_with("tiered-mem/src/page.rs");
     let test_start = lines
         .iter()
@@ -369,6 +638,42 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Findin
                 .any(|p| code.contains(p))
         {
             hit("wall-clock");
+        }
+
+        // shared-state: interior mutability or synchronization primitives in
+        // shard-visible deterministic code. Any of these inside shard-step
+        // code can carry cross-thread nondeterminism (lock-acquisition
+        // order, atomic interleavings, aliased mutation), so the rule bans
+        // them wholesale; legitimate uses go through the waiver table.
+        if restricted {
+            let toks = tokens(code);
+            let shared = toks.iter().any(|t| {
+                matches!(
+                    *t,
+                    "RefCell"
+                        | "Cell"
+                        | "UnsafeCell"
+                        | "OnceCell"
+                        | "OnceLock"
+                        | "LazyLock"
+                        | "Mutex"
+                        | "RwLock"
+                        | "Condvar"
+                        | "thread_local"
+                        | "unsafe"
+                ) || t.starts_with("Atomic")
+            }) || code.contains("static mut");
+            if shared {
+                hit("shared-state");
+            }
+        }
+
+        // rng-stream (mutable-RNG half): a `&mut DetRng` flowing through a
+        // barrier-phase module's API means one RNG stream is being consumed
+        // from code that runs in (or feeds) the barrier protocol — streams
+        // must stay pinned to exactly one shard context.
+        if barrier_phase && code.contains("&mut DetRng") {
+            hit("rng-stream");
         }
 
         // timestamp-cast: `x_ms as u32`-style modular narrowing.
@@ -477,6 +782,65 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Findin
         }
     }
 
+    // rng-stream (duplicate-consumption half) and barrier-phase both need
+    // whole-file context over the stripped production code.
+    if restricted || barrier_phase {
+        let stripped: Vec<String> = lines
+            .iter()
+            .take(test_start)
+            .map(|line| {
+                let code = match comment_start(line) {
+                    Some(i) => &line[..i],
+                    None => line,
+                };
+                strip_strings(code)
+            })
+            .collect();
+
+        // rng-stream: a `DetRng::split` stream id consumed by two distinct
+        // call sites in one file means two contexts draw from (what is meant
+        // to be) one shard's private stream.
+        if restricted {
+            let mut streams: Vec<(String, usize)> = Vec::new();
+            for (idx, code) in stripped.iter().enumerate() {
+                for expr in split_stream_args(code) {
+                    if let Some((_, first)) = streams.iter().find(|(e, _)| *e == expr) {
+                        raw.push(Finding {
+                            rule: "rng-stream",
+                            file: rel_path.to_string(),
+                            line: idx + 1,
+                            snippet: format!(
+                                "{}  (stream `{expr}` already split at line {})",
+                                lines[idx].trim(),
+                                first + 1
+                            ),
+                            waived: Waived::No,
+                        });
+                    } else {
+                        streams.push((expr, idx));
+                    }
+                }
+            }
+        }
+
+        // barrier-phase: cross-shard mutators reachable from the parallel
+        // shard-step phase.
+        if barrier_phase {
+            for (idx, mutator) in barrier_phase_audit(&stripped) {
+                raw.push(Finding {
+                    rule: "barrier-phase",
+                    file: rel_path.to_string(),
+                    line: idx + 1,
+                    snippet: format!(
+                        "{}  (cross-shard mutator `{mutator}` reachable from the shard-step phase)",
+                        lines[idx].trim()
+                    ),
+                    waived: Waived::No,
+                });
+            }
+        }
+    }
+
     // Resolve inline waivers: a waiver covers its own line, the rest of
     // its comment block, and the first code line after it (so a multi-line
     // justification above the flagged statement works).
@@ -502,6 +866,222 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Findin
     }
     raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     raw
+}
+
+/// Escapes a string for a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable `harness lint --json` document: scan summary plus
+/// one object per finding (`rule`, `file`, `line`, `waived`, `snippet`).
+/// Hand-rolled (no serde — the workspace is offline/dependency-free);
+/// [`findings_from_json`] is the committed round-trip proof of the schema.
+pub fn findings_to_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_scanned\": {},\n  \"unwaived\": {},\n",
+        report.files_scanned,
+        report.unwaived().count()
+    ));
+    out.push_str("  \"stale_baseline\": [");
+    for (i, s) in report.stale_baseline.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", json_escape(s)));
+    }
+    out.push_str("],\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let waived = match f.waived {
+            Waived::No => "no",
+            Waived::Inline => "inline",
+            Waived::Baseline => "baseline",
+        };
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"waived\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            waived,
+            json_escape(&f.snippet)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Minimal cursor over the `--json` document.
+struct JsonCursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && (self.b[self.i] as char).is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(self.b.get(self.i..self.i + 4)?).ok()?;
+                            self.i += 4;
+                            out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<usize> {
+        self.skip_ws();
+        let start = self.i;
+        while self.i < self.b.len() && self.b[self.i].is_ascii_digit() {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Parses a [`findings_to_json`] document back into findings (plus the
+/// `files_scanned` count and stale-baseline list). Returns `None` on any
+/// schema violation — the round-trip test keeps producer and consumer in
+/// lockstep so CI annotators can rely on the shape.
+pub fn findings_from_json(text: &str) -> Option<(usize, Vec<Finding>, Vec<String>)> {
+    let mut c = JsonCursor {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    c.eat(b'{')?;
+    let mut files_scanned = 0usize;
+    let mut stale = Vec::new();
+    let mut findings = Vec::new();
+    loop {
+        if c.peek() == Some(b'}') {
+            c.eat(b'}')?;
+            break;
+        }
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "files_scanned" => files_scanned = c.number()?,
+            "unwaived" => {
+                c.number()?;
+            }
+            "stale_baseline" => {
+                c.eat(b'[')?;
+                while c.peek() != Some(b']') {
+                    stale.push(c.string()?);
+                    if c.peek() == Some(b',') {
+                        c.eat(b',')?;
+                    }
+                }
+                c.eat(b']')?;
+            }
+            "findings" => {
+                c.eat(b'[')?;
+                while c.peek() != Some(b']') {
+                    c.eat(b'{')?;
+                    let (mut rule, mut file, mut line, mut waived, mut snippet) =
+                        (None, None, None, None, None);
+                    while c.peek() != Some(b'}') {
+                        let k = c.string()?;
+                        c.eat(b':')?;
+                        match k.as_str() {
+                            "rule" => rule = Some(c.string()?),
+                            "file" => file = Some(c.string()?),
+                            "line" => line = Some(c.number()?),
+                            "waived" => waived = Some(c.string()?),
+                            "snippet" => snippet = Some(c.string()?),
+                            _ => return None,
+                        }
+                        if c.peek() == Some(b',') {
+                            c.eat(b',')?;
+                        }
+                    }
+                    c.eat(b'}')?;
+                    // Rule names intern back into the static catalog.
+                    let rule_name = rule?;
+                    let rule = RULES.iter().find(|(n, _)| *n == rule_name)?.0;
+                    findings.push(Finding {
+                        rule,
+                        file: file?,
+                        line: line?,
+                        snippet: snippet?,
+                        waived: match waived.as_deref()? {
+                            "no" => Waived::No,
+                            "inline" => Waived::Inline,
+                            "baseline" => Waived::Baseline,
+                            _ => return None,
+                        },
+                    });
+                    if c.peek() == Some(b',') {
+                        c.eat(b',')?;
+                    }
+                }
+                c.eat(b']')?;
+            }
+            _ => return None,
+        }
+        if c.peek() == Some(b',') {
+            c.eat(b',')?;
+        }
+    }
+    Some((files_scanned, findings, stale))
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
@@ -731,6 +1311,161 @@ mod tests {
         );
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0, "wall-clock");
+    }
+
+    #[test]
+    fn shared_state_flagged_in_restricted_code_only() {
+        for bad in [
+            "static mut COUNTER: u32 = 0;\n",
+            "let m = Mutex::new(0);\n",
+            "let c = RefCell::new(0);\n",
+            "use std::sync::atomic::AtomicU64;\n",
+            "unsafe { *p = 1; }\n",
+        ] {
+            let hits = lint_source("tiering-policies", "crates/tiering-policies/src/x.rs", bad);
+            assert_eq!(hits.len(), 1, "{bad:?} -> {hits:?}");
+            assert_eq!(hits[0].rule, "shared-state");
+            // Unrestricted crates (e.g. the analysis tooling itself) are free.
+            assert!(
+                lint_source("tiering-analysis", "crates/tiering-analysis/src/x.rs", bad).is_empty()
+            );
+        }
+        // Restriction also applies by file, not just by crate.
+        let hits = lint_source(
+            "harness",
+            "crates/harness/src/tenants.rs",
+            "let m = Mutex::new(0);\n",
+        );
+        assert!(hits.iter().any(|f| f.rule == "shared-state"));
+        // Waivable like any other rule.
+        let waived = "\
+// lint:allow(shared-state) startup-only registration, never in shard-step
+static mut COUNTER: u32 = 0;
+";
+        let hits = lint_source(
+            "tiering-policies",
+            "crates/tiering-policies/src/x.rs",
+            waived,
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].waived, Waived::Inline);
+    }
+
+    #[test]
+    fn rng_stream_flags_duplicate_split_consumption() {
+        let bad = "\
+let a = DetRng::split(seed, 7);
+let b = DetRng::split(seed, 7);
+";
+        let hits = lint_source("tiering-policies", "crates/tiering-policies/src/x.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "rng-stream");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].snippet.contains("already split at line 1"));
+        // Distinct stream ids: each stream has exactly one consumer.
+        let good = "\
+let a = DetRng::split(seed, 7);
+let b = DetRng::split(seed, 8);
+";
+        assert!(
+            lint_source("tiering-policies", "crates/tiering-policies/src/x.rs", good).is_empty()
+        );
+        // Whitespace-insensitive stream matching.
+        let bad = "let a = DetRng::split(s, id + 1);\nlet b = DetRng::split(s, id+1);\n";
+        let hits = lint_source("tiering-policies", "crates/tiering-policies/src/x.rs", bad);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn rng_stream_flags_mut_detrng_in_barrier_phase_files() {
+        let src = "fn feed(rng: &mut DetRng) {}\n";
+        let hits = lint_source(
+            "tiering-policies",
+            "crates/tiering-policies/src/shard.rs",
+            src,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "rng-stream");
+        // Ordinary restricted code may pass RNGs by &mut freely.
+        assert!(lint_source("chrono-core", "crates/chrono-core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn barrier_phase_flags_mutators_reachable_from_shard_step() {
+        let src = "\
+fn step_to(&mut self) { self.tick(); }
+fn tick(&mut self) { let g = admission_grants(4, &claims); }
+fn barrier(&mut self) { ctl.apply(1, 2); }
+";
+        let hits = lint_source(
+            "tiering-policies",
+            "crates/tiering-policies/src/shard.rs",
+            src,
+        );
+        // `admission_grants` is transitively reachable from the step root;
+        // `apply` in the barrier fn is not reachable and stays legal.
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "barrier-phase");
+        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].snippet.contains("admission_grants"));
+    }
+
+    #[test]
+    fn barrier_phase_walks_thread_scope_bodies() {
+        let src = "\
+fn run(&mut self) {
+    thread::scope(|s| {
+        s.spawn(|| worker());
+    });
+}
+fn worker() { let g = split_weighted(64, 128, &w); }
+";
+        let hits = lint_source(
+            "tiering-policies",
+            "crates/tiering-policies/src/shard.rs",
+            src,
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "barrier-phase");
+        assert_eq!(hits[0].line, 6);
+        // The same mutator outside any parallel span is legal.
+        let good = "fn barrier(&mut self) { let p = split_weighted(64, 128, &w); }\n";
+        assert!(lint_source(
+            "tiering-policies",
+            "crates/tiering-policies/src/shard.rs",
+            good
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_findings() {
+        let report = LintReport {
+            findings: vec![
+                Finding {
+                    rule: "wall-clock",
+                    file: "crates/x/src/a.rs".into(),
+                    line: 12,
+                    snippet: "let t = Instant::now(); // \"quoted\"\\tail".into(),
+                    waived: Waived::Inline,
+                },
+                Finding {
+                    rule: "barrier-phase",
+                    file: "crates/y/src/b.rs".into(),
+                    line: 3,
+                    snippet: "apply(1, 2)  (cross-shard mutator `apply` ...)".into(),
+                    waived: Waived::No,
+                },
+            ],
+            files_scanned: 61,
+            stale_baseline: vec!["hash-iter\tgone.rs\tfor x in m {}".into()],
+        };
+        let json = findings_to_json(&report);
+        let (files, findings, stale) = findings_from_json(&json).expect("parse back");
+        assert_eq!(files, 61);
+        assert_eq!(findings, report.findings);
+        assert_eq!(stale, report.stale_baseline);
+        assert!(json.contains("\"unwaived\": 1"));
     }
 
     #[test]

@@ -1,0 +1,721 @@
+//! chrono-race: exhaustive small-scope checking of the shard barrier
+//! protocol.
+//!
+//! PR 7's `ShardedSim` promises that trace digests are independent of how
+//! shards are scheduled onto threads: each shard's step is a pure function
+//! of its own state, and cross-shard effects (admission grants, slot caps)
+//! are applied only at single-threaded barriers, in tenant-id order. This
+//! module proves the *protocol* half of that promise by brute force: it
+//! enumerates **every interleaving** of shard steps between barriers for
+//! small configurations (2–3 shards, 2–3 barrier windows) of the
+//! MigrationTxn × admission-slot × fault-completion protocol, and asserts
+//! that
+//!
+//! - every schedule reaches the **same canonical post-barrier state**
+//!   (commutativity of the conservative time-stepping design), and
+//! - **slot-flow conservation** holds at every explored state:
+//!   `begun == completed + aborted + faulted + in_flight`, per shard.
+//!
+//! The transition functions mirror the real code sites: [`RaceOp`] mirrors
+//! `TieredSystem::begin_migrate` (bounded by the barrier-granted slot cap,
+//! rejections counted as backpressure), write-abort, and completion /
+//! fault-completion retiring in-flight transactions;
+//! [`barrier`](self) mirrors `AdmissionControl::apply` (activity-delta
+//! demand detection, first-barrier treats everyone as demanding, grants
+//! applied in tenant-id order) over [`canonical_grants`] — an
+//! **independent reimplementation** of
+//! `tiering_policies::shard::admission_grants`, used N-version style both
+//! here and by the `tiering-verify` fuzz oracle as the runtime bridge
+//! (observed barrier grants must equal the enumerated canonical grants).
+//!
+//! Exploration is a memoized DAG walk: nodes are `(per-shard program
+//! counters, global state)` and path counts are summed per node, so the
+//! number of *schedules* certified is exact (the multinomial
+//! `(Σkᵢ)!/Πkᵢ!`) while the number of *distinct states* visited stays
+//! small. The order in which shards *finish* a window is part of the state
+//! (`arrivals`), which is what lets the self-test inject an
+//! order-dependent grant rule ([`GrantRule::ArrivalOrder`]) and prove the
+//! checker catches it: under that rule the post-barrier states fail to
+//! collapse to one.
+
+use std::collections::BTreeMap;
+
+/// One shard-step operation of the migration protocol model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RaceOp {
+    /// `begin_migrate`: consumes a granted slot, or counts backpressure
+    /// when the shard's cap is exhausted.
+    Begin,
+    /// A write to a page with an active copy: aborts one in-flight
+    /// transaction (no-op when nothing is in flight).
+    Write,
+    /// `complete_due_migrations` retiring one transaction normally.
+    Complete,
+    /// A copy fault retiring one transaction abnormally (PR 5's
+    /// transient/poisoned completion path).
+    Fault,
+}
+
+/// How the barrier orders demanding shards when building slot claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantRule {
+    /// Tenant-id order — the shipped `AdmissionControl::apply` behavior.
+    TenantId,
+    /// The order shards happened to finish the window — the injected bug
+    /// the self-test must catch (grants then depend on the schedule).
+    ArrivalOrder,
+}
+
+/// One demanding tenant's claim on the slot pool, as the model and the
+/// runtime bridge see it. Field-for-field the same data as
+/// `tiering_policies::shard::SlotClaim`; duplicated here so the analysis
+/// crate stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceClaim {
+    /// Admission weight (zero behaves as one).
+    pub weight: u64,
+    /// Consecutive barriers this tenant demanded and received nothing.
+    pub starvation: u32,
+}
+
+/// Independent reimplementation of the barrier grant computation
+/// (`admission_grants` in `tiering-policies/src/shard.rs`), kept
+/// deliberately different in structure — closed-form round-robin instead
+/// of a modular loop, selection sort keys instead of tuple sorts — so a
+/// bug in either copy shows up as a mismatch. The `tiering-verify` oracle
+/// compares the two on every fuzzed barrier.
+///
+/// Weighted regime (`total_slots ≥ 2·n`): every claimant is floored at
+/// `max(1, ceil(total·wᵢ / 2Σw))`; the leftover goes round-robin in
+/// largest-deficit order (ties: starvation descending, then claim index).
+/// Scarce regime: one slot each to the `total_slots` most-starved (then
+/// heaviest, then lowest-index) claimants.
+pub fn canonical_grants(total_slots: u64, claims: &[RaceClaim]) -> Vec<u64> {
+    let n = claims.len();
+    if n == 0 || total_slots == 0 {
+        return vec![0; n];
+    }
+    let w = |i: usize| u128::from(claims[i].weight.max(1));
+    if u128::from(total_slots) >= 2 * n as u128 {
+        let sum_w: u128 = (0..n).map(w).sum();
+        let mut grants: Vec<u64> = (0..n)
+            .map(|i| {
+                let num = u128::from(total_slots) * w(i);
+                (num.div_ceil(2 * sum_w) as u64).max(1)
+            })
+            .collect();
+        let assigned: u64 = grants.iter().sum();
+        let leftover = total_slots - assigned;
+        let deficit = |i: usize| num_deficit(u128::from(total_slots) * w(i), grants[i], sum_w);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            deficit(b)
+                .cmp(&deficit(a))
+                .then(claims[b].starvation.cmp(&claims[a].starvation))
+                .then(a.cmp(&b))
+        });
+        // Round-robin over the ranking, in closed form: position p in the
+        // ranking receives ⌊leftover/n⌋ plus one if p < leftover mod n.
+        let per = leftover / n as u64;
+        let extra = (leftover % n as u64) as usize;
+        for (pos, &i) in idx.iter().enumerate() {
+            grants[i] += per + u64::from(pos < extra);
+        }
+        grants
+    } else {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            claims[b]
+                .starvation
+                .cmp(&claims[a].starvation)
+                .then(claims[b].weight.cmp(&claims[a].weight))
+                .then(a.cmp(&b))
+        });
+        let mut grants = vec![0u64; n];
+        for &i in idx.iter().take(total_slots as usize) {
+            grants[i] = 1;
+        }
+        grants
+    }
+}
+
+/// Signed weighted-share deficit of a base grant: `num - base·Σw`.
+fn num_deficit(num: u128, base: u64, sum_w: u128) -> i128 {
+    num as i128 - (u128::from(base) * sum_w) as i128
+}
+
+/// Per-shard migration counters — the model's `ActivitySnapshot`, plus the
+/// fault-completion counter the real snapshot folds into aborts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+struct Counters {
+    begun: u64,
+    completed: u64,
+    aborted: u64,
+    faulted: u64,
+    backpressured: u64,
+}
+
+/// The global model state: every shard's protocol counters plus the
+/// barrier-time admission bookkeeping (`AdmissionControl` mirrored), plus
+/// the order shards finished the current window — kept *in* the state so
+/// the exploration can distinguish (and the correct grant rule can be
+/// shown to ignore) schedule-dependent arrival orders.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RaceState {
+    counters: Vec<Counters>,
+    in_flight: Vec<u64>,
+    cap: Vec<u64>,
+    starvation: Vec<u32>,
+    granted_total: Vec<u64>,
+    prev: Vec<Counters>,
+    arrivals: Vec<u32>,
+}
+
+impl RaceState {
+    fn new(shards: usize) -> RaceState {
+        RaceState {
+            counters: vec![Counters::default(); shards],
+            in_flight: vec![0; shards],
+            cap: vec![0; shards],
+            starvation: vec![0; shards],
+            granted_total: vec![0; shards],
+            prev: vec![Counters::default(); shards],
+            arrivals: Vec::new(),
+        }
+    }
+
+    /// Stable one-line-per-shard rendering, used for the committed golden.
+    fn render(&self, out: &mut String) {
+        for i in 0..self.counters.len() {
+            let c = self.counters[i];
+            out.push_str(&format!(
+                "  terminal shard{i}: begun={} completed={} aborted={} faulted={} \
+                 backpressured={} in_flight={} cap={} granted_total={} starvation={}\n",
+                c.begun,
+                c.completed,
+                c.aborted,
+                c.faulted,
+                c.backpressured,
+                self.in_flight[i],
+                self.cap[i],
+                self.granted_total[i],
+                self.starvation[i],
+            ));
+        }
+    }
+}
+
+/// One shard-step transition applied to the *global* state. The checker
+/// deliberately does not assume shard isolation — it applies ops to the
+/// shared state object and lets the convergence assertion prove that the
+/// outcome is schedule-independent anyway.
+fn apply_op(st: &mut RaceState, shard: usize, op: RaceOp) {
+    match op {
+        RaceOp::Begin => {
+            if st.in_flight[shard] < st.cap[shard] {
+                st.counters[shard].begun += 1;
+                st.in_flight[shard] += 1;
+            } else {
+                st.counters[shard].backpressured += 1;
+            }
+        }
+        RaceOp::Write => {
+            if st.in_flight[shard] > 0 {
+                st.counters[shard].aborted += 1;
+                st.in_flight[shard] -= 1;
+            }
+        }
+        RaceOp::Complete => {
+            if st.in_flight[shard] > 0 {
+                st.counters[shard].completed += 1;
+                st.in_flight[shard] -= 1;
+            }
+        }
+        RaceOp::Fault => {
+            if st.in_flight[shard] > 0 {
+                st.counters[shard].faulted += 1;
+                st.in_flight[shard] -= 1;
+            }
+        }
+    }
+}
+
+/// Slot-flow conservation, checked at every explored state: every slot a
+/// shard ever consumed is either retired (completed / write-aborted /
+/// fault-completed) or still in flight.
+fn conservation_violation(st: &RaceState) -> Option<String> {
+    for (i, c) in st.counters.iter().enumerate() {
+        let retired = c.completed + c.aborted + c.faulted;
+        if c.begun != retired + st.in_flight[i] {
+            return Some(format!(
+                "shard{i}: begun={} != completed+aborted+faulted+in_flight={}+{}",
+                c.begun, retired, st.in_flight[i]
+            ));
+        }
+    }
+    None
+}
+
+/// The single-threaded barrier, mirroring `AdmissionControl::apply`:
+/// demand detection by activity delta (or in-flight work) since the last
+/// barrier, claims built over the demanding shards, grants computed by
+/// [`canonical_grants`] and applied in tenant-id order (slot cap, grant
+/// total, starvation counters). `first` treats every shard as demanding.
+fn barrier(st: &mut RaceState, weights: &[u64], total_slots: u64, rule: GrantRule, first: bool) {
+    let n = st.counters.len();
+    let mut active: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let now = st.counters[i];
+        let p = st.prev[i];
+        let demanding = first
+            || now.begun > p.begun
+            || now.completed > p.completed
+            || now.aborted > p.aborted
+            || now.faulted > p.faulted
+            || now.backpressured > p.backpressured
+            || st.in_flight[i] > 0;
+        st.prev[i] = now;
+        if demanding {
+            active.push(i);
+        }
+    }
+
+    // The shipped rule orders claims by tenant id; the injected bug orders
+    // them by window arrival, which leaks the schedule into the grants.
+    let order: Vec<usize> = match rule {
+        GrantRule::TenantId => active.clone(),
+        GrantRule::ArrivalOrder => {
+            let mut o: Vec<usize> = st
+                .arrivals
+                .iter()
+                .map(|&id| id as usize)
+                .filter(|i| active.contains(i))
+                .collect();
+            for &i in &active {
+                if !o.contains(&i) {
+                    o.push(i);
+                }
+            }
+            o
+        }
+    };
+
+    let mut grants = vec![0u64; n];
+    if !order.is_empty() {
+        let claims: Vec<RaceClaim> = order
+            .iter()
+            .map(|&i| RaceClaim {
+                weight: weights[i],
+                starvation: st.starvation[i],
+            })
+            .collect();
+        for (&i, g) in order.iter().zip(canonical_grants(total_slots, &claims)) {
+            grants[i] = g;
+        }
+    }
+
+    for (i, &g) in grants.iter().enumerate() {
+        st.cap[i] = g;
+        st.granted_total[i] += g;
+        if active.contains(&i) {
+            if g > 0 {
+                st.starvation[i] = 0;
+            } else {
+                st.starvation[i] += 1;
+            }
+        } else {
+            st.starvation[i] = 0;
+        }
+    }
+}
+
+/// One small-scope configuration the checker explores exhaustively.
+#[derive(Debug, Clone)]
+pub struct RaceConfig {
+    /// Stable name used in the report and golden.
+    pub name: &'static str,
+    /// Global migration-slot pool re-granted at every barrier.
+    pub total_slots: u64,
+    /// Per-shard admission weights (shard count = `weights.len()`).
+    pub weights: Vec<u64>,
+    /// Per-shard op script, re-run in every barrier window.
+    pub scripts: Vec<Vec<RaceOp>>,
+    /// Barrier windows to explore (each window: all interleavings of all
+    /// shards' scripts, then one barrier).
+    pub windows: usize,
+}
+
+/// The committed small-scope configurations. Chosen to cover both grant
+/// regimes, backpressure (a shard scripted past its cap), the zero-cap
+/// demand signal (backpressure deltas are how a capless shard demands),
+/// write-aborts, fault completions, no-op retires on an empty pipeline,
+/// and starvation-counter rotation under scarcity.
+pub fn race_configs() -> Vec<RaceConfig> {
+    use RaceOp::{Begin, Complete, Fault, Write};
+    vec![
+        // Two equal-weight shards over five slots: the weighted regime's
+        // leftover distribution has a deficit tie that only the claim
+        // ordering breaks — the sharpest lens for order-dependent grants.
+        RaceConfig {
+            name: "two-shard-tie",
+            total_slots: 5,
+            weights: vec![1, 1],
+            scripts: vec![
+                vec![Begin, Begin, Complete, Begin],
+                vec![Begin, Begin, Begin, Write],
+            ],
+            windows: 2,
+        },
+        // Three equal shards over eight slots: weighted regime with a
+        // two-slot leftover, plus a fault completion and a backpressured
+        // third begin.
+        RaceConfig {
+            name: "three-shard-weighted",
+            total_slots: 8,
+            weights: vec![1, 1, 1],
+            scripts: vec![
+                vec![Begin, Complete, Begin, Begin],
+                vec![Begin, Begin, Write, Fault],
+                vec![Begin, Begin, Begin, Complete],
+            ],
+            windows: 2,
+        },
+        // Scarce regime: two slots across three shards, so somebody
+        // starves every window and the starvation counter must rotate the
+        // loser to the front — across three windows the grant pattern
+        // visits every rotation.
+        RaceConfig {
+            name: "three-shard-scarce",
+            total_slots: 2,
+            weights: vec![2, 1, 1],
+            scripts: vec![
+                vec![Begin, Complete],
+                vec![Begin, Write],
+                vec![Begin, Begin],
+            ],
+            windows: 3,
+        },
+    ]
+}
+
+/// Per-window exploration statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// Exact number of interleavings certified this window (path-count DP;
+    /// equals the multinomial `(Σkᵢ)!/Πkᵢ!` per pre-window state).
+    pub schedules: u64,
+    /// Distinct `(program counters, state)` nodes visited this window.
+    pub nodes: u64,
+    /// Distinct post-barrier states. 1 = every schedule converged.
+    pub post_states: usize,
+}
+
+/// One configuration's exploration result.
+#[derive(Debug)]
+pub struct ConfigReport {
+    /// The configuration's name.
+    pub name: &'static str,
+    /// Per-window stats, in window order.
+    pub windows: Vec<WindowStats>,
+    /// Whether every window's post-barrier states collapsed to one.
+    pub converged: bool,
+    /// Rendered terminal states (one per surviving post-barrier state).
+    pub terminal: String,
+    /// Slot-flow checks performed.
+    pub conservation_checks: u64,
+    /// Slot-flow violations found (must be empty).
+    pub violations: Vec<String>,
+}
+
+/// A full chrono-race run over a set of configurations.
+#[derive(Debug)]
+pub struct RaceReport {
+    /// The grant rule explored.
+    pub rule: GrantRule,
+    /// Per-configuration results.
+    pub configs: Vec<ConfigReport>,
+}
+
+impl RaceReport {
+    /// Whether every configuration converged with zero conservation
+    /// violations — the CI pass condition (under [`GrantRule::TenantId`]).
+    pub fn ok(&self) -> bool {
+        self.configs
+            .iter()
+            .all(|c| c.converged && c.violations.is_empty())
+    }
+}
+
+/// Exhaustively explores every configuration under `rule`.
+///
+/// Per window, a memoized level-order walk over `(pcs, state)` nodes with
+/// path counting: equivalent interleavings merge into one node whose count
+/// is the number of schedules reaching it, so `schedules` is exact while
+/// the node set stays small. After the window's ops, the barrier fires on
+/// every distinct end state and the post-barrier set (arrival order
+/// cleared — it is not supposed to matter) is the convergence check.
+pub fn check_races(configs: &[RaceConfig], rule: GrantRule) -> RaceReport {
+    let mut out = Vec::new();
+    for cfg in configs {
+        let n = cfg.weights.len();
+        assert_eq!(cfg.scripts.len(), n, "one script per shard");
+        let mut st0 = RaceState::new(n);
+        barrier(&mut st0, &cfg.weights, cfg.total_slots, rule, true);
+
+        let mut starts: Vec<RaceState> = vec![st0];
+        let mut windows = Vec::new();
+        let mut converged = true;
+        let mut checks = 0u64;
+        let mut violations = Vec::new();
+
+        for _ in 0..cfg.windows {
+            let total_ops: usize = cfg.scripts.iter().map(|s| s.len()).sum();
+            let mut level: BTreeMap<(Vec<usize>, RaceState), u64> = starts
+                .iter()
+                .map(|s| ((vec![0usize; n], s.clone()), 1u64))
+                .collect();
+            let mut nodes = level.len() as u64;
+            for _ in 0..total_ops {
+                let mut next: BTreeMap<(Vec<usize>, RaceState), u64> = BTreeMap::new();
+                for ((pcs, st), cnt) in &level {
+                    for shard in 0..n {
+                        if pcs[shard] >= cfg.scripts[shard].len() {
+                            continue;
+                        }
+                        let mut s2 = st.clone();
+                        apply_op(&mut s2, shard, cfg.scripts[shard][pcs[shard]]);
+                        checks += 1;
+                        if let Some(v) = conservation_violation(&s2) {
+                            violations.push(v);
+                        }
+                        let mut pcs2 = pcs.clone();
+                        pcs2[shard] += 1;
+                        if pcs2[shard] == cfg.scripts[shard].len() {
+                            s2.arrivals.push(shard as u32);
+                        }
+                        *next.entry((pcs2, s2)).or_insert(0) += cnt;
+                    }
+                }
+                nodes += next.len() as u64;
+                level = next;
+            }
+
+            let schedules: u64 = level.values().sum();
+            let mut post: BTreeMap<RaceState, u64> = BTreeMap::new();
+            for ((_, st), cnt) in level {
+                let mut b = st;
+                barrier(&mut b, &cfg.weights, cfg.total_slots, rule, false);
+                b.arrivals.clear();
+                *post.entry(b).or_insert(0) += cnt;
+            }
+            windows.push(WindowStats {
+                schedules,
+                nodes,
+                post_states: post.len(),
+            });
+            if post.len() > 1 {
+                converged = false;
+            }
+            starts = post.into_keys().collect();
+        }
+
+        let mut terminal = String::new();
+        for s in &starts {
+            s.render(&mut terminal);
+        }
+        out.push(ConfigReport {
+            name: cfg.name,
+            windows,
+            converged,
+            terminal,
+            conservation_checks: checks,
+            violations,
+        });
+    }
+    RaceReport { rule, configs: out }
+}
+
+/// Stable textual rendering, diffed against the committed golden
+/// (`goldens/race_exploration.txt`). Records the explored-state and
+/// schedule counts so any drift in the protocol model, the grant
+/// computation, or the exploration itself fails CI loudly.
+pub fn render_race_report(report: &RaceReport) -> String {
+    let mut out = String::new();
+    out.push_str("chrono-race: exhaustive shard-interleaving exploration\n");
+    out.push_str(&format!(
+        "grant rule: {}\n",
+        match report.rule {
+            GrantRule::TenantId => "tenant-id",
+            GrantRule::ArrivalOrder => "arrival-order (injected bug)",
+        }
+    ));
+    let mut total_nodes = 0u64;
+    let mut total_schedules = 0u64;
+    for c in &report.configs {
+        out.push_str(&format!("\nconfig {}:\n", c.name));
+        for (w, s) in c.windows.iter().enumerate() {
+            out.push_str(&format!(
+                "  window {}: schedules={} nodes={} post-barrier-states={}\n",
+                w + 1,
+                s.schedules,
+                s.nodes,
+                s.post_states
+            ));
+            total_nodes += s.nodes;
+            total_schedules += s.schedules;
+        }
+        out.push_str(&format!(
+            "  converged: {}\n",
+            if c.converged { "yes" } else { "NO" }
+        ));
+        out.push_str(&c.terminal);
+        out.push_str(&format!(
+            "  conservation: {} checks, {} violation(s)\n",
+            c.conservation_checks,
+            c.violations.len()
+        ));
+    }
+    out.push_str(&format!(
+        "\ntotal: {total_nodes} states explored, {total_schedules} schedules certified\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_grants_spends_the_pool_in_weighted_regime() {
+        let claims = vec![
+            RaceClaim {
+                weight: 3,
+                starvation: 0,
+            },
+            RaceClaim {
+                weight: 1,
+                starvation: 2,
+            },
+            RaceClaim {
+                weight: 1,
+                starvation: 0,
+            },
+        ];
+        let grants = canonical_grants(64, &claims);
+        assert_eq!(grants.iter().sum::<u64>(), 64);
+        assert!(grants.iter().all(|&g| g >= 1));
+        assert!(grants[0] > grants[1] && grants[0] > grants[2]);
+    }
+
+    #[test]
+    fn canonical_grants_scarce_regime_serves_the_starved_first() {
+        let claims = vec![
+            RaceClaim {
+                weight: 9,
+                starvation: 0,
+            },
+            RaceClaim {
+                weight: 1,
+                starvation: 3,
+            },
+            RaceClaim {
+                weight: 1,
+                starvation: 1,
+            },
+        ];
+        let grants = canonical_grants(2, &claims);
+        assert_eq!(grants, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn canonical_grants_empty_and_zero_pool() {
+        assert!(canonical_grants(8, &[]).is_empty());
+        let claims = vec![RaceClaim {
+            weight: 1,
+            starvation: 0,
+        }];
+        assert_eq!(canonical_grants(0, &claims), vec![0]);
+    }
+
+    #[test]
+    fn schedule_counts_are_the_exact_multinomials() {
+        let report = check_races(&race_configs(), GrantRule::TenantId);
+        // two-shard-tie: 8 ops, 4+4 → 8!/(4!·4!) = 70 per window.
+        assert_eq!(report.configs[0].windows[0].schedules, 70);
+        assert_eq!(report.configs[0].windows[1].schedules, 70);
+        // three-shard-weighted: 12 ops, 4+4+4 → 12!/(4!)³ = 34650.
+        assert_eq!(report.configs[1].windows[0].schedules, 34650);
+        // three-shard-scarce: 6 ops, 2+2+2 → 6!/(2!)³ = 90.
+        assert_eq!(report.configs[2].windows[0].schedules, 90);
+    }
+
+    #[test]
+    fn every_schedule_converges_and_conserves_under_tenant_id_order() {
+        let report = check_races(&race_configs(), GrantRule::TenantId);
+        assert!(report.ok(), "{}", render_race_report(&report));
+        for c in &report.configs {
+            assert!(c.converged, "{} diverged", c.name);
+            assert!(c.violations.is_empty(), "{:?}", c.violations);
+            assert!(c.windows.iter().all(|w| w.post_states == 1));
+            assert!(c.conservation_checks > 0);
+        }
+    }
+
+    #[test]
+    fn self_test_injected_arrival_order_grants_are_caught() {
+        // The injected bug: grants computed over claims in window-arrival
+        // order. Slot-flow conservation still holds (the bug does not leak
+        // slots), but convergence must fail — different schedules produce
+        // different grant vectors, which is exactly the class of
+        // nondeterminism the checker exists to catch.
+        let report = check_races(&race_configs(), GrantRule::ArrivalOrder);
+        assert!(!report.ok(), "injected order-dependent grants not caught");
+        assert!(report.configs.iter().any(|c| !c.converged));
+        assert!(report
+            .configs
+            .iter()
+            .any(|c| c.windows.iter().any(|w| w.post_states > 1)));
+        for c in &report.configs {
+            assert!(c.violations.is_empty(), "{:?}", c.violations);
+        }
+    }
+
+    #[test]
+    fn scarce_config_rotates_the_starved_tenant() {
+        let report = check_races(&race_configs(), GrantRule::TenantId);
+        let scarce = &report.configs[2];
+        assert!(scarce.converged);
+        // Every shard's granted_total must be positive by the end: the
+        // starvation counter front-runs each window's loser, so nobody is
+        // shut out across the three windows.
+        for i in 0..3 {
+            assert!(
+                scarce.terminal.contains(&format!("terminal shard{i}:")),
+                "{}",
+                scarce.terminal
+            );
+        }
+        let starved_out = scarce
+            .terminal
+            .lines()
+            .filter(|l| l.contains("granted_total=0"))
+            .count();
+        assert_eq!(starved_out, 0, "{}", scarce.terminal);
+    }
+
+    #[test]
+    fn golden_matches_committed() {
+        let rendered = render_race_report(&check_races(&race_configs(), GrantRule::TenantId));
+        let golden = crate::race_golden_path();
+        let committed = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+            panic!(
+                "missing {} ({e}); run `harness race-check --bless`",
+                golden.display()
+            )
+        });
+        assert_eq!(
+            committed, rendered,
+            "race exploration drifted; inspect `harness race-check --bless` + git diff"
+        );
+    }
+}

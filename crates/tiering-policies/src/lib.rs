@@ -36,8 +36,8 @@ pub use multiclock::{MultiClock, MultiClockConfig};
 pub use pebs::PebsSampler;
 pub use policy::{decode_token, encode_token, NullPolicy, ScanCursor, TieringPolicy};
 pub use shard::{
-    admission_grants, gini, AdmissionConfig, ShardedConfig, ShardedRunResult, ShardedSim,
-    SlotClaim, TenantOutcome, TenantShard,
+    admission_grants, gini, AdmissionConfig, BarrierAudit, ShardedConfig, ShardedRunResult,
+    ShardedSim, SlotClaim, TenantOutcome, TenantShard,
 };
 pub use telescope::{Telescope, TelescopeConfig};
 pub use tpp::{Tpp, TppConfig};

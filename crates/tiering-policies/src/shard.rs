@@ -24,7 +24,7 @@
 //! the leftover and a starvation counter that front-runs chronically losing
 //! tenants when slots are scarce.
 
-use sim_clock::Nanos;
+use sim_clock::{DetRng, Nanos};
 use tiered_mem::TieredSystem;
 use workloads::Workload;
 
@@ -68,6 +68,13 @@ pub struct ShardedConfig {
     /// Worker threads stepping shards between barriers (1 = sequential).
     /// Digests must not depend on this; only wall-clock time does.
     pub threads: usize,
+    /// When set, shards are stepped in a per-window pseudorandom order
+    /// (Fisher–Yates over `DetRng::split(seed, barrier_index)`) instead of
+    /// id order, and the thread chunking follows that order. Digests must
+    /// not depend on this either — shards share nothing between barriers —
+    /// which is exactly what the `tests/determinism.rs` permutation
+    /// property and the chrono-race interleaving checker hold.
+    pub permute_seed: Option<u64>,
     /// Per-tenant migration-slot admission.
     pub admission: AdmissionConfig,
 }
@@ -79,6 +86,7 @@ impl ShardedConfig {
             run_for,
             barrier_interval: Nanos::from_millis(5),
             threads: 1,
+            permute_seed: None,
             admission: AdmissionConfig::default(),
         }
     }
@@ -366,8 +374,10 @@ impl AdmissionControl {
 
     /// Computes and applies this barrier's slot grants, in tenant-id order.
     /// `first` treats every tenant as demanding (nobody has had a chance to
-    /// demonstrate demand yet).
-    fn apply(&mut self, shards: &mut [TenantShard], first: bool) {
+    /// demonstrate demand yet). Returns the audit record of the decision —
+    /// the seam through which `tiering-verify` replays every barrier
+    /// through the chrono-race `canonical_grants` reimplementation.
+    fn apply(&mut self, shards: &mut [TenantShard], first: bool, barrier: u64) -> BarrierAudit {
         let total = self.cfg.total_slots as u64;
         // Demand detection: any migration activity since the last barrier,
         // in-flight work, or admission rejections (a zero-cap tenant can
@@ -388,15 +398,15 @@ impl AdmissionControl {
             }
         }
 
+        let claims: Vec<SlotClaim> = active
+            .iter()
+            .map(|&i| SlotClaim {
+                weight: shards[i].weight,
+                starvation: self.starvation[i],
+            })
+            .collect();
         let mut grants = vec![0u64; shards.len()];
-        if !active.is_empty() {
-            let claims: Vec<SlotClaim> = active
-                .iter()
-                .map(|&i| SlotClaim {
-                    weight: shards[i].weight,
-                    starvation: self.starvation[i],
-                })
-                .collect();
+        if !claims.is_empty() {
             for (&i, g) in active.iter().zip(admission_grants(total, &claims)) {
                 grants[i] = g;
             }
@@ -426,7 +436,39 @@ impl AdmissionControl {
             s.sys
                 .trace_admission(s.id, g as u32, in_flight, self.starvation[i]);
         }
+
+        BarrierAudit {
+            barrier,
+            first,
+            total_slots: total,
+            active: active.iter().map(|&i| shards[i].id).collect(),
+            claims,
+            grants,
+        }
     }
+}
+
+/// One barrier's admission decision, exactly as applied: the demanding
+/// tenants (tenant-id order), their claims, and the full per-tenant grant
+/// vector. `ShardedSim::run_with_audit` hands one of these to its audit
+/// hook per barrier, which is how the tiering-verify oracle replays every
+/// decision through the independently implemented
+/// `tiering_analysis::canonical_grants` and cross-checks the result.
+#[derive(Debug, Clone)]
+pub struct BarrierAudit {
+    /// Barrier index (0 = the pre-run first grant).
+    pub barrier: u64,
+    /// Whether this was the first barrier (everyone treated as demanding).
+    pub first: bool,
+    /// The global slot pool the decision distributed.
+    pub total_slots: u64,
+    /// Demanding tenant ids, in tenant-id order.
+    pub active: Vec<u32>,
+    /// The demanding tenants' claims, in the same order as `active`.
+    pub claims: Vec<SlotClaim>,
+    /// Granted slots per tenant (indexed by tenant id; non-demanding
+    /// tenants hold 0).
+    pub grants: Vec<u64>,
 }
 
 /// The sharded runner: shards plus barrier-time admission state.
@@ -456,9 +498,26 @@ impl ShardedSim {
     /// tenant-id order, after admission was applied) at every barrier and
     /// once after the final one — the seam the tenant-storm fuzz oracle
     /// inspects cross-shard invariants through.
-    pub fn run_with<H>(mut self, mut barrier_hook: H) -> ShardedRunResult
+    pub fn run_with<H>(self, barrier_hook: H) -> ShardedRunResult
     where
         H: FnMut(&TenantShard),
+    {
+        self.run_with_audit(barrier_hook, |_| {})
+    }
+
+    /// [`ShardedSim::run_with`], plus an audit hook receiving every
+    /// barrier's [`BarrierAudit`] (the first pre-run grant included) before
+    /// the per-shard barrier hooks fire. The audit is how external oracles
+    /// re-derive each admission decision without reaching into the
+    /// otherwise-private control state.
+    pub fn run_with_audit<H, A>(
+        mut self,
+        mut barrier_hook: H,
+        mut audit_hook: A,
+    ) -> ShardedRunResult
+    where
+        H: FnMut(&TenantShard),
+        A: FnMut(&BarrierAudit),
     {
         let run_for = self.cfg.run_for;
         let step = self.cfg.barrier_interval.max(Nanos(1));
@@ -466,36 +525,77 @@ impl ShardedSim {
         let mut ctl = AdmissionControl::new(self.cfg.admission.clone(), self.shards.len());
 
         if ctl.cfg.enabled {
-            ctl.apply(&mut self.shards, true);
+            audit_hook(&ctl.apply(&mut self.shards, true, 0));
         }
 
         let mut barriers = 0u64;
         let mut now = Nanos::ZERO;
         while now < run_for && self.shards.iter().any(|s| !s.is_finished()) {
             let next = (now + step).min(run_for);
-            if threads == 1 || self.shards.len() == 1 {
-                for s in self.shards.iter_mut() {
-                    s.step_to(next);
+            // Shards share nothing between barriers, so neither the order
+            // shards are stepped in nor their assignment to threads can
+            // change any per-shard state. `permute_seed` exercises that
+            // claim: a per-window Fisher–Yates shuffle of the step order
+            // (and of the chunk boundaries) that must leave every digest
+            // byte-identical.
+            let order: Option<Vec<usize>> = self.cfg.permute_seed.map(|seed| {
+                let mut order: Vec<usize> = (0..self.shards.len()).collect();
+                let mut rng = DetRng::split(seed, barriers);
+                for i in (1..order.len()).rev() {
+                    let j = rng.index(i + 1);
+                    order.swap(i, j);
                 }
-            } else {
-                // Shards share nothing, so any assignment of shards to
-                // threads computes the same per-shard states; chunking by
-                // contiguous id ranges just keeps the partitioning stable.
-                let chunk = self.shards.len().div_ceil(threads);
-                std::thread::scope(|scope| {
-                    for shard_chunk in self.shards.chunks_mut(chunk) {
-                        scope.spawn(move || {
-                            for s in shard_chunk {
-                                s.step_to(next);
+                order
+            });
+            match order {
+                None if threads == 1 || self.shards.len() == 1 => {
+                    for s in self.shards.iter_mut() {
+                        s.step_to(next);
+                    }
+                }
+                None => {
+                    // Chunking by contiguous id ranges keeps the default
+                    // partitioning stable.
+                    let chunk = self.shards.len().div_ceil(threads);
+                    std::thread::scope(|scope| {
+                        for shard_chunk in self.shards.chunks_mut(chunk) {
+                            scope.spawn(move || {
+                                for s in shard_chunk {
+                                    s.step_to(next);
+                                }
+                            });
+                        }
+                    });
+                }
+                Some(order) => {
+                    let mut rank = vec![0usize; order.len()];
+                    for (pos, &i) in order.iter().enumerate() {
+                        rank[i] = pos;
+                    }
+                    let mut refs: Vec<&mut TenantShard> = self.shards.iter_mut().collect();
+                    refs.sort_by_key(|s| rank[s.id as usize]);
+                    if threads == 1 || refs.len() == 1 {
+                        for s in refs {
+                            s.step_to(next);
+                        }
+                    } else {
+                        let chunk = refs.len().div_ceil(threads);
+                        std::thread::scope(|scope| {
+                            for shard_chunk in refs.chunks_mut(chunk) {
+                                scope.spawn(move || {
+                                    for s in shard_chunk {
+                                        s.step_to(next);
+                                    }
+                                });
                             }
                         });
                     }
-                });
+                }
             }
             now = next;
             barriers += 1;
             if ctl.cfg.enabled {
-                ctl.apply(&mut self.shards, false);
+                audit_hook(&ctl.apply(&mut self.shards, false, barriers));
             }
             for s in &self.shards {
                 barrier_hook(s);

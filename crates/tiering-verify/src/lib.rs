@@ -46,7 +46,7 @@ pub use policy_fuzz::{
     PolicyUnderTest, ALL_POLICIES,
 };
 pub use sharded::{
-    fuzz_one_tenant_storm, run_sharded_case, run_sharded_case_mixed, run_sharded_case_with_plans,
-    tenant_weights, ShardedCaseReport, SHARD_GOLDEN_TENANTS,
+    fuzz_one_tenant_storm, run_sharded_case, run_sharded_case_mixed, run_sharded_case_permuted,
+    run_sharded_case_with_plans, tenant_weights, ShardedCaseReport, SHARD_GOLDEN_TENANTS,
 };
 pub use shrink::shrink_ops;

@@ -14,7 +14,16 @@
 //!   partition (two tenants can never address the same global frame);
 //! - **per-tenant slot-flow conservation** — opened migration transactions
 //!   balance against their outcomes:
-//!   `begun == completed + aborted + transient + poisoned + in_flight`.
+//!   `begun == completed + aborted + transient + poisoned + in_flight`;
+//! - **canonical admission grants** — every barrier's applied slot grants
+//!   are replayed through the chrono-race model's independently implemented
+//!   `tiering_analysis::canonical_grants` (N-version programming: same
+//!   spec, deliberately different structure) and must agree exactly.
+//!
+//! [`run_sharded_case_permuted`] additionally shuffles the shard step order
+//! inside every barrier window (seeded Fisher–Yates) — the dynamic
+//! counterpart of the chrono-race interleaving model: since shards share
+//! nothing between barriers, every digest must survive any step order.
 //!
 //! A single-tenant case with the admission hook off is built through the
 //! exact classic-case constructor, so its digest reproduces today's golden
@@ -23,7 +32,10 @@
 
 use sim_clock::{DetRng, Nanos};
 use tiered_mem::{FaultPlan, PageSize, PartitionPlan, SystemConfig, TierId, TieredSystem};
-use tiering_policies::{AdmissionConfig, DriverConfig, ShardedConfig, ShardedSim, TenantShard};
+use tiering_analysis::{canonical_grants, RaceClaim};
+use tiering_policies::{
+    AdmissionConfig, BarrierAudit, DriverConfig, ShardedConfig, ShardedSim, TenantShard,
+};
 use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
 
 use crate::oracle::{InvariantOracle, Violation};
@@ -188,6 +200,38 @@ fn check_slot_flow(shard: &TenantShard) -> Option<Violation> {
     None
 }
 
+/// N-version admission oracle: replays one barrier's decision through the
+/// chrono-race model's independently implemented
+/// [`tiering_analysis::canonical_grants`] (closed-form round-robin, u128
+/// arithmetic — deliberately structured nothing like the shipped
+/// `admission_grants`) and flags any disagreement with what the runner
+/// actually applied.
+fn check_admission_audit(audit: &BarrierAudit, tenants: usize, out: &mut Vec<Violation>) {
+    let claims: Vec<RaceClaim> = audit
+        .claims
+        .iter()
+        .map(|c| RaceClaim {
+            weight: c.weight,
+            starvation: c.starvation,
+        })
+        .collect();
+    let canonical = canonical_grants(audit.total_slots, &claims);
+    let mut expected = vec![0u64; tenants];
+    for (k, &id) in audit.active.iter().enumerate() {
+        expected[id as usize] = canonical[k];
+    }
+    if audit.grants != expected {
+        out.push(Violation {
+            invariant: "admission-grants-canonical",
+            detail: format!(
+                "barrier {}: applied grants {:?} != canonical {:?} \
+                 (active {:?}, {} slots)",
+                audit.barrier, audit.grants, expected, audit.active, audit.total_slots
+            ),
+        });
+    }
+}
+
 /// Cross-shard invariants over the post-run shards: global frame
 /// conservation against the partition plan and PFN exclusivity.
 fn check_cross_shard(shards: &[TenantShard], plan: &PartitionPlan, out: &mut Vec<Violation>) {
@@ -289,11 +333,66 @@ pub fn run_sharded_case_mixed(
     admission_slots: Option<usize>,
     fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
 ) -> ShardedCaseReport {
+    run_sharded_case_full(
+        label,
+        policy_for,
+        seed,
+        run_millis,
+        tenants,
+        threads,
+        admission_slots,
+        fault_plan_for,
+        None,
+    )
+}
+
+/// [`run_sharded_case`] with the per-window shard step order permuted by a
+/// seeded Fisher–Yates shuffle (`ShardedConfig::permute_seed`). Shards
+/// share nothing between barriers, so every field of the report must match
+/// the unpermuted run bit for bit — the dynamic face of the chrono-race
+/// barrier-discipline claim the static rules and the interleaving model
+/// check check structurally.
+pub fn run_sharded_case_permuted(
+    policy: PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    tenants: usize,
+    threads: usize,
+    admission: bool,
+    permute_seed: u64,
+) -> ShardedCaseReport {
+    let slots = admission.then(|| AdmissionConfig::default().total_slots);
+    run_sharded_case_full(
+        policy.name(),
+        &|_| policy,
+        seed,
+        run_millis,
+        tenants,
+        threads,
+        slots,
+        &|_| None,
+        Some(permute_seed),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_case_full(
+    label: &'static str,
+    policy_for: &dyn Fn(u32) -> PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    tenants: usize,
+    threads: usize,
+    admission_slots: Option<usize>,
+    fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
+    permute_seed: Option<u64>,
+) -> ShardedCaseReport {
     const MAX_KEPT: usize = 8;
     let (shards, plan) = build_shards(policy_for, seed, tenants, run_millis, fault_plan_for);
     let mut cfg = ShardedConfig::new(Nanos::from_millis(run_millis));
     cfg.barrier_interval = Nanos::from_millis(SCAN_PERIOD_MS);
     cfg.threads = threads;
+    cfg.permute_seed = permute_seed;
     cfg.admission = AdmissionConfig {
         enabled: admission_slots.is_some(),
         total_slots: admission_slots.unwrap_or_else(|| AdmissionConfig::default().total_slots),
@@ -301,19 +400,30 @@ pub fn run_sharded_case_mixed(
     let sim = ShardedSim::new(cfg, shards);
 
     // Per-shard oracle sweep at every barrier (the hook runs on the main
-    // thread in tenant-id order, so `violations` needs no synchronisation).
+    // thread in tenant-id order, so `violations` needs no synchronisation),
+    // plus the barrier-time admission audits for the post-run replay
+    // through the canonical-grants oracle.
     let mut oracle = InvariantOracle::new();
     let mut violations: Vec<Violation> = Vec::new();
-    let result = sim.run_with(|shard| {
-        if violations.len() < MAX_KEPT {
-            violations.extend(oracle.check(&shard.sys));
-            if let Some(v) = check_slot_flow(shard) {
-                violations.push(v);
+    let mut audits: Vec<BarrierAudit> = Vec::new();
+    let result = sim.run_with_audit(
+        |shard| {
+            if violations.len() < MAX_KEPT {
+                violations.extend(oracle.check(&shard.sys));
+                if let Some(v) = check_slot_flow(shard) {
+                    violations.push(v);
+                }
+                violations.truncate(MAX_KEPT);
             }
-            violations.truncate(MAX_KEPT);
-        }
-    });
+        },
+        |audit| audits.push(audit.clone()),
+    );
 
+    for audit in &audits {
+        if violations.len() < MAX_KEPT {
+            check_admission_audit(audit, tenants, &mut violations);
+        }
+    }
     check_cross_shard(&result.shards, &plan, &mut violations);
     for s in &result.shards {
         if let Some(v) = check_slot_flow(s) {
@@ -446,6 +556,110 @@ mod tests {
             rejects > 0,
             "admission hook never rejected a migration across storm seeds"
         );
+    }
+
+    #[test]
+    fn permuted_step_order_reproduces_every_digest() {
+        // The dynamic chrono-race property: a seeded per-window shuffle of
+        // the shard step order (sequential and threaded) must leave the
+        // whole report identical to the unpermuted run.
+        let p = PolicyUnderTest::ChronoDcsc;
+        let base = run_sharded_case(p, 0xABCD, 10, 4, 1, true);
+        for permute in [0x0101u64, 0xDEAD_BEEF] {
+            for threads in [1usize, 4] {
+                let perm = run_sharded_case_permuted(p, 0xABCD, 10, 4, threads, true, permute);
+                assert_eq!(
+                    perm.combined_digest, base.combined_digest,
+                    "permute {permute:#x} at {threads} threads: combined digest diverged"
+                );
+                assert_eq!(perm.tenant_digests, base.tenant_digests);
+                assert_eq!(perm.granted_slots, base.granted_slots);
+                assert!(perm.clean(), "violations: {:?}", perm.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn admission_grants_match_canonical_on_random_claims() {
+        // 256-seed differential check of the two grant implementations:
+        // `tiering_policies::admission_grants` (shipped) against
+        // `tiering_analysis::canonical_grants` (model), over random claim
+        // vectors spanning both regimes (weighted and scarce), empty claim
+        // sets, zero weights, and zero slot pools.
+        use tiering_policies::{admission_grants, SlotClaim};
+        for seed in 0..256u64 {
+            let mut rng = DetRng::split(0x6A_47, seed);
+            let n = rng.below(9) as usize; // 0..=8 claimants
+            let total = rng.below(33); // 0..=32 slots
+            let claims: Vec<SlotClaim> = (0..n)
+                .map(|_| SlotClaim {
+                    weight: rng.below(9), // 0 behaves as 1
+                    starvation: rng.below(6) as u32,
+                })
+                .collect();
+            let model: Vec<RaceClaim> = claims
+                .iter()
+                .map(|c| RaceClaim {
+                    weight: c.weight,
+                    starvation: c.starvation,
+                })
+                .collect();
+            assert_eq!(
+                admission_grants(total, &claims),
+                canonical_grants(total, &model),
+                "seed {seed}: implementations disagree on {total} slots, {claims:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_grant_oracle_flags_a_tampered_audit() {
+        // Effectiveness self-test: the N-version oracle must actually fire
+        // on a decision that disagrees with the canonical computation.
+        use tiering_policies::SlotClaim;
+        let claims = vec![
+            SlotClaim {
+                weight: 2,
+                starvation: 0,
+            },
+            SlotClaim {
+                weight: 1,
+                starvation: 3,
+            },
+        ];
+        let honest = canonical_grants(
+            8,
+            &[
+                RaceClaim {
+                    weight: 2,
+                    starvation: 0,
+                },
+                RaceClaim {
+                    weight: 1,
+                    starvation: 3,
+                },
+            ],
+        );
+        let mut grants = vec![0u64; 3];
+        grants[0] = honest[0];
+        grants[2] = honest[1];
+        let mut audit = BarrierAudit {
+            barrier: 7,
+            first: false,
+            total_slots: 8,
+            active: vec![0, 2],
+            claims,
+            grants,
+        };
+        let mut out = Vec::new();
+        check_admission_audit(&audit, 3, &mut out);
+        assert!(out.is_empty(), "honest audit flagged: {out:?}");
+        // Tamper: shift one slot between the two demanding tenants.
+        audit.grants[0] += 1;
+        audit.grants[2] -= 1;
+        check_admission_audit(&audit, 3, &mut out);
+        assert_eq!(out.len(), 1, "tampered audit not flagged");
+        assert_eq!(out[0].invariant, "admission-grants-canonical");
     }
 
     #[test]

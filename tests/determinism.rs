@@ -7,8 +7,8 @@
 use chrono_repro::sim_clock::Nanos;
 use chrono_repro::tiered_mem::FaultPlan;
 use chrono_repro::tiering_verify::{
-    determinism_digests, golden, run_policy_case, run_sharded_case, run_sharded_case_with_plans,
-    PolicyUnderTest, ALL_POLICIES, SHARD_GOLDEN_TENANTS,
+    determinism_digests, golden, run_policy_case, run_sharded_case, run_sharded_case_permuted,
+    run_sharded_case_with_plans, PolicyUnderTest, ALL_POLICIES, SHARD_GOLDEN_TENANTS,
 };
 
 /// Parses one golden table line: `<policy> <digest-hex> <accesses> [tenant
@@ -115,6 +115,49 @@ fn shard_goldens_are_thread_invariant() {
                 assert_eq!(
                     r.tenant_digests, tenant_digests,
                     "{name}/{seed:#x} at {threads} threads: per-tenant digests diverged"
+                );
+                assert_eq!(r.accesses, accesses);
+                assert!(r.clean(), "{name}/{seed:#x}: violations {:?}", r.violations);
+            }
+        }
+    }
+}
+
+/// Dynamic chrono-race property: randomly permuting the shard step order
+/// inside every barrier window (seeded Fisher–Yates over
+/// `DetRng::split(permute_seed, barrier)`) must reproduce the committed
+/// shard goldens byte for byte — shards share nothing between barriers, so
+/// no step order can be observable. This is the runtime face of the claim
+/// the chrono-race interleaving model proves exhaustively at small scope;
+/// a shard mutating cross-shard state off-barrier diverges here with the
+/// policy and permute seed named.
+#[test]
+fn shard_goldens_survive_permuted_step_order() {
+    for &seed in &golden::GOLDEN_SEEDS {
+        let table = std::fs::read_to_string(golden::shard_golden_path(seed))
+            .expect("committed shard golden missing — run `harness verify --bless`");
+        for (i, line) in table.lines().filter(|l| !l.starts_with('#')).enumerate() {
+            let (name, digest, accesses, tenant_digests) = parse_golden_line(line);
+            let p = ALL_POLICIES[i];
+            assert_eq!(p.name(), name, "shard golden table order drifted");
+            for (permute, threads) in [(0x9E_0001u64, 1usize), (0x9E_0002, 2)] {
+                let r = run_sharded_case_permuted(
+                    p,
+                    seed,
+                    golden::SHARD_GOLDEN_MILLIS,
+                    SHARD_GOLDEN_TENANTS,
+                    threads,
+                    true,
+                    permute,
+                );
+                assert_eq!(
+                    r.combined_digest, digest,
+                    "{name}/{seed:#x} permuted by {permute:#x} at {threads} threads: \
+                     combined digest diverged"
+                );
+                assert_eq!(
+                    r.tenant_digests, tenant_digests,
+                    "{name}/{seed:#x} permuted by {permute:#x}: per-tenant digests diverged"
                 );
                 assert_eq!(r.accesses, accesses);
                 assert!(r.clean(), "{name}/{seed:#x}: violations {:?}", r.violations);
