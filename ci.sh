@@ -41,6 +41,9 @@ echo "== harness fuzz fault-storm (poison/quarantine/capacity paths under storm-
 echo "== harness fuzz tenant-storm (cross-shard invariants + admission rejects, mixed policies)"
 ./target/release/harness fuzz --tenant-storm --seeds 32
 
+echo "== harness fuzz three-tier (tier-chain op schedules over DRAM+CXL+PMem)"
+./target/release/harness fuzz --three-tier --seeds 32 --ops 2000
+
 echo "== harness run thread-invariance (same seed, 1 vs 4 worker threads)"
 d1=$(./target/release/harness run --tenants 200 --millis 5 --threads 1 | awk '/digest:/{print $2}')
 d4=$(./target/release/harness run --tenants 200 --millis 5 --threads 4 | awk '/digest:/{print $2}')

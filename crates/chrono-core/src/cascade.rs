@@ -1,0 +1,254 @@
+//! Cascaded Chrono over an N-tier chain.
+//!
+//! A [`CascadeChrono`] stacks one [`ChronoPolicy`] per adjacent tier pair of
+//! the chain's managed tiers: pair `i` promotes `TierId(i+1) → TierId(i)`
+//! and demotes the other way, so pages climb or sink one hop at a time —
+//! the chain never teleports a page across an intermediate tier. Each pair
+//! keeps its own CIT classification, candidate filter, promotion queue with
+//! per-edge rate limit, DCSC heat-map pair, and thrashing monitor; the
+//! cascade's job is pure routing:
+//!
+//! - **Events** carry the owning pair's index in the token's 32-bit arg
+//!   (the `tag` every pair stamps into what it schedules).
+//! - **Scan faults** go to the pair whose lower tier holds the page (the
+//!   pair whose Ticking-scan poisoned the PTE).
+//! - **Probe faults** go to the pair with the outstanding probe — a middle
+//!   tier is sampled by two pairs, so PTE state alone is ambiguous.
+//! - **Migration failures** are drained once per event and offered to every
+//!   pair; each pair keeps only its own promotion edge's records.
+//!
+//! The two-tier configuration is exactly one pair and behaves identically
+//! to a standalone [`ChronoPolicy`].
+
+use tiered_mem::{AccessResult, ProcessId, TieredSystem, Vpn, MAX_TIERS};
+use tiering_policies::{decode_token, TieringPolicy};
+
+use crate::config::ChronoConfig;
+use crate::policy::{ChronoPolicy, EV_MIGRATE};
+use crate::queue::QueueFlow;
+use crate::resilience::RetryFlow;
+
+/// Cascaded Chrono: one [`ChronoPolicy`] per adjacent pair of managed tiers.
+pub struct CascadeChrono {
+    pairs: Vec<ChronoPolicy>,
+    name: &'static str,
+}
+
+impl CascadeChrono {
+    /// Builds a cascade over `tiers` managed tiers (so `tiers - 1` pairs).
+    /// Every pair runs the same configuration; deeper pairs decorrelate
+    /// their DCSC victim sampling by offsetting the RNG seed.
+    pub fn new(cfg: ChronoConfig, tiers: usize) -> CascadeChrono {
+        assert!(
+            (2..=MAX_TIERS).contains(&tiers),
+            "cascade needs 2..={MAX_TIERS} managed tiers, got {tiers}"
+        );
+        let pairs = (0..tiers - 1)
+            .map(|i| {
+                let mut pair_cfg = cfg.clone();
+                pair_cfg.seed = cfg.seed.wrapping_add(i as u64 * 0x9E37_79B9);
+                ChronoPolicy::new_pair(
+                    pair_cfg,
+                    tiered_mem::TierId(i as u8),
+                    tiered_mem::TierId(i as u8 + 1),
+                    i as u32,
+                )
+            })
+            .collect::<Vec<_>>();
+        let name = if pairs.len() == 1 {
+            pairs[0].name()
+        } else {
+            "Chrono-DCSC"
+        };
+        CascadeChrono { pairs, name }
+    }
+
+    /// Builds the cascade sized to a system's managed tier count.
+    pub fn for_system(cfg: ChronoConfig, sys: &TieredSystem) -> CascadeChrono {
+        CascadeChrono::new(cfg, sys.config().num_tiers())
+    }
+
+    /// The per-pair policies, top edge first.
+    pub fn pairs(&self) -> &[ChronoPolicy] {
+        &self.pairs
+    }
+
+    /// Per-pair promotion-queue flow snapshots (for invariant checks).
+    pub fn queue_flows(&self) -> Vec<QueueFlow> {
+        self.pairs.iter().map(|p| p.queue_flow()).collect()
+    }
+
+    /// Per-pair retry flow snapshots (for invariant checks).
+    pub fn retry_flows(&self) -> Vec<RetryFlow> {
+        self.pairs.iter().map(|p| p.retry_flow()).collect()
+    }
+}
+
+impl TieringPolicy for CascadeChrono {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn init(&mut self, sys: &mut TieredSystem) {
+        for p in &mut self.pairs {
+            p.init(sys);
+        }
+    }
+
+    fn on_event(&mut self, sys: &mut TieredSystem, token: u64) {
+        let (kind, _pid, tag) = decode_token(token);
+        if kind == EV_MIGRATE {
+            // The failure channel is a single global drain; pull it once and
+            // offer every record to every pair (each keeps only its edge's).
+            let failures = sys.take_migration_failures();
+            if !failures.is_empty() {
+                let now = sys.clock.now();
+                for p in &mut self.pairs {
+                    p.ingest_failures(failures.iter().copied(), now);
+                }
+            }
+        }
+        self.pairs[tag as usize].on_event(sys, token);
+    }
+
+    fn on_hint_fault(
+        &mut self,
+        sys: &mut TieredSystem,
+        pid: ProcessId,
+        vpn: Vpn,
+        write: bool,
+        res: &AccessResult,
+    ) {
+        if res.probed_fault {
+            let pte = sys.process(pid).space.pte_page(vpn);
+            // The pair that armed the probe owns both rounds; fall back to
+            // the pair whose lower tier holds the page if the record is
+            // gone (e.g. the probe expired between rounds).
+            let owner = self
+                .pairs
+                .iter()
+                .position(|p| p.has_outstanding_probe(pid, pte))
+                .or_else(|| self.pairs.iter().position(|p| p.tier_pair().1 == res.tier));
+            if let Some(i) = owner {
+                self.pairs[i].on_hint_fault(sys, pid, vpn, write, res);
+            }
+            return;
+        }
+        // Scan fault: the poisoning pair is the one scanning this tier —
+        // tier t is the lower tier of pair t-1. Faults on the top tier have
+        // no scanning pair and are ignored (as the standalone policy does).
+        let t = res.tier.index();
+        if t >= 1 && t <= self.pairs.len() {
+            self.pairs[t - 1].on_hint_fault(sys, pid, vpn, write, res);
+        }
+    }
+
+    fn on_access(&mut self, sys: &mut TieredSystem, pid: ProcessId, vpn: Vpn, write: bool) {
+        for p in &mut self.pairs {
+            p.on_access(sys, pid, vpn, write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_clock::Nanos;
+    use tiered_mem::{PageSize, SystemConfig, TierId};
+    use tiering_policies::{DriverConfig, SimulationDriver};
+    use workloads::{PmbenchConfig, PmbenchWorkload, Workload};
+
+    fn test_config() -> ChronoConfig {
+        ChronoConfig {
+            p_victim: 0.002,
+            ..ChronoConfig::scaled(Nanos::from_millis(50), 512)
+        }
+    }
+
+    fn run_cascade(syscfg: SystemConfig, run_ms: u64) -> (TieredSystem, CascadeChrono) {
+        let mut sys = TieredSystem::new(syscfg);
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = CascadeChrono::for_system(test_config(), &sys);
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(run_ms),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        (sys, policy)
+    }
+
+    #[test]
+    fn two_tier_cascade_matches_standalone_chrono_exactly() {
+        // The cascade with one pair must be bit-identical to the standalone
+        // policy: same access count, same promotion/demotion totals, same
+        // FMAR bits.
+        let (casc_sys, _) = run_cascade(SystemConfig::dram_pmem(1024, 4096), 300);
+        let mut sys = TieredSystem::new(SystemConfig::dram_pmem(1024, 4096));
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = ChronoPolicy::new(test_config());
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(300),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        assert_eq!(casc_sys.stats.promoted_pages, sys.stats.promoted_pages);
+        assert_eq!(casc_sys.stats.demoted_pages, sys.stats.demoted_pages);
+        assert_eq!(casc_sys.stats.hint_faults, sys.stats.hint_faults);
+        assert_eq!(casc_sys.stats.fmar().to_bits(), sys.stats.fmar().to_bits());
+    }
+
+    #[test]
+    fn three_tier_cascade_migrates_on_both_edges() {
+        let (sys, policy) = run_cascade(SystemConfig::three_tier(768, 1536, 4096), 500);
+        assert_eq!(policy.pairs().len(), 2);
+        assert!(sys.stats.promoted_pages > 0, "no promotions at all");
+        // Both pairs must have seen scan faults land (their classifiers ran).
+        for (i, p) in policy.pairs().iter().enumerate() {
+            let (below, above) = p.scan_fault_split();
+            assert!(below + above > 0, "pair {i} never classified a fault");
+        }
+        // Queue flow conserves on every edge.
+        for (i, f) in policy.queue_flows().iter().enumerate() {
+            assert!(f.conserved(), "pair {i} queue flow: {f:?}");
+        }
+        for (i, f) in policy.retry_flows().iter().enumerate() {
+            assert!(f.conserved(), "pair {i} retry flow: {f:?}");
+        }
+    }
+
+    #[test]
+    fn three_tier_steady_state_populates_all_tiers() {
+        let (sys, _policy) = run_cascade(SystemConfig::three_tier(768, 1536, 4096), 500);
+        for t in 0..3 {
+            assert!(
+                sys.used_frames(TierId(t)) > 0,
+                "tier {t} empty at steady state"
+            );
+        }
+        // The hot set should concentrate on top: the top tier runs fuller
+        // (relative to capacity) than the bottom.
+        let occ =
+            |t: u8| sys.used_frames(TierId(t)) as f64 / sys.total_frames(TierId(t)).max(1) as f64;
+        assert!(
+            occ(0) > occ(2),
+            "top occupancy {:.2} should exceed bottom {:.2}",
+            occ(0),
+            occ(2)
+        );
+    }
+
+    #[test]
+    fn cascade_name_reflects_shape() {
+        let two = CascadeChrono::new(test_config(), 2);
+        assert_eq!(two.name(), "Chrono");
+        let three = CascadeChrono::new(test_config(), 3);
+        assert_eq!(three.name(), "Chrono-DCSC");
+        assert_eq!(three.pairs().len(), 2);
+        assert_eq!(three.pairs()[0].tier_pair(), (TierId(0), TierId(1)));
+        assert_eq!(three.pairs()[1].tier_pair(), (TierId(1), TierId(2)));
+    }
+}

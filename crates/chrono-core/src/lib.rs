@@ -22,6 +22,7 @@
 //!   heat-map bucket redistribution (+9 buckets).
 
 pub mod candidates;
+pub mod cascade;
 pub mod config;
 pub mod controls;
 pub mod flat;
@@ -32,9 +33,11 @@ pub mod queue;
 pub mod resilience;
 pub mod theory;
 pub mod thrash;
+pub mod tracker;
 pub mod tuning;
 
 pub use candidates::CandidateSet;
+pub use cascade::CascadeChrono;
 pub use config::{ChronoConfig, TuningMode};
 pub use controls::ControlError;
 pub use flat::PidVpnTable;
@@ -44,3 +47,4 @@ pub use policy::ChronoPolicy;
 pub use queue::{PromotionQueue, QueueFlow};
 pub use resilience::{BreakerTransition, MigrationBreaker, RetryEntry, RetryFlow, RetryPool};
 pub use thrash::ThrashingMonitor;
+pub use tracker::RegionTracker;

@@ -61,7 +61,7 @@ impl LimitEnforcer {
                 let pte = space.pte_page(vpn);
                 let e = space.entry(pte);
                 let idle_ok = !require_idle || !e.flags.has(PageFlags::ACCESSED);
-                if e.present() && e.tier() == TierId::Slow && idle_ok {
+                if e.present() && e.tier() == TierId::SLOW && idle_ok {
                     *cursor = (pos + 1) % pages;
                     return Some(pte);
                 }
@@ -100,10 +100,10 @@ mod tests {
     #[test]
     fn enforcement_never_touches_the_fast_tier() {
         let (mut sys, pid) = overfull_system();
-        let fast_before = sys.used_frames(TierId::Fast);
+        let fast_before = sys.used_frames(TierId::FAST);
         sys.set_memory_limit(pid, Some(60));
         LimitEnforcer::new().enforce(&mut sys, 1024);
-        assert_eq!(sys.used_frames(TierId::Fast), fast_before);
+        assert_eq!(sys.used_frames(TierId::FAST), fast_before);
         // The limit may be unreachable without touching fast pages; the
         // enforcer must stop rather than evict hot placement.
         assert!(sys.over_limit_frames(pid) <= fast_before);

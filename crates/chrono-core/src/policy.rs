@@ -17,8 +17,8 @@
 
 use sim_clock::{DetRng, Nanos};
 use tiered_mem::{
-    scan_budget_pages, AccessResult, LruKind, MigrateError, MigrateMode, PageFlags, ProcessId,
-    TierId, TieredSystem, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
+    scan_budget_pages, AccessResult, LruKind, MigrateError, MigrateMode, MigrationFailure,
+    PageFlags, ProcessId, TierId, TieredSystem, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES,
 };
 use tiering_policies::{decode_token, encode_token, ScanCursor, TieringPolicy};
 use tiering_trace::{PolicyTraceState, TraceEvent};
@@ -31,13 +31,14 @@ use crate::limits::LimitEnforcer;
 use crate::queue::{PendingPromotion, PromotionQueue};
 use crate::resilience::{MigrationBreaker, RetryFlow, RetryPool};
 use crate::thrash::ThrashingMonitor;
+use crate::tracker::RegionTracker;
 use crate::tuning;
 
-const EV_SCAN: u16 = 1;
-const EV_MIGRATE: u16 = 2;
-const EV_DEMOTE: u16 = 3;
-const EV_TUNE: u16 = 4;
-const EV_DCSC: u16 = 5;
+pub(crate) const EV_SCAN: u16 = 1;
+pub(crate) const EV_MIGRATE: u16 = 2;
+pub(crate) const EV_DEMOTE: u16 = 3;
+pub(crate) const EV_TUNE: u16 = 4;
+pub(crate) const EV_DCSC: u16 = 5;
 
 /// Promotion-queue capacity bound (entries).
 const QUEUE_CAP: usize = 1 << 18;
@@ -61,9 +62,21 @@ fn cit_from_word(fault_time: Nanos, word: u32) -> Nanos {
 }
 
 /// The Chrono policy.
+///
+/// An instance manages one adjacent tier pair: promotion moves
+/// `lower → upper`, demotion `upper → lower`. The standalone two-tier
+/// policy is the `FAST`/`SLOW` pair; [`crate::cascade::CascadeChrono`]
+/// stacks one instance per edge of a longer [`tiered_mem::TierChain`].
 pub struct ChronoPolicy {
     cfg: ChronoConfig,
     name: &'static str,
+    /// Promotion destination tier of the managed pair.
+    upper: TierId,
+    /// Scan-tracked source tier of the managed pair.
+    lower: TierId,
+    /// Token tag stamped into every scheduled event so a cascade can route
+    /// the token back to the owning pair (0 for the standalone policy).
+    tag: u32,
     cursors: Vec<ScanCursor>,
     candidates: CandidateSet,
     queue: PromotionQueue,
@@ -116,11 +129,26 @@ pub struct ChronoPolicy {
     cit_samples: Vec<(ProcessId, Vpn, Nanos)>,
     scan_faults_below: u64,
     scan_faults_above: u64,
+    /// HybridTier-style per-region tracker switch (present only when
+    /// `cfg.adaptive_tracking` is on): regions whose hint-fault overhead
+    /// spikes flip to a sampled-frequency mode and skip Ticking-scan
+    /// poisoning for a period.
+    tracker: Option<RegionTracker>,
 }
 
 impl ChronoPolicy {
-    /// Creates a Chrono instance from a configuration.
+    /// Creates a Chrono instance from a configuration (the two-tier
+    /// `FAST`/`SLOW` pair).
     pub fn new(cfg: ChronoConfig) -> ChronoPolicy {
+        ChronoPolicy::new_pair(cfg, TierId::FAST, TierId::SLOW, 0)
+    }
+
+    /// Creates a Chrono instance managing one adjacent tier pair of a
+    /// cascade. Every event token it schedules carries `tag` so
+    /// [`crate::cascade::CascadeChrono`] can route the event back here;
+    /// `new` is the `(FAST, SLOW, 0)` special case and reproduces the
+    /// historical two-tier behaviour bit for bit.
+    pub fn new_pair(cfg: ChronoConfig, upper: TierId, lower: TierId, tag: u32) -> ChronoPolicy {
         let cfg = cfg.validate();
         let rate = match cfg.tuning {
             TuningMode::Manual { rate_limit, .. } | TuningMode::SemiAuto { rate_limit } => {
@@ -148,6 +176,10 @@ impl ChronoPolicy {
             cit_threshold: threshold,
             retry: RetryPool::new(cfg.retry_max_attempts, cfg.retry_pool_cap),
             breaker: MigrationBreaker::new(cfg.breaker_threshold, cfg.breaker_min_attempts),
+            tracker: cfg.adaptive_tracking.then(RegionTracker::new),
+            upper,
+            lower,
+            tag,
             stale_deferred_dropped: 0,
             degraded: false,
             dcsc_starved: 0,
@@ -303,6 +335,23 @@ impl ChronoPolicy {
         self.stale_deferred_dropped
     }
 
+    /// The `(upper, lower)` tier pair this instance manages.
+    pub fn tier_pair(&self) -> (TierId, TierId) {
+        (self.upper, self.lower)
+    }
+
+    /// Whether a DCSC probe issued by this instance is still outstanding on
+    /// `pte`. The cascade uses this to route probe faults on a shared
+    /// middle tier to the pair that armed the PTE.
+    pub fn has_outstanding_probe(&self, pid: ProcessId, pte: Vpn) -> bool {
+        self.probes.iter().any(|&(p, v, _)| p == pid && v == pte)
+    }
+
+    /// The per-region tracker, when `adaptive_tracking` is on.
+    pub fn region_tracker(&self) -> Option<&RegionTracker> {
+        self.tracker.as_ref()
+    }
+
     /// The effective threshold for a mapping unit (huge blocks scale by
     /// 1/512, Section 3.4).
     fn effective_threshold(&self, sys: &TieredSystem, pid: ProcessId, pte: Vpn) -> Nanos {
@@ -324,21 +373,34 @@ impl ChronoPolicy {
     // ----- Ticking-scan ----------------------------------------------------
 
     fn ticking_scan(&mut self, sys: &mut TieredSystem, pid: ProcessId) {
-        let cur = &mut self.cursors[pid.0 as usize];
+        let Self {
+            cursors,
+            tracker,
+            lower,
+            ..
+        } = self;
+        let lower = *lower;
+        let tracker = tracker.as_ref();
+        let cur = &mut cursors[pid.0 as usize];
         let stamp = now_us(sys.clock.now());
         let mut visited = 0u64;
-        cur.cursor =
-            sys.process_mut(pid)
-                .space
-                .walk_range(cur.cursor, cur.step_pages, |_vpn, e| {
-                    visited += 1;
-                    // Only slow-tier pages are unmap-tracked by the Ticking-scan;
-                    // fast-tier CIT statistics come from DCSC probes.
-                    if e.tier() == TierId::Slow && !e.flags.has(PageFlags::PROT_NONE) {
-                        e.flags.set(PageFlags::PROT_NONE);
-                        e.policy_word = stamp;
-                    }
-                });
+        cur.cursor = sys
+            .process_mut(pid)
+            .space
+            .walk_range(cur.cursor, cur.step_pages, |vpn, e| {
+                visited += 1;
+                // Only lower-tier pages are unmap-tracked by the Ticking-scan;
+                // upper-tier CIT statistics come from DCSC probes. Regions the
+                // tracker flipped to sampled-frequency mode are left unpoisoned:
+                // their hotness comes from access sampling, not hint faults.
+                if e.tier() == lower
+                    && !e.flags.has(PageFlags::PROT_NONE)
+                    && tracker.is_none_or(|t| !t.is_sampled(pid, vpn))
+                {
+                    e.flags.set(PageFlags::PROT_NONE);
+                    e.policy_word = stamp;
+                }
+            });
         sys.charge_scan(pid, visited.max(1));
         let now = sys.clock.now();
         sys.trace.emit(now, || TraceEvent::Scan {
@@ -346,7 +408,7 @@ impl ChronoPolicy {
             visited,
         });
         let interval = cur.event_interval;
-        sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));
+        sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, self.tag));
     }
 
     // ----- Fault paths -----------------------------------------------------
@@ -389,13 +451,19 @@ impl ChronoPolicy {
         } else {
             (self.cfg.bucket_of(cit), 1.0)
         };
-        self.heat[tier.index()].add(bucket, pages);
+        // Local pair index (upper = 0), not the global tier index: a page
+        // that migrated away from the pair between probe issue and
+        // completion still bins into the lower map.
+        self.heat[usize::from(tier != self.upper)].add(bucket, pages);
     }
 
     fn handle_scan_fault(&mut self, sys: &mut TieredSystem, pid: ProcessId, pte: Vpn, cit: Nanos) {
         let e = sys.process(pid).space.entry(pte);
-        if e.tier() != TierId::Slow {
+        if e.tier() != self.lower {
             return;
+        }
+        if let Some(t) = &mut self.tracker {
+            t.record_fault(pid, pte);
         }
         if self.collect_cit_samples && self.cit_samples.len() < 1 << 20 {
             self.cit_samples.push((pid, pte, cit));
@@ -462,7 +530,7 @@ impl ChronoPolicy {
     /// age out instead of replaying blindly.
     fn revalidate(&self, sys: &TieredSystem, pid: ProcessId, vpn: Vpn, now: Nanos) -> bool {
         let e = sys.process(pid).space.entry(vpn);
-        if e.tier() != TierId::Slow || e.flags.has(PageFlags::MIGRATING) {
+        if e.tier() != self.lower || e.flags.has(PageFlags::MIGRATING) {
             return false;
         }
         cit_from_word(now, e.policy_word) <= self.effective_threshold(sys, pid, vpn)
@@ -472,11 +540,25 @@ impl ChronoPolicy {
     /// retry pool (transient faults) or straight to abandonment (poisoned
     /// destination frames), feeding the circuit breaker either way.
     fn ingest_copy_failures(&mut self, sys: &mut TieredSystem, now: Nanos) {
-        for f in sys.take_migration_failures() {
-            if f.to != TierId::Fast {
-                // A failed demotion leaves the page on the fast tier where
-                // the next proactive-demote pass re-picks it; only failed
-                // promotions need explicit retry state.
+        let failures = sys.take_migration_failures();
+        self.ingest_failures(failures, now);
+    }
+
+    /// Feeds failure records into the retry machinery. The standalone policy
+    /// drains them straight from the system; a cascade drains once and
+    /// routes each record to every pair, so each call must filter down to
+    /// its own promotion edge.
+    pub(crate) fn ingest_failures(
+        &mut self,
+        failures: impl IntoIterator<Item = MigrationFailure>,
+        now: Nanos,
+    ) {
+        for f in failures {
+            if f.to != self.upper || f.from != self.lower {
+                // A failed demotion leaves the page on the upper tier where
+                // the next proactive-demote pass re-picks it (and another
+                // pair's failures are not this pair's business); only this
+                // edge's failed promotions need explicit retry state.
                 continue;
             }
             self.breaker.record_failures(1);
@@ -514,13 +596,13 @@ impl ChronoPolicy {
             });
             self.breaker.record_attempts(1);
             let attempt = if e.pages > 1 {
-                sys.migrate(e.pid, e.vpn, TierId::Fast, MigrateMode::Async)
+                sys.migrate(e.pid, e.vpn, self.upper, MigrateMode::Async)
             } else {
-                sys.begin_migrate(e.pid, e.vpn, TierId::Fast, MigrateMode::Async)
+                sys.begin_migrate(e.pid, e.vpn, self.upper, MigrateMode::Async)
             };
             let r = match attempt {
                 Err(MigrateError::NoSpace) => {
-                    sys.promote_with_reclaim(e.pid, e.vpn, MigrateMode::Async)
+                    sys.promote_with_reclaim_to(e.pid, e.vpn, self.upper, MigrateMode::Async)
                 }
                 Err(MigrateError::Backpressure) => {
                     // No attempt charged: just wait another backoff step.
@@ -563,7 +645,10 @@ impl ChronoPolicy {
         if self.breaker.is_open() {
             // Tripped: issue nothing for a period and let in-flight work
             // settle; queued entries and pending retries simply wait.
-            sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
+            sys.schedule_in(
+                self.cfg.migrate_interval,
+                encode_token(EV_MIGRATE, 0, self.tag),
+            );
             return;
         }
         self.drain_retries(sys, now);
@@ -593,7 +678,7 @@ impl ChronoPolicy {
             i += 1;
             let e = sys.process_mut(p.pid).space.entry_mut(p.vpn);
             e.flags.clear(PageFlags::CANDIDATE);
-            if e.tier() != TierId::Slow {
+            if e.tier() != self.lower {
                 continue; // already moved (e.g. by reclaim interactions)
             }
             if e.flags.has(PageFlags::MIGRATING) {
@@ -607,13 +692,13 @@ impl ChronoPolicy {
             // in-flight channel.
             self.breaker.record_attempts(1);
             let attempt = if p.pages > 1 {
-                sys.migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async)
+                sys.migrate(p.pid, p.vpn, self.upper, MigrateMode::Async)
             } else {
-                sys.begin_migrate(p.pid, p.vpn, TierId::Fast, MigrateMode::Async)
+                sys.begin_migrate(p.pid, p.vpn, self.upper, MigrateMode::Async)
             };
             let r = match attempt {
                 Err(MigrateError::NoSpace) => {
-                    sys.promote_with_reclaim(p.pid, p.vpn, MigrateMode::Async)
+                    sys.promote_with_reclaim_to(p.pid, p.vpn, self.upper, MigrateMode::Async)
                 }
                 Err(MigrateError::Backpressure) => {
                     // The in-flight table (or its copy backlog) is full:
@@ -644,34 +729,45 @@ impl ChronoPolicy {
                 Err(_) => {}
             }
         }
-        sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
+        sys.schedule_in(
+            self.cfg.migrate_interval,
+            encode_token(EV_MIGRATE, 0, self.tag),
+        );
     }
 
     fn proactive_demote(&mut self, sys: &mut TieredSystem) {
-        // Age the fast-tier LRU at scan-period timescale so the inactive
+        // Age the upper-tier LRU at scan-period timescale so the inactive
         // list reflects period-granularity coldness.
         let age_budget = scan_budget_pages(
-            sys.total_frames(TierId::Fast),
+            sys.total_frames(self.upper),
             self.cfg.demote_interval,
             self.cfg.scan_period,
         );
-        sys.age_active_list(TierId::Fast, age_budget.max(16));
+        sys.age_active_list(self.upper, age_budget.max(16));
         // cgroup memory limits first: reclaim slow-tier pages of confined
-        // processes to swap, keeping hot fast-tier placement intact.
-        self.limits.enforce(sys, 512);
-        if sys.free_frames(TierId::Fast) < sys.watermarks.high {
-            let target = sys.watermarks.pro;
+        // processes to swap, keeping hot fast-tier placement intact. This
+        // is global work, so in a cascade only the top pair runs it.
+        if self.upper == TierId::FAST {
+            self.limits.enforce(sys, 512);
+        }
+        // The system watermarks are sized for the top tier; deeper pairs of
+        // a cascade hold a fixed 1/32 free-frame headroom on their upper
+        // tier instead so one-hop promotions from below always find room.
+        let (high, target) = if self.upper == TierId::FAST {
+            (sys.watermarks.high, sys.watermarks.pro)
+        } else {
+            let h = (sys.total_frames(self.upper) / 32).max(1);
+            (h, h)
+        };
+        if sys.free_frames(self.upper) < high {
             let stamp = now_us(sys.clock.now());
             let mut budget = 4096u32;
-            while sys.free_frames(TierId::Fast) < target && budget > 0 {
+            while sys.free_frames(self.upper) < target && budget > 0 {
                 budget -= 1;
-                let Some((vp, vv)) = sys.pop_inactive_victim(TierId::Fast) else {
+                let Some((vp, vv)) = sys.pop_inactive_victim(self.upper) else {
                     break;
                 };
-                if sys
-                    .migrate(vp, vv, TierId::Slow, MigrateMode::Async)
-                    .is_ok()
-                {
+                if sys.migrate(vp, vv, self.lower, MigrateMode::Async).is_ok() {
                     // Arm the thrashing monitor: flag, re-poison, and let the
                     // demotion timestamp stand in for the scan timestamp.
                     let e = sys.process_mut(vp).space.entry_mut(vv);
@@ -681,7 +777,10 @@ impl ChronoPolicy {
                 }
             }
         }
-        sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
+        sys.schedule_in(
+            self.cfg.demote_interval,
+            encode_token(EV_DEMOTE, 0, self.tag),
+        );
     }
 
     fn tune_period(&mut self, sys: &mut TieredSystem) {
@@ -738,10 +837,18 @@ impl ChronoPolicy {
             }
             self.cit_threshold = th;
         }
-        // Keep the pro watermark sized to the current rate limit.
-        let total_fast = sys.total_frames(TierId::Fast);
-        sys.watermarks
-            .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+        // Tracker period boundary: regions re-decide their mode from the
+        // fault/sample pressure observed this period.
+        if let Some(t) = &mut self.tracker {
+            t.end_period();
+        }
+        // Keep the pro watermark sized to the current rate limit. The
+        // watermarks belong to the top tier, so only the top pair retunes.
+        if self.upper == TierId::FAST {
+            let total_fast = sys.total_frames(TierId::FAST);
+            sys.watermarks
+                .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+        }
         self.threshold_history
             .push((now, self.cit_threshold.as_nanos() as f64 / 1e6));
         self.rate_history
@@ -752,16 +859,20 @@ impl ChronoPolicy {
             cit_threshold: threshold,
             rate_limit_bps: rate,
         });
-        sys.trace_period(PolicyTraceState {
-            cit_threshold: threshold,
-            rate_limit_bps: rate,
-            queue_depth: self.queue.len() as u64,
-            enqueued_pages: enqueued_this_period,
-            dequeued_pages: self.queue.dequeued_pages(),
-            dropped_pages: self.queue.dropped_pages(),
-            heat_overlap_ratio: self.last_overlap_ratio,
-        });
-        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, 0));
+        // The per-period trace sample is a single global record; in a
+        // cascade the top pair owns it.
+        if self.upper == TierId::FAST {
+            sys.trace_period(PolicyTraceState {
+                cit_threshold: threshold,
+                rate_limit_bps: rate,
+                queue_depth: self.queue.len() as u64,
+                enqueued_pages: enqueued_this_period,
+                dequeued_pages: self.queue.dequeued_pages(),
+                dropped_pages: self.queue.dropped_pages(),
+                heat_overlap_ratio: self.last_overlap_ratio,
+            });
+        }
+        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, self.tag));
     }
 
     fn dcsc_round(&mut self, sys: &mut TieredSystem) {
@@ -775,7 +886,7 @@ impl ChronoPolicy {
             let tuned = self.dcsc_tune(sys);
             self.note_dcsc_outcome(sys, tuned);
         }
-        sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, 0));
+        sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, self.tag));
     }
 
     /// Tracks DCSC probe starvation. Frame poisoning and capacity shrink
@@ -875,6 +986,12 @@ impl ChronoPolicy {
             if !e.present() || e.flags.has_any(PageFlags::PROT_NONE | PageFlags::PROBED) {
                 continue;
             }
+            // A cascade pair only samples its own two tiers (never rejects
+            // anything in the two-tier configuration, where every resident
+            // page sits on one of the pair).
+            if e.tier() != self.upper && e.tier() != self.lower {
+                continue;
+            }
             let e = sys.process_mut(pid).space.entry_mut(pte);
             e.flags.set(PageFlags::PROBED | PageFlags::PROT_NONE);
             e.policy_word = stamp;
@@ -886,14 +1003,14 @@ impl ChronoPolicy {
     }
 
     fn dcsc_tune(&mut self, sys: &mut TieredSystem) -> bool {
-        let fast_pop = sys.used_frames(TierId::Fast) as f64;
-        let slow_pop = sys.used_frames(TierId::Slow) as f64;
+        let fast_pop = sys.used_frames(self.upper) as f64;
+        let slow_pop = sys.used_frames(self.lower) as f64;
         if self.heat[0].total() < 8.0 || self.heat[1].total() < 8.0 {
             return false; // not enough probe mass yet
         }
-        let fast_map = self.heat[TierId::Fast.index()].scaled_to(fast_pop);
-        let slow_map = self.heat[TierId::Slow.index()].scaled_to(slow_pop);
-        let capacity = sys.total_frames(TierId::Fast) as f64;
+        let fast_map = self.heat[0].scaled_to(fast_pop);
+        let slow_map = self.heat[1].scaled_to(slow_pop);
+        let capacity = sys.total_frames(self.upper) as f64;
         let overlap = identify_overlap(&fast_map, &slow_map, capacity);
         self.last_overlap_ratio = overlap.misplacement_ratio;
         let now = sys.clock.now();
@@ -930,18 +1047,32 @@ impl TieringPolicy for ChronoPolicy {
         for pid in sys.pids().collect::<Vec<_>>() {
             let pages = sys.process(pid).space.pages();
             let cursor = ScanCursor::new(pages, self.cfg.scan_step_pages, self.cfg.scan_period);
-            sys.schedule_in(cursor.event_interval, encode_token(EV_SCAN, pid.0, 0));
+            sys.schedule_in(
+                cursor.event_interval,
+                encode_token(EV_SCAN, pid.0, self.tag),
+            );
+            if let Some(t) = &mut self.tracker {
+                t.ensure_process(pid, pages);
+            }
             self.cursors.push(cursor);
         }
-        sys.schedule_in(self.cfg.migrate_interval, encode_token(EV_MIGRATE, 0, 0));
-        sys.schedule_in(self.cfg.demote_interval, encode_token(EV_DEMOTE, 0, 0));
-        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, 0));
+        sys.schedule_in(
+            self.cfg.migrate_interval,
+            encode_token(EV_MIGRATE, 0, self.tag),
+        );
+        sys.schedule_in(
+            self.cfg.demote_interval,
+            encode_token(EV_DEMOTE, 0, self.tag),
+        );
+        sys.schedule_in(self.cfg.scan_period, encode_token(EV_TUNE, 0, self.tag));
         if self.cfg.tuning == TuningMode::Dcsc {
-            sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, 0));
+            sys.schedule_in(self.cfg.dcsc_interval, encode_token(EV_DCSC, 0, self.tag));
         }
-        let total_fast = sys.total_frames(TierId::Fast);
-        sys.watermarks
-            .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+        if self.upper == TierId::FAST {
+            let total_fast = sys.total_frames(TierId::FAST);
+            sys.watermarks
+                .retune_pro(total_fast, self.cfg.scan_period, self.queue.rate_limit());
+        }
     }
 
     fn on_event(&mut self, sys: &mut TieredSystem, token: u64) {
@@ -973,6 +1104,40 @@ impl TieringPolicy for ChronoPolicy {
             self.handle_probe_fault(sys, pid, pte, cit, res.fault_time);
         } else {
             self.handle_scan_fault(sys, pid, pte, cit);
+        }
+    }
+
+    fn on_access(&mut self, sys: &mut TieredSystem, pid: ProcessId, vpn: Vpn, _write: bool) {
+        // Sampled-frequency mode (adaptive tracking only): regions whose
+        // fault overhead flipped them out of CIT tracking estimate hotness
+        // from a deterministic access-stride sample instead. A lower-tier
+        // page accumulating enough sampled hits within a period enqueues
+        // directly — it already proved the equivalent of the filter rounds.
+        let Some(tracker) = &mut self.tracker else {
+            return;
+        };
+        if !tracker.observe(pid, vpn) {
+            return;
+        }
+        let pte = sys.process(pid).space.pte_page(vpn);
+        let e = sys.process(pid).space.entry(pte);
+        if e.tier() != self.lower || e.flags.has_any(PageFlags::CANDIDATE | PageFlags::MIGRATING) {
+            return;
+        }
+        if !tracker.record_sampled_hit(pid, pte, self.cfg.filter_rounds) {
+            return;
+        }
+        let unit = Self::unit_pages(sys, pid, pte);
+        if self.queue.enqueue(PendingPromotion {
+            pid,
+            vpn: pte,
+            pages: unit,
+        }) {
+            sys.process_mut(pid)
+                .space
+                .entry_mut(pte)
+                .flags
+                .set(PageFlags::CANDIDATE);
         }
     }
 }
@@ -1224,7 +1389,7 @@ mod tests {
             "fresh deferred entry must replay"
         );
         let e = sys.process(pid).space.entry(stale);
-        assert_eq!(e.tier(), TierId::Slow, "stale entry must not promote");
+        assert_eq!(e.tier(), TierId::SLOW, "stale entry must not promote");
         assert!(!e.flags.has(PageFlags::MIGRATING));
         assert!(!e.flags.has(PageFlags::CANDIDATE), "flag cleared on drop");
     }
@@ -1243,7 +1408,7 @@ mod tests {
         let inflight = Vpn(100);
         let now = sys.clock.now();
         sys.process_mut(pid).space.entry_mut(inflight).policy_word = now_us(now);
-        sys.begin_migrate(pid, inflight, TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, inflight, TierId::FAST, MigrateMode::Async)
             .unwrap();
         for vpn in [moved, inflight] {
             policy
@@ -1314,7 +1479,7 @@ mod tests {
         assert!(!policy.is_degraded(), "fault-free runs must never degrade");
         // Poison a resident frame: damage present, three dry rounds degrade.
         let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
-        assert!(sys.poison_frame(TierId::Fast, pfn));
+        assert!(sys.poison_frame(TierId::FAST, pfn));
         for _ in 0..3 {
             policy.note_dcsc_outcome(&sys, false);
         }

@@ -1,0 +1,278 @@
+//! HybridTier-style per-region tracker switch.
+//!
+//! Fault-based CIT tracking is precise but charges a hint fault per tracked
+//! access; a region taking thousands of faults per period pays more in fault
+//! overhead than the placement information is worth. The tracker partitions
+//! each address space into fixed [`REGION_PAGES`] regions and, at every tune
+//! period, flips regions whose observed fault count crossed
+//! [`FAULT_SWITCH_THRESHOLD`] into a *sampled-frequency* mode: the
+//! Ticking-scan stops poisoning their PTEs, and hotness is instead estimated
+//! from a deterministic 1-in-[`SAMPLE_STRIDE`] access sample (a PEBS-like
+//! counter, the same idiom Memtis/FlexMem use). Regions whose sampled
+//! activity subsides below [`SAMPLE_REVERT_THRESHOLD`] flip back the next
+//! period. Both decisions are pure functions of per-period counters, so runs
+//! stay bit-reproducible.
+
+use std::collections::BTreeMap;
+
+use tiered_mem::{ProcessId, Vpn};
+
+/// Base pages per tracked region.
+pub const REGION_PAGES: u32 = 1024;
+/// Deterministic sampling stride in sampled regions: one in this many
+/// observed accesses is inspected.
+pub const SAMPLE_STRIDE: u64 = 64;
+/// Hint faults per region per tune period above which fault-based tracking
+/// is deemed too expensive and the region flips to sampled mode.
+pub const FAULT_SWITCH_THRESHOLD: u32 = REGION_PAGES / 4;
+/// Sampled hits per region per period below which a sampled region reverts
+/// to fault-based tracking.
+pub const SAMPLE_REVERT_THRESHOLD: u32 = 4;
+
+/// One region's per-period tracking state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Region {
+    /// Currently in sampled-frequency mode (fault-based otherwise).
+    sampled: bool,
+    /// Hint faults observed this period (fault mode).
+    faults: u32,
+    /// Stride-sampled accesses observed this period (sampled mode).
+    samples: u32,
+}
+
+/// Per-region tracker state for every process the policy scans.
+#[derive(Debug, Default)]
+pub struct RegionTracker {
+    /// `[pid][region]` states; processes the policy never initialised are
+    /// simply untracked (always fault mode).
+    regions: Vec<Vec<Region>>,
+    /// Global access counter driving the deterministic sampling stride.
+    counter: u64,
+    /// Sampled-hit accumulators per `(pid, pte)`, reset each period. A
+    /// `BTreeMap` keeps any future iteration order deterministic.
+    hits: BTreeMap<(u16, u32), u32>,
+    /// Lifetime mode flips (either direction).
+    mode_switches: u64,
+}
+
+impl RegionTracker {
+    /// An empty tracker.
+    pub fn new() -> RegionTracker {
+        RegionTracker::default()
+    }
+
+    /// Registers a process's address-space size, allocating its regions.
+    pub fn ensure_process(&mut self, pid: ProcessId, pages: u32) {
+        let idx = pid.0 as usize;
+        if self.regions.len() <= idx {
+            self.regions.resize(idx + 1, Vec::new());
+        }
+        let n = pages.div_ceil(REGION_PAGES) as usize;
+        if self.regions[idx].len() < n {
+            self.regions[idx].resize(n, Region::default());
+        }
+    }
+
+    fn region(&self, pid: ProcessId, vpn: Vpn) -> Option<&Region> {
+        self.regions
+            .get(pid.0 as usize)?
+            .get((vpn.0 / REGION_PAGES) as usize)
+    }
+
+    fn region_mut(&mut self, pid: ProcessId, vpn: Vpn) -> Option<&mut Region> {
+        self.regions
+            .get_mut(pid.0 as usize)?
+            .get_mut((vpn.0 / REGION_PAGES) as usize)
+    }
+
+    /// Whether `vpn`'s region is in sampled-frequency mode (the Ticking-scan
+    /// skips poisoning there).
+    pub fn is_sampled(&self, pid: ProcessId, vpn: Vpn) -> bool {
+        self.region(pid, vpn).is_some_and(|r| r.sampled)
+    }
+
+    /// Records a hint fault landing in `pte`'s region (fault-overhead
+    /// accounting for the switch decision).
+    pub fn record_fault(&mut self, pid: ProcessId, pte: Vpn) {
+        if let Some(r) = self.region_mut(pid, pte) {
+            if !r.sampled {
+                r.faults = r.faults.saturating_add(1);
+            }
+        }
+    }
+
+    /// Observes one access. Returns `true` on the stride-selected accesses
+    /// that land in a sampled region — the caller then inspects the page.
+    pub fn observe(&mut self, pid: ProcessId, vpn: Vpn) -> bool {
+        self.counter += 1;
+        if !self.counter.is_multiple_of(SAMPLE_STRIDE) {
+            return false;
+        }
+        match self.region_mut(pid, vpn) {
+            Some(r) if r.sampled => {
+                r.samples = r.samples.saturating_add(1);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Accumulates a sampled hit on `pte`; returns `true` once the page has
+    /// collected `rounds` hits this period (the sampled-mode analogue of
+    /// passing the candidate filter), resetting its accumulator.
+    pub fn record_sampled_hit(&mut self, pid: ProcessId, pte: Vpn, rounds: u32) -> bool {
+        let c = self.hits.entry((pid.0, pte.0)).or_insert(0);
+        *c += 1;
+        if *c >= rounds.max(1) {
+            self.hits.remove(&(pid.0, pte.0));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Period boundary: re-decides every region's mode from this period's
+    /// counters, then resets them.
+    pub fn end_period(&mut self) {
+        for per_pid in &mut self.regions {
+            for r in per_pid.iter_mut() {
+                if !r.sampled && r.faults > FAULT_SWITCH_THRESHOLD {
+                    r.sampled = true;
+                    self.mode_switches += 1;
+                } else if r.sampled && r.samples < SAMPLE_REVERT_THRESHOLD {
+                    r.sampled = false;
+                    self.mode_switches += 1;
+                }
+                r.faults = 0;
+                r.samples = 0;
+            }
+        }
+        self.hits.clear();
+    }
+
+    /// Regions currently in sampled-frequency mode.
+    pub fn sampled_regions(&self) -> usize {
+        self.regions.iter().flatten().filter(|r| r.sampled).count()
+    }
+
+    /// Lifetime mode flips in either direction.
+    pub fn mode_switches(&self) -> u64 {
+        self.mode_switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u16) -> ProcessId {
+        ProcessId(n)
+    }
+
+    #[test]
+    fn regions_flip_on_fault_pressure_and_revert_when_quiet() {
+        let mut t = RegionTracker::new();
+        t.ensure_process(p(0), 4 * REGION_PAGES);
+        for _ in 0..=FAULT_SWITCH_THRESHOLD {
+            t.record_fault(p(0), Vpn(REGION_PAGES)); // region 1
+        }
+        t.end_period();
+        assert!(t.is_sampled(p(0), Vpn(REGION_PAGES)));
+        assert!(
+            !t.is_sampled(p(0), Vpn(0)),
+            "quiet regions stay fault-based"
+        );
+        assert_eq!(t.sampled_regions(), 1);
+        assert_eq!(t.mode_switches(), 1);
+        // No sampled activity the next period: the region reverts.
+        t.end_period();
+        assert!(!t.is_sampled(p(0), Vpn(REGION_PAGES)));
+        assert_eq!(t.mode_switches(), 2);
+    }
+
+    #[test]
+    fn sampled_region_with_activity_stays_sampled() {
+        let mut t = RegionTracker::new();
+        t.ensure_process(p(0), REGION_PAGES);
+        for _ in 0..=FAULT_SWITCH_THRESHOLD {
+            t.record_fault(p(0), Vpn(0));
+        }
+        t.end_period();
+        assert!(t.is_sampled(p(0), Vpn(0)));
+        // Enough strided accesses to clear the revert floor.
+        let need = SAMPLE_REVERT_THRESHOLD as u64 * SAMPLE_STRIDE;
+        let mut hits = 0;
+        for _ in 0..need {
+            if t.observe(p(0), Vpn(7)) {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, SAMPLE_REVERT_THRESHOLD as u64);
+        t.end_period();
+        assert!(
+            t.is_sampled(p(0), Vpn(0)),
+            "active region must stay sampled"
+        );
+    }
+
+    #[test]
+    fn observe_samples_exactly_one_in_stride() {
+        let mut t = RegionTracker::new();
+        t.ensure_process(p(0), REGION_PAGES);
+        // Force the region sampled.
+        for _ in 0..=FAULT_SWITCH_THRESHOLD {
+            t.record_fault(p(0), Vpn(0));
+        }
+        t.end_period();
+        let n = 10 * SAMPLE_STRIDE;
+        let hits = (0..n).filter(|_| t.observe(p(0), Vpn(3))).count() as u64;
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn faults_in_sampled_regions_do_not_accumulate() {
+        let mut t = RegionTracker::new();
+        t.ensure_process(p(0), REGION_PAGES);
+        for _ in 0..=FAULT_SWITCH_THRESHOLD {
+            t.record_fault(p(0), Vpn(0));
+        }
+        t.end_period();
+        assert!(t.is_sampled(p(0), Vpn(0)));
+        // Stray faults while sampled (e.g. pre-existing poisoned PTEs) must
+        // not count toward a future switch decision.
+        for _ in 0..=FAULT_SWITCH_THRESHOLD {
+            t.record_fault(p(0), Vpn(0));
+        }
+        // Keep it sampled through this boundary via activity.
+        for _ in 0..SAMPLE_REVERT_THRESHOLD as u64 * SAMPLE_STRIDE {
+            t.observe(p(0), Vpn(0));
+        }
+        t.end_period();
+        // Revert (no activity), and the stray faults left no residue.
+        t.end_period();
+        assert!(!t.is_sampled(p(0), Vpn(0)));
+        t.end_period();
+        assert!(!t.is_sampled(p(0), Vpn(0)));
+    }
+
+    #[test]
+    fn sampled_hits_reach_rounds_then_reset() {
+        let mut t = RegionTracker::new();
+        assert!(!t.record_sampled_hit(p(0), Vpn(1), 2));
+        assert!(t.record_sampled_hit(p(0), Vpn(1), 2));
+        // Accumulator reset after firing.
+        assert!(!t.record_sampled_hit(p(0), Vpn(1), 2));
+        // Zero rounds is clamped to one.
+        assert!(t.record_sampled_hit(p(0), Vpn(2), 0));
+    }
+
+    #[test]
+    fn untracked_processes_are_inert() {
+        let mut t = RegionTracker::new();
+        assert!(!t.is_sampled(p(3), Vpn(0)));
+        t.record_fault(p(3), Vpn(0));
+        assert!(!t.observe(p(3), Vpn(0)));
+        t.end_period();
+        assert_eq!(t.sampled_regions(), 0);
+    }
+}

@@ -122,9 +122,10 @@ pub fn run_model_check(mut args: Vec<String>) -> i32 {
     let mut failed = false;
     for (s, rule) in &report.illegal {
         println!(
-            "ILLEGAL reachable state {:04x} ({}) violates {rule}",
+            "ILLEGAL reachable state {:05x} ({}) violates {rule}",
             s,
-            tiered_mem::PageFlags::from_bits(s & tiered_mem::PageFlags::MASK).describe()
+            tiered_mem::PageFlags::from_bits((s & tiered_mem::PageFlags::MASK as u32) as u16)
+                .describe()
         );
         failed = true;
     }

@@ -47,7 +47,7 @@ use tiering_policies::DriverConfig;
 use tiering_verify::InvariantOracle;
 use workloads::{AccessReq, PmbenchConfig, PmbenchWorkload, Workload};
 
-use crate::runner::{run_policy, PolicyKind, Scale};
+use crate::runner::{run_policy, PolicyKind, Scale, Topology};
 use crate::tenants::{run_fleet, FleetConfig};
 
 /// Schema tag written into (and required from) every bench JSON file.
@@ -163,12 +163,20 @@ fn record_trace(cfg: PmbenchConfig, len: u64) -> ReplayWorkload {
 /// accesses and measures host time. Traces are generated before the timer
 /// starts; each process's trace is sized 1.5× its fair share so the
 /// driver's access cap, not trace exhaustion, ends the run.
-fn e2e_run(kind: PolicyKind, label: &str, procs: u32, pages: u32, accesses: u64) -> BenchResult {
+fn e2e_run(
+    kind: PolicyKind,
+    topology: Topology,
+    label: &str,
+    procs: u32,
+    pages: u32,
+    accesses: u64,
+) -> BenchResult {
     // The sim-time horizon is a non-binding backstop; the access cap stops
     // the run.
     let horizon = Nanos::from_secs(3600);
     let scale = Scale {
         run_for: horizon,
+        topology,
         ..Scale::default_scale()
     };
     let driver_cfg = DriverConfig {
@@ -252,8 +260,10 @@ fn bench_fleet(tenants: usize, millis: u64, threads: usize) -> BenchResult {
 }
 
 /// The end-to-end suite: Fig 10 profile (1×8192 pages) and multi-process
-/// (6×2048 pages) shapes under Chrono-DCSC and TPP, plus the multi-tenant
-/// fleet shape at 1 and at [`FLEET_THREADS`] worker threads.
+/// (6×2048 pages) shapes under Chrono-DCSC and TPP, the profile shape again
+/// on the three-tier DRAM+CXL+PMem chain (cascaded Chrono and TPP-3), plus
+/// the multi-tenant fleet shape at 1 and at [`FLEET_THREADS`] worker
+/// threads.
 pub fn run_fig10_suite(quick: bool) -> Vec<BenchResult> {
     let accesses: u64 = if quick { 1_000_000 } else { 12_000_000 };
     let mut out = Vec::new();
@@ -263,6 +273,7 @@ pub fn run_fig10_suite(quick: bool) -> Vec<BenchResult> {
     ] {
         out.push(e2e_run(
             kind,
+            Topology::DramPmem,
             &format!("fig10_profile_{tag}"),
             1,
             8192,
@@ -270,9 +281,18 @@ pub fn run_fig10_suite(quick: bool) -> Vec<BenchResult> {
         ));
         out.push(e2e_run(
             kind,
+            Topology::DramPmem,
             &format!("fig10_multi_{tag}"),
             6,
             2048,
+            accesses,
+        ));
+        out.push(e2e_run(
+            kind,
+            Topology::ThreeTier,
+            &format!("fig10_threetier_{tag}"),
+            1,
+            8192,
             accesses,
         ));
     }

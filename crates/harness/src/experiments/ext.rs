@@ -58,7 +58,7 @@ pub fn run_baselines(scale: &Scale) -> String {
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
 
     let run_one = |policy: &mut dyn TieringPolicy, page_size: PageSize| -> (f64, f64) {
-        let mut sys = quarter_system(total + total / 4);
+        let mut sys = quarter_system(scale, total + total / 4);
         let mut wls: Vec<Box<dyn Workload>> = (0..procs)
             .map(|i| {
                 Box::new(PmbenchWorkload::new(PmbenchConfig::paper_skewed(
@@ -120,7 +120,7 @@ pub fn run_adapt(scale: &Scale) -> String {
         &["Policy", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8", "dip", "recovered"],
     );
     for kind in [PolicyKind::Tpp, PolicyKind::Chrono] {
-        let mut sys = quarter_system(pages + pages / 4);
+        let mut sys = quarter_system(scale, pages + pages / 4);
         let w = PhasedWorkload::new(
             pages,
             vec![0.25, 0.75],
@@ -248,7 +248,7 @@ pub fn run_limits(scale: &Scale) -> String {
     ]);
     t.row(&[
         "fast tier still used (frames)".into(),
-        format!("{}", sys.used_frames(TierId::Fast)),
+        format!("{}", sys.used_frames(TierId::FAST)),
     ]);
     t.row(&["FMAR".into(), format!("{:.1}%", sys.stats.fmar() * 100.0)]);
     t.row(&["accesses completed".into(), format!("{}", r.accesses)]);

@@ -26,7 +26,7 @@ struct RegionStats {
 
 fn profile(workload: Box<dyn Workload>, scale: &Scale) -> RegionStats {
     let pages = workload.address_space_pages();
-    let mut sys = quarter_system(pages + pages / 4);
+    let mut sys = quarter_system(scale, pages + pages / 4);
     sys.add_process(pages, PageSize::Base);
     let mut wls = vec![workload];
     let mut policy = PolicyKind::LinuxNb.build(scale);
@@ -43,11 +43,11 @@ fn profile(workload: Box<dyn Workload>, scale: &Scale) -> RegionStats {
     let mut dram: Vec<u64> = Vec::new();
     let mut nvm: Vec<u64> = Vec::new();
     for c in counts.values() {
-        if c[TierId::Fast.index()] > 0 {
-            dram.push(c[TierId::Fast.index()]);
+        if c[TierId::FAST.index()] > 0 {
+            dram.push(c[TierId::FAST.index()]);
         }
-        if c[TierId::Slow.index()] > 0 {
-            nvm.push(c[TierId::Slow.index()]);
+        if c[TierId::SLOW.index()] > 0 {
+            nvm.push(c[TierId::SLOW.index()]);
         }
     }
     nvm.sort_unstable_by(|a, b| b.cmp(a));

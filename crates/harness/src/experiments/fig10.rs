@@ -17,7 +17,7 @@ const PAGES: u32 = 8192;
 /// policy (with CIT samples and tuning histories) plus per-page access
 /// counts and the makespan in seconds.
 fn chrono_profile(scale: &Scale) -> (ChronoPolicy, HashMap<u32, u64>, f64) {
-    let mut sys = quarter_system(PAGES + PAGES / 4);
+    let mut sys = quarter_system(scale, PAGES + PAGES / 4);
     crate::sink::arm(&mut sys);
     let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(PAGES, 0.95, 1010));
     sys.add_process(w.address_space_pages(), PageSize::Base);
@@ -162,7 +162,7 @@ pub fn sensitivity_cell(scale: &Scale, param: &str, mult: f64) -> f64 {
         _ => unreachable!("unknown sensitivity parameter {param}"),
     };
     let total = 6u32 * 2048;
-    let mut sys = quarter_system(total + total / 8);
+    let mut sys = quarter_system(scale, total + total / 8);
     crate::sink::arm(&mut sys);
     let mut wls: Vec<Box<dyn Workload>> = Vec::new();
     for i in 0..6 {

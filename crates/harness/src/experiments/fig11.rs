@@ -67,7 +67,7 @@ pub fn exec_time(
     page_size: PageSize,
 ) -> Nanos {
     let scale = &graph_scale(scale);
-    let mut sys = quarter_system(frames);
+    let mut sys = quarter_system(scale, frames);
     let mut wls = graph_workload(pages, 2);
     for w in &wls {
         sys.add_process(w.address_space_pages(), page_size);
@@ -163,7 +163,7 @@ fn graph_sensitivity_cell(scale: &Scale, param: &str, mult: f64) -> f64 {
         _ => unreachable!("unknown sensitivity parameter {param}"),
     };
     let (_, pages, frames) = SIZES[1];
-    let mut sys = quarter_system(frames);
+    let mut sys = quarter_system(scale, frames);
     let mut wls = graph_workload(pages, 2);
     for w in &wls {
         sys.add_process(w.address_space_pages(), PageSize::Base);

@@ -34,7 +34,7 @@ pub fn run_2a(scale: &Scale) -> String {
         PolicyKind::Chrono,
     ] {
         let total = PROCS as u32 * PAGES_PER_PROC;
-        let mut sys = quarter_system(total + total / 4);
+        let mut sys = quarter_system(scale, total + total / 4);
         let mut wls: Vec<Box<dyn Workload>> = Vec::new();
         for i in 0..PROCS {
             let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(
@@ -69,7 +69,7 @@ pub fn run_2a(scale: &Scale) -> String {
         .run_observed(&mut sys, &mut wls, &mut *policy, |_pid, vpn, _w, tier| {
             seen += 1;
             if seen > warmup_accesses {
-                counts.tally(in_hot_center(PAGES_PER_PROC, vpn), tier == TierId::Fast);
+                counts.tally(in_hot_center(PAGES_PER_PROC, vpn), tier == TierId::FAST);
             }
         });
         let ppr = sys.stats.promoted_pages as f64 / r.accessed_slow_pages.max(1) as f64;
@@ -104,7 +104,7 @@ pub fn run_2b(scale: &Scale) -> String {
         ("Base-Page", PageSize::Base),
     ] {
         let total = PROCS as u32 * PAGES_PER_PROC;
-        let mut sys = quarter_system(total + total / 4);
+        let mut sys = quarter_system(scale, total + total / 4);
         let mut wls: Vec<Box<dyn Workload>> = Vec::new();
         for i in 0..PROCS {
             let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(

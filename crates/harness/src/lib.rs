@@ -21,4 +21,4 @@ pub mod sink;
 pub mod tenants;
 pub mod verify;
 
-pub use runner::{FaultPlanKind, PolicyKind, Scale, StandardRun};
+pub use runner::{FaultPlanKind, PolicyKind, Scale, StandardRun, Topology};

@@ -4,15 +4,16 @@
 //! harness [--scale N] [--json DIR] [--trace DIR]
 //!         [--inflight-slots N] [--migration-backlog-cap MS]
 //!         [--fault-plan canonical|storm|inert] [--fault-seed X]
+//!         [--topology dram-pmem|dram-cxl|three-tier]
 //!         <experiment-id>...
 //! harness list
 //! harness all
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
-//!              [--tenant-storm]
+//!              [--tenant-storm] [--three-tier]
 //! harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
-//!             [--seed X] [--slots N]
+//!             [--seed X] [--slots N] [--topology NAME]
 //! harness lint [--all] [--rules] [--json]
 //! harness model-check [--bless]
 //! harness race-check [--bless]
@@ -23,6 +24,14 @@
 //! migration engine (transactions in flight / queued copy milliseconds per
 //! destination channel) for every experiment run; past either bound
 //! policies see `MigrateError::Backpressure`.
+//!
+//! `--topology` picks the tier chain every experiment system is built on:
+//! `dram-pmem` (default) is the paper's two-tier testbed, `dram-cxl` swaps
+//! the Optane bottom tier for symmetric CXL memory, and `three-tier` runs
+//! the DRAM+CXL+PMem chain with cascaded per-edge migration. The Chrono
+//! variants come back as a [`harness::Topology`]-aware cascade and
+//! TPP / Multi-Clock as their hop-wise generalizations on chains longer
+//! than two tiers.
 //!
 //! `--fault-plan` attaches a deterministic fault-injection plan to every
 //! experiment run: `canonical` is the paper's resilience scenario (1%
@@ -163,6 +172,20 @@ fn main() {
         std::process::exit(harness::tenants::run_tenants(args.split_off(1)));
     }
 
+    // Parsed after the subcommand dispatches: `run` and `fuzz` own their own
+    // topology spellings; this one applies to every experiment run.
+    if let Some(pos) = args.iter().position(|a| a == "--topology") {
+        let topology = args
+            .get(pos + 1)
+            .and_then(|v| harness::Topology::parse(v))
+            .unwrap_or_else(|| {
+                eprintln!("--topology requires one of: dram-pmem, dram-cxl, three-tier");
+                std::process::exit(2);
+            });
+        scale.topology = topology;
+        args.drain(pos..=pos + 1);
+    }
+
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
         for (id, desc) in EXPERIMENTS {
@@ -174,11 +197,11 @@ fn main() {
             "verify"
         );
         println!(
-            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm] [--tenant-storm]",
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm] [--tenant-storm] [--three-tier]",
             "fuzz"
         );
         println!(
-            "  {:8} multi-tenant fleet --tenants N [--threads T] [--policy NAME] [--millis MS]",
+            "  {:8} multi-tenant fleet --tenants N [--threads T] [--policy NAME] [--millis MS] [--topology NAME]",
             "run"
         );
         println!(

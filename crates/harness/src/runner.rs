@@ -1,8 +1,8 @@
 //! Shared experiment plumbing: simulation scale, policy factory, run helper.
 
-use chrono_core::{ChronoConfig, ChronoPolicy};
+use chrono_core::{CascadeChrono, ChronoConfig, ChronoPolicy};
 use sim_clock::Nanos;
-use tiered_mem::{FaultPlan, MigrationSpec, PageSize, SystemConfig, TieredSystem};
+use tiered_mem::{FaultPlan, MigrationSpec, PageSize, SystemConfig, TierId, TieredSystem};
 use tiering_policies::{
     autotiering::AutoTieringConfig, linux_nb::LinuxNbConfig, multiclock::MultiClockConfig,
     tpp::TppConfig, AutoTiering, DriverConfig, LinuxNumaBalancing, Memtis, MemtisConfig,
@@ -38,6 +38,87 @@ pub struct Scale {
     pub fault: Option<FaultPlanKind>,
     /// Seed for the fault plan's private RNG (the CLI `--fault-seed` knob).
     pub fault_seed: u64,
+    /// Tier-chain shape (the CLI `--topology` knob). The default,
+    /// [`Topology::DramPmem`], reproduces every pre-existing run bit for bit.
+    pub topology: Topology,
+}
+
+/// The named tier-chain shapes the CLI can run experiments on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// The paper's testbed: DRAM on top, Optane PMem below (25 % fast).
+    DramPmem,
+    /// DRAM over CXL memory — same shape, cheaper, symmetric bottom tier.
+    DramCxl,
+    /// Hot/warm/cold chain: DRAM, CXL, PMem (1/8 : 1/4 : 5/8 of the total).
+    ThreeTier,
+}
+
+impl Topology {
+    /// Parses the CLI spelling.
+    pub fn parse(name: &str) -> Option<Topology> {
+        match name {
+            "dram-pmem" => Some(Topology::DramPmem),
+            "dram-cxl" => Some(Topology::DramCxl),
+            "three-tier" => Some(Topology::ThreeTier),
+            _ => None,
+        }
+    }
+
+    /// Stable display name (the CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Topology::DramPmem => "dram-pmem",
+            Topology::DramCxl => "dram-cxl",
+            Topology::ThreeTier => "three-tier",
+        }
+    }
+
+    /// Managed tiers in this shape's chain.
+    pub fn num_tiers(&self) -> usize {
+        match self {
+            Topology::DramPmem | Topology::DramCxl => 2,
+            Topology::ThreeTier => 3,
+        }
+    }
+
+    /// Builds the system configuration over `total_frames` of capacity. The
+    /// two-tier shapes keep the paper's 25 % fast share; the three-tier
+    /// chain splits 1/8 DRAM : 1/4 CXL : 5/8 PMem.
+    pub fn system_config(&self, total_frames: u32) -> SystemConfig {
+        match self {
+            Topology::DramPmem => SystemConfig::quarter_fast(total_frames),
+            Topology::DramCxl => {
+                let fast = total_frames / 4;
+                SystemConfig::dram_cxl(fast, total_frames - fast)
+            }
+            Topology::ThreeTier => {
+                let fast = total_frames / 8;
+                let mid = total_frames / 4;
+                SystemConfig::three_tier(fast, mid, total_frames - fast - mid)
+            }
+        }
+    }
+
+    /// Builds the system configuration over an exact per-tier frame split —
+    /// the form a tenant's slice of a [`tiered_mem::PartitionPlan`] comes
+    /// in. Unlike [`Self::system_config`] no share heuristic is applied; the
+    /// partition already decided the split.
+    pub fn partition_config(&self, part: &tiered_mem::FramePartition) -> SystemConfig {
+        match self {
+            Topology::DramPmem => {
+                SystemConfig::dram_pmem(part.frames(TierId(0)), part.frames(TierId(1)))
+            }
+            Topology::DramCxl => {
+                SystemConfig::dram_cxl(part.frames(TierId(0)), part.frames(TierId(1)))
+            }
+            Topology::ThreeTier => SystemConfig::three_tier(
+                part.frames(TierId(0)),
+                part.frames(TierId(1)),
+                part.frames(TierId(2)),
+            ),
+        }
+    }
 }
 
 /// The named fault plans the CLI can attach to every experiment run.
@@ -87,6 +168,7 @@ impl Scale {
             migration: None,
             fault: None,
             fault_seed: 0xFA17,
+            topology: Topology::DramPmem,
         }
     }
 
@@ -162,10 +244,24 @@ impl PolicyKind {
         }
     }
 
-    /// Builds the policy at the given scale.
+    /// Builds the policy at the given scale and topology. On a chain longer
+    /// than two tiers the Chrono variants come back as a [`CascadeChrono`]
+    /// (one pair per edge) and TPP / Multi-Clock as their hop-wise N-tier
+    /// generalizations; the remaining baselines have no chain-aware variant
+    /// and run their classic two-tier logic against the top edge.
     pub fn build(&self, scale: &Scale) -> Box<dyn TieringPolicy> {
         let sp = scale.scan_period;
         let step = scale.scan_step;
+        let tiers = scale.topology.num_tiers();
+        // Chrono variants: a standalone pair on two tiers (the bit-pinned
+        // classic shape), a cascade on longer chains.
+        let chrono = |cfg: ChronoConfig| -> Box<dyn TieringPolicy> {
+            if tiers == 2 {
+                Box::new(ChronoPolicy::new(cfg))
+            } else {
+                Box::new(CascadeChrono::new(cfg, tiers))
+            }
+        };
         match self {
             PolicyKind::Static => Box::new(NullPolicy),
             PolicyKind::LinuxNb => Box::new(LinuxNumaBalancing::new(LinuxNbConfig {
@@ -179,18 +275,24 @@ impl PolicyKind {
                 hot_lap_bits: 2,
                 demote_interval: sp / 4,
             })),
-            PolicyKind::MultiClock => Box::new(MultiClock::new(MultiClockConfig {
-                sweep_period: sp,
-                sweep_step_pages: step,
-                levels: 4,
-                promote_level: 3,
-                demote_interval: sp / 4,
-            })),
-            PolicyKind::Tpp => Box::new(Tpp::new(TppConfig {
-                scan_period: sp,
-                scan_step_pages: step,
-                demote_interval: sp / 4,
-            })),
+            PolicyKind::MultiClock => Box::new(MultiClock::for_tiers(
+                MultiClockConfig {
+                    sweep_period: sp,
+                    sweep_step_pages: step,
+                    levels: 4,
+                    promote_level: 3,
+                    demote_interval: sp / 4,
+                },
+                tiers,
+            )),
+            PolicyKind::Tpp => Box::new(Tpp::for_tiers(
+                TppConfig {
+                    scan_period: sp,
+                    scan_step_pages: step,
+                    demote_interval: sp / 4,
+                },
+                tiers,
+            )),
             PolicyKind::Memtis => Box::new(Memtis::new(MemtisConfig {
                 sample_period: scale.memtis_sample_period,
                 migrate_interval: sp / 10,
@@ -200,21 +302,15 @@ impl PolicyKind {
                 split_enabled: true,
                 seed: 0x4D454D,
             })),
-            PolicyKind::Chrono => Box::new(ChronoPolicy::new(self.chrono_config(scale))),
-            PolicyKind::ChronoBasic => {
-                Box::new(ChronoPolicy::new(self.chrono_config(scale).variant_basic()))
-            }
-            PolicyKind::ChronoTwice => {
-                Box::new(ChronoPolicy::new(self.chrono_config(scale).variant_twice()))
-            }
-            PolicyKind::ChronoThrice => Box::new(ChronoPolicy::new(
-                self.chrono_config(scale).variant_thrice(),
-            )),
-            PolicyKind::ChronoManual => Box::new(ChronoPolicy::new(
+            PolicyKind::Chrono => chrono(self.chrono_config(scale)),
+            PolicyKind::ChronoBasic => chrono(self.chrono_config(scale).variant_basic()),
+            PolicyKind::ChronoTwice => chrono(self.chrono_config(scale).variant_twice()),
+            PolicyKind::ChronoThrice => chrono(self.chrono_config(scale).variant_thrice()),
+            PolicyKind::ChronoManual => chrono(
                 // The paper configures Chrono-manual with the per-minute
                 // averages of the adaptive tuning results (~120 MB/s stable).
                 self.chrono_config(scale).variant_manual(120 * 1024 * 1024),
-            )),
+            ),
         }
     }
 
@@ -248,9 +344,10 @@ impl StandardRun {
     }
 }
 
-/// Builds a system sized `total_frames` with the paper's 25 % fast share.
-pub fn quarter_system(total_frames: u32) -> TieredSystem {
-    TieredSystem::new(SystemConfig::quarter_fast(total_frames))
+/// Builds a system sized `total_frames` on the scale's topology. On the
+/// default `dram-pmem` chain this is the paper's 25 % fast share.
+pub fn quarter_system(scale: &Scale, total_frames: u32) -> TieredSystem {
+    TieredSystem::new(scale.topology.system_config(total_frames))
 }
 
 /// Runs `make_workloads()` under `kind` at `scale` and returns the outcome.
@@ -271,7 +368,7 @@ where
         run_for: scale.run_for,
         ..Default::default()
     });
-    let mut sys_cfg = SystemConfig::quarter_fast(total_frames);
+    let mut sys_cfg = scale.topology.system_config(total_frames);
     if let Some(m) = &scale.migration {
         sys_cfg.migration = m.clone();
     }
@@ -324,6 +421,47 @@ mod tests {
         for kind in PolicyKind::ABLATION {
             let p = kind.build(&scale);
             assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn topology_parses_and_shapes_systems() {
+        assert_eq!(Topology::parse("dram-pmem"), Some(Topology::DramPmem));
+        assert_eq!(Topology::parse("dram-cxl"), Some(Topology::DramCxl));
+        assert_eq!(Topology::parse("three-tier"), Some(Topology::ThreeTier));
+        assert_eq!(Topology::parse("four-tier"), None);
+        let cfg = Topology::ThreeTier.system_config(4096);
+        assert_eq!(cfg.num_tiers(), 3);
+        assert_eq!(cfg.total_frames(), 4096);
+        // The default shape is bit-for-bit the classic quarter split.
+        let a = Topology::DramPmem.system_config(2048);
+        assert_eq!(a.fast().frames, 512);
+        assert_eq!(a.slow().frames, 1536);
+    }
+
+    #[test]
+    fn three_tier_topology_runs_chrono_and_tpp() {
+        let scale = Scale {
+            scan_period: Nanos::from_millis(20),
+            scan_step: 512,
+            run_for: Nanos::from_millis(200),
+            topology: Topology::ThreeTier,
+            ..Scale::default_scale()
+        };
+        for kind in [PolicyKind::Chrono, PolicyKind::Tpp] {
+            let run = run_policy(kind, &scale, 4096, PageSize::Base, None, || {
+                vec![Box::new(PmbenchWorkload::new(PmbenchConfig::paper_skewed(
+                    2048, 0.7, 1,
+                )))]
+            });
+            assert!(run.result.accesses > 0, "{} did nothing", kind.name());
+            for t in 0..3u8 {
+                assert!(
+                    run.sys.used_frames(tiered_mem::TierId(t)) > 0,
+                    "{}: tier {t} empty",
+                    kind.name()
+                );
+            }
         }
     }
 

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
-//!             [--seed X] [--slots N]
+//!             [--seed X] [--slots N] [--topology dram-pmem|dram-cxl|three-tier]
 //! ```
 //!
 //! Builds `N` tenant shards with skewed popularity (zipf-0.7 working sets on
@@ -14,8 +14,9 @@
 //! invocations with different `--threads` can be diffed by eye: same seed ⇒
 //! same digest, regardless of thread count.
 
+use crate::runner::Topology;
 use sim_clock::{DetRng, Nanos};
-use tiered_mem::{PageSize, PartitionPlan, SystemConfig, TieredSystem};
+use tiered_mem::{PageSize, PartitionPlan, TierId, TieredSystem};
 use tiering_policies::{
     AdmissionConfig, DriverConfig, ShardedConfig, ShardedRunResult, ShardedSim, TenantShard,
 };
@@ -30,6 +31,12 @@ const WORKLOAD_STREAM: u64 = 0xF1EE_7000;
 /// are sized past the fast share so every tenant has promotion demand.
 const FAST_PER_TENANT: u32 = 24;
 const SLOW_PER_TENANT: u32 = 72;
+/// Three-tier split of the same 96-frame per-tenant mean: the fast share is
+/// unchanged and the classic slow share splits evenly into a CXL middle tier
+/// and a PMem backstop (each above the [`tiered_mem::MIN_SLOW_FRAMES`]
+/// partition floor), so total capacity per tenant is identical across
+/// topologies and fleet runs stay comparable.
+const THREE_TIER_PER_TENANT: [u32; 3] = [FAST_PER_TENANT, 36, 36];
 
 /// Parameters of one fleet run.
 #[derive(Debug, Clone)]
@@ -47,6 +54,8 @@ pub struct FleetConfig {
     /// Global admission-slot pool (None = `2 × tenants`, the weighted-regime
     /// boundary, so contention is visible without starving the fleet).
     pub slots: Option<usize>,
+    /// Tier chain every tenant's system is built on.
+    pub topology: Topology,
 }
 
 impl Default for FleetConfig {
@@ -58,6 +67,7 @@ impl Default for FleetConfig {
             millis: 10,
             seed: 0xF1EE_7001,
             slots: None,
+            topology: Topology::DramPmem,
         }
     }
 }
@@ -65,11 +75,13 @@ impl Default for FleetConfig {
 /// Builds the fleet's shards over a weighted partition of the shared pool.
 pub fn build_fleet(cfg: &FleetConfig) -> Vec<TenantShard> {
     let weights = tenant_weights(cfg.seed, cfg.tenants);
-    let plan = PartitionPlan::split_weighted(
-        FAST_PER_TENANT * cfg.tenants as u32,
-        SLOW_PER_TENANT * cfg.tenants as u32,
-        &weights,
-    );
+    let per_tenant: &[u32] = match cfg.topology {
+        Topology::ThreeTier => &THREE_TIER_PER_TENANT,
+        _ => &[FAST_PER_TENANT, SLOW_PER_TENANT],
+    };
+    let totals: Vec<u32> = per_tenant.iter().map(|&t| t * cfg.tenants as u32).collect();
+    let plan = PartitionPlan::split_weighted_tiers(&totals, &weights);
+    let tiers = cfg.topology.num_tiers();
     let scan_period = Nanos::from_millis(5);
     let driver = DriverConfig {
         run_for: Nanos::from_millis(cfg.millis),
@@ -78,14 +90,14 @@ pub fn build_fleet(cfg: &FleetConfig) -> Vec<TenantShard> {
     (0..cfg.tenants)
         .map(|i| {
             let part = plan.part(i);
-            let mut sys =
-                TieredSystem::new(SystemConfig::dram_pmem(part.fast_frames, part.slow_frames));
+            let tenant_frames: u32 = (0..tiers).map(|t| part.frames(TierId(t as u8))).sum();
+            let mut sys = TieredSystem::new(cfg.topology.partition_config(part));
             sys.enable_tracing(1 << 8);
             // Working set at half the tenant's partition — comfortably
             // resident, but larger than the fast share, so every tenant
             // wants more fast memory than it has and the fleet question is
             // whose promotions win the bounded slots.
-            let pages = ((part.fast_frames + part.slow_frames) / 2).max(16);
+            let pages = (tenant_frames / 2).max(16);
             let tenant_seed = DetRng::split(cfg.seed, WORKLOAD_STREAM ^ i as u64).next_u64();
             let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, tenant_seed));
             sys.add_process(w.address_space_pages(), PageSize::Base);
@@ -94,7 +106,7 @@ pub fn build_fleet(cfg: &FleetConfig) -> Vec<TenantShard> {
                 weights[i],
                 sys,
                 vec![Box::new(w) as Box<dyn Workload>],
-                cfg.policy.build_boxed(scan_period, 512),
+                cfg.policy.build_boxed_tiers(scan_period, 512, tiers),
                 driver.clone(),
             )
         })
@@ -114,7 +126,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> ShardedRunResult {
 }
 
 /// `harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
-/// [--seed X] [--slots N]`. Returns the process exit code.
+/// [--seed X] [--slots N] [--topology NAME]`. Returns the process exit code.
 pub fn run_tenants(mut args: Vec<String>) -> i32 {
     let mut cfg = FleetConfig::default();
     let mut take = |flag: &str| -> Option<String> {
@@ -161,19 +173,27 @@ pub fn run_tenants(mut args: Vec<String>) -> i32 {
         };
         cfg.policy = p;
     }
+    if let Some(v) = take("--topology") {
+        let Some(t) = Topology::parse(&v) else {
+            eprintln!("unknown topology '{v}'; one of: dram-pmem, dram-cxl, three-tier");
+            return 2;
+        };
+        cfg.topology = t;
+    }
     if let Some(unknown) = args.first() {
         eprintln!("run: unknown argument '{unknown}'");
         return 2;
     }
 
     println!(
-        "fleet: {} tenants x {} ms of {} on {} threads (seed {:#x}, {} slots)",
+        "fleet: {} tenants x {} ms of {} on {} threads (seed {:#x}, {} slots, {})",
         cfg.tenants,
         cfg.millis,
         cfg.policy.name(),
         cfg.threads,
         cfg.seed,
         cfg.slots.unwrap_or(2 * cfg.tenants),
+        cfg.topology.name(),
     );
     // lint:allow(wall-clock) CLI-only wall throughput metric; never feeds the sim
     let wall = std::time::Instant::now();

@@ -5,7 +5,7 @@
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
-//!              [--tenant-storm]
+//!              [--tenant-storm] [--three-tier]
 //! ```
 //!
 //! `verify` runs the differential determinism check for every policy, the
@@ -26,11 +26,16 @@
 //! admission hook on a deliberately tight slot pool, and a fault plan on one
 //! tenant — checked against the cross-shard invariants (global frame
 //! conservation, PFN exclusivity, per-tenant slot-flow conservation).
+//! `--three-tier` switches to the tier-chain profile: every case runs over a
+//! DRAM+CXL+PMem chain and the op mix draws migration destinations, victim
+//! pops, ageing and degradation windows across all three tiers, so the
+//! per-edge engines and the generalized residency invariants run under the
+//! oracle.
 
 use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
 use tiering_verify::{
     bless_goldens, check_goldens, determinism_digests, fuzz_one, fuzz_one_fault_storm,
-    fuzz_one_stress, metamorphic, GoldenStatus, ALL_POLICIES,
+    fuzz_one_stress, fuzz_one_three_tier, metamorphic, GoldenStatus, ALL_POLICIES,
 };
 
 /// Parses `--flag N` out of `args`; returns the default when absent.
@@ -127,20 +132,22 @@ pub fn run_verify(mut args: Vec<String>) -> i32 {
 }
 
 /// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
-/// [--self-test] [--migration-stress] [--fault-storm] [--tenant-storm]`.
-/// Returns the process exit code.
+/// [--self-test] [--migration-stress] [--fault-storm] [--tenant-storm]
+/// [--three-tier]`. Returns the process exit code.
 pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let stress = take_bool_flag(&mut args, "--migration-stress");
     let fault_storm = take_bool_flag(&mut args, "--fault-storm");
     let tenant_storm = take_bool_flag(&mut args, "--tenant-storm");
-    if [stress, fault_storm, tenant_storm]
+    let three_tier = take_bool_flag(&mut args, "--three-tier");
+    if [stress, fault_storm, tenant_storm, three_tier]
         .iter()
         .filter(|&&b| b)
         .count()
         > 1
     {
         eprintln!(
-            "fuzz: --migration-stress, --fault-storm and --tenant-storm are mutually exclusive"
+            "fuzz: --migration-stress, --fault-storm, --tenant-storm and --three-tier \
+             are mutually exclusive"
         );
         return 2;
     }
@@ -152,6 +159,8 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
         0xFA17_0000
     } else if tenant_storm {
         0x7E4A_0000
+    } else if three_tier {
+        0x37E1_0000
     } else {
         0x5EED_0000
     };
@@ -182,6 +191,8 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
             fuzz_one_stress(seed, ops)
         } else if fault_storm {
             fuzz_one_fault_storm(seed, ops)
+        } else if three_tier {
+            fuzz_one_three_tier(seed, ops)
         } else {
             fuzz_one(seed, ops)
         }
@@ -190,6 +201,8 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
         "migration-stress "
     } else if fault_storm {
         "fault-storm "
+    } else if three_tier {
+        "three-tier "
     } else {
         ""
     };

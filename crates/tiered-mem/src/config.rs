@@ -1,9 +1,9 @@
-//! System configuration: tier specifications and the kernel cost model.
+//! System configuration: the tier chain and the kernel cost model.
 
 use sim_clock::Nanos;
 
 use crate::fault::FaultPlan;
-use crate::tier::TierSpec;
+use crate::tier::{TierChain, TierSpec};
 
 /// Fixed CPU costs of kernel-side mechanisms, in simulated time.
 ///
@@ -37,10 +37,12 @@ impl Default for CostModel {
     }
 }
 
-/// Disk-backed swap behind the slow tier: the paper's overflow path
+/// Disk-backed swap behind the last managed tier: the paper's overflow path
 /// ("slow-tier pages could be swapped out to disk if necessary",
 /// Section 3.3.1). Swap is not a managed tier — no hotness tracking — just
-/// a place reclaimed pages go and major faults come from.
+/// the chain's unmanaged terminal backstop
+/// ([`crate::tier::TierChain::backstop`]): a place reclaimed pages go and
+/// major faults come from.
 #[derive(Debug, Clone)]
 pub struct SwapSpec {
     /// Major-fault service latency (NVMe-class device).
@@ -69,8 +71,8 @@ impl Default for SwapSpec {
 pub struct MigrationSpec {
     /// Maximum concurrently in-flight migration transactions.
     pub inflight_slots: usize,
-    /// Maximum queued copy time on a destination tier's bandwidth channel
-    /// before new transactions are rejected.
+    /// Maximum queued copy time on an edge's bandwidth channel before new
+    /// transactions are rejected.
     pub backlog_cap: Nanos,
 }
 
@@ -86,14 +88,10 @@ impl Default for MigrationSpec {
 /// Full system configuration.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
-    /// Fast-tier (DRAM) specification.
-    pub fast: TierSpec,
-    /// Slow-tier (NVM/CXL) specification.
-    pub slow: TierSpec,
+    /// The ordered tier chain (managed tiers, copy edges, swap backstop).
+    pub chain: TierChain,
     /// Kernel cost model.
     pub cost: CostModel,
-    /// Swap device behind the slow tier.
-    pub swap: SwapSpec,
     /// Two-phase migration engine admission control.
     pub migration: MigrationSpec,
     /// Optional deterministic fault plan (copy faults, frame poisoning,
@@ -104,30 +102,42 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
-    /// A DRAM + Optane-PMem system where the fast tier holds `fast_frames`
-    /// and the slow tier `slow_frames` base pages. The paper's testbed has a
-    /// 1:4 fast:slow capacity ratio (64 GB DRAM : 256 GB PMem, 25 % fast).
-    pub fn dram_pmem(fast_frames: u32, slow_frames: u32) -> SystemConfig {
+    /// A system over an arbitrary tier chain with default costs.
+    pub fn from_chain(chain: TierChain) -> SystemConfig {
         SystemConfig {
-            fast: TierSpec::dram(fast_frames),
-            slow: TierSpec::pmem(slow_frames),
+            chain,
             cost: CostModel::default(),
-            swap: SwapSpec::default(),
             migration: MigrationSpec::default(),
             fault_plan: None,
         }
     }
 
+    /// A DRAM + Optane-PMem system where the fast tier holds `fast_frames`
+    /// and the slow tier `slow_frames` base pages. The paper's testbed has a
+    /// 1:4 fast:slow capacity ratio (64 GB DRAM : 256 GB PMem, 25 % fast).
+    pub fn dram_pmem(fast_frames: u32, slow_frames: u32) -> SystemConfig {
+        SystemConfig::from_chain(TierChain::new(vec![
+            TierSpec::dram(fast_frames),
+            TierSpec::pmem(slow_frames),
+        ]))
+    }
+
     /// A DRAM + CXL-memory system with the same capacities.
     pub fn dram_cxl(fast_frames: u32, slow_frames: u32) -> SystemConfig {
-        SystemConfig {
-            fast: TierSpec::dram(fast_frames),
-            slow: TierSpec::cxl(slow_frames),
-            cost: CostModel::default(),
-            swap: SwapSpec::default(),
-            migration: MigrationSpec::default(),
-            fault_plan: None,
-        }
+        SystemConfig::from_chain(TierChain::new(vec![
+            TierSpec::dram(fast_frames),
+            TierSpec::cxl(slow_frames),
+        ]))
+    }
+
+    /// A hot/warm/cold three-tier system: DRAM on top, CXL memory in the
+    /// middle, PMem at the bottom, swap behind it.
+    pub fn three_tier(fast_frames: u32, mid_frames: u32, slow_frames: u32) -> SystemConfig {
+        SystemConfig::from_chain(TierChain::new(vec![
+            TierSpec::dram(fast_frames),
+            TierSpec::cxl(mid_frames),
+            TierSpec::pmem(slow_frames),
+        ]))
     }
 
     /// The paper's 25 % fast-tier ratio over a given total frame budget.
@@ -136,9 +146,29 @@ impl SystemConfig {
         SystemConfig::dram_pmem(fast, total_frames - fast)
     }
 
-    /// Total capacity in frames across both tiers.
+    /// The fastest (top) tier's spec — compat accessor for two-tier callers.
+    pub fn fast(&self) -> &TierSpec {
+        &self.chain.tiers[0]
+    }
+
+    /// The second tier's spec — the "slow" tier of the two-tier shape.
+    pub fn slow(&self) -> &TierSpec {
+        &self.chain.tiers[1]
+    }
+
+    /// The swap backstop behind the last managed tier.
+    pub fn swap(&self) -> &SwapSpec {
+        &self.chain.backstop
+    }
+
+    /// Number of managed tiers in the chain.
+    pub fn num_tiers(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// Total capacity in frames across all managed tiers.
     pub fn total_frames(&self) -> u32 {
-        self.fast.frames + self.slow.frames
+        self.chain.total_frames()
     }
 }
 
@@ -149,9 +179,10 @@ mod tests {
     #[test]
     fn quarter_fast_splits_25_75() {
         let cfg = SystemConfig::quarter_fast(1000);
-        assert_eq!(cfg.fast.frames, 250);
-        assert_eq!(cfg.slow.frames, 750);
+        assert_eq!(cfg.fast().frames, 250);
+        assert_eq!(cfg.slow().frames, 750);
         assert_eq!(cfg.total_frames(), 1000);
+        assert_eq!(cfg.num_tiers(), 2);
     }
 
     #[test]
@@ -166,10 +197,33 @@ mod tests {
     fn dram_cxl_slow_tier_is_symmetric_ish() {
         let cfg = SystemConfig::dram_cxl(100, 400);
         let asym =
-            cfg.slow.write_latency.as_nanos() as f64 / cfg.slow.read_latency.as_nanos() as f64;
+            cfg.slow().write_latency.as_nanos() as f64 / cfg.slow().read_latency.as_nanos() as f64;
         assert!(
             asym < 1.5,
             "CXL should not have Optane-scale write asymmetry"
         );
+    }
+
+    #[test]
+    fn three_tier_orders_fast_to_slow() {
+        let cfg = SystemConfig::three_tier(64, 128, 256);
+        assert_eq!(cfg.num_tiers(), 3);
+        let lat: Vec<u64> = cfg
+            .chain
+            .tiers
+            .iter()
+            .map(|t| t.read_latency.as_nanos())
+            .collect();
+        assert!(lat[0] < lat[1] && lat[1] < lat[2]);
+        assert_eq!(cfg.total_frames(), 64 + 128 + 256);
+    }
+
+    #[test]
+    fn swap_lives_in_the_chain_backstop() {
+        let cfg = SystemConfig::dram_pmem(10, 40);
+        // Satellite check: the defaults the old SystemConfig.swap field
+        // carried are preserved in the backstop, digests included.
+        assert_eq!(cfg.swap().fault_latency, Nanos::from_micros(8));
+        assert_eq!(cfg.swap().writeback_per_page, Nanos::from_micros(2));
     }
 }

@@ -254,23 +254,23 @@ mod tests {
     fn degrade_windows_compose_and_expire() {
         let mut s = FaultState::new(FaultPlan::inert(0));
         s.add_degrade_window(DegradeWindow {
-            tier: TierId::Fast,
+            tier: TierId::FAST,
             from: Nanos(100),
             until: Nanos(200),
             cost_multiplier: 2.0,
         });
         s.add_degrade_window(DegradeWindow {
-            tier: TierId::Fast,
+            tier: TierId::FAST,
             from: Nanos(150),
             until: Nanos(300),
             cost_multiplier: 3.0,
         });
-        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(50)), 1.0);
-        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(120)), 2.0);
-        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(160)), 6.0);
-        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(250)), 3.0);
-        assert_eq!(s.cost_multiplier(TierId::Fast, Nanos(300)), 1.0);
-        assert_eq!(s.cost_multiplier(TierId::Slow, Nanos(160)), 1.0);
+        assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(50)), 1.0);
+        assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(120)), 2.0);
+        assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(160)), 6.0);
+        assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(250)), 3.0);
+        assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(300)), 1.0);
+        assert_eq!(s.cost_multiplier(TierId::SLOW, Nanos(160)), 1.0);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 #![warn(missing_docs)]
-//! Two-tier physical memory substrate for the Chrono reproduction.
+//! N-tier physical memory substrate for the Chrono reproduction.
 //!
 //! This crate models everything the paper's kernel mechanisms touch:
 //! per-process page tables with software PTEs ([`page::PageFlags`] carries
-//! `PROT_NONE`, accessed/dirty, `PG_probed`, `demoted`), per-tier frame
-//! tables with reverse maps, Linux-style active/inactive LRU lists,
-//! free-memory watermarks including Chrono's `pro` watermark, a migration
-//! engine with bandwidth accounting, and a latency cost model calibrated to
-//! DRAM vs. Optane-PMem characteristics.
+//! `PROT_NONE`, accessed/dirty, `PG_probed`, `demoted`, and a two-bit
+//! residency tier index), an ordered [`tier::TierChain`] of managed tiers
+//! with per-tier frame tables and reverse maps, Linux-style active/inactive
+//! LRU lists, free-memory watermarks including Chrono's `pro` watermark, a
+//! migration engine with per-edge bandwidth accounting, and a latency cost
+//! model calibrated to DRAM vs. CXL vs. Optane-PMem characteristics. The
+//! classic two-tier shape (`SystemConfig::dram_pmem`) is the degenerate
+//! two-element chain and behaves bit-identically to the historical
+//! fast/slow pair.
 //!
 //! Policies (crate `tiering-policies`, `chrono-core`) drive a
 //! [`TieredSystem`] through its mechanism API; workload generators (crate
@@ -22,7 +26,7 @@
 //! let pid = sys.add_process(128, PageSize::Base);
 //! let r = sys.access(pid, Vpn(0), false);
 //! assert!(r.demand_fault);
-//! assert_eq!(r.tier, TierId::Fast); // top-tier-first allocation
+//! assert_eq!(r.tier, TierId::FAST); // top-tier-first allocation
 //! ```
 
 pub mod addr;
@@ -53,5 +57,5 @@ pub use system::{
     scan_budget_pages, AccessResult, MigrateError, MigrateMode, MigrationFailure, Process,
     TieredSystem,
 };
-pub use tier::{TierId, TierSpec};
+pub use tier::{EdgeSpec, TierChain, TierId, TierSpec, MAX_TIERS};
 pub use watermark::Watermarks;

@@ -4,8 +4,8 @@
 //! races with application writes and must be able to abort. A transaction
 //! is opened by `TieredSystem::begin_migrate`, which reserves the
 //! destination frames, marks the mapping unit's head with
-//! [`crate::PageFlags::MIGRATING`], and enqueues the copy on the
-//! destination tier's bandwidth channel (a FIFO — copies are serviced in
+//! [`crate::PageFlags::MIGRATING`], and enqueues the copy on the bandwidth
+//! channel of the directed edge it crosses (a FIFO — copies are serviced in
 //! admission order). The PTE keeps pointing at the *old* frames while the
 //! copy is in flight, so reads hit the old copy; a write aborts the
 //! transaction once its copy is *active* on the channel (a write to a
@@ -13,6 +13,14 @@
 //! reads them, so it merely re-dirties the unit);
 //! `TieredSystem::complete_due_migrations` retires due transactions,
 //! flipping the PTE to the reserved frames.
+//!
+//! Channels are keyed by *directed adjacent edge* of the tier chain: each
+//! pair of adjacent tiers has an up channel (promotions into the faster
+//! tier) and a down channel (demotions into the slower one), modelling
+//! independent copy engines per link direction. On a two-tier chain that is
+//! exactly the historical per-destination-tier pair — the up edge into tier
+//! 0 is channel 0 and the down edge into tier 1 is channel 1 — so admission
+//! order, backlog accounting and retire order are unchanged there.
 //!
 //! Admission control (TierBPF-style): the table is bounded by
 //! [`crate::config::MigrationSpec::inflight_slots`] and each channel's
@@ -60,42 +68,59 @@ pub struct MigrationTxn {
     pub mode: MigrateMode,
 }
 
-/// Bounded in-flight transaction table with per-tier bandwidth FIFOs.
+/// The directed-edge channel index for an adjacent migration `from → to`.
+///
+/// Edges between tiers `k` and `k+1` occupy channels `2k` (up, into `k`)
+/// and `2k + 1` (down, into `k+1`); a chain of `n` tiers has `2(n-1)`
+/// channels. On a two-tier chain this is the old destination-tier index.
+#[inline]
+fn channel_index(from: TierId, to: TierId) -> usize {
+    debug_assert_eq!(from.0.abs_diff(to.0), 1, "migration must cross one edge");
+    2 * from.index().min(to.index()) + usize::from(to > from)
+}
+
+/// Bounded in-flight transaction table with per-edge bandwidth FIFOs.
 #[derive(Debug)]
 pub struct MigrationEngine {
     spec: MigrationSpec,
     next_id: MigrationTxnId,
-    /// Per destination tier, transactions in admission (== completion) order.
-    channels: [VecDeque<MigrationTxn>; 2],
-    /// When each destination tier's copy channel drains.
-    busy_until: [Nanos; 2],
+    /// Per directed edge, transactions in admission (== completion) order.
+    channels: Vec<VecDeque<MigrationTxn>>,
+    /// When each edge's copy channel drains.
+    busy_until: Vec<Nanos>,
     /// Reserved (allocated but not yet mapped) frames per tier.
-    reserved: [u32; 2],
-    /// Earliest `complete_at` across the two channel fronts (`Nanos::MAX`
-    /// when both are empty). Kept current by every channel mutation so the
+    reserved: Vec<u32>,
+    /// Earliest `complete_at` across all channel fronts (`Nanos::MAX` when
+    /// all are empty). Kept current by every channel mutation so the
     /// per-access [`MigrationEngine::any_due`] probe is one compare instead
-    /// of two deque-front inspections.
+    /// of per-channel deque-front inspections.
     earliest_front: Nanos,
 }
 
 impl MigrationEngine {
-    /// An empty engine with the given admission bounds.
-    pub fn new(spec: MigrationSpec) -> MigrationEngine {
+    /// An empty engine with the given admission bounds, serving a chain of
+    /// `n_tiers` managed tiers.
+    pub fn new(spec: MigrationSpec, n_tiers: usize) -> MigrationEngine {
+        debug_assert!(n_tiers >= 2);
         MigrationEngine {
             spec,
             next_id: 0,
-            channels: [VecDeque::new(), VecDeque::new()],
-            busy_until: [Nanos::ZERO, Nanos::ZERO],
-            reserved: [0, 0],
+            channels: vec![VecDeque::new(); 2 * (n_tiers - 1)],
+            busy_until: vec![Nanos::ZERO; 2 * (n_tiers - 1)],
+            reserved: vec![0; n_tiers],
             earliest_front: Nanos::MAX,
         }
     }
 
-    /// Recomputes the cached earliest front completion; O(1), called after
-    /// any mutation that can change a channel front.
+    /// Recomputes the cached earliest front completion; O(edges), called
+    /// after any mutation that can change a channel front.
     fn refresh_earliest_front(&mut self) {
-        let front = |c: &VecDeque<MigrationTxn>| c.front().map_or(Nanos::MAX, |t| t.complete_at);
-        self.earliest_front = front(&self.channels[0]).min(front(&self.channels[1]));
+        self.earliest_front = self
+            .channels
+            .iter()
+            .map(|c| c.front().map_or(Nanos::MAX, |t| t.complete_at))
+            .min()
+            .unwrap_or(Nanos::MAX);
     }
 
     /// The admission bounds the engine was built with.
@@ -113,19 +138,28 @@ impl MigrationEngine {
 
     /// Number of transactions currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.channels[0].len() + self.channels[1].len()
+        self.channels.iter().map(VecDeque::len).sum()
     }
 
-    /// Whether a new transaction may be admitted at `now` with `to` as the
-    /// destination tier (slot and backlog bounds both satisfied).
-    pub fn admits(&self, to: TierId, now: Nanos) -> bool {
+    /// Whether a new transaction may be admitted at `now` on the directed
+    /// edge `from → to` (slot and backlog bounds both satisfied).
+    pub fn admits(&self, from: TierId, to: TierId, now: Nanos) -> bool {
         self.in_flight() < self.spec.inflight_slots
-            && self.backlog(to, now) <= self.spec.backlog_cap
+            && self.backlog(from, to, now) <= self.spec.backlog_cap
     }
 
-    /// Outstanding copy backlog on a destination tier's channel.
-    pub fn backlog(&self, to: TierId, now: Nanos) -> Nanos {
-        self.busy_until[to.index()].saturating_sub(now)
+    /// Outstanding copy backlog on the directed edge `from → to`.
+    pub fn backlog(&self, from: TierId, to: TierId, now: Nanos) -> Nanos {
+        self.busy_until[channel_index(from, to)].saturating_sub(now)
+    }
+
+    /// The largest outstanding backlog across all edge channels.
+    pub fn max_backlog(&self, now: Nanos) -> Nanos {
+        self.busy_until
+            .iter()
+            .map(|b| b.saturating_sub(now))
+            .max()
+            .unwrap_or(Nanos::ZERO)
     }
 
     /// Reserved destination frames held by in-flight transactions in `tier`.
@@ -133,10 +167,10 @@ impl MigrationEngine {
         self.reserved[tier.index()]
     }
 
-    /// Iterates all in-flight transactions (fast-channel first, then slow;
-    /// admission order within a channel) — deterministic.
+    /// Iterates all in-flight transactions (channel order — top edge's up
+    /// channel first — then admission order within a channel): deterministic.
     pub fn iter(&self) -> impl Iterator<Item = &MigrationTxn> {
-        self.channels[0].iter().chain(self.channels[1].iter())
+        self.channels.iter().flatten()
     }
 
     /// The transaction migrating the unit headed by `(pid, head)`, if any.
@@ -156,10 +190,10 @@ impl MigrationEngine {
             .any(|t| t.pid == pid && t.head == head && t.start_at <= now)
     }
 
-    /// Admits a transaction whose copy costs `cost` on the destination
-    /// channel. `Sync` transactions are due immediately (the waiter already
-    /// paid for the copy in its own context); `Async` ones queue FIFO behind
-    /// the channel's backlog. Returns the transaction id.
+    /// Admits a transaction whose copy costs `cost` on the edge channel.
+    /// `Sync` transactions are due immediately (the waiter already paid for
+    /// the copy in its own context); `Async` ones queue FIFO behind the
+    /// channel's backlog. Returns the transaction id.
     ///
     /// The caller has already performed admission checks ([`Self::admits`])
     /// and reserved `dest_pfns` in the destination frame table.
@@ -179,17 +213,18 @@ impl MigrationEngine {
         debug_assert_eq!(dest_pfns.len(), unit as usize);
         let id = self.next_id;
         self.next_id += 1;
+        let chan = channel_index(from, to);
         let (start_at, complete_at) = match mode {
             MigrateMode::Sync(_) => (now, now),
             MigrateMode::Async => {
-                let start = self.busy_until[to.index()].max(now);
+                let start = self.busy_until[chan].max(now);
                 let done = start + cost;
-                self.busy_until[to.index()] = done;
+                self.busy_until[chan] = done;
                 (start, done)
             }
         };
         self.reserved[to.index()] += unit;
-        self.channels[to.index()].push_back(MigrationTxn {
+        self.channels[chan].push_back(MigrationTxn {
             id,
             pid,
             head,
@@ -218,22 +253,24 @@ impl MigrationEngine {
     /// Removes and returns the transaction with the earliest `complete_at`
     /// that is due at `now`, releasing its reservation accounting (the
     /// caller maps or frees the reserved frames). Ties break toward the
-    /// fast channel so the retire order is deterministic.
+    /// lowest channel index so the retire order is deterministic; on a
+    /// two-tier chain that is the historical fast-channel-first order.
     pub fn pop_due(&mut self, now: Nanos) -> Option<MigrationTxn> {
-        let due =
-            |c: &VecDeque<MigrationTxn>| c.front().map(|t| t.complete_at).filter(|&t| t <= now);
-        let chosen = match (due(&self.channels[0]), due(&self.channels[1])) {
-            (Some(f), Some(s)) => {
-                if f <= s {
-                    0
-                } else {
-                    1
-                }
-            }
-            (Some(_), None) => 0,
-            (None, Some(_)) => 1,
-            (None, None) => return None,
-        };
+        let chosen = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.front()
+                    .map(|t| t.complete_at)
+                    .filter(|&t| t <= now)
+                    .map(|t| (i, t))
+            })
+            // min_by_key on (complete_at, index) keeps the first (lowest
+            // index) channel among ties because min_by_key keeps the
+            // earliest element on equal keys.
+            .min_by_key(|&(_, t)| t)
+            .map(|(i, _)| i)?;
         let txn = self.channels[chosen]
             .pop_front()
             .expect("front checked due");
@@ -264,17 +301,24 @@ mod tests {
     use super::*;
 
     fn eng(slots: usize, cap_millis: u64) -> MigrationEngine {
-        MigrationEngine::new(MigrationSpec {
-            inflight_slots: slots,
-            backlog_cap: Nanos::from_millis(cap_millis),
-        })
+        MigrationEngine::new(
+            MigrationSpec {
+                inflight_slots: slots,
+                backlog_cap: Nanos::from_millis(cap_millis),
+            },
+            2,
+        )
+    }
+
+    fn other(t: TierId) -> TierId {
+        TierId(1 - t.0)
     }
 
     fn begin_one(e: &mut MigrationEngine, id_vpn: u32, to: TierId, cost: Nanos) -> MigrationTxnId {
         e.begin(
             ProcessId(0),
             Vpn(id_vpn),
-            to.other(),
+            other(to),
             to,
             1,
             vec![Pfn(id_vpn)],
@@ -285,13 +329,33 @@ mod tests {
     }
 
     #[test]
+    fn two_tier_channels_match_destination_indexing() {
+        // Byte-compat contract: on two tiers the directed-edge channels are
+        // exactly the historical per-destination pair.
+        assert_eq!(channel_index(TierId::SLOW, TierId::FAST), 0);
+        assert_eq!(channel_index(TierId::FAST, TierId::SLOW), 1);
+        // Deeper edges extend past them without renumbering.
+        assert_eq!(channel_index(TierId(2), TierId(1)), 2);
+        assert_eq!(channel_index(TierId(1), TierId(2)), 3);
+        assert_eq!(channel_index(TierId(3), TierId(2)), 4);
+        assert_eq!(channel_index(TierId(2), TierId(3)), 5);
+    }
+
+    #[test]
     fn channels_are_fifo_and_backlog_accumulates() {
         let mut e = eng(8, 100);
-        let a = begin_one(&mut e, 1, TierId::Fast, Nanos(100));
-        let b = begin_one(&mut e, 2, TierId::Fast, Nanos(100));
+        let a = begin_one(&mut e, 1, TierId::FAST, Nanos(100));
+        let b = begin_one(&mut e, 2, TierId::FAST, Nanos(100));
         assert_eq!(e.in_flight(), 2);
-        assert_eq!(e.backlog(TierId::Fast, Nanos::ZERO), Nanos(200));
-        assert_eq!(e.backlog(TierId::Slow, Nanos::ZERO), Nanos::ZERO);
+        assert_eq!(
+            e.backlog(TierId::SLOW, TierId::FAST, Nanos::ZERO),
+            Nanos(200)
+        );
+        assert_eq!(
+            e.backlog(TierId::FAST, TierId::SLOW, Nanos::ZERO),
+            Nanos::ZERO
+        );
+        assert_eq!(e.max_backlog(Nanos::ZERO), Nanos(200));
         assert!(e.pop_due(Nanos(99)).is_none());
         assert_eq!(e.pop_due(Nanos(100)).unwrap().id, a);
         assert!(e.pop_due(Nanos(100)).is_none());
@@ -302,31 +366,45 @@ mod tests {
     #[test]
     fn pop_due_orders_across_channels() {
         let mut e = eng(8, 100);
-        let slow = begin_one(&mut e, 1, TierId::Slow, Nanos(50));
-        let fast = begin_one(&mut e, 2, TierId::Fast, Nanos(80));
+        let slow = begin_one(&mut e, 1, TierId::SLOW, Nanos(50));
+        let fast = begin_one(&mut e, 2, TierId::FAST, Nanos(80));
         assert_eq!(e.pop_due(Nanos(1000)).unwrap().id, slow);
         assert_eq!(e.pop_due(Nanos(1000)).unwrap().id, fast);
     }
 
     #[test]
+    fn pop_due_tie_breaks_toward_lowest_channel() {
+        let mut e = eng(8, 100);
+        let down = begin_one(&mut e, 1, TierId::SLOW, Nanos(60));
+        let up = begin_one(&mut e, 2, TierId::FAST, Nanos(60));
+        // Same completion instant on both channels: the up channel (index 0)
+        // — historically the fast channel — wins.
+        assert_eq!(e.pop_due(Nanos(60)).unwrap().id, up);
+        assert_eq!(e.pop_due(Nanos(60)).unwrap().id, down);
+    }
+
+    #[test]
     fn admission_bounds() {
         let mut e = eng(2, 0);
-        assert!(e.admits(TierId::Fast, Nanos::ZERO));
-        begin_one(&mut e, 1, TierId::Fast, Nanos(10));
+        assert!(e.admits(TierId::SLOW, TierId::FAST, Nanos::ZERO));
+        begin_one(&mut e, 1, TierId::FAST, Nanos(10));
         // Zero backlog cap: the queued copy already exceeds it.
-        assert!(!e.admits(TierId::Fast, Nanos::ZERO));
+        assert!(!e.admits(TierId::SLOW, TierId::FAST, Nanos::ZERO));
         // The other channel is idle, but a second txn still fits the slots.
-        assert!(e.admits(TierId::Slow, Nanos::ZERO));
-        begin_one(&mut e, 2, TierId::Slow, Nanos(10));
-        assert!(!e.admits(TierId::Slow, Nanos::ZERO), "slots exhausted");
+        assert!(e.admits(TierId::FAST, TierId::SLOW, Nanos::ZERO));
+        begin_one(&mut e, 2, TierId::SLOW, Nanos(10));
+        assert!(
+            !e.admits(TierId::FAST, TierId::SLOW, Nanos::ZERO),
+            "slots exhausted"
+        );
     }
 
     #[test]
     fn any_due_cache_tracks_begin_pop_and_remove() {
         let mut e = eng(8, 100);
         assert!(!e.any_due(Nanos(u64::MAX - 1)), "empty engine never due");
-        let a = begin_one(&mut e, 1, TierId::Fast, Nanos(100));
-        let b = begin_one(&mut e, 2, TierId::Slow, Nanos(40));
+        let a = begin_one(&mut e, 1, TierId::FAST, Nanos(100));
+        let b = begin_one(&mut e, 2, TierId::SLOW, Nanos(40));
         assert!(!e.any_due(Nanos(39)));
         assert!(e.any_due(Nanos(40)), "slow front due at its completion");
         assert_eq!(e.pop_due(Nanos(40)).unwrap().id, b);
@@ -339,14 +417,17 @@ mod tests {
     #[test]
     fn remove_releases_reservation_without_refunding_bandwidth() {
         let mut e = eng(8, 100);
-        let id = begin_one(&mut e, 7, TierId::Fast, Nanos(300));
-        assert_eq!(e.reserved_frames(TierId::Fast), 1);
+        let id = begin_one(&mut e, 7, TierId::FAST, Nanos(300));
+        assert_eq!(e.reserved_frames(TierId::FAST), 1);
         let txn = e.remove(id).unwrap();
         assert_eq!(txn.dest_pfns, vec![Pfn(7)]);
-        assert_eq!(e.reserved_frames(TierId::Fast), 0);
+        assert_eq!(e.reserved_frames(TierId::FAST), 0);
         assert_eq!(e.in_flight(), 0);
         // Bandwidth stays consumed.
-        assert_eq!(e.backlog(TierId::Fast, Nanos::ZERO), Nanos(300));
+        assert_eq!(
+            e.backlog(TierId::SLOW, TierId::FAST, Nanos::ZERO),
+            Nanos(300)
+        );
         assert!(e.remove(id).is_none());
     }
 
@@ -356,15 +437,18 @@ mod tests {
         e.begin(
             ProcessId(1),
             Vpn(3),
-            TierId::Slow,
-            TierId::Fast,
+            TierId::SLOW,
+            TierId::FAST,
             1,
             vec![Pfn(0)],
             MigrateMode::Sync(ProcessId(1)),
             Nanos(500),
             Nanos(40),
         );
-        assert_eq!(e.backlog(TierId::Fast, Nanos(40)), Nanos::ZERO);
+        assert_eq!(
+            e.backlog(TierId::SLOW, TierId::FAST, Nanos(40)),
+            Nanos::ZERO
+        );
         let txn = e.pop_due(Nanos(40)).unwrap();
         assert_eq!(txn.complete_at, Nanos(40));
     }
@@ -372,9 +456,60 @@ mod tests {
     #[test]
     fn find_locates_in_flight_heads() {
         let mut e = eng(8, 100);
-        let id = begin_one(&mut e, 42, TierId::Fast, Nanos(10));
+        let id = begin_one(&mut e, 42, TierId::FAST, Nanos(10));
         assert_eq!(e.find(ProcessId(0), Vpn(42)), Some(id));
         assert_eq!(e.find(ProcessId(0), Vpn(41)), None);
         assert_eq!(e.find(ProcessId(1), Vpn(42)), None);
+    }
+
+    #[test]
+    fn three_tier_edges_are_independent_channels() {
+        let mut e = MigrationEngine::new(
+            MigrationSpec {
+                inflight_slots: 8,
+                backlog_cap: Nanos::from_millis(100),
+            },
+            3,
+        );
+        // One copy on each directed edge of the 3-chain.
+        e.begin(
+            ProcessId(0),
+            Vpn(1),
+            TierId(2),
+            TierId(1),
+            1,
+            vec![Pfn(1)],
+            MigrateMode::Async,
+            Nanos(70),
+            Nanos::ZERO,
+        );
+        e.begin(
+            ProcessId(0),
+            Vpn(2),
+            TierId(1),
+            TierId(2),
+            1,
+            vec![Pfn(2)],
+            MigrateMode::Async,
+            Nanos(90),
+            Nanos::ZERO,
+        );
+        let top = begin_one(&mut e, 3, TierId::FAST, Nanos(30));
+        // Backlogs accumulate per edge, not per destination tier.
+        assert_eq!(e.backlog(TierId(2), TierId(1), Nanos::ZERO), Nanos(70));
+        assert_eq!(e.backlog(TierId(1), TierId(2), Nanos::ZERO), Nanos(90));
+        assert_eq!(
+            e.backlog(TierId::SLOW, TierId::FAST, Nanos::ZERO),
+            Nanos(30)
+        );
+        assert_eq!(e.max_backlog(Nanos::ZERO), Nanos(90));
+        // Each transaction reserves its destination frames in that tier.
+        assert_eq!(e.reserved_frames(TierId::FAST), 1);
+        assert_eq!(e.reserved_frames(TierId(1)), 1);
+        assert_eq!(e.reserved_frames(TierId(2)), 1);
+        // Earliest completion wins regardless of which edge carries it.
+        assert_eq!(e.pop_due(Nanos(1000)).unwrap().id, top);
+        assert_eq!(e.pop_due(Nanos(1000)).unwrap().head, Vpn(1));
+        assert_eq!(e.pop_due(Nanos(1000)).unwrap().head, Vpn(2));
     }
 }

@@ -31,8 +31,12 @@ impl PageFlags {
     pub const HUGE_HEAD: u16 = 1 << 6;
     /// The 2 MiB block containing this page has been split to base pages.
     pub const HUGE_SPLIT: u16 = 1 << 7;
-    /// The page currently resides in the fast tier.
-    pub const IN_FAST: u16 = 1 << 8;
+    /// Low bit of the residency tier index, stored inverted: SET for tiers
+    /// 0 and 2, CLEAR for tiers 1 and 3. The inversion keeps two-tier flag
+    /// words bit-identical to the historical `IN_FAST` encoding (fast = bit
+    /// set, slow = bit clear) and makes an all-zero entry decode as tier 1
+    /// (slow), exactly as before.
+    pub const TIER_LO: u16 = 1 << 8;
     /// The page sits on the active (vs. inactive) LRU list.
     pub const LRU_ACTIVE: u16 = 1 << 9;
     /// Policy scratch bit (e.g. Chrono promotion-candidate membership).
@@ -47,11 +51,15 @@ impl PageFlags {
     /// The frame under this mapping unit took an uncorrectable error; the
     /// page awaits soft-offline (migrate away, then quarantine the frame).
     pub const POISONED: u16 = 1 << 14;
+    /// High bit of the residency tier index: SET for tiers 2 and 3. Clear in
+    /// every two-tier flag word, so those words are unchanged from the days
+    /// this bit did not exist.
+    pub const TIER_HI: u16 = 1 << 15;
 
-    /// Number of defined flag bits ([`PageFlags::POISONED`] is the highest).
-    pub const BITS: u32 = 15;
+    /// Number of defined flag bits ([`PageFlags::TIER_HI`] is the highest).
+    pub const BITS: u32 = 16;
     /// Mask covering every defined flag bit.
-    pub const MASK: u16 = (1 << Self::BITS) - 1;
+    pub const MASK: u16 = u16::MAX;
     /// Display names of the defined flag bits, indexed by bit position.
     pub const NAMES: [&'static str; Self::BITS as usize] = [
         "PRESENT",
@@ -62,17 +70,19 @@ impl PageFlags {
         "DEMOTED",
         "HUGE_HEAD",
         "HUGE_SPLIT",
-        "IN_FAST",
+        "TIER_LO",
         "LRU_ACTIVE",
         "CANDIDATE",
         "POLICY_BIT",
         "SWAPPED",
         "MIGRATING",
         "POISONED",
+        "TIER_HI",
     ];
 
     /// Constructs a flag word from raw bits. Bits above [`PageFlags::MASK`]
-    /// must be zero.
+    /// must be zero (vacuous while all 16 bits are defined; kept so the
+    /// assertion returns if a bit is ever retired).
     #[inline]
     pub fn from_bits(bits: u16) -> PageFlags {
         debug_assert_eq!(bits & !Self::MASK, 0, "undefined PageFlags bits set");
@@ -127,22 +137,28 @@ impl PageFlags {
         self.0 &= !mask;
     }
 
-    /// The tier this page resides in, decoded from [`PageFlags::IN_FAST`].
+    /// The residency tier, decoded from the two tier-index bits
+    /// ([`PageFlags::TIER_LO`], inverted, and [`PageFlags::TIER_HI`]).
     #[inline]
     pub fn tier(self) -> TierId {
-        if self.has(Self::IN_FAST) {
-            TierId::Fast
-        } else {
-            TierId::Slow
-        }
+        let lo = u8::from(self.0 & Self::TIER_LO == 0);
+        let hi = u8::from(self.0 & Self::TIER_HI != 0);
+        TierId(hi << 1 | lo)
     }
 
-    /// Encodes the tier into [`PageFlags::IN_FAST`].
+    /// Encodes the tier index into the two tier bits.
     #[inline]
     pub fn set_tier(&mut self, tier: TierId) {
-        match tier {
-            TierId::Fast => self.set(Self::IN_FAST),
-            TierId::Slow => self.clear(Self::IN_FAST),
+        debug_assert!((tier.index()) < crate::tier::MAX_TIERS);
+        if tier.0 & 1 == 0 {
+            self.set(Self::TIER_LO);
+        } else {
+            self.clear(Self::TIER_LO);
+        }
+        if tier.0 >> 1 != 0 {
+            self.set(Self::TIER_HI);
+        } else {
+            self.clear(Self::TIER_HI);
         }
     }
 }
@@ -199,6 +215,7 @@ impl PageEntry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tier::MAX_TIERS;
 
     #[test]
     fn flags_set_and_clear() {
@@ -224,18 +241,37 @@ mod tests {
     #[test]
     fn tier_encoding_roundtrips() {
         let mut f = PageFlags::default();
-        assert_eq!(f.tier(), TierId::Slow);
-        f.set_tier(TierId::Fast);
-        assert_eq!(f.tier(), TierId::Fast);
-        f.set_tier(TierId::Slow);
-        assert_eq!(f.tier(), TierId::Slow);
+        assert_eq!(f.tier(), TierId::SLOW);
+        for i in 0..MAX_TIERS as u8 {
+            f.set_tier(TierId(i));
+            assert_eq!(f.tier(), TierId(i));
+        }
+        f.set_tier(TierId::FAST);
+        assert_eq!(f.tier(), TierId::FAST);
+    }
+
+    #[test]
+    fn two_tier_words_match_historical_in_fast_encoding() {
+        // Byte-compat contract: encoding tiers 0/1 must produce exactly the
+        // flag words the old single-bit IN_FAST (= bit 8) scheme produced,
+        // so every committed two-tier golden replays unchanged.
+        let mut f = PageFlags::from_bits(PageFlags::PRESENT);
+        f.set_tier(TierId::FAST);
+        assert_eq!(f.bits(), PageFlags::PRESENT | 1 << 8);
+        f.set_tier(TierId::SLOW);
+        assert_eq!(f.bits(), PageFlags::PRESENT);
+        // Deep tiers use the new high bit and never perturb other flags.
+        f.set_tier(TierId(2));
+        assert_eq!(f.bits(), PageFlags::PRESENT | 1 << 8 | 1 << 15);
+        f.set_tier(TierId(3));
+        assert_eq!(f.bits(), PageFlags::PRESENT | 1 << 15);
     }
 
     #[test]
     fn bits_roundtrip_and_describe() {
         for bits in [
             0u16,
-            PageFlags::PRESENT | PageFlags::IN_FAST,
+            PageFlags::PRESENT | PageFlags::TIER_LO,
             PageFlags::MASK,
         ] {
             assert_eq!(PageFlags::from_bits(bits).bits(), bits);
@@ -256,6 +292,8 @@ mod tests {
         assert!(!e.present());
         assert!(e.pfn.is_none());
         assert_eq!(e.policy_word, 0);
+        // An all-zero entry still decodes as the historical default tier.
+        assert_eq!(e.tier(), TierId::SLOW);
     }
 
     #[test]

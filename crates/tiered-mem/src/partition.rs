@@ -1,6 +1,6 @@
 //! Mutex-free partitioned frame allocation for multi-tenant sharding.
 //!
-//! A [`PartitionPlan`] carves one global pool of fast and slow frames into
+//! A [`PartitionPlan`] carves one global pool of frames per managed tier into
 //! per-tenant partitions. Each tenant's shard owns its partition exclusively
 //! — the shard constructs its own frame tables over local PFNs `0..n` and
 //! the plan records the global base of each range — so allocation needs no
@@ -16,37 +16,67 @@
 //! ties broken by tenant id, and a per-tenant floor so every tenant can hold
 //! at least a few resident pages plus working watermarks.
 
+use crate::tier::{TierId, MAX_TIERS};
+
 /// Minimum fast-tier frames any tenant partition receives (watermark floor).
 pub const MIN_FAST_FRAMES: u32 = 16;
-/// Minimum slow-tier frames any tenant partition receives.
+/// Minimum frames any tenant partition receives in each lower tier.
 pub const MIN_SLOW_FRAMES: u32 = 32;
 
-/// One tenant's slice of the global frame space.
+/// One tenant's slice of the global frame space: a contiguous range per
+/// managed tier. Stays `Copy` — fixed-size arrays sized by [`MAX_TIERS`],
+/// with slots past the chain length zero.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FramePartition {
     /// Owning tenant (index into the plan).
     pub tenant: u32,
-    /// Fast-tier frames in this partition.
-    pub fast_frames: u32,
-    /// Slow-tier frames in this partition.
-    pub slow_frames: u32,
-    /// Global PFN of this partition's first fast frame.
-    pub fast_base: u64,
-    /// Global PFN of this partition's first slow frame.
-    pub slow_base: u64,
+    frames: [u32; MAX_TIERS],
+    bases: [u64; MAX_TIERS],
+    ntiers: u8,
 }
 
 impl FramePartition {
+    /// Number of managed tiers this partition spans.
+    pub fn num_tiers(&self) -> usize {
+        self.ntiers as usize
+    }
+
+    /// Frames this partition holds in `tier`.
+    pub fn frames(&self, tier: TierId) -> u32 {
+        debug_assert!(tier.index() < self.num_tiers());
+        self.frames[tier.index()]
+    }
+
+    /// Global PFN of this partition's first frame in `tier`.
+    pub fn base(&self, tier: TierId) -> u64 {
+        debug_assert!(tier.index() < self.num_tiers());
+        self.bases[tier.index()]
+    }
+
+    /// Translates a shard-local PFN in `tier` to its global frame number.
+    pub fn global_pfn(&self, tier: TierId, local: u32) -> u64 {
+        debug_assert!(local < self.frames(tier), "local PFN outside partition");
+        self.bases[tier.index()] + local as u64
+    }
+
+    /// Fast-tier (tier 0) frame count — two-tier compat accessor.
+    pub fn fast_frames(&self) -> u32 {
+        self.frames(TierId::FAST)
+    }
+
+    /// Slow-tier (tier 1) frame count — two-tier compat accessor.
+    pub fn slow_frames(&self) -> u32 {
+        self.frames(TierId::SLOW)
+    }
+
     /// Translates a shard-local fast-tier PFN to its global frame number.
     pub fn global_fast_pfn(&self, local: u32) -> u64 {
-        debug_assert!(local < self.fast_frames, "local PFN outside partition");
-        self.fast_base + local as u64
+        self.global_pfn(TierId::FAST, local)
     }
 
     /// Translates a shard-local slow-tier PFN to its global frame number.
     pub fn global_slow_pfn(&self, local: u32) -> u64 {
-        debug_assert!(local < self.slow_frames, "local PFN outside partition");
-        self.slow_base + local as u64
+        self.global_pfn(TierId::SLOW, local)
     }
 }
 
@@ -54,8 +84,8 @@ impl FramePartition {
 #[derive(Debug, Clone)]
 pub struct PartitionPlan {
     parts: Vec<FramePartition>,
-    total_fast: u32,
-    total_slow: u32,
+    totals: [u32; MAX_TIERS],
+    ntiers: u8,
 }
 
 /// Largest-remainder apportionment of `total` units across `weights`, with a
@@ -92,31 +122,58 @@ fn apportion(total: u32, weights: &[u64], min: u32) -> Vec<u32> {
 }
 
 impl PartitionPlan {
-    /// Splits `total_fast`/`total_slow` frames across `weights.len()`
-    /// tenants proportionally to `weights` (zero weights count as one), with
-    /// the [`MIN_FAST_FRAMES`]/[`MIN_SLOW_FRAMES`] floors. Panics if the
-    /// pools cannot cover the floors.
-    pub fn split_weighted(total_fast: u32, total_slow: u32, weights: &[u64]) -> PartitionPlan {
-        let fast = apportion(total_fast, weights, MIN_FAST_FRAMES);
-        let slow = apportion(total_slow, weights, MIN_SLOW_FRAMES);
-        let mut parts = Vec::with_capacity(weights.len());
-        let (mut fast_base, mut slow_base) = (0u64, 0u64);
-        for (i, (&f, &s)) in fast.iter().zip(&slow).enumerate() {
+    /// Splits per-tier frame pools (`totals[t]` frames in tier `t`, one slot
+    /// per managed tier) across `weights.len()` tenants proportionally to
+    /// `weights` (zero weights count as one). Tier 0 uses the
+    /// [`MIN_FAST_FRAMES`] floor, every deeper tier [`MIN_SLOW_FRAMES`].
+    /// Panics if any pool cannot cover its floor.
+    pub fn split_weighted_tiers(totals: &[u32], weights: &[u64]) -> PartitionPlan {
+        assert!(
+            (2..=MAX_TIERS).contains(&totals.len()),
+            "a partition plan spans 2..={MAX_TIERS} tiers, got {}",
+            totals.len()
+        );
+        let ntiers = totals.len();
+        let mut shares: Vec<Vec<u32>> = Vec::with_capacity(ntiers);
+        for (t, &total) in totals.iter().enumerate() {
+            let min = if t == 0 {
+                MIN_FAST_FRAMES
+            } else {
+                MIN_SLOW_FRAMES
+            };
+            shares.push(apportion(total, weights, min));
+        }
+        let tenants = weights.len();
+        let mut parts = Vec::with_capacity(tenants);
+        let mut cursors = [0u64; MAX_TIERS];
+        for i in 0..tenants {
+            let mut frames = [0u32; MAX_TIERS];
+            let mut bases = [0u64; MAX_TIERS];
+            for (t, tier_shares) in shares.iter().enumerate() {
+                frames[t] = tier_shares[i];
+                bases[t] = cursors[t];
+                cursors[t] += u64::from(tier_shares[i]);
+            }
             parts.push(FramePartition {
                 tenant: i as u32,
-                fast_frames: f,
-                slow_frames: s,
-                fast_base,
-                slow_base,
+                frames,
+                bases,
+                ntiers: ntiers as u8,
             });
-            fast_base += f as u64;
-            slow_base += s as u64;
         }
+        let mut padded = [0u32; MAX_TIERS];
+        padded[..ntiers].copy_from_slice(totals);
         PartitionPlan {
             parts,
-            total_fast,
-            total_slow,
+            totals: padded,
+            ntiers: ntiers as u8,
         }
+    }
+
+    /// Two-tier compat: splits `total_fast`/`total_slow` frames across
+    /// `weights.len()` tenants.
+    pub fn split_weighted(total_fast: u32, total_slow: u32, weights: &[u64]) -> PartitionPlan {
+        PartitionPlan::split_weighted_tiers(&[total_fast, total_slow], weights)
     }
 
     /// Even split: every tenant weighted equally.
@@ -129,6 +186,11 @@ impl PartitionPlan {
         self.parts.len()
     }
 
+    /// Number of managed tiers the plan spans.
+    pub fn num_tiers(&self) -> usize {
+        self.ntiers as usize
+    }
+
     /// One tenant's partition.
     pub fn part(&self, tenant: usize) -> &FramePartition {
         &self.parts[tenant]
@@ -139,34 +201,42 @@ impl PartitionPlan {
         &self.parts
     }
 
-    /// Global fast-tier frames the plan was built over.
-    pub fn total_fast(&self) -> u32 {
-        self.total_fast
+    /// Global frames the plan was built over in `tier`.
+    pub fn total(&self, tier: TierId) -> u32 {
+        debug_assert!(tier.index() < self.num_tiers());
+        self.totals[tier.index()]
     }
 
-    /// Global slow-tier frames the plan was built over.
+    /// Global fast-tier frames the plan was built over.
+    pub fn total_fast(&self) -> u32 {
+        self.total(TierId::FAST)
+    }
+
+    /// Global slow-tier (tier 1) frames the plan was built over.
     pub fn total_slow(&self) -> u32 {
-        self.total_slow
+        self.total(TierId::SLOW)
     }
 
     /// Whether the partitions are contiguous, disjoint, and exhaustive —
-    /// every global frame belongs to exactly one tenant. This is the static
-    /// half of the *PFN exclusivity across tenants* invariant; the dynamic
-    /// half (each shard's frame tables sized to its partition) is the
-    /// oracle's to check.
+    /// every global frame in every tier belongs to exactly one tenant. This
+    /// is the static half of the *PFN exclusivity across tenants* invariant;
+    /// the dynamic half (each shard's frame tables sized to its partition)
+    /// is the oracle's to check.
     pub fn covers_exactly(&self) -> bool {
-        let (mut fast_cursor, mut slow_cursor) = (0u64, 0u64);
+        let ntiers = self.num_tiers();
+        let mut cursors = [0u64; MAX_TIERS];
         for (i, p) in self.parts.iter().enumerate() {
-            if u64::from(p.tenant) != i as u64
-                || p.fast_base != fast_cursor
-                || p.slow_base != slow_cursor
-            {
+            if u64::from(p.tenant) != i as u64 || p.num_tiers() != ntiers {
                 return false;
             }
-            fast_cursor += u64::from(p.fast_frames);
-            slow_cursor += u64::from(p.slow_frames);
+            for (t, cursor) in cursors.iter_mut().enumerate().take(ntiers) {
+                if p.bases[t] != *cursor {
+                    return false;
+                }
+                *cursor += u64::from(p.frames[t]);
+            }
         }
-        fast_cursor == u64::from(self.total_fast) && slow_cursor == u64::from(self.total_slow)
+        (0..ntiers).all(|t| cursors[t] == u64::from(self.totals[t]))
     }
 }
 
@@ -178,14 +248,15 @@ mod tests {
     fn even_split_conserves_and_covers() {
         let plan = PartitionPlan::split_even(1000, 3000, 7);
         assert_eq!(plan.tenants(), 7);
+        assert_eq!(plan.num_tiers(), 2);
         assert!(plan.covers_exactly());
-        let fast: u64 = plan.parts().iter().map(|p| p.fast_frames as u64).sum();
-        let slow: u64 = plan.parts().iter().map(|p| p.slow_frames as u64).sum();
+        let fast: u64 = plan.parts().iter().map(|p| p.fast_frames() as u64).sum();
+        let slow: u64 = plan.parts().iter().map(|p| p.slow_frames() as u64).sum();
         assert_eq!(fast, 1000);
         assert_eq!(slow, 3000);
         // Even weights: shares differ by at most one frame.
-        let min = plan.parts().iter().map(|p| p.fast_frames).min().unwrap();
-        let max = plan.parts().iter().map(|p| p.fast_frames).max().unwrap();
+        let min = plan.parts().iter().map(|p| p.fast_frames()).min().unwrap();
+        let max = plan.parts().iter().map(|p| p.fast_frames()).max().unwrap();
         assert!(max - min <= 1);
     }
 
@@ -195,11 +266,11 @@ mod tests {
         let plan = PartitionPlan::split_weighted(1024, 4096, &weights);
         assert!(plan.covers_exactly());
         for p in plan.parts() {
-            assert!(p.fast_frames >= MIN_FAST_FRAMES);
-            assert!(p.slow_frames >= MIN_SLOW_FRAMES);
+            assert!(p.fast_frames() >= MIN_FAST_FRAMES);
+            assert!(p.slow_frames() >= MIN_SLOW_FRAMES);
         }
         // The heavy tenant dominates the spare pool beyond the floors.
-        assert!(plan.part(0).fast_frames > 900);
+        assert!(plan.part(0).fast_frames() > 900);
     }
 
     #[test]
@@ -215,10 +286,10 @@ mod tests {
         let plan = PartitionPlan::split_even(64, 128, 3);
         let mut seen = std::collections::BTreeSet::new();
         for p in plan.parts() {
-            for l in 0..p.fast_frames {
+            for l in 0..p.fast_frames() {
                 assert!(seen.insert(("fast", p.global_fast_pfn(l))));
             }
-            for l in 0..p.slow_frames {
+            for l in 0..p.slow_frames() {
                 assert!(seen.insert(("slow", p.global_slow_pfn(l))));
             }
         }
@@ -235,10 +306,11 @@ mod tests {
     /// exhaustive cover and per-tier sums equal to the global pools.
     fn assert_capacity_identity(plan: &PartitionPlan) {
         assert!(plan.covers_exactly());
-        let fast: u64 = plan.parts().iter().map(|p| p.fast_frames as u64).sum();
-        let slow: u64 = plan.parts().iter().map(|p| p.slow_frames as u64).sum();
-        assert_eq!(fast, u64::from(plan.total_fast()));
-        assert_eq!(slow, u64::from(plan.total_slow()));
+        for t in 0..plan.num_tiers() {
+            let tier = TierId(t as u8);
+            let sum: u64 = plan.parts().iter().map(|p| p.frames(tier) as u64).sum();
+            assert_eq!(sum, u64::from(plan.total(tier)));
+        }
     }
 
     #[test]
@@ -249,13 +321,13 @@ mod tests {
         let plan = PartitionPlan::split_weighted(1024, 4096, &weights);
         assert_capacity_identity(&plan);
         for p in plan.parts() {
-            assert!(p.fast_frames >= MIN_FAST_FRAMES);
-            assert!(p.slow_frames >= MIN_SLOW_FRAMES);
+            assert!(p.fast_frames() >= MIN_FAST_FRAMES);
+            assert!(p.slow_frames() >= MIN_SLOW_FRAMES);
         }
         // Zero behaves as weight 1, so both zero-weight tenants receive the
         // same share and strictly less than the weight-7 tenants.
-        assert_eq!(plan.part(0).fast_frames, plan.part(2).fast_frames);
-        assert!(plan.part(0).fast_frames < plan.part(1).fast_frames);
+        assert_eq!(plan.part(0).fast_frames(), plan.part(2).fast_frames());
+        assert!(plan.part(0).fast_frames() < plan.part(1).fast_frames());
         // And identically to an explicit weight-1 plan.
         let ones = PartitionPlan::split_weighted(1024, 4096, &[1, 7, 1, 7]);
         assert_eq!(plan.parts(), ones.parts());
@@ -272,15 +344,15 @@ mod tests {
             PartitionPlan::split_weighted(MIN_FAST_FRAMES * n, MIN_SLOW_FRAMES * n, &weights);
         assert_capacity_identity(&plan);
         for p in plan.parts() {
-            assert_eq!(p.fast_frames, MIN_FAST_FRAMES);
-            assert_eq!(p.slow_frames, MIN_SLOW_FRAMES);
+            assert_eq!(p.fast_frames(), MIN_FAST_FRAMES);
+            assert_eq!(p.slow_frames(), MIN_SLOW_FRAMES);
         }
         // One spare frame past the floors lands on the heaviest tenant.
         let plus_one =
             PartitionPlan::split_weighted(MIN_FAST_FRAMES * n + 1, MIN_SLOW_FRAMES * n, &weights);
         assert_capacity_identity(&plus_one);
-        assert_eq!(plus_one.part(0).fast_frames, MIN_FAST_FRAMES + 1);
-        assert_eq!(plus_one.part(1).fast_frames, MIN_FAST_FRAMES);
+        assert_eq!(plus_one.part(0).fast_frames(), MIN_FAST_FRAMES + 1);
+        assert_eq!(plus_one.part(1).fast_frames(), MIN_FAST_FRAMES);
     }
 
     #[test]
@@ -291,9 +363,31 @@ mod tests {
         let plan = PartitionPlan::split_weighted(777, 2048, &[5]);
         assert_capacity_identity(&plan);
         let p = plan.part(0);
-        assert_eq!((p.fast_base, p.slow_base), (0, 0));
-        assert_eq!((p.fast_frames, p.slow_frames), (777, 2048));
+        assert_eq!((p.base(TierId::FAST), p.base(TierId::SLOW)), (0, 0));
+        assert_eq!((p.fast_frames(), p.slow_frames()), (777, 2048));
         assert_eq!(p.global_fast_pfn(776), 776);
         assert_eq!(p.global_slow_pfn(2047), 2047);
+    }
+
+    #[test]
+    fn three_tier_plan_partitions_every_tier() {
+        let weights = [2u64, 1];
+        let plan = PartitionPlan::split_weighted_tiers(&[128, 256, 512], &weights);
+        assert_eq!(plan.num_tiers(), 3);
+        assert_capacity_identity(&plan);
+        let mid = TierId(1);
+        let cold = TierId(2);
+        // Second tenant's ranges start where the first tenant's end, per tier.
+        let (a, b) = (plan.part(0), plan.part(1));
+        for t in [TierId::FAST, mid, cold] {
+            assert_eq!(b.base(t), a.base(t) + u64::from(a.frames(t)));
+            assert!(a.frames(t) > b.frames(t), "weight-2 tenant gets more");
+        }
+        assert_eq!(plan.total(cold), 512);
+        // The compat 2-tier shape is exactly the generalized call with two
+        // totals.
+        let two = PartitionPlan::split_weighted(128, 256, &weights);
+        let gen = PartitionPlan::split_weighted_tiers(&[128, 256], &weights);
+        assert_eq!(two.parts(), gen.parts());
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::addr::{PageSize, Vpn, HUGE_2M_PAGES};
 use crate::page::{PageEntry, PageFlags};
-use crate::tier::TierId;
+use crate::tier::{TierId, MAX_TIERS};
 
 /// One process's page table: a dense array of [`PageEntry`]s.
 ///
@@ -172,9 +172,10 @@ impl AddressSpace {
         Vpn(pos)
     }
 
-    /// Counts resident base pages per tier (diagnostic; O(n)).
-    pub fn resident_pages(&self) -> [u32; 2] {
-        let mut counts = [0u32; 2];
+    /// Counts resident base pages per tier (diagnostic; O(n)). Slots past
+    /// the configured chain length stay zero.
+    pub fn resident_pages(&self) -> [u32; MAX_TIERS] {
+        let mut counts = [0u32; MAX_TIERS];
         let mut i = 0usize;
         while i < self.entries.len() {
             let vpn = Vpn(i as u32);
@@ -198,12 +199,12 @@ impl AddressSpace {
     /// Fraction of resident pages in the fast tier, or `None` if nothing is
     /// resident yet.
     pub fn fast_tier_fraction(&self) -> Option<f64> {
-        let [fast, slow] = self.resident_pages();
-        let total = fast + slow;
+        let counts = self.resident_pages();
+        let total: u32 = counts.iter().sum();
         if total == 0 {
             None
         } else {
-            Some(fast as f64 / total as f64)
+            Some(counts[TierId::FAST.index()] as f64 / total as f64)
         }
     }
 }
@@ -250,7 +251,7 @@ mod tests {
     #[test]
     fn split_block_devolves_to_base_ptes() {
         let mut s = AddressSpace::new(1024, PageSize::Huge2M);
-        *s.entry_mut(Vpn(0)) = mapped_entry(TierId::Fast);
+        *s.entry_mut(Vpn(0)) = mapped_entry(TierId::FAST);
         s.entry_mut(Vpn(0)).flags.set(PageFlags::HUGE_HEAD);
         for i in 1..512 {
             s.entry_mut(Vpn(i)).pfn = Pfn(i);
@@ -260,7 +261,7 @@ mod tests {
         assert!(!s.is_huge_mapped(Vpn(100)));
         // Tail entries inherited the head's present flag and tier.
         assert!(s.entry(Vpn(100)).present());
-        assert_eq!(s.entry(Vpn(100)).tier(), TierId::Fast);
+        assert_eq!(s.entry(Vpn(100)).tier(), TierId::FAST);
         // But kept their own frames.
         assert_eq!(s.entry(Vpn(100)).pfn, Pfn(100));
     }
@@ -269,7 +270,7 @@ mod tests {
     fn walk_range_wraps_around() {
         let mut s = AddressSpace::new(8, PageSize::Base);
         for i in 0..8 {
-            *s.entry_mut(Vpn(i)) = mapped_entry(TierId::Slow);
+            *s.entry_mut(Vpn(i)) = mapped_entry(TierId::SLOW);
         }
         let mut seen = Vec::new();
         let next = s.walk_range(Vpn(6), 4, |v, _| seen.push(v.0));
@@ -280,7 +281,7 @@ mod tests {
     #[test]
     fn walk_range_skips_unmapped() {
         let mut s = AddressSpace::new(4, PageSize::Base);
-        *s.entry_mut(Vpn(2)) = mapped_entry(TierId::Fast);
+        *s.entry_mut(Vpn(2)) = mapped_entry(TierId::FAST);
         let mut seen = Vec::new();
         s.walk_range(Vpn(0), 4, |v, _| seen.push(v.0));
         assert_eq!(seen, vec![2]);
@@ -290,7 +291,7 @@ mod tests {
     fn walk_range_visits_huge_block_once() {
         let mut s = AddressSpace::new(1024, PageSize::Huge2M);
         for head in [0u32, 512] {
-            *s.entry_mut(Vpn(head)) = mapped_entry(TierId::Slow);
+            *s.entry_mut(Vpn(head)) = mapped_entry(TierId::SLOW);
             s.entry_mut(Vpn(head)).flags.set(PageFlags::HUGE_HEAD);
         }
         let mut seen = Vec::new();
@@ -306,7 +307,7 @@ mod tests {
         // back to the head, double-counting the block in one sweep.
         let mut s = AddressSpace::new(1024, PageSize::Huge2M);
         for head in [0u32, 512] {
-            *s.entry_mut(Vpn(head)) = mapped_entry(TierId::Slow);
+            *s.entry_mut(Vpn(head)) = mapped_entry(TierId::SLOW);
             s.entry_mut(Vpn(head)).flags.set(PageFlags::HUGE_HEAD);
         }
         let mut seen = Vec::new();
@@ -322,12 +323,13 @@ mod tests {
     #[test]
     fn resident_counts_by_tier() {
         let mut s = AddressSpace::new(10, PageSize::Base);
-        *s.entry_mut(Vpn(0)) = mapped_entry(TierId::Fast);
-        *s.entry_mut(Vpn(1)) = mapped_entry(TierId::Slow);
-        *s.entry_mut(Vpn(2)) = mapped_entry(TierId::Slow);
-        assert_eq!(s.resident_pages(), [1, 2]);
+        *s.entry_mut(Vpn(0)) = mapped_entry(TierId::FAST);
+        *s.entry_mut(Vpn(1)) = mapped_entry(TierId::SLOW);
+        *s.entry_mut(Vpn(2)) = mapped_entry(TierId::SLOW);
+        *s.entry_mut(Vpn(3)) = mapped_entry(TierId(2));
+        assert_eq!(s.resident_pages(), [1, 2, 1, 0]);
         let f = s.fast_tier_fraction().unwrap();
-        assert!((f - 1.0 / 3.0).abs() < 1e-9);
+        assert!((f - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -6,32 +6,40 @@
 
 use sim_clock::Nanos;
 
-use crate::tier::TierId;
+use crate::system::MigrateError;
+use crate::tier::{TierId, MAX_TIERS};
 
 /// Aggregated counters for one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct SystemStats {
-    /// Loads served per tier, indexed by [`TierId::index`].
-    pub reads: [u64; 2],
+    /// Loads served per tier, indexed by [`TierId::index`]. Slots beyond the
+    /// configured chain length stay zero.
+    pub reads: [u64; MAX_TIERS],
     /// Stores served per tier.
-    pub writes: [u64; 2],
+    pub writes: [u64; MAX_TIERS],
     /// Demand (first-touch) page faults.
     pub demand_faults: u64,
     /// Hint faults taken on `PROT_NONE` pages (NUMA balancing / Ticking-scan).
     pub hint_faults: u64,
-    /// Pages promoted slow → fast.
+    /// Pages promoted toward the top of the chain (any up edge).
     pub promoted_pages: u64,
-    /// Pages demoted fast → slow.
+    /// Pages demoted toward the bottom of the chain (any down edge).
     pub demoted_pages: u64,
+    /// Pages promoted per chain edge; edge `i` connects tiers `i` and
+    /// `i + 1`. Slots beyond the configured chain stay zero, and the sums
+    /// over edges equal `promoted_pages` / `demoted_pages`.
+    pub promoted_per_edge: [u64; MAX_TIERS - 1],
+    /// Pages demoted per chain edge (same indexing).
+    pub demoted_per_edge: [u64; MAX_TIERS - 1],
     /// Promotion attempts that failed for lack of fast-tier space.
     pub failed_promotions: u64,
     /// Victim demotions inside `promote_with_reclaim` that failed.
     pub failed_demotions: u64,
-    /// Failed fast-tier (promotion) migrate attempts by reason, indexed by
-    /// `MigrateError::index` (not_present, same_tier, no_space,
-    /// backpressure, copy_fault, poisoned). The `no_space` cell mirrors
+    /// Failed promotion (up-edge) migrate attempts by reason, indexed by
+    /// `MigrateError::index` — one cell per entry of
+    /// [`MigrateError::REASONS`]. The `no_space` cell mirrors
     /// `failed_promotions`.
-    pub failed_fast_migrations: [u64; 6],
+    pub failed_fast_migrations: [u64; MigrateError::COUNT],
     /// Migration transactions opened by `begin_migrate`.
     pub begun_migrations: u64,
     /// Migration transactions retired (PTE flipped to the reserved frames).
@@ -51,7 +59,7 @@ pub struct SystemStats {
     pub user_time: Nanos,
     /// Thrashing events flagged by the demotion monitor.
     pub thrash_events: u64,
-    /// Pages written out to the swap device (slow-tier reclamation).
+    /// Pages written out to the swap device (last-tier reclamation).
     pub swapped_out_pages: u64,
     /// Major faults served from the swap device.
     pub swap_in_faults: u64,
@@ -87,7 +95,7 @@ impl SystemStats {
         if total == 0 {
             return 0.0;
         }
-        self.tier_accesses(TierId::Fast) as f64 / total as f64
+        self.tier_accesses(TierId::FAST) as f64 / total as f64
     }
 
     /// Fraction of execution time spent in kernel work.
@@ -120,29 +128,13 @@ impl SystemStats {
 
     /// Difference of two snapshots (`self` − `earlier`), for interval stats.
     pub fn delta_since(&self, earlier: &SystemStats) -> SystemStats {
-        SystemStats {
-            reads: [
-                self.reads[0] - earlier.reads[0],
-                self.reads[1] - earlier.reads[1],
-            ],
-            writes: [
-                self.writes[0] - earlier.writes[0],
-                self.writes[1] - earlier.writes[1],
-            ],
+        let mut d = SystemStats {
             demand_faults: self.demand_faults - earlier.demand_faults,
             hint_faults: self.hint_faults - earlier.hint_faults,
             promoted_pages: self.promoted_pages - earlier.promoted_pages,
             demoted_pages: self.demoted_pages - earlier.demoted_pages,
             failed_promotions: self.failed_promotions - earlier.failed_promotions,
             failed_demotions: self.failed_demotions - earlier.failed_demotions,
-            failed_fast_migrations: [
-                self.failed_fast_migrations[0] - earlier.failed_fast_migrations[0],
-                self.failed_fast_migrations[1] - earlier.failed_fast_migrations[1],
-                self.failed_fast_migrations[2] - earlier.failed_fast_migrations[2],
-                self.failed_fast_migrations[3] - earlier.failed_fast_migrations[3],
-                self.failed_fast_migrations[4] - earlier.failed_fast_migrations[4],
-                self.failed_fast_migrations[5] - earlier.failed_fast_migrations[5],
-            ],
             begun_migrations: self.begun_migrations - earlier.begun_migrations,
             completed_migrations: self.completed_migrations - earlier.completed_migrations,
             aborted_migrations: self.aborted_migrations - earlier.aborted_migrations,
@@ -159,7 +151,21 @@ impl SystemStats {
             quarantined_frames: self.quarantined_frames - earlier.quarantined_frames,
             offlined_frames: self.offlined_frames - earlier.offlined_frames,
             restored_frames: self.restored_frames - earlier.restored_frames,
+            ..SystemStats::default()
+        };
+        for t in 0..MAX_TIERS {
+            d.reads[t] = self.reads[t] - earlier.reads[t];
+            d.writes[t] = self.writes[t] - earlier.writes[t];
         }
+        for r in 0..MigrateError::REASONS.len() {
+            d.failed_fast_migrations[r] =
+                self.failed_fast_migrations[r] - earlier.failed_fast_migrations[r];
+        }
+        for e in 0..MAX_TIERS - 1 {
+            d.promoted_per_edge[e] = self.promoted_per_edge[e] - earlier.promoted_per_edge[e];
+            d.demoted_per_edge[e] = self.demoted_per_edge[e] - earlier.demoted_per_edge[e];
+        }
+        d
     }
 }
 
@@ -170,13 +176,13 @@ mod tests {
     #[test]
     fn fmar_counts_fast_share() {
         let mut s = SystemStats::default();
-        s.count_access(TierId::Fast, false);
-        s.count_access(TierId::Fast, true);
-        s.count_access(TierId::Slow, false);
-        s.count_access(TierId::Slow, true);
+        s.count_access(TierId::FAST, false);
+        s.count_access(TierId::FAST, true);
+        s.count_access(TierId::SLOW, false);
+        s.count_access(TierId::SLOW, true);
         assert!((s.fmar() - 0.5).abs() < 1e-12);
         assert_eq!(s.total_accesses(), 4);
-        assert_eq!(s.tier_accesses(TierId::Fast), 2);
+        assert_eq!(s.tier_accesses(TierId::FAST), 2);
     }
 
     #[test]
@@ -210,17 +216,34 @@ mod tests {
     #[test]
     fn delta_subtracts_fieldwise() {
         let mut a = SystemStats::default();
-        a.count_access(TierId::Fast, false);
+        a.count_access(TierId::FAST, false);
         a.hint_faults = 3;
         a.kernel_time = Nanos(100);
         let mut b = a.clone();
-        b.count_access(TierId::Slow, true);
+        b.count_access(TierId::SLOW, true);
+        b.count_access(TierId(2), false);
         b.hint_faults = 7;
         b.kernel_time = Nanos(180);
+        b.failed_fast_migrations[MigrateError::COUNT - 1] = 9;
         let d = b.delta_since(&a);
         assert_eq!(d.hint_faults, 4);
-        assert_eq!(d.writes[TierId::Slow.index()], 1);
-        assert_eq!(d.reads[TierId::Fast.index()], 0);
+        assert_eq!(d.writes[TierId::SLOW.index()], 1);
+        assert_eq!(d.reads[TierId::FAST.index()], 0);
+        assert_eq!(d.reads[2], 1);
         assert_eq!(d.kernel_time, Nanos(80));
+        // Indexed loop covers the *last* reason cell too — the hand-unrolled
+        // diff this replaced would silently truncate on a new variant.
+        assert_eq!(d.failed_fast_migrations[MigrateError::COUNT - 1], 9);
+    }
+
+    #[test]
+    fn failure_table_stays_in_sync_with_reasons() {
+        // Length-sync guard: the counter table, the reason-name table and the
+        // variant count must agree, so adding a MigrateError variant without
+        // widening the table is a compile- or test-time error, not a silent
+        // truncation.
+        let s = SystemStats::default();
+        assert_eq!(s.failed_fast_migrations.len(), MigrateError::REASONS.len());
+        assert_eq!(MigrateError::REASONS.len(), MigrateError::COUNT);
     }
 }

@@ -89,11 +89,15 @@ pub enum MigrateError {
     /// took an uncorrectable error and was quarantined. The source mapping
     /// stayed authoritative; a retry lands on different frames.
     Poisoned,
+    /// The requested migration does not cross a single adjacent edge of the
+    /// tier chain. Pages move one hop at a time; a two-hop move is two
+    /// migrations.
+    NonAdjacent,
 }
 
 impl MigrateError {
     /// Number of failure reasons (size of per-reason counter tables).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
     /// Reason names, indexed by [`MigrateError::index`].
     pub const REASONS: [&'static str; Self::COUNT] = [
         "not_present",
@@ -102,6 +106,7 @@ impl MigrateError {
         "backpressure",
         "copy_fault",
         "poisoned",
+        "non_adjacent",
     ];
 
     /// Dense index for per-reason counter tables
@@ -115,6 +120,7 @@ impl MigrateError {
             MigrateError::Backpressure => 3,
             MigrateError::CopyFault => 4,
             MigrateError::Poisoned => 5,
+            MigrateError::NonAdjacent => 6,
         }
     }
 }
@@ -130,6 +136,8 @@ pub struct MigrationFailure {
     pub head: Vpn,
     /// Base pages the transaction covered.
     pub unit: u32,
+    /// Source tier the unit was leaving (it stays there on failure).
+    pub from: TierId,
     /// Destination tier the copy was headed to.
     pub to: TierId,
     /// Why it failed ([`MigrateError::CopyFault`] or
@@ -159,18 +167,19 @@ pub struct TieredSystem {
     /// Observability: disabled by default, enabled via
     /// [`TieredSystem::enable_tracing`].
     pub trace: Tracer,
-    /// Fast-tier watermarks (the slow tier spills to swap, not modelled).
+    /// Fast-tier watermarks (the terminal tier spills to swap).
     pub watermarks: Watermarks,
     cfg: SystemConfig,
     /// Stats snapshot at the last trace period, for delta rows.
     trace_baseline: SystemStats,
-    frames: [FrameTable; 2],
-    lru: [LruLists; 2],
+    /// One frame table per managed tier, chain order.
+    frames: Vec<FrameTable>,
+    lru: Vec<LruLists>,
     procs: Vec<Process>,
-    /// Two-phase in-flight migration state (bounded slots, per-tier FIFOs).
+    /// Two-phase in-flight migration state (bounded slots, per-edge FIFOs).
     engine: MigrationEngine,
     /// Per-tier device-contention state.
-    contention: [TierLoad; 2],
+    contention: Vec<TierLoad>,
     /// Deterministic fault injection, present only when the config carries a
     /// [`FaultPlan`]. `None` means zero extra RNG draws and zero fault
     /// branches taken on the hot paths.
@@ -198,11 +207,13 @@ struct TierLoad {
 /// Utilization measurement window.
 const LOAD_WINDOW: Nanos = Nanos(50_000); // 50 µs
 
-/// Trace direction of a migration from its destination tier.
-fn migrate_dir(to: TierId) -> MigrateDir {
-    match to {
-        TierId::Fast => MigrateDir::Promote,
-        TierId::Slow => MigrateDir::Demote,
+/// Trace direction of a migration from the edge it crosses: any move toward
+/// the top of the chain is a promotion, any move down a demotion.
+fn migrate_dir(from: TierId, to: TierId) -> MigrateDir {
+    if to < from {
+        MigrateDir::Promote
+    } else {
+        MigrateDir::Demote
     }
 }
 
@@ -240,7 +251,8 @@ impl TierLoad {
 impl TieredSystem {
     /// Builds a system from a configuration.
     pub fn new(cfg: SystemConfig) -> TieredSystem {
-        let fast_frames = cfg.fast.frames;
+        let n = cfg.num_tiers();
+        let fast_frames = cfg.fast().frames;
         TieredSystem {
             clock: Clock::new(),
             events: EventQueue::new(),
@@ -248,16 +260,18 @@ impl TieredSystem {
             trace: Tracer::disabled(),
             trace_baseline: SystemStats::default(),
             watermarks: Watermarks::scaled_to(fast_frames),
-            frames: [
-                FrameTable::new(cfg.fast.frames),
-                FrameTable::new(cfg.slow.frames),
-            ],
-            lru: [LruLists::new(), LruLists::new()],
+            frames: cfg
+                .chain
+                .tiers
+                .iter()
+                .map(|t| FrameTable::new(t.frames))
+                .collect(),
+            lru: (0..n).map(|_| LruLists::new()).collect(),
             procs: Vec::new(),
-            engine: MigrationEngine::new(cfg.migration.clone()),
+            engine: MigrationEngine::new(cfg.migration.clone(), n),
             fault: cfg.fault_plan.clone().map(FaultState::new),
             cfg,
-            contention: [TierLoad::new(), TierLoad::new()],
+            contention: (0..n).map(|_| TierLoad::new()).collect(),
             failed_async: Vec::new(),
             shrink_debt: 0,
         }
@@ -293,12 +307,23 @@ impl TieredSystem {
             hint_faults: delta.hint_faults,
             period_fmar: delta.fmar(),
             fmar: self.stats.fmar(),
-            fast_used_frames: self.used_frames(TierId::Fast) as u64,
-            slow_used_frames: self.used_frames(TierId::Slow) as u64,
+            fast_used_frames: self.used_frames(TierId::FAST) as u64,
+            // All non-top tiers together, so the gauge keeps its two-tier
+            // meaning on longer chains ("frames not in the fast tier").
+            slow_used_frames: self
+                .cfg
+                .chain
+                .ids()
+                .skip(1)
+                .map(|t| self.used_frames(t) as u64)
+                .sum(),
             in_flight_migrations: self.engine.in_flight() as u64,
-            quarantined_frames: (self.frames[0].quarantined_frames()
-                + self.frames[1].quarantined_frames()) as u64,
-            offlined_frames: self.frames[TierId::Fast.index()].offlined_frames() as u64,
+            quarantined_frames: self
+                .frames
+                .iter()
+                .map(|f| f.quarantined_frames() as u64)
+                .sum(),
+            offlined_frames: self.frames[TierId::FAST.index()].offlined_frames() as u64,
         };
         self.trace.record_period(|| sample);
         self.trace_baseline = self.stats.clone();
@@ -515,9 +540,10 @@ impl TieredSystem {
                 // Major fault: the page comes back from the swap device.
                 let e = self.procs[pid.0 as usize].space.entry_mut(pte_vpn);
                 e.flags.clear(PageFlags::SWAPPED);
-                latency += self.cfg.swap.fault_latency;
+                let swap_latency = self.cfg.swap().fault_latency;
+                latency += swap_latency;
                 self.stats.swap_in_faults += 1;
-                self.stats.kernel_time += self.cfg.swap.fault_latency;
+                self.stats.kernel_time += swap_latency;
             } else {
                 latency += self.cfg.cost.demand_fault;
                 self.stats.demand_faults += 1;
@@ -600,10 +626,7 @@ impl TieredSystem {
         demand_fault: bool,
         probed_fault: bool,
     ) -> AccessResult {
-        let spec = match tier {
-            TierId::Fast => &self.cfg.fast,
-            TierId::Slow => &self.cfg.slow,
-        };
+        let spec = self.cfg.chain.tier(tier);
         let base = if write {
             spec.write_latency
         } else {
@@ -719,27 +742,32 @@ impl TieredSystem {
         self.lru_remove(pid, head);
         self.procs[pid.0 as usize].resident_frames -= unit;
         self.stats.swapped_out_pages += unit as u64;
-        self.stats.kernel_time += self.cfg.swap.writeback_per_page.scale(unit as u64);
+        self.stats.kernel_time += self.cfg.swap().writeback_per_page.scale(unit as u64);
         Ok(unit)
     }
 
     /// Picks the allocation tier for `unit` frames: fast while above the high
-    /// watermark, otherwise slow, otherwise whichever has room.
+    /// watermark, otherwise the first lower tier with room (top-down, so
+    /// placement spills one tier at a time), otherwise fast if it can still
+    /// hold the unit at all.
     fn pick_alloc_tier(&self, unit: u32) -> TierId {
-        let fast_free = self.free_frames(TierId::Fast);
-        let slow_free = self.free_frames(TierId::Slow);
+        let fast_free = self.free_frames(TierId::FAST);
         if fast_free >= unit + self.watermarks.high {
-            TierId::Fast
-        } else if slow_free >= unit {
-            TierId::Slow
-        } else if fast_free >= unit {
-            TierId::Fast
-        } else {
-            panic!(
-                "out of memory: need {} frames, fast free {}, slow free {}",
-                unit, fast_free, slow_free
-            );
+            return TierId::FAST;
         }
+        for t in self.cfg.chain.ids().skip(1) {
+            if self.free_frames(t) >= unit {
+                return t;
+            }
+        }
+        if fast_free >= unit {
+            return TierId::FAST;
+        }
+        let free: Vec<u32> = self.cfg.chain.ids().map(|t| self.free_frames(t)).collect();
+        panic!(
+            "out of memory: need {} frames, free per tier {:?}",
+            unit, free
+        );
     }
 
     // ----- LRU maintenance -------------------------------------------------
@@ -873,7 +901,7 @@ impl TieredSystem {
     /// `failed_promotions` counter); demotion failures are the caller's to
     /// classify (see [`TieredSystem::promote_with_reclaim`]).
     fn fail_migrate<T>(&mut self, to: TierId, err: MigrateError) -> Result<T, MigrateError> {
-        if to == TierId::Fast {
+        if to == TierId::FAST {
             self.stats.failed_fast_migrations[err.index()] += 1;
             self.stats.failed_promotions += u64::from(err == MigrateError::NoSpace);
         }
@@ -927,13 +955,16 @@ impl TieredSystem {
         if from == to {
             return self.fail_migrate(to, MigrateError::SameTier);
         }
+        if !self.cfg.chain.adjacent(from, to) {
+            return self.fail_migrate(to, MigrateError::NonAdjacent);
+        }
         if entry.flags.has(PageFlags::MIGRATING) {
             return self.fail_migrate(to, MigrateError::Backpressure);
         }
         let huge = space.is_huge_mapped(head);
         let unit = if huge { HUGE_2M_PAGES } else { 1 };
         let now = self.clock.now();
-        if !self.engine.admits(to, now) {
+        if !self.engine.admits(from, to, now) {
             return self.fail_migrate(to, MigrateError::Backpressure);
         }
         if self.free_frames(to) < unit {
@@ -961,25 +992,22 @@ impl TieredSystem {
             .flags
             .set(PageFlags::MIGRATING);
 
-        // Costs: copy time over the slower of the two tiers' migration
-        // bandwidth, plus a fixed remap cost per unit.
-        let dest_spec = match to {
-            TierId::Fast => &self.cfg.fast,
-            TierId::Slow => &self.cfg.slow,
-        };
-        let src_spec = match from {
-            TierId::Fast => &self.cfg.fast,
-            TierId::Slow => &self.cfg.slow,
-        };
-        let mut bw_time = dest_spec
-            .transfer_time(unit as u64)
-            .max(src_spec.transfer_time(unit as u64));
+        // Costs: copy time over the edge's bandwidth (derived edges carry
+        // the slower endpoint's migration bandwidth, reproducing the old
+        // max-of-both-tiers copy time bit for bit), a write-asymmetry
+        // stretch when copying down into an asymmetric device, the edge's
+        // fixed extra latency, plus a fixed remap cost per unit.
+        let edge = self.cfg.chain.edge_between(from, to);
+        let mut bw_time = edge.transfer_time(unit as u64);
+        if to > from && edge.write_asymmetry != 1.0 {
+            bw_time = bw_time.scale_f64(edge.write_asymmetry);
+        }
         if let Some(f) = &self.fault {
             // Channel degradation windows stretch the copy, not the fixed
             // remap cost — only bandwidth is degraded.
             bw_time = bw_time.scale_f64(f.cost_multiplier(to, now));
         }
-        let cost = bw_time + self.cfg.cost.migrate_fixed;
+        let cost = bw_time + edge.extra_latency + self.cfg.cost.migrate_fixed;
         match mode {
             MigrateMode::Sync(waiter) => self.charge_kernel(Some(waiter), cost),
             MigrateMode::Async => self.stats.kernel_time += cost,
@@ -993,7 +1021,7 @@ impl TieredSystem {
             pid: pid.0,
             vpn: head.0,
             pages: unit,
-            dir: migrate_dir(to),
+            dir: migrate_dir(from, to),
         });
         Ok((id, unit))
     }
@@ -1040,6 +1068,7 @@ impl TieredSystem {
             e.flags.set_tier(to);
         }
 
+        let promoted = to < from;
         let e = self.procs[pid.0 as usize].space.entry_mut(head);
         e.flags.clear(
             PageFlags::MIGRATING
@@ -1048,23 +1077,30 @@ impl TieredSystem {
                 | PageFlags::PROBED
                 | PageFlags::POISONED,
         );
-        if to == TierId::Fast {
+        if promoted {
             e.flags.clear(PageFlags::DEMOTED);
         }
 
-        // LRU: leave the old tier's lists, join the new tier's.
+        // LRU: leave the old tier's lists, join the new tier's. A promoted
+        // unit is presumed hot (active); a demoted one starts inactive in
+        // its new, slower home.
         self.lru_remove(pid, head);
-        let kind = if to == TierId::Fast {
+        let kind = if promoted {
             LruKind::Active
         } else {
             LruKind::Inactive
         };
         self.lru_insert(pid, head, kind);
 
-        if to == TierId::Fast {
+        // The crossed edge is the lower-numbered endpoint by construction
+        // (adjacent tiers only).
+        let edge = from.index().min(to.index());
+        if promoted {
             self.stats.promoted_pages += unit as u64;
+            self.stats.promoted_per_edge[edge] += unit as u64;
         } else {
             self.stats.demoted_pages += unit as u64;
+            self.stats.demoted_per_edge[edge] += unit as u64;
         }
         self.stats.migration_bytes += unit as u64 * BASE_PAGE_BYTES;
         self.stats.completed_migrations += 1;
@@ -1073,7 +1109,7 @@ impl TieredSystem {
                 pid: pid.0,
                 vpn: head.0,
                 pages: unit,
-                dir: migrate_dir(to),
+                dir: migrate_dir(from, to),
             });
     }
 
@@ -1115,7 +1151,7 @@ impl TieredSystem {
             CopyFault::Poison => self.stats.poisoned_copy_faults += 1,
             CopyFault::None => unreachable!(),
         }
-        if txn.to == TierId::Fast {
+        if txn.to == TierId::FAST {
             self.stats.failed_fast_migrations[err.index()] += 1;
         }
         self.procs[txn.pid.0 as usize]
@@ -1127,7 +1163,7 @@ impl TieredSystem {
             pid: txn.pid.0,
             vpn: txn.head.0,
             pages: txn.unit,
-            dir: migrate_dir(txn.to),
+            dir: migrate_dir(txn.from, txn.to),
             transient: fault == CopyFault::Transient,
         });
         if record {
@@ -1135,6 +1171,7 @@ impl TieredSystem {
                 pid: txn.pid,
                 head: txn.head,
                 unit: txn.unit,
+                from: txn.from,
                 to: txn.to,
                 reason: err,
             });
@@ -1157,7 +1194,7 @@ impl TieredSystem {
         for ev in due {
             match ev.kind {
                 CapacityKind::ShrinkFastFraction(frac) => {
-                    let usable = self.frames[TierId::Fast.index()].usable_frames();
+                    let usable = self.frames[TierId::FAST.index()].usable_frames();
                     let target = (usable as f64 * frac).round() as u32;
                     self.shrink_fast(target);
                 }
@@ -1174,7 +1211,7 @@ impl TieredSystem {
         if self.shrink_debt == 0 {
             return;
         }
-        let got = self.frames[TierId::Fast.index()].offline_free_frames(self.shrink_debt);
+        let got = self.frames[TierId::FAST.index()].offline_free_frames(self.shrink_debt);
         if got > 0 {
             self.shrink_debt -= got;
             self.stats.offlined_frames += got as u64;
@@ -1187,7 +1224,7 @@ impl TieredSystem {
     /// size. The policy's `pro` target is kept, re-clamped to the new size;
     /// the next `retune_pro` recomputes it against the new capacity.
     fn rescale_watermarks(&mut self) {
-        let usable = self.frames[TierId::Fast.index()].usable_frames();
+        let usable = self.frames[TierId::FAST.index()].usable_frames();
         let pro = self.watermarks.pro;
         self.watermarks = Watermarks::scaled_to(usable);
         let cap = (usable / 4).max(self.watermarks.high);
@@ -1195,9 +1232,9 @@ impl TieredSystem {
     }
 
     fn emit_capacity(&mut self, offlined: u32, restored: u32) {
-        let usable = self.frames[TierId::Fast.index()].usable_frames();
+        let usable = self.frames[TierId::FAST.index()].usable_frames();
         self.trace.emit(self.clock.now(), || TraceEvent::Capacity {
-            tier: TierId::Fast.index() as u8,
+            tier: TierId::FAST.index() as u8,
             offlined,
             restored,
             usable,
@@ -1210,7 +1247,7 @@ impl TieredSystem {
     /// Watermarks are re-derived from the new usable size. Returns frames
     /// offlined immediately.
     pub fn shrink_fast(&mut self, frames: u32) -> u32 {
-        let got = self.frames[TierId::Fast.index()].offline_free_frames(frames);
+        let got = self.frames[TierId::FAST.index()].offline_free_frames(frames);
         self.stats.offlined_frames += got as u64;
         self.shrink_debt += frames - got;
         self.rescale_watermarks();
@@ -1224,7 +1261,7 @@ impl TieredSystem {
     pub fn grow_fast(&mut self, frames: u32) -> u32 {
         let cancelled = frames.min(self.shrink_debt);
         self.shrink_debt -= cancelled;
-        let restored = self.frames[TierId::Fast.index()].online_frames(frames - cancelled);
+        let restored = self.frames[TierId::FAST.index()].online_frames(frames - cancelled);
         self.stats.restored_frames += restored as u64;
         self.rescale_watermarks();
         self.emit_capacity(0, restored);
@@ -1314,7 +1351,14 @@ impl TieredSystem {
             pid: owner.pid.0,
             vpn: base.0,
         });
-        let dest = tier.other();
+        // Soft-offline destination: one hop down the chain, or one hop up
+        // when the bad frame sits in the last tier (the two-tier behaviour of
+        // "the other tier", generalized).
+        let dest = if tier.index() + 1 < self.cfg.num_tiers() {
+            TierId(tier.0 + 1)
+        } else {
+            TierId(tier.0 - 1)
+        };
         let _ = self.migrate(owner.pid, base, dest, MigrateMode::Async);
         true
     }
@@ -1374,7 +1418,7 @@ impl TieredSystem {
                 pid: pid.0,
                 vpn: head.0,
                 pages: txn.unit,
-                dir: migrate_dir(txn.to),
+                dir: migrate_dir(txn.from, txn.to),
             });
         true
     }
@@ -1460,27 +1504,45 @@ impl TieredSystem {
         vpn: Vpn,
         mode: MigrateMode,
     ) -> Result<u32, MigrateError> {
+        self.promote_with_reclaim_to(pid, vpn, TierId::FAST, mode)
+    }
+
+    /// Promotes a unit one hop up into tier `to`, demoting inactive victims
+    /// of `to` one hop further down first if `to` lacks space — the cascade
+    /// step a chained policy runs per adjacent pair. Victim demotions are
+    /// charged in the same mode. Returns pages promoted.
+    pub fn promote_with_reclaim_to(
+        &mut self,
+        pid: ProcessId,
+        vpn: Vpn,
+        to: TierId,
+        mode: MigrateMode,
+    ) -> Result<u32, MigrateError> {
         let space = &self.procs[pid.0 as usize].space;
         let head = space.pte_page(vpn);
         if !space.entry(head).present() {
-            return self.fail_migrate(TierId::Fast, MigrateError::NotPresent);
+            return self.fail_migrate(to, MigrateError::NotPresent);
         }
-        if space.entry(head).tier() == TierId::Fast {
-            return self.fail_migrate(TierId::Fast, MigrateError::SameTier);
+        if space.entry(head).tier() == to {
+            return self.fail_migrate(to, MigrateError::SameTier);
         }
         let unit = if space.is_huge_mapped(head) {
             HUGE_2M_PAGES
         } else {
             1
         };
+        // Victims leave `to` for the next tier down; a promotion target is
+        // never the bottom tier (the page comes from below it), so the
+        // victim destination always exists.
+        let victim_dest = TierId(to.0 + 1);
         // Demote until there's room, bounded to avoid pathological loops when
         // the inactive list is all-hot. A failed victim demotion is counted,
         // and a `NotPresent` victim (stale by the time we got to it) does not
         // burn the attempt budget — it freed nothing and cost nothing.
         let mut attempts = 0;
-        while self.free_frames(TierId::Fast) < unit && attempts < 4 * unit {
-            match self.pop_inactive_victim(TierId::Fast) {
-                Some((vp, vv)) => match self.migrate(vp, vv, TierId::Slow, mode) {
+        while self.free_frames(to) < unit && attempts < 4 * unit {
+            match self.pop_inactive_victim(to) {
+                Some((vp, vv)) => match self.migrate(vp, vv, victim_dest, mode) {
                     Ok(_) => attempts += 1,
                     Err(MigrateError::NotPresent) => {
                         self.stats.failed_demotions += 1;
@@ -1493,16 +1555,18 @@ impl TieredSystem {
                 None => break,
             }
         }
-        self.migrate(pid, vpn, TierId::Fast, mode)
+        self.migrate(pid, vpn, to, mode)
     }
 
     /// Outstanding async migration backlog relative to the global clock:
-    /// the fuller of the two destination channels' queued copy time.
+    /// the fullest edge channel's queued copy time.
     pub fn migration_backlog(&self) -> Nanos {
-        let now = self.clock.now();
-        self.engine
-            .backlog(TierId::Fast, now)
-            .max(self.engine.backlog(TierId::Slow, now))
+        self.engine.max_backlog(self.clock.now())
+    }
+
+    /// Outstanding async copy backlog on the directed edge `from → to`.
+    pub fn edge_backlog(&self, from: TierId, to: TierId) -> Nanos {
+        self.engine.backlog(from, to, self.clock.now())
     }
 
     /// Schedules a policy event `delay` after the current clock.
@@ -1559,7 +1623,7 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         // Fast tier keeps `high`=8 frames free; 56 pages land fast, 72 slow.
-        let [fast, slow] = sys.process(pid).space.resident_pages();
+        let [fast, slow, ..] = sys.process(pid).space.resident_pages();
         assert_eq!(fast, 56);
         assert_eq!(slow, 72);
         assert_eq!(sys.stats.demand_faults, 128);
@@ -1570,7 +1634,7 @@ mod tests {
         let mut sys = small_sys();
         let pid = sys.add_process(4, PageSize::Base);
         let r1 = sys.access(pid, Vpn(0), false);
-        assert_eq!(r1.tier, TierId::Fast);
+        assert_eq!(r1.tier, TierId::FAST);
         assert!(r1.demand_fault);
         let r2 = sys.access(pid, Vpn(0), false);
         assert!(!r2.demand_fault);
@@ -1588,7 +1652,7 @@ mod tests {
         }
         let read = sys.access(pid, Vpn(100), false);
         let write = sys.access(pid, Vpn(100), true);
-        assert_eq!(read.tier, TierId::Slow);
+        assert_eq!(read.tier, TierId::SLOW);
         assert!(write.latency > read.latency);
     }
 
@@ -1628,13 +1692,13 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let slow_used_before = sys.used_frames(TierId::Slow);
+        let slow_used_before = sys.used_frames(TierId::SLOW);
         let moved = sys
-            .migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(moved, 1);
-        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Fast);
-        assert_eq!(sys.used_frames(TierId::Slow), slow_used_before - 1);
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::FAST);
+        assert_eq!(sys.used_frames(TierId::SLOW), slow_used_before - 1);
         assert_eq!(sys.stats.promoted_pages, 1);
         assert_eq!(sys.stats.migration_bytes, 4096);
     }
@@ -1645,7 +1709,7 @@ mod tests {
         let pid = sys.add_process(4, PageSize::Base);
         sys.access(pid, Vpn(0), false);
         assert_eq!(
-            sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async),
+            sys.migrate(pid, Vpn(0), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::SameTier)
         );
     }
@@ -1655,7 +1719,7 @@ mod tests {
         let mut sys = small_sys();
         let pid = sys.add_process(4, PageSize::Base);
         assert_eq!(
-            sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async),
+            sys.migrate(pid, Vpn(0), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::NotPresent)
         );
     }
@@ -1668,7 +1732,7 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         let before = sys.process(pid).vtime;
-        sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Sync(pid))
+        sys.migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Sync(pid))
             .unwrap();
         assert!(sys.process(pid).vtime > before);
     }
@@ -1681,7 +1745,7 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         let before = sys.process(pid).vtime;
-        sys.migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+        sys.migrate(pid, Vpn(101), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(sys.process(pid).vtime, before);
         assert!(sys.migration_backlog() > Nanos::ZERO);
@@ -1698,15 +1762,15 @@ mod tests {
         // free, forcing reclaim of cold fast pages.
         // First exhaust free frames.
         let mut v = 60;
-        while sys.free_frames(TierId::Fast) > 0 {
-            let _ = sys.migrate(pid, Vpn(v), TierId::Fast, MigrateMode::Async);
+        while sys.free_frames(TierId::FAST) > 0 {
+            let _ = sys.migrate(pid, Vpn(v), TierId::FAST, MigrateMode::Async);
             v += 1;
         }
         let demoted_before = sys.stats.demoted_pages;
         let r = sys.promote_with_reclaim(pid, Vpn(v), MigrateMode::Async);
         assert_eq!(r, Ok(1));
         assert!(sys.stats.demoted_pages > demoted_before);
-        assert_eq!(sys.process(pid).space.entry(Vpn(v)).tier(), TierId::Fast);
+        assert_eq!(sys.process(pid).space.entry(Vpn(v)).tier(), TierId::FAST);
     }
 
     #[test]
@@ -1718,7 +1782,7 @@ mod tests {
         }
         // All pages are on the active list with accessed bits set. First they
         // are aged (bit cleared), then an untouched page becomes a victim.
-        let victim = sys.pop_inactive_victim(TierId::Fast);
+        let victim = sys.pop_inactive_victim(TierId::FAST);
         assert!(victim.is_some());
         let (_vp, vv) = victim.unwrap();
         // The victim's accessed bit must be clear (it got no second touch).
@@ -1738,18 +1802,18 @@ mod tests {
         assert!(r.demand_fault);
         // One demand fault mapped the whole 512-page block.
         assert_eq!(sys.stats.demand_faults, 1);
-        let [fast, _slow] = sys.process(pid).space.resident_pages();
+        let [fast, ..] = sys.process(pid).space.resident_pages();
         assert_eq!(fast, 512);
         // Accessing another page of the block does not fault.
         let r2 = sys.access(pid, Vpn(701), false);
         assert!(!r2.demand_fault);
         // Migrating any page of the block moves all 512 pages.
         let moved = sys
-            .migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+            .migrate(pid, Vpn(700), TierId::SLOW, MigrateMode::Async)
             .unwrap();
         assert_eq!(moved, 512);
         assert_eq!(sys.stats.demoted_pages, 512);
-        assert_eq!(sys.used_frames(TierId::Slow), 512);
+        assert_eq!(sys.used_frames(TierId::SLOW), 512);
     }
 
     #[test]
@@ -1758,9 +1822,9 @@ mod tests {
         let mut sys = TieredSystem::new(SystemConfig::dram_pmem(1024, 100));
         let pid = sys.add_process(512, PageSize::Huge2M);
         sys.access(pid, Vpn(0), false);
-        assert_eq!(sys.process(pid).space.entry(Vpn(0)).tier(), TierId::Fast);
+        assert_eq!(sys.process(pid).space.entry(Vpn(0)).tier(), TierId::FAST);
         assert_eq!(
-            sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async),
+            sys.migrate(pid, Vpn(0), TierId::SLOW, MigrateMode::Async),
             Err(MigrateError::NoSpace)
         );
     }
@@ -1878,34 +1942,34 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let fast_free = sys.free_frames(TierId::Fast);
+        let fast_free = sys.free_frames(TierId::FAST);
         let moved = sys
-            .begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(moved, 1);
         // In flight: reservation holds a fast frame, the PTE still points at
         // the slow copy, and reads keep hitting it without aborting.
-        assert_eq!(sys.free_frames(TierId::Fast), fast_free - 1);
-        assert_eq!(sys.migration_reserved_frames(TierId::Fast), 1);
+        assert_eq!(sys.free_frames(TierId::FAST), fast_free - 1);
+        assert_eq!(sys.migration_reserved_frames(TierId::FAST), 1);
         assert_eq!(sys.migration_in_flight_count(), 1);
         let e = sys.process(pid).space.entry(Vpn(100));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(e.flags.has(PageFlags::MIGRATING));
         let r = sys.access(pid, Vpn(100), false);
-        assert_eq!(r.tier, TierId::Slow);
+        assert_eq!(r.tier, TierId::SLOW);
         assert_eq!(sys.stats.promoted_pages, 0);
         // Completion is clock-driven.
         assert_eq!(sys.complete_due_migrations(), 0);
         sys.clock.advance(Nanos::from_millis(1));
         assert_eq!(sys.complete_due_migrations(), 1);
         let e = sys.process(pid).space.entry(Vpn(100));
-        assert_eq!(e.tier(), TierId::Fast);
+        assert_eq!(e.tier(), TierId::FAST);
         assert!(!e.flags.has(PageFlags::MIGRATING));
         assert_eq!(sys.stats.promoted_pages, 1);
         assert_eq!(sys.stats.begun_migrations, 1);
         assert_eq!(sys.stats.completed_migrations, 1);
         assert_eq!(sys.migration_in_flight_count(), 0);
-        assert_eq!(sys.migration_reserved_frames(TierId::Fast), 0);
+        assert_eq!(sys.migration_reserved_frames(TierId::FAST), 0);
     }
 
     #[test]
@@ -1915,16 +1979,16 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let fast_free = sys.free_frames(TierId::Fast);
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        let fast_free = sys.free_frames(TierId::FAST);
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         sys.access(pid, Vpn(100), true);
         assert_eq!(sys.stats.aborted_migrations, 1);
         assert_eq!(sys.migration_in_flight_count(), 0);
         // The reservation was released and the page stays slow, dirty.
-        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        assert_eq!(sys.free_frames(TierId::FAST), fast_free);
         let e = sys.process(pid).space.entry(Vpn(100));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(!e.flags.has(PageFlags::MIGRATING));
         assert!(e.flags.has(PageFlags::DIRTY));
         // Nothing left to complete.
@@ -1946,10 +2010,10 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(
-            sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async),
+            sys.begin_migrate(pid, Vpn(101), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::Backpressure)
         );
         assert_eq!(
@@ -1960,7 +2024,7 @@ mod tests {
         sys.clock.advance(Nanos::from_millis(1));
         sys.complete_due_migrations();
         assert!(sys
-            .begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+            .begin_migrate(pid, Vpn(101), TierId::FAST, MigrateMode::Async)
             .is_ok());
     }
 
@@ -1975,12 +2039,12 @@ mod tests {
         }
         // Each async copy queues ~3 µs on the fast channel; the second one
         // exceeds the 4 µs cap.
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
-        sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(101), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(
-            sys.begin_migrate(pid, Vpn(102), TierId::Fast, MigrateMode::Async),
+            sys.begin_migrate(pid, Vpn(102), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::Backpressure)
         );
         assert!(sys.migration_backlog() > Nanos::from_micros(4));
@@ -1993,15 +2057,15 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(
-            sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async),
+            sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::Backpressure)
         );
         // The in-flight page also refuses the compat (instant) path.
         assert_eq!(
-            sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async),
+            sys.migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::Backpressure)
         );
     }
@@ -2014,44 +2078,44 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         let before = sys.process(pid).vtime;
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Sync(pid))
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Sync(pid))
             .unwrap();
         assert!(sys.process(pid).vtime > before);
         // The waiter already paid: the copy is due immediately, even with
         // the clock unmoved.
         assert_eq!(sys.complete_due_migrations(), 1);
-        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Fast);
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::FAST);
     }
 
     #[test]
     fn huge_write_abort_releases_all_512_reserved_frames() {
         let (mut sys, pid) = huge_sys();
-        assert_eq!(sys.free_frames(TierId::Slow), 2048);
+        assert_eq!(sys.free_frames(TierId::SLOW), 2048);
         let moved = sys
-            .begin_migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+            .begin_migrate(pid, Vpn(700), TierId::SLOW, MigrateMode::Async)
             .unwrap();
         assert_eq!(moved, 512);
-        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 512);
-        assert_eq!(sys.free_frames(TierId::Slow), 2048 - 512);
+        assert_eq!(sys.migration_reserved_frames(TierId::SLOW), 512);
+        assert_eq!(sys.free_frames(TierId::SLOW), 2048 - 512);
         // A store to any page of the block kills the whole transaction.
         sys.access(pid, Vpn(701), true);
         assert_eq!(sys.stats.aborted_migrations, 1);
-        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 0);
-        assert_eq!(sys.free_frames(TierId::Slow), 2048);
+        assert_eq!(sys.migration_reserved_frames(TierId::SLOW), 0);
+        assert_eq!(sys.free_frames(TierId::SLOW), 2048);
         assert_eq!(sys.stats.demoted_pages, 0);
         let e = sys.process(pid).space.entry(Vpn(700).huge_head());
         assert!(!e.flags.has(PageFlags::MIGRATING));
-        assert_eq!(e.tier(), TierId::Fast);
+        assert_eq!(e.tier(), TierId::FAST);
     }
 
     #[test]
     fn split_during_in_flight_huge_migration_aborts() {
         let (mut sys, pid) = huge_sys();
-        sys.begin_migrate(pid, Vpn(700), TierId::Slow, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(700), TierId::SLOW, MigrateMode::Async)
             .unwrap();
         sys.split_block(pid, Vpn(700));
         assert_eq!(sys.stats.aborted_migrations, 1);
-        assert_eq!(sys.migration_reserved_frames(TierId::Slow), 0);
+        assert_eq!(sys.migration_reserved_frames(TierId::SLOW), 0);
         assert_eq!(sys.migration_in_flight_count(), 0);
         let head = Vpn(700).huge_head();
         let e = sys.process(pid).space.entry(head);
@@ -2070,12 +2134,12 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let fast_free = sys.free_frames(TierId::Fast);
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        let fast_free = sys.free_frames(TierId::FAST);
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         sys.swap_out(pid, Vpn(100)).unwrap();
         assert_eq!(sys.stats.aborted_migrations, 1);
-        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        assert_eq!(sys.free_frames(TierId::FAST), fast_free);
         assert!(!sys.process(pid).space.entry(Vpn(100)).present());
     }
 
@@ -2089,8 +2153,8 @@ mod tests {
         for i in 0..72 {
             sys.access(pid, Vpn(i), false);
         }
-        assert_eq!(sys.free_frames(TierId::Fast), 0);
-        assert_eq!(sys.free_frames(TierId::Slow), 0);
+        assert_eq!(sys.free_frames(TierId::FAST), 0);
+        assert_eq!(sys.free_frames(TierId::SLOW), 0);
         let r = sys.promote_with_reclaim(pid, Vpn(60), MigrateMode::Async);
         assert_eq!(r, Err(MigrateError::NoSpace));
         // The attempt budget is 4 × unit; every victim demotion failed with
@@ -2106,11 +2170,11 @@ mod tests {
         sys.access(pid, Vpn(0), false);
         // NotPresent.
         assert!(sys
-            .migrate(pid, Vpn(5), TierId::Fast, MigrateMode::Async)
+            .migrate(pid, Vpn(5), TierId::FAST, MigrateMode::Async)
             .is_err());
         // SameTier (page 0 landed fast).
         assert!(sys
-            .migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async)
+            .migrate(pid, Vpn(0), TierId::FAST, MigrateMode::Async)
             .is_err());
         assert_eq!(
             sys.stats.failed_fast_migrations[MigrateError::NotPresent.index()],
@@ -2122,7 +2186,7 @@ mod tests {
         );
         // Demotion failures stay out of the fast-tier table.
         assert!(sys
-            .migrate(pid, Vpn(5), TierId::Slow, MigrateMode::Async)
+            .migrate(pid, Vpn(5), TierId::SLOW, MigrateMode::Async)
             .is_err());
         assert_eq!(
             sys.stats.failed_fast_migrations[MigrateError::NotPresent.index()],
@@ -2134,13 +2198,13 @@ mod tests {
         for i in 0..512 {
             full.access(p2, Vpn(i), false);
         }
-        while full.free_frames(TierId::Fast) > 0 {
-            let v = 512 - 1 - full.free_frames(TierId::Fast);
-            let _ = full.migrate(p2, Vpn(v), TierId::Fast, MigrateMode::Async);
+        while full.free_frames(TierId::FAST) > 0 {
+            let v = 512 - 1 - full.free_frames(TierId::FAST);
+            let _ = full.migrate(p2, Vpn(v), TierId::FAST, MigrateMode::Async);
         }
         let before = full.stats.failed_promotions;
         assert_eq!(
-            full.migrate(p2, Vpn(500), TierId::Fast, MigrateMode::Async),
+            full.migrate(p2, Vpn(500), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::NoSpace)
         );
         assert_eq!(full.stats.failed_promotions, before + 1);
@@ -2157,12 +2221,12 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        sys.migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
-        sys.begin_migrate(pid, Vpn(101), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(101), TierId::FAST, MigrateMode::Async)
             .unwrap();
         sys.access(pid, Vpn(101), true); // abort
-        sys.begin_migrate(pid, Vpn(102), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(102), TierId::FAST, MigrateMode::Async)
             .unwrap();
         assert_eq!(sys.stats.begun_migrations, 3);
         assert_eq!(
@@ -2185,6 +2249,7 @@ mod tests {
         MigrateError::Backpressure,
         MigrateError::CopyFault,
         MigrateError::Poisoned,
+        MigrateError::NonAdjacent,
     ];
 
     #[test]
@@ -2198,6 +2263,7 @@ mod tests {
                 MigrateError::Backpressure => "backpressure",
                 MigrateError::CopyFault => "copy_fault",
                 MigrateError::Poisoned => "poisoned",
+                MigrateError::NonAdjacent => "non_adjacent",
             };
             assert_eq!(MigrateError::REASONS[i], expect);
         }
@@ -2211,15 +2277,15 @@ mod tests {
         let mut sys = small_sys();
         let pid = sys.add_process(128, PageSize::Base);
         sys.access(pid, Vpn(0), false);
-        let _ = sys.migrate(pid, Vpn(5), TierId::Fast, MigrateMode::Async);
-        let _ = sys.migrate(pid, Vpn(0), TierId::Fast, MigrateMode::Async);
+        let _ = sys.migrate(pid, Vpn(5), TierId::FAST, MigrateMode::Async);
+        let _ = sys.migrate(pid, Vpn(0), TierId::FAST, MigrateMode::Async);
         // Backpressure via a second begin on the same in-flight unit.
         for i in 1..128 {
             sys.access(pid, Vpn(i), false);
         }
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
-        let _ = sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async);
+        let _ = sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async);
         let t = &sys.stats.failed_fast_migrations;
         assert_eq!(t[MigrateError::NotPresent.index()], 1);
         assert_eq!(t[MigrateError::SameTier.index()], 1);
@@ -2231,12 +2297,12 @@ mod tests {
         for i in 0..512 {
             full.access(p2, Vpn(i), false);
         }
-        while full.free_frames(TierId::Fast) > 0 {
-            let v = 512 - 1 - full.free_frames(TierId::Fast);
-            let _ = full.migrate(p2, Vpn(v), TierId::Fast, MigrateMode::Async);
+        while full.free_frames(TierId::FAST) > 0 {
+            let v = 512 - 1 - full.free_frames(TierId::FAST);
+            let _ = full.migrate(p2, Vpn(v), TierId::FAST, MigrateMode::Async);
         }
         assert_eq!(
-            full.migrate(p2, Vpn(500), TierId::Fast, MigrateMode::Async),
+            full.migrate(p2, Vpn(500), TierId::FAST, MigrateMode::Async),
             Err(MigrateError::NoSpace)
         );
         assert_eq!(
@@ -2265,11 +2331,34 @@ mod tests {
                 fsys.access(fp, Vpn(i), false);
             }
             assert_eq!(
-                fsys.migrate(fp, Vpn(100), TierId::Fast, MigrateMode::Async),
+                fsys.migrate(fp, Vpn(100), TierId::FAST, MigrateMode::Async),
                 Err(err)
             );
             assert_eq!(fsys.stats.failed_fast_migrations[err.index()], 1);
         }
+
+        // NonAdjacent: a two-hop move on a three-tier chain.
+        let mut tri = TieredSystem::new(SystemConfig::three_tier(16, 512, 512));
+        let p3 = tri.add_process(256, PageSize::Base);
+        for i in 0..256 {
+            tri.access(p3, Vpn(i), false);
+        }
+        // Allocation spilled past the tiny fast tier into the middle tier;
+        // push one page down to the bottom, then ask for the illegal 2→0 hop.
+        let mid_page = (0..256)
+            .map(Vpn)
+            .find(|&v| tri.process(p3).space.entry(v).tier() == TierId(1))
+            .expect("some page landed in the middle tier");
+        tri.migrate(p3, mid_page, TierId(2), MigrateMode::Async)
+            .unwrap();
+        assert_eq!(
+            tri.migrate(p3, mid_page, TierId::FAST, MigrateMode::Async),
+            Err(MigrateError::NonAdjacent)
+        );
+        assert_eq!(
+            tri.stats.failed_fast_migrations[MigrateError::NonAdjacent.index()],
+            1
+        );
     }
 
     #[test]
@@ -2283,16 +2372,16 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let fast_free = sys.free_frames(TierId::Fast);
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        let fast_free = sys.free_frames(TierId::FAST);
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         sys.clock.advance(Nanos::from_millis(1));
         // The copy comes due but the roll fails it: nothing completed.
         assert_eq!(sys.complete_due_migrations(), 0);
         assert_eq!(sys.stats.transient_copy_faults, 1);
-        assert_eq!(sys.free_frames(TierId::Fast), fast_free);
+        assert_eq!(sys.free_frames(TierId::FAST), fast_free);
         let e = sys.process(pid).space.entry(Vpn(100));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(!e.flags.has(PageFlags::MIGRATING));
         let failures = sys.take_migration_failures();
         assert_eq!(
@@ -2301,7 +2390,8 @@ mod tests {
                 pid,
                 head: Vpn(100),
                 unit: 1,
-                to: TierId::Fast,
+                from: TierId::SLOW,
+                to: TierId::FAST,
                 reason: MigrateError::CopyFault,
             }]
         );
@@ -2312,7 +2402,7 @@ mod tests {
         // A retry of the same migration is valid and (with the dice removed)
         // would succeed: admission accepts it again.
         assert!(sys
-            .begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            .begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .is_ok());
     }
 
@@ -2327,19 +2417,19 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        let fast_free = sys.free_frames(TierId::Fast);
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        let fast_free = sys.free_frames(TierId::FAST);
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         sys.clock.advance(Nanos::from_millis(1));
         assert_eq!(sys.complete_due_migrations(), 0);
         assert_eq!(sys.stats.poisoned_copy_faults, 1);
         assert_eq!(sys.stats.quarantined_frames, 1);
-        assert_eq!(sys.quarantined_frames(TierId::Fast), 1);
+        assert_eq!(sys.quarantined_frames(TierId::FAST), 1);
         // One frame went bad: the free pool is one short of where it was.
-        assert_eq!(sys.free_frames(TierId::Fast), fast_free - 1);
-        assert_eq!(sys.total_frames(TierId::Fast), 63);
+        assert_eq!(sys.free_frames(TierId::FAST), fast_free - 1);
+        assert_eq!(sys.total_frames(TierId::FAST), 63);
         // The source mapping survived.
-        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::Slow);
+        assert_eq!(sys.process(pid).space.entry(Vpn(100)).tier(), TierId::SLOW);
     }
 
     #[test]
@@ -2348,19 +2438,19 @@ mod tests {
         let pid = sys.add_process(16, PageSize::Base);
         sys.access(pid, Vpn(3), false);
         let e = sys.process(pid).space.entry(Vpn(3));
-        assert_eq!(e.tier(), TierId::Fast);
+        assert_eq!(e.tier(), TierId::FAST);
         let bad = e.pfn;
-        assert!(sys.poison_frame(TierId::Fast, bad));
+        assert!(sys.poison_frame(TierId::FAST, bad));
         // Soft-offline ran inline: the page moved to the slow tier, the bad
         // frame is quarantined, and the POISONED flag cleared with the move.
         let e = sys.process(pid).space.entry(Vpn(3));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(!e.flags.has(PageFlags::POISONED));
-        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        assert!(sys.frame_is_quarantined(TierId::FAST, bad));
         assert_eq!(sys.stats.quarantined_frames, 1);
-        assert_eq!(sys.total_frames(TierId::Fast), 63);
+        assert_eq!(sys.total_frames(TierId::FAST), 63);
         // Poisoning the same frame again is a no-op.
-        assert!(!sys.poison_frame(TierId::Fast, bad));
+        assert!(!sys.poison_frame(TierId::FAST, bad));
         assert_eq!(sys.stats.quarantined_frames, 1);
     }
 
@@ -2371,8 +2461,8 @@ mod tests {
         sys.access(pid, Vpn(0), false);
         let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
         sys.swap_out(pid, Vpn(0)).unwrap();
-        assert!(sys.poison_frame(TierId::Fast, pfn));
-        assert!(sys.frame_is_quarantined(TierId::Fast, pfn));
+        assert!(sys.poison_frame(TierId::FAST, pfn));
+        assert!(sys.frame_is_quarantined(TierId::FAST, pfn));
         assert_eq!(sys.stats.quarantined_frames, 1);
     }
 
@@ -2383,20 +2473,20 @@ mod tests {
         for i in 0..128 {
             sys.access(pid, Vpn(i), false);
         }
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         let dest = sys
             .in_flight_migrations()
             .next()
             .expect("one txn in flight")
             .dest_pfns[0];
-        assert!(sys.poison_frame(TierId::Fast, dest));
+        assert!(sys.poison_frame(TierId::FAST, dest));
         assert_eq!(sys.stats.aborted_migrations, 1);
         assert_eq!(sys.migration_in_flight_count(), 0);
-        assert!(sys.frame_is_quarantined(TierId::Fast, dest));
+        assert!(sys.frame_is_quarantined(TierId::FAST, dest));
         // The source page survived untouched in the slow tier.
         let e = sys.process(pid).space.entry(Vpn(100));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(!e.flags.has(PageFlags::MIGRATING));
     }
 
@@ -2405,16 +2495,16 @@ mod tests {
         let (mut sys, pid) = huge_sys();
         let head = Vpn(700).huge_head();
         let bad = sys.process(pid).space.entry(Vpn(703)).pfn;
-        assert!(sys.poison_frame(TierId::Fast, bad));
+        assert!(sys.poison_frame(TierId::FAST, bad));
         // The block was split so the poison stays on one base page; that
         // page soft-offlined to the slow tier.
         assert!(!sys.process(pid).space.is_huge_mapped(head));
         let e = sys.process(pid).space.entry(Vpn(703));
-        assert_eq!(e.tier(), TierId::Slow);
+        assert_eq!(e.tier(), TierId::SLOW);
         assert!(!e.flags.has(PageFlags::POISONED));
-        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        assert!(sys.frame_is_quarantined(TierId::FAST, bad));
         // Its neighbours stayed fast.
-        assert_eq!(sys.process(pid).space.entry(Vpn(702)).tier(), TierId::Fast);
+        assert_eq!(sys.process(pid).space.entry(Vpn(702)).tier(), TierId::FAST);
     }
 
     #[test]
@@ -2426,15 +2516,15 @@ mod tests {
         for i in 0..72 {
             sys.access(pid, Vpn(i), false);
         }
-        assert_eq!(sys.free_frames(TierId::Slow), 0);
+        assert_eq!(sys.free_frames(TierId::SLOW), 0);
         // Vpn(0) landed fast; its soft-offline has nowhere to go.
         let bad = sys.process(pid).space.entry(Vpn(0)).pfn;
-        assert!(sys.poison_frame(TierId::Fast, bad));
+        assert!(sys.poison_frame(TierId::FAST, bad));
         let e = sys.process(pid).space.entry(Vpn(0));
         assert!(e.flags.has(PageFlags::POISONED), "soft-offline had no room");
         assert_eq!(sys.stats.quarantined_frames, 0);
         sys.swap_out(pid, Vpn(0)).unwrap();
-        assert!(sys.frame_is_quarantined(TierId::Fast, bad));
+        assert!(sys.frame_is_quarantined(TierId::FAST, bad));
         assert_eq!(sys.stats.quarantined_frames, 1);
         let e = sys.process(pid).space.entry(Vpn(0));
         assert!(!e.flags.has(PageFlags::POISONED));
@@ -2448,12 +2538,12 @@ mod tests {
         for i in 0..32 {
             sys.access(pid, Vpn(i), false);
         }
-        assert_eq!(sys.total_frames(TierId::Fast), 64);
+        assert_eq!(sys.total_frames(TierId::FAST), 64);
         let wm_before = sys.watermarks;
         let got = sys.shrink_fast(16);
         assert_eq!(got, 16);
-        assert_eq!(sys.total_frames(TierId::Fast), 48);
-        assert_eq!(sys.offlined_frames(TierId::Fast), 16);
+        assert_eq!(sys.total_frames(TierId::FAST), 48);
+        assert_eq!(sys.offlined_frames(TierId::FAST), 16);
         assert_eq!(sys.stats.offlined_frames, 16);
         assert_eq!(sys.shrink_debt(), 0);
         assert!(sys.watermarks.well_ordered());
@@ -2461,7 +2551,7 @@ mod tests {
         let _ = wm_before;
         // Grow restores them and the usable size returns.
         assert_eq!(sys.grow_fast(16), 16);
-        assert_eq!(sys.total_frames(TierId::Fast), 64);
+        assert_eq!(sys.total_frames(TierId::FAST), 64);
         assert_eq!(sys.stats.restored_frames, 16);
     }
 
@@ -2476,20 +2566,20 @@ mod tests {
         let got = sys.shrink_fast(20);
         assert_eq!(got, 8);
         assert_eq!(sys.shrink_debt(), 12);
-        assert_eq!(sys.total_frames(TierId::Fast), 56);
+        assert_eq!(sys.total_frames(TierId::FAST), 56);
         // Demote pages; the pump retires debt from the freed frames.
         for i in 0..12 {
-            sys.migrate(pid, Vpn(i), TierId::Slow, MigrateMode::Async)
+            sys.migrate(pid, Vpn(i), TierId::SLOW, MigrateMode::Async)
                 .unwrap();
         }
         sys.complete_due_migrations();
         assert_eq!(sys.shrink_debt(), 0);
-        assert_eq!(sys.offlined_frames(TierId::Fast), 20);
-        assert_eq!(sys.total_frames(TierId::Fast), 44);
+        assert_eq!(sys.offlined_frames(TierId::FAST), 20);
+        assert_eq!(sys.total_frames(TierId::FAST), 44);
         assert_eq!(sys.stats.offlined_frames, 20);
         // Grow first cancels debt, then restores offlined frames.
         assert_eq!(sys.grow_fast(20), 20);
-        assert_eq!(sys.total_frames(TierId::Fast), 64);
+        assert_eq!(sys.total_frames(TierId::FAST), 64);
     }
 
     #[test]
@@ -2508,10 +2598,10 @@ mod tests {
         }
         sys.clock.advance(Nanos::from_millis(5));
         sys.complete_due_migrations();
-        assert_eq!(sys.total_frames(TierId::Fast), 64, "not due yet");
+        assert_eq!(sys.total_frames(TierId::FAST), 64, "not due yet");
         sys.clock.advance(Nanos::from_millis(6));
         sys.complete_due_migrations();
-        assert_eq!(sys.total_frames(TierId::Fast), 48, "25% shrink fired");
+        assert_eq!(sys.total_frames(TierId::FAST), 48, "25% shrink fired");
     }
 
     #[test]
@@ -2522,7 +2612,7 @@ mod tests {
             for i in 0..128 {
                 sys.access(pid, Vpn(i), false);
             }
-            sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+            sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
                 .unwrap();
             sys.migration_backlog()
         };
@@ -2532,12 +2622,12 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         sys.degrade_channel(DegradeWindow {
-            tier: TierId::Fast,
+            tier: TierId::FAST,
             from: Nanos::ZERO,
             until: Nanos::from_secs(1),
             cost_multiplier: 4.0,
         });
-        sys.begin_migrate(pid, Vpn(100), TierId::Fast, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(100), TierId::FAST, MigrateMode::Async)
             .unwrap();
         let degraded = sys.migration_backlog();
         assert!(
@@ -2561,7 +2651,7 @@ mod tests {
                 sys.access(pid, Vpn(i), false);
             }
             for i in 64..80 {
-                let _ = sys.migrate(pid, Vpn(i), TierId::Fast, MigrateMode::Async);
+                let _ = sys.migrate(pid, Vpn(i), TierId::FAST, MigrateMode::Async);
             }
             sys.clock.advance(Nanos::from_millis(2));
             sys.complete_due_migrations();
@@ -2569,7 +2659,7 @@ mod tests {
                 sys.stats.promoted_pages,
                 sys.stats.completed_migrations,
                 sys.stats.transient_copy_faults,
-                sys.free_frames(TierId::Fast),
+                sys.free_frames(TierId::FAST),
             )
         };
         assert_eq!(run(None), run(Some(FaultPlan::inert(99))));
@@ -2583,8 +2673,8 @@ mod tests {
             sys.access(pid, Vpn(i), false);
         }
         // 56 fast + 72 slow demand accesses.
-        assert_eq!(sys.stats.reads[TierId::Fast.index()], 56);
-        assert_eq!(sys.stats.reads[TierId::Slow.index()], 72);
+        assert_eq!(sys.stats.reads[TierId::FAST.index()], 56);
+        assert_eq!(sys.stats.reads[TierId::SLOW.index()], 72);
         let fmar = sys.stats.fmar();
         assert!((fmar - 56.0 / 128.0).abs() < 1e-12);
     }

@@ -1,38 +1,57 @@
-//! Memory tiers and their performance characteristics.
+//! Memory tiers, their performance characteristics, and the tier chain.
+//!
+//! The substrate models an ordered *chain* of managed tiers — tier 0 is the
+//! fastest (DRAM), higher indices are progressively slower/larger (CXL
+//! memory, PMem) — with migration allowed only between adjacent tiers over
+//! per-edge bandwidth channels ([`EdgeSpec`]). Swap remains the unmanaged
+//! terminal backstop behind the last tier ([`TierChain::backstop`]): no
+//! hotness tracking, just a place reclaimed pages go and major faults come
+//! from. The classic two-tier DRAM+PMem shape of the paper's testbed is the
+//! chain `[dram, pmem]`.
 
 use sim_clock::Nanos;
 
 use crate::addr::BASE_PAGE_BYTES;
+use crate::config::SwapSpec;
 
-/// The two memory tiers of the fast-slow architecture studied by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TierId {
-    /// DRAM: low latency, small capacity.
-    Fast,
-    /// NVM / CXL memory: higher latency (with write asymmetry for Optane-like
-    /// devices), large capacity, exposed as a CPU-less NUMA node.
-    Slow,
-}
+/// Maximum number of managed tiers a chain may hold. Bounded by the 2-bit
+/// tier-index encoding in [`crate::PageFlags`].
+pub const MAX_TIERS: usize = 4;
+
+/// Identifier of one managed tier: a dense index into the tier chain.
+/// Tier 0 is the fastest; larger indices are slower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TierId(pub u8);
 
 impl TierId {
-    /// The other tier.
-    pub fn other(self) -> TierId {
-        match self {
-            TierId::Fast => TierId::Slow,
-            TierId::Slow => TierId::Fast,
-        }
-    }
+    /// The fastest tier (DRAM) — index 0.
+    pub const FAST: TierId = TierId(0);
+    /// The second tier — the "slow" tier of the classic two-tier shape.
+    pub const SLOW: TierId = TierId(1);
 
     /// Dense index for per-tier arrays.
+    #[inline]
     pub fn index(self) -> usize {
-        match self {
-            TierId::Fast => 0,
-            TierId::Slow => 1,
-        }
+        self.0 as usize
     }
 
-    /// Both tiers, fast first.
-    pub const ALL: [TierId; 2] = [TierId::Fast, TierId::Slow];
+    /// Whether this is the fastest (top) tier.
+    #[inline]
+    pub fn is_top(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The adjacent faster tier, or `None` at the top of the chain.
+    #[inline]
+    pub fn faster(self) -> Option<TierId> {
+        self.0.checked_sub(1).map(TierId)
+    }
+
+    /// The adjacent slower tier (the caller must know the chain length).
+    #[inline]
+    pub fn slower(self) -> TierId {
+        TierId(self.0 + 1)
+    }
 }
 
 /// Performance and capacity specification of one tier.
@@ -110,20 +129,141 @@ impl TierSpec {
     }
 }
 
+/// Cost model of the copy channel between two adjacent tiers.
+///
+/// The default derived by [`EdgeSpec::between`] reproduces the historical
+/// two-tier migration cost bit for bit: the copy runs at the *slower* of the
+/// two endpoint bandwidths (`max` of the per-tier transfer times equals the
+/// transfer time at the `min` bandwidth, since both are the same byte count
+/// divided by each bandwidth), with no fixed edge latency and no write
+/// asymmetry.
+#[derive(Debug, Clone)]
+pub struct EdgeSpec {
+    /// Sustained copy bandwidth over this edge, bytes/second.
+    pub bandwidth: u64,
+    /// Fixed extra latency per migration over this edge (interconnect setup,
+    /// e.g. a CXL switch hop). Zero on derived edges.
+    pub extra_latency: Nanos,
+    /// Multiplier on the copy time when moving *down* the edge (writing into
+    /// the slower endpoint), modelling write-asymmetric devices. `1.0` (the
+    /// derived default) charges nothing extra and skips the float path.
+    pub write_asymmetry: f64,
+}
+
+impl EdgeSpec {
+    /// Derives the compat edge between two adjacent tiers: bandwidth is the
+    /// minimum of the endpoints', no extra latency, no write asymmetry.
+    pub fn between(a: &TierSpec, b: &TierSpec) -> EdgeSpec {
+        EdgeSpec {
+            bandwidth: a.migration_bandwidth.min(b.migration_bandwidth),
+            extra_latency: Nanos::ZERO,
+            write_asymmetry: 1.0,
+        }
+    }
+
+    /// Time to copy `pages` base pages over this edge's bandwidth.
+    pub fn transfer_time(&self, pages: u64) -> Nanos {
+        let bytes = pages * BASE_PAGE_BYTES;
+        Nanos(bytes.saturating_mul(1_000_000_000) / self.bandwidth.max(1))
+    }
+}
+
+/// An ordered chain of managed tiers, the copy edges between adjacent pairs,
+/// and the unmanaged swap backstop behind the last tier.
+#[derive(Debug, Clone)]
+pub struct TierChain {
+    /// Managed tiers, fastest first. Length 2..=[`MAX_TIERS`].
+    pub tiers: Vec<TierSpec>,
+    /// Copy edges; `edges[i]` connects `tiers[i]` and `tiers[i + 1]`.
+    pub edges: Vec<EdgeSpec>,
+    /// The unmanaged terminal: the swap device behind the last tier.
+    pub backstop: SwapSpec,
+}
+
+impl TierChain {
+    /// Builds a chain from tier specs, deriving each edge via
+    /// [`EdgeSpec::between`] and using the default swap backstop.
+    ///
+    /// Panics if the chain has fewer than 2 or more than [`MAX_TIERS`] tiers.
+    pub fn new(tiers: Vec<TierSpec>) -> TierChain {
+        assert!(
+            (2..=MAX_TIERS).contains(&tiers.len()),
+            "tier chain must hold 2..={} tiers, got {}",
+            MAX_TIERS,
+            tiers.len()
+        );
+        let edges = tiers
+            .windows(2)
+            .map(|w| EdgeSpec::between(&w[0], &w[1]))
+            .collect();
+        TierChain {
+            tiers,
+            edges,
+            backstop: SwapSpec::default(),
+        }
+    }
+
+    /// Number of managed tiers.
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// A chain always holds at least two tiers.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The slowest (last) managed tier's id.
+    pub fn last(&self) -> TierId {
+        TierId(self.tiers.len() as u8 - 1)
+    }
+
+    /// Iterates the tier ids, fastest first.
+    pub fn ids(&self) -> impl Iterator<Item = TierId> {
+        (0..self.tiers.len() as u8).map(TierId)
+    }
+
+    /// The spec of one tier.
+    pub fn tier(&self, id: TierId) -> &TierSpec {
+        &self.tiers[id.index()]
+    }
+
+    /// Whether two tiers are adjacent in the chain.
+    pub fn adjacent(&self, a: TierId, b: TierId) -> bool {
+        let (a, b) = (a.index(), b.index());
+        a < self.len() && b < self.len() && a.abs_diff(b) == 1
+    }
+
+    /// The edge connecting two *adjacent* tiers. Panics if not adjacent.
+    pub fn edge_between(&self, a: TierId, b: TierId) -> &EdgeSpec {
+        debug_assert!(self.adjacent(a, b), "no edge between {:?} and {:?}", a, b);
+        &self.edges[a.index().min(b.index())]
+    }
+
+    /// Total capacity in frames across all managed tiers.
+    pub fn total_frames(&self) -> u32 {
+        self.tiers.iter().map(|t| t.frames).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn other_flips() {
-        assert_eq!(TierId::Fast.other(), TierId::Slow);
-        assert_eq!(TierId::Slow.other(), TierId::Fast);
+    fn indices_are_dense() {
+        assert_eq!(TierId::FAST.index(), 0);
+        assert_eq!(TierId::SLOW.index(), 1);
+        assert!(TierId::FAST.is_top());
+        assert!(!TierId::SLOW.is_top());
     }
 
     #[test]
-    fn indices_are_dense() {
-        assert_eq!(TierId::Fast.index(), 0);
-        assert_eq!(TierId::Slow.index(), 1);
+    fn chain_neighbours() {
+        assert_eq!(TierId::FAST.faster(), None);
+        assert_eq!(TierId::SLOW.faster(), Some(TierId::FAST));
+        assert_eq!(TierId::FAST.slower(), TierId::SLOW);
+        assert_eq!(TierId(2).faster(), Some(TierId::SLOW));
     }
 
     #[test]
@@ -154,5 +294,51 @@ mod tests {
     #[test]
     fn capacity_in_bytes() {
         assert_eq!(TierSpec::dram(256).bytes(), 256 * 4096);
+    }
+
+    #[test]
+    fn derived_edge_reproduces_two_tier_copy_cost() {
+        // max(per-tier transfer times) == transfer time at min bandwidth,
+        // bit for bit — the compat proof behind every existing golden.
+        let d = TierSpec::dram(1024);
+        let p = TierSpec::pmem(1024);
+        let e = EdgeSpec::between(&d, &p);
+        assert_eq!(e.bandwidth, p.migration_bandwidth);
+        assert_eq!(e.extra_latency, Nanos::ZERO);
+        assert_eq!(e.write_asymmetry, 1.0);
+        for pages in [1u64, 7, 512, 4096] {
+            assert_eq!(
+                e.transfer_time(pages),
+                d.transfer_time(pages).max(p.transfer_time(pages))
+            );
+        }
+    }
+
+    #[test]
+    fn chain_derives_adjacent_edges() {
+        let c = TierChain::new(vec![
+            TierSpec::dram(64),
+            TierSpec::cxl(128),
+            TierSpec::pmem(256),
+        ]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.edges.len(), 2);
+        assert_eq!(c.last(), TierId(2));
+        assert_eq!(c.total_frames(), 64 + 128 + 256);
+        assert!(c.adjacent(TierId(0), TierId(1)));
+        assert!(c.adjacent(TierId(2), TierId(1)));
+        assert!(!c.adjacent(TierId(0), TierId(2)));
+        assert!(!c.adjacent(TierId(0), TierId(0)));
+        // dram↔cxl runs at CXL bandwidth; cxl↔pmem at PMem bandwidth.
+        assert_eq!(c.edge_between(TierId(0), TierId(1)).bandwidth, 8 << 30);
+        assert_eq!(c.edge_between(TierId(1), TierId(2)).bandwidth, 4 << 30);
+        let ids: Vec<u8> = c.ids().map(|t| t.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier chain must hold")]
+    fn chain_rejects_single_tier() {
+        TierChain::new(vec![TierSpec::dram(64)]);
     }
 }

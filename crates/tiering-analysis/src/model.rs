@@ -1,16 +1,17 @@
 //! Exhaustive small-scope model checking of the page lifecycle.
 //!
 //! The state of one page, as far as the substrate and every policy are
-//! concerned, is its 15-bit [`PageFlags`] word (the tier is the `IN_FAST`
-//! bit) plus one bit of promotion-queue membership. That is 2^16 = 65536
-//! states — small enough to enumerate the reachable set *exactly* rather
-//! than sample it, which is the whole trick: the transition relation below
-//! restates, as pure functions, what `TieredSystem`, `AddressSpace`,
-//! `ChronoPolicy`, and the baseline policies actually do to a page's flags
-//! (scan-unmap, hint-fault, DCSC probes, candidate filtering, enqueue,
-//! two-phase migration begin/abort/complete, split, swap-out/in, reclaim,
-//! LRU rotation), and a BFS from the zero state visits everything those
-//! functions can ever produce.
+//! concerned, is its 16-bit [`PageFlags`] word (the residency tier is the
+//! two-bit index spread across `TIER_LO`/`TIER_HI`) plus one bit of
+//! promotion-queue membership. That is 2^17 = 131072 states — small enough
+//! to enumerate the reachable set *exactly* rather than sample it, which is
+//! the whole trick: the transition relation below restates, as pure
+//! functions, what `TieredSystem`, `AddressSpace`, `ChronoPolicy`, and the
+//! baseline policies actually do to a page's flags (scan-unmap, hint-fault,
+//! DCSC probes, candidate filtering, enqueue, two-phase migration
+//! begin/abort/complete along adjacent tier edges, split, swap-out/in,
+//! reclaim, LRU rotation), and a BFS from the zero state visits everything
+//! those functions can ever produce.
 //!
 //! Two consumers:
 //!
@@ -28,39 +29,66 @@
 
 use std::sync::OnceLock;
 
-use tiered_mem::PageFlags;
+use tiered_mem::{PageFlags, MAX_TIERS};
 
 /// Model-only bit: the page sits in a policy promotion queue. Lives just
-/// above the real flag bits so one `u16` holds the whole model state.
-pub const QUEUED: u16 = 1 << PageFlags::BITS;
+/// above the real flag bits so one `u32` holds the whole model state.
+pub const QUEUED: u32 = 1 << PageFlags::BITS;
 
 /// Total model state space: every flag bit plus the queued bit.
 pub const STATE_SPACE: usize = 1 << (PageFlags::BITS + 1);
 
-const P: u16 = PageFlags::PRESENT;
-const PN: u16 = PageFlags::PROT_NONE;
-const A: u16 = PageFlags::ACCESSED;
-const D: u16 = PageFlags::DIRTY;
-const PB: u16 = PageFlags::PROBED;
-const DEM: u16 = PageFlags::DEMOTED;
-const HH: u16 = PageFlags::HUGE_HEAD;
-const HS: u16 = PageFlags::HUGE_SPLIT;
-const F: u16 = PageFlags::IN_FAST;
-const LA: u16 = PageFlags::LRU_ACTIVE;
-const C: u16 = PageFlags::CANDIDATE;
-const POL: u16 = PageFlags::POLICY_BIT;
-const SW: u16 = PageFlags::SWAPPED;
-const MIG: u16 = PageFlags::MIGRATING;
-const PSN: u16 = PageFlags::POISONED;
+const P: u32 = PageFlags::PRESENT as u32;
+const PN: u32 = PageFlags::PROT_NONE as u32;
+const A: u32 = PageFlags::ACCESSED as u32;
+const D: u32 = PageFlags::DIRTY as u32;
+const PB: u32 = PageFlags::PROBED as u32;
+const DEM: u32 = PageFlags::DEMOTED as u32;
+const HH: u32 = PageFlags::HUGE_HEAD as u32;
+const HS: u32 = PageFlags::HUGE_SPLIT as u32;
+const TL: u32 = PageFlags::TIER_LO as u32;
+const TH: u32 = PageFlags::TIER_HI as u32;
+const LA: u32 = PageFlags::LRU_ACTIVE as u32;
+const C: u32 = PageFlags::CANDIDATE as u32;
+const POL: u32 = PageFlags::POLICY_BIT as u32;
+const SW: u32 = PageFlags::SWAPPED as u32;
+const MIG: u32 = PageFlags::MIGRATING as u32;
+const PSN: u32 = PageFlags::POISONED as u32;
+const MASK: u32 = PageFlags::MASK as u32;
 
-fn has(s: u16, m: u16) -> bool {
+fn has(s: u32, m: u32) -> bool {
     s & m == m
+}
+
+/// Decodes the residency tier index from the two tier bits (`TIER_LO` is
+/// stored inverted) — the model-side mirror of `PageFlags::tier`.
+fn tier_of(s: u32) -> u8 {
+    (u8::from(s & TH != 0) << 1) | u8::from(s & TL == 0)
+}
+
+/// Encodes tier index `t` into the tier bits of `s` — the model-side mirror
+/// of `PageFlags::set_tier`.
+fn with_tier(s: u32, t: u8) -> u32 {
+    debug_assert!((t as usize) < MAX_TIERS);
+    let mut s = s & !(TL | TH);
+    if t & 1 == 0 {
+        s |= TL;
+    }
+    if t >> 1 != 0 {
+        s |= TH;
+    }
+    s
+}
+
+/// Whether the page sits in the top (fast) tier.
+fn in_fast(s: u32) -> bool {
+    tier_of(s) == 0
 }
 
 /// Flag bits a never-mapped huge-block tail entry can carry: its tier (set
 /// by `demand_map`/`migrate` on the whole block) and the accessed/dirty
 /// stamps `TieredSystem::access` leaves on the faulted base offset.
-const TAIL_MASK: u16 = F | A | D;
+const TAIL_MASK: u32 = TL | TH | A | D;
 
 /// One named transition of the page lifecycle: `apply` returns every
 /// successor state (empty when the guard rejects the state).
@@ -68,7 +96,7 @@ pub struct Transition {
     /// Name used in reports and the self-test.
     pub name: &'static str,
     /// The pure transition function.
-    pub apply: fn(u16) -> Vec<u16>,
+    pub apply: fn(u32) -> Vec<u32>,
 }
 
 /// The full transition relation. Each entry cites the code it abstracts;
@@ -77,9 +105,10 @@ pub struct Transition {
 pub fn transitions() -> Vec<Transition> {
     vec![
         // TieredSystem::access → demand_map (+ swap-in): maps the PTE page,
-        // clearing SWAPPED, choosing a tier, optionally as a huge head, and
-        // inserting into the active LRU; the access then stamps A (and D on
-        // writes). A split block can never be huge-mapped again.
+        // clearing SWAPPED, choosing a tier (pick_alloc_tier can spill into
+        // any tier of the chain), optionally as a huge head, and inserting
+        // into the active LRU; the access then stamps A (and D on writes).
+        // A split block can never be huge-mapped again.
         Transition {
             name: "demand_fault",
             apply: |s| {
@@ -87,9 +116,9 @@ pub fn transitions() -> Vec<Transition> {
                     return vec![];
                 }
                 let mut out = Vec::new();
-                for tier in [F, 0] {
+                for tier in 0..MAX_TIERS as u8 {
                     for dirty in [0, D] {
-                        let base = ((s & !SW & !F) | P | tier | LA | A | dirty) & !PN;
+                        let base = (with_tier(s & !SW, tier) | P | LA | A | dirty) & !PN;
                         out.push(base);
                         if !has(s, HS) {
                             out.push(base | HH);
@@ -118,7 +147,7 @@ pub fn transitions() -> Vec<Transition> {
                 if has(s, P) || s & !TAIL_MASK != 0 {
                     return vec![];
                 }
-                vec![s | F, s & !F]
+                (0..MAX_TIERS as u8).map(|t| with_tier(s, t)).collect()
             },
         },
         // TieredSystem::access on a huge mapping: the faulted base offset's
@@ -133,7 +162,7 @@ pub fn transitions() -> Vec<Transition> {
             },
         },
         // Ticking-scan / NUMA-balancing scan: poison a present PTE. The
-        // linux_nb and autotiering scanners poison both tiers, so the guard
+        // linux_nb and autotiering scanners poison every tier, so the guard
         // is presence alone.
         Transition {
             name: "scan_unmap",
@@ -187,12 +216,12 @@ pub fn transitions() -> Vec<Transition> {
             },
         },
         // ChronoPolicy::handle_scan_fault (and the memtis/flexmem deferred
-        // queues): a slow-tier page that passed the candidate filter is
-        // marked CANDIDATE and enqueued for promotion.
+        // queues): a page below the top tier that passed the candidate
+        // filter is marked CANDIDATE and enqueued for promotion.
         Transition {
             name: "candidate_enqueue",
             apply: |s| {
-                if has(s, P) && !has(s, F) && !has(s, C) {
+                if has(s, P) && !in_fast(s) && !has(s, C) {
                     vec![s | C | QUEUED]
                 } else {
                     vec![]
@@ -237,29 +266,32 @@ pub fn transitions() -> Vec<Transition> {
                 }
             },
         },
-        // TieredSystem::complete_txn to Fast (both the compat `migrate`
-        // wrapper and clock-driven completion retire through it): clears the
-        // transaction mark and the transient marks (poison, candidacy,
-        // probe, thrash watch, frame poisoning — the bad source frame is
-        // quarantined, the page now sits on a healthy one), landing on the
-        // active LRU of the fast tier.
+        // TieredSystem::complete_txn on an up edge (both the compat
+        // `migrate` wrapper and clock-driven completion retire through it):
+        // the page moves one tier toward the top, clearing the transaction
+        // mark and the transient marks (poison, candidacy, probe, thrash
+        // watch, frame poisoning — the bad source frame is quarantined, the
+        // page now sits on a healthy one), landing on the active LRU of the
+        // destination tier.
         Transition {
             name: "promote",
             apply: |s| {
-                if has(s, P | MIG) && !has(s, F) {
-                    vec![(s & !(PN | C | PB | DEM | MIG | PSN)) | F | LA]
+                let t = tier_of(s);
+                if has(s, P | MIG) && t > 0 {
+                    vec![with_tier(s & !(PN | C | PB | DEM | MIG | PSN), t - 1) | LA]
                 } else {
                     vec![]
                 }
             },
         },
-        // TieredSystem::complete_txn to Slow: same clears minus the thrash
-        // watch; lands on the inactive LRU of the slow tier.
+        // TieredSystem::complete_txn on a down edge: same clears minus the
+        // thrash watch; lands on the inactive LRU one tier below.
         Transition {
             name: "demote",
             apply: |s| {
-                if has(s, P | F | MIG) {
-                    vec![s & !(PN | C | PB | F | LA | MIG | PSN)]
+                let t = tier_of(s);
+                if has(s, P | MIG) && (t as usize) < MAX_TIERS - 1 {
+                    vec![with_tier(s & !(PN | C | PB | LA | MIG | PSN), t + 1)]
                 } else {
                     vec![]
                 }
@@ -287,7 +319,7 @@ pub fn transitions() -> Vec<Transition> {
         Transition {
             name: "thrash_arm",
             apply: |s| {
-                if has(s, P) && !has(s, F) {
+                if has(s, P) && !in_fast(s) {
                     vec![s | DEM | PN]
                 } else {
                     vec![]
@@ -299,7 +331,7 @@ pub fn transitions() -> Vec<Transition> {
         Transition {
             name: "thrash_clear",
             apply: |s| {
-                if has(s, P | DEM) && !has(s, F) {
+                if has(s, P | DEM) && !in_fast(s) {
                     vec![s & !DEM]
                 } else {
                     vec![]
@@ -307,11 +339,11 @@ pub fn transitions() -> Vec<Transition> {
             },
         },
         // flexmem's two-touch marker: POLICY_BIT toggles on present
-        // slow-tier pages (it may then persist across promotions).
+        // lower-tier pages (it may then persist across promotions).
         Transition {
             name: "policy_bit_toggle",
             apply: |s| {
-                if has(s, P) && !has(s, F) {
+                if has(s, P) && !in_fast(s) {
                     vec![s | POL, s & !POL]
                 } else {
                     vec![]
@@ -337,11 +369,12 @@ pub fn transitions() -> Vec<Transition> {
             },
         },
         // TieredSystem::swap_out: an in-flight migration is aborted first,
-        // then the head loses presence and every transient mark; IN_FAST,
-        // LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and POLICY_BIT are left stale
-        // (and queue membership is unaffected — the drain discovers the
-        // eviction later). A poisoned page's freed frame is quarantined and
-        // the mark cleared — the swap copy is clean data on a clean device.
+        // then the head loses presence and every transient mark; the tier
+        // bits, LRU_ACTIVE, HUGE_HEAD, HUGE_SPLIT and POLICY_BIT are left
+        // stale (and queue membership is unaffected — the drain discovers
+        // the eviction later). A poisoned page's freed frame is quarantined
+        // and the mark cleared — the swap copy is clean data on a clean
+        // device.
         Transition {
             name: "swap_out",
             apply: |s| {
@@ -374,7 +407,7 @@ pub struct LegalityRule {
     /// Stable name used in reports.
     pub name: &'static str,
     /// The predicate (true ⇒ the state is illegal).
-    pub illegal: fn(u16) -> bool,
+    pub illegal: fn(u32) -> bool,
 }
 
 /// The declared legal-state rules. These are the combination rules that
@@ -397,23 +430,23 @@ pub fn legality_rules() -> Vec<LegalityRule> {
             name: "huge_head_excludes_split",
             illegal: |s| has(s, HH | HS),
         },
-        // The thrashing monitor only watches resident slow-tier pages.
+        // The thrashing monitor only watches resident lower-tier pages.
         LegalityRule {
             name: "demoted_requires_present",
             illegal: |s| has(s, DEM) && !has(s, P),
         },
         LegalityRule {
             name: "demoted_excludes_fast",
-            illegal: |s| has(s, DEM | F),
+            illegal: |s| has(s, DEM) && in_fast(s),
         },
-        // Promotion candidacy means "resident in the slow tier".
+        // Promotion candidacy means "resident below the top tier".
         LegalityRule {
             name: "candidate_requires_present",
             illegal: |s| has(s, C) && !has(s, P),
         },
         LegalityRule {
             name: "candidate_excludes_fast",
-            illegal: |s| has(s, C | F),
+            illegal: |s| has(s, C) && in_fast(s),
         },
         // A DCSC probe outlives neither its page nor a migration.
         LegalityRule {
@@ -451,9 +484,9 @@ pub fn legality_rules() -> Vec<LegalityRule> {
 /// Result of one exhaustive enumeration.
 pub struct ModelReport {
     /// Every reachable state word (flag bits plus [`QUEUED`]), sorted.
-    pub reachable: Vec<u16>,
+    pub reachable: Vec<u32>,
     /// Reachable states violating a legality rule, with the rule name.
-    pub illegal: Vec<(u16, &'static str)>,
+    pub illegal: Vec<(u32, &'static str)>,
     /// Transitions that never fired from any reachable state (dead
     /// transitions indicate a guard typo).
     pub dead_transitions: Vec<&'static str>,
@@ -464,7 +497,7 @@ pub struct ModelReport {
 pub fn check_model(ts: &[Transition], rules: &[LegalityRule]) -> ModelReport {
     let mut seen = vec![false; STATE_SPACE];
     let mut fired = vec![false; ts.len()];
-    let mut frontier = vec![0u16];
+    let mut frontier = vec![0u32];
     seen[0] = true;
     while let Some(s) = frontier.pop() {
         for (i, t) in ts.iter().enumerate() {
@@ -482,15 +515,14 @@ pub fn check_model(ts: &[Transition], rules: &[LegalityRule]) -> ModelReport {
             }
         }
     }
-    // STATE_SPACE itself no longer fits in u16, so range over usize.
-    let reachable: Vec<u16> = (0..STATE_SPACE)
+    let reachable: Vec<u32> = (0..STATE_SPACE)
         .filter(|&s| seen[s])
-        .map(|s| s as u16)
+        .map(|s| s as u32)
         .collect();
     let mut illegal = Vec::new();
     for &s in &reachable {
         for r in rules {
-            if (r.illegal)(s & PageFlags::MASK) {
+            if (r.illegal)(s & MASK) {
                 illegal.push((s, r.name));
             }
         }
@@ -519,7 +551,7 @@ fn reachable_words() -> &'static [u64; BITMAP_WORDS] {
         let report = check_model(&transitions(), &[]);
         let mut bits = [0u64; BITMAP_WORDS];
         for s in report.reachable {
-            let w = s & PageFlags::MASK;
+            let w = s & MASK;
             bits[(w >> 6) as usize] |= 1 << (w & 63);
         }
         bits
@@ -531,10 +563,8 @@ fn reachable_words() -> &'static [u64; BITMAP_WORDS] {
 /// produce must satisfy this; the tiering-verify oracle asserts it after
 /// every fuzz op.
 pub fn flag_word_reachable(word: u16) -> bool {
-    if word & !PageFlags::MASK != 0 {
-        return false;
-    }
-    reachable_words()[(word >> 6) as usize] & (1 << (word & 63)) != 0
+    let w = word as u32;
+    reachable_words()[(w >> 6) as usize] & (1 << (w & 63)) != 0
 }
 
 /// Renders a report in the committed-golden format: a header, then one
@@ -548,19 +578,16 @@ pub fn render_report(report: &ModelReport) -> String {
         STATE_SPACE,
         PageFlags::BITS,
     ));
-    let words: std::collections::BTreeSet<u16> = report
-        .reachable
-        .iter()
-        .map(|&s| s & PageFlags::MASK)
-        .collect();
+    let words: std::collections::BTreeSet<u32> =
+        report.reachable.iter().map(|&s| s & MASK).collect();
     out.push_str(&format!("# distinct flag words: {}\n", words.len()));
     for &s in &report.reachable {
         let q = if s & QUEUED != 0 { "Q|" } else { "" };
         out.push_str(&format!(
-            "{:04x} {}{}\n",
+            "{:05x} {}{}\n",
             s,
             q,
-            PageFlags::from_bits(s & PageFlags::MASK).describe()
+            PageFlags::from_bits((s & MASK) as u16).describe()
         ));
     }
     out
@@ -570,6 +597,10 @@ pub fn render_report(report: &ModelReport) -> String {
 mod tests {
     use super::*;
 
+    /// The historical fast-tier word shape: `TIER_LO` set, `TIER_HI` clear —
+    /// exactly the old single-bit `IN_FAST` encoding.
+    const F: u32 = TL;
+
     #[test]
     fn reachable_set_is_legal_and_nontrivial() {
         let report = check_model(&transitions(), &legality_rules());
@@ -578,9 +609,9 @@ mod tests {
             .iter()
             .map(|(s, r)| {
                 format!(
-                    "{r}: {:04x} {}",
+                    "{r}: {:05x} {}",
                     s,
-                    PageFlags::from_bits(s & PageFlags::MASK).describe()
+                    PageFlags::from_bits((s & MASK) as u16).describe()
                 )
             })
             .collect();
@@ -605,10 +636,26 @@ mod tests {
     }
 
     #[test]
+    fn tier_codec_matches_page_flags() {
+        // The model-side tier codec must mirror PageFlags::tier/set_tier
+        // exactly, or the bridge check silently diverges from the substrate.
+        for t in 0..MAX_TIERS as u8 {
+            let s = with_tier(P | A, t);
+            assert_eq!(tier_of(s), t);
+            let mut f = PageFlags::from_bits((P | A) as u16);
+            f.set_tier(tiered_mem::TierId(t));
+            assert_eq!(s, f.bits() as u32);
+        }
+        // The zero state decodes as tier 1 (slow), like a default entry.
+        assert_eq!(tier_of(0), 1);
+        assert!(in_fast(F));
+    }
+
+    #[test]
     fn key_states_classified_correctly() {
         // Paper-meaningful states that must be reachable.
         for (word, why) in [
-            (0u16, "fresh entry"),
+            (0u32, "fresh entry"),
             (P | A | LA | F, "hot fast page on the active list"),
             (P | PN | PB, "mid-probe DCSC page"),
             (P | DEM | PN, "thrash-watched page after proactive demotion"),
@@ -630,10 +677,18 @@ mod tests {
                 "poisoned fast page with the soft-offline copy in flight",
             ),
             (P | PSN | HS, "poisoned base page of a split huge block"),
+            // Deep-chain states: the tier-2 and tier-3 encodings.
+            (with_tier(P | A | LA, 2), "hot page resident in tier 2"),
+            (with_tier(P | C, 3) | QUEUED, "queued candidate in tier 3"),
+            (
+                with_tier(P | DEM | PN, 2),
+                "thrash-watched page demoted into tier 2",
+            ),
+            (with_tier(A | D, 3), "touched tail of a tier-3 huge block"),
         ] {
             assert!(
-                flag_word_reachable(word),
-                "{why}: {:04x} should be reachable",
+                flag_word_reachable((word & MASK) as u16),
+                "{why}: {:05x} should be reachable",
                 word
             );
         }
@@ -652,13 +707,15 @@ mod tests {
             (P | PSN | HH, "poison mark on an intact huge head"),
         ] {
             assert!(
-                !flag_word_reachable(word),
-                "{why}: {:04x} should be unreachable",
+                !flag_word_reachable(word as u16),
+                "{why}: {:05x} should be unreachable",
                 word
             );
         }
-        // Words above the defined bits are never reachable.
-        assert!(!flag_word_reachable(1 << 15));
+        // TIER_HI alone is a valid word now: an unmapped tier-3 tail. The
+        // old model asserted bit 15 unreachable; the tier-index encoding
+        // deliberately claimed it.
+        assert!(flag_word_reachable(PageFlags::TIER_HI));
     }
 
     #[test]
@@ -690,6 +747,6 @@ mod tests {
         // One body line per reachable state, each starting with its hex word.
         let body: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
         assert_eq!(body.len(), report.reachable.len());
-        assert!(body[0].starts_with("0000 "));
+        assert!(body[0].starts_with("00000 "));
     }
 }

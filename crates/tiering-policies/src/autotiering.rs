@@ -103,24 +103,24 @@ impl TieringPolicy for AutoTiering {
             EV_DEMOTE => {
                 // Age the LRU at scan-period timescale, then demote.
                 let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
+                    sys.total_frames(TierId::FAST),
                     self.cfg.demote_interval,
                     self.cfg.scan_period,
                 );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
+                sys.age_active_list(TierId::FAST, age_budget.max(16));
                 // Background demotion (the BD in OPM-BD) keeps fast-tier
                 // headroom well above the plain watermarks so opportunistic
                 // promotions usually find a free frame.
                 let target = sys
                     .watermarks
                     .high
-                    .saturating_add(sys.total_frames(TierId::Fast) / 32);
+                    .saturating_add(sys.total_frames(TierId::FAST) / 32);
                 let mut budget = 128u32;
-                while sys.free_frames(TierId::Fast) < target && budget > 0 {
+                while sys.free_frames(TierId::FAST) < target && budget > 0 {
                     budget -= 1;
-                    match sys.pop_inactive_victim(TierId::Fast) {
+                    match sys.pop_inactive_victim(TierId::FAST) {
                         Some((pid, vpn)) => {
-                            let _ = sys.migrate(pid, vpn, TierId::Slow, MigrateMode::Async);
+                            let _ = sys.migrate(pid, vpn, TierId::SLOW, MigrateMode::Async);
                         }
                         None => break,
                     }
@@ -144,11 +144,11 @@ impl TieringPolicy for AutoTiering {
         let e = sys.process_mut(pid).space.entry_mut(pte);
         e.policy_extra |= 1;
         let hot = (e.policy_extra & 0xFF).count_ones() >= self.cfg.hot_lap_bits;
-        if hot && e.tier() == TierId::Slow {
+        if hot && e.tier() == TierId::SLOW {
             // Opportunistic promotion (OPM): migrate if the fast tier has a
             // free frame; otherwise rely on the background demotion daemon
             // to open headroom for a later attempt.
-            let _ = sys.migrate(pid, pte, TierId::Fast, MigrateMode::Sync(pid));
+            let _ = sys.migrate(pid, pte, TierId::FAST, MigrateMode::Sync(pid));
         }
     }
 }
@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn background_demotion_maintains_headroom() {
         let sys = run_at(500);
-        assert!(sys.free_frames(TierId::Fast) > 0);
+        assert!(sys.free_frames(TierId::FAST) > 0);
         assert!(sys.stats.demoted_pages > 0);
     }
 

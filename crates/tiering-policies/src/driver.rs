@@ -282,7 +282,9 @@ impl DriverSession {
                 self.latency_reads.record_in_bucket(res.latency, bucket);
             }
             observer(pid, req.vpn, req.write, res.tier);
-            if self.cfg.track_slow_accesses && res.tier == TierId::Slow {
+            // Any non-top tier counts as "slow" for the FMAR-style tally, so
+            // the metric generalizes to chains longer than two tiers.
+            if self.cfg.track_slow_accesses && res.tier != TierId::FAST {
                 self.slow_pages.insert(pid, req.vpn);
             }
             if res.hint_fault {

@@ -108,7 +108,7 @@ impl TieringPolicy for FlexMem {
                         .space
                         .walk_range(cur.cursor, cur.step_pages, |_vpn, e| {
                             visited += 1;
-                            if e.tier() == TierId::Slow {
+                            if e.tier() == TierId::SLOW {
                                 e.flags.set(PageFlags::PROT_NONE);
                             }
                         });
@@ -120,7 +120,7 @@ impl TieringPolicy for FlexMem {
                 for (pid, unit) in self.deferred.drain(..) {
                     let e = sys.process_mut(pid).space.entry_mut(unit);
                     e.flags.clear(PageFlags::CANDIDATE);
-                    if e.tier() == TierId::Slow {
+                    if e.tier() == TierId::SLOW {
                         let _ = sys.promote_with_reclaim(pid, unit, MigrateMode::Async);
                     }
                 }
@@ -139,23 +139,23 @@ impl TieringPolicy for FlexMem {
             }
             EV_DEMOTE => {
                 let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
+                    sys.total_frames(TierId::FAST),
                     self.cfg.demote_interval,
                     self.cfg.scan_period,
                 );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
+                sys.age_active_list(TierId::FAST, age_budget.max(16));
                 // Keep headroom above the plain watermarks so both the
                 // deferred drain and the timeliness faults find free frames.
                 let target = sys
                     .watermarks
                     .high
-                    .saturating_add(sys.total_frames(TierId::Fast) / 32);
+                    .saturating_add(sys.total_frames(TierId::FAST) / 32);
                 let mut budget = 128u32;
-                while sys.free_frames(TierId::Fast) < target && budget > 0 {
+                while sys.free_frames(TierId::FAST) < target && budget > 0 {
                     budget -= 1;
-                    match sys.pop_inactive_victim(TierId::Fast) {
+                    match sys.pop_inactive_victim(TierId::FAST) {
                         Some((pid, vpn)) => {
-                            let _ = sys.migrate(pid, vpn, TierId::Slow, MigrateMode::Async);
+                            let _ = sys.migrate(pid, vpn, TierId::SLOW, MigrateMode::Async);
                         }
                         None => break,
                     }
@@ -181,7 +181,7 @@ impl TieringPolicy for FlexMem {
         // page-fault method — promote on the second observed fault.
         let pte = sys.process(pid).space.pte_page(vpn);
         let e = sys.process_mut(pid).space.entry_mut(pte);
-        if e.tier() != TierId::Slow {
+        if e.tier() != TierId::SLOW {
             return;
         }
         let sampled_warm = e.policy_extra >= self.cfg.hot_counter / 2;
@@ -202,7 +202,7 @@ impl TieringPolicy for FlexMem {
         let hot = self.cfg.hot_counter;
         let e = sys.process_mut(pid).space.entry_mut(pte);
         e.policy_extra = e.policy_extra.saturating_add(1);
-        if e.policy_extra >= hot && e.tier() == TierId::Slow && !e.flags.has(PageFlags::CANDIDATE) {
+        if e.policy_extra >= hot && e.tier() == TierId::SLOW && !e.flags.has(PageFlags::CANDIDATE) {
             e.flags.set(PageFlags::CANDIDATE);
             self.deferred.push((pid, pte));
         }

@@ -107,11 +107,11 @@ impl TieringPolicy for LinuxNumaBalancing {
                 sys.charge_scan(pid, marked.max(1));
                 // LRU aging at scan-period timescale, spread across chunks.
                 let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
+                    sys.total_frames(TierId::FAST),
                     cur.event_interval,
                     self.cfg.scan_period,
                 );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
+                sys.age_active_list(TierId::FAST, age_budget.max(16));
                 let interval = cur.event_interval;
                 sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));
             }
@@ -123,18 +123,18 @@ impl TieringPolicy for LinuxNumaBalancing {
                 // (256 MB/s); the resulting steady churn — promote whatever
                 // faulted most recently, demote whatever kswapd found — is
                 // what turns NB's placement into an MRU lottery.
-                let refill = (sys.total_frames(TierId::Fast) as f64
+                let refill = (sys.total_frames(TierId::FAST) as f64
                     * self.cfg.promote_tier_frac_per_period
                     / 16.0) as u32;
                 self.promo_budget = refill;
                 let target = sys.watermarks.high.saturating_add(refill);
-                if sys.free_frames(TierId::Fast) < target {
+                if sys.free_frames(TierId::FAST) < target {
                     let mut budget = refill.saturating_mul(2).max(64);
-                    while sys.free_frames(TierId::Fast) < target && budget > 0 {
+                    while sys.free_frames(TierId::FAST) < target && budget > 0 {
                         budget -= 1;
-                        match sys.pop_inactive_victim(TierId::Fast) {
+                        match sys.pop_inactive_victim(TierId::FAST) {
                             Some((vp, vv)) => {
-                                let _ = sys.migrate(vp, vv, TierId::Slow, MigrateMode::Async);
+                                let _ = sys.migrate(vp, vv, TierId::SLOW, MigrateMode::Async);
                             }
                             None => break,
                         }
@@ -160,9 +160,9 @@ impl TieringPolicy for LinuxNumaBalancing {
         // `migrate_misplaced_page` does not reclaim on its own.
         let pte = sys.process(pid).space.pte_page(vpn);
         if self.promo_budget > 0
-            && sys.process(pid).space.entry(pte).tier() == TierId::Slow
+            && sys.process(pid).space.entry(pte).tier() == TierId::SLOW
             && sys
-                .migrate(pid, pte, TierId::Fast, MigrateMode::Sync(pid))
+                .migrate(pid, pte, TierId::FAST, MigrateMode::Sync(pid))
                 .is_ok()
         {
             self.promo_budget -= 1;

@@ -122,7 +122,7 @@ impl Memtis {
 
     /// Recomputes the hot threshold so the hot set ≤ fill ratio × fast tier.
     fn adjust_threshold(&mut self, sys: &TieredSystem) {
-        let budget = (sys.total_frames(TierId::Fast) as f64 * self.cfg.fast_fill_ratio) as u64;
+        let budget = (sys.total_frames(TierId::FAST) as f64 * self.cfg.fast_fill_ratio) as u64;
         let mut acc = 0u64;
         let mut cut_bin = 1usize; // default: everything sampled is hot
         for b in (1..BINS).rev() {
@@ -173,7 +173,7 @@ impl Memtis {
             return;
         }
         // Memtis splits conservatively: only under fast-tier pressure.
-        if sys.free_frames(TierId::Fast) >= sys.watermarks.high {
+        if sys.free_frames(TierId::FAST) >= sys.watermarks.high {
             return;
         }
         let mut budget = 4;
@@ -190,7 +190,7 @@ impl Memtis {
                 .space
                 .walk_range(Vpn(0), pages, |vpn, e| {
                     if e.flags.has(PageFlags::HUGE_HEAD)
-                        && e.tier() == TierId::Fast
+                        && e.tier() == TierId::FAST
                         && e.policy_extra >= 2
                         && to_split.len() < budget
                     {
@@ -232,7 +232,7 @@ impl TieringPolicy for Memtis {
                 for (pid, unit) in self.promote_queue.drain(..) {
                     let e = sys.process_mut(pid).space.entry_mut(unit);
                     e.flags.clear(PageFlags::CANDIDATE);
-                    if e.tier() == TierId::Slow {
+                    if e.tier() == TierId::SLOW {
                         let _ = sys.promote_with_reclaim(pid, unit, MigrateMode::Async);
                     }
                 }
@@ -246,11 +246,11 @@ impl TieringPolicy for Memtis {
                 // Age the fast-tier LRU so reclaim during promotions has
                 // meaningful inactive candidates (kswapd-equivalent).
                 let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
+                    sys.total_frames(TierId::FAST),
                     self.cfg.adjust_interval,
                     self.cfg.cooling_interval,
                 );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
+                sys.age_active_list(TierId::FAST, age_budget.max(16));
                 self.adjust_threshold(sys);
                 self.maybe_split(sys);
                 sys.trace_period(Default::default());
@@ -287,7 +287,7 @@ impl TieringPolicy for Memtis {
             self.hist_pages[new_bin] += unit_pages;
         }
         let hot = e.policy_extra >= threshold;
-        if hot && e.tier() == TierId::Slow && !e.flags.has(PageFlags::CANDIDATE) {
+        if hot && e.tier() == TierId::SLOW && !e.flags.has(PageFlags::CANDIDATE) {
             e.flags.set(PageFlags::CANDIDATE);
             self.promote_queue.push((pid, unit));
         }

@@ -48,24 +48,46 @@ impl Default for MultiClockConfig {
 }
 
 /// The Multi-Clock baseline policy.
+///
+/// On a longer chain the multi-level-LRU mechanism cascades hop-wise: the
+/// sweep still grades every page by recency streak, a non-top page reaching
+/// the promote level climbs one hop, and the demotion daemon runs per tier,
+/// pushing bottom-level pages one hop down.
 pub struct MultiClock {
     cfg: MultiClockConfig,
     cursors: Vec<ScanCursor>,
+    /// Managed tiers the policy operates across (2 = classic Multi-Clock).
+    tiers: usize,
 }
 
 impl MultiClock {
-    /// Creates the policy.
+    /// Creates the classic two-tier policy.
     pub fn new(cfg: MultiClockConfig) -> MultiClock {
+        MultiClock::for_tiers(cfg, 2)
+    }
+
+    /// Creates the policy over `tiers` managed tiers.
+    pub fn for_tiers(cfg: MultiClockConfig, tiers: usize) -> MultiClock {
+        assert!(
+            (2..=tiered_mem::MAX_TIERS).contains(&tiers),
+            "Multi-Clock needs 2..={} managed tiers, got {tiers}",
+            tiered_mem::MAX_TIERS
+        );
         MultiClock {
             cfg,
             cursors: Vec::new(),
+            tiers,
         }
     }
 }
 
 impl TieringPolicy for MultiClock {
     fn name(&self) -> &'static str {
-        "MultiClock"
+        match self.tiers {
+            2 => "MultiClock",
+            3 => "MultiClock-3",
+            _ => "MultiClock-N",
+        }
     }
 
     fn init(&mut self, sys: &mut TieredSystem) {
@@ -88,7 +110,7 @@ impl TieringPolicy for MultiClock {
                 let top = self.cfg.promote_level;
                 let max_level = self.cfg.levels - 1;
                 let mut visited = 0u64;
-                let mut promote: Vec<Vpn> = Vec::new();
+                let mut promote: Vec<(Vpn, TierId)> = Vec::new();
                 cur.cursor =
                     sys.process_mut(pid)
                         .space
@@ -98,8 +120,10 @@ impl TieringPolicy for MultiClock {
                             if e.flags.has(PageFlags::ACCESSED) {
                                 e.flags.clear(PageFlags::ACCESSED);
                                 e.policy_extra = (level + 1).min(max_level);
-                                if e.tier() == TierId::Slow && e.policy_extra >= top {
-                                    promote.push(vpn);
+                                let t = e.tier();
+                                if t != TierId::FAST && e.policy_extra >= top {
+                                    // Climb one hop toward the top tier.
+                                    promote.push((vpn, TierId(t.0 - 1)));
                                 }
                             } else {
                                 e.policy_extra = level.saturating_sub(1);
@@ -107,45 +131,54 @@ impl TieringPolicy for MultiClock {
                         });
                 // Sweeping reads/clears accessed bits; no faults are forced.
                 sys.charge_scan(pid, visited.max(1));
-                for vpn in promote {
+                for (vpn, dest) in promote {
                     // Opportunistic: promote into available headroom; the
                     // demotion daemon opens space at its own pace. Forcing
                     // reclaim here would let one process's sweep evict
                     // another's working set wholesale.
-                    let _ = sys.migrate(pid, vpn, TierId::Fast, MigrateMode::Async);
+                    let _ = sys.migrate(pid, vpn, dest, MigrateMode::Async);
                 }
                 let interval = cur.event_interval;
                 sys.schedule_in(interval, encode_token(EV_SWEEP, pid.0, 0));
             }
             EV_DEMOTE => {
-                // Age the LRU at sweep-period timescale, then demote.
-                let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
-                    self.cfg.demote_interval,
-                    self.cfg.sweep_period,
-                );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
-                // Demote bottom-level fast pages, keeping headroom above the
-                // plain watermarks so opportunistic promotions find frames.
-                let target = sys
-                    .watermarks
-                    .high
-                    .saturating_add(sys.total_frames(TierId::Fast) / 32);
-                let mut budget = 128u32;
-                while sys.free_frames(TierId::Fast) < target && budget > 0 {
-                    budget -= 1;
-                    match sys.pop_inactive_victim(TierId::Fast) {
-                        Some((pid, vpn)) => {
-                            // Respect levels: only genuinely cold pages leave.
-                            let level = sys.process(pid).space.entry(vpn).policy_extra;
-                            if level == 0 {
-                                let _ = sys.migrate(pid, vpn, TierId::Slow, MigrateMode::Async);
-                            } else {
-                                // Referenced at some level: rotate back.
-                                sys.lru_insert(pid, vpn, tiered_mem::LruKind::Active);
+                // Cascaded demotion, top tier down: each non-terminal tier
+                // ages its LRU at sweep-period timescale, then demotes
+                // bottom-level pages one hop to keep promotion headroom.
+                for t in 0..(self.tiers - 1) as u8 {
+                    let tier = TierId(t);
+                    let age_budget = scan_budget_pages(
+                        sys.total_frames(tier),
+                        self.cfg.demote_interval,
+                        self.cfg.sweep_period,
+                    );
+                    sys.age_active_list(tier, age_budget.max(16));
+                    // The watermarks are sized for the top tier; deeper tiers
+                    // hold a fixed 1/32 headroom instead.
+                    let target = if t == 0 {
+                        sys.watermarks
+                            .high
+                            .saturating_add(sys.total_frames(tier) / 32)
+                    } else {
+                        (sys.total_frames(tier) / 32).max(1)
+                    };
+                    let mut budget = 128u32;
+                    while sys.free_frames(tier) < target && budget > 0 {
+                        budget -= 1;
+                        match sys.pop_inactive_victim(tier) {
+                            Some((pid, vpn)) => {
+                                // Respect levels: only genuinely cold pages leave.
+                                let level = sys.process(pid).space.entry(vpn).policy_extra;
+                                if level == 0 {
+                                    let _ =
+                                        sys.migrate(pid, vpn, TierId(t + 1), MigrateMode::Async);
+                                } else {
+                                    // Referenced at some level: rotate back.
+                                    sys.lru_insert(pid, vpn, tiered_mem::LruKind::Active);
+                                }
                             }
+                            None => break,
                         }
-                        None => break,
                     }
                 }
                 sys.trace_period(Default::default());
@@ -215,6 +248,38 @@ mod tests {
         let pid = ProcessId(0);
         for i in 0..sys.process(pid).space.pages() {
             assert!(sys.process(pid).space.entry(Vpn(i)).policy_extra < 4);
+        }
+    }
+
+    #[test]
+    fn three_tier_multiclock_populates_every_tier() {
+        let mut sys = TieredSystem::new(SystemConfig::three_tier(768, 1536, 4096));
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = MultiClock::for_tiers(
+            MultiClockConfig {
+                sweep_period: Nanos::from_millis(40),
+                sweep_step_pages: 512,
+                levels: 4,
+                promote_level: 3,
+                demote_interval: Nanos::from_millis(20),
+            },
+            3,
+        );
+        assert_eq!(policy.name(), "MultiClock-3");
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(500),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        assert_eq!(
+            sys.stats.hint_faults, 0,
+            "Multi-Clock must not force faults"
+        );
+        assert!(sys.stats.promoted_pages > 0);
+        for t in 0..3 {
+            assert!(sys.used_frames(TierId(t)) > 0, "tier {t} empty");
         }
     }
 

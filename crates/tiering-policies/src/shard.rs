@@ -652,7 +652,7 @@ mod tests {
         let shards = (0..tenants)
             .map(|i| {
                 let p = plan.part(i);
-                shard(i as u32, 1, p.fast_frames, p.slow_frames, i as u64)
+                shard(i as u32, 1, p.fast_frames(), p.slow_frames(), i as u64)
             })
             .collect();
         let mut cfg = ShardedConfig::new(Nanos::from_millis(10));

@@ -215,7 +215,7 @@ impl Telescope {
         for (pid, vpn) in promote {
             let pte = sys.process(pid).space.pte_page(vpn);
             if sys.process(pid).space.entry(pte).present()
-                && sys.process(pid).space.entry(pte).tier() == TierId::Slow
+                && sys.process(pid).space.entry(pte).tier() == TierId::SLOW
             {
                 let _ = sys.promote_with_reclaim(pid, pte, MigrateMode::Async);
             }
@@ -243,17 +243,17 @@ impl TieringPolicy for Telescope {
             }
             EV_DEMOTE => {
                 let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
+                    sys.total_frames(TierId::FAST),
                     self.cfg.demote_interval,
                     Nanos(self.cfg.window.as_nanos().saturating_mul(8)),
                 );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
+                sys.age_active_list(TierId::FAST, age_budget.max(16));
                 let mut budget = 128u32;
-                while sys.free_frames(TierId::Fast) < sys.watermarks.high && budget > 0 {
+                while sys.free_frames(TierId::FAST) < sys.watermarks.high && budget > 0 {
                     budget -= 1;
-                    match sys.pop_inactive_victim(TierId::Fast) {
+                    match sys.pop_inactive_victim(TierId::FAST) {
                         Some((pid, vpn)) => {
-                            let _ = sys.migrate(pid, vpn, TierId::Slow, MigrateMode::Async);
+                            let _ = sys.migrate(pid, vpn, TierId::SLOW, MigrateMode::Async);
                         }
                         None => break,
                     }

@@ -42,24 +42,47 @@ impl Default for TppConfig {
 }
 
 /// The TPP baseline policy.
+///
+/// Over a longer tier chain the mechanism generalizes hop-wise: the scan
+/// poisons every non-top managed tier, a recency-gated fault promotes the
+/// page one hop toward the top, and the demotion daemon runs per tier,
+/// pushing inactive pages one hop down — the cascaded shape Meta describes
+/// for multi-NUMA-class systems.
 pub struct Tpp {
     cfg: TppConfig,
     cursors: Vec<ScanCursor>,
+    /// Managed tiers the policy operates across (2 = classic TPP).
+    tiers: usize,
 }
 
 impl Tpp {
-    /// Creates the policy.
+    /// Creates the classic two-tier policy.
     pub fn new(cfg: TppConfig) -> Tpp {
+        Tpp::for_tiers(cfg, 2)
+    }
+
+    /// Creates the policy over `tiers` managed tiers.
+    pub fn for_tiers(cfg: TppConfig, tiers: usize) -> Tpp {
+        assert!(
+            (2..=tiered_mem::MAX_TIERS).contains(&tiers),
+            "TPP needs 2..={} managed tiers, got {tiers}",
+            tiered_mem::MAX_TIERS
+        );
         Tpp {
             cfg,
             cursors: Vec::new(),
+            tiers,
         }
     }
 }
 
 impl TieringPolicy for Tpp {
     fn name(&self) -> &'static str {
-        "TPP"
+        match self.tiers {
+            2 => "TPP",
+            3 => "TPP-3",
+            _ => "TPP-N",
+        }
     }
 
     fn init(&mut self, sys: &mut TieredSystem) {
@@ -85,9 +108,9 @@ impl TieringPolicy for Tpp {
                         .space
                         .walk_range(cur.cursor, cur.step_pages, |_vpn, e| {
                             visited += 1;
-                            // TPP only poisons CPU-less-node (slow) pages,
+                            // TPP only poisons CPU-less-node (non-top) pages,
                             // halving scan-fault overhead vs. vanilla NB.
-                            if e.tier() == TierId::Slow {
+                            if e.tier() != TierId::FAST {
                                 e.flags.set(PageFlags::PROT_NONE);
                             }
                         });
@@ -96,23 +119,33 @@ impl TieringPolicy for Tpp {
                 sys.schedule_in(interval, encode_token(EV_SCAN, pid.0, 0));
             }
             EV_DEMOTE => {
-                // Age the LRU at scan-period timescale, then demote.
-                let age_budget = scan_budget_pages(
-                    sys.total_frames(TierId::Fast),
-                    self.cfg.demote_interval,
-                    self.cfg.scan_period,
-                );
-                sys.age_active_list(TierId::Fast, age_budget.max(16));
-                // Proactive demotion: keep free frames above the high mark so
-                // promotions don't stall in reclaim.
-                let mut budget = 256u32;
-                while sys.free_frames(TierId::Fast) < sys.watermarks.high && budget > 0 {
-                    budget -= 1;
-                    match sys.pop_inactive_victim(TierId::Fast) {
-                        Some((pid, vpn)) => {
-                            let _ = sys.migrate(pid, vpn, TierId::Slow, MigrateMode::Async);
+                // Cascaded demotion daemon, top tier down: each non-terminal
+                // tier ages its LRU at scan-period timescale, then pushes
+                // inactive pages one hop down to hold free-frame headroom.
+                for t in 0..(self.tiers - 1) as u8 {
+                    let tier = TierId(t);
+                    let age_budget = scan_budget_pages(
+                        sys.total_frames(tier),
+                        self.cfg.demote_interval,
+                        self.cfg.scan_period,
+                    );
+                    sys.age_active_list(tier, age_budget.max(16));
+                    // The system watermarks are sized for the top tier;
+                    // deeper tiers hold a fixed 1/32 headroom instead.
+                    let high = if t == 0 {
+                        sys.watermarks.high
+                    } else {
+                        (sys.total_frames(tier) / 32).max(1)
+                    };
+                    let mut budget = 256u32;
+                    while sys.free_frames(tier) < high && budget > 0 {
+                        budget -= 1;
+                        match sys.pop_inactive_victim(tier) {
+                            Some((pid, vpn)) => {
+                                let _ = sys.migrate(pid, vpn, TierId(t + 1), MigrateMode::Async);
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
                 }
                 sys.trace_period(Default::default());
@@ -132,13 +165,16 @@ impl TieringPolicy for Tpp {
     ) {
         let pte = sys.process(pid).space.pte_page(vpn);
         let e = sys.process(pid).space.entry(pte);
-        if e.tier() != TierId::Slow {
+        let t = e.tier();
+        if t == TierId::FAST {
             return;
         }
         if e.flags.has(PageFlags::LRU_ACTIVE) {
             // Recency gate passed: the page was already activated by a prior
-            // fault, so this is its second observed touch — promote.
-            let _ = sys.promote_with_reclaim(pid, pte, MigrateMode::Sync(pid));
+            // fault, so this is its second observed touch — promote one hop
+            // toward the top.
+            let dest = TierId(t.0 - 1);
+            let _ = sys.promote_with_reclaim_to(pid, pte, dest, MigrateMode::Sync(pid));
         } else {
             // First observed touch: activate, don't promote yet.
             sys.lru_insert(pid, pte, LruKind::Active);
@@ -215,9 +251,36 @@ mod tests {
     fn proactive_demotion_keeps_headroom() {
         let sys = run_tpp(500);
         assert!(
-            sys.free_frames(TierId::Fast) > 0,
+            sys.free_frames(TierId::FAST) > 0,
             "demotion daemon should maintain free frames"
         );
         assert!(sys.stats.demoted_pages > 0);
+    }
+
+    #[test]
+    fn three_tier_tpp_populates_every_tier() {
+        let mut sys = TieredSystem::new(SystemConfig::three_tier(768, 1536, 4096));
+        let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(4096, 0.7, 1));
+        sys.add_process(w.address_space_pages(), PageSize::Base);
+        let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+        let mut policy = Tpp::for_tiers(
+            TppConfig {
+                scan_period: Nanos::from_millis(40),
+                scan_step_pages: 512,
+                demote_interval: Nanos::from_millis(20),
+            },
+            3,
+        );
+        assert_eq!(policy.name(), "TPP-3");
+        SimulationDriver::new(DriverConfig {
+            run_for: Nanos::from_millis(500),
+            ..Default::default()
+        })
+        .run(&mut sys, &mut wls, &mut policy);
+        assert!(sys.stats.promoted_pages > 0);
+        assert!(sys.stats.demoted_pages > 0);
+        for t in 0..3 {
+            assert!(sys.used_frames(TierId(t)) > 0, "tier {t} empty");
+        }
     }
 }

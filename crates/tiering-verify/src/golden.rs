@@ -17,7 +17,10 @@ use std::path::{Path, PathBuf};
 use sim_clock::Nanos;
 use tiered_mem::FaultPlan;
 
-use crate::policy_fuzz::{run_policy_case, run_policy_case_with_plan, ALL_POLICIES};
+use crate::policy_fuzz::{
+    run_policy_case, run_policy_case_with_plan, run_three_tier_case, ALL_POLICIES,
+    THREE_TIER_POLICIES,
+};
 use crate::sharded::{run_sharded_case, SHARD_GOLDEN_TENANTS};
 
 /// The two canonical seeds snapshotted in the repository.
@@ -53,6 +56,11 @@ pub fn fault_golden_path() -> PathBuf {
 /// Path of the multi-tenant shard snapshot for one seed.
 pub fn shard_golden_path(seed: u64) -> PathBuf {
     golden_dir().join(format!("shard_seed_{seed:08x}.txt"))
+}
+
+/// Path of the three-tier snapshot for one seed.
+pub fn three_tier_golden_path(seed: u64) -> PathBuf {
+    golden_dir().join(format!("threetier_seed_{seed:08x}.txt"))
 }
 
 /// Recomputes the snapshot table for a seed: one `<policy> <digest-hex>
@@ -119,6 +127,32 @@ pub fn compute_shard_golden(seed: u64) -> String {
             out.push_str(&format!(" {d:016x}"));
         }
         out.push('\n');
+    }
+    out
+}
+
+/// Recomputes the three-tier snapshot for a seed: cascaded Chrono-DCSC and
+/// TPP-3 on the DRAM+CXL+PMem chain, one `<policy> <digest-hex> <accesses>`
+/// line each. Runs are invariant-checked while they execute, so a golden
+/// that drifts because the oracle now rejects the run fails loudly here
+/// instead of silently re-blessing.
+pub fn compute_three_tier_golden(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# tiering-verify three-tier golden: seed {seed:#010x}, DRAM+CXL+PMem, \
+         {GOLDEN_MILLIS} ms per policy\n"
+    ));
+    for p in THREE_TIER_POLICIES {
+        let r = run_three_tier_case(p, seed, GOLDEN_MILLIS);
+        assert!(
+            r.clean(),
+            "three-tier golden case {p:?}/{seed:#x} broke invariants: {:?}",
+            r.violations
+        );
+        out.push_str(&format!(
+            "{:<16} {:016x} {}\n",
+            r.policy, r.digest, r.accesses
+        ));
     }
     out
 }
@@ -220,6 +254,11 @@ pub fn check_goldens() -> Vec<GoldenResult> {
         let status = diff_status(&path, compute_shard_golden(seed));
         results.push(GoldenResult { seed, path, status });
     }
+    for &seed in &GOLDEN_SEEDS {
+        let path = three_tier_golden_path(seed);
+        let status = diff_status(&path, compute_three_tier_golden(seed));
+        results.push(GoldenResult { seed, path, status });
+    }
     results
 }
 
@@ -239,6 +278,11 @@ pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
     for &seed in &GOLDEN_SEEDS {
         let path = shard_golden_path(seed);
         std::fs::write(&path, compute_shard_golden(seed))?;
+        written.push(path);
+    }
+    for &seed in &GOLDEN_SEEDS {
+        let path = three_tier_golden_path(seed);
+        std::fs::write(&path, compute_three_tier_golden(seed))?;
         written.push(path);
     }
     Ok(written)

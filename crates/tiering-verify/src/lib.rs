@@ -36,14 +36,15 @@ pub use golden::{
     bless_goldens, check_goldens, GoldenResult, GoldenStatus, FAULT_GOLDEN_SEED, GOLDEN_SEEDS,
 };
 pub use ops::{
-    fault_case_from_seed, fuzz_one, fuzz_one_fault_storm, fuzz_one_stress, generate_fault_ops,
-    generate_ops, generate_stress_ops, run_case, stress_case_from_seed, CaseConfig, FuzzOp,
-    OpsFailure, ShrunkFailure,
+    fault_case_from_seed, fuzz_one, fuzz_one_fault_storm, fuzz_one_stress, fuzz_one_three_tier,
+    generate_fault_ops, generate_ops, generate_stress_ops, generate_three_tier_ops, run_case,
+    stress_case_from_seed, three_tier_case_from_seed, CaseConfig, FuzzOp, OpsFailure,
+    ShrunkFailure,
 };
 pub use oracle::{InvariantOracle, Violation};
 pub use policy_fuzz::{
-    determinism_digests, run_policy_case, run_policy_case_with_plan, PolicyRunReport,
-    PolicyUnderTest, ALL_POLICIES,
+    determinism_digests, run_policy_case, run_policy_case_with_plan, run_three_tier_case,
+    PolicyRunReport, PolicyUnderTest, ThreeTierPolicy, ALL_POLICIES, THREE_TIER_POLICIES,
 };
 pub use sharded::{
     fuzz_one_tenant_storm, run_sharded_case, run_sharded_case_mixed, run_sharded_case_permuted,

@@ -169,6 +169,7 @@ fn record_cit_stream(seed: u64) -> Result<Vec<Nanos>, String> {
 pub fn check_huge_base_accounting(seed: u64) -> Result<(), String> {
     let cfg = crate::ops::CaseConfig {
         fast_frames: 1024,
+        mid_frames: None,
         slow_frames: 4096,
         procs: vec![(2048, PageSize::Huge2M)],
         // Two 512-frame reservations at most: the free pool never drops
@@ -241,7 +242,7 @@ pub fn check_split_aborts_inflight_huge(seed: u64) -> Result<(), String> {
         for b in 0..blocks {
             sys.access(pid, Vpn(b * 512 + page_in_block), false);
         }
-        sys.begin_migrate(pid, Vpn(target), TierId::Slow, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(target), TierId::SLOW, MigrateMode::Async)
             .map(|_| (sys, pid))
     };
 
@@ -265,14 +266,14 @@ pub fn check_split_aborts_inflight_huge(seed: u64) -> Result<(), String> {
     }
     if split_run.stats.aborted_migrations != 1
         || split_run.stats.demoted_pages != 0
-        || split_run.migration_reserved_frames(TierId::Slow) != 0
+        || split_run.migration_reserved_frames(TierId::SLOW) != 0
     {
         return Err(format!(
             "seed {seed:#x}: split run expected 1 abort / 0 moved / 0 reserved, got \
              {} / {} / {}",
             split_run.stats.aborted_migrations,
             split_run.stats.demoted_pages,
-            split_run.migration_reserved_frames(TierId::Slow)
+            split_run.migration_reserved_frames(TierId::SLOW)
         ));
     }
     if control.stats.aborted_migrations != 0 || control.stats.demoted_pages != 512 {

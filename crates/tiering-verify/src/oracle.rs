@@ -14,7 +14,7 @@ use std::fmt;
 use chrono_core::{QueueFlow, RetryFlow};
 use tiered_mem::{
     FrameOwner, LruKind, PageFlags, Pfn, ProcessId, TierId, TieredSystem, Vpn, BASE_PAGE_BYTES,
-    HUGE_2M_PAGES,
+    HUGE_2M_PAGES, MAX_TIERS,
 };
 
 /// One violated invariant, with enough detail to debug the failing state.
@@ -70,7 +70,7 @@ impl InvariantOracle {
     /// counter).
     fn check_fault_quarantine(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
         let mut quarantined_now = 0u64;
-        for tier in [TierId::Fast, TierId::Slow] {
+        for tier in sys.config().chain.ids() {
             for pfn in sys.quarantined_pfns(tier) {
                 quarantined_now += 1;
                 if sys.frame_is_free(tier, pfn) {
@@ -103,7 +103,7 @@ impl InvariantOracle {
                 ),
             });
         }
-        let current = sys.offlined_frames(TierId::Fast) as u64;
+        let current = sys.offlined_frames(TierId::FAST) as u64;
         let outflow = s.restored_frames + current;
         if s.offlined_frames < outflow || s.offlined_frames - outflow > s.quarantined_frames {
             out.push(Violation {
@@ -191,7 +191,7 @@ impl InvariantOracle {
 
     /// `used + free == total` per tier (frame-table internal consistency).
     fn check_frame_conservation(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
-        for tier in [TierId::Fast, TierId::Slow] {
+        for tier in sys.config().chain.ids() {
             let used = sys.used_frames(tier);
             let free = sys.free_frames(tier);
             let total = sys.total_frames(tier);
@@ -212,17 +212,16 @@ impl InvariantOracle {
     fn check_page_tables(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
         // PFN numbering spans the raw frame space: capacity shrink and
         // quarantine reduce the usable count without renumbering survivors.
-        let totals = [sys.raw_frames(TierId::Fast), sys.raw_frames(TierId::Slow)];
+        let tiers: Vec<TierId> = sys.config().chain.ids().collect();
+        let totals: Vec<u32> = tiers.iter().map(|&t| sys.raw_frames(t)).collect();
         // One mapping seen per frame, per tier: `mapped_by[tier][pfn]`.
-        let mut mapped_by: [Vec<Option<(ProcessId, Vpn)>>; 2] = [
-            vec![None; totals[0] as usize],
-            vec![None; totals[1] as usize],
-        ];
-        let mut counted = [0u32; 2];
+        let mut mapped_by: Vec<Vec<Option<(ProcessId, Vpn)>>> =
+            totals.iter().map(|&n| vec![None; n as usize]).collect();
+        let mut counted = vec![0u32; tiers.len()];
 
         for pid in sys.pids() {
             let space = &sys.process(pid).space;
-            let mut resident_here = [0u32; 2];
+            let mut resident_here = [0u32; MAX_TIERS];
             for v in 0..space.pages() {
                 let vpn = Vpn(v);
                 let e = space.entry(vpn);
@@ -278,14 +277,13 @@ impl InvariantOracle {
                 });
             }
             let proc_frames = sys.process(pid).resident_frames;
-            if proc_frames != resident_here[0] + resident_here[1] {
+            let walked: u32 = resident_here.iter().sum();
+            if proc_frames != walked {
                 out.push(Violation {
                     invariant: "residency_cache",
                     detail: format!(
                         "pid {}: process.resident_frames {} != walked {}",
-                        pid.0,
-                        proc_frames,
-                        resident_here[0] + resident_here[1]
+                        pid.0, proc_frames, walked
                     ),
                 });
             }
@@ -318,7 +316,7 @@ impl InvariantOracle {
 
         // Frames-side conservation: every used frame is either mapped
         // exactly once or reserved by exactly one in-flight migration.
-        for tier in [TierId::Fast, TierId::Slow] {
+        for &tier in &tiers {
             let used = sys.used_frames(tier);
             let reserved = sys.migration_reserved_frames(tier);
             if counted[tier.index()] + reserved != used {
@@ -361,12 +359,11 @@ impl InvariantOracle {
             });
         }
 
-        let totals = [sys.raw_frames(TierId::Fast), sys.raw_frames(TierId::Slow)];
-        let mut reserved_seen: [Vec<bool>; 2] = [
-            vec![false; totals[0] as usize],
-            vec![false; totals[1] as usize],
-        ];
-        let mut sums = [0u32; 2];
+        let tiers: Vec<TierId> = sys.config().chain.ids().collect();
+        let totals: Vec<u32> = tiers.iter().map(|&t| sys.raw_frames(t)).collect();
+        let mut reserved_seen: Vec<Vec<bool>> =
+            totals.iter().map(|&n| vec![false; n as usize]).collect();
+        let mut sums = vec![0u32; tiers.len()];
         // Heads with an open transaction, for the page-walk direction below.
         let mut txn_heads: std::collections::BTreeSet<(u16, u32)> =
             std::collections::BTreeSet::new();
@@ -437,7 +434,7 @@ impl InvariantOracle {
             }
         }
 
-        for tier in [TierId::Fast, TierId::Slow] {
+        for &tier in &tiers {
             let engine = sys.migration_reserved_frames(tier);
             if sums[tier.index()] != engine {
                 out.push(Violation {
@@ -482,7 +479,7 @@ impl InvariantOracle {
     /// list-kind flag matching the list they sit on, and no page is live on
     /// two lists of one tier at once.
     fn check_lru(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
-        for tier in [TierId::Fast, TierId::Slow] {
+        for tier in sys.config().chain.ids() {
             let mut live: HashMap<(u16, u32), LruKind> = HashMap::new();
             for kind in [LruKind::Active, LruKind::Inactive] {
                 for entry in sys.lru_entries(tier, kind) {
@@ -549,6 +546,19 @@ impl InvariantOracle {
                 ),
             });
         }
+        // Per-edge migration counters partition the totals exactly.
+        let edge_promoted: u64 = s.promoted_per_edge.iter().sum();
+        let edge_demoted: u64 = s.demoted_per_edge.iter().sum();
+        if edge_promoted != s.promoted_pages || edge_demoted != s.demoted_pages {
+            out.push(Violation {
+                invariant: "migration_accounting",
+                detail: format!(
+                    "per-edge sums ({edge_promoted} promoted, {edge_demoted} demoted) != \
+                     totals ({}, {})",
+                    s.promoted_pages, s.demoted_pages
+                ),
+            });
+        }
     }
 }
 
@@ -571,7 +581,7 @@ mod tests {
         for v in 0..128 {
             sys.access(pid, Vpn(v), v % 3 == 0);
         }
-        let _ = sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async);
+        let _ = sys.migrate(pid, Vpn(0), TierId::SLOW, MigrateMode::Async);
         let _ = sys.promote_with_reclaim(pid, Vpn(0), MigrateMode::Async);
         let _ = sys.swap_out(pid, Vpn(1));
         oracle.assert_clean(&sys, "exercised");
@@ -630,7 +640,7 @@ mod tests {
     fn skewed_migration_bytes_are_caught() {
         let (mut sys, pid) = small_sys();
         sys.access(pid, Vpn(0), false);
-        let _ = sys.migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async);
+        let _ = sys.migrate(pid, Vpn(0), TierId::SLOW, MigrateMode::Async);
         sys.stats.migration_bytes += 1;
         let violations = InvariantOracle::new().check(&sys);
         assert!(violations
@@ -646,13 +656,13 @@ mod tests {
             sys.access(pid, Vpn(v), false);
         }
         // Open a demotion, check mid-flight, abort it with a write.
-        sys.begin_migrate(pid, Vpn(0), TierId::Slow, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(0), TierId::SLOW, MigrateMode::Async)
             .unwrap();
         oracle.assert_clean(&sys, "demotion in flight");
         sys.access(pid, Vpn(0), true);
         oracle.assert_clean(&sys, "after write-abort");
         // Open another and let it retire.
-        sys.begin_migrate(pid, Vpn(1), TierId::Slow, MigrateMode::Async)
+        sys.begin_migrate(pid, Vpn(1), TierId::SLOW, MigrateMode::Async)
             .unwrap();
         sys.clock.advance(sim_clock::Nanos::from_millis(5));
         assert_eq!(sys.complete_due_migrations(), 1);
@@ -694,7 +704,7 @@ mod tests {
             sys.access(pid, Vpn(v), false);
         }
         let bad = sys.process(pid).space.entry(Vpn(3)).pfn;
-        assert!(sys.poison_frame(TierId::Fast, bad));
+        assert!(sys.poison_frame(TierId::FAST, bad));
         oracle.assert_clean(&sys, "after poison + soft-offline");
         sys.shrink_fast(8);
         oracle.assert_clean(&sys, "after shrink");
@@ -707,7 +717,7 @@ mod tests {
         let (mut sys, pid) = small_sys();
         sys.access(pid, Vpn(0), false);
         let pfn = sys.process(pid).space.entry(Vpn(0)).pfn;
-        assert!(sys.poison_frame(TierId::Fast, pfn));
+        assert!(sys.poison_frame(TierId::FAST, pfn));
         sys.stats.quarantined_frames += 1;
         let violations = InvariantOracle::new().check(&sys);
         assert!(

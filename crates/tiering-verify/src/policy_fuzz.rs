@@ -2,7 +2,7 @@
 //! with the invariant oracle attached to the driver's inspect hook, plus the
 //! differential determinism check (same seed ⇒ byte-identical trace digest).
 
-use chrono_core::{ChronoConfig, ChronoPolicy};
+use chrono_core::{CascadeChrono, ChronoConfig, ChronoPolicy};
 use sim_clock::Nanos;
 use tiered_mem::{FaultPlan, PageSize, SystemConfig, TieredSystem};
 use tiering_policies::{
@@ -166,6 +166,65 @@ impl PolicyUnderTest {
         self.build(scan_period, step).into_dyn()
     }
 
+    /// [`Self::build_boxed`] for a chain of `tiers` managed tiers. Two tiers
+    /// reproduce the classic build bit for bit; on longer chains the Chrono
+    /// modes come back as a [`CascadeChrono`] and TPP / Multi-Clock as their
+    /// hop-wise generalizations. Policies without a chain-aware variant run
+    /// their classic logic against the top edge.
+    pub fn build_boxed_tiers(
+        &self,
+        scan_period: Nanos,
+        step: u32,
+        tiers: usize,
+    ) -> Box<dyn TieringPolicy> {
+        if tiers == 2 {
+            return self.build_boxed(scan_period, step);
+        }
+        match self {
+            PolicyUnderTest::MultiClock => Box::new(MultiClock::for_tiers(
+                MultiClockConfig {
+                    sweep_period: scan_period,
+                    sweep_step_pages: step,
+                    levels: 4,
+                    promote_level: 3,
+                    demote_interval: scan_period / 4,
+                },
+                tiers,
+            )),
+            PolicyUnderTest::Tpp => Box::new(Tpp::for_tiers(
+                TppConfig {
+                    scan_period,
+                    scan_step_pages: step,
+                    demote_interval: scan_period / 4,
+                },
+                tiers,
+            )),
+            PolicyUnderTest::ChronoDcsc => Box::new(CascadeChrono::new(
+                Self::chrono_config(scan_period, step).variant_full(),
+                tiers,
+            )),
+            PolicyUnderTest::ChronoSemiAuto => Box::new(CascadeChrono::new(
+                Self::chrono_config(scan_period, step).variant_twice(),
+                tiers,
+            )),
+            PolicyUnderTest::ChronoManual => {
+                let base = Self::chrono_config(scan_period, step);
+                let cit = base.initial_cit_threshold;
+                Box::new(CascadeChrono::new(
+                    ChronoConfig {
+                        tuning: chrono_core::TuningMode::Manual {
+                            cit_threshold: cit,
+                            rate_limit: 120 * 1024 * 1024,
+                        },
+                        ..base
+                    },
+                    tiers,
+                ))
+            }
+            _ => self.build_boxed(scan_period, step),
+        }
+    }
+
     /// Whether this policy embeds Chrono's promotion queue (and therefore
     /// must satisfy queue-flow conservation).
     pub fn is_chrono(&self) -> bool {
@@ -323,6 +382,122 @@ pub fn determinism_digests(policy: PolicyUnderTest, seed: u64, run_millis: u64) 
     (a.digest, b.digest)
 }
 
+/// Policies snapshotted on the three-tier golden chain: cascaded Chrono
+/// (full DCSC tuning per edge) and the hop-wise TPP generalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreeTierPolicy {
+    /// [`CascadeChrono`] over three managed tiers (two edges).
+    ChronoDcsc3,
+    /// [`Tpp`] generalized to three managed tiers.
+    Tpp3,
+}
+
+/// All three-tier golden policies, in the order the snapshot table uses.
+pub const THREE_TIER_POLICIES: [ThreeTierPolicy; 2] =
+    [ThreeTierPolicy::ChronoDcsc3, ThreeTierPolicy::Tpp3];
+
+impl ThreeTierPolicy {
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ThreeTierPolicy::ChronoDcsc3 => "chrono-dcsc3",
+            ThreeTierPolicy::Tpp3 => "tpp3",
+        }
+    }
+}
+
+/// Runs one three-tier policy over the seeded workload shape on a
+/// DRAM+CXL+PMem chain, with the oracle attached exactly as
+/// [`run_policy_case`] does. The cascade's per-pair queue/retry flows are
+/// conservation-checked after the run.
+pub fn run_three_tier_case(policy: ThreeTierPolicy, seed: u64, run_millis: u64) -> PolicyRunReport {
+    const ORACLE_STRIDE: u64 = 128;
+    const MAX_KEPT: usize = 8;
+
+    let (total_frames, pages, wl_seed) = case_shape(seed);
+    // Same total capacity as the two-tier shape, split into a chain: a small
+    // top, a mid twice its size, and the remainder at the bottom.
+    let fast = total_frames / 8;
+    let mid = total_frames / 4;
+    let cfg = SystemConfig::three_tier(fast, mid, total_frames - fast - mid);
+    let mut sys = TieredSystem::new(cfg);
+    sys.enable_tracing(1 << 12);
+    let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, wl_seed));
+    sys.add_process(w.address_space_pages(), PageSize::Base);
+    let mut wls: Vec<Box<dyn Workload>> = vec![Box::new(w)];
+
+    let scan_period = Nanos::from_millis(5);
+    let mut cascade: Option<Box<CascadeChrono>> = None;
+    let mut other: Option<Box<dyn TieringPolicy>> = None;
+    match policy {
+        ThreeTierPolicy::ChronoDcsc3 => {
+            let cfg = PolicyUnderTest::chrono_config(scan_period, 512).variant_full();
+            cascade = Some(Box::new(CascadeChrono::new(cfg, 3)));
+        }
+        ThreeTierPolicy::Tpp3 => {
+            other = Some(Box::new(Tpp::for_tiers(
+                TppConfig {
+                    scan_period,
+                    scan_step_pages: 512,
+                    demote_interval: scan_period / 4,
+                },
+                3,
+            )));
+        }
+    }
+    let policy_dyn: &mut dyn TieringPolicy = match (&mut cascade, &mut other) {
+        (Some(c), _) => &mut **c,
+        (_, Some(o)) => &mut **o,
+        _ => unreachable!(),
+    };
+
+    let mut oracle = InvariantOracle::new();
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut steps = 0u64;
+    let driver = SimulationDriver::new(DriverConfig {
+        run_for: Nanos::from_millis(run_millis),
+        ..Default::default()
+    });
+    let result = driver.run_inspected(
+        &mut sys,
+        &mut wls,
+        policy_dyn,
+        |_, _, _, _| {},
+        |s| {
+            steps += 1;
+            if steps.is_multiple_of(ORACLE_STRIDE) && violations.len() < MAX_KEPT {
+                violations.extend(oracle.check(s));
+                violations.truncate(MAX_KEPT);
+            }
+        },
+    );
+    if violations.len() < MAX_KEPT {
+        violations.extend(oracle.check(&sys));
+        violations.truncate(MAX_KEPT);
+    }
+    if let Some(c) = &cascade {
+        for f in c.queue_flows() {
+            if let Some(v) = InvariantOracle::check_queue_flow(&f) {
+                violations.push(v);
+            }
+        }
+        for f in c.retry_flows() {
+            if let Some(v) = InvariantOracle::check_retry_flow(&f) {
+                violations.push(v);
+            }
+        }
+    }
+
+    PolicyRunReport {
+        policy: policy.name(),
+        seed,
+        digest: sys.trace.digest(),
+        accesses: result.accesses,
+        oracle_checks: oracle.checks,
+        violations,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +533,17 @@ mod tests {
             // alone guarantees a trace divergence).
             let clean = run_policy_case(p, 0x5EED, 20);
             assert_ne!(a.digest, clean.digest, "{} plan had no effect", a.policy);
+        }
+    }
+
+    #[test]
+    fn three_tier_policies_run_clean_and_deterministic() {
+        for p in THREE_TIER_POLICIES {
+            let a = run_three_tier_case(p, 0x5EED, 20);
+            let b = run_three_tier_case(p, 0x5EED, 20);
+            assert!(a.accesses > 0, "{} did nothing", a.policy);
+            assert!(a.clean(), "{} violated: {:?}", a.policy, a.violations);
+            assert_eq!(a.digest, b.digest, "{} nondeterministic", a.policy);
         }
     }
 

@@ -146,7 +146,7 @@ fn build_shards(
     let shards = (0..tenants)
         .map(|i| {
             let part = plan.part(i);
-            let mut cfg = SystemConfig::dram_pmem(part.fast_frames, part.slow_frames);
+            let mut cfg = SystemConfig::dram_pmem(part.fast_frames(), part.slow_frames());
             cfg.fault_plan = fault_plan_for(i as u32);
             let mut sys = TieredSystem::new(cfg);
             sys.enable_tracing(1 << 10);
@@ -154,7 +154,7 @@ fn build_shards(
             // is under comparable pressure; the access stream itself comes
             // from a tenant-id-keyed split of the workload seed.
             let tenant_pages =
-                ((pages as u64 * part.fast_frames as u64 / fast_total as u64) as u32).max(64);
+                ((pages as u64 * part.fast_frames() as u64 / fast_total as u64) as u32).max(64);
             let tenant_seed = DetRng::split(wl_seed, WORKLOAD_STREAM ^ i as u64).next_u64();
             let w =
                 PmbenchWorkload::new(PmbenchConfig::paper_skewed(tenant_pages, 0.7, tenant_seed));
@@ -248,19 +248,21 @@ fn check_cross_shard(shards: &[TenantShard], plan: &PartitionPlan, out: &mut Vec
         // Capacity per shard must still equal its partition: usable plus
         // quarantined/offlined frames (faults take frames out of service
         // but never out of the partition).
-        let fast_cap = s.sys.total_frames(TierId::Fast) as u64
-            + s.sys.quarantined_frames(TierId::Fast) as u64
-            + s.sys.offlined_frames(TierId::Fast) as u64;
-        let slow_cap = s.sys.total_frames(TierId::Slow) as u64
-            + s.sys.quarantined_frames(TierId::Slow) as u64
-            + s.sys.offlined_frames(TierId::Slow) as u64;
-        if fast_cap != part.fast_frames as u64 || slow_cap != part.slow_frames as u64 {
+        let fast_cap = s.sys.total_frames(TierId::FAST) as u64
+            + s.sys.quarantined_frames(TierId::FAST) as u64
+            + s.sys.offlined_frames(TierId::FAST) as u64;
+        let slow_cap = s.sys.total_frames(TierId::SLOW) as u64
+            + s.sys.quarantined_frames(TierId::SLOW) as u64
+            + s.sys.offlined_frames(TierId::SLOW) as u64;
+        if fast_cap != part.fast_frames() as u64 || slow_cap != part.slow_frames() as u64 {
             out.push(Violation {
                 invariant: "global-frame-conservation",
                 detail: format!(
                     "tenant {}: capacity ({fast_cap}, {slow_cap}) drifted from partition \
                      ({}, {})",
-                    s.id, part.fast_frames, part.slow_frames
+                    s.id,
+                    part.fast_frames(),
+                    part.slow_frames()
                 ),
             });
         }

@@ -80,8 +80,8 @@ fn main() {
     );
     println!(
         "fast tier usable      : {} of {} raw frames",
-        sys.total_frames(TierId::Fast),
-        sys.raw_frames(TierId::Fast)
+        sys.total_frames(TierId::FAST),
+        sys.raw_frames(TierId::FAST)
     );
 
     // Sanity: the plan actually fired, including its mid-run shrink.
@@ -90,7 +90,7 @@ fn main() {
         "canonical plan fired no transient copy faults"
     );
     assert!(
-        sys.total_frames(TierId::Fast) < clean_sys.total_frames(TierId::Fast),
+        sys.total_frames(TierId::FAST) < clean_sys.total_frames(TierId::FAST),
         "mid-run 25 % shrink left the fast tier at full capacity"
     );
     assert!(flow.conserved(), "retry flow does not balance");

@@ -14,7 +14,7 @@ use chrono_repro::workloads::{Graph500Config, Graph500Workload, GraphKernel, Wor
 
 fn exec_time(kind: PolicyKind, page_size: PageSize) -> Nanos {
     let scale = Scale::default_scale();
-    let mut sys = quarter_system(12_288);
+    let mut sys = quarter_system(&scale, 12_288);
     let mut wls: Vec<Box<dyn Workload>> = (0..2)
         .map(|i| {
             let mut cfg = Graph500Config::sized_to_pages(4_096, GraphKernel::Bfs, 21 + i);

@@ -50,8 +50,8 @@ fn main() {
     );
     println!(
         "fast tier occupancy: {}/{} frames, CIT threshold settled at {}",
-        sys.used_frames(TierId::Fast),
-        sys.total_frames(TierId::Fast),
+        sys.used_frames(TierId::FAST),
+        sys.total_frames(TierId::FAST),
         chrono.cit_threshold()
     );
 }

@@ -8,7 +8,8 @@ use chrono_repro::sim_clock::Nanos;
 use chrono_repro::tiered_mem::FaultPlan;
 use chrono_repro::tiering_verify::{
     determinism_digests, golden, run_policy_case, run_sharded_case, run_sharded_case_permuted,
-    run_sharded_case_with_plans, PolicyUnderTest, ALL_POLICIES, SHARD_GOLDEN_TENANTS,
+    run_sharded_case_with_plans, run_three_tier_case, PolicyUnderTest, ALL_POLICIES,
+    SHARD_GOLDEN_TENANTS, THREE_TIER_POLICIES,
 };
 
 /// Parses one golden table line: `<policy> <digest-hex> <accesses> [tenant
@@ -162,6 +163,34 @@ fn shard_goldens_survive_permuted_step_order() {
                 assert_eq!(r.accesses, accesses);
                 assert!(r.clean(), "{name}/{seed:#x}: violations {:?}", r.violations);
             }
+        }
+    }
+}
+
+/// Three-tier golden pin: cascaded Chrono-DCSC and TPP-3 on the
+/// DRAM+CXL+PMem chain reproduce the committed snapshot byte for byte, for
+/// both canonical seeds. Any change to the cascade's routing, the per-edge
+/// migration engine, or the chain's cost model diverges here with the
+/// policy named.
+#[test]
+fn three_tier_goldens_match_recomputation() {
+    for &seed in &golden::GOLDEN_SEEDS {
+        let table = std::fs::read_to_string(golden::three_tier_golden_path(seed))
+            .expect("committed three-tier golden missing — run `harness verify --bless`");
+        for (i, line) in table.lines().filter(|l| !l.starts_with('#')).enumerate() {
+            let (name, digest, accesses, _) = parse_golden_line(line);
+            let p = THREE_TIER_POLICIES[i];
+            assert_eq!(p.name(), name, "three-tier golden table order drifted");
+            let r = run_three_tier_case(p, seed, golden::GOLDEN_MILLIS);
+            assert_eq!(
+                r.digest, digest,
+                "{name}/{seed:#x}: three-tier digest diverged from committed golden"
+            );
+            assert_eq!(
+                r.accesses, accesses,
+                "{name}/{seed:#x}: access count diverged"
+            );
+            assert!(r.clean(), "{name}/{seed:#x}: violations {:?}", r.violations);
         }
     }
 }

@@ -38,6 +38,7 @@ fn huge_mappings_preserve_block_integrity() {
         let pages = (blocks as u32) * chrono_repro::tiered_mem::HUGE_2M_PAGES;
         let cfg = CaseConfig {
             fast_frames: chrono_repro::tiered_mem::HUGE_2M_PAGES * 2,
+            mid_frames: None,
             slow_frames: pages + chrono_repro::tiered_mem::HUGE_2M_PAGES,
             procs: vec![(pages, PageSize::Huge2M)],
             // One 512-frame reservation at most, so demand paging always
