@@ -44,6 +44,12 @@ echo "== harness fuzz tenant-storm (cross-shard invariants + admission rejects, 
 echo "== harness fuzz three-tier (tier-chain op schedules over DRAM+CXL+PMem)"
 ./target/release/harness fuzz --three-tier --seeds 32 --ops 2000
 
+echo "== harness fuzz tier-chaos (offline/evacuate/rejoin arcs under canonical3/storm3)"
+./target/release/harness fuzz --tier-chaos --seeds 32 --ops 2000
+
+echo "== tier_failover example (failure-domain arc end to end, throughput bar asserted)"
+cargo run --release --example tier_failover
+
 echo "== harness run thread-invariance (same seed, 1 vs 4 worker threads)"
 d1=$(./target/release/harness run --tenants 200 --millis 5 --threads 1 | awk '/digest:/{print $2}')
 d4=$(./target/release/harness run --tenants 200 --millis 5 --threads 4 | awk '/digest:/{print $2}')

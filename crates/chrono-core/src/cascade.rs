@@ -20,7 +20,7 @@
 //! The two-tier configuration is exactly one pair and behaves identically
 //! to a standalone [`ChronoPolicy`].
 
-use tiered_mem::{AccessResult, ProcessId, TieredSystem, Vpn, MAX_TIERS};
+use tiered_mem::{AccessResult, ProcessId, TierHealth, TierId, TieredSystem, Vpn, MAX_TIERS};
 use tiering_policies::{decode_token, TieringPolicy};
 
 use crate::config::ChronoConfig;
@@ -31,6 +31,12 @@ use crate::resilience::RetryFlow;
 /// Cascaded Chrono: one [`ChronoPolicy`] per adjacent pair of managed tiers.
 pub struct CascadeChrono {
     pairs: Vec<ChronoPolicy>,
+    /// Pairs whose lower tier is spliced out of the chain: their events
+    /// reschedule without doing work until the tier rejoins.
+    suspended: Vec<bool>,
+    /// Whether any pair is currently suspended or retargeted, so healthy
+    /// runs pay one boolean check per event and nothing else.
+    rerouted: bool,
     name: &'static str,
 }
 
@@ -60,7 +66,12 @@ impl CascadeChrono {
         } else {
             "Chrono-DCSC"
         };
-        CascadeChrono { pairs, name }
+        CascadeChrono {
+            suspended: vec![false; pairs.len()],
+            rerouted: false,
+            pairs,
+            name,
+        }
     }
 
     /// Builds the cascade sized to a system's managed tier count.
@@ -82,6 +93,47 @@ impl CascadeChrono {
     pub fn retry_flows(&self) -> Vec<RetryFlow> {
         self.pairs.iter().map(|p| p.retry_flow()).collect()
     }
+
+    /// Which pairs are currently suspended (lower tier spliced out).
+    pub fn suspended_pairs(&self) -> &[bool] {
+        &self.suspended
+    }
+
+    /// Re-derives per-pair routing from the substrate's tier health.
+    ///
+    /// Pair `i` always keeps its lower tier `i + 1` — scan-fault routing
+    /// and every piece of per-pair scan state key on the lower tier. When
+    /// that tier is spliced out the pair suspends (abandoning its retries
+    /// and deferred work, tripping its breaker); otherwise its *upper* is
+    /// retargeted to the nearest non-spliced tier at or above its home
+    /// position, which is exactly the splice edge the substrate's
+    /// `route_allowed` accepts. An all-Online chain restores every pair to
+    /// its home edge and this becomes a single boolean check per event.
+    fn sync_tier_health(&mut self, sys: &mut TieredSystem) {
+        let health = sys.tier_health_all().to_vec();
+        let any_unhealthy = health.iter().any(|h| !matches!(h, TierHealth::Online));
+        if !any_unhealthy && !self.rerouted {
+            return;
+        }
+        let mut rerouted = false;
+        for i in 0..self.pairs.len() {
+            let lower_out = health[i + 1].spliced_out();
+            if lower_out && !self.suspended[i] {
+                self.pairs[i].on_edge_down(sys);
+            }
+            self.suspended[i] = lower_out;
+            let mut t = i;
+            while t > 0 && health[t].spliced_out() {
+                t -= 1;
+            }
+            let target = TierId(t as u8);
+            if self.pairs[i].tier_pair().0 != target {
+                self.pairs[i].retarget_upper(target);
+            }
+            rerouted |= lower_out || t != i;
+        }
+        self.rerouted = rerouted;
+    }
 }
 
 impl TieringPolicy for CascadeChrono {
@@ -96,6 +148,7 @@ impl TieringPolicy for CascadeChrono {
     }
 
     fn on_event(&mut self, sys: &mut TieredSystem, token: u64) {
+        self.sync_tier_health(sys);
         let (kind, _pid, tag) = decode_token(token);
         if kind == EV_MIGRATE {
             // The failure channel is a single global drain; pull it once and
@@ -108,7 +161,11 @@ impl TieringPolicy for CascadeChrono {
                 }
             }
         }
-        self.pairs[tag as usize].on_event(sys, token);
+        if self.suspended[tag as usize] {
+            self.pairs[tag as usize].suspend_tick(sys, token);
+        } else {
+            self.pairs[tag as usize].on_event(sys, token);
+        }
     }
 
     fn on_hint_fault(
@@ -130,7 +187,9 @@ impl TieringPolicy for CascadeChrono {
                 .position(|p| p.has_outstanding_probe(pid, pte))
                 .or_else(|| self.pairs.iter().position(|p| p.tier_pair().1 == res.tier));
             if let Some(i) = owner {
-                self.pairs[i].on_hint_fault(sys, pid, vpn, write, res);
+                if !self.suspended[i] {
+                    self.pairs[i].on_hint_fault(sys, pid, vpn, write, res);
+                }
             }
             return;
         }
@@ -138,7 +197,7 @@ impl TieringPolicy for CascadeChrono {
         // tier t is the lower tier of pair t-1. Faults on the top tier have
         // no scanning pair and are ignored (as the standalone policy does).
         let t = res.tier.index();
-        if t >= 1 && t <= self.pairs.len() {
+        if t >= 1 && t <= self.pairs.len() && !self.suspended[t - 1] {
             self.pairs[t - 1].on_hint_fault(sys, pid, vpn, write, res);
         }
     }
@@ -239,6 +298,103 @@ mod tests {
             occ(0),
             occ(2)
         );
+    }
+
+    fn run_cascade_with_plan(
+        mut syscfg: SystemConfig,
+        plan: tiered_mem::FaultPlan,
+        run_ms: u64,
+    ) -> (TieredSystem, CascadeChrono) {
+        syscfg.fault_plan = Some(plan);
+        run_cascade(syscfg, run_ms)
+    }
+
+    fn mid_tier_outage_plan(seed: u64) -> tiered_mem::FaultPlan {
+        use tiered_mem::{TierEvent, TierEventKind};
+        let mut plan = tiered_mem::FaultPlan::inert(seed);
+        plan.tier_events = vec![
+            TierEvent {
+                at: Nanos::from_millis(200),
+                tier: TierId(1),
+                kind: TierEventKind::Offline {
+                    deadline: Nanos::from_millis(220),
+                },
+            },
+            TierEvent {
+                at: Nanos::from_millis(350),
+                tier: TierId(1),
+                kind: TierEventKind::Online,
+            },
+        ];
+        plan
+    }
+
+    #[test]
+    fn mid_tier_offline_evacuates_splices_and_rejoins() {
+        let topo = || SystemConfig::three_tier(768, 1536, 4096);
+        let healthy = run_cascade(topo(), 500).0.stats.fmar();
+        let (sys, policy) = run_cascade_with_plan(topo(), mid_tier_outage_plan(5), 500);
+        // The outage actually ran: pages were drained off the mid tier and
+        // every evacuated page is accounted for exactly once.
+        let s = &sys.stats;
+        assert!(s.evacuated_pages > 0, "no evacuation happened");
+        assert_eq!(
+            s.evacuated_pages,
+            s.evac_rehomed_pages
+                + s.evac_swapped_pages
+                + s.evac_faulted_pages
+                + sys.in_flight_evac_pages(),
+            "evacuation flow not conserved: {s:?}"
+        );
+        assert!(s.tier_health_transitions > 0);
+        // The failing edge (pair 0, lower tier 1) tripped its breaker on
+        // the way down; the surviving edge never tripped.
+        assert!(
+            policy.pairs()[0].breaker_trips() > 0,
+            "edge 0 never tripped"
+        );
+        assert_eq!(
+            policy.pairs()[1].breaker_trips(),
+            0,
+            "only the failing edge may trip"
+        );
+        // After the rejoin the chain healed: no pair suspended, the lower
+        // pair promotes to its home tier again, and the mid tier repopulated.
+        assert!(policy.suspended_pairs().iter().all(|s| !s));
+        assert_eq!(policy.pairs()[1].tier_pair(), (TierId(1), TierId(2)));
+        assert!(
+            sys.used_frames(TierId(1)) > 0,
+            "mid tier empty after rejoin"
+        );
+        // Losing a tier for 30% of the run costs some fast-tier hit rate,
+        // but the acceptance bar holds: at least 75% of fault-free FMAR.
+        let faulty = sys.stats.fmar();
+        assert!(
+            faulty >= healthy * 0.75,
+            "FMAR {faulty} fell below 75% of fault-free {healthy}"
+        );
+        for (i, f) in policy.queue_flows().iter().enumerate() {
+            assert!(f.conserved(), "pair {i} queue flow: {f:?}");
+        }
+        for (i, f) in policy.retry_flows().iter().enumerate() {
+            assert!(f.conserved(), "pair {i} retry flow: {f:?}");
+        }
+    }
+
+    #[test]
+    fn retry_flow_stays_conserved_on_a_dying_edge() {
+        // Transient copy faults keep the retry pools busy while the mid
+        // tier dies and rejoins: every pool must still balance
+        // `failed == retried + abandoned + pending` afterwards.
+        let mut plan = mid_tier_outage_plan(7);
+        plan.copy_transient = 0.3;
+        let (sys, policy) =
+            run_cascade_with_plan(SystemConfig::three_tier(768, 1536, 4096), plan, 500);
+        assert!(sys.stats.transient_copy_faults > 0, "no faults injected");
+        for (i, f) in policy.retry_flows().iter().enumerate() {
+            assert!(f.conserved(), "pair {i} retry flow: {f:?}");
+        }
+        assert!(policy.suspended_pairs().iter().all(|s| !s));
     }
 
     #[test]

@@ -1035,6 +1035,57 @@ impl ChronoPolicy {
         self.overlap_floor = Some(anchor);
         true
     }
+
+    // ----- Tier failure domains --------------------------------------------
+
+    /// Retargets the promotion destination (cascade splice around an
+    /// offline tier). Scan cursors, the candidate filter, and the promotion
+    /// queue all key on the unchanged lower tier, so they stay valid —
+    /// only where promotions land (and where demotions come from) moves.
+    pub(crate) fn retarget_upper(&mut self, upper: TierId) {
+        self.upper = upper;
+    }
+
+    /// The pair's promotion edge died (its lower tier went offline):
+    /// pending retries and deferred entries reference pages the substrate
+    /// is evacuating, so they are abandoned/dropped — each through its
+    /// normal flow-conserving exit — and the breaker is force-tripped so
+    /// the edge resumes through the usual quiet-period recovery.
+    pub(crate) fn on_edge_down(&mut self, sys: &mut TieredSystem) {
+        self.retry.abandon_pending();
+        for p in std::mem::take(&mut self.deferred) {
+            self.stale_deferred_dropped += 1;
+            self.candidates.remove(p.pid, p.vpn);
+            sys.process_mut(p.pid)
+                .space
+                .entry_mut(p.vpn)
+                .flags
+                .clear(PageFlags::CANDIDATE);
+        }
+        if let Some(t) = self.breaker.trip() {
+            let now = sys.clock.now();
+            sys.trace.emit(now, || TraceEvent::Breaker {
+                open: t.open,
+                failure_ratio: t.failure_ratio,
+            });
+        }
+    }
+
+    /// Reschedule-only event service for a suspended pair: the token cycle
+    /// must keep turning so the pair resumes seamlessly when its lower tier
+    /// rejoins, but no scanning, promotion, demotion, or tuning runs.
+    pub(crate) fn suspend_tick(&mut self, sys: &mut TieredSystem, token: u64) {
+        let (kind, pid_raw, _) = decode_token(token);
+        let interval = match kind {
+            EV_SCAN => self.cursors[pid_raw as usize].event_interval,
+            EV_MIGRATE => self.cfg.migrate_interval,
+            EV_DEMOTE => self.cfg.demote_interval,
+            EV_TUNE => self.cfg.scan_period,
+            EV_DCSC => self.cfg.dcsc_interval,
+            _ => unreachable!("unknown Chrono event {kind}"),
+        };
+        sys.schedule_in(interval, encode_token(kind, pid_raw, self.tag));
+    }
 }
 
 impl TieringPolicy for ChronoPolicy {

@@ -171,6 +171,19 @@ impl RetryPool {
         self.entries.push(e);
     }
 
+    /// Abandons every pending entry at once (the edge they would retry on
+    /// died). Each drained entry moves from pending to abandoned, so the
+    /// flow stays conserved, and its attempt history is cleared like any
+    /// other abandonment. Returns how many entries were dropped.
+    pub fn abandon_pending(&mut self) -> usize {
+        let n = self.entries.len();
+        for e in std::mem::take(&mut self.entries) {
+            self.abandoned += 1;
+            self.attempts.remove(&key(e.pid, e.vpn));
+        }
+        n
+    }
+
     /// Entries currently waiting.
     pub fn pending(&self) -> usize {
         self.entries.len()
@@ -254,6 +267,24 @@ impl MigrationBreaker {
         } else {
             self.failures as f64 / self.attempts as f64
         }
+    }
+
+    /// Force-opens the breaker (the edge it guards went down), regardless
+    /// of the period's counters. Returns a transition when it was closed;
+    /// an already-open breaker trips silently. Recovery is the usual quiet
+    /// period via [`MigrationBreaker::end_period`].
+    pub fn trip(&mut self) -> Option<BreakerTransition> {
+        self.attempts = 0;
+        self.failures = 0;
+        if self.open {
+            return None;
+        }
+        self.open = true;
+        self.total_trips += 1;
+        Some(BreakerTransition {
+            open: true,
+            failure_ratio: 1.0,
+        })
     }
 
     /// Ends the period: resets counters and returns a transition when the
@@ -379,6 +410,38 @@ mod tests {
         // Steady healthy periods produce no transitions.
         b.record_attempts(10);
         assert_eq!(b.end_period(), None);
+    }
+
+    #[test]
+    fn abandon_pending_conserves_flow_and_clears_history() {
+        let mut p = pool();
+        p.record_failure(ProcessId(0), Vpn(1), 1, Nanos(0), Nanos(10));
+        p.record_failure(ProcessId(0), Vpn(2), 1, Nanos(0), Nanos(10));
+        assert_eq!(p.abandon_pending(), 2);
+        let f = p.flow();
+        assert!(f.conserved(), "{:?}", f);
+        assert_eq!(f.pending, 0);
+        assert_eq!(f.abandoned, 2);
+        // Histories cleared: the pages fail fresh at attempt 1.
+        assert_eq!(
+            p.record_failure(ProcessId(0), Vpn(1), 1, Nanos(20), Nanos(10)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn trip_force_opens_once_and_recovers_quietly() {
+        let mut b = MigrationBreaker::new(0.5, 4);
+        let t = b.trip().expect("closed breaker must transition");
+        assert!(t.open);
+        assert!(b.is_open());
+        assert_eq!(b.total_trips(), 1);
+        // Tripping again while open is a silent no-op.
+        assert_eq!(b.trip(), None);
+        assert_eq!(b.total_trips(), 1);
+        // A quiet period closes it as usual.
+        let t = b.end_period().expect("must close");
+        assert!(!t.open);
     }
 
     #[test]

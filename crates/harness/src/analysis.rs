@@ -14,16 +14,21 @@
 //! of text). `model-check` enumerates the exact reachable `PageFlags`
 //! lifecycle set, asserts every reachable state legal and every declared
 //! transition live, and diffs the rendered reachability report against the
-//! committed golden (`--bless` rewrites it). `race-check` is the chrono-race
+//! committed golden (`--bless` rewrites it); it then does the same for the
+//! tier failure-domain lifecycle model (own golden, plus the injected
+//! `Offline`-with-residency self-test, which must be caught or the checker
+//! itself is broken). `race-check` is the chrono-race
 //! gate: the exhaustive shard-interleaving exploration (convergence +
 //! slot-flow conservation on every schedule, diffed against its golden)
 //! plus the injected arrival-order-grants self-test, which must *fail* to
 //! converge or the checker itself is broken.
 
 use tiering_analysis::{
-    baseline_path, check_model, check_races, findings_to_json, golden_path, legality_rules,
-    lint_workspace, race_configs, race_golden_path, render_race_report, render_report, transitions,
-    workspace_root, Finding, GrantRule, RULES,
+    baseline_path, check_health_model, check_model, check_races, describe_health_state,
+    findings_to_json, golden_path, health_legality_rules, health_transitions, legality_rules,
+    lint_workspace, race_configs, race_golden_path, render_health_report, render_race_report,
+    render_report, tier_health, tier_health_golden_path, transitions, workspace_root, Finding,
+    GrantRule, RULES,
 };
 
 /// Removes `--flag` from `args`, reporting whether it was present.
@@ -165,11 +170,98 @@ pub fn run_model_check(mut args: Vec<String>) -> i32 {
         }
     }
 
+    // Second pillar of the same gate: the tier failure-domain lifecycle
+    // model, with its own golden and its own must-fail self-test.
+    let hts = health_transitions();
+    let hrules = health_legality_rules();
+    let hreport = check_health_model(&hts, &hrules);
+    println!(
+        "model-check: tier-health: {} transitions, {} legality rules, {} reachable states",
+        hts.len(),
+        hrules.len(),
+        hreport.reachable.len()
+    );
+    for (s, rule) in &hreport.illegal {
+        println!(
+            "ILLEGAL reachable tier state {:02x} ({}) violates {rule}",
+            s,
+            describe_health_state(*s)
+        );
+        failed = true;
+    }
+    for name in &hreport.dead_transitions {
+        println!("DEAD tier-health transition {name}: never fired from any reachable state");
+        failed = true;
+    }
+
+    let hrendered = render_health_report(&hreport);
+    let hgolden = tier_health_golden_path();
+    if bless {
+        if let Err(e) = std::fs::write(&hgolden, &hrendered) {
+            eprintln!("model-check: cannot write {}: {e}", hgolden.display());
+            return 1;
+        }
+        println!("blessed {}", hgolden.display());
+    } else {
+        match std::fs::read_to_string(&hgolden) {
+            Ok(committed) if committed == hrendered => {
+                println!("golden {} ok", hgolden.display());
+            }
+            Ok(_) => {
+                println!(
+                    "golden {} DIFFERS from the computed reachable set; \
+                     inspect with `harness model-check --bless` + git diff",
+                    hgolden.display()
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("golden {} unreadable ({e}); run --bless", hgolden.display());
+                failed = true;
+            }
+        }
+    }
+
+    // Self-test: a finish_offline that skips the drained-and-idle guard
+    // must be caught as Offline-with-residency, or the checker is dead
+    // weight.
+    let mut buggy = health_transitions();
+    buggy.push(tier_health::HealthTransition {
+        name: "buggy_finish_offline_without_drain",
+        apply: |s| {
+            if tier_health::health_of(s) == tier_health::EVACUATING
+                && tier_health::residency_of(s) > 0
+            {
+                vec![tier_health::pack(
+                    tier_health::OFFLINE,
+                    tier_health::residency_of(s),
+                    tier_health::inflight_of(s),
+                )]
+            } else {
+                vec![]
+            }
+        },
+    });
+    let injected = check_health_model(&buggy, &hrules);
+    if injected
+        .illegal
+        .iter()
+        .any(|(_, rule)| *rule == "offline_holds_nothing")
+    {
+        println!("model-check: tier-health self-test ok (Offline-with-residency caught)");
+    } else {
+        println!(
+            "model-check: SELF-TEST FAILED — injected Offline-with-residency \
+             transition was not detected"
+        );
+        failed = true;
+    }
+
     if failed {
         eprintln!("model-check: FAILED");
         1
     } else {
-        println!("model-check: reachable set is legal and matches the golden");
+        println!("model-check: reachable sets are legal and match the goldens");
         0
     }
 }

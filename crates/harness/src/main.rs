@@ -3,7 +3,7 @@
 //! ```text
 //! harness [--scale N] [--json DIR] [--trace DIR]
 //!         [--inflight-slots N] [--migration-backlog-cap MS]
-//!         [--fault-plan canonical|storm|inert] [--fault-seed X]
+//!         [--fault-plan canonical|storm|inert|canonical3|storm3] [--fault-seed X]
 //!         [--topology dram-pmem|dram-cxl|three-tier]
 //!         <experiment-id>...
 //! harness list
@@ -11,7 +11,7 @@
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
-//!              [--tenant-storm] [--three-tier]
+//!              [--tenant-storm] [--three-tier] [--tier-chaos]
 //! harness run --tenants N [--threads T] [--policy NAME] [--millis MS]
 //!             [--seed X] [--slots N] [--topology NAME]
 //! harness lint [--all] [--rules] [--json]
@@ -37,7 +37,11 @@
 //! experiment run: `canonical` is the paper's resilience scenario (1%
 //! transient copy faults, 0.01% poison, one mid-run 25% fast-tier shrink),
 //! `storm` is the high-rate fuzzing mix, `inert` wires the machinery up with
-//! zero probabilities. `--fault-seed` seeds the fault dice independently of
+//! zero probabilities, and `canonical3`/`storm3` add the tier failure-domain
+//! arc (mid-run degrade → offline with live evacuation → rejoin) on the
+//! three-tier chain — both are rejected unless `--topology three-tier` is
+//! selected, since they schedule events on tiers a two-tier chain does not
+//! have. `--fault-seed` seeds the fault dice independently of
 //! the workload (default 0xFA17); same plan + same seed replays the exact
 //! same fault sequence.
 //!
@@ -120,7 +124,9 @@ fn main() {
             .get(pos + 1)
             .and_then(|v| harness::FaultPlanKind::parse(v))
             .unwrap_or_else(|| {
-                eprintln!("--fault-plan requires one of: canonical, storm, inert");
+                eprintln!(
+                    "--fault-plan requires one of: canonical, storm, inert, canonical3, storm3"
+                );
                 std::process::exit(2);
             });
         scale.fault = Some(kind);
@@ -186,6 +192,21 @@ fn main() {
         args.drain(pos..=pos + 1);
     }
 
+    // A fault plan may only reference tiers the chosen topology has:
+    // `canonical3`/`storm3` schedule mid- and bottom-tier events, so a
+    // two-tier chain must reject them up front rather than silently
+    // dropping the events.
+    if let Some(kind) = scale.fault {
+        if let Err(e) = kind.validate_for_topology(scale.topology.num_tiers()) {
+            eprintln!(
+                "--fault-plan {} does not fit --topology {}: {e}",
+                kind.name(),
+                scale.topology.name()
+            );
+            std::process::exit(2);
+        }
+    }
+
     if args.is_empty() || args[0] == "list" {
         println!("Available experiments:");
         for (id, desc) in EXPERIMENTS {
@@ -197,7 +218,7 @@ fn main() {
             "verify"
         );
         println!(
-            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm] [--tenant-storm] [--three-tier]",
+            "  {:8} invariant fuzzing [--seeds N] [--ops N] [--replay SEED] [--migration-stress] [--fault-storm] [--tenant-storm] [--three-tier] [--tier-chaos]",
             "fuzz"
         );
         println!(

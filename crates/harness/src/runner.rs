@@ -132,6 +132,13 @@ pub enum FaultPlanKind {
     /// Plan attached but inert: no probabilistic faults, no events. Useful
     /// to confirm the fault plumbing itself does not perturb digests.
     Inert,
+    /// The three-tier failure arc: mid-run degrade, offline (live
+    /// evacuation + splice), and rejoin of the CXL mid tier, plus the
+    /// canonical probabilistic faults. Requires `--topology three-tier`.
+    Canonical3,
+    /// High-rate storm plus rapid offline/online flapping across the
+    /// lower tiers of a three-tier chain. Requires `--topology three-tier`.
+    Storm3,
 }
 
 impl FaultPlanKind {
@@ -141,7 +148,20 @@ impl FaultPlanKind {
             "canonical" => Some(FaultPlanKind::Canonical),
             "storm" => Some(FaultPlanKind::Storm),
             "inert" => Some(FaultPlanKind::Inert),
+            "canonical3" => Some(FaultPlanKind::Canonical3),
+            "storm3" => Some(FaultPlanKind::Storm3),
             _ => None,
+        }
+    }
+
+    /// Stable display name (the CLI spelling).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPlanKind::Canonical => "canonical",
+            FaultPlanKind::Storm => "storm",
+            FaultPlanKind::Inert => "inert",
+            FaultPlanKind::Canonical3 => "canonical3",
+            FaultPlanKind::Storm3 => "storm3",
         }
     }
 
@@ -151,7 +171,19 @@ impl FaultPlanKind {
             FaultPlanKind::Canonical => FaultPlan::canonical(seed, run_for),
             FaultPlanKind::Storm => FaultPlan::storm(seed),
             FaultPlanKind::Inert => FaultPlan::inert(seed),
+            FaultPlanKind::Canonical3 => FaultPlan::canonical3(seed, run_for),
+            FaultPlanKind::Storm3 => FaultPlan::storm3(seed, run_for),
         }
+    }
+
+    /// Checks the plan against a chain of `num_tiers` managed tiers: every
+    /// tier event must name a tier the topology actually has (and never
+    /// the top tier). `Err` carries the offending event's description.
+    pub fn validate_for_topology(&self, num_tiers: usize) -> Result<(), String> {
+        // The events are deterministic in the plan kind alone, so a probe
+        // materialization with fixed seed/length sees every scheduled tier.
+        self.materialize(0, Nanos::from_millis(1000))
+            .validate_for(num_tiers)
     }
 }
 
@@ -373,7 +405,15 @@ where
         sys_cfg.migration = m.clone();
     }
     if let Some(fault) = &scale.fault {
-        sys_cfg.fault_plan = Some(fault.materialize(scale.fault_seed, cfg.run_for));
+        let plan = fault.materialize(scale.fault_seed, cfg.run_for);
+        if let Err(e) = plan.validate_for(sys_cfg.num_tiers()) {
+            panic!(
+                "fault plan '{}' does not fit the {} topology: {e}",
+                fault.name(),
+                scale.topology.name()
+            );
+        }
+        sys_cfg.fault_plan = Some(plan);
     }
     let mut sys = TieredSystem::new(sys_cfg);
     crate::sink::arm(&mut sys);

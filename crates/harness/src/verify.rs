@@ -5,7 +5,7 @@
 //! harness verify [--bless]
 //! harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 //!              [--self-test] [--migration-stress] [--fault-storm]
-//!              [--tenant-storm] [--three-tier]
+//!              [--tenant-storm] [--three-tier] [--tier-chaos]
 //! ```
 //!
 //! `verify` runs the differential determinism check for every policy, the
@@ -30,7 +30,11 @@
 //! DRAM+CXL+PMem chain and the op mix draws migration destinations, victim
 //! pops, ageing and degradation windows across all three tiers, so the
 //! per-edge engines and the generalized residency invariants run under the
-//! oracle.
+//! oracle. `--tier-chaos` switches to the tier failure-domain profile:
+//! end-to-end three-tier policy runs under the `canonical3`/`storm3` plans
+//! (mid-run degrade → offline with live evacuation → rejoin), oracle
+//! attached, with an effectiveness self-test asserting the sweep actually
+//! failed and drained tiers.
 
 use tiering_verify::ops::{generate_ops, CaseConfig, FuzzOp};
 use tiering_verify::{
@@ -133,21 +137,22 @@ pub fn run_verify(mut args: Vec<String>) -> i32 {
 
 /// `harness fuzz [--seeds N] [--ops N] [--seed-base X] [--replay SEED]
 /// [--self-test] [--migration-stress] [--fault-storm] [--tenant-storm]
-/// [--three-tier]`. Returns the process exit code.
+/// [--three-tier] [--tier-chaos]`. Returns the process exit code.
 pub fn run_fuzz(mut args: Vec<String>) -> i32 {
     let stress = take_bool_flag(&mut args, "--migration-stress");
     let fault_storm = take_bool_flag(&mut args, "--fault-storm");
     let tenant_storm = take_bool_flag(&mut args, "--tenant-storm");
     let three_tier = take_bool_flag(&mut args, "--three-tier");
-    if [stress, fault_storm, tenant_storm, three_tier]
+    let tier_chaos = take_bool_flag(&mut args, "--tier-chaos");
+    if [stress, fault_storm, tenant_storm, three_tier, tier_chaos]
         .iter()
         .filter(|&&b| b)
         .count()
         > 1
     {
         eprintln!(
-            "fuzz: --migration-stress, --fault-storm, --tenant-storm and --three-tier \
-             are mutually exclusive"
+            "fuzz: --migration-stress, --fault-storm, --tenant-storm, --three-tier \
+             and --tier-chaos are mutually exclusive"
         );
         return 2;
     }
@@ -161,6 +166,8 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
         0x7E4A_0000
     } else if three_tier {
         0x37E1_0000
+    } else if tier_chaos {
+        0x7C40_0000
     } else {
         0x5EED_0000
     };
@@ -178,6 +185,9 @@ pub fn run_fuzz(mut args: Vec<String>) -> i32 {
 
     if tenant_storm {
         return run_tenant_storm(seeds, seed_base, replay);
+    }
+    if tier_chaos {
+        return run_tier_chaos(seeds, seed_base, replay, ops);
     }
 
     // The fuzzer intentionally drives the substrate into panics and catches
@@ -293,6 +303,74 @@ fn run_tenant_storm(seeds: u64, seed_base: u64, replay: Option<u64>) -> i32 {
         }
         if failures > 0 {
             eprintln!("fuzz: {failures} of {seeds} tenant-storm seeds FAILED");
+        }
+        1
+    }
+}
+
+/// The `--tier-chaos` profile: seeded end-to-end three-tier policy runs
+/// under the `canonical3`/`storm3` tier failure-domain plans (degrade,
+/// offline with live evacuation, rejoin), with the invariant oracle —
+/// including the `tier_offline_residency` and `evac_flow` checks —
+/// attached to every scan period. The `--ops` knob maps onto simulated
+/// run length (200 ops ≈ 1 simulated ms, so the default 4000 runs each
+/// seed for 20 ms — long enough for the full offline/rejoin arc).
+///
+/// The sweep carries its own effectiveness self-test: across the batch,
+/// tier health transitions and evacuated pages must both be nonzero, or
+/// the chaos the profile exists to inject never actually happened and the
+/// "zero violations" headline would be vacuous.
+fn run_tier_chaos(seeds: u64, seed_base: u64, replay: Option<u64>, ops: usize) -> i32 {
+    // lint:allow(timestamp-cast) ops is a CLI op count, not a timestamp
+    let run_millis = ((ops as u64) / 200).max(5);
+    if let Some(seed) = replay {
+        let r = tiering_verify::fuzz_one_tier_chaos(seed, run_millis);
+        println!(
+            "replay seed {seed:#x}: policy {}, digest {:016x}, {} accesses, \
+             {} tier transitions, {} evacuated pages, {} violations",
+            r.policy,
+            r.digest,
+            r.accesses,
+            r.tier_health_transitions,
+            r.evacuated_pages,
+            r.violations.len()
+        );
+        for v in &r.violations {
+            println!("  violation [{}] {}", v.invariant, v.detail);
+        }
+        return i32::from(!r.clean());
+    }
+    let mut failures = 0u64;
+    let mut transitions = 0u64;
+    let mut evacuated = 0u64;
+    for i in 0..seeds {
+        let seed = seed_base.wrapping_add(i);
+        let r = tiering_verify::fuzz_one_tier_chaos(seed, run_millis);
+        transitions += r.tier_health_transitions;
+        evacuated += r.evacuated_pages;
+        if !r.clean() {
+            failures += 1;
+            println!("tier-chaos seed {seed:#x} ({}) FAILED:", r.policy);
+            for v in &r.violations {
+                println!("  violation [{}] {}", v.invariant, v.detail);
+            }
+        }
+    }
+    if failures == 0 && transitions > 0 && evacuated > 0 {
+        println!(
+            "fuzz: {seeds} tier-chaos seeds x {run_millis} ms, zero invariant violations, \
+             {transitions} tier transitions and {evacuated} evacuated pages exercised"
+        );
+        0
+    } else {
+        if transitions == 0 || evacuated == 0 {
+            eprintln!(
+                "fuzz: tier-chaos sweep never exercised the failure arc \
+                 ({transitions} transitions, {evacuated} evacuated)"
+            );
+        }
+        if failures > 0 {
+            eprintln!("fuzz: {failures} of {seeds} tier-chaos seeds FAILED");
         }
         1
     }

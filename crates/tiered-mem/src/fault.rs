@@ -25,7 +25,8 @@ pub struct CapacityEvent {
     pub kind: CapacityKind,
 }
 
-/// The two hotplug directions.
+/// The hotplug directions. The `Fast*` variants predate N-tier chains and
+/// always target tier 0; the `Tier*` variants name their tier explicitly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CapacityKind {
     /// Offline this fraction (0..1) of the fast tier's current usable
@@ -34,6 +35,71 @@ pub enum CapacityKind {
     ShrinkFastFraction(f64),
     /// Bring up to this many previously offlined frames back online.
     GrowFastFrames(u32),
+    /// Per-tier shrink: same semantics as [`CapacityKind::ShrinkFastFraction`]
+    /// but on an arbitrary tier of the chain.
+    ShrinkTierFraction {
+        /// Tier whose capacity shrinks.
+        tier: TierId,
+        /// Fraction (0..1) of current usable frames to offline.
+        fraction: f64,
+    },
+    /// Per-tier grow: same semantics as [`CapacityKind::GrowFastFrames`].
+    GrowTierFrames {
+        /// Tier whose capacity grows.
+        tier: TierId,
+        /// Offlined frames to bring back online (clamped to what exists).
+        frames: u32,
+    },
+}
+
+impl CapacityKind {
+    /// The tier a capacity event targets (legacy fast-tier variants target
+    /// tier 0).
+    pub fn tier(&self) -> TierId {
+        match *self {
+            CapacityKind::ShrinkFastFraction(_) | CapacityKind::GrowFastFrames(_) => TierId::FAST,
+            CapacityKind::ShrinkTierFraction { tier, .. }
+            | CapacityKind::GrowTierFrames { tier, .. } => tier,
+        }
+    }
+}
+
+/// A scheduled tier-level failure-domain event: whole-device offline (with
+/// an evacuation deadline), device-level degradation, or rejoin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierEvent {
+    /// Virtual time at which the event fires.
+    pub at: Nanos,
+    /// The tier whose health changes. Tier 0 may degrade but never go
+    /// offline ([`FaultPlan::validate_for`] rejects such plans).
+    pub tier: TierId,
+    /// What happens.
+    pub kind: TierEventKind,
+}
+
+/// The tier health transitions a plan can schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TierEventKind {
+    /// Take the tier offline. Evacuation starts immediately (emergency
+    /// migration lane); at `deadline` any stragglers are force-drained to
+    /// the nearest healthy neighbor or the swap backstop, the tier's frames
+    /// are offlined, and the chain splices around the tier.
+    Offline {
+        /// Absolute time by which evacuation must complete.
+        deadline: Nanos,
+    },
+    /// Degrade the tier's copy channel until `until` (health shows
+    /// `Degrading`; copies targeting the tier pay `cost_multiplier`).
+    Degrade {
+        /// Window end (exclusive).
+        until: Nanos,
+        /// Copy-cost multiplier while degraded (`>= 1.0`).
+        cost_multiplier: f64,
+    },
+    /// Bring an offline tier back: it re-enters as `Rejoining` and flips to
+    /// `Online` on the next migration-completion pass, after which policies
+    /// may rebalance onto it.
+    Online,
 }
 
 /// A window during which one tier's migration-copy bandwidth is degraded.
@@ -67,6 +133,8 @@ pub struct FaultPlan {
     pub capacity_events: Vec<CapacityEvent>,
     /// Channel degradation windows.
     pub degrade_windows: Vec<DegradeWindow>,
+    /// Scheduled tier-level failure-domain events, in firing order.
+    pub tier_events: Vec<TierEvent>,
 }
 
 impl FaultPlan {
@@ -80,6 +148,7 @@ impl FaultPlan {
             copy_poison: 0.0,
             capacity_events: Vec::new(),
             degrade_windows: Vec::new(),
+            tier_events: Vec::new(),
         }
     }
 
@@ -96,6 +165,7 @@ impl FaultPlan {
                 kind: CapacityKind::ShrinkFastFraction(0.25),
             }],
             degrade_windows: Vec::new(),
+            tier_events: Vec::new(),
         }
     }
 
@@ -108,7 +178,162 @@ impl FaultPlan {
             copy_poison: 0.05,
             capacity_events: Vec::new(),
             degrade_windows: Vec::new(),
+            tier_events: Vec::new(),
         }
+    }
+
+    /// The three-tier-aware canonical plan: `canonical`'s copy-fault rates,
+    /// a 25 % mid-tier (CXL) shrink at a quarter of the run, then the full
+    /// failure-domain arc — mid-tier offline at the midpoint with an
+    /// eighth-of-the-run evacuation deadline, rejoin at three quarters —
+    /// while the bottom tier degrades under the evacuation load it absorbs.
+    /// Requires a chain with at least three tiers
+    /// ([`FaultPlan::validate_for`]).
+    pub fn canonical3(seed: u64, run_for: Nanos) -> FaultPlan {
+        let t = run_for.as_nanos();
+        let mid = TierId(1);
+        FaultPlan {
+            seed,
+            copy_transient: 0.01,
+            copy_poison: 0.0001,
+            capacity_events: vec![CapacityEvent {
+                at: Nanos(t / 4),
+                kind: CapacityKind::ShrinkTierFraction {
+                    tier: mid,
+                    fraction: 0.25,
+                },
+            }],
+            degrade_windows: Vec::new(),
+            tier_events: vec![
+                TierEvent {
+                    at: Nanos(t * 3 / 8),
+                    tier: mid,
+                    kind: TierEventKind::Degrade {
+                        until: Nanos(t / 2),
+                        cost_multiplier: 4.0,
+                    },
+                },
+                TierEvent {
+                    at: Nanos(t / 2),
+                    tier: mid,
+                    kind: TierEventKind::Offline {
+                        deadline: Nanos(t / 2 + t / 8),
+                    },
+                },
+                // The bottom tier soaks up the evacuation and slows down for
+                // its duration; this also pins the plan to >= 3 tiers.
+                TierEvent {
+                    at: Nanos(t / 2),
+                    tier: TierId(2),
+                    kind: TierEventKind::Degrade {
+                        until: Nanos(t * 5 / 8),
+                        cost_multiplier: 2.0,
+                    },
+                },
+                TierEvent {
+                    at: Nanos(t * 3 / 4),
+                    tier: mid,
+                    kind: TierEventKind::Online,
+                },
+            ],
+        }
+    }
+
+    /// The three-tier storm: `storm`'s copy-fault rates plus staggered
+    /// offline/online cycles on both lower tiers and per-tier capacity
+    /// wobble, packed into `run_for` so a short fuzz case exercises
+    /// evacuation, splice, and rejoin on every failure domain.
+    pub fn storm3(seed: u64, run_for: Nanos) -> FaultPlan {
+        let t = run_for.as_nanos();
+        FaultPlan {
+            seed,
+            copy_transient: 0.2,
+            copy_poison: 0.05,
+            capacity_events: vec![
+                CapacityEvent {
+                    at: Nanos(t / 8),
+                    kind: CapacityKind::ShrinkTierFraction {
+                        tier: TierId(2),
+                        fraction: 0.2,
+                    },
+                },
+                CapacityEvent {
+                    at: Nanos(t * 7 / 8),
+                    kind: CapacityKind::GrowTierFrames {
+                        tier: TierId(2),
+                        frames: u32::MAX,
+                    },
+                },
+            ],
+            degrade_windows: Vec::new(),
+            tier_events: vec![
+                TierEvent {
+                    at: Nanos(t / 4),
+                    tier: TierId(1),
+                    kind: TierEventKind::Offline {
+                        deadline: Nanos(t / 4 + t / 16),
+                    },
+                },
+                TierEvent {
+                    at: Nanos(t / 2),
+                    tier: TierId(1),
+                    kind: TierEventKind::Online,
+                },
+                TierEvent {
+                    at: Nanos(t * 5 / 8),
+                    tier: TierId(2),
+                    kind: TierEventKind::Offline {
+                        deadline: Nanos(t * 5 / 8 + t / 16),
+                    },
+                },
+                TierEvent {
+                    at: Nanos(t * 3 / 4),
+                    tier: TierId(2),
+                    kind: TierEventKind::Online,
+                },
+            ],
+        }
+    }
+
+    /// Checks the plan against a chain of `num_tiers` tiers: every tier a
+    /// capacity event, degrade window, or tier event references must exist,
+    /// and tier 0 (the top of the chain) must never be taken offline.
+    /// Returns a description of the first violation, so callers (the
+    /// harness `--fault-plan` flag) can reject mismatched plan/topology
+    /// combinations instead of silently no-opping.
+    pub fn validate_for(&self, num_tiers: usize) -> Result<(), String> {
+        let check = |what: &str, tier: TierId| -> Result<(), String> {
+            if tier.index() >= num_tiers {
+                return Err(format!(
+                    "{what} references tier {} but the topology has only {num_tiers} tiers",
+                    tier.index()
+                ));
+            }
+            Ok(())
+        };
+        for e in &self.capacity_events {
+            check("capacity event", e.kind.tier())?;
+        }
+        for w in &self.degrade_windows {
+            check("degrade window", w.tier)?;
+        }
+        for e in &self.tier_events {
+            check("tier event", e.tier)?;
+            if matches!(e.kind, TierEventKind::Offline { .. }) && e.tier == TierId::FAST {
+                return Err("tier event takes tier 0 offline; the top tier cannot fail".into());
+            }
+            if let TierEventKind::Offline { deadline } = e.kind {
+                if deadline < e.at {
+                    return Err(format!(
+                        "tier {} offline at {} has deadline {} in the past",
+                        e.tier.index(),
+                        e.at.as_nanos(),
+                        deadline.as_nanos()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -129,16 +354,20 @@ pub struct FaultState {
     plan: FaultPlan,
     rng: DetRng,
     next_event: usize,
+    next_tier_event: usize,
 }
 
 impl FaultState {
-    /// Instantiates a plan (sorts its capacity events by firing time).
+    /// Instantiates a plan (sorts its capacity and tier events by firing
+    /// time).
     pub fn new(mut plan: FaultPlan) -> FaultState {
         plan.capacity_events.sort_by_key(|e| e.at);
+        plan.tier_events.sort_by_key(|e| e.at);
         FaultState {
             rng: DetRng::seed(plan.seed ^ 0x000F_A017_5EED),
             plan,
             next_event: 0,
+            next_tier_event: 0,
         }
     }
 
@@ -171,6 +400,42 @@ impl FaultState {
             self.next_event += 1;
         }
         due
+    }
+
+    /// Pops every tier event due at or before `now`, in firing order.
+    pub fn due_tier_events(&mut self, now: Nanos) -> Vec<TierEvent> {
+        let mut due = Vec::new();
+        while let Some(e) = self.plan.tier_events.get(self.next_tier_event) {
+            if e.at > now {
+                break;
+            }
+            due.push(*e);
+            self.next_tier_event += 1;
+        }
+        due
+    }
+
+    /// Whether any tier event is still pending (used by the completion pump
+    /// to keep servicing the plan on otherwise-idle passes).
+    pub fn tier_events_pending(&self) -> bool {
+        self.next_tier_event < self.plan.tier_events.len()
+    }
+
+    /// Adds a tier event at runtime (fuzz ops, chaos drivers). Events added
+    /// after instantiation must fire later than everything already pending,
+    /// or they are clamped to fire with the next pending event.
+    pub fn add_tier_event(&mut self, e: TierEvent) {
+        let pos = self
+            .plan
+            .tier_events
+            .iter()
+            .skip(self.next_tier_event)
+            .position(|p| p.at > e.at)
+            .map(|i| i + self.next_tier_event)
+            .unwrap_or(self.plan.tier_events.len());
+        self.plan
+            .tier_events
+            .insert(pos.max(self.next_tier_event), e);
     }
 
     /// Adds a degradation window at runtime (fuzz ops, procfs-style knobs).
@@ -271,6 +536,132 @@ mod tests {
         assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(250)), 3.0);
         assert_eq!(s.cost_multiplier(TierId::FAST, Nanos(300)), 1.0);
         assert_eq!(s.cost_multiplier(TierId::SLOW, Nanos(160)), 1.0);
+    }
+
+    #[test]
+    fn tier_events_fire_in_time_order_once() {
+        let mut plan = FaultPlan::inert(0);
+        plan.tier_events = vec![
+            TierEvent {
+                at: Nanos(300),
+                tier: TierId(1),
+                kind: TierEventKind::Online,
+            },
+            TierEvent {
+                at: Nanos(100),
+                tier: TierId(1),
+                kind: TierEventKind::Offline {
+                    deadline: Nanos(200),
+                },
+            },
+        ];
+        let mut s = FaultState::new(plan);
+        assert!(s.tier_events_pending());
+        assert!(s.due_tier_events(Nanos(50)).is_empty());
+        let due = s.due_tier_events(Nanos(150));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].at, Nanos(100));
+        assert!(s.tier_events_pending());
+        let due = s.due_tier_events(Nanos(10_000));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].kind, TierEventKind::Online));
+        assert!(!s.tier_events_pending());
+        assert!(s.due_tier_events(Nanos(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn runtime_tier_events_never_fire_before_the_cursor() {
+        let mut plan = FaultPlan::inert(0);
+        plan.tier_events = vec![TierEvent {
+            at: Nanos(100),
+            tier: TierId(1),
+            kind: TierEventKind::Offline {
+                deadline: Nanos(150),
+            },
+        }];
+        let mut s = FaultState::new(plan);
+        assert_eq!(s.due_tier_events(Nanos(120)).len(), 1);
+        // A late insertion with an already-past firing time still fires (on
+        // the next poll), rather than being skipped behind the cursor.
+        s.add_tier_event(TierEvent {
+            at: Nanos(50),
+            tier: TierId(1),
+            kind: TierEventKind::Online,
+        });
+        let due = s.due_tier_events(Nanos(120));
+        assert_eq!(due.len(), 1);
+        assert!(matches!(due[0].kind, TierEventKind::Online));
+    }
+
+    #[test]
+    fn validate_for_rejects_out_of_range_tiers_and_top_tier_offline() {
+        let run = Nanos::from_millis(10);
+        assert!(FaultPlan::canonical(1, run).validate_for(2).is_ok());
+        assert!(FaultPlan::canonical3(1, run).validate_for(3).is_ok());
+        assert!(FaultPlan::storm3(1, run).validate_for(3).is_ok());
+        // Three-tier plans reference tier 1 / tier 2 and must be rejected
+        // on a two-tier topology.
+        assert!(FaultPlan::canonical3(1, run).validate_for(2).is_err());
+        assert!(FaultPlan::storm3(1, run).validate_for(2).is_err());
+
+        let mut p = FaultPlan::inert(0);
+        p.tier_events.push(TierEvent {
+            at: Nanos(10),
+            tier: TierId::FAST,
+            kind: TierEventKind::Offline {
+                deadline: Nanos(20),
+            },
+        });
+        assert!(p.validate_for(3).is_err(), "top tier cannot go offline");
+
+        let mut p = FaultPlan::inert(0);
+        p.tier_events.push(TierEvent {
+            at: Nanos(100),
+            tier: TierId(1),
+            kind: TierEventKind::Offline {
+                deadline: Nanos(50),
+            },
+        });
+        assert!(p.validate_for(3).is_err(), "deadline before firing time");
+
+        let mut p = FaultPlan::inert(0);
+        p.degrade_windows.push(DegradeWindow {
+            tier: TierId(3),
+            from: Nanos(0),
+            until: Nanos(10),
+            cost_multiplier: 2.0,
+        });
+        assert!(p.validate_for(3).is_err(), "degrade window past the chain");
+    }
+
+    #[test]
+    fn canonical3_schedules_the_full_failure_arc_on_the_mid_tier() {
+        let p = FaultPlan::canonical3(9, Nanos::from_millis(80));
+        let mid: Vec<_> = p
+            .tier_events
+            .iter()
+            .filter(|e| e.tier == TierId(1))
+            .collect();
+        assert!(matches!(mid[0].kind, TierEventKind::Degrade { .. }));
+        let TierEventKind::Offline { deadline } = mid[1].kind else {
+            panic!("second mid-tier event must be the offline");
+        };
+        assert!(deadline > mid[1].at);
+        assert!(deadline < mid[2].at, "rejoin after the deadline");
+        assert!(matches!(mid[2].kind, TierEventKind::Online));
+        // The bottom tier degrades while evacuation runs, which also pins
+        // the plan to three-tier topologies.
+        assert!(p
+            .tier_events
+            .iter()
+            .any(|e| e.tier == TierId(2) && matches!(e.kind, TierEventKind::Degrade { .. })));
+        assert!(matches!(
+            p.capacity_events[0].kind,
+            CapacityKind::ShrinkTierFraction {
+                tier: TierId(1),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -45,7 +45,10 @@ pub mod watermark;
 
 pub use addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 pub use config::{CostModel, MigrationSpec, SwapSpec, SystemConfig};
-pub use fault::{CapacityEvent, CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState};
+pub use fault::{
+    CapacityEvent, CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState, TierEvent,
+    TierEventKind,
+};
 pub use frame::{FrameOwner, FrameTable};
 pub use lru::{LruEntry, LruKind, LruLists};
 pub use migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
@@ -57,5 +60,5 @@ pub use system::{
     scan_budget_pages, AccessResult, MigrateError, MigrateMode, MigrationFailure, Process,
     TieredSystem,
 };
-pub use tier::{EdgeSpec, TierChain, TierId, TierSpec, MAX_TIERS};
+pub use tier::{EdgeSpec, TierChain, TierHealth, TierId, TierSpec, MAX_TIERS};
 pub use watermark::Watermarks;

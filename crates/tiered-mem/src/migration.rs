@@ -66,17 +66,44 @@ pub struct MigrationTxn {
     pub complete_at: Nanos,
     /// Whose time the copy was charged to.
     pub mode: MigrateMode,
+    /// Whether this copy rides the emergency evacuation lane (draining a
+    /// failing tier). Completion/abort accounting attributes these to the
+    /// evacuation flow-conservation counters.
+    pub evac: bool,
 }
 
-/// The directed-edge channel index for an adjacent migration `from → to`.
+/// The directed-edge channel index for a migration `from → to` on a chain
+/// of `n_tiers` managed tiers.
 ///
-/// Edges between tiers `k` and `k+1` occupy channels `2k` (up, into `k`)
-/// and `2k + 1` (down, into `k+1`); a chain of `n` tiers has `2(n-1)`
-/// channels. On a two-tier chain this is the old destination-tier index.
+/// Adjacent edges between tiers `k` and `k+1` occupy channels `2k` (up,
+/// into `k`) and `2k + 1` (down, into `k+1`); a chain of `n` tiers has
+/// `2(n-1)` adjacent channels, and on a two-tier chain that is the old
+/// destination-tier index. *Skip-pair* channels — splice edges crossing one
+/// or more `Offline` tiers — are appended after them (all gap-2 pairs in
+/// low-endpoint order, then gap-3, …) so they are digest-neutral whenever
+/// empty: existing channel numbering, iteration order, and tie-breaks are
+/// untouched.
 #[inline]
-fn channel_index(from: TierId, to: TierId) -> usize {
-    debug_assert_eq!(from.0.abs_diff(to.0), 1, "migration must cross one edge");
-    2 * from.index().min(to.index()) + usize::from(to > from)
+fn channel_index(from: TierId, to: TierId, n_tiers: usize) -> usize {
+    let (lo, hi) = (from.index().min(to.index()), from.index().max(to.index()));
+    let gap = hi - lo;
+    debug_assert!(gap >= 1 && hi < n_tiers, "migration must cross the chain");
+    let down = usize::from(to > from);
+    if gap == 1 {
+        return 2 * lo + down;
+    }
+    let mut base = 2 * (n_tiers - 1);
+    for g in 2..gap {
+        base += 2 * (n_tiers - g);
+    }
+    base + 2 * lo + down
+}
+
+/// Total channel count for a chain of `n_tiers`: two directed channels per
+/// (ordered-by-index) tier pair, adjacent and skip alike.
+#[inline]
+fn channel_count(n_tiers: usize) -> usize {
+    n_tiers * (n_tiers - 1)
 }
 
 /// Bounded in-flight transaction table with per-edge bandwidth FIFOs.
@@ -105,11 +132,17 @@ impl MigrationEngine {
         MigrationEngine {
             spec,
             next_id: 0,
-            channels: vec![VecDeque::new(); 2 * (n_tiers - 1)],
-            busy_until: vec![Nanos::ZERO; 2 * (n_tiers - 1)],
+            channels: vec![VecDeque::new(); channel_count(n_tiers)],
+            busy_until: vec![Nanos::ZERO; channel_count(n_tiers)],
             reserved: vec![0; n_tiers],
             earliest_front: Nanos::MAX,
         }
+    }
+
+    /// Number of managed tiers this engine serves.
+    #[inline]
+    fn n_tiers(&self) -> usize {
+        self.reserved.len()
     }
 
     /// Recomputes the cached earliest front completion; O(edges), called
@@ -150,7 +183,14 @@ impl MigrationEngine {
 
     /// Outstanding copy backlog on the directed edge `from → to`.
     pub fn backlog(&self, from: TierId, to: TierId, now: Nanos) -> Nanos {
-        self.busy_until[channel_index(from, to)].saturating_sub(now)
+        self.busy_until[channel_index(from, to, self.n_tiers())].saturating_sub(now)
+    }
+
+    /// In-flight evacuation-lane pages (units still being drained off a
+    /// failing tier). Part of the evacuation flow-conservation invariant:
+    /// `evacuated == rehomed + swapped + faulted + in_flight_evac`.
+    pub fn in_flight_evac_pages(&self) -> u64 {
+        self.iter().filter(|t| t.evac).map(|t| t.unit as u64).sum()
     }
 
     /// The largest outstanding backlog across all edge channels.
@@ -210,10 +250,32 @@ impl MigrationEngine {
         cost: Nanos,
         now: Nanos,
     ) -> MigrationTxnId {
+        self.begin_lane(pid, head, from, to, unit, dest_pfns, mode, cost, now, false)
+    }
+
+    /// [`Self::begin`] with an explicit lane: `evac = true` marks the copy
+    /// as emergency evacuation traffic for flow-conservation accounting.
+    /// Evacuation copies still queue FIFO on their edge channel — the
+    /// "priority" of the lane is that the pump issues them ahead of policy
+    /// traffic, not that they preempt copies already admitted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn begin_lane(
+        &mut self,
+        pid: ProcessId,
+        head: Vpn,
+        from: TierId,
+        to: TierId,
+        unit: u32,
+        dest_pfns: Vec<Pfn>,
+        mode: MigrateMode,
+        cost: Nanos,
+        now: Nanos,
+        evac: bool,
+    ) -> MigrationTxnId {
         debug_assert_eq!(dest_pfns.len(), unit as usize);
         let id = self.next_id;
         self.next_id += 1;
-        let chan = channel_index(from, to);
+        let chan = channel_index(from, to, self.n_tiers());
         let (start_at, complete_at) = match mode {
             MigrateMode::Sync(_) => (now, now),
             MigrateMode::Async => {
@@ -235,6 +297,7 @@ impl MigrationEngine {
             start_at,
             complete_at,
             mode,
+            evac,
         });
         self.refresh_earliest_front();
         id
@@ -332,13 +395,79 @@ mod tests {
     fn two_tier_channels_match_destination_indexing() {
         // Byte-compat contract: on two tiers the directed-edge channels are
         // exactly the historical per-destination pair.
-        assert_eq!(channel_index(TierId::SLOW, TierId::FAST), 0);
-        assert_eq!(channel_index(TierId::FAST, TierId::SLOW), 1);
+        assert_eq!(channel_index(TierId::SLOW, TierId::FAST, 4), 0);
+        assert_eq!(channel_index(TierId::FAST, TierId::SLOW, 4), 1);
         // Deeper edges extend past them without renumbering.
-        assert_eq!(channel_index(TierId(2), TierId(1)), 2);
-        assert_eq!(channel_index(TierId(1), TierId(2)), 3);
-        assert_eq!(channel_index(TierId(3), TierId(2)), 4);
-        assert_eq!(channel_index(TierId(2), TierId(3)), 5);
+        assert_eq!(channel_index(TierId(2), TierId(1), 4), 2);
+        assert_eq!(channel_index(TierId(1), TierId(2), 4), 3);
+        assert_eq!(channel_index(TierId(3), TierId(2), 4), 4);
+        assert_eq!(channel_index(TierId(2), TierId(3), 4), 5);
+    }
+
+    #[test]
+    fn skip_pair_channels_append_after_adjacent_ones() {
+        // A 3-chain: 4 adjacent channels, then the single gap-2 pair.
+        assert_eq!(channel_count(2), 2);
+        assert_eq!(channel_count(3), 6);
+        assert_eq!(channel_index(TierId(2), TierId(0), 3), 4);
+        assert_eq!(channel_index(TierId(0), TierId(2), 3), 5);
+        // A 4-chain: 6 adjacent, gap-2 pairs (0,2) and (1,3), then (0,3).
+        assert_eq!(channel_count(4), 12);
+        assert_eq!(channel_index(TierId(2), TierId(0), 4), 6);
+        assert_eq!(channel_index(TierId(0), TierId(2), 4), 7);
+        assert_eq!(channel_index(TierId(3), TierId(1), 4), 8);
+        assert_eq!(channel_index(TierId(1), TierId(3), 4), 9);
+        assert_eq!(channel_index(TierId(3), TierId(0), 4), 10);
+        assert_eq!(channel_index(TierId(0), TierId(3), 4), 11);
+        // Every (from, to, n) maps to a distinct in-range channel.
+        for n in 2..=4usize {
+            let mut seen = std::collections::BTreeSet::new();
+            for from in 0..n as u8 {
+                for to in 0..n as u8 {
+                    if from == to {
+                        continue;
+                    }
+                    let c = channel_index(TierId(from), TierId(to), n);
+                    assert!(c < channel_count(n));
+                    assert!(seen.insert(c), "channel {c} reused");
+                }
+            }
+            assert_eq!(seen.len(), channel_count(n));
+        }
+    }
+
+    #[test]
+    fn splice_channels_carry_copies_across_an_offline_tier() {
+        let mut e = MigrationEngine::new(
+            MigrationSpec {
+                inflight_slots: 8,
+                backlog_cap: Nanos::from_millis(100),
+            },
+            3,
+        );
+        // Tier 1 offline: the splice edge 2 → 0 carries the copy.
+        let id = e.begin_lane(
+            ProcessId(0),
+            Vpn(9),
+            TierId(2),
+            TierId(0),
+            1,
+            vec![Pfn(9)],
+            MigrateMode::Async,
+            Nanos(120),
+            Nanos::ZERO,
+            true,
+        );
+        assert_eq!(e.backlog(TierId(2), TierId(0), Nanos::ZERO), Nanos(120));
+        // Adjacent channels stay idle: the splice lane is its own FIFO.
+        assert_eq!(e.backlog(TierId(2), TierId(1), Nanos::ZERO), Nanos::ZERO);
+        assert_eq!(e.backlog(TierId(1), TierId(0), Nanos::ZERO), Nanos::ZERO);
+        assert_eq!(e.in_flight_evac_pages(), 1);
+        assert_eq!(e.reserved_frames(TierId(0)), 1);
+        let txn = e.pop_due(Nanos(120)).unwrap();
+        assert_eq!(txn.id, id);
+        assert!(txn.evac);
+        assert_eq!(e.in_flight_evac_pages(), 0);
     }
 
     #[test]

@@ -76,6 +76,22 @@ pub struct SystemStats {
     pub offlined_frames: u64,
     /// Frames brought back online by capacity-grow events, lifetime.
     pub restored_frames: u64,
+    /// Pages issued on the emergency evacuation lane (drained off a failing
+    /// tier). Flow-conserved: `evacuated_pages == evac_rehomed_pages +
+    /// evac_swapped_pages + evac_faulted_pages + engine in-flight evac`.
+    pub evacuated_pages: u64,
+    /// Evacuation-lane pages successfully re-homed on a healthy tier.
+    pub evac_rehomed_pages: u64,
+    /// Evacuation pages spilled to the swap backstop (no healthy neighbor
+    /// had room inside the deadline).
+    pub evac_swapped_pages: u64,
+    /// Evacuation-lane pages whose copy faulted or aborted; they stayed on
+    /// the failing tier and were re-issued or force-drained later, each
+    /// re-issue counting as a fresh `evacuated_pages` entry.
+    pub evac_faulted_pages: u64,
+    /// Tier-health transitions applied (offline, degrade, rejoin — the
+    /// failure-domain lifecycle).
+    pub tier_health_transitions: u64,
 }
 
 impl SystemStats {
@@ -151,6 +167,11 @@ impl SystemStats {
             quarantined_frames: self.quarantined_frames - earlier.quarantined_frames,
             offlined_frames: self.offlined_frames - earlier.offlined_frames,
             restored_frames: self.restored_frames - earlier.restored_frames,
+            evacuated_pages: self.evacuated_pages - earlier.evacuated_pages,
+            evac_rehomed_pages: self.evac_rehomed_pages - earlier.evac_rehomed_pages,
+            evac_swapped_pages: self.evac_swapped_pages - earlier.evac_swapped_pages,
+            evac_faulted_pages: self.evac_faulted_pages - earlier.evac_faulted_pages,
+            tier_health_transitions: self.tier_health_transitions - earlier.tier_health_transitions,
             ..SystemStats::default()
         };
         for t in 0..MAX_TIERS {
@@ -225,7 +246,17 @@ mod tests {
         b.hint_faults = 7;
         b.kernel_time = Nanos(180);
         b.failed_fast_migrations[MigrateError::COUNT - 1] = 9;
+        b.evacuated_pages = 11;
+        b.evac_rehomed_pages = 6;
+        b.evac_swapped_pages = 3;
+        b.evac_faulted_pages = 2;
+        b.tier_health_transitions = 5;
         let d = b.delta_since(&a);
+        assert_eq!(d.evacuated_pages, 11);
+        assert_eq!(d.evac_rehomed_pages, 6);
+        assert_eq!(d.evac_swapped_pages, 3);
+        assert_eq!(d.evac_faulted_pages, 2);
+        assert_eq!(d.tier_health_transitions, 5);
         assert_eq!(d.hint_faults, 4);
         assert_eq!(d.writes[TierId::SLOW.index()], 1);
         assert_eq!(d.reads[TierId::FAST.index()], 0);

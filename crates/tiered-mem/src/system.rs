@@ -11,14 +11,16 @@ use tiering_trace::{MigrateDir, PeriodSample, PolicyTraceState, TraceEvent, Trac
 
 use crate::addr::{PageSize, Pfn, ProcessId, Vpn, BASE_PAGE_BYTES, HUGE_2M_PAGES};
 use crate::config::SystemConfig;
-use crate::fault::{CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState};
+use crate::fault::{
+    CapacityKind, CopyFault, DegradeWindow, FaultPlan, FaultState, TierEvent, TierEventKind,
+};
 use crate::frame::{FrameOwner, FrameTable};
 use crate::lru::{LruEntry, LruKind, LruLists};
 use crate::migration::{MigrationEngine, MigrationTxn, MigrationTxnId};
 use crate::page::PageFlags;
 use crate::space::AddressSpace;
 use crate::stats::SystemStats;
-use crate::tier::TierId;
+use crate::tier::{EdgeSpec, TierHealth, TierId};
 use crate::watermark::Watermarks;
 
 /// Aging/scan budget in pages for covering `frames` once per `period`,
@@ -91,13 +93,18 @@ pub enum MigrateError {
     Poisoned,
     /// The requested migration does not cross a single adjacent edge of the
     /// tier chain. Pages move one hop at a time; a two-hop move is two
-    /// migrations.
+    /// migrations. (A splice edge across `Offline` tiers counts as one hop
+    /// while the splice holds.)
     NonAdjacent,
+    /// The destination tier is not accepting pages: it is evacuating,
+    /// offline, or still rejoining. Policies should reroute to the tier's
+    /// healthy neighbor or back off until the tier returns.
+    TierOffline,
 }
 
 impl MigrateError {
     /// Number of failure reasons (size of per-reason counter tables).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     /// Reason names, indexed by [`MigrateError::index`].
     pub const REASONS: [&'static str; Self::COUNT] = [
         "not_present",
@@ -107,6 +114,7 @@ impl MigrateError {
         "copy_fault",
         "poisoned",
         "non_adjacent",
+        "tier_offline",
     ];
 
     /// Dense index for per-reason counter tables
@@ -121,6 +129,7 @@ impl MigrateError {
             MigrateError::CopyFault => 4,
             MigrateError::Poisoned => 5,
             MigrateError::NonAdjacent => 6,
+            MigrateError::TierOffline => 7,
         }
     }
 }
@@ -187,9 +196,19 @@ pub struct TieredSystem {
     /// Migrations that failed at completion time (the caller is gone);
     /// drained by policies via [`TieredSystem::take_migration_failures`].
     failed_async: Vec<MigrationFailure>,
-    /// Fast-tier frames a capacity shrink still owes: the free pool was
+    /// Per-tier frames a capacity shrink still owes: the free pool was
     /// short at event time, so the remainder is taken as frames free up.
-    shrink_debt: u32,
+    shrink_debt: Vec<u32>,
+    /// Per-tier failure-domain health, chain order. All `Online` in a
+    /// fault-free run.
+    health: Vec<TierHealth>,
+    /// Fast-path flag: whether any tier is not `Online` (or any tier event
+    /// is pending on the plan). Lets the per-access completion pump keep
+    /// its cheap early-out when the failure-domain machinery is idle.
+    health_active: bool,
+    /// Per-tier resume cursor for the evacuation pump's frame walk, so each
+    /// pump pass is O(frames visited) amortized rather than O(tier size).
+    evac_cursor: Vec<u32>,
 }
 
 /// Sliding-window utilization tracker for one tier's memory device.
@@ -270,10 +289,16 @@ impl TieredSystem {
             procs: Vec::new(),
             engine: MigrationEngine::new(cfg.migration.clone(), n),
             fault: cfg.fault_plan.clone().map(FaultState::new),
+            health_active: cfg
+                .fault_plan
+                .as_ref()
+                .is_some_and(|p| !p.tier_events.is_empty()),
             cfg,
             contention: (0..n).map(|_| TierLoad::new()).collect(),
             failed_async: Vec::new(),
-            shrink_debt: 0,
+            shrink_debt: vec![0; n],
+            health: vec![TierHealth::Online; n],
+            evac_cursor: vec![0; n],
         }
     }
 
@@ -324,6 +349,13 @@ impl TieredSystem {
                 .map(|f| f.quarantined_frames() as u64)
                 .sum(),
             offlined_frames: self.frames[TierId::FAST.index()].offlined_frames() as u64,
+            // 4 bits per tier, chain order; an all-Online chain packs to 0
+            // so fault-free digests fold nothing new.
+            tier_health: self
+                .health
+                .iter()
+                .enumerate()
+                .fold(0u32, |acc, (i, h)| acc | (u32::from(h.code()) << (4 * i))),
         };
         self.trace.record_period(|| sample);
         self.trace_baseline = self.stats.clone();
@@ -459,7 +491,29 @@ impl TieredSystem {
 
     /// Fast-tier frames a capacity shrink still owes (taken as they free up).
     pub fn shrink_debt(&self) -> u32 {
-        self.shrink_debt
+        self.shrink_debt[TierId::FAST.index()]
+    }
+
+    /// Frames a capacity shrink still owes on `tier`.
+    pub fn tier_shrink_debt(&self, tier: TierId) -> u32 {
+        self.shrink_debt[tier.index()]
+    }
+
+    /// Failure-domain health of one tier.
+    pub fn tier_health(&self, tier: TierId) -> TierHealth {
+        self.health[tier.index()]
+    }
+
+    /// Per-tier failure-domain health, chain order.
+    pub fn tier_health_all(&self) -> &[TierHealth] {
+        &self.health
+    }
+
+    /// In-flight evacuation-lane pages (see the flow-conservation invariant
+    /// on [`SystemStats::evacuated_pages`]). Exposed for the
+    /// `tiering-verify` invariant oracle.
+    pub fn in_flight_evac_pages(&self) -> u64 {
+        self.engine.in_flight_evac_pages()
     }
 
     /// The live fault-injection state, if a plan is attached.
@@ -667,7 +721,10 @@ impl TieredSystem {
         let huge = self.procs[pid.0 as usize].space.is_huge_mapped(pte_vpn);
         let unit = if huge { HUGE_2M_PAGES } else { 1 };
 
-        let tier = self.pick_alloc_tier(unit);
+        let tier = match self.try_pick_alloc_tier(unit) {
+            Some(t) => t,
+            None => self.reclaim_for_demand(unit),
+        };
         let head = if huge { pte_vpn.huge_head() } else { pte_vpn };
         for off in 0..unit {
             let v = Vpn(head.0 + off);
@@ -750,23 +807,69 @@ impl TieredSystem {
     /// watermark, otherwise the first lower tier with room (top-down, so
     /// placement spills one tier at a time), otherwise fast if it can still
     /// hold the unit at all.
-    fn pick_alloc_tier(&self, unit: u32) -> TierId {
+    fn try_pick_alloc_tier(&self, unit: u32) -> Option<TierId> {
         let fast_free = self.free_frames(TierId::FAST);
         if fast_free >= unit + self.watermarks.high {
-            return TierId::FAST;
+            return Some(TierId::FAST);
         }
         for t in self.cfg.chain.ids().skip(1) {
-            if self.free_frames(t) >= unit {
-                return t;
+            // Tiers that are evacuating, offline, or rejoining take no new
+            // residency; demand placement spills past them down the chain.
+            if self.health[t.index()].accepts_pages() && self.free_frames(t) >= unit {
+                return Some(t);
             }
         }
         if fast_free >= unit {
-            return TierId::FAST;
+            return Some(TierId::FAST);
+        }
+        None
+    }
+
+    /// Emergency demand-side backstop: every healthy tier is full — a
+    /// failure domain is evacuating or offline and the survivors absorbed
+    /// its pages — so reclaim swaps victims out of the slowest healthy tier
+    /// until the allocation fits. Fault-free runs never come here (capacity
+    /// planning keeps the chain allocatable), so the path is digest-neutral
+    /// for them; genuine OOM with nothing left to reclaim still panics.
+    fn reclaim_for_demand(&mut self, unit: u32) -> TierId {
+        for _ in 0..(2 * HUGE_2M_PAGES + 4) {
+            // Any tier still holding pages can donate a victim — including
+            // an Evacuating one, where swapping simply accelerates the
+            // drain (Offline tiers hold nothing by invariant). Slowest
+            // first, so the fast tier is protected.
+            let mut popped = None;
+            for i in (0..self.cfg.num_tiers()).rev() {
+                let t = TierId(i as u8);
+                if self.used_frames(t) == 0 {
+                    continue;
+                }
+                if let Some(v) = self.pop_inactive_victim(t) {
+                    popped = Some(v);
+                    break;
+                }
+            }
+            let Some((pid, vpn)) = popped else { break };
+            let _ = self.swap_out(pid, vpn);
+            if let Some(t) = self.try_pick_alloc_tier(unit) {
+                return t;
+            }
         }
         let free: Vec<u32> = self.cfg.chain.ids().map(|t| self.free_frames(t)).collect();
+        let used: Vec<u32> = self.cfg.chain.ids().map(|t| self.used_frames(t)).collect();
+        let lru: Vec<(usize, usize)> = self
+            .cfg
+            .chain
+            .ids()
+            .map(|t| {
+                (
+                    self.lru_queued(t, LruKind::Inactive),
+                    self.lru_queued(t, LruKind::Active),
+                )
+            })
+            .collect();
         panic!(
-            "out of memory: need {} frames, free per tier {:?}",
-            unit, free
+            "out of memory: need {} frames, free per tier {:?} used {:?} lru {:?} health {:?} in_flight {}",
+            unit, free, used, lru, self.health, self.engine.in_flight()
         );
     }
 
@@ -896,6 +999,52 @@ impl TieredSystem {
 
     // ----- Migration -------------------------------------------------------
 
+    /// Whether a one-hop migration `from → to` is routable on the current
+    /// chain: the tiers are adjacent, or every tier strictly between them is
+    /// spliced out (`Offline`/`Rejoining`) so the healed chain makes them
+    /// neighbors. On an all-healthy chain this is exactly adjacency.
+    pub fn route_allowed(&self, from: TierId, to: TierId) -> bool {
+        if self.cfg.chain.adjacent(from, to) {
+            return true;
+        }
+        let (lo, hi) = (from.index().min(to.index()), from.index().max(to.index()));
+        if from == to || hi >= self.cfg.num_tiers() {
+            return false;
+        }
+        (lo + 1..hi).all(|t| self.health[t].spliced_out())
+    }
+
+    /// The copy edge for a routable `from → to` hop: the chain's edge when
+    /// adjacent, or a spliced edge derived via [`EdgeSpec::between`] when
+    /// the hop crosses `Offline` tiers (min endpoint bandwidth, zero extra
+    /// latency, no write asymmetry — the chain-healing rule).
+    fn route_edge(&self, from: TierId, to: TierId) -> EdgeSpec {
+        if self.cfg.chain.adjacent(from, to) {
+            self.cfg.chain.edge_between(from, to).clone()
+        } else {
+            EdgeSpec::between(self.cfg.chain.tier(from), self.cfg.chain.tier(to))
+        }
+    }
+
+    /// The nearest tier to `tier` that accepts pages and is reachable over
+    /// the (possibly spliced) chain, preferring the slower side on distance
+    /// ties — evacuation and soft-offline both protect the fast tier first.
+    /// `None` when no other tier is healthy (the swap backstop remains).
+    pub fn nearest_healthy_neighbor(&self, tier: TierId) -> Option<TierId> {
+        let n = self.cfg.num_tiers();
+        for d in 1..n {
+            for cand in [tier.index() + d, tier.index().wrapping_sub(d)] {
+                if cand < n
+                    && self.health[cand].accepts_pages()
+                    && self.route_allowed(tier, TierId(cand as u8))
+                {
+                    return Some(TierId(cand as u8));
+                }
+            }
+        }
+        None
+    }
+
     /// Counts a failed migration attempt. Promotion failures feed the
     /// per-reason table (`NoSpace` additionally keeps the historical
     /// `failed_promotions` counter); demotion failures are the caller's to
@@ -934,7 +1083,7 @@ impl TieredSystem {
         to: TierId,
         mode: MigrateMode,
     ) -> Result<u32, MigrateError> {
-        self.begin_migrate_txn(pid, vpn, to, mode)
+        self.begin_migrate_txn(pid, vpn, to, mode, false)
             .map(|(_, unit)| unit)
     }
 
@@ -944,6 +1093,7 @@ impl TieredSystem {
         vpn: Vpn,
         to: TierId,
         mode: MigrateMode,
+        evac: bool,
     ) -> Result<(MigrationTxnId, u32), MigrateError> {
         let space = &self.procs[pid.0 as usize].space;
         let head = space.pte_page(vpn);
@@ -955,7 +1105,22 @@ impl TieredSystem {
         if from == to {
             return self.fail_migrate(to, MigrateError::SameTier);
         }
-        if !self.cfg.chain.adjacent(from, to) {
+        if !self.health[to.index()].accepts_pages() {
+            // The unit stays where it is — but demote paths pop their victim
+            // off the LRU before calling in, and dropping the pop would
+            // strand the page off every list for the rest of the run
+            // (unreclaimable once the survivors fill up). Re-inserting is
+            // idempotent for pages still listed (the stamp bump retires the
+            // old entry) and only chaos runs ever take this branch.
+            let relist = if space.is_huge_mapped(head) {
+                head.huge_head()
+            } else {
+                head
+            };
+            self.lru_insert(pid, relist, LruKind::Inactive);
+            return self.fail_migrate(to, MigrateError::TierOffline);
+        }
+        if !self.route_allowed(from, to) {
             return self.fail_migrate(to, MigrateError::NonAdjacent);
         }
         if entry.flags.has(PageFlags::MIGRATING) {
@@ -964,7 +1129,14 @@ impl TieredSystem {
         let huge = space.is_huge_mapped(head);
         let unit = if huge { HUGE_2M_PAGES } else { 1 };
         let now = self.clock.now();
-        if !self.engine.admits(from, to, now) {
+        // The deadline force-drain (evacuation with the deadline already
+        // passed) bypasses admission: the device is about to disappear, so
+        // the copy happens regardless of how full the bounded table is. The
+        // async evacuation lane and all policy traffic respect admission.
+        let forced = evac
+            && matches!(self.health[from.index()],
+                        TierHealth::Evacuating { deadline } if deadline <= now);
+        if !forced && !self.engine.admits(from, to, now) {
             return self.fail_migrate(to, MigrateError::Backpressure);
         }
         if self.free_frames(to) < unit {
@@ -996,8 +1168,10 @@ impl TieredSystem {
         // the slower endpoint's migration bandwidth, reproducing the old
         // max-of-both-tiers copy time bit for bit), a write-asymmetry
         // stretch when copying down into an asymmetric device, the edge's
-        // fixed extra latency, plus a fixed remap cost per unit.
-        let edge = self.cfg.chain.edge_between(from, to);
+        // fixed extra latency, plus a fixed remap cost per unit. Spliced
+        // hops across an offline tier use a derived edge between the
+        // surviving endpoints.
+        let edge = self.route_edge(from, to);
         let mut bw_time = edge.transfer_time(unit as u64);
         if to > from && edge.write_asymmetry != 1.0 {
             bw_time = bw_time.scale_f64(edge.write_asymmetry);
@@ -1015,8 +1189,11 @@ impl TieredSystem {
 
         let id = self
             .engine
-            .begin(pid, head, from, to, unit, dest_pfns, mode, cost, now);
+            .begin_lane(pid, head, from, to, unit, dest_pfns, mode, cost, now, evac);
         self.stats.begun_migrations += 1;
+        if evac {
+            self.stats.evacuated_pages += unit as u64;
+        }
         self.trace.emit(now, || TraceEvent::MigrateBegin {
             pid: pid.0,
             vpn: head.0,
@@ -1040,6 +1217,7 @@ impl TieredSystem {
             to,
             unit,
             dest_pfns,
+            evac,
             ..
         } = txn;
         // Soft-offline: if the unit was POISONED its source frames are bad —
@@ -1092,8 +1270,9 @@ impl TieredSystem {
         };
         self.lru_insert(pid, head, kind);
 
-        // The crossed edge is the lower-numbered endpoint by construction
-        // (adjacent tiers only).
+        // Per-edge stats are keyed by the lower-numbered endpoint; a spliced
+        // hop is charged to the edge at its faster endpoint (min ≤ n − 2
+        // holds for any routable pair, so the index stays in range).
         let edge = from.index().min(to.index());
         if promoted {
             self.stats.promoted_pages += unit as u64;
@@ -1104,6 +1283,9 @@ impl TieredSystem {
         }
         self.stats.migration_bytes += unit as u64 * BASE_PAGE_BYTES;
         self.stats.completed_migrations += 1;
+        if evac {
+            self.stats.evac_rehomed_pages += unit as u64;
+        }
         self.trace
             .emit(self.clock.now(), || TraceEvent::MigrateComplete {
                 pid: pid.0,
@@ -1151,6 +1333,9 @@ impl TieredSystem {
             CopyFault::Poison => self.stats.poisoned_copy_faults += 1,
             CopyFault::None => unreachable!(),
         }
+        if txn.evac {
+            self.stats.evac_faulted_pages += txn.unit as u64;
+        }
         if txn.to == TierId::FAST {
             self.stats.failed_fast_migrations[err.index()] += 1;
         }
@@ -1185,39 +1370,60 @@ impl TieredSystem {
         std::mem::take(&mut self.failed_async)
     }
 
-    /// Fires capacity events from the fault plan that are due at `now`.
+    /// Fires capacity and tier events from the fault plan that are due at
+    /// `now`, in each queue's firing order.
     fn service_fault_plan(&mut self, now: Nanos) {
-        let due = match &mut self.fault {
-            Some(f) => f.due_capacity_events(now),
+        let (capacity, tiers) = match &mut self.fault {
+            Some(f) => (f.due_capacity_events(now), f.due_tier_events(now)),
             None => return,
         };
-        for ev in due {
+        for ev in capacity {
             match ev.kind {
                 CapacityKind::ShrinkFastFraction(frac) => {
                     let usable = self.frames[TierId::FAST.index()].usable_frames();
                     let target = (usable as f64 * frac).round() as u32;
-                    self.shrink_fast(target);
+                    self.shrink_tier(TierId::FAST, target);
                 }
                 CapacityKind::GrowFastFrames(n) => {
-                    self.grow_fast(n);
+                    self.grow_tier(TierId::FAST, n);
+                }
+                CapacityKind::ShrinkTierFraction { tier, fraction } => {
+                    let usable = self.frames[tier.index()].usable_frames();
+                    let target = (usable as f64 * fraction).round() as u32;
+                    self.shrink_tier(tier, target);
+                }
+                CapacityKind::GrowTierFrames { tier, frames } => {
+                    self.grow_tier(tier, frames);
                 }
             }
+        }
+        for ev in tiers {
+            self.apply_tier_event(ev);
         }
     }
 
     /// Retires outstanding shrink debt against frames that have freed up
-    /// since the shrink event (demotions draining the fast tier).
+    /// since the shrink event (demotions draining the tier).
     fn drain_shrink_debt(&mut self) {
-        if self.shrink_debt == 0 {
-            return;
+        for t in 0..self.cfg.num_tiers() {
+            if self.shrink_debt[t] == 0 {
+                continue;
+            }
+            let got = self.frames[t].offline_free_frames(self.shrink_debt[t]);
+            if got > 0 {
+                self.shrink_debt[t] -= got;
+                self.stats.offlined_frames += got as u64;
+                if t == TierId::FAST.index() {
+                    self.rescale_watermarks();
+                }
+                self.emit_capacity(TierId(t as u8), got, 0);
+            }
         }
-        let got = self.frames[TierId::FAST.index()].offline_free_frames(self.shrink_debt);
-        if got > 0 {
-            self.shrink_debt -= got;
-            self.stats.offlined_frames += got as u64;
-            self.rescale_watermarks();
-            self.emit_capacity(got, 0);
-        }
+    }
+
+    /// Whether any tier still owes shrink debt.
+    fn any_shrink_debt(&self) -> bool {
+        self.shrink_debt.iter().any(|&d| d > 0)
     }
 
     /// Re-derives the fast-tier watermarks from the current usable tier
@@ -1231,10 +1437,10 @@ impl TieredSystem {
         self.watermarks.pro = pro.clamp(self.watermarks.high, cap);
     }
 
-    fn emit_capacity(&mut self, offlined: u32, restored: u32) {
-        let usable = self.frames[TierId::FAST.index()].usable_frames();
+    fn emit_capacity(&mut self, tier: TierId, offlined: u32, restored: u32) {
+        let usable = self.frames[tier.index()].usable_frames();
         self.trace.emit(self.clock.now(), || TraceEvent::Capacity {
-            tier: TierId::FAST.index() as u8,
+            tier: tier.index() as u8,
             offlined,
             restored,
             usable,
@@ -1242,30 +1448,311 @@ impl TieredSystem {
     }
 
     /// Takes `frames` fast-tier frames out of service (hotplug shrink).
-    /// Frames come out of the free pool; if the pool is short, the
-    /// remainder becomes shrink debt retired as demotions free more frames.
-    /// Watermarks are re-derived from the new usable size. Returns frames
-    /// offlined immediately.
+    /// See [`TieredSystem::shrink_tier`].
     pub fn shrink_fast(&mut self, frames: u32) -> u32 {
-        let got = self.frames[TierId::FAST.index()].offline_free_frames(frames);
+        self.shrink_tier(TierId::FAST, frames)
+    }
+
+    /// Brings fast-tier capacity back (hotplug grow). See
+    /// [`TieredSystem::grow_tier`].
+    pub fn grow_fast(&mut self, frames: u32) -> u32 {
+        self.grow_tier(TierId::FAST, frames)
+    }
+
+    /// Takes `frames` frames of `tier` out of service (hotplug shrink).
+    /// Frames come out of the free pool; if the pool is short, the
+    /// remainder becomes shrink debt retired as migrations free more
+    /// frames. Fast-tier watermarks are re-derived from the new usable
+    /// size. Returns frames offlined immediately.
+    pub fn shrink_tier(&mut self, tier: TierId, frames: u32) -> u32 {
+        let got = self.frames[tier.index()].offline_free_frames(frames);
         self.stats.offlined_frames += got as u64;
-        self.shrink_debt += frames - got;
-        self.rescale_watermarks();
-        self.emit_capacity(got, 0);
+        self.shrink_debt[tier.index()] += frames - got;
+        if tier == TierId::FAST {
+            self.rescale_watermarks();
+        }
+        self.emit_capacity(tier, got, 0);
         got
     }
 
-    /// Brings fast-tier capacity back (hotplug grow): first cancels any
+    /// Brings capacity of `tier` back (hotplug grow): first cancels any
     /// outstanding shrink debt, then restores up to the remaining `frames`
     /// from the offlined pool. Returns frames actually brought back online.
-    pub fn grow_fast(&mut self, frames: u32) -> u32 {
-        let cancelled = frames.min(self.shrink_debt);
-        self.shrink_debt -= cancelled;
-        let restored = self.frames[TierId::FAST.index()].online_frames(frames - cancelled);
+    pub fn grow_tier(&mut self, tier: TierId, frames: u32) -> u32 {
+        let cancelled = frames.min(self.shrink_debt[tier.index()]);
+        self.shrink_debt[tier.index()] -= cancelled;
+        let restored = self.frames[tier.index()].online_frames(frames - cancelled);
         self.stats.restored_frames += restored as u64;
-        self.rescale_watermarks();
-        self.emit_capacity(0, restored);
+        if tier == TierId::FAST {
+            self.rescale_watermarks();
+        }
+        self.emit_capacity(tier, 0, restored);
         restored
+    }
+
+    // ----- Tier failure domains --------------------------------------------
+
+    /// Records a tier health transition: stats, trace event, and the
+    /// fast-path flag.
+    fn set_tier_health(&mut self, tier: TierId, health: TierHealth) {
+        self.health[tier.index()] = health;
+        self.stats.tier_health_transitions += 1;
+        self.health_active = self.health.iter().any(|h| *h != TierHealth::Online)
+            || self.fault.as_ref().is_some_and(|f| f.tier_events_pending());
+        self.trace
+            .emit(self.clock.now(), || TraceEvent::TierHealth {
+                tier: tier.index() as u8,
+                state: health.code(),
+            });
+    }
+
+    /// Applies one tier failure-domain event immediately (the fault plan
+    /// services its scheduled events through here; the sharded runner calls
+    /// it directly at barriers, in tenant-id order, so fleet chaos replays
+    /// identically at any thread count).
+    ///
+    /// Semantics per [`TierEventKind`]:
+    /// - `Degrade`: the tier (if currently a live chain member) shows
+    ///   `Degrading` and its copy channel pays the multiplier for the
+    ///   window.
+    /// - `Offline`: the tier enters `Evacuating`; copies *into* it abort,
+    ///   new residency is refused, and the emergency lane drains it (see
+    ///   [`TieredSystem::complete_due_migrations`]) until empty or the
+    ///   deadline force-drains it, after which it goes `Offline` and the
+    ///   chain splices around it. Ignored for tier 0 (the top tier cannot
+    ///   fail) and for tiers already evacuating/offline.
+    /// - `Online`: an `Offline` tier re-enters as `Rejoining`; the next
+    ///   completion pass restores its frames and flips it `Online`. An
+    ///   `Evacuating` tier is re-admitted immediately (the device came back
+    ///   before the drain finished); a degrade window is simply cut short.
+    pub fn apply_tier_event(&mut self, ev: TierEvent) {
+        let tier = ev.tier;
+        match ev.kind {
+            TierEventKind::Degrade {
+                until,
+                cost_multiplier,
+            } => {
+                let now = self.clock.now();
+                if self.health[tier.index()].accepts_pages() && now < until {
+                    self.fault
+                        .get_or_insert_with(|| FaultState::new(FaultPlan::inert(0)))
+                        .add_degrade_window(DegradeWindow {
+                            tier,
+                            from: now,
+                            until,
+                            cost_multiplier,
+                        });
+                    self.set_tier_health(tier, TierHealth::Degrading { until });
+                }
+            }
+            TierEventKind::Offline { deadline } => {
+                if tier == TierId::FAST || !self.health[tier.index()].accepts_pages() {
+                    return;
+                }
+                // Copies headed into the dying tier would land new residency
+                // there: abort them before the drain starts. Copies *out*
+                // keep flowing — they are the drain.
+                let doomed: Vec<(ProcessId, Vpn)> = self
+                    .engine
+                    .iter()
+                    .filter(|t| t.to == tier)
+                    .map(|t| (t.pid, t.head))
+                    .collect();
+                for (pid, head) in doomed {
+                    self.abort_migration(pid, head, false);
+                }
+                self.evac_cursor[tier.index()] = 0;
+                self.set_tier_health(tier, TierHealth::Evacuating { deadline });
+                self.pump_evacuation(tier);
+            }
+            TierEventKind::Online => match self.health[tier.index()] {
+                TierHealth::Offline => self.set_tier_health(tier, TierHealth::Rejoining),
+                TierHealth::Evacuating { .. } => self.set_tier_health(tier, TierHealth::Online),
+                _ => {}
+            },
+        }
+    }
+
+    /// Picks the evacuation destination for `unit` pages leaving `tier`:
+    /// the nearest healthy neighbor with room, preferring the slower side
+    /// on ties. `None` means every healthy tier is full — the caller spills
+    /// to the swap backstop.
+    fn evac_dest(&self, tier: TierId, unit: u32) -> Option<TierId> {
+        let n = self.cfg.num_tiers();
+        for d in 1..n {
+            for cand in [tier.index() + d, tier.index().wrapping_sub(d)] {
+                if cand < n
+                    && self.health[cand].accepts_pages()
+                    && self.route_allowed(tier, TierId(cand as u8))
+                    && self.free_frames(TierId(cand as u8)) >= unit
+                {
+                    return Some(TierId(cand as u8));
+                }
+            }
+        }
+        None
+    }
+
+    /// One evacuation pump pass over `tier` (must be `Evacuating`): issues
+    /// emergency-lane copies for resident units toward the nearest healthy
+    /// neighbor, bounded by edge admission before the deadline and forced
+    /// (synchronous, admission-bypassing) after it; spills to the swap
+    /// backstop when no healthy tier has room. Flips the tier `Offline`
+    /// once nothing resident remains.
+    fn pump_evacuation(&mut self, tier: TierId) {
+        let TierHealth::Evacuating { deadline } = self.health[tier.index()] else {
+            return;
+        };
+        let now = self.clock.now();
+        let forced = now >= deadline;
+        // Bound a pre-deadline pass so the per-access pump stays cheap; the
+        // cursor resumes where the pass stopped. A forced pass restarts at
+        // frame 0 and walks everything — the device is gone.
+        let budget = if forced { u32::MAX } else { 256 };
+        let total = self.frames[tier.index()].total();
+        let mut visited = 0u32;
+        let mut pfn = if forced {
+            0
+        } else {
+            self.evac_cursor[tier.index()]
+        };
+        while visited < budget && pfn < total {
+            visited += 1;
+            let Some(owner) = self.frames[tier.index()].owner(Pfn(pfn)) else {
+                pfn += 1;
+                continue;
+            };
+            // Skip reservation-only frames (no PTE points here yet — stale
+            // walk noise; copies cannot target an evacuating tier) and
+            // units already in flight off the tier.
+            if self.procs[owner.pid.0 as usize].space.entry(owner.vpn).pfn != Pfn(pfn) {
+                pfn += 1;
+                continue;
+            }
+            let head = self.procs[owner.pid.0 as usize].space.pte_page(owner.vpn);
+            let migrating = self.procs[owner.pid.0 as usize]
+                .space
+                .entry(head)
+                .flags
+                .has(PageFlags::MIGRATING);
+            if migrating {
+                if forced {
+                    // Past the deadline nothing may stay in flight off the
+                    // dying tier: abort and force-drain below.
+                    self.abort_migration(owner.pid, head, false);
+                } else {
+                    pfn += 1;
+                    continue;
+                }
+            }
+            let unit = if self.procs[owner.pid.0 as usize].space.is_huge_mapped(head) {
+                HUGE_2M_PAGES
+            } else {
+                1
+            };
+            match self.evac_dest(tier, unit) {
+                Some(dest) if forced => {
+                    // Synchronous force-drain: open and retire in one step
+                    // (admission bypassed — see `begin_migrate_txn`). A
+                    // copy fault leaves the unit resident; spill it to swap
+                    // so the tier still empties.
+                    match self.begin_migrate_txn(owner.pid, head, dest, MigrateMode::Async, true) {
+                        Ok((id, _)) => {
+                            let txn = self.engine.remove(id).expect("just begun");
+                            match self.roll_txn_fault() {
+                                CopyFault::None => self.complete_txn(txn),
+                                fault => {
+                                    self.fail_txn(txn, fault, false);
+                                    self.evac_spill(owner.pid, head, unit);
+                                }
+                            }
+                        }
+                        Err(_) => self.evac_spill(owner.pid, head, unit),
+                    }
+                }
+                Some(dest) => {
+                    match self.begin_migrate_txn(owner.pid, head, dest, MigrateMode::Async, true) {
+                        Ok(_) => {}
+                        Err(MigrateError::Backpressure) => break,
+                        Err(_) => {
+                            pfn += 1;
+                            continue;
+                        }
+                    }
+                }
+                None => {
+                    // No healthy tier has room: the backstop takes it.
+                    self.evac_spill(owner.pid, head, unit);
+                }
+            }
+            pfn += 1;
+        }
+        self.evac_cursor[tier.index()] = if pfn >= total { 0 } else { pfn };
+        // Drained? Nothing resident and nothing in flight off the tier.
+        if self.used_frames(tier) == 0 {
+            self.finish_offline(tier);
+        }
+    }
+
+    /// Spills one unit off an evacuating tier to the swap backstop,
+    /// keeping the evacuation flow conserved (the spill counts as an issue
+    /// retired into `evac_swapped_pages` in the same instant).
+    fn evac_spill(&mut self, pid: ProcessId, head: Vpn, unit: u32) {
+        if self.swap_out(pid, head).is_ok() {
+            self.stats.evacuated_pages += unit as u64;
+            self.stats.evac_swapped_pages += unit as u64;
+        }
+    }
+
+    /// Completes an evacuation: offlines the drained tier's frames and
+    /// splices the chain around it.
+    fn finish_offline(&mut self, tier: TierId) {
+        debug_assert_eq!(self.used_frames(tier), 0, "offline with residency");
+        let free = self.frames[tier.index()].free_frames();
+        let got = self.frames[tier.index()].offline_free_frames(free);
+        self.stats.offlined_frames += got as u64;
+        self.emit_capacity(tier, got, 0);
+        self.set_tier_health(tier, TierHealth::Offline);
+    }
+
+    /// Re-admits tiers that finished `Rejoining`: frames come back online
+    /// and the splice is undone. Runs on the completion pump so the rejoin
+    /// lands at a deterministic point of the access stream.
+    fn finish_rejoins(&mut self) {
+        for t in 0..self.cfg.num_tiers() {
+            if self.health[t] != TierHealth::Rejoining {
+                continue;
+            }
+            let restored = self.frames[t].online_frames(u32::MAX);
+            self.stats.restored_frames += restored as u64;
+            self.emit_capacity(TierId(t as u8), 0, restored);
+            self.set_tier_health(TierId(t as u8), TierHealth::Online);
+        }
+    }
+
+    /// Expires degrade-window health markers whose window has passed.
+    fn expire_degrades(&mut self, now: Nanos) {
+        for t in 0..self.cfg.num_tiers() {
+            if let TierHealth::Degrading { until } = self.health[t] {
+                if now >= until {
+                    self.set_tier_health(TierId(t as u8), TierHealth::Online);
+                }
+            }
+        }
+    }
+
+    /// Drives every evacuating tier's pump once and settles rejoin/degrade
+    /// lifecycle edges. Called from the completion pump while the
+    /// failure-domain machinery is active.
+    fn service_tier_health(&mut self) {
+        let now = self.clock.now();
+        self.expire_degrades(now);
+        self.finish_rejoins();
+        for t in 0..self.cfg.num_tiers() {
+            if matches!(self.health[t], TierHealth::Evacuating { .. }) {
+                self.pump_evacuation(TierId(t as u8));
+            }
+        }
     }
 
     /// Installs a channel-degradation window (fuzz ops and procfs-style
@@ -1351,15 +1838,15 @@ impl TieredSystem {
             pid: owner.pid.0,
             vpn: base.0,
         });
-        // Soft-offline destination: one hop down the chain, or one hop up
-        // when the bad frame sits in the last tier (the two-tier behaviour of
-        // "the other tier", generalized).
-        let dest = if tier.index() + 1 < self.cfg.num_tiers() {
-            TierId(tier.0 + 1)
-        } else {
-            TierId(tier.0 - 1)
-        };
-        let _ = self.migrate(owner.pid, base, dest, MigrateMode::Async);
+        // Soft-offline destination: the nearest *healthy* neighbor over the
+        // (possibly spliced) chain, preferring the slower side — on a fully
+        // healthy chain that is one hop down, or one hop up from the last
+        // tier, exactly the historical "other tier" behaviour. With no
+        // healthy neighbor at all the flag stays set; the next successful
+        // migration or swap-out quarantines the frame.
+        if let Some(dest) = self.nearest_healthy_neighbor(tier) {
+            let _ = self.migrate(owner.pid, base, dest, MigrateMode::Async);
+        }
         true
     }
 
@@ -1372,9 +1859,13 @@ impl TieredSystem {
         let now = self.clock.now();
         // Called on every sim-time advance, which on the driver's access
         // loop means roughly once per access; the common case is an idle
-        // engine, so bail with three cheap reads before touching the
+        // engine, so bail with a few cheap reads before touching the
         // fault-plan and retire machinery.
-        if self.fault.is_none() && self.shrink_debt == 0 && !self.engine.any_due(now) {
+        if self.fault.is_none()
+            && !self.health_active
+            && !self.any_shrink_debt()
+            && !self.engine.any_due(now)
+        {
             return 0;
         }
         self.service_fault_plan(now);
@@ -1389,6 +1880,9 @@ impl TieredSystem {
                     self.fail_txn(txn, fault, true);
                 }
             }
+        }
+        if self.health_active {
+            self.service_tier_health();
         }
         self.drain_shrink_debt();
         n
@@ -1413,6 +1907,11 @@ impl TieredSystem {
             e.flags.set(PageFlags::DIRTY);
         }
         self.stats.aborted_migrations += 1;
+        if txn.evac {
+            // The unit stays on the failing tier; the pump re-issues it
+            // (counting a fresh evacuation), so the abort retires this one.
+            self.stats.evac_faulted_pages += txn.unit as u64;
+        }
         self.trace
             .emit(self.clock.now(), || TraceEvent::MigrateAbort {
                 pid: pid.0,
@@ -1435,7 +1934,7 @@ impl TieredSystem {
         to: TierId,
         mode: MigrateMode,
     ) -> Result<u32, MigrateError> {
-        let (id, unit) = self.begin_migrate_txn(pid, vpn, to, mode)?;
+        let (id, unit) = self.begin_migrate_txn(pid, vpn, to, mode, false)?;
         let txn = self.engine.remove(id).expect("transaction just begun");
         match self.roll_txn_fault() {
             CopyFault::None => {
@@ -1531,28 +2030,35 @@ impl TieredSystem {
         } else {
             1
         };
-        // Victims leave `to` for the next tier down; a promotion target is
-        // never the bottom tier (the page comes from below it), so the
-        // victim destination always exists.
-        let victim_dest = TierId(to.0 + 1);
+        // Victims leave `to` for the next healthy tier down the (possibly
+        // spliced) chain; a promotion target is never the bottom tier (the
+        // page comes from below it), so on a healthy chain the destination
+        // always exists. With every lower tier unhealthy there is nowhere
+        // to demote — skip the reclaim loop and let the plain migrate
+        // report `NoSpace`.
+        let victim_dest = (to.index() + 1..self.cfg.num_tiers())
+            .map(|t| TierId(t as u8))
+            .find(|t| self.health[t.index()].accepts_pages() && self.route_allowed(to, *t));
         // Demote until there's room, bounded to avoid pathological loops when
         // the inactive list is all-hot. A failed victim demotion is counted,
         // and a `NotPresent` victim (stale by the time we got to it) does not
         // burn the attempt budget — it freed nothing and cost nothing.
         let mut attempts = 0;
-        while self.free_frames(to) < unit && attempts < 4 * unit {
-            match self.pop_inactive_victim(to) {
-                Some((vp, vv)) => match self.migrate(vp, vv, victim_dest, mode) {
-                    Ok(_) => attempts += 1,
-                    Err(MigrateError::NotPresent) => {
-                        self.stats.failed_demotions += 1;
-                    }
-                    Err(_) => {
-                        self.stats.failed_demotions += 1;
-                        attempts += 1;
-                    }
-                },
-                None => break,
+        if let Some(victim_dest) = victim_dest {
+            while self.free_frames(to) < unit && attempts < 4 * unit {
+                match self.pop_inactive_victim(to) {
+                    Some((vp, vv)) => match self.migrate(vp, vv, victim_dest, mode) {
+                        Ok(_) => attempts += 1,
+                        Err(MigrateError::NotPresent) => {
+                            self.stats.failed_demotions += 1;
+                        }
+                        Err(_) => {
+                            self.stats.failed_demotions += 1;
+                            attempts += 1;
+                        }
+                    },
+                    None => break,
+                }
             }
         }
         self.migrate(pid, vpn, to, mode)
@@ -2250,6 +2756,7 @@ mod tests {
         MigrateError::CopyFault,
         MigrateError::Poisoned,
         MigrateError::NonAdjacent,
+        MigrateError::TierOffline,
     ];
 
     #[test]
@@ -2264,6 +2771,7 @@ mod tests {
                 MigrateError::CopyFault => "copy_fault",
                 MigrateError::Poisoned => "poisoned",
                 MigrateError::NonAdjacent => "non_adjacent",
+                MigrateError::TierOffline => "tier_offline",
             };
             assert_eq!(MigrateError::REASONS[i], expect);
         }
@@ -2359,6 +2867,23 @@ mod tests {
             tri.stats.failed_fast_migrations[MigrateError::NonAdjacent.index()],
             1
         );
+
+        // TierOffline: aim a demotion at a tier that has gone offline. The
+        // per-reason table only counts promotions, and tier 0 can never go
+        // offline, so this variant is checked on the error return alone.
+        tri.apply_tier_event(TierEvent {
+            at: Nanos(0),
+            tier: TierId(2),
+            kind: TierEventKind::Offline { deadline: Nanos(0) },
+        });
+        let still_mid = (0..256)
+            .map(Vpn)
+            .find(|&v| tri.process(p3).space.entry(v).tier() == TierId(1))
+            .expect("a page still sits in the middle tier");
+        assert_eq!(
+            tri.migrate(p3, still_mid, TierId(2), MigrateMode::Async),
+            Err(MigrateError::TierOffline)
+        );
     }
 
     #[test]
@@ -2452,6 +2977,49 @@ mod tests {
         // Poisoning the same frame again is a no-op.
         assert!(!sys.poison_frame(TierId::FAST, bad));
         assert_eq!(sys.stats.quarantined_frames, 1);
+    }
+
+    #[test]
+    fn poison_mid_tier_frame_rehomes_to_nearest_healthy_neighbor() {
+        // Three-tier chain with room everywhere: demote a few pages into
+        // the CXL mid tier, then poison one of their frames. Soft-offline
+        // must pick the nearest *healthy* neighbor — slower side on a
+        // healthy chain, the fast tier once the slower side is gone.
+        let mut sys = TieredSystem::new(SystemConfig::three_tier(64, 128, 64));
+        let pid = sys.add_process(40, PageSize::Base);
+        for i in 0..40 {
+            sys.access(pid, Vpn(i), false);
+        }
+        for i in 0..8 {
+            sys.migrate(pid, Vpn(i), TierId(1), MigrateMode::Async)
+                .unwrap();
+        }
+        let bad = sys.process(pid).space.entry(Vpn(3)).pfn;
+        assert!(sys.poison_frame(TierId(1), bad));
+        // Healthy chain: the mid tier's soft-offline destination is one
+        // hop down (slower side preferred), never two hops to the top.
+        let e = sys.process(pid).space.entry(Vpn(3));
+        assert_eq!(e.tier(), TierId(2));
+        assert!(!e.flags.has(PageFlags::POISONED));
+        assert!(sys.frame_is_quarantined(TierId(1), bad));
+
+        // Take the bottom tier offline (zero-deadline forced drain pushes
+        // its one page back to the mid tier and splices the chain): the
+        // slower neighbor no longer accepts pages, so the next mid-tier
+        // poison must rehome *up* to the fast tier instead.
+        sys.apply_tier_event(TierEvent {
+            at: Nanos(0),
+            tier: TierId(2),
+            kind: TierEventKind::Offline { deadline: Nanos(0) },
+        });
+        assert_eq!(sys.tier_health(TierId(2)), TierHealth::Offline);
+        let bad = sys.process(pid).space.entry(Vpn(5)).pfn;
+        assert_eq!(sys.process(pid).space.entry(Vpn(5)).tier(), TierId(1));
+        assert!(sys.poison_frame(TierId(1), bad));
+        let e = sys.process(pid).space.entry(Vpn(5));
+        assert_eq!(e.tier(), TierId::FAST);
+        assert!(!e.flags.has(PageFlags::POISONED));
+        assert!(sys.frame_is_quarantined(TierId(1), bad));
     }
 
     #[test]

@@ -54,6 +54,78 @@ impl TierId {
     }
 }
 
+/// Health of one tier's failure domain. Driven by scheduled
+/// [`crate::fault::TierEvent`]s (or the explicit
+/// [`crate::TieredSystem::apply_tier_event`] API); the lifecycle is
+/// `Online → Degrading → Evacuating → Offline → Rejoining → Online`, with
+/// `Degrading` optional and `Rejoining` flipping back to `Online` on the
+/// next migration-completion pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierHealth {
+    /// Fully healthy: allocation, migration, and residency all allowed.
+    Online,
+    /// Device-level degradation until the given time: still a full chain
+    /// member, but copies into the tier pay the degrade-window multiplier.
+    Degrading {
+        /// When the degradation window ends (exclusive).
+        until: Nanos,
+    },
+    /// Being drained: no new residency, the emergency evacuation lane is
+    /// pushing resident pages to the nearest healthy neighbor, and by
+    /// `deadline` the tier force-drains and goes `Offline`.
+    Evacuating {
+        /// Absolute time by which the tier must be empty.
+        deadline: Nanos,
+    },
+    /// Out of the chain: zero residency (oracle-enforced), frames offlined,
+    /// and the chain spliced around the tier.
+    Offline,
+    /// Back from `Offline` but not yet re-admitted: frames are restored and
+    /// the splice undone on the next migration-completion pass.
+    Rejoining,
+}
+
+impl TierHealth {
+    /// Whether the tier is a live chain member that may hold and accept
+    /// pages (`Online` or `Degrading`).
+    #[inline]
+    pub fn accepts_pages(self) -> bool {
+        matches!(self, TierHealth::Online | TierHealth::Degrading { .. })
+    }
+
+    /// Whether the tier has been spliced out of the chain (`Offline`, or
+    /// still `Rejoining`). Evacuating tiers remain chain members so the
+    /// drain can use their edges.
+    #[inline]
+    pub fn spliced_out(self) -> bool {
+        matches!(self, TierHealth::Offline | TierHealth::Rejoining)
+    }
+
+    /// Compact code for trace digests and gauges (0 = Online so an
+    /// all-healthy chain packs to 0 and fault-free digests are unchanged).
+    #[inline]
+    pub fn code(self) -> u8 {
+        match self {
+            TierHealth::Online => 0,
+            TierHealth::Degrading { .. } => 1,
+            TierHealth::Evacuating { .. } => 2,
+            TierHealth::Offline => 3,
+            TierHealth::Rejoining => 4,
+        }
+    }
+
+    /// Short human label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TierHealth::Online => "online",
+            TierHealth::Degrading { .. } => "degrading",
+            TierHealth::Evacuating { .. } => "evacuating",
+            TierHealth::Offline => "offline",
+            TierHealth::Rejoining => "rejoining",
+        }
+    }
+}
+
 /// Performance and capacity specification of one tier.
 ///
 /// Defaults model the paper's testbed: DDR4 DRAM (~80 ns loads) and Intel
@@ -340,5 +412,30 @@ mod tests {
     #[should_panic(expected = "tier chain must hold")]
     fn chain_rejects_single_tier() {
         TierChain::new(vec![TierSpec::dram(64)]);
+    }
+
+    #[test]
+    fn tier_health_codes_are_dense_and_online_is_zero() {
+        let states = [
+            TierHealth::Online,
+            TierHealth::Degrading { until: Nanos(1) },
+            TierHealth::Evacuating { deadline: Nanos(1) },
+            TierHealth::Offline,
+            TierHealth::Rejoining,
+        ];
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(s.code() as usize, i, "codes are dense in lifecycle order");
+        }
+        assert_eq!(TierHealth::Online.code(), 0, "all-healthy packs to zero");
+        let labels: std::collections::BTreeSet<&str> = states.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), states.len(), "labels are distinct");
+        assert!(TierHealth::Online.accepts_pages());
+        assert!(TierHealth::Degrading { until: Nanos(1) }.accepts_pages());
+        assert!(!TierHealth::Evacuating { deadline: Nanos(1) }.accepts_pages());
+        assert!(!TierHealth::Offline.accepts_pages());
+        assert!(!TierHealth::Rejoining.accepts_pages());
+        assert!(TierHealth::Offline.spliced_out());
+        assert!(TierHealth::Rejoining.spliced_out());
+        assert!(!TierHealth::Evacuating { deadline: Nanos(1) }.spliced_out());
     }
 }

@@ -23,7 +23,12 @@
 //!   exactly over the 2^16 state space, and every reachable state checked
 //!   against the declared legality predicates. The reachable projection
 //!   also backs the runtime ⊆ static *bridge check* wired into the
-//!   tiering-verify oracle.
+//!   tiering-verify oracle. The sibling [`tier_health`] model does the
+//!   same for the tier failure-domain lifecycle (`Online → Degrading →
+//!   Evacuating → Offline → Rejoining`): residency and evacuation
+//!   transactions abstracted per tier, the reachable set enumerated
+//!   exactly, and `Offline`-with-residency proven unreachable statically
+//!   — the twin of the runtime oracle's `tier_offline_residency` check.
 //! - [`race`] — **chrono-race**, an exhaustive shard-interleaving model
 //!   checker for the barrier protocol: every schedule of small
 //!   multi-shard configurations over the MigrationTxn × admission-slot ×
@@ -42,6 +47,7 @@
 pub mod lint;
 pub mod model;
 pub mod race;
+pub mod tier_health;
 
 use std::path::{Path, PathBuf};
 
@@ -56,6 +62,10 @@ pub use model::{
 pub use race::{
     canonical_grants, check_races, race_configs, render_race_report, GrantRule, RaceClaim,
     RaceConfig, RaceOp, RaceReport,
+};
+pub use tier_health::{
+    check_health_model, describe_health_state, health_legality_rules, health_transitions,
+    render_health_report, HealthLegalityRule, HealthReport, HealthTransition,
 };
 
 /// The workspace root, resolved from this crate's manifest directory
@@ -82,4 +92,9 @@ pub fn golden_path() -> PathBuf {
 /// Path of the committed chrono-race exploration golden.
 pub fn race_golden_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/race_exploration.txt")
+}
+
+/// Path of the committed tier failure-domain lifecycle golden.
+pub fn tier_health_golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/tier_health_states.txt")
 }

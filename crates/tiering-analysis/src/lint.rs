@@ -29,21 +29,25 @@ pub const RESTRICTED_CRATES: [&str; 5] = [
 /// Individual files outside the restricted crates that the determinism
 /// rules also cover: the shard/tenant modules whose code runs (or feeds)
 /// the parallel shard-step phase. `harness` as a crate stays unrestricted
-/// (it times real wall-clock runs), but its fleet runner is shard-era code.
-pub const RESTRICTED_FILES: [&str; 3] = [
+/// (it times real wall-clock runs), but its fleet runner is shard-era code,
+/// and the tier-chaos sharded driver in tiering-verify schedules the tier
+/// events every shard must observe at the same barrier.
+pub const RESTRICTED_FILES: [&str; 4] = [
     "crates/tiering-policies/src/shard.rs",
     "crates/tiered-mem/src/partition.rs",
     "crates/harness/src/tenants.rs",
+    "crates/tiering-verify/src/sharded.rs",
 ];
 
 /// Files whose code participates in the barrier protocol: the chrono-race
 /// rules (`rng-stream` mutable-RNG audit, `barrier-phase` callgraph audit)
 /// apply here. A superset relationship with [`RESTRICTED_FILES`] is not
 /// required but currently holds.
-pub const BARRIER_PHASE_FILES: [&str; 3] = [
+pub const BARRIER_PHASE_FILES: [&str; 4] = [
     "crates/tiering-policies/src/shard.rs",
     "crates/tiered-mem/src/partition.rs",
     "crates/harness/src/tenants.rs",
+    "crates/tiering-verify/src/sharded.rs",
 ];
 
 /// Cross-shard mutators that may only be invoked from the single-threaded

@@ -25,7 +25,7 @@
 //! tenants when slots are scarce.
 
 use sim_clock::{DetRng, Nanos};
-use tiered_mem::TieredSystem;
+use tiered_mem::{TierEvent, TieredSystem};
 use workloads::Workload;
 
 use crate::driver::{DriverConfig, DriverSession, RunResult};
@@ -77,6 +77,13 @@ pub struct ShardedConfig {
     pub permute_seed: Option<u64>,
     /// Per-tenant migration-slot admission.
     pub admission: AdmissionConfig,
+    /// Tier failure-domain events applied to *every* shard at the first
+    /// barrier at or after each event's firing time, in tenant-id order —
+    /// the cross-shard analogue of a per-system
+    /// `tiered_mem::FaultPlan::tier_events` schedule. Because application
+    /// happens single-threaded at the barrier, the chaos is identical for
+    /// any worker-thread count.
+    pub tier_events: Vec<TierEvent>,
 }
 
 impl ShardedConfig {
@@ -88,6 +95,7 @@ impl ShardedConfig {
             threads: 1,
             permute_seed: None,
             admission: AdmissionConfig::default(),
+            tier_events: Vec::new(),
         }
     }
 }
@@ -523,6 +531,9 @@ impl ShardedSim {
         let step = self.cfg.barrier_interval.max(Nanos(1));
         let threads = self.cfg.threads.max(1);
         let mut ctl = AdmissionControl::new(self.cfg.admission.clone(), self.shards.len());
+        let mut tier_events = self.cfg.tier_events.clone();
+        tier_events.sort_by_key(|e| e.at);
+        let mut next_tier_event = 0usize;
 
         if ctl.cfg.enabled {
             audit_hook(&ctl.apply(&mut self.shards, true, 0));
@@ -594,6 +605,15 @@ impl ShardedSim {
             }
             now = next;
             barriers += 1;
+            // Barrier-scheduled tier chaos: applied single-threaded, every
+            // shard in tenant-id order per event, so the failure arrives at
+            // the same virtual instant for any thread count.
+            while let Some(&ev) = tier_events.get(next_tier_event).filter(|e| e.at <= now) {
+                next_tier_event += 1;
+                for s in self.shards.iter_mut() {
+                    s.sys.apply_tier_event(ev);
+                }
+            }
             if ctl.cfg.enabled {
                 audit_hook(&ctl.apply(&mut self.shards, false, barriers));
             }

@@ -99,7 +99,14 @@ impl TraceDigest {
             .u64(s.slow_used_frames)
             .u64(s.in_flight_migrations)
             .u64(s.quarantined_frames)
-            .u64(s.offlined_frames)
+            .u64(s.offlined_frames);
+        // Folded only when some tier is unhealthy: an all-Online gauge packs
+        // to 0 and is skipped, keeping every pre-existing fault-free digest
+        // byte-identical.
+        if s.tier_health != 0 {
+            self.u64(s.tier_health as u64);
+        }
+        self
     }
 
     /// Folds one discrete event with its timestamp and a per-variant tag.
@@ -237,6 +244,9 @@ impl TraceDigest {
                     .u64(granted as u64)
                     .u64(in_flight as u64)
                     .u64(starvation as u64);
+            }
+            TraceEvent::TierHealth { tier, state } => {
+                self.u64(17).u64(tier as u64).u64(state as u64);
             }
         }
         self

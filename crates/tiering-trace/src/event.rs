@@ -184,6 +184,15 @@ pub enum TraceEvent {
         /// slots (0 when it was served).
         starvation: u32,
     },
+    /// A tier's health state changed (failure-domain lifecycle). Emitted
+    /// only on chaos runs that schedule tier events; fault-free runs never
+    /// record it, so their digests are untouched.
+    TierHealth {
+        /// Tier whose health changed.
+        tier: u8,
+        /// Dense health-state code (0 = Online).
+        state: u8,
+    },
 }
 
 impl TraceEvent {
@@ -206,6 +215,7 @@ impl TraceEvent {
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Breaker { .. } => "breaker",
             TraceEvent::Admission { .. } => "admission",
+            TraceEvent::TierHealth { .. } => "tier_health",
         }
     }
 
@@ -329,6 +339,10 @@ impl TraceEvent {
                 w.field_u64("in_flight", in_flight as u64);
                 w.field_u64("starvation", starvation as u64);
             }
+            TraceEvent::TierHealth { tier, state } => {
+                w.field_u64("tier", tier as u64);
+                w.field_u64("state", state as u64);
+            }
         }
     }
 }
@@ -410,6 +424,7 @@ mod tests {
                 in_flight: 0,
                 starvation: 0,
             },
+            TraceEvent::TierHealth { tier: 1, state: 3 },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -55,6 +55,10 @@ pub struct PeriodSample {
     pub quarantined_frames: u64,
     /// Fast-tier frames offlined by capacity events at sampling time (gauge).
     pub offlined_frames: u64,
+    /// Packed per-tier health gauge: 4 bits per tier in chain order
+    /// (0 = Online). An all-healthy chain packs to 0, and the digest only
+    /// folds non-zero values, so fault-free runs hash as they always did.
+    pub tier_health: u32,
 }
 
 impl PeriodSample {
@@ -80,6 +84,7 @@ impl PeriodSample {
         w.field_u64("in_flight_migrations", self.in_flight_migrations);
         w.field_u64("quarantined_frames", self.quarantined_frames);
         w.field_u64("offlined_frames", self.offlined_frames);
+        w.field_u64("tier_health", self.tier_health as u64);
         w.end_object();
     }
 
@@ -88,13 +93,13 @@ impl PeriodSample {
         "timestamp_ns,cit_threshold_ns,rate_limit_bps,queue_depth,enqueued_pages,\
          dequeued_pages,dropped_pages,heat_overlap_ratio,promoted_pages,demoted_pages,\
          thrash_events,hint_faults,period_fmar,fmar,fast_used_frames,slow_used_frames,\
-         in_flight_migrations,quarantined_frames,offlined_frames"
+         in_flight_migrations,quarantined_frames,offlined_frames,tier_health"
     }
 
     /// One CSV row (no trailing newline).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.timestamp.as_nanos(),
             self.policy.cit_threshold.as_nanos(),
             self.policy.rate_limit_bps,
@@ -114,6 +119,7 @@ impl PeriodSample {
             self.in_flight_migrations,
             self.quarantined_frames,
             self.offlined_frames,
+            self.tier_health,
         )
     }
 }

@@ -18,10 +18,10 @@ use sim_clock::Nanos;
 use tiered_mem::FaultPlan;
 
 use crate::policy_fuzz::{
-    run_policy_case, run_policy_case_with_plan, run_three_tier_case, ALL_POLICIES,
+    run_policy_case, run_policy_case_with_plan, run_three_tier_case, PolicyUnderTest, ALL_POLICIES,
     THREE_TIER_POLICIES,
 };
-use crate::sharded::{run_sharded_case, SHARD_GOLDEN_TENANTS};
+use crate::sharded::{run_sharded_case, run_sharded_tier_chaos_case, SHARD_GOLDEN_TENANTS};
 
 /// The two canonical seeds snapshotted in the repository.
 pub const GOLDEN_SEEDS: [u64; 2] = [0xC4A0_0001, 0xC4A0_0002];
@@ -61,6 +61,12 @@ pub fn shard_golden_path(seed: u64) -> PathBuf {
 /// Path of the three-tier snapshot for one seed.
 pub fn three_tier_golden_path(seed: u64) -> PathBuf {
     golden_dir().join(format!("threetier_seed_{seed:08x}.txt"))
+}
+
+/// Path of the tier-chaos shard snapshot for one seed (multi-tenant run
+/// with a mid-run `TierOffline`/rejoin arc applied at barriers).
+pub fn tier_chaos_golden_path(seed: u64) -> PathBuf {
+    golden_dir().join(format!("tierchaos_seed_{seed:08x}.txt"))
 }
 
 /// Recomputes the snapshot table for a seed: one `<policy> <digest-hex>
@@ -153,6 +159,52 @@ pub fn compute_three_tier_golden(seed: u64) -> String {
             "{:<16} {:016x} {}\n",
             r.policy, r.digest, r.accesses
         ));
+    }
+    out
+}
+
+/// Policies snapshotted in the tier-chaos shard golden: the three Chrono
+/// tuning modes plus a representative baseline.
+const TIER_CHAOS_POLICIES: [PolicyUnderTest; 4] = [
+    PolicyUnderTest::Tpp,
+    PolicyUnderTest::ChronoDcsc,
+    PolicyUnderTest::ChronoSemiAuto,
+    PolicyUnderTest::ChronoManual,
+];
+
+/// Recomputes the tier-chaos shard snapshot for a seed: the multi-tenant
+/// case with every tenant's slow tier going offline mid-run (live
+/// evacuation window) and rejoining, single-threaded — the thread-invariance
+/// suite proves 2- and 8-worker replays reproduce the same table. One line
+/// per policy: `<policy> <combined> <accesses> <per-tenant digests...>`.
+/// The arc must actually fire (health transitions recorded) — a chaos
+/// golden whose tiers never fail pins nothing.
+pub fn compute_tier_chaos_golden(seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# tiering-verify tier-chaos shard golden: seed {seed:#010x}, \
+         {SHARD_GOLDEN_TENANTS} tenants, slow tier offline/rejoin mid-run, \
+         {SHARD_GOLDEN_MILLIS} ms per policy\n"
+    ));
+    for p in TIER_CHAOS_POLICIES {
+        let r = run_sharded_tier_chaos_case(p, seed, SHARD_GOLDEN_MILLIS, 1);
+        assert!(
+            r.clean(),
+            "tier-chaos golden case {p:?}/{seed:#x} broke invariants: {:?}",
+            r.violations
+        );
+        assert!(
+            r.tier_health_transitions > 0,
+            "tier-chaos golden case {p:?}/{seed:#x} never failed a tier"
+        );
+        out.push_str(&format!(
+            "{:<16} {:016x} {}",
+            r.policy, r.combined_digest, r.accesses
+        ));
+        for d in &r.tenant_digests {
+            out.push_str(&format!(" {d:016x}"));
+        }
+        out.push('\n');
     }
     out
 }
@@ -259,6 +311,11 @@ pub fn check_goldens() -> Vec<GoldenResult> {
         let status = diff_status(&path, compute_three_tier_golden(seed));
         results.push(GoldenResult { seed, path, status });
     }
+    for &seed in &GOLDEN_SEEDS {
+        let path = tier_chaos_golden_path(seed);
+        let status = diff_status(&path, compute_tier_chaos_golden(seed));
+        results.push(GoldenResult { seed, path, status });
+    }
     results
 }
 
@@ -283,6 +340,11 @@ pub fn bless_goldens() -> std::io::Result<Vec<PathBuf>> {
     for &seed in &GOLDEN_SEEDS {
         let path = three_tier_golden_path(seed);
         std::fs::write(&path, compute_three_tier_golden(seed))?;
+        written.push(path);
+    }
+    for &seed in &GOLDEN_SEEDS {
+        let path = tier_chaos_golden_path(seed);
+        std::fs::write(&path, compute_tier_chaos_golden(seed))?;
         written.push(path);
     }
     Ok(written)
@@ -310,6 +372,21 @@ mod tests {
         assert!(fault_golden_path()
             .to_string_lossy()
             .ends_with("goldens/fault_seed_00fa0001.txt"));
+    }
+
+    #[test]
+    #[ignore = "writes goldens; run explicitly to (re)bless only the tier-chaos snapshots"]
+    fn bless_tier_chaos_goldens_only() {
+        // Narrow bless: regenerates the tier-chaos shard snapshots without
+        // touching any pre-existing golden file.
+        std::fs::create_dir_all(golden_dir()).unwrap();
+        for &seed in &GOLDEN_SEEDS {
+            std::fs::write(
+                tier_chaos_golden_path(seed),
+                compute_tier_chaos_golden(seed),
+            )
+            .unwrap();
+        }
     }
 
     #[test]

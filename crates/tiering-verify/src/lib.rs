@@ -43,11 +43,13 @@ pub use ops::{
 };
 pub use oracle::{InvariantOracle, Violation};
 pub use policy_fuzz::{
-    determinism_digests, run_policy_case, run_policy_case_with_plan, run_three_tier_case,
-    PolicyRunReport, PolicyUnderTest, ThreeTierPolicy, ALL_POLICIES, THREE_TIER_POLICIES,
+    determinism_digests, fuzz_one_tier_chaos, run_policy_case, run_policy_case_with_plan,
+    run_three_tier_case, run_three_tier_case_with_plan, PolicyRunReport, PolicyUnderTest,
+    ThreeTierPolicy, ALL_POLICIES, THREE_TIER_POLICIES,
 };
 pub use sharded::{
     fuzz_one_tenant_storm, run_sharded_case, run_sharded_case_mixed, run_sharded_case_permuted,
-    run_sharded_case_with_plans, tenant_weights, ShardedCaseReport, SHARD_GOLDEN_TENANTS,
+    run_sharded_case_with_plans, run_sharded_tier_chaos_case, shard_tier_chaos_events,
+    tenant_weights, ShardedCaseReport, SHARD_GOLDEN_TENANTS,
 };
 pub use shrink::shrink_ops;

@@ -13,8 +13,8 @@ use std::fmt;
 
 use chrono_core::{QueueFlow, RetryFlow};
 use tiered_mem::{
-    FrameOwner, LruKind, PageFlags, Pfn, ProcessId, TierId, TieredSystem, Vpn, BASE_PAGE_BYTES,
-    HUGE_2M_PAGES, MAX_TIERS,
+    FrameOwner, LruKind, PageFlags, Pfn, ProcessId, TierHealth, TierId, TieredSystem, Vpn,
+    BASE_PAGE_BYTES, HUGE_2M_PAGES, MAX_TIERS,
 };
 
 /// One violated invariant, with enough detail to debug the failing state.
@@ -58,7 +58,75 @@ impl InvariantOracle {
         self.check_watermarks(sys, &mut out);
         self.check_stats(sys, &mut out);
         self.check_fault_quarantine(sys, &mut out);
+        self.check_tier_health(sys, &mut out);
         out
+    }
+
+    /// Failure-domain invariants: a tier that has gone `Offline` holds no
+    /// residency whatsoever (evacuation must have drained it — pages,
+    /// reservations, everything), and the emergency evacuation lane
+    /// conserves flow: every evacuated unit is rehomed on a healthy tier,
+    /// spilled to swap, lost to a copy fault (and re-issued), or still in
+    /// flight.
+    fn check_tier_health(&self, sys: &TieredSystem, out: &mut Vec<Violation>) {
+        let offline: Vec<TierId> = sys
+            .config()
+            .chain
+            .ids()
+            .filter(|&t| sys.tier_health(t) == TierHealth::Offline)
+            .collect();
+        for &tier in &offline {
+            if sys.used_frames(tier) != 0 {
+                out.push(Violation {
+                    invariant: "tier_offline_residency",
+                    detail: format!(
+                        "{tier:?} is Offline but still holds {} used frames",
+                        sys.used_frames(tier)
+                    ),
+                });
+            }
+        }
+        // Walk direction: no PTE may claim residency in an offline tier
+        // (catches tier-bit corruption the frame table cannot see). One
+        // violation per offline tier keeps the report bounded.
+        if !offline.is_empty() {
+            for &tier in &offline {
+                'walk: for pid in sys.pids() {
+                    let space = &sys.process(pid).space;
+                    for v in 0..space.pages() {
+                        let e = space.entry(Vpn(v));
+                        if !e.pfn.is_none() && e.tier() == tier {
+                            out.push(Violation {
+                                invariant: "tier_offline_residency",
+                                detail: format!(
+                                    "pid {} vpn {} claims residency in Offline {tier:?}",
+                                    pid.0, v
+                                ),
+                            });
+                            break 'walk;
+                        }
+                    }
+                }
+            }
+        }
+        let s = &sys.stats;
+        let accounted = s.evac_rehomed_pages
+            + s.evac_swapped_pages
+            + s.evac_faulted_pages
+            + sys.in_flight_evac_pages();
+        if s.evacuated_pages != accounted {
+            out.push(Violation {
+                invariant: "evac_flow",
+                detail: format!(
+                    "evacuated {} != rehomed {} + swapped {} + faulted {} + in-flight {}",
+                    s.evacuated_pages,
+                    s.evac_rehomed_pages,
+                    s.evac_swapped_pages,
+                    s.evac_faulted_pages,
+                    sys.in_flight_evac_pages()
+                ),
+            });
+        }
     }
 
     /// Fault-injection bookkeeping: quarantined frames are permanently out
@@ -103,7 +171,14 @@ impl InvariantOracle {
                 ),
             });
         }
-        let current = sys.offlined_frames(TierId::FAST) as u64;
+        // Offlined frames can sit in any tier: capacity shrink targets one
+        // tier at a time and a whole-tier offline empties its frame pool.
+        let current: u64 = sys
+            .config()
+            .chain
+            .ids()
+            .map(|t| sys.offlined_frames(t) as u64)
+            .sum();
         let outflow = s.restored_frames + current;
         if s.offlined_frames < outflow || s.offlined_frames - outflow > s.quarantined_frames {
             out.push(Violation {
@@ -736,6 +811,61 @@ mod tests {
         let violations = InvariantOracle::new().check(&sys);
         assert!(
             violations.iter().any(|v| v.invariant == "offline_flow"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn offline_tier_state_is_clean_and_skews_are_caught() {
+        use sim_clock::Nanos;
+        use tiered_mem::{TierEvent, TierEventKind};
+        let mut sys = TieredSystem::new(SystemConfig::three_tier(64, 128, 512));
+        let pid = sys.add_process(256, PageSize::Base);
+        let mut oracle = InvariantOracle::new();
+        for v in 0..192 {
+            sys.access(pid, Vpn(v), false);
+        }
+        // Demote a few pages into the bottom tier so the drain has work.
+        for v in 0..16 {
+            let _ = sys.migrate(pid, Vpn(v), TierId(2), MigrateMode::Async);
+        }
+        sys.clock.advance(sim_clock::Nanos::from_millis(5));
+        sys.complete_due_migrations();
+        // Deadline already passed ⇒ the event force-drains synchronously.
+        sys.apply_tier_event(TierEvent {
+            at: Nanos(0),
+            tier: TierId(2),
+            kind: TierEventKind::Offline { deadline: Nanos(0) },
+        });
+        assert_eq!(sys.tier_health(TierId(2)), TierHealth::Offline);
+        oracle.assert_clean(&sys, "after forced whole-tier offline");
+
+        // Skew the evacuation ledger: flow conservation must flag it.
+        sys.stats.evacuated_pages += 1;
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations.iter().any(|v| v.invariant == "evac_flow"),
+            "{violations:?}"
+        );
+        sys.stats.evacuated_pages -= 1;
+
+        // Corrupt a live page's residency bits to point at the offline
+        // tier: the no-residency-when-offline invariant must fire (the
+        // residency cache goes with it — the corruption is deliberate).
+        let live = (0..256)
+            .map(Vpn)
+            .find(|&v| sys.process(pid).space.entry(v).present())
+            .expect("something is resident");
+        sys.process_mut(pid)
+            .space
+            .entry_mut(live)
+            .flags
+            .set_tier(TierId(2));
+        let violations = InvariantOracle::new().check(&sys);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "tier_offline_residency"),
             "{violations:?}"
         );
     }

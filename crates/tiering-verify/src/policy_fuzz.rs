@@ -275,6 +275,12 @@ pub struct PolicyRunReport {
     pub accesses: u64,
     /// Oracle snapshots taken during the run.
     pub oracle_checks: u64,
+    /// Tier health-state transitions the run recorded (zero on fault-free
+    /// runs; the tier-chaos effectiveness self-test keys on it).
+    pub tier_health_transitions: u64,
+    /// Pages the emergency evacuation lane issued (zero unless a tier went
+    /// offline mid-run).
+    pub evacuated_pages: u64,
     /// Violations found (first few, deduplicated by invariant).
     pub violations: Vec<Violation>,
 }
@@ -370,6 +376,8 @@ pub fn run_policy_case_with_plan(
         digest: sys.trace.digest(),
         accesses: result.accesses,
         oracle_checks: oracle.checks,
+        tier_health_transitions: sys.stats.tier_health_transitions,
+        evacuated_pages: sys.stats.evacuated_pages,
         violations,
     }
 }
@@ -411,6 +419,19 @@ impl ThreeTierPolicy {
 /// [`run_policy_case`] does. The cascade's per-pair queue/retry flows are
 /// conservation-checked after the run.
 pub fn run_three_tier_case(policy: ThreeTierPolicy, seed: u64, run_millis: u64) -> PolicyRunReport {
+    run_three_tier_case_with_plan(policy, seed, run_millis, None)
+}
+
+/// [`run_three_tier_case`] with an optional fault plan attached — the
+/// tier-chaos fuzz profile runs through here with plans that take whole
+/// tiers offline mid-run. `None` reproduces the fault-free path bit for
+/// bit.
+pub fn run_three_tier_case_with_plan(
+    policy: ThreeTierPolicy,
+    seed: u64,
+    run_millis: u64,
+    fault_plan: Option<FaultPlan>,
+) -> PolicyRunReport {
     const ORACLE_STRIDE: u64 = 128;
     const MAX_KEPT: usize = 8;
 
@@ -419,7 +440,11 @@ pub fn run_three_tier_case(policy: ThreeTierPolicy, seed: u64, run_millis: u64) 
     // top, a mid twice its size, and the remainder at the bottom.
     let fast = total_frames / 8;
     let mid = total_frames / 4;
-    let cfg = SystemConfig::three_tier(fast, mid, total_frames - fast - mid);
+    let mut cfg = SystemConfig::three_tier(fast, mid, total_frames - fast - mid);
+    if let Some(plan) = &fault_plan {
+        plan.validate_for(3).expect("plan fits a three-tier chain");
+    }
+    cfg.fault_plan = fault_plan;
     let mut sys = TieredSystem::new(cfg);
     sys.enable_tracing(1 << 12);
     let w = PmbenchWorkload::new(PmbenchConfig::paper_skewed(pages, 0.7, wl_seed));
@@ -494,8 +519,28 @@ pub fn run_three_tier_case(policy: ThreeTierPolicy, seed: u64, run_millis: u64) 
         digest: sys.trace.digest(),
         accesses: result.accesses,
         oracle_checks: oracle.checks,
+        tier_health_transitions: sys.stats.tier_health_transitions,
+        evacuated_pages: sys.stats.evacuated_pages,
         violations,
     }
+}
+
+/// One tier-chaos fuzz case: a three-tier cascade run under a seed-chosen
+/// failure-domain plan — half the seeds get the canonical arc
+/// ([`FaultPlan::canonical3`]: degrade, mid-tier offline with a live
+/// evacuation window, rejoin), the other half the storm
+/// ([`FaultPlan::storm3`]: staggered offline/online cycles on both lower
+/// tiers plus capacity wobble) — with the policy alternating between the
+/// cascaded Chrono and the hop-wise TPP generalization.
+pub fn fuzz_one_tier_chaos(seed: u64, run_millis: u64) -> PolicyRunReport {
+    let horizon = Nanos::from_millis(run_millis);
+    let plan = if seed & 1 == 0 {
+        FaultPlan::canonical3(seed, horizon)
+    } else {
+        FaultPlan::storm3(seed, horizon)
+    };
+    let policy = THREE_TIER_POLICIES[(seed >> 1) as usize % THREE_TIER_POLICIES.len()];
+    run_three_tier_case_with_plan(policy, seed, run_millis, Some(plan))
 }
 
 #[cfg(test)]
@@ -545,6 +590,34 @@ mod tests {
             assert!(a.clean(), "{} violated: {:?}", a.policy, a.violations);
             assert_eq!(a.digest, b.digest, "{} nondeterministic", a.policy);
         }
+    }
+
+    #[test]
+    fn tier_chaos_cases_run_clean_deterministic_and_actually_fail_tiers() {
+        // Both plan flavours (even seed: canonical3, odd seed: storm3) must
+        // run invariant-clean, replay bit for bit, and genuinely exercise
+        // the failure-domain machinery — a chaos profile whose tiers never
+        // fail tests nothing.
+        let mut transitions = 0u64;
+        let mut evacuated = 0u64;
+        for seed in 0x7C_0000..0x7C_0004u64 {
+            let a = fuzz_one_tier_chaos(seed, 20);
+            let b = fuzz_one_tier_chaos(seed, 20);
+            assert!(a.accesses > 0, "{} did nothing", a.policy);
+            assert!(a.clean(), "{} violated: {:?}", a.policy, a.violations);
+            assert_eq!(
+                a.digest, b.digest,
+                "{} chaos run nondeterministic",
+                a.policy
+            );
+            transitions += a.tier_health_transitions;
+            evacuated += a.evacuated_pages;
+        }
+        assert!(transitions > 0, "no tier ever changed health state");
+        assert!(
+            evacuated > 0,
+            "no evacuation lane traffic across chaos seeds"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@
 //! pins.
 
 use sim_clock::{DetRng, Nanos};
-use tiered_mem::{FaultPlan, PageSize, PartitionPlan, SystemConfig, TierId, TieredSystem};
+use tiered_mem::{
+    FaultPlan, PageSize, PartitionPlan, SystemConfig, TierEvent, TierId, TieredSystem,
+};
 use tiering_analysis::{canonical_grants, RaceClaim};
 use tiering_policies::{
     AdmissionConfig, BarrierAudit, DriverConfig, ShardedConfig, ShardedSim, TenantShard,
@@ -80,6 +82,11 @@ pub struct ShardedCaseReport {
     pub slot_gini: f64,
     /// `(min, max)` per-tenant FMAR.
     pub fmar_spread: (f64, f64),
+    /// Tier health-state transitions summed across tenants (zero unless the
+    /// case schedules tier failure-domain events).
+    pub tier_health_transitions: u64,
+    /// Emergency evacuation-lane pages summed across tenants.
+    pub evacuated_pages: u64,
     /// All violations found (per-shard oracle + cross-shard invariants).
     pub violations: Vec<Violation>,
 }
@@ -345,6 +352,7 @@ pub fn run_sharded_case_mixed(
         admission_slots,
         fault_plan_for,
         None,
+        Vec::new(),
     )
 }
 
@@ -374,6 +382,56 @@ pub fn run_sharded_case_permuted(
         slots,
         &|_| None,
         Some(permute_seed),
+        Vec::new(),
+    )
+}
+
+/// The barrier-scheduled failure-domain arc of the tier-chaos shard cases:
+/// every tenant's slow tier goes offline at 40 % of the run (evacuation
+/// deadline at the halfway mark — a live drain window) and rejoins at
+/// 70 %. Event times are absolute, so the arc lands on the same barriers
+/// at every worker-thread count.
+pub fn shard_tier_chaos_events(run_millis: u64) -> Vec<TierEvent> {
+    let t = Nanos::from_millis(run_millis).as_nanos();
+    vec![
+        TierEvent {
+            at: Nanos(t * 2 / 5),
+            tier: TierId(1),
+            kind: tiered_mem::TierEventKind::Offline {
+                deadline: Nanos(t / 2),
+            },
+        },
+        TierEvent {
+            at: Nanos(t * 7 / 10),
+            tier: TierId(1),
+            kind: tiered_mem::TierEventKind::Online,
+        },
+    ]
+}
+
+/// The satellite determinism case of the failure-domain work: a mid-run
+/// `TierOffline` (then rejoin) applied to every tenant at barriers via
+/// [`tiering_policies::ShardedConfig::tier_events`], run at any worker
+/// thread count. The committed chaos shard golden snapshots this
+/// single-threaded; the thread-invariance suite replays it at 2 and 8
+/// workers and must reproduce the table bit for bit.
+pub fn run_sharded_tier_chaos_case(
+    policy: PolicyUnderTest,
+    seed: u64,
+    run_millis: u64,
+    threads: usize,
+) -> ShardedCaseReport {
+    run_sharded_case_full(
+        policy.name(),
+        &|_| policy,
+        seed,
+        run_millis,
+        SHARD_GOLDEN_TENANTS,
+        threads,
+        Some(AdmissionConfig::default().total_slots),
+        &|_| None,
+        None,
+        shard_tier_chaos_events(run_millis),
     )
 }
 
@@ -388,6 +446,7 @@ fn run_sharded_case_full(
     admission_slots: Option<usize>,
     fault_plan_for: &dyn Fn(u32) -> Option<FaultPlan>,
     permute_seed: Option<u64>,
+    tier_events: Vec<TierEvent>,
 ) -> ShardedCaseReport {
     const MAX_KEPT: usize = 8;
     let (shards, plan) = build_shards(policy_for, seed, tenants, run_millis, fault_plan_for);
@@ -395,6 +454,7 @@ fn run_sharded_case_full(
     cfg.barrier_interval = Nanos::from_millis(SCAN_PERIOD_MS);
     cfg.threads = threads;
     cfg.permute_seed = permute_seed;
+    cfg.tier_events = tier_events;
     cfg.admission = AdmissionConfig {
         enabled: admission_slots.is_some(),
         total_slots: admission_slots.unwrap_or_else(|| AdmissionConfig::default().total_slots),
@@ -451,6 +511,16 @@ fn run_sharded_case_full(
         granted_slots: result.outcomes.iter().map(|o| o.granted_slots).collect(),
         slot_gini: result.slot_share_gini(),
         fmar_spread: result.fmar_spread(),
+        tier_health_transitions: result
+            .shards
+            .iter()
+            .map(|s| s.sys.stats.tier_health_transitions)
+            .sum(),
+        evacuated_pages: result
+            .shards
+            .iter()
+            .map(|s| s.sys.stats.evacuated_pages)
+            .sum(),
         violations,
     }
 }
@@ -534,6 +604,34 @@ mod tests {
         assert_eq!(one.granted_slots, eight.granted_slots);
         assert!(one.clean(), "violations: {:?}", one.violations);
         assert!(one.accesses > 0);
+    }
+
+    #[test]
+    fn mid_run_tier_offline_is_thread_invariant_and_actually_evacuates() {
+        // The failure-domain determinism satellite: the slow tier of every
+        // tenant dies mid-run and rejoins, applied at barriers — 1-, 2-,
+        // and 8-worker replays must produce the same tables bit for bit,
+        // and the arc must genuinely fire (evacuations, health churn).
+        let p = PolicyUnderTest::ChronoDcsc;
+        let one = run_sharded_tier_chaos_case(p, 0xABCD, 10, 1);
+        assert!(one.clean(), "violations: {:?}", one.violations);
+        assert!(one.tier_health_transitions > 0, "no tier ever failed");
+        assert!(one.evacuated_pages > 0, "offline window never evacuated");
+        for threads in [2usize, 8] {
+            let multi = run_sharded_tier_chaos_case(p, 0xABCD, 10, threads);
+            assert_eq!(
+                multi.combined_digest, one.combined_digest,
+                "{threads}-thread chaos replay diverged"
+            );
+            assert_eq!(multi.tenant_digests, one.tenant_digests);
+            assert_eq!(multi.granted_slots, one.granted_slots);
+            assert_eq!(multi.tier_health_transitions, one.tier_health_transitions);
+            assert_eq!(multi.evacuated_pages, one.evacuated_pages);
+        }
+        // The arc must also perturb the run relative to the fault-free case
+        // — otherwise the golden snapshots nothing new.
+        let clean = run_sharded_case(p, 0xABCD, 10, SHARD_GOLDEN_TENANTS, 1, true);
+        assert_ne!(one.combined_digest, clean.combined_digest);
     }
 
     #[test]
